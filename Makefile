@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build vet test race bench experiments fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate the paper's evaluation (Figure 6 a-l, sweeps, ablation, tta,
+# soundness, greedy). Takes a minute or two.
+experiments:
+	$(GO) run ./cmd/qpbench -exp all -sizes 10,20,40,60 | tee results_full.txt
+
+fuzz:
+	$(GO) test -fuzz FuzzParseQuery -fuzztime 30s ./internal/schema
+	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/domfile
+
+clean:
+	rm -rf internal/schema/testdata internal/domfile/testdata

@@ -1,0 +1,260 @@
+// Benchmarks regenerating the paper's evaluation (Section 6): one
+// benchmark per Figure 6 panel with one sub-benchmark per algorithm, plus
+// the overlap-rate and query-length sweeps described in the text, the
+// Greedy scaling experiment of Section 4, and micro-benchmarks for the
+// hot data structures. cmd/qpbench runs the same experiments at larger
+// scale with paper-shaped tables.
+package qporder_test
+
+import (
+	"fmt"
+	"testing"
+
+	"qporder/internal/abstraction"
+	"qporder/internal/bitset"
+	"qporder/internal/core"
+	"qporder/internal/coverage"
+	"qporder/internal/execsim"
+	"qporder/internal/experiment"
+	"qporder/internal/interval"
+	"qporder/internal/lav"
+	"qporder/internal/physopt"
+	"qporder/internal/planspace"
+	"qporder/internal/schema"
+	"qporder/internal/workload"
+)
+
+// benchBase is the shared configuration: query length 3, overlap 0.3,
+// modest bucket size so `go test -bench=.` stays quick.
+func benchBase(size int) workload.Config {
+	return workload.Config{QueryLen: 3, Zones: 3, Universe: 2048, Seed: 42, BucketSize: size}
+}
+
+var benchDomains = make(experiment.DomainCache)
+
+// benchPanel runs one Figure 6 panel at one bucket size, one
+// sub-benchmark per algorithm (inapplicable combinations are skipped).
+func benchPanel(b *testing.B, id string, size int) {
+	p, ok := experiment.PanelByID(id)
+	if !ok {
+		b.Fatalf("unknown panel %s", id)
+	}
+	cfg := benchBase(size)
+	d := benchDomains.Get(cfg)
+	for _, algo := range p.Algos {
+		algo := algo
+		b.Run(fmt.Sprintf("%s/m=%d", algo, size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := experiment.Run(d, experiment.Cell{
+					Algo: algo, Measure: p.Measure, K: p.K, Config: cfg,
+				})
+				if res.Err != "" {
+					b.Fatal(res.Err)
+				}
+			}
+		})
+	}
+}
+
+// Figure 6, panels (a)-(c): plan coverage, k = 1, 10, 100.
+func BenchmarkFig6a(b *testing.B) { benchPanel(b, "6a", 20) }
+func BenchmarkFig6b(b *testing.B) { benchPanel(b, "6b", 20) }
+func BenchmarkFig6c(b *testing.B) { benchPanel(b, "6c", 20) }
+
+// Figure 6, panels (d)-(f): cost (2) + source failure, no caching.
+func BenchmarkFig6d(b *testing.B) { benchPanel(b, "6d", 20) }
+func BenchmarkFig6e(b *testing.B) { benchPanel(b, "6e", 20) }
+func BenchmarkFig6f(b *testing.B) { benchPanel(b, "6f", 20) }
+
+// Figure 6, panels (g)-(i): cost (2) + failure with caching (Streamer
+// inapplicable).
+func BenchmarkFig6g(b *testing.B) { benchPanel(b, "6g", 20) }
+func BenchmarkFig6h(b *testing.B) { benchPanel(b, "6h", 20) }
+func BenchmarkFig6i(b *testing.B) { benchPanel(b, "6i", 20) }
+
+// Figure 6, panels (j)-(l): average monetary cost per tuple.
+func BenchmarkFig6j(b *testing.B) { benchPanel(b, "6j", 20) }
+func BenchmarkFig6k(b *testing.B) { benchPanel(b, "6k", 20) }
+func BenchmarkFig6l(b *testing.B) { benchPanel(b, "6l", 20) }
+
+// BenchmarkOverlapSweep: Streamer vs PI on coverage as the overlap rate
+// varies (prose experiment; Streamer's recycling degrades with overlap).
+func BenchmarkOverlapSweep(b *testing.B) {
+	for _, zones := range []int{10, 3, 1} {
+		cfg := benchBase(20)
+		cfg.Zones = zones
+		d := benchDomains.Get(cfg)
+		for _, algo := range []experiment.Algorithm{experiment.AlgoPI, experiment.AlgoStreamer} {
+			algo := algo
+			b.Run(fmt.Sprintf("%s/overlap=1over%d", algo, zones), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					experiment.Run(d, experiment.Cell{
+						Algo: algo, Measure: experiment.MeasureCoverage, K: 10, Config: cfg,
+					})
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkQueryLenSweep: trends vs query length 1..7 (prose experiment).
+func BenchmarkQueryLenSweep(b *testing.B) {
+	for _, ql := range []int{1, 3, 5, 7} {
+		cfg := benchBase(8)
+		cfg.QueryLen = ql
+		d := benchDomains.Get(cfg)
+		for _, algo := range []experiment.Algorithm{
+			experiment.AlgoPI, experiment.AlgoIDrips, experiment.AlgoStreamer,
+		} {
+			algo := algo
+			b.Run(fmt.Sprintf("%s/qlen=%d", algo, ql), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					experiment.Run(d, experiment.Cell{
+						Algo: algo, Measure: experiment.MeasureCoverage, K: 10, Config: cfg,
+					})
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkGreedy: Section 4's algorithm against Exhaustive on the fully
+// monotonic cost measure (1); Greedy's per-plan cost is near-constant.
+func BenchmarkGreedy(b *testing.B) {
+	for _, size := range []int{20, 80} {
+		cfg := benchBase(size)
+		d := benchDomains.Get(cfg)
+		for _, algo := range []experiment.Algorithm{experiment.AlgoGreedy, experiment.AlgoExhaustive} {
+			algo := algo
+			b.Run(fmt.Sprintf("%s/m=%d", algo, size), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					experiment.Run(d, experiment.Cell{
+						Algo: algo, Measure: experiment.MeasureLinear, K: 20, Config: cfg,
+					})
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkHeuristicAblation: how much the grouping heuristic matters
+// (coverage, Streamer, informed vs uninformed grouping).
+func BenchmarkHeuristicAblation(b *testing.B) {
+	cfg := benchBase(20)
+	d := benchDomains.Get(cfg)
+	heurs := map[string]abstraction.Heuristic{
+		"cov-sim": abstraction.ByKey("cov-sim", d.SimilarityKey),
+		"by-id":   abstraction.ByID(),
+	}
+	for name, h := range heurs {
+		h := h
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o, err := experiment.BuildOrdererWith(d, experiment.MeasureCoverage, experiment.AlgoStreamer, h)
+				if err != nil {
+					b.Fatal(err)
+				}
+				core.Take(o, 10)
+			}
+		})
+	}
+}
+
+// BenchmarkPhysicalOptimizer: join-order + method search for a length-5
+// plan (exact permutation search).
+func BenchmarkPhysicalOptimizer(b *testing.B) {
+	cat := lav.NewCatalog()
+	body := ""
+	for i := 0; i < 5; i++ {
+		name := fmt.Sprintf("S%d", i)
+		cat.MustAdd(name, nil, lav.Stats{Tuples: float64(10 * (i + 3)), TransmitCost: 1, Overhead: 5})
+		if i > 0 {
+			body += ", "
+		}
+		body += fmt.Sprintf("%s(X%d, X%d)", name, i, i+1)
+	}
+	pq := schema.MustParseQuery("P(X0, X5) :- " + body)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := physopt.Optimize(pq, cat, physopt.Params{N: 100}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDatalogTransitiveClosure: the semi-naive engine on a 200-node
+// random graph.
+func BenchmarkDatalogTransitiveClosure(b *testing.B) {
+	edb := execsim.GenerateWorld(execsim.WorldConfig{
+		Relations:         []execsim.RelationSpec{{Name: "edge", Arity: 2}},
+		TuplesPerRelation: 200,
+		DomainSize:        60,
+		Seed:              5,
+	})
+	rules := []*schema.Query{
+		schema.MustParseQuery("path(X, Y) :- edge(X, Y)"),
+		schema.MustParseQuery("path(X, Z) :- edge(X, Y), path(Y, Z)"),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := execsim.EvalProgram(rules, edb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks for the hot paths ---
+
+func BenchmarkBitsetIntersectionCount(b *testing.B) {
+	x := bitset.New(4096)
+	y := bitset.New(4096)
+	for i := 0; i < 4096; i += 3 {
+		x.Add(i)
+	}
+	for i := 0; i < 4096; i += 5 {
+		y.Add(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.IntersectionCount(y)
+	}
+}
+
+func BenchmarkIntervalMul(b *testing.B) {
+	x := interval.New(-3, 7)
+	y := interval.New(2, 11)
+	for i := 0; i < b.N; i++ {
+		x = x.Mul(y).Scale(0.1)
+	}
+	_ = x
+}
+
+func BenchmarkCoverageEvaluateConcrete(b *testing.B) {
+	d := benchDomains.Get(benchBase(20))
+	ctx := coverage.NewMeasure(d.Coverage).NewContext()
+	plans := d.Space.Enumerate()[:64]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.Evaluate(plans[i%len(plans)])
+	}
+}
+
+func BenchmarkSpaceSplit(b *testing.B) {
+	d := benchDomains.Get(benchBase(40))
+	victim := d.Space.Enumerate()[0].Sources()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Space.Remove(victim)
+	}
+}
+
+func BenchmarkDripsBestCoverage(b *testing.B) {
+	d := benchDomains.Get(benchBase(40))
+	m := coverage.NewMeasure(d.Coverage)
+	heur := experiment.Heuristic(d, experiment.MeasureCoverage)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := m.NewContext()
+		core.DripsBest(ctx, []*planspace.Plan{d.Space.Root(heur)})
+	}
+}

@@ -1,0 +1,182 @@
+// Command qpbench regenerates the paper's evaluation (Section 6): every
+// panel of Figure 6, the overlap-rate and query-length sweeps described
+// in the text, the plans-evaluated fraction, and a Greedy scaling
+// experiment for Section 4.
+//
+// Usage:
+//
+//	qpbench                        # run everything with default sizes
+//	qpbench -exp fig6a,fig6b      # selected panels
+//	qpbench -exp fig6 -sizes 10,20,40
+//	qpbench -exp overlap,qlen,evalfrac,greedy
+//	qpbench -csv                   # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"qporder/internal/experiment"
+	"qporder/internal/stats"
+	"qporder/internal/workload"
+)
+
+func main() {
+	var (
+		expFlag   = flag.String("exp", "all", "experiments: all, fig6, fig6a..fig6l, overlap, qlen, evalfrac, ablation, tta, soundness, greedy (comma-separated)")
+		sizesFlag = flag.String("sizes", "10,20,40,60,80", "bucket sizes for Figure 6 panels")
+		seed      = flag.Int64("seed", 42, "workload seed")
+		qlen      = flag.Int("qlen", 3, "query length (paper default 3)")
+		zones     = flag.Int("zones", 3, "coverage zones; overlap rate ≈ 1/zones (paper default 0.3)")
+		universe  = flag.Int("universe", 4096, "coverage universe size")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	sizes, err := parseInts(*sizesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qpbench: bad -sizes:", err)
+		os.Exit(2)
+	}
+	base := workload.Config{QueryLen: *qlen, Zones: *zones, Universe: *universe, Seed: *seed}
+	dc := make(experiment.DomainCache)
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	wants := func(names ...string) bool {
+		if want["all"] {
+			return true
+		}
+		for _, n := range names {
+			if want[n] {
+				return true
+			}
+		}
+		return false
+	}
+
+	render := func(t *stats.Table) {
+		if *csv {
+			t.CSV(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+		fmt.Println()
+	}
+
+	start := time.Now()
+	for _, p := range experiment.Fig6Panels() {
+		if !wants("fig6", "fig"+p.ID) {
+			continue
+		}
+		fmt.Printf("== Figure %s: %s (qlen=%d, overlap≈%.2f) ==\n", p.ID, p.Title, *qlen, 1/float64(*zones))
+		pr := experiment.RunPanel(dc, p, sizes, base)
+		render(pr.Table())
+	}
+
+	if wants("overlap") {
+		fmt.Println("== Overlap-rate sweep: coverage, k=10, PI vs Streamer ==")
+		cfg := base
+		cfg.BucketSize = 40
+		pts := experiment.RunOverlapSweep(dc, []int{10, 5, 3, 2, 1}, 10, cfg)
+		render(experiment.SweepTable(pts, []experiment.Algorithm{experiment.AlgoPI, experiment.AlgoStreamer}))
+	}
+
+	if wants("qlen") {
+		fmt.Println("== Query-length sweep: coverage, k=10, bucket=10 ==")
+		cfg := base
+		cfg.BucketSize = 10
+		pts := experiment.RunQueryLenSweep(dc, []int{1, 2, 3, 4, 5, 6, 7}, 10, experiment.MeasureCoverage, cfg)
+		render(experiment.SweepTable(pts, []experiment.Algorithm{
+			experiment.AlgoPI, experiment.AlgoIDrips, experiment.AlgoStreamer}))
+	}
+
+	if wants("evalfrac") {
+		fmt.Println("== Plans evaluated, first plan: Streamer vs PI (paper: <4%) ==")
+		t := stats.NewTable("bucket", "streamer-evals", "pi-evals", "fraction")
+		for _, m := range sizes {
+			cfg := base
+			cfg.BucketSize = m
+			s, p, f := experiment.EvalFraction(dc, cfg)
+			t.Add(fmt.Sprint(m), fmt.Sprint(s), fmt.Sprint(p), fmt.Sprintf("%.2f%%", 100*f))
+		}
+		render(t)
+	}
+
+	if wants("tta") {
+		fmt.Println("== Time to answers: ordered (coverage/Streamer) vs unordered execution ==")
+		cfg := base
+		cfg.BucketSize = 12
+		d := dc.Get(cfg)
+		r, err := experiment.RunFirstAnswers(d, []float64{0.25, 0.5, 0.75, 0.9, 1.0})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qpbench: tta:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%d total answers, full cost %.0f)\n", r.TotalAnswers, r.TotalCost)
+		render(r.Table())
+	}
+
+	if wants("soundness") {
+		fmt.Println("== Sound-plan density and rank of first sound plan (Section 2's argument) ==")
+		r, err := experiment.RunSoundness(200, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qpbench: soundness:", err)
+			os.Exit(1)
+		}
+		render(r.Table())
+	}
+
+	if wants("ablation") {
+		fmt.Println("== Heuristic ablation: coverage, k=10, bucket=40 ==")
+		cfg := base
+		cfg.BucketSize = 40
+		render(experiment.AblationTable(experiment.RunHeuristicAblation(dc, 10, cfg)))
+	}
+
+	if wants("greedy") {
+		fmt.Println("== Greedy scaling (Section 4): linear cost, k=20 ==")
+		t := stats.NewTable("bucket", "greedy-time", "greedy-evals", "exhaustive-time", "exhaustive-evals")
+		for _, m := range sizes {
+			cfg := base
+			cfg.BucketSize = m
+			d := dc.Get(cfg)
+			g := runCell(d, experiment.AlgoGreedy, experiment.MeasureLinear, 20, cfg)
+			e := runCell(d, experiment.AlgoExhaustive, experiment.MeasureLinear, 20, cfg)
+			t.Add(fmt.Sprint(m),
+				stats.FormatDuration(g.Time), fmt.Sprint(g.Evals),
+				stats.FormatDuration(e.Time), fmt.Sprint(e.Evals))
+		}
+		render(t)
+	}
+
+	fmt.Printf("total: %s\n", stats.FormatDuration(time.Since(start)))
+}
+
+func runCell(d *workload.Domain, algo experiment.Algorithm, m experiment.MeasureKey, k int, cfg workload.Config) experiment.Result {
+	return experiment.Run(d, experiment.Cell{Algo: algo, Measure: m, K: k, Config: cfg})
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("non-positive size %d", n)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty size list")
+	}
+	return out, nil
+}

@@ -1,0 +1,219 @@
+// Command qporder is a command-line mediator: it loads a domain file
+// (LAV source descriptions with statistics, plus a query), reformulates
+// the query with the bucket algorithm, orders the candidate plans with a
+// chosen algorithm and utility measure, filters them through the
+// soundness test, and prints the top-k sound plans. With -execute it also
+// runs the plans against a simulated world and reports answers and cost.
+//
+// Usage:
+//
+//	qporder -f domain.qp -algo streamer -measure chain-fail -k 5
+//	qporder -f domain.qp -q 'Q(M) :- play-in(ford, M)' -algo greedy -measure linear
+//	qporder -f domain.qp -execute
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"qporder/internal/abstraction"
+	"qporder/internal/core"
+	"qporder/internal/costmodel"
+	"qporder/internal/domfile"
+	"qporder/internal/execsim"
+	"qporder/internal/measure"
+	"qporder/internal/physopt"
+	"qporder/internal/planspace"
+	"qporder/internal/reformulate"
+	"qporder/internal/schema"
+)
+
+// indent prefixes every non-empty line of s.
+func indent(s, prefix string) string {
+	out := ""
+	for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		out += prefix + line + "\n"
+	}
+	return out
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "qporder:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		file     = flag.String("f", "", "domain file (required)")
+		qstr     = flag.String("q", "", "query (overrides the file's query)")
+		algo     = flag.String("algo", "streamer", "ordering algorithm: greedy, idrips, streamer, pi, exhaustive")
+		meas     = flag.String("measure", "chain", "utility: linear, chain, chain-fail, chain-fail-caching, monetary, monetary-caching")
+		k        = flag.Int("k", 10, "number of plans to produce")
+		bigN     = flag.Float64("N", 50000, "selectivity denominator N of cost measure (2)")
+		execute  = flag.Bool("execute", false, "execute the ordered plans against a simulated world")
+		physical = flag.Bool("physical", false, "run plans through the physical optimizer (join order + access methods)")
+		seed     = flag.Int64("seed", 1, "seed for the simulated world (-execute)")
+	)
+	flag.Parse()
+	if *file == "" {
+		return fmt.Errorf("missing -f domain file")
+	}
+	f, err := os.Open(*file)
+	if err != nil {
+		return err
+	}
+	dom, err := domfile.Parse(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	q := dom.Query
+	if *qstr != "" {
+		if q, err = schema.ParseQuery(*qstr); err != nil {
+			return err
+		}
+	}
+	if q == nil {
+		return fmt.Errorf("no query: the file has none and -q was not given")
+	}
+	fmt.Println("query:", q)
+
+	buckets, err := reformulate.BuildBuckets(q, dom.Catalog)
+	if err != nil {
+		return err
+	}
+	pd := reformulate.NewPlanDomain(buckets, dom.Catalog)
+	fmt.Printf("plan space: %d candidate plans\n", pd.Space.Size())
+
+	m, err := buildMeasure(pd, *meas, *bigN)
+	if err != nil {
+		return err
+	}
+	o, err := buildOrderer(pd, m, *algo)
+	if err != nil {
+		return err
+	}
+
+	var engine *execsim.Engine
+	answers := execsim.NewAnswerSet()
+	if *execute {
+		engine, err = simulatedEngine(dom, *seed)
+		if err != nil {
+			return err
+		}
+	}
+
+	produced := 0
+	for produced < *k {
+		plan, pq, utility, ok, err := pd.SoundNext(o)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		produced++
+		fmt.Printf("#%-3d u=%-12.6g %-20s %s\n", produced, utility, pd.FormatPlan(plan), pq)
+		var pp *physopt.Plan
+		if *physical {
+			cached := func(string) bool { return false }
+			pp, err = physopt.Optimize(pq, dom.Catalog, physopt.Params{N: *bigN, CachedScan: cached})
+			if err != nil {
+				return err
+			}
+			fmt.Print(indent(pp.String(), "     "))
+		}
+		if engine != nil {
+			var out []schema.Atom
+			if pp != nil {
+				out, err = engine.ExecutePhysical(pp)
+			} else {
+				out, err = engine.ExecutePlan(pq)
+			}
+			if err != nil {
+				return err
+			}
+			fresh := answers.Add(out)
+			fmt.Printf("     +%d answers (total %d), cumulative cost %.1f\n",
+				fresh, answers.Len(), engine.Cost)
+		}
+	}
+	if produced == 0 {
+		fmt.Println("no sound plans")
+	}
+	fmt.Printf("plans evaluated: %d\n", o.Context().Evals())
+	if engine != nil {
+		fmt.Printf("\nanswers (%d):\n%s", answers.Len(), answers)
+	}
+	return nil
+}
+
+func buildMeasure(pd *reformulate.PlanDomain, name string, n float64) (measure.Measure, error) {
+	switch name {
+	case "linear":
+		return costmodel.NewLinearCost(pd.Entries), nil
+	case "chain":
+		return costmodel.NewChainCost(pd.Entries, costmodel.Params{N: n}), nil
+	case "chain-fail":
+		return costmodel.NewChainCost(pd.Entries, costmodel.Params{N: n, Failure: true}), nil
+	case "chain-fail-caching":
+		return costmodel.NewChainCost(pd.Entries, costmodel.Params{N: n, Failure: true, Caching: true}), nil
+	case "monetary":
+		return costmodel.NewMonetaryPerTuple(pd.Entries, costmodel.Params{N: n}), nil
+	case "monetary-caching":
+		return costmodel.NewMonetaryPerTuple(pd.Entries, costmodel.Params{N: n, Caching: true}), nil
+	default:
+		return nil, fmt.Errorf("unknown measure %q", name)
+	}
+}
+
+func buildOrderer(pd *reformulate.PlanDomain, m measure.Measure, algo string) (core.Orderer, error) {
+	spaces := []*planspace.Space{pd.Space}
+	heur := abstraction.ByAccessCost(pd.Entries)
+	switch algo {
+	case "greedy":
+		return core.NewGreedy(spaces, m)
+	case "idrips":
+		return core.NewIDrips(spaces, m, heur), nil
+	case "streamer":
+		return core.NewStreamer(spaces, m, heur)
+	case "pi":
+		return core.NewPI(spaces, m), nil
+	case "exhaustive":
+		return core.NewExhaustive(spaces, m), nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", algo)
+	}
+}
+
+// simulatedEngine builds a world covering every relation mentioned by the
+// source descriptions and derives incomplete source contents.
+func simulatedEngine(dom *domfile.Domain, seed int64) (*execsim.Engine, error) {
+	arity := make(map[string]int)
+	for _, src := range dom.Catalog.Sources() {
+		for _, a := range src.Def.Body {
+			if prev, ok := arity[a.Pred]; ok && prev != a.Arity() {
+				return nil, fmt.Errorf("relation %s used with arities %d and %d", a.Pred, prev, a.Arity())
+			}
+			arity[a.Pred] = a.Arity()
+		}
+	}
+	var rels []execsim.RelationSpec
+	for name, ar := range arity {
+		rels = append(rels, execsim.RelationSpec{Name: name, Arity: ar})
+	}
+	world := execsim.GenerateWorld(execsim.WorldConfig{
+		Relations:         rels,
+		TuplesPerRelation: 100,
+		DomainSize:        15,
+		Seed:              seed,
+	})
+	store := execsim.PopulateSources(dom.Catalog, world, 0.8, seed+1)
+	eng := execsim.NewEngine(dom.Catalog, store)
+	eng.EnableFailures(seed + 2)
+	return eng, nil
+}

@@ -1,0 +1,3 @@
+module qporder
+
+go 1.22

@@ -1,0 +1,168 @@
+// Package abstraction builds the per-bucket source-abstraction hierarchies
+// used by Drips, iDrips, and Streamer (Section 5 of the paper).
+//
+// An abstract source is a group of concrete sources that are "similar": a
+// grouping heuristic orders a bucket so that similar sources are adjacent,
+// and a balanced binary tree over that order becomes the hierarchy. The
+// root abstracts the whole bucket; refining a node exposes its two
+// children; leaves are concrete sources.
+package abstraction
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qporder/internal/lav"
+)
+
+// Node is an abstract source: a set of concrete member sources within one
+// bucket. A leaf has exactly one member and nil Children. Nodes are
+// immutable after construction; identity is pointer identity.
+type Node struct {
+	// Bucket is the subgoal index this node's sources belong to.
+	Bucket int
+	// Sources lists the member source IDs in ascending order.
+	Sources []lav.SourceID
+	// Children are the refinement of this node (nil for leaves).
+	Children []*Node
+}
+
+// IsLeaf reports whether the node is a single concrete source.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Size returns the number of member sources.
+func (n *Node) Size() int { return len(n.Sources) }
+
+// Source returns the single member of a leaf; it panics on abstract nodes.
+func (n *Node) Source() lav.SourceID {
+	if !n.IsLeaf() {
+		panic("abstraction: Source() on abstract node")
+	}
+	return n.Sources[0]
+}
+
+// Min returns the smallest member ID (used for deterministic tie-breaks).
+func (n *Node) Min() lav.SourceID { return n.Sources[0] }
+
+// String renders a leaf as "V7" and a group as "{V3 V7 V9}".
+func (n *Node) String() string {
+	if n.IsLeaf() {
+		return fmt.Sprintf("V%d", n.Sources[0])
+	}
+	parts := make([]string, len(n.Sources))
+	for i, s := range n.Sources {
+		parts[i] = fmt.Sprintf("V%d", s)
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// Heuristic orders a bucket's sources so that similar sources become
+// adjacent; the hierarchy groups adjacent runs. Implementations must
+// return a permutation of the input (the builder verifies length only).
+type Heuristic interface {
+	// Name identifies the heuristic in experiment output.
+	Name() string
+	// Order returns the grouping order for the given bucket.
+	Order(bucket int, sources []lav.SourceID) []lav.SourceID
+}
+
+// keyHeuristic orders sources by a numeric similarity key.
+type keyHeuristic struct {
+	name string
+	key  func(bucket int, id lav.SourceID) float64
+}
+
+func (h keyHeuristic) Name() string { return h.name }
+
+func (h keyHeuristic) Order(bucket int, sources []lav.SourceID) []lav.SourceID {
+	out := make([]lav.SourceID, len(sources))
+	copy(out, sources)
+	sort.SliceStable(out, func(i, j int) bool {
+		ki, kj := h.key(bucket, out[i]), h.key(bucket, out[j])
+		if ki != kj {
+			return ki < kj
+		}
+		return out[i] < out[j] // deterministic tie-break
+	})
+	return out
+}
+
+// ByKey returns a heuristic that sorts sources by an arbitrary numeric
+// similarity key (smaller keys first, adjacent keys grouped together).
+func ByKey(name string, key func(bucket int, id lav.SourceID) float64) Heuristic {
+	return keyHeuristic{name: name, key: key}
+}
+
+// ByTuples is the paper's heuristic: group sources with similar expected
+// numbers of output tuples (n_i).
+func ByTuples(cat *lav.Catalog) Heuristic {
+	return ByKey("by-tuples", func(_ int, id lav.SourceID) float64 {
+		return cat.Source(id).Stats.Tuples
+	})
+}
+
+// ByAccessCost groups sources by their standalone expected access cost
+// h/(1-f) + α·n, a natural heuristic for the cost measures.
+func ByAccessCost(cat *lav.Catalog) Heuristic {
+	return ByKey("by-access-cost", func(_ int, id lav.SourceID) float64 {
+		st := cat.Source(id).Stats
+		return st.Overhead/(1-st.FailureProb) + st.TransmitCost*st.Tuples
+	})
+}
+
+// ByID is the null heuristic (registration order); useful as an ablation
+// baseline for how much the grouping heuristic matters.
+func ByID() Heuristic {
+	return ByKey("by-id", func(_ int, id lav.SourceID) float64 { return float64(id) })
+}
+
+// Build constructs one hierarchy root per bucket. Each bucket must be
+// non-empty. The heuristic orders each bucket; the hierarchy is a balanced
+// binary tree over that order, so refining a node splits its members into
+// two similar halves.
+func Build(buckets [][]lav.SourceID, h Heuristic) []*Node {
+	roots := make([]*Node, len(buckets))
+	for b, srcs := range buckets {
+		if len(srcs) == 0 {
+			panic(fmt.Sprintf("abstraction: empty bucket %d", b))
+		}
+		ordered := h.Order(b, srcs)
+		if len(ordered) != len(srcs) {
+			panic(fmt.Sprintf("abstraction: heuristic %s returned %d sources for bucket of %d",
+				h.Name(), len(ordered), len(srcs)))
+		}
+		roots[b] = build(b, ordered)
+	}
+	return roots
+}
+
+// build recursively constructs a balanced tree over ordered sources.
+func build(bucket int, ordered []lav.SourceID) *Node {
+	if len(ordered) == 1 {
+		return &Node{Bucket: bucket, Sources: []lav.SourceID{ordered[0]}}
+	}
+	mid := len(ordered) / 2
+	left := build(bucket, ordered[:mid])
+	right := build(bucket, ordered[mid:])
+	members := make([]lav.SourceID, len(ordered))
+	copy(members, ordered)
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	return &Node{Bucket: bucket, Sources: members, Children: []*Node{left, right}}
+}
+
+// BuildLeaves returns, for each bucket, leaf nodes for every source with
+// no abstraction above them. Algorithms that never abstract (PI,
+// Exhaustive, Greedy) share these leaves so utility caches keyed by node
+// identity stay effective.
+func BuildLeaves(buckets [][]lav.SourceID) [][]*Node {
+	out := make([][]*Node, len(buckets))
+	for b, srcs := range buckets {
+		leaves := make([]*Node, len(srcs))
+		for i, s := range srcs {
+			leaves[i] = &Node{Bucket: b, Sources: []lav.SourceID{s}}
+		}
+		out[b] = leaves
+	}
+	return out
+}

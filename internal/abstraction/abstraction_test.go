@@ -1,0 +1,174 @@
+package abstraction
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qporder/internal/lav"
+)
+
+func catalogWithTuples(tuples ...float64) *lav.Catalog {
+	cat := lav.NewCatalog()
+	for i, n := range tuples {
+		cat.MustAdd(string(rune('a'+i)), nil, lav.Stats{Tuples: n})
+	}
+	return cat
+}
+
+func TestByTuplesOrdersSimilarAdjacent(t *testing.T) {
+	cat := catalogWithTuples(500, 10, 480, 20)
+	h := ByTuples(cat)
+	got := h.Order(0, []lav.SourceID{0, 1, 2, 3})
+	want := []lav.SourceID{1, 3, 2, 0} // 10, 20, 480, 500
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBuildHierarchyStructure(t *testing.T) {
+	cat := catalogWithTuples(1, 2, 3, 4, 5)
+	roots := Build([][]lav.SourceID{{0, 1, 2, 3, 4}}, ByTuples(cat))
+	if len(roots) != 1 {
+		t.Fatalf("got %d roots", len(roots))
+	}
+	root := roots[0]
+	if root.Size() != 5 || root.IsLeaf() {
+		t.Fatalf("root = %v", root)
+	}
+	// Walk: every internal node has exactly 2 children whose member sets
+	// partition the parent's.
+	var walk func(n *Node)
+	leaves := 0
+	walk = func(n *Node) {
+		if n.IsLeaf() {
+			leaves++
+			if len(n.Sources) != 1 {
+				t.Fatalf("leaf with %d members", len(n.Sources))
+			}
+			return
+		}
+		if len(n.Children) != 2 {
+			t.Fatalf("internal node with %d children", len(n.Children))
+		}
+		total := 0
+		seen := map[lav.SourceID]bool{}
+		for _, ch := range n.Children {
+			total += ch.Size()
+			for _, s := range ch.Sources {
+				if seen[s] {
+					t.Fatalf("member %d in both children", s)
+				}
+				seen[s] = true
+			}
+			walk(ch)
+		}
+		if total != n.Size() {
+			t.Fatalf("children sizes %d != parent %d", total, n.Size())
+		}
+		for _, s := range n.Sources {
+			if !seen[s] {
+				t.Fatalf("member %d lost in children", s)
+			}
+		}
+	}
+	walk(root)
+	if leaves != 5 {
+		t.Errorf("hierarchy has %d leaves, want 5", leaves)
+	}
+}
+
+func TestBuildBalancedDepth(t *testing.T) {
+	cat := lav.NewCatalog()
+	var bucket []lav.SourceID
+	for i := 0; i < 64; i++ {
+		s := cat.MustAdd(string(rune('a'+i%26))+string(rune('0'+i/26)), nil, lav.Stats{Tuples: float64(i + 1)})
+		bucket = append(bucket, s.ID)
+	}
+	root := Build([][]lav.SourceID{bucket}, ByTuples(cat))[0]
+	var depth func(n *Node) int
+	depth = func(n *Node) int {
+		if n.IsLeaf() {
+			return 1
+		}
+		d := 0
+		for _, ch := range n.Children {
+			if cd := depth(ch); cd > d {
+				d = cd
+			}
+		}
+		return d + 1
+	}
+	if d := depth(root); d != 7 { // log2(64)+1
+		t.Errorf("depth = %d, want 7", d)
+	}
+}
+
+func TestHeuristicDeterminism(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cat := lav.NewCatalog()
+		var bucket []lav.SourceID
+		n := 2 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			s := cat.MustAdd(string(rune('a'+i%26))+string(rune('0'+i/26)), nil,
+				lav.Stats{Tuples: float64(1 + rng.Intn(5))}) // many ties
+			bucket = append(bucket, s.ID)
+		}
+		h := ByTuples(cat)
+		a := h.Order(0, bucket)
+		b := h.Order(0, bucket)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildLeaves(t *testing.T) {
+	leaves := BuildLeaves([][]lav.SourceID{{3, 1}, {2}})
+	if len(leaves) != 2 || len(leaves[0]) != 2 || len(leaves[1]) != 1 {
+		t.Fatalf("BuildLeaves shape wrong: %v", leaves)
+	}
+	if leaves[0][0].Source() != 3 || leaves[0][0].Bucket != 0 {
+		t.Errorf("leaf = %v", leaves[0][0])
+	}
+}
+
+func TestNodeString(t *testing.T) {
+	leaf := &Node{Sources: []lav.SourceID{7}}
+	if leaf.String() != "V7" {
+		t.Errorf("leaf String = %q", leaf.String())
+	}
+	grp := &Node{Sources: []lav.SourceID{3, 7}, Children: []*Node{leaf, leaf}}
+	if grp.String() != "{V3 V7}" {
+		t.Errorf("group String = %q", grp.String())
+	}
+}
+
+func TestSourceOnAbstractNodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	n := &Node{Sources: []lav.SourceID{1, 2}, Children: []*Node{{}, {}}}
+	n.Source()
+}
+
+func TestEmptyBucketPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on empty bucket")
+		}
+	}()
+	Build([][]lav.SourceID{{}}, ByID())
+}

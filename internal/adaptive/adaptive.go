@@ -1,0 +1,168 @@
+// Package adaptive implements a light version of the execution-level
+// optimization the paper contrasts with in Section 7 (query scrambling /
+// adaptive execution [20, 11, 2]): even the best-ordered plan can turn
+// out mispriced when source statistics are stale, so the mediator tracks
+// the statistics actually observed during execution and, when estimates
+// have drifted past a threshold, re-estimates and re-orders the REMAINING
+// plans. Ordering stays at the reformulation level — this package just
+// feeds it fresher numbers.
+package adaptive
+
+import (
+	"fmt"
+	"math"
+
+	"qporder/internal/lav"
+	"qporder/internal/planspace"
+)
+
+// Observation accumulates what execution actually saw for one source.
+type Observation struct {
+	// Accesses counts successful accesses.
+	Accesses int
+	// Tuples counts tuples returned in total.
+	Tuples int
+	// Attempts and Failures count access attempts and failed attempts.
+	Attempts int
+	Failures int
+}
+
+// ObservedTuples returns the observed mean tuples per access.
+func (o Observation) ObservedTuples() float64 {
+	if o.Accesses == 0 {
+		return math.NaN()
+	}
+	return float64(o.Tuples) / float64(o.Accesses)
+}
+
+// ObservedFailureProb returns the observed failure rate.
+func (o Observation) ObservedFailureProb() float64 {
+	if o.Attempts == 0 {
+		return math.NaN()
+	}
+	return float64(o.Failures) / float64(o.Attempts)
+}
+
+// Tracker accumulates observations and decides when estimates have
+// drifted enough to warrant re-ordering.
+type Tracker struct {
+	cat *lav.Catalog
+	obs map[lav.SourceID]*Observation
+	// DriftFactor is the relative error in a source's tuple estimate that
+	// triggers re-ordering (default 2: off by 2x either way).
+	DriftFactor float64
+	// MinAccesses is the number of accesses before a source's observation
+	// is trusted (default 1).
+	MinAccesses int
+}
+
+// NewTracker returns a tracker over the catalog's current estimates.
+func NewTracker(cat *lav.Catalog) *Tracker {
+	return &Tracker{
+		cat:         cat,
+		obs:         make(map[lav.SourceID]*Observation),
+		DriftFactor: 2,
+		MinAccesses: 1,
+	}
+}
+
+// Record adds one access observation for a source.
+func (t *Tracker) Record(id lav.SourceID, tuples, failedAttempts int) {
+	o, ok := t.obs[id]
+	if !ok {
+		o = &Observation{}
+		t.obs[id] = o
+	}
+	o.Accesses++
+	o.Tuples += tuples
+	o.Attempts += 1 + failedAttempts
+	o.Failures += failedAttempts
+}
+
+// Observation returns the accumulated observation for a source.
+func (t *Tracker) Observation(id lav.SourceID) Observation {
+	if o, ok := t.obs[id]; ok {
+		return *o
+	}
+	return Observation{}
+}
+
+// Drifted returns the sources whose observed tuple counts disagree with
+// the catalog estimates by more than DriftFactor.
+func (t *Tracker) Drifted() []lav.SourceID {
+	var out []lav.SourceID
+	for id, o := range t.obs {
+		if o.Accesses < t.MinAccesses {
+			continue
+		}
+		est := t.cat.Source(id).Stats.Tuples
+		obs := o.ObservedTuples()
+		if obs == 0 {
+			obs = 0.5 // an empty source is maximally mispriced; avoid /0
+		}
+		ratio := est / obs
+		if ratio < 1 {
+			ratio = 1 / ratio
+		}
+		if ratio > t.DriftFactor {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Revise returns a copy of the catalog with drifted sources' statistics
+// replaced by their observations (tuples and failure probability; other
+// statistics are kept). The original catalog is untouched, so estimates
+// and observations remain distinguishable.
+func (t *Tracker) Revise() (*lav.Catalog, error) {
+	out := lav.NewCatalog()
+	drifted := make(map[lav.SourceID]bool)
+	for _, id := range t.Drifted() {
+		drifted[id] = true
+	}
+	for _, src := range t.cat.Sources() {
+		st := src.Stats
+		if drifted[src.ID] {
+			o := t.obs[src.ID]
+			if obs := o.ObservedTuples(); obs >= 1 {
+				st.Tuples = obs
+			} else {
+				st.Tuples = 1
+			}
+			if f := o.ObservedFailureProb(); !math.IsNaN(f) && f < 1 {
+				st.FailureProb = f
+			}
+		}
+		if _, err := out.Add(src.Name, src.Def, st); err != nil {
+			return nil, fmt.Errorf("adaptive: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// Rebase replaces the estimates the tracker compares observations
+// against — call it with the catalog returned by Revise after acting on a
+// drift, so the same drift does not re-trigger on every later check.
+func (t *Tracker) Rebase(cat *lav.Catalog) { t.cat = cat }
+
+// RemainingSpaces removes the executed plans from the initial spaces via
+// the plan-space splitting construction, yielding the spaces a rebuilt
+// orderer should run over. Executed plans not contained in any remaining
+// space are ignored (already split away).
+func RemainingSpaces(initial []*planspace.Space, executed []*planspace.Plan) []*planspace.Space {
+	spaces := append([]*planspace.Space(nil), initial...)
+	for _, p := range executed {
+		srcs := p.Sources()
+		for i, s := range spaces {
+			if !s.Contains(srcs) {
+				continue
+			}
+			subs := s.Remove(srcs)
+			spaces = append(spaces[:i], spaces[i+1:]...)
+			spaces = append(spaces, subs...)
+			break
+		}
+	}
+	return spaces
+}

@@ -1,0 +1,163 @@
+package adaptive
+
+import (
+	"math"
+	"testing"
+
+	"qporder/internal/core"
+	"qporder/internal/costmodel"
+	"qporder/internal/lav"
+	"qporder/internal/planspace"
+	"qporder/internal/workload"
+)
+
+func catalog() *lav.Catalog {
+	cat := lav.NewCatalog()
+	cat.MustAdd("A", nil, lav.Stats{Tuples: 100, TransmitCost: 1, Overhead: 5, FailureProb: 0.1})
+	cat.MustAdd("B", nil, lav.Stats{Tuples: 50, TransmitCost: 1, Overhead: 5})
+	return cat
+}
+
+func TestObservationAccumulates(t *testing.T) {
+	tr := NewTracker(catalog())
+	tr.Record(0, 90, 1)
+	tr.Record(0, 110, 0)
+	o := tr.Observation(0)
+	if o.Accesses != 2 || o.Tuples != 200 {
+		t.Fatalf("observation = %+v", o)
+	}
+	if got := o.ObservedTuples(); got != 100 {
+		t.Errorf("ObservedTuples = %g", got)
+	}
+	if got := o.ObservedFailureProb(); math.Abs(got-1.0/3) > 1e-9 {
+		t.Errorf("ObservedFailureProb = %g", got)
+	}
+	if o := tr.Observation(1); o.Accesses != 0 || !math.IsNaN(o.ObservedTuples()) {
+		t.Errorf("untouched source observation = %+v", o)
+	}
+}
+
+func TestDriftDetection(t *testing.T) {
+	tr := NewTracker(catalog())
+	// Source 0 estimated at 100, observed ~100: no drift.
+	tr.Record(0, 105, 0)
+	// Source 1 estimated at 50, observed 500: 10x drift.
+	tr.Record(1, 500, 0)
+	drifted := tr.Drifted()
+	if len(drifted) != 1 || drifted[0] != 1 {
+		t.Fatalf("Drifted = %v", drifted)
+	}
+	// Tighten the factor: both drift now (105 vs 100 within 1.01? no —
+	// ratio 1.05 > 1.01).
+	tr.DriftFactor = 1.01
+	if len(tr.Drifted()) != 2 {
+		t.Errorf("Drifted with tight factor = %v", tr.Drifted())
+	}
+}
+
+func TestDriftIgnoresEmptyObservations(t *testing.T) {
+	tr := NewTracker(catalog())
+	tr.MinAccesses = 3
+	tr.Record(1, 5000, 0)
+	if len(tr.Drifted()) != 0 {
+		t.Error("drift declared before MinAccesses")
+	}
+}
+
+func TestReviseReplacesDriftedStats(t *testing.T) {
+	tr := NewTracker(catalog())
+	tr.Record(1, 500, 1) // estimate 50 → observed 500, failures 1/2
+	revised, err := tr.Revise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Untouched source keeps its estimate.
+	if got := revised.Source(0).Stats.Tuples; got != 100 {
+		t.Errorf("source A tuples = %g", got)
+	}
+	// Drifted source adopts observations.
+	st := revised.Source(1).Stats
+	if st.Tuples != 500 {
+		t.Errorf("source B tuples = %g, want 500", st.Tuples)
+	}
+	if st.FailureProb != 0.5 {
+		t.Errorf("source B failure = %g, want 0.5", st.FailureProb)
+	}
+	// Original catalog untouched.
+	if got := tr.cat.Source(1).Stats.Tuples; got != 50 {
+		t.Errorf("original mutated: %g", got)
+	}
+}
+
+func TestReviseZeroTuplesClampsToOne(t *testing.T) {
+	tr := NewTracker(catalog())
+	tr.Record(1, 0, 0) // empty source: estimate 50 vs observed 0 → drift
+	revised, err := tr.Revise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := revised.Source(1).Stats.Tuples; got != 1 {
+		t.Errorf("clamped tuples = %g, want 1", got)
+	}
+}
+
+func TestRemainingSpaces(t *testing.T) {
+	d := workload.Generate(workload.Config{QueryLen: 2, BucketSize: 3, Universe: 128, Seed: 2})
+	all := d.Space.Enumerate()
+	executed := []*planspace.Plan{all[0], all[4]}
+	spaces := RemainingSpaces([]*planspace.Space{d.Space}, executed)
+	total := int64(0)
+	seen := map[string]bool{}
+	for _, s := range spaces {
+		total += s.Size()
+		for _, p := range s.Enumerate() {
+			seen[p.Key()] = true
+		}
+	}
+	if total != int64(len(all)-2) {
+		t.Fatalf("remaining %d plans, want %d", total, len(all)-2)
+	}
+	for _, e := range executed {
+		if seen[e.Key()] {
+			t.Errorf("executed plan %s still present", e.Key())
+		}
+	}
+}
+
+// TestAdaptiveReorderingImprovesRanking: end to end — a source whose
+// estimate is badly wrong sinks in the re-built ordering once observed.
+func TestAdaptiveReorderingImprovesRanking(t *testing.T) {
+	cat := lav.NewCatalog()
+	// "Cheap" is estimated tiny but actually returns 5000 tuples.
+	cheap := cat.MustAdd("Cheap", nil, lav.Stats{Tuples: 10, TransmitCost: 1, Overhead: 1})
+	cat.MustAdd("Mid", nil, lav.Stats{Tuples: 500, TransmitCost: 1, Overhead: 1})
+	cat.MustAdd("Rev", nil, lav.Stats{Tuples: 100, TransmitCost: 1, Overhead: 1})
+	space := planspace.NewSpace([][]lav.SourceID{{0, 1}, {2}})
+
+	m := costmodel.NewChainCost(cat, costmodel.Params{N: 1000})
+	pi := core.NewPI([]*planspace.Space{space}, m)
+	first, _, ok := pi.Next()
+	if !ok || first.Sources()[0] != cheap.ID {
+		t.Fatalf("initial ordering should start with Cheap, got %v", first)
+	}
+
+	// Execution observes the truth.
+	tr := NewTracker(cat)
+	tr.Record(cheap.ID, 5000, 0)
+	revised, err := tr.Revise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	remaining := RemainingSpaces([]*planspace.Space{space}, []*planspace.Plan{first})
+	m2 := costmodel.NewChainCost(revised, costmodel.Params{N: 1000})
+	ctx2 := m2.NewContext()
+	ctx2.Observe(first) // maintain the executed prefix
+	pi2 := core.NewPI(remaining, m2)
+	second, _, ok := pi2.Next()
+	if !ok {
+		t.Fatal("no second plan")
+	}
+	if second.Sources()[0] == cheap.ID {
+		t.Error("re-built ordering still prefers the mispriced source")
+	}
+}

@@ -1,0 +1,258 @@
+// Package bitset provides a dense, fixed-capacity bitset used by the
+// coverage model to represent subsets of the synthetic answer universe.
+//
+// All binary operations require operands of identical capacity; this is a
+// programming-error condition and panics, matching the stdlib convention
+// for mismatched lengths (e.g. copy semantics are explicit instead).
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-size bitset. The zero value is unusable; create sets with
+// New. Sets are not safe for concurrent mutation.
+type Set struct {
+	n     int // capacity in bits
+	words []uint64
+}
+
+// New returns a set with capacity n bits, all clear.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	return &Set{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// Len returns the capacity of the set in bits.
+func (s *Set) Len() int { return s.n }
+
+// Add sets bit i.
+func (s *Set) Add(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Remove clears bit i.
+func (s *Set) Remove(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Contains reports whether bit i is set.
+func (s *Set) Contains(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clear clears all bits.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Fill sets all bits in [0, Len).
+func (s *Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+}
+
+// trim zeroes the bits above capacity in the last word.
+func (s *Set) trim() {
+	if s.n%wordBits != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << uint(s.n%wordBits)) - 1
+	}
+}
+
+// Clone returns a deep copy of s.
+func (s *Set) Clone() *Set {
+	c := New(s.n)
+	copy(c.words, s.words)
+	return c
+}
+
+// Copy overwrites s with the contents of other (same capacity required).
+func (s *Set) Copy(other *Set) {
+	s.sameCap(other)
+	copy(s.words, other.words)
+}
+
+func (s *Set) sameCap(other *Set) {
+	if s.n != other.n {
+		panic(fmt.Sprintf("bitset: capacity mismatch %d vs %d", s.n, other.n))
+	}
+}
+
+// UnionWith sets s = s ∪ other.
+func (s *Set) UnionWith(other *Set) {
+	s.sameCap(other)
+	for i, w := range other.words {
+		s.words[i] |= w
+	}
+}
+
+// IntersectWith sets s = s ∩ other.
+func (s *Set) IntersectWith(other *Set) {
+	s.sameCap(other)
+	for i, w := range other.words {
+		s.words[i] &= w
+	}
+}
+
+// DifferenceWith sets s = s \ other.
+func (s *Set) DifferenceWith(other *Set) {
+	s.sameCap(other)
+	for i, w := range other.words {
+		s.words[i] &^= w
+	}
+}
+
+// Union returns a new set s ∪ other.
+func (s *Set) Union(other *Set) *Set {
+	c := s.Clone()
+	c.UnionWith(other)
+	return c
+}
+
+// Intersect returns a new set s ∩ other.
+func (s *Set) Intersect(other *Set) *Set {
+	c := s.Clone()
+	c.IntersectWith(other)
+	return c
+}
+
+// Difference returns a new set s \ other.
+func (s *Set) Difference(other *Set) *Set {
+	c := s.Clone()
+	c.DifferenceWith(other)
+	return c
+}
+
+// IntersectionCount returns |s ∩ other| without allocating.
+func (s *Set) IntersectionCount(other *Set) int {
+	s.sameCap(other)
+	c := 0
+	for i, w := range other.words {
+		c += bits.OnesCount64(s.words[i] & w)
+	}
+	return c
+}
+
+// DifferenceCount returns |s \ other| without allocating.
+func (s *Set) DifferenceCount(other *Set) int {
+	s.sameCap(other)
+	c := 0
+	for i, w := range other.words {
+		c += bits.OnesCount64(s.words[i] &^ w)
+	}
+	return c
+}
+
+// Disjoint reports whether s ∩ other = ∅.
+func (s *Set) Disjoint(other *Set) bool {
+	s.sameCap(other)
+	for i, w := range other.words {
+		if s.words[i]&w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether s ⊆ other.
+func (s *Set) SubsetOf(other *Set) bool {
+	s.sameCap(other)
+	for i, w := range other.words {
+		if s.words[i]&^w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether the two sets have identical contents and capacity.
+func (s *Set) Equal(other *Set) bool {
+	if s.n != other.n {
+		return false
+	}
+	for i, w := range other.words {
+		if s.words[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// Any reports whether at least one bit is set.
+func (s *Set) Any() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ForEach invokes f for each set bit in ascending order. If f returns
+// false, iteration stops.
+func (s *Set) ForEach(f func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !f(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Elems returns the indices of all set bits in ascending order.
+func (s *Set) Elems() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// String renders the set as "{1, 5, 9}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

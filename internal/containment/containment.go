@@ -1,0 +1,93 @@
+// Package containment decides conjunctive-query containment via
+// containment mappings (Chandra & Merlin). The bucket algorithm uses it as
+// the soundness test: a candidate plan is sound iff its expansion is
+// contained in the user query.
+//
+// Q1 ⊆ Q2 holds iff there is a homomorphism h from the terms of Q2 to the
+// terms of Q1 such that h maps Q2's head to Q1's head and every body atom
+// of Q2 to some body atom of Q1. Constants must map to themselves.
+package containment
+
+import "qporder/internal/schema"
+
+// Contains reports whether q1 ⊆ q2, i.e. every answer of q1 (on every
+// database) is an answer of q2. Head arities must match; mismatched heads
+// are simply not contained.
+func Contains(q1, q2 *schema.Query) bool {
+	if len(q1.Head) != len(q2.Head) {
+		return false
+	}
+	// Rename apart so variable names never collide: the mapping's domain is
+	// q2's variables, its range is q1's terms.
+	q2 = q2.Rename("_c2")
+	q1 = q1.Rename("_c1")
+
+	// Seed the homomorphism with the head constraint h(head2[i]) = head1[i].
+	h := make(schema.Subst)
+	for i := range q2.Head {
+		t2 := q2.Head[i]
+		t1 := q1.Head[i]
+		if t2.Const {
+			if t2 != t1 {
+				return false
+			}
+			continue
+		}
+		if img, ok := h[t2]; ok {
+			if img != t1 {
+				return false
+			}
+			continue
+		}
+		h[t2] = t1
+	}
+	return mapAtoms(q2.Body, q1.Body, h)
+}
+
+// Equivalent reports whether q1 and q2 are equivalent (mutual containment).
+func Equivalent(q1, q2 *schema.Query) bool {
+	return Contains(q1, q2) && Contains(q2, q1)
+}
+
+// mapAtoms extends h so every atom in src maps into some atom of dst.
+// Backtracking search over candidate target atoms, pruned by predicate.
+func mapAtoms(src, dst []schema.Atom, h schema.Subst) bool {
+	if len(src) == 0 {
+		return true
+	}
+	a := src[0]
+	for _, b := range dst {
+		if ext, ok := mapAtom(a, b, h); ok {
+			if mapAtoms(src[1:], dst, ext) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// mapAtom extends h so h(a) == b, where the range terms of b are treated
+// as rigid (they are q1's terms; no bindings are created for them).
+func mapAtom(a, b schema.Atom, h schema.Subst) (schema.Subst, bool) {
+	if a.Pred != b.Pred || len(a.Args) != len(b.Args) {
+		return nil, false
+	}
+	ext := h.Clone()
+	for i, ta := range a.Args {
+		tb := b.Args[i]
+		if ta.Const {
+			if ta != tb {
+				return nil, false
+			}
+			continue
+		}
+		if img, ok := ext[ta]; ok {
+			if img != tb {
+				return nil, false
+			}
+			continue
+		}
+		ext[ta] = tb
+	}
+	return ext, true
+}

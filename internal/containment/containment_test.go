@@ -1,0 +1,161 @@
+package containment
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qporder/internal/execsim"
+	"qporder/internal/schema"
+)
+
+func q(src string) *schema.Query { return schema.MustParseQuery(src) }
+
+func TestKnownContainments(t *testing.T) {
+	cases := []struct {
+		q1, q2 string
+		want   bool
+	}{
+		// More conditions ⊆ fewer conditions.
+		{"P(A) :- play-in(A, M), american(M)", "Q(A) :- play-in(A, M)", true},
+		{"P(A) :- play-in(A, M)", "Q(A) :- play-in(A, M), american(M)", false},
+		// Identical up to renaming: both directions.
+		{"P(X, Y) :- edge(X, Y)", "Q(U, V) :- edge(U, V)", true},
+		// Constant specializes variable.
+		{"P(M) :- play-in(ford, M)", "Q(M) :- play-in(A, M)", true},
+		{"P(M) :- play-in(A, M)", "Q(M) :- play-in(ford, M)", false},
+		// Existential projection cannot enforce a constant.
+		{"P(A) :- play-in(A, M)", "Q(A) :- play-in(A, starwars)", false},
+		// Transitive-ish pattern: path of length 2 with shared var.
+		{"P(X) :- edge(X, X)", "Q(X) :- edge(X, Y), edge(Y, X)", true},
+		{"P(X) :- edge(X, Y), edge(Y, X)", "Q(X) :- edge(X, X)", false},
+		// Head arity mismatch.
+		{"P(X, Y) :- edge(X, Y)", "Q(X) :- edge(X, Y)", false},
+		// Redundant atom: equivalent queries.
+		{"P(X, Y) :- edge(X, Y), edge(X, Y)", "Q(X, Y) :- edge(X, Y)", true},
+		{"P(X, Y) :- edge(X, Y)", "Q(X, Y) :- edge(X, Y), edge(X, Y)", true},
+	}
+	for _, c := range cases {
+		if got := Contains(q(c.q1), q(c.q2)); got != c.want {
+			t.Errorf("Contains(%s, %s) = %v, want %v", c.q1, c.q2, got, c.want)
+		}
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	a := q("P(X, Y) :- edge(X, Y), edge(X, Y)")
+	b := q("Q(U, V) :- edge(U, V)")
+	if !Equivalent(a, b) {
+		t.Error("redundant-atom query should be equivalent to its core")
+	}
+	c := q("Q(U, V) :- edge(V, U)")
+	if Equivalent(a, c) {
+		t.Error("reversed edge should not be equivalent")
+	}
+}
+
+// randomCQ builds a random conjunctive query over binary relations
+// r0..r2 with variables X0..X3 and constants c0..c2.
+func randomCQ(rng *rand.Rand) *schema.Query {
+	term := func() schema.Term {
+		if rng.Intn(4) == 0 {
+			return schema.Const(fmt.Sprintf("c%d", rng.Intn(3)))
+		}
+		return schema.Var(fmt.Sprintf("X%d", rng.Intn(4)))
+	}
+	n := 1 + rng.Intn(3)
+	body := make([]schema.Atom, n)
+	for i := range body {
+		body[i] = schema.NewAtom(fmt.Sprintf("r%d", rng.Intn(3)), term(), term())
+	}
+	// Head: one variable from the body (guaranteeing safety), or fall back
+	// to a constant head if the body happens to be ground.
+	var vars []schema.Term
+	for _, a := range body {
+		vars = a.Vars(vars)
+	}
+	var head []schema.Term
+	if len(vars) > 0 {
+		head = []schema.Term{vars[rng.Intn(len(vars))]}
+	} else {
+		head = []schema.Term{schema.Const("c0")}
+	}
+	return &schema.Query{Name: "Q", Head: head, Body: body}
+}
+
+// TestContainmentSoundnessOnRandomDatabases is the semantic property: if
+// Contains(q1, q2) then on every database the answers of q1 are a subset
+// of q2's. We check on random databases; any counterexample disproves the
+// homomorphism test.
+func TestContainmentSoundnessOnRandomDatabases(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q1, q2 := randomCQ(rng), randomCQ(rng)
+		if !Contains(q1, q2) {
+			return true // nothing claimed
+		}
+		db := execsim.GenerateWorld(execsim.WorldConfig{
+			Relations: []execsim.RelationSpec{
+				{Name: "r0", Arity: 2}, {Name: "r1", Arity: 2}, {Name: "r2", Arity: 2},
+			},
+			TuplesPerRelation: 6,
+			DomainSize:        3,
+			Seed:              seed,
+		})
+		a1 := execsim.Eval(q1, db)
+		a2 := execsim.NewAnswerSet()
+		a2.Add(execsim.Eval(q2, db))
+		for _, a := range a1 {
+			// Compare on head args only (names differ).
+			probe := schema.Atom{Pred: "Q", Args: a.Args}
+			if !a2.Contains(probe) {
+				t.Logf("q1=%s q2=%s answer %v missing", q1, q2, a)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestContainmentCompletenessOnCanonicalDB: if q1 ⊄ q2 by the
+// homomorphism test, the canonical (frozen) database of q1 must witness
+// an answer of q1 not in q2 — the classic Chandra-Merlin argument run in
+// reverse as an executable check.
+func TestContainmentCompletenessOnCanonicalDB(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q1, q2 := randomCQ(rng), randomCQ(rng)
+		if Contains(q1, q2) {
+			return true
+		}
+		// Freeze q1: variables become fresh constants.
+		frozen := make(schema.Subst)
+		for _, v := range q1.Vars() {
+			frozen[v] = schema.Const("frz_" + v.Name)
+		}
+		db := make(execsim.DB)
+		for _, a := range q1.Body {
+			if err := db.AddAtom(frozen.ApplyAtom(a)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// The frozen head is an answer of q1 on db; q2 must miss it.
+		want := frozen.ApplyAtom(q1.HeadAtom())
+		a2 := execsim.NewAnswerSet()
+		a2.Add(execsim.Eval(q2, db))
+		if a2.Contains(schema.Atom{Pred: "Q", Args: want.Args}) {
+			t.Logf("q1=%s q2=%s: canonical answer found despite non-containment", q1, q2)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"testing"
+
+	"qporder/internal/abstraction"
+	"qporder/internal/costmodel"
+	"qporder/internal/coverage"
+	"qporder/internal/planspace"
+	"qporder/internal/workload"
+)
+
+func testDomain(seed int64, bucket int) *workload.Domain {
+	return testDomainZones(seed, bucket, 3)
+}
+
+func testDomainZones(seed int64, bucket, zones int) *workload.Domain {
+	return workload.Generate(workload.Config{
+		QueryLen: 3, BucketSize: bucket, Universe: 1024, Zones: zones, Seed: seed,
+	})
+}
+
+// TestStreamerRecyclesMoreThanIDrips checks the paper's central
+// comparison: for coverage, Streamer re-evaluates fewer plans than iDrips
+// because it keeps dominance relations across iterations while iDrips
+// rebuilds them.
+func TestStreamerRecyclesMoreThanIDrips(t *testing.T) {
+	d := testDomain(21, 10)
+	heur := abstraction.ByKey("sim", d.SimilarityKey)
+	m := coverage.NewMeasure(d.Coverage)
+	spaces := []*planspace.Space{d.Space}
+
+	s, err := NewStreamer(spaces, m, heur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Take(s, 20)
+	i := NewIDrips(spaces, m, heur)
+	Take(i, 20)
+
+	if s.Context().Evals() >= i.Context().Evals() {
+		t.Errorf("streamer evals %d >= idrips evals %d; recycling broken",
+			s.Context().Evals(), i.Context().Evals())
+	}
+}
+
+// TestAbstractionBeatsBruteForce: for coverage with the similarity
+// heuristic, the first plan is found with far fewer evaluations than the
+// plan-space size (the <4%-of-PI claim, conservatively tested at <50%).
+func TestAbstractionBeatsBruteForce(t *testing.T) {
+	d := testDomain(5, 12)
+	heur := abstraction.ByKey("sim", d.SimilarityKey)
+	m := coverage.NewMeasure(d.Coverage)
+	s, err := NewStreamer([]*planspace.Space{d.Space}, m, heur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Take(s, 1)
+	if int64(s.Context().Evals())*2 > d.Space.Size() {
+		t.Errorf("streamer evaluated %d of %d plans for the first plan",
+			s.Context().Evals(), d.Space.Size())
+	}
+}
+
+// TestStreamerGraphGrowsSlowly: the dominance graph stays far below the
+// plan-space size while producing a prefix of the ordering.
+func TestStreamerGraphBounded(t *testing.T) {
+	d := testDomain(9, 10)
+	m := coverage.NewMeasure(d.Coverage)
+	s, err := NewStreamer([]*planspace.Space{d.Space}, m,
+		abstraction.ByKey("sim", d.SimilarityKey))
+	if err != nil {
+		t.Fatal(err)
+	}
+	Take(s, 10)
+	if int64(s.GraphSize()) >= d.Space.Size() {
+		t.Errorf("graph size %d >= plan space %d", s.GraphSize(), d.Space.Size())
+	}
+}
+
+// TestDripsBestAgainstScan: DripsBest returns the utility-maximal concrete
+// plan for a fresh context.
+func TestDripsBestAgainstScan(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		d := testDomain(seed, 6)
+		m := coverage.NewMeasure(d.Coverage)
+		ctx := m.NewContext()
+		best, u := DripsBest(ctx, []*planspace.Plan{
+			d.Space.Root(abstraction.ByKey("sim", d.SimilarityKey)),
+		})
+		if !best.Concrete() {
+			t.Fatalf("seed %d: abstract winner %s", seed, best.Key())
+		}
+		scan := m.NewContext()
+		max := -1.0
+		for _, p := range d.Space.Enumerate() {
+			if v := scan.Evaluate(p).Lo; v > max {
+				max = v
+			}
+		}
+		if u != max {
+			t.Errorf("seed %d: DripsBest = %g, scan max = %g", seed, u, max)
+		}
+	}
+}
+
+// TestDeterminism: running the same algorithm twice over the same domain
+// yields the identical plan sequence.
+func TestDeterminism(t *testing.T) {
+	d := testDomain(33, 8)
+	heur := abstraction.ByKey("sim", d.SimilarityKey)
+	build := func() map[string]Orderer {
+		m := coverage.NewMeasure(d.Coverage)
+		cm := costmodel.NewChainCost(d.Catalog, costmodel.Params{N: d.Params.N, Failure: true})
+		s1, _ := NewStreamer([]*planspace.Space{d.Space}, m, heur)
+		s2, _ := NewStreamer([]*planspace.Space{d.Space}, cm, abstraction.ByAccessCost(d.Catalog))
+		return map[string]Orderer{
+			"pi-cov":        NewPI([]*planspace.Space{d.Space}, m),
+			"idrips-cov":    NewIDrips([]*planspace.Space{d.Space}, m, heur),
+			"streamer-cov":  s1,
+			"streamer-cost": s2,
+		}
+	}
+	a, b := build(), build()
+	for name := range a {
+		pa, _ := Take(a[name], 15)
+		pb, _ := Take(b[name], 15)
+		if len(pa) != len(pb) {
+			t.Fatalf("%s: lengths differ", name)
+		}
+		for i := range pa {
+			if pa[i].Key() != pb[i].Key() {
+				t.Errorf("%s: position %d differs: %s vs %s", name, i, pa[i].Key(), pb[i].Key())
+				break
+			}
+		}
+	}
+}
+
+// TestGreedyLinearAgainstPI: on the fully monotonic measure the Greedy
+// sequence must match PI's exactly (utilities are unconditional and
+// tie-breaks are shared).
+func TestGreedyLinearAgainstPI(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		d := testDomain(seed, 7)
+		m := costmodel.NewLinearCost(d.Catalog)
+		g, err := NewGreedy([]*planspace.Space{d.Space}, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pi := NewPI([]*planspace.Space{d.Space}, costmodel.NewLinearCost(d.Catalog))
+		gp, gu := Take(g, 25)
+		pp, pu := Take(pi, 25)
+		for i := range gp {
+			if gu[i] != pu[i] {
+				t.Fatalf("seed %d pos %d: greedy u=%g pi u=%g", seed, i, gu[i], pu[i])
+			}
+			if gp[i].Key() != pp[i].Key() {
+				t.Fatalf("seed %d pos %d: greedy %s pi %s", seed, i, gp[i].Key(), pp[i].Key())
+			}
+		}
+	}
+}
+
+// TestGreedyEvaluationCountLinearish: Greedy's evaluations grow like
+// k·n·(spaces), far below the plan-space size.
+func TestGreedyEvaluationCount(t *testing.T) {
+	d := testDomain(3, 40)
+	m := costmodel.NewLinearCost(d.Catalog)
+	g, err := NewGreedy([]*planspace.Space{d.Space}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 30
+	Take(g, k)
+	// Each output splits into <= queryLen sub-spaces, each costing one
+	// evaluation, plus the initial space.
+	limit := 1 + k*d.Space.Len()
+	if g.Context().Evals() > limit {
+		t.Errorf("greedy evals = %d, want <= %d", g.Context().Evals(), limit)
+	}
+}
+
+// TestMultiSpaceOrdering: all algorithms accept several disjoint spaces
+// (the MiniCon integration path) and order across them.
+func TestMultiSpaceOrdering(t *testing.T) {
+	d := testDomain(13, 6)
+	// Split the domain's space into several via removal.
+	all := d.Space.Enumerate()
+	spaces := d.Space.Remove(all[7].Sources())
+	m := coverage.NewMeasure(d.Coverage)
+	heur := abstraction.ByKey("sim", d.SimilarityKey)
+
+	s, err := NewStreamer(spaces, m, heur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, sp := range spaces {
+		total += int(sp.Size())
+	}
+	plans, utils := Take(s, total+1)
+	if len(plans) != total {
+		t.Fatalf("multi-space streamer emitted %d plans, want %d", len(plans), total)
+	}
+	// Validate against replay over the union.
+	ctx := m.NewContext()
+	remaining := make(map[string]*planspace.Plan)
+	for _, sp := range spaces {
+		for _, p := range sp.Enumerate() {
+			remaining[p.Key()] = p
+		}
+	}
+	for i, p := range plans {
+		got := ctx.Evaluate(p).Lo
+		if got != utils[i] {
+			t.Fatalf("pos %d utility mismatch", i)
+		}
+		for _, q := range remaining {
+			if u := ctx.Evaluate(q).Lo; u > got+1e-12 {
+				t.Fatalf("pos %d: %s (%g) beaten by %s (%g)", i, p.Key(), got, q.Key(), u)
+			}
+		}
+		delete(remaining, p.Key())
+		ctx.Observe(p)
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"qporder/internal/costmodel"
+	"qporder/internal/coverage"
+	"qporder/internal/planspace"
+	"qporder/internal/workload"
+)
+
+// TestPIAndExhaustiveProduceIdenticalSequences: both baselines compute the
+// exact ordering with the same tie-break, so their outputs must coincide
+// plan for plan — PI's caching and independence-based recomputation must
+// never change a value.
+func TestPIAndExhaustiveProduceIdenticalSequences(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 25}
+	prop := func(seed int64) bool {
+		d := workload.Generate(workload.Config{
+			QueryLen: 3, BucketSize: 4, Universe: 512, Zones: 3, Seed: seed,
+		})
+		m1 := coverage.NewMeasure(d.Coverage)
+		m2 := coverage.NewMeasure(d.Coverage)
+		pi := NewPI([]*planspace.Space{d.Space}, m1)
+		ex := NewExhaustive([]*planspace.Space{d.Space}, m2)
+		n := int(d.Space.Size())
+		pp, pu := Take(pi, n)
+		ep, eu := Take(ex, n)
+		if len(pp) != len(ep) {
+			return false
+		}
+		for i := range pp {
+			if pp[i].Key() != ep[i].Key() || pu[i] != eu[i] {
+				t.Logf("seed %d pos %d: pi=(%s,%g) ex=(%s,%g)",
+					seed, i, pp[i].Key(), pu[i], ep[i].Key(), eu[i])
+				return false
+			}
+		}
+		// PI must evaluate no more than Exhaustive.
+		if m1.Name() != m2.Name() {
+			return false
+		}
+		return pi.Context().Evals() <= ex.Context().Evals()
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPIRecomputesOnlyDependents: with a fully independent measure, PI
+// performs exactly one evaluation per plan no matter how many plans are
+// emitted.
+func TestPIRecomputesOnlyDependents(t *testing.T) {
+	d := testDomain(17, 6)
+	m := costmodel.NewChainCost(d.Catalog, costmodel.Params{N: d.Params.N, Failure: true})
+	pi := NewPI([]*planspace.Space{d.Space}, m)
+	Take(pi, int(d.Space.Size()))
+	if got, want := pi.Context().Evals(), int(d.Space.Size()); got != want {
+		t.Errorf("PI evals = %d, want %d (one per plan)", got, want)
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"qporder/internal/abstraction"
+	"qporder/internal/costmodel"
+	"qporder/internal/coverage"
+	"qporder/internal/measure"
+	"qporder/internal/planspace"
+	"qporder/internal/workload"
+)
+
+// replayCheck verifies Definition 2.1 for an output sequence: at every
+// step i, the emitted plan's utility (conditioned on the emitted prefix)
+// equals the maximum conditional utility over all remaining plans, and the
+// reported utility matches. It re-derives ground truth with a fresh
+// context, so any bookkeeping bug in the algorithm under test is caught.
+func replayCheck(t *testing.T, space *planspace.Space, m measure.Measure,
+	plans []*planspace.Plan, utils []float64) {
+	t.Helper()
+	ctx := m.NewContext()
+	remaining := make(map[string]*planspace.Plan)
+	for _, p := range space.Enumerate() {
+		remaining[p.Key()] = p
+	}
+	for i, p := range plans {
+		if !p.Concrete() {
+			t.Fatalf("step %d: emitted abstract plan %s", i, p.Key())
+		}
+		if _, ok := remaining[p.Key()]; !ok {
+			t.Fatalf("step %d: plan %s not in remaining set (duplicate or foreign plan)", i, p.Key())
+		}
+		got := ctx.Evaluate(p).Lo
+		if math.Abs(got-utils[i]) > 1e-9 {
+			t.Fatalf("step %d: plan %s reported utility %g, replay says %g", i, p.Key(), utils[i], got)
+		}
+		max := math.Inf(-1)
+		for _, q := range remaining {
+			if u := ctx.Evaluate(q).Lo; u > max {
+				max = u
+			}
+		}
+		if got < max-1e-9 {
+			t.Fatalf("step %d: plan %s has utility %g but a remaining plan has %g", i, p.Key(), got, max)
+		}
+		delete(remaining, p.Key())
+		ctx.Observe(p)
+	}
+}
+
+// measuresFor returns the utility measures to exercise on a domain.
+func measuresFor(d *workload.Domain) []measure.Measure {
+	return []measure.Measure{
+		coverage.NewMeasure(d.Coverage),
+		costmodel.NewLinearCost(d.Catalog),
+		costmodel.NewChainCost(d.Catalog, costmodel.Params{N: d.Params.N}),
+		costmodel.NewChainCost(d.Catalog, costmodel.Params{N: d.Params.N, Failure: true}),
+		costmodel.NewChainCost(d.Catalog, costmodel.Params{N: d.Params.N, Failure: true, Caching: true}),
+		costmodel.NewMonetaryPerTuple(d.Catalog, costmodel.Params{N: d.Params.N}),
+		costmodel.NewMonetaryPerTuple(d.Catalog, costmodel.Params{N: d.Params.N, Caching: true}),
+	}
+}
+
+// orderers builds every applicable orderer for a measure.
+func orderers(d *workload.Domain, m measure.Measure) map[string]Orderer {
+	spaces := []*planspace.Space{d.Space}
+	heur := abstraction.ByKey("cov-sim", d.SimilarityKey)
+	out := map[string]Orderer{
+		"exhaustive": NewExhaustive(spaces, m),
+		"pi":         NewPI(spaces, m),
+		"idrips":     NewIDrips(spaces, m, heur),
+		"idrips-tup": NewIDrips(spaces, m, abstraction.ByTuples(d.Catalog)),
+	}
+	if g, err := NewGreedy(spaces, m); err == nil {
+		out["greedy"] = g
+	}
+	if s, err := NewStreamer(spaces, m, heur); err == nil {
+		out["streamer"] = s
+	}
+	if s, err := NewStreamer(spaces, m, abstraction.ByID()); err == nil {
+		out["streamer-id"] = s
+	}
+	return out
+}
+
+func TestAllAlgorithmsProduceValidOrderings(t *testing.T) {
+	for _, cfg := range []workload.Config{
+		{QueryLen: 2, BucketSize: 4, Universe: 256, Zones: 2, Seed: 1},
+		{QueryLen: 3, BucketSize: 4, Universe: 512, Zones: 3, Seed: 2},
+		{QueryLen: 3, BucketSize: 6, Universe: 512, Zones: 3, Seed: 3},
+		{QueryLen: 4, BucketSize: 3, Universe: 512, Zones: 2, Seed: 4},
+		{QueryLen: 1, BucketSize: 7, Universe: 256, Zones: 3, Seed: 5},
+	} {
+		d := workload.Generate(cfg)
+		total := int(d.Space.Size())
+		for _, m := range measuresFor(d) {
+			for name, o := range orderers(d, m) {
+				plans, utils := Take(o, total+1) // +1 probes exhaustion
+				if len(plans) != total {
+					t.Errorf("cfg=%+v measure=%s alg=%s: emitted %d plans, want %d",
+						cfg, m.Name(), name, len(plans), total)
+					continue
+				}
+				replayCheck(t, d.Space, m, plans, utils)
+				if s, ok := o.(*Streamer); ok && s.Resets() > 0 {
+					t.Errorf("cfg=%+v measure=%s alg=%s: %d defensive graph resets",
+						cfg, m.Name(), name, s.Resets())
+				}
+			}
+		}
+	}
+}
+
+func TestNextAfterExhaustionKeepsReturningFalse(t *testing.T) {
+	d := workload.Generate(workload.Config{QueryLen: 2, BucketSize: 2, Universe: 128, Seed: 9})
+	m := coverage.NewMeasure(d.Coverage)
+	for name, o := range orderers(d, m) {
+		Take(o, int(d.Space.Size()))
+		for i := 0; i < 3; i++ {
+			if _, _, ok := o.Next(); ok {
+				t.Errorf("alg=%s: Next returned ok after exhaustion", name)
+			}
+		}
+	}
+}
+
+func TestGreedyRejectsNonMonotonicMeasure(t *testing.T) {
+	d := workload.Generate(workload.Config{QueryLen: 2, BucketSize: 3, Universe: 128, Seed: 7})
+	if _, err := NewGreedy([]*planspace.Space{d.Space}, coverage.NewMeasure(d.Coverage)); err == nil {
+		t.Fatal("NewGreedy accepted the non-monotonic coverage measure")
+	}
+}
+
+func TestStreamerRejectsNonDiminishingMeasure(t *testing.T) {
+	d := workload.Generate(workload.Config{QueryLen: 2, BucketSize: 3, Universe: 128, Seed: 7})
+	m := costmodel.NewChainCost(d.Catalog, costmodel.Params{N: 1000, Caching: true})
+	if _, err := NewStreamer([]*planspace.Space{d.Space}, m, abstraction.ByTuples(d.Catalog)); err == nil {
+		t.Fatal("NewStreamer accepted a caching measure (no diminishing returns)")
+	}
+}
+
+func TestTakeStopsAtK(t *testing.T) {
+	d := workload.Generate(workload.Config{QueryLen: 2, BucketSize: 4, Universe: 128, Seed: 11})
+	m := coverage.NewMeasure(d.Coverage)
+	plans, utils := Take(NewPI([]*planspace.Space{d.Space}, m), 3)
+	if len(plans) != 3 || len(utils) != 3 {
+		t.Fatalf("Take returned %d plans, %d utils; want 3, 3", len(plans), len(utils))
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"qporder/internal/interval"
+	"qporder/internal/measure"
+	"qporder/internal/planspace"
+)
+
+// dripsCand is one candidate plan in a Drips run.
+type dripsCand struct {
+	p *planspace.Plan
+	u interval.Interval
+}
+
+// DripsBest runs the Drips refinement loop (Section 5.1) over the given
+// abstract root plans and returns the best concrete plan with its
+// utility, conditioned on ctx's executed prefix. Candidates are evaluated
+// as intervals; dominated candidates (Lo(p) >= Hi(q)) are eliminated
+// without evaluating their concrete plans; the most promising abstract
+// candidate (highest upper bound) is refined each round.
+//
+// roots must be non-empty and collectively non-empty; the winner always
+// exists.
+func DripsBest(ctx measure.Context, roots []*planspace.Plan) (*planspace.Plan, float64) {
+	cands := make([]*dripsCand, 0, len(roots))
+	for _, r := range roots {
+		cands = append(cands, &dripsCand{p: r, u: ctx.Evaluate(r)})
+	}
+	for {
+		cands = pruneDominated(cands)
+		// Termination: a single concrete candidate, or only concrete
+		// candidates left (ties).
+		allConcrete := true
+		for _, c := range cands {
+			if !c.p.Concrete() {
+				allConcrete = false
+				break
+			}
+		}
+		if allConcrete {
+			best := cands[0]
+			for _, c := range cands[1:] {
+				if better(c.u.Lo, c.p.Key(), best.u.Lo, best.p.Key()) {
+					best = c
+				}
+			}
+			return best.p, best.u.Lo
+		}
+		// Refine the most promising abstract candidate.
+		ri := -1
+		for i, c := range cands {
+			if c.p.Concrete() {
+				continue
+			}
+			if ri < 0 || refineBefore(c, cands[ri]) {
+				ri = i
+			}
+		}
+		target := cands[ri]
+		cands = append(cands[:ri], cands[ri+1:]...)
+		for _, ch := range target.p.Refine() {
+			cands = append(cands, &dripsCand{p: ch, u: ctx.Evaluate(ch)})
+		}
+	}
+}
+
+// refineBefore orders refinement priority: higher upper bound first, then
+// wider interval, then key (deterministic).
+func refineBefore(a, b *dripsCand) bool {
+	if a.u.Hi != b.u.Hi {
+		return a.u.Hi > b.u.Hi
+	}
+	if a.u.Width() != b.u.Width() {
+		return a.u.Width() > b.u.Width()
+	}
+	return a.p.Key() < b.p.Key()
+}
+
+// pruneDominated removes every candidate dominated by the candidate with
+// the maximum lower bound (the only candidate that can dominate others en
+// masse; pairwise checks against non-maximal candidates are subsumed).
+func pruneDominated(cands []*dripsCand) []*dripsCand {
+	if len(cands) <= 1 {
+		return cands
+	}
+	w := cands[0]
+	for _, c := range cands[1:] {
+		if c.u.Lo > w.u.Lo || (c.u.Lo == w.u.Lo && c.p.Key() < w.p.Key()) {
+			w = c
+		}
+	}
+	out := cands[:0]
+	for _, c := range cands {
+		if c == w || !dominates(w.u, c.u, w.p.Key(), c.p.Key()) {
+			out = append(out, c)
+		}
+	}
+	return out
+}

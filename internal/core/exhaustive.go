@@ -1,0 +1,50 @@
+package core
+
+import (
+	"qporder/internal/measure"
+	"qporder/internal/planspace"
+)
+
+// Exhaustive is the naive reference orderer: it materializes every
+// concrete plan and, for each Next call, re-evaluates every remaining
+// plan's conditional utility and returns the maximum. It is correct for
+// every utility measure and serves as the ground truth in tests.
+type Exhaustive struct {
+	ctx     measure.Context
+	remain  []*planspace.Plan
+	started bool
+}
+
+// NewExhaustive builds the orderer over the concrete plans of the given
+// spaces.
+func NewExhaustive(spaces []*planspace.Space, m measure.Measure) *Exhaustive {
+	var plans []*planspace.Plan
+	for _, s := range spaces {
+		plans = append(plans, s.Enumerate()...)
+	}
+	return &Exhaustive{ctx: m.NewContext(), remain: plans}
+}
+
+// Context implements Orderer.
+func (e *Exhaustive) Context() measure.Context { return e.ctx }
+
+// Next implements Orderer.
+func (e *Exhaustive) Next() (*planspace.Plan, float64, bool) {
+	if len(e.remain) == 0 {
+		return nil, 0, false
+	}
+	bestIdx := -1
+	bestU := 0.0
+	for i, p := range e.remain {
+		u := e.ctx.Evaluate(p).Lo // concrete: point
+		if bestIdx < 0 || better(u, p.Key(), bestU, e.remain[bestIdx].Key()) {
+			bestIdx, bestU = i, u
+		}
+	}
+	d := e.remain[bestIdx]
+	e.remain = append(e.remain[:bestIdx], e.remain[bestIdx+1:]...)
+	e.ctx.Observe(d)
+	return d, bestU, true
+}
+
+var _ Orderer = (*Exhaustive)(nil)

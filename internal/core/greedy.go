@@ -1,0 +1,115 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"qporder/internal/abstraction"
+	"qporder/internal/lav"
+	"qporder/internal/measure"
+	"qporder/internal/planspace"
+)
+
+// Greedy is the Section 4 algorithm for fully monotonic utility measures.
+// Each plan space keeps its buckets sorted best-first, so its best plan is
+// the tuple of first sources. A priority queue over spaces yields the
+// global best plan; removing it splits its space by the recursive
+// splitting construction (Figure 2), and the sub-spaces' best plans enter
+// the queue. Each Next is O(n·m·log k) after an O(n·m·log m) setup.
+//
+// Greedy requires the measure to be fully monotonic; the fully monotonic
+// measures in this codebase are also fully plan-independent, so per-bucket
+// orders never change as plans execute.
+type Greedy struct {
+	ctx measure.Context
+	m   measure.Measure
+	pq  spaceHeap
+}
+
+// spaceEntry is one plan space with its best plan's utility.
+type spaceEntry struct {
+	space *planspace.Space // buckets stored best-first
+	best  *planspace.Plan
+	util  float64
+}
+
+type spaceHeap []*spaceEntry
+
+func (h spaceHeap) Len() int { return len(h) }
+func (h spaceHeap) Less(i, j int) bool {
+	return better(h[i].util, h[i].best.Key(), h[j].util, h[j].best.Key())
+}
+func (h spaceHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *spaceHeap) Push(x interface{}) { *h = append(*h, x.(*spaceEntry)) }
+func (h *spaceHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NewGreedy builds the orderer. It returns an error if the measure is not
+// fully monotonic (Greedy would produce a wrong ordering).
+func NewGreedy(spaces []*planspace.Space, m measure.Measure) (*Greedy, error) {
+	if !m.FullyMonotonic() {
+		return nil, fmt.Errorf("core: Greedy requires a fully monotonic measure, %s is not", m.Name())
+	}
+	g := &Greedy{ctx: m.NewContext(), m: m}
+	for _, s := range spaces {
+		ordered, err := orderSpace(s, m)
+		if err != nil {
+			return nil, err
+		}
+		g.pq = append(g.pq, g.entryFor(ordered))
+	}
+	heap.Init(&g.pq)
+	return g, nil
+}
+
+// orderSpace returns a copy of the space with every bucket sorted
+// best-first by the measure's per-bucket total order.
+func orderSpace(s *planspace.Space, m measure.Measure) (*planspace.Space, error) {
+	buckets := make([][]lav.SourceID, s.Len())
+	for i, b := range s.Buckets {
+		ordered, ok := m.BucketOrder(i, b)
+		if !ok {
+			return nil, fmt.Errorf("core: measure %s has no total order for bucket %d", m.Name(), i)
+		}
+		buckets[i] = ordered
+	}
+	return &planspace.Space{Buckets: buckets}, nil
+}
+
+// entryFor evaluates the space's best plan (the tuple of first sources;
+// buckets must already be sorted best-first) and wraps it as a queue entry.
+func (g *Greedy) entryFor(s *planspace.Space) *spaceEntry {
+	nodes := make([]*abstraction.Node, s.Len())
+	for i, b := range s.Buckets {
+		nodes[i] = &abstraction.Node{Bucket: i, Sources: []lav.SourceID{b[0]}}
+	}
+	best := planspace.New(nodes...)
+	util := g.ctx.Evaluate(best).Lo
+	return &spaceEntry{space: s, best: best, util: util}
+}
+
+// Context implements Orderer.
+func (g *Greedy) Context() measure.Context { return g.ctx }
+
+// Next implements Orderer.
+func (g *Greedy) Next() (*planspace.Plan, float64, bool) {
+	if g.pq.Len() == 0 {
+		return nil, 0, false
+	}
+	top := heap.Pop(&g.pq).(*spaceEntry)
+	d := top.best
+	g.ctx.Observe(d)
+	// Splitting preserves the best-first bucket order: Remove keeps the
+	// relative order of remaining sources and pins prefixes to singletons.
+	for _, sub := range top.space.Remove(d.Sources()) {
+		heap.Push(&g.pq, g.entryFor(sub))
+	}
+	return d, top.util, true
+}
+
+var _ Orderer = (*Greedy)(nil)

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"qporder/internal/measure"
+	"qporder/internal/planspace"
+)
+
+// PI is the best brute-force baseline of Section 6: it computes the exact
+// ordering but uses plan-independence information to recompute, after
+// each output, only the utilities of plans that may have changed. All
+// other cached utilities remain valid.
+type PI struct {
+	ctx     measure.Context
+	plans   []*planspace.Plan
+	utils   []float64
+	alive   []bool
+	nAlive  int
+	started bool
+}
+
+// NewPI builds the orderer over the concrete plans of the given spaces.
+func NewPI(spaces []*planspace.Space, m measure.Measure) *PI {
+	var plans []*planspace.Plan
+	for _, s := range spaces {
+		plans = append(plans, s.Enumerate()...)
+	}
+	return &PI{
+		ctx:    m.NewContext(),
+		plans:  plans,
+		utils:  make([]float64, len(plans)),
+		alive:  make([]bool, len(plans)),
+		nAlive: len(plans),
+	}
+}
+
+// Context implements Orderer.
+func (pi *PI) Context() measure.Context { return pi.ctx }
+
+// Next implements Orderer.
+func (pi *PI) Next() (*planspace.Plan, float64, bool) {
+	if !pi.started {
+		pi.started = true
+		for i, p := range pi.plans {
+			pi.utils[i] = pi.ctx.Evaluate(p).Lo
+			pi.alive[i] = true
+		}
+	}
+	if pi.nAlive == 0 {
+		return nil, 0, false
+	}
+	bestIdx := -1
+	for i, a := range pi.alive {
+		if !a {
+			continue
+		}
+		if bestIdx < 0 || better(pi.utils[i], pi.plans[i].Key(), pi.utils[bestIdx], pi.plans[bestIdx].Key()) {
+			bestIdx = i
+		}
+	}
+	d := pi.plans[bestIdx]
+	u := pi.utils[bestIdx]
+	pi.alive[bestIdx] = false
+	pi.nAlive--
+	pi.ctx.Observe(d)
+	// Recompute only plans whose utility may have changed.
+	for i, a := range pi.alive {
+		if !a {
+			continue
+		}
+		if !pi.ctx.Independent(pi.plans[i], d) {
+			pi.utils[i] = pi.ctx.Evaluate(pi.plans[i]).Lo
+		}
+	}
+	return d, u, true
+}
+
+var _ Orderer = (*PI)(nil)

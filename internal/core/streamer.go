@@ -1,0 +1,291 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"qporder/internal/abstraction"
+	"qporder/internal/dominance"
+	"qporder/internal/interval"
+	"qporder/internal/measure"
+	"qporder/internal/planspace"
+)
+
+// Streamer is the Figure 5 algorithm. It abstracts sources once, then
+// maintains a dominance graph across Next calls: links record dominance
+// relations; each link's E(p,q) set tracks the plans output since the
+// link was created; after outputting a plan d, a link q→q' survives iff
+// some concrete plan in q is independent of every plan in E(q,q') ∪ {d}
+// (then, by utility-diminishing returns, q still dominates q'). Surviving
+// relations are the recycled work that makes Streamer cheaper than iDrips.
+//
+// Implementation note (semantics-preserving scheduling): instead of the
+// paper's all-pairs link creation per loop iteration (Step 2.b), links
+// are created (a) in one sweep from the maximum-lower-bound plan w after
+// each output and (b) lazily, when a dominated plan surfaces as the most
+// promising refinement candidate. Dominance by any nondominated plan is
+// subsumed by dominance by w (Lo(w) >= Lo(a) >= Hi(b)), so the dominated
+// set is the same; only the time at which a link is recorded differs,
+// and a link is always created between two currently nondominated plans,
+// exactly as in Step 2.b.
+//
+// Streamer requires the measure to satisfy utility-diminishing returns.
+type Streamer struct {
+	ctx     measure.Context
+	g       *dominance.Graph
+	spaces  []*planspace.Space
+	heur    abstraction.Heuristic
+	started bool
+	dirty   bool // graph state changed since heaps were built
+	resets  int
+
+	linksRecycled int // link validity checks that succeeded (link kept)
+	linksDropped  int // link validity checks that failed (link removed)
+
+	lo planHeap // max (Lo, key): candidate incumbent w
+	hi planHeap // max (Hi, width, key): refinement candidates
+}
+
+// entry is a lazy-heap element with the utility snapshot at push time; an
+// entry is stale when the plan left the graph, became dominated, or had
+// its utility recomputed.
+type entry struct {
+	p *planspace.Plan
+	u interval.Interval
+}
+
+// planHeap is a max-heap of entries; byLo selects the ordering.
+type planHeap struct {
+	es   []entry
+	byLo bool
+}
+
+func (h *planHeap) Len() int      { return len(h.es) }
+func (h *planHeap) Swap(i, j int) { h.es[i], h.es[j] = h.es[j], h.es[i] }
+func (h *planHeap) Less(i, j int) bool {
+	a, b := h.es[i], h.es[j]
+	if h.byLo {
+		return better(a.u.Lo, a.p.Key(), b.u.Lo, b.p.Key())
+	}
+	if a.u.Hi != b.u.Hi {
+		return a.u.Hi > b.u.Hi
+	}
+	if a.u.Width() != b.u.Width() {
+		return a.u.Width() > b.u.Width()
+	}
+	return a.p.Key() < b.p.Key()
+}
+func (h *planHeap) Push(x interface{}) { h.es = append(h.es, x.(entry)) }
+func (h *planHeap) Pop() interface{} {
+	old := h.es
+	n := len(old)
+	x := old[n-1]
+	h.es = old[:n-1]
+	return x
+}
+
+// NewStreamer builds the orderer. It returns an error if the measure does
+// not satisfy utility-diminishing returns (recycled dominance links would
+// be unsound, e.g. for the caching cost measures).
+func NewStreamer(spaces []*planspace.Space, m measure.Measure, heur abstraction.Heuristic) (*Streamer, error) {
+	if !m.DiminishingReturns() {
+		return nil, fmt.Errorf("core: Streamer requires utility-diminishing returns, %s lacks it", m.Name())
+	}
+	return &Streamer{
+		ctx:    m.NewContext(),
+		g:      dominance.New(),
+		spaces: append([]*planspace.Space(nil), spaces...),
+		heur:   heur,
+		lo:     planHeap{byLo: true},
+		dirty:  true,
+	}, nil
+}
+
+// Context implements Orderer.
+func (s *Streamer) Context() measure.Context { return s.ctx }
+
+// Resets returns how many defensive graph resets occurred (expected 0;
+// exported for tests and experiment sanity checks).
+func (s *Streamer) Resets() int { return s.resets }
+
+// GraphSize returns the current number of plans in the dominance graph.
+func (s *Streamer) GraphSize() int { return s.g.Len() }
+
+// LinkStats returns how many dominance-link validity checks kept the link
+// (recycled work, the paper's key saving over iDrips) versus removed it.
+func (s *Streamer) LinkStats() (recycled, dropped int) {
+	return s.linksRecycled, s.linksDropped
+}
+
+// fresh reports whether a heap entry still describes a live, nondominated
+// plan with an unchanged utility.
+func (s *Streamer) fresh(e entry) bool {
+	if !s.g.Has(e.p) || s.g.Dominated(e.p) {
+		return false
+	}
+	u, ok := s.g.Utility(e.p)
+	return ok && u == e.u
+}
+
+// push records a plan with its current utility on both heaps.
+func (s *Streamer) push(p *planspace.Plan, u interval.Interval) {
+	heap.Push(&s.lo, entry{p, u})
+	heap.Push(&s.hi, entry{p, u})
+}
+
+// evaluate computes and caches the utility of p, pushing heap entries.
+func (s *Streamer) evaluate(p *planspace.Plan) interval.Interval {
+	u := s.ctx.Evaluate(p)
+	s.g.SetUtility(p, u)
+	s.push(p, u)
+	return u
+}
+
+// rebuild re-establishes the invariant after an output (or at start):
+// every nondominated plan has a current utility, the incumbent sweep
+// links w to the plans it dominates (Step 2.b's effect), and the heaps
+// reflect the frontier.
+func (s *Streamer) rebuild() {
+	s.lo.es = s.lo.es[:0]
+	s.hi.es = s.hi.es[:0]
+	nd := s.g.Nondominated()
+	if len(nd) == 0 && s.g.Len() > 0 {
+		// Defensive fallback: stale links formed a cycle (not expected; see
+		// the acyclicity argument in DESIGN.md). Dropping all links is
+		// conservative — links only prune work — so correctness is
+		// preserved at the price of recomputation.
+		s.resets++
+		s.g.ClearLinks()
+		s.g.EachPlan(func(p *planspace.Plan) { s.g.Invalidate(p) })
+		nd = s.g.Nondominated()
+	}
+	// Step 2.a: (re)compute utilities of nondominated plans.
+	var w *planspace.Plan
+	var uw interval.Interval
+	for _, p := range nd {
+		u, ok := s.g.Utility(p)
+		if !ok {
+			u = s.ctx.Evaluate(p)
+			s.g.SetUtility(p, u)
+		}
+		if w == nil || better(u.Lo, p.Key(), uw.Lo, w.Key()) {
+			w, uw = p, u
+		}
+	}
+	// Step 2.b sweep from the incumbent.
+	for _, p := range nd {
+		if p == w {
+			continue
+		}
+		u, _ := s.g.Utility(p)
+		if dominates(uw, u, w.Key(), p.Key()) {
+			if !s.g.HasLink(w, p) {
+				s.g.AddLink(w, p)
+			}
+			continue
+		}
+		s.push(p, u)
+	}
+	if w != nil {
+		s.push(w, uw)
+	}
+	s.dirty = false
+}
+
+// Next implements Orderer, following Figure 5's loop.
+func (s *Streamer) Next() (*planspace.Plan, float64, bool) {
+	if !s.started {
+		// Step 1: abstract each space once; its root is the top plan.
+		s.started = true
+		for _, sp := range s.spaces {
+			s.g.Add(sp.Root(s.heur))
+		}
+	}
+	for s.g.Len() > 0 {
+		if s.dirty {
+			s.rebuild()
+			continue
+		}
+		// Incumbent w: valid top of the Lo heap.
+		var w *planspace.Plan
+		var uw interval.Interval
+		for s.lo.Len() > 0 {
+			top := s.lo.es[0]
+			if !s.fresh(top) {
+				heap.Pop(&s.lo)
+				continue
+			}
+			w, uw = top.p, top.u
+			break
+		}
+		if w == nil {
+			s.dirty = true
+			continue
+		}
+		// Most promising candidate: valid top of the Hi heap.
+		var t *planspace.Plan
+		var ut interval.Interval
+		for s.hi.Len() > 0 {
+			top := s.hi.es[0]
+			if !s.fresh(top) {
+				heap.Pop(&s.hi)
+				continue
+			}
+			t, ut = top.p, top.u
+			break
+		}
+		if t == nil {
+			s.dirty = true
+			continue
+		}
+		// Lazily record dominance discovered at the heap top (Step 2.b).
+		if t != w && dominates(uw, ut, w.Key(), t.Key()) {
+			heap.Pop(&s.hi)
+			if !s.g.HasLink(w, t) {
+				s.g.AddLink(w, t)
+			}
+			continue
+		}
+		// Step 2.c: refine the candidate if it is abstract.
+		if !t.Concrete() {
+			heap.Pop(&s.hi)
+			s.g.Remove(t)
+			for _, ch := range t.Refine() {
+				s.g.Add(ch)
+				s.evaluate(ch)
+			}
+			continue
+		}
+		// t is concrete with the maximum upper bound, so no nondominated
+		// abstract plan remains (any such plan would have Hi > Lo(t) =
+		// Hi(t), contradicting t's maximality). Step 2.d: output.
+		d, ud := t, ut
+		if better(uw.Lo, w.Key(), ut.Lo, t.Key()) {
+			d, ud = w, uw
+		}
+		s.g.Remove(d)
+		s.ctx.Observe(d)
+		// Recheck every remaining link: survive iff a concrete plan in the
+		// dominating side is independent of all removed plans so far.
+		for _, l := range s.g.Links() {
+			if s.ctx.IndependentWitness(l.From, append(l.E, d)) {
+				l.E = append(l.E, d)
+				s.linksRecycled++
+			} else {
+				s.g.RemoveLink(l)
+				s.linksDropped++
+			}
+		}
+		// Invalidate utilities of plans not independent of d.
+		s.g.EachPlan(func(e *planspace.Plan) {
+			if !s.ctx.Independent(e, d) {
+				s.g.Invalidate(e)
+			}
+		})
+		s.dirty = true
+		return d, ud.Lo, true
+	}
+	return nil, 0, false
+}
+
+var _ Orderer = (*Streamer)(nil)

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"qporder/internal/abstraction"
+	"qporder/internal/costmodel"
+	"qporder/internal/coverage"
+	"qporder/internal/planspace"
+)
+
+// TestStreamerRecyclesAllLinksUnderFullIndependence: with the no-caching
+// cost measure, every plan pair is independent, so every link validity
+// check must succeed — Streamer recycles everything.
+func TestStreamerRecyclesAllLinksUnderFullIndependence(t *testing.T) {
+	d := testDomain(3, 8)
+	m := costmodel.NewChainCost(d.Catalog, costmodel.Params{N: d.Params.N, Failure: true})
+	s, err := NewStreamer([]*planspace.Space{d.Space}, m, abstraction.ByAccessCost(d.Catalog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	Take(s, 30)
+	recycled, dropped := s.LinkStats()
+	if dropped != 0 {
+		t.Errorf("dropped %d links under full independence", dropped)
+	}
+	if recycled == 0 {
+		t.Error("no links recycled at all; the mechanism is dead")
+	}
+}
+
+// TestStreamerRecyclingDegradesWithOverlap: for coverage, higher overlap
+// (fewer zones) invalidates a larger fraction of links — the mechanism
+// behind the paper's overlap-rate discussion.
+func TestStreamerRecyclingDegradesWithOverlap(t *testing.T) {
+	frac := func(zones int) float64 {
+		d := testDomainZones(5, 10, zones)
+		m := coverage.NewMeasure(d.Coverage)
+		s, err := NewStreamer([]*planspace.Space{d.Space}, m,
+			abstraction.ByKey("sim", d.SimilarityKey))
+		if err != nil {
+			t.Fatal(err)
+		}
+		Take(s, 25)
+		recycled, dropped := s.LinkStats()
+		if recycled+dropped == 0 {
+			return 1
+		}
+		return float64(recycled) / float64(recycled+dropped)
+	}
+	low := frac(6)  // overlap ≈ 0.17
+	high := frac(1) // overlap = 1
+	if high >= low {
+		t.Errorf("recycling fraction did not degrade: overlap-low %.2f vs overlap-high %.2f", low, high)
+	}
+}
+
+// TestStreamerEvalsGrowWithOverlap: with everything overlapping, each
+// output invalidates more utilities, so the work grows.
+func TestStreamerEvalsGrowWithOverlap(t *testing.T) {
+	evals := func(zones int) int {
+		d := testDomainZones(9, 10, zones)
+		m := coverage.NewMeasure(d.Coverage)
+		s, err := NewStreamer([]*planspace.Space{d.Space}, m,
+			abstraction.ByKey("sim", d.SimilarityKey))
+		if err != nil {
+			t.Fatal(err)
+		}
+		Take(s, 25)
+		return s.Context().Evals()
+	}
+	if e1, e6 := evals(1), evals(6); e1 <= e6 {
+		t.Errorf("evals at overlap=1 (%d) <= evals at overlap≈0.17 (%d)", e1, e6)
+	}
+}

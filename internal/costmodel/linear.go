@@ -1,0 +1,88 @@
+package costmodel
+
+import (
+	"qporder/internal/interval"
+	"qporder/internal/lav"
+	"qporder/internal/measure"
+	"qporder/internal/planspace"
+)
+
+// LinearCost is cost measure (1) of Section 3:
+//
+//	cost(p) = Σᵢ (hᵢ + αᵢ·nᵢ)
+//
+// a linear combination of independent per-source terms, hence fully
+// monotonic: Greedy applies. Utilities are plan-independent, so the
+// measure trivially satisfies diminishing returns as well.
+type LinearCost struct {
+	cat *lav.Catalog
+}
+
+// NewLinearCost returns the measure over the given catalog.
+func NewLinearCost(cat *lav.Catalog) *LinearCost { return &LinearCost{cat: cat} }
+
+// Name implements measure.Measure.
+func (m *LinearCost) Name() string { return "linear-cost" }
+
+// FullyMonotonic implements measure.Measure.
+func (m *LinearCost) FullyMonotonic() bool { return true }
+
+// DiminishingReturns implements measure.Measure.
+func (m *LinearCost) DiminishingReturns() bool { return true }
+
+// term is one source's cost contribution h + α·n.
+func (m *LinearCost) term(id lav.SourceID) float64 {
+	st := m.cat.Source(id).Stats
+	return st.Overhead + st.TransmitCost*st.Tuples
+}
+
+// BucketOrder implements measure.Measure: lowest per-source cost first.
+func (m *LinearCost) BucketOrder(_ int, sources []lav.SourceID) ([]lav.SourceID, bool) {
+	return sortBestFirst(sources, m.term), true
+}
+
+// NewContext implements measure.Measure.
+func (m *LinearCost) NewContext() measure.Context { return &linearCtx{m: m} }
+
+type linearCtx struct {
+	measure.Base
+	m *LinearCost
+}
+
+func (c *linearCtx) Measure() measure.Measure { return c.m }
+
+// Evaluate implements measure.Context: the negated sum of per-position
+// term hulls.
+func (c *linearCtx) Evaluate(p *planspace.Plan) interval.Interval {
+	c.CountEval()
+	total := interval.Point(0)
+	for _, node := range p.Nodes {
+		lo := c.m.term(node.Sources[0])
+		hi := lo
+		for _, s := range node.Sources[1:] {
+			t := c.m.term(s)
+			if t < lo {
+				lo = t
+			}
+			if t > hi {
+				hi = t
+			}
+		}
+		total = total.Add(interval.New(lo, hi))
+	}
+	return total.Neg()
+}
+
+// Observe implements measure.Context; utilities are unconditional.
+func (c *linearCtx) Observe(d *planspace.Plan) { c.Record(d) }
+
+// Independent implements measure.Context: always independent.
+func (c *linearCtx) Independent(_, _ *planspace.Plan) bool { return true }
+
+// IndependentWitness implements measure.Context: always true.
+func (c *linearCtx) IndependentWitness(_ *planspace.Plan, _ []*planspace.Plan) bool {
+	return true
+}
+
+var _ measure.Measure = (*LinearCost)(nil)
+var _ measure.Context = (*linearCtx)(nil)

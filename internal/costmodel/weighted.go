@@ -1,0 +1,129 @@
+package costmodel
+
+import (
+	"fmt"
+	"strings"
+
+	"qporder/internal/interval"
+	"qporder/internal/lav"
+	"qporder/internal/measure"
+	"qporder/internal/planspace"
+)
+
+// Weighted combines component measures linearly, as in Example 1.2's
+// u(p) = α·coverage(p) + β·cost(p). Weights must be non-negative (the
+// component measures already orient utility so higher is better; to trade
+// off against a cost, combine with a cost measure whose utility is the
+// negated cost).
+type Weighted struct {
+	name       string
+	components []Component
+}
+
+// Component pairs a measure with its weight.
+type Component struct {
+	Measure measure.Measure
+	Weight  float64
+}
+
+// NewWeighted builds the combination. At least one component is required.
+func NewWeighted(name string, components ...Component) *Weighted {
+	if len(components) == 0 {
+		panic("costmodel: Weighted needs at least one component")
+	}
+	for _, c := range components {
+		if c.Weight < 0 {
+			panic(fmt.Sprintf("costmodel: negative weight %g for %s", c.Weight, c.Measure.Name()))
+		}
+	}
+	if name == "" {
+		names := make([]string, len(components))
+		for i, c := range components {
+			names[i] = fmt.Sprintf("%g*%s", c.Weight, c.Measure.Name())
+		}
+		name = strings.Join(names, "+")
+	}
+	return &Weighted{name: name, components: components}
+}
+
+// Name implements measure.Measure.
+func (m *Weighted) Name() string { return m.name }
+
+// FullyMonotonic implements measure.Measure. A weighted sum of fully
+// monotonic measures is fully monotonic only if their per-bucket orders
+// compose, which does not hold in general; we conservatively report false.
+func (m *Weighted) FullyMonotonic() bool { return false }
+
+// DiminishingReturns implements measure.Measure: a non-negative
+// combination of diminishing-returns measures is diminishing.
+func (m *Weighted) DiminishingReturns() bool {
+	for _, c := range m.components {
+		if !c.Measure.DiminishingReturns() {
+			return false
+		}
+	}
+	return true
+}
+
+// BucketOrder implements measure.Measure.
+func (m *Weighted) BucketOrder(int, []lav.SourceID) ([]lav.SourceID, bool) {
+	return nil, false
+}
+
+// NewContext implements measure.Measure.
+func (m *Weighted) NewContext() measure.Context {
+	subs := make([]measure.Context, len(m.components))
+	for i, c := range m.components {
+		subs[i] = c.Measure.NewContext()
+	}
+	return &weightedCtx{m: m, subs: subs}
+}
+
+type weightedCtx struct {
+	measure.Base
+	m    *Weighted
+	subs []measure.Context
+}
+
+func (c *weightedCtx) Measure() measure.Measure { return c.m }
+
+// Evaluate implements measure.Context as the weighted interval sum.
+func (c *weightedCtx) Evaluate(p *planspace.Plan) interval.Interval {
+	c.CountEval()
+	total := interval.Point(0)
+	for i, sub := range c.subs {
+		total = total.Add(sub.Evaluate(p).Scale(c.m.components[i].Weight))
+	}
+	return total
+}
+
+// Observe implements measure.Context.
+func (c *weightedCtx) Observe(d *planspace.Plan) {
+	c.Record(d)
+	for _, sub := range c.subs {
+		sub.Observe(d)
+	}
+}
+
+// Independent implements measure.Context: sound iff independent under
+// every component.
+func (c *weightedCtx) Independent(p, d *planspace.Plan) bool {
+	for _, sub := range c.subs {
+		if !sub.Independent(p, d) {
+			return false
+		}
+	}
+	return true
+}
+
+// IndependentWitness implements measure.Context. Component witnesses may
+// differ, so a common concrete witness is searched by bounded
+// enumeration, which is sound.
+func (c *weightedCtx) IndependentWitness(p *planspace.Plan, ds []*planspace.Plan) bool {
+	return measure.EnumerateWitness(p, ds, func(a, b *planspace.Plan) bool {
+		return c.Independent(a, b)
+	})
+}
+
+var _ measure.Measure = (*Weighted)(nil)
+var _ measure.Context = (*weightedCtx)(nil)

@@ -1,0 +1,278 @@
+package coverage_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qporder/internal/abstraction"
+	"qporder/internal/bitset"
+	"qporder/internal/coverage"
+	"qporder/internal/lav"
+	"qporder/internal/planspace"
+	"qporder/internal/workload"
+)
+
+// domain builds a small random domain for property tests.
+func domain(seed int64) *workload.Domain {
+	return workload.Generate(workload.Config{
+		QueryLen: 3, BucketSize: 5, Universe: 512, Zones: 3, Seed: seed,
+	})
+}
+
+func TestModelBasics(t *testing.T) {
+	m := coverage.NewModel(64)
+	a := bitset.New(64)
+	a.Add(1)
+	a.Add(2)
+	b := bitset.New(64)
+	b.Add(2)
+	c := bitset.New(64)
+	c.Add(5)
+	m.SetCoverage(0, a)
+	m.SetCoverage(1, b)
+	m.SetCoverage(2, c)
+	if !m.Overlap(0, 1) || m.Overlap(0, 2) {
+		t.Error("Overlap wrong")
+	}
+	if !m.Has(0) || m.Has(9) {
+		t.Error("Has wrong")
+	}
+	if m.Universe() != 64 {
+		t.Error("Universe wrong")
+	}
+}
+
+func TestSetCoverageSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	coverage.NewModel(64).SetCoverage(0, bitset.New(65))
+}
+
+func TestConcreteCoverageMatchesManualComputation(t *testing.T) {
+	m := coverage.NewModel(8)
+	s0 := bitset.New(8) // {0,1,2,3}
+	for i := 0; i < 4; i++ {
+		s0.Add(i)
+	}
+	s1 := bitset.New(8) // {2,3,4,5}
+	for i := 2; i < 6; i++ {
+		s1.Add(i)
+	}
+	m.SetCoverage(0, s0)
+	m.SetCoverage(1, s1)
+	ms := coverage.NewMeasure(m)
+	ctx := ms.NewContext()
+	leaves := abstraction.BuildLeaves([][]lav.SourceID{{0}, {1}})
+	p := planspace.New(leaves[0][0], leaves[1][0])
+	// ∩ = {2,3} → 2/8.
+	if got := ctx.Evaluate(p); got.Lo != 0.25 || !got.IsPoint() {
+		t.Errorf("coverage = %v, want 0.25", got)
+	}
+	ctx.Observe(p)
+	// After execution everything the plan covers is covered: coverage → 0.
+	if got := ctx.Evaluate(p); got.Lo != 0 {
+		t.Errorf("coverage after observe = %v, want 0", got)
+	}
+}
+
+// TestAbstractIntervalContainsAllMembers is the Drips soundness
+// requirement: the interval of an abstract plan contains the exact
+// utility of every concrete plan it represents, at every prefix depth.
+func TestAbstractIntervalContainsAllMembers(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	prop := func(seed int64) bool {
+		d := domain(seed)
+		ms := coverage.NewMeasure(d.Coverage)
+		ctx := ms.NewContext()
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		all := d.Space.Enumerate()
+		for round := 0; round < 3; round++ {
+			root := d.Space.Root(abstraction.ByKey("sim", d.SimilarityKey))
+			// Walk a few random abstract plans via refinement.
+			frontier := []*planspace.Plan{root}
+			for len(frontier) > 0 {
+				p := frontier[rng.Intn(len(frontier))]
+				frontier = nil
+				iv := ctx.Evaluate(p)
+				// Check every concrete plan represented by p.
+				for _, c := range all {
+					inside := true
+					for i, n := range p.Nodes {
+						found := false
+						for _, s := range n.Sources {
+							if c.Nodes[i].Source() == s {
+								found = true
+								break
+							}
+						}
+						if !found {
+							inside = false
+							break
+						}
+					}
+					if !inside {
+						continue
+					}
+					u := ctx.Evaluate(c).Lo
+					if u < iv.Lo-1e-12 || u > iv.Hi+1e-12 {
+						t.Logf("seed=%d plan %s: member %s utility %g outside %v",
+							seed, p.Key(), c.Key(), u, iv)
+						return false
+					}
+				}
+				if !p.Concrete() {
+					frontier = p.Refine()
+				}
+			}
+			// Execute a random plan and repeat at the deeper prefix.
+			ctx.Observe(all[rng.Intn(len(all))])
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDiminishingReturns: executing more plans never increases any plan's
+// coverage.
+func TestDiminishingReturns(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	prop := func(seed int64) bool {
+		d := domain(seed)
+		ms := coverage.NewMeasure(d.Coverage)
+		ctx := ms.NewContext()
+		rng := rand.New(rand.NewSource(seed ^ 0xd1))
+		all := d.Space.Enumerate()
+		prev := make(map[string]float64)
+		for _, p := range all {
+			prev[p.Key()] = ctx.Evaluate(p).Lo
+		}
+		for round := 0; round < 4; round++ {
+			ctx.Observe(all[rng.Intn(len(all))])
+			for _, p := range all {
+				u := ctx.Evaluate(p).Lo
+				if u > prev[p.Key()]+1e-12 {
+					return false
+				}
+				prev[p.Key()] = u
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIndependenceOracleSound: when the oracle declares p independent of
+// d, executing d must leave p's utility unchanged.
+func TestIndependenceOracleSound(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	prop := func(seed int64) bool {
+		d := domain(seed)
+		ms := coverage.NewMeasure(d.Coverage)
+		ctx := ms.NewContext()
+		rng := rand.New(rand.NewSource(seed ^ 0x0ac))
+		all := d.Space.Enumerate()
+		for round := 0; round < 4; round++ {
+			dPlan := all[rng.Intn(len(all))]
+			before := make(map[string]float64)
+			indep := make(map[string]bool)
+			for _, p := range all {
+				before[p.Key()] = ctx.Evaluate(p).Lo
+				indep[p.Key()] = ctx.Independent(p, dPlan)
+			}
+			ctx.Observe(dPlan)
+			for _, p := range all {
+				if indep[p.Key()] && ctx.Evaluate(p).Lo != before[p.Key()] {
+					t.Logf("seed=%d: plan %s declared independent of %s but changed", seed, p.Key(), dPlan.Key())
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIndependentWitnessSound: a successful witness means some concrete
+// member is genuinely independent of all the given plans.
+func TestIndependentWitnessSound(t *testing.T) {
+	d := domain(7)
+	ms := coverage.NewMeasure(d.Coverage)
+	ctx := ms.NewContext()
+	rng := rand.New(rand.NewSource(99))
+	all := d.Space.Enumerate()
+	root := d.Space.Root(abstraction.ByKey("sim", d.SimilarityKey))
+	frontier := []*planspace.Plan{root}
+	checked := 0
+	for len(frontier) > 0 && checked < 200 {
+		p := frontier[0]
+		frontier = frontier[1:]
+		if !p.Concrete() {
+			frontier = append(frontier, p.Refine()...)
+		}
+		ds := []*planspace.Plan{all[rng.Intn(len(all))], all[rng.Intn(len(all))]}
+		if !ctx.IndependentWitness(p, ds) {
+			continue
+		}
+		checked++
+		// Verify some member is pairwise-independent of all ds under the
+		// exact set semantics.
+		found := false
+		for _, c := range all {
+			inside := true
+			for i, n := range p.Nodes {
+				ok := false
+				for _, s := range n.Sources {
+					if c.Nodes[i].Source() == s {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					inside = false
+					break
+				}
+			}
+			if !inside {
+				continue
+			}
+			good := true
+			for _, dp := range ds {
+				// Exact independence: answer sets disjoint.
+				a := answerSet(d, c)
+				b := answerSet(d, dp)
+				if !a.Disjoint(b) {
+					good = false
+					break
+				}
+			}
+			if good {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("witness claimed for %s vs %v but no member is independent", p.Key(), ds)
+		}
+	}
+	if checked == 0 {
+		t.Skip("no witnesses found to check (overlap too high for this seed)")
+	}
+}
+
+func answerSet(d *workload.Domain, p *planspace.Plan) *bitset.Set {
+	s := d.Coverage.Set(p.Nodes[0].Source()).Clone()
+	for _, n := range p.Nodes[1:] {
+		s.IntersectWith(d.Coverage.Set(n.Source()))
+	}
+	return s
+}

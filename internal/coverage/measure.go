@@ -1,0 +1,203 @@
+package coverage
+
+import (
+	"qporder/internal/abstraction"
+	"qporder/internal/bitset"
+	"qporder/internal/interval"
+	"qporder/internal/lav"
+	"qporder/internal/measure"
+	"qporder/internal/planspace"
+)
+
+// Measure is the plan-coverage utility measure. It is not fully monotonic
+// (the value of a source depends on what its partners and the executed
+// plans cover), it satisfies utility-diminishing returns, and plans are
+// often pairwise independent, so both iDrips and Streamer apply.
+type Measure struct {
+	model *Model
+}
+
+// NewMeasure returns the coverage measure over the given model.
+func NewMeasure(m *Model) *Measure { return &Measure{model: m} }
+
+// Name implements measure.Measure.
+func (ms *Measure) Name() string { return "coverage" }
+
+// FullyMonotonic implements measure.Measure; coverage is not monotonic.
+func (ms *Measure) FullyMonotonic() bool { return false }
+
+// DiminishingReturns implements measure.Measure: executing more plans can
+// only shrink the set of new tuples a plan would return.
+func (ms *Measure) DiminishingReturns() bool { return true }
+
+// BucketOrder implements measure.Measure; no per-bucket total order exists.
+func (ms *Measure) BucketOrder(int, []lav.SourceID) ([]lav.SourceID, bool) {
+	return nil, false
+}
+
+// Model returns the underlying coverage model.
+func (ms *Measure) Model() *Model { return ms.model }
+
+// NewContext implements measure.Measure.
+func (ms *Measure) NewContext() measure.Context {
+	return &context{
+		model:   ms.model,
+		ms:      ms,
+		covered: bitset.New(ms.model.universe),
+		inter:   make(map[*abstraction.Node]*bitset.Set),
+		union:   make(map[*abstraction.Node]*bitset.Set),
+		scratch: bitset.New(ms.model.universe),
+	}
+}
+
+// context evaluates conditional coverage. It caches, per abstraction
+// node, the intersection and union of the members' covered subsets; for a
+// node N they satisfy inter(N) ⊆ set(V) ⊆ union(N) for every member V,
+// which makes abstract-plan intervals sound.
+type context struct {
+	measure.Base
+	model   *Model
+	ms      *Measure
+	covered *bitset.Set // union of executed plans' answer sets
+	inter   map[*abstraction.Node]*bitset.Set
+	union   map[*abstraction.Node]*bitset.Set
+	scratch *bitset.Set
+}
+
+// Measure implements measure.Context.
+func (c *context) Measure() measure.Measure { return c.ms }
+
+// nodeInter returns ∩ of member sets, cached.
+func (c *context) nodeInter(n *abstraction.Node) *bitset.Set {
+	if n.IsLeaf() {
+		return c.model.Set(n.Source())
+	}
+	if s, ok := c.inter[n]; ok {
+		return s
+	}
+	s := c.model.Set(n.Sources[0]).Clone()
+	for _, src := range n.Sources[1:] {
+		s.IntersectWith(c.model.Set(src))
+	}
+	c.inter[n] = s
+	return s
+}
+
+// nodeUnion returns ∪ of member sets, cached.
+func (c *context) nodeUnion(n *abstraction.Node) *bitset.Set {
+	if n.IsLeaf() {
+		return c.model.Set(n.Source())
+	}
+	if s, ok := c.union[n]; ok {
+		return s
+	}
+	s := c.model.Set(n.Sources[0]).Clone()
+	for _, src := range n.Sources[1:] {
+		s.UnionWith(c.model.Set(src))
+	}
+	c.union[n] = s
+	return s
+}
+
+// answerLow computes into dst the guaranteed answer set ∩ᵢ inter(nodeᵢ).
+func (c *context) answerLow(p *planspace.Plan, dst *bitset.Set) {
+	dst.Copy(c.nodeInter(p.Nodes[0]))
+	for _, n := range p.Nodes[1:] {
+		dst.IntersectWith(c.nodeInter(n))
+	}
+}
+
+// answerHigh computes into dst the possible answer set ∩ᵢ union(nodeᵢ).
+func (c *context) answerHigh(p *planspace.Plan, dst *bitset.Set) {
+	dst.Copy(c.nodeUnion(p.Nodes[0]))
+	for _, n := range p.Nodes[1:] {
+		dst.IntersectWith(c.nodeUnion(n))
+	}
+}
+
+// Evaluate implements measure.Context. Concrete plans get their exact
+// conditional coverage; abstract plans get the sound interval
+// [|∩inter \ covered|, |∩union \ covered|] / |U|.
+func (c *context) Evaluate(p *planspace.Plan) interval.Interval {
+	c.CountEval()
+	u := float64(c.model.universe)
+	if p.Concrete() {
+		c.answerLow(p, c.scratch)
+		newTuples := c.scratch.DifferenceCount(c.covered)
+		return interval.Point(float64(newTuples) / u)
+	}
+	c.answerLow(p, c.scratch)
+	lo := float64(c.scratch.DifferenceCount(c.covered)) / u
+	c.answerHigh(p, c.scratch)
+	hi := float64(c.scratch.DifferenceCount(c.covered)) / u
+	return interval.New(lo, hi)
+}
+
+// Observe implements measure.Context: the executed plan's answers join the
+// covered set.
+func (c *context) Observe(d *planspace.Plan) {
+	c.Record(d)
+	c.answerLow(d, c.scratch) // concrete: low == exact
+	c.covered.UnionWith(c.scratch)
+}
+
+// Independent implements measure.Context: executing d cannot change the
+// coverage of any concrete plan in p when their answer sets are provably
+// disjoint. The sound procedure of Section 3: some position exists where
+// no member of p's node overlaps d's source, so every represented plan's
+// answer set is disjoint from d's. Pairwise overlaps are memoized in the
+// model, making this a few table lookups for concrete plans.
+func (c *context) Independent(p, d *planspace.Plan) bool {
+	if p.Len() != d.Len() {
+		return false // sound: no claim for heterogeneous plan shapes
+	}
+	for i, n := range p.Nodes {
+		di := d.Nodes[i].Source()
+		overlaps := false
+		for _, v := range n.Sources {
+			if c.model.Overlap(v, di) {
+				overlaps = true
+				break
+			}
+		}
+		if !overlaps {
+			return true
+		}
+	}
+	return false
+}
+
+// IndependentWitness implements measure.Context using the sound
+// per-coordinate procedure of Section 3: if some position i has a member
+// source v whose covered subset is disjoint from every d's source at i,
+// then any concrete plan using v at i is independent of all of ds.
+func (c *context) IndependentWitness(p *planspace.Plan, ds []*planspace.Plan) bool {
+	if len(ds) == 0 {
+		return true
+	}
+	for _, d := range ds {
+		if d.Len() != p.Len() {
+			return measure.EnumerateWitness(p, ds, func(a, b *planspace.Plan) bool {
+				return c.Independent(a, b)
+			})
+		}
+	}
+	for i, n := range p.Nodes {
+		for _, v := range n.Sources {
+			ok := true
+			for _, d := range ds {
+				if c.model.Overlap(v, d.Nodes[i].Source()) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+var _ measure.Measure = (*Measure)(nil)
+var _ measure.Context = (*context)(nil)

@@ -1,0 +1,90 @@
+// Package coverage implements the plan-coverage utility of Section 2 /
+// Example 2.1: the coverage of plan p wrt executed plans {p1..pn} is the
+// probability that a random answer tuple of the query is returned by p
+// and by none of the executed plans.
+//
+// The model represents the query's answer universe as a finite synthetic
+// set. Each source covers the subset of answers whose corresponding
+// subgoal piece the source can supply; a concrete plan covers the
+// intersection of its sources' subsets; conditional coverage is the
+// fraction of the universe covered by the plan but by no executed plan.
+// This preserves every property the ordering algorithms exploit:
+// conditionality, diminishing returns, sound abstraction intervals
+// (group-intersection ⊆ member ⊆ group-union), and an overlap-based
+// independence oracle. See DESIGN.md §3.
+package coverage
+
+import (
+	"fmt"
+
+	"qporder/internal/bitset"
+	"qporder/internal/lav"
+)
+
+// Model maps each source to the subset of the answer universe it covers.
+type Model struct {
+	universe int
+	sets     map[lav.SourceID]*bitset.Set
+	// overlapCache memoizes the pairwise overlap relation; it is a pure
+	// function of the (immutable) coverage sets, so sharing it across
+	// contexts is safe for sequential use.
+	overlapCache map[uint64]bool
+}
+
+// NewModel returns a model over a universe of the given size.
+func NewModel(universe int) *Model {
+	if universe <= 0 {
+		panic("coverage: universe must be positive")
+	}
+	return &Model{
+		universe:     universe,
+		sets:         make(map[lav.SourceID]*bitset.Set),
+		overlapCache: make(map[uint64]bool),
+	}
+}
+
+// Universe returns the universe size.
+func (m *Model) Universe() int { return m.universe }
+
+// SetCoverage assigns the covered subset of a source. The set is stored by
+// reference and must not be mutated afterwards; its capacity must equal
+// the universe size.
+func (m *Model) SetCoverage(id lav.SourceID, set *bitset.Set) {
+	if set.Len() != m.universe {
+		panic(fmt.Sprintf("coverage: set capacity %d != universe %d", set.Len(), m.universe))
+	}
+	m.sets[id] = set
+}
+
+// Set returns the covered subset of a source; it panics if the source has
+// no coverage assigned (a configuration error).
+func (m *Model) Set(id lav.SourceID) *bitset.Set {
+	s, ok := m.sets[id]
+	if !ok {
+		panic(fmt.Sprintf("coverage: source V%d has no coverage set", id))
+	}
+	return s
+}
+
+// Has reports whether the source has a coverage set assigned.
+func (m *Model) Has(id lav.SourceID) bool {
+	_, ok := m.sets[id]
+	return ok
+}
+
+// Overlap reports whether two sources' covered subsets intersect. This is
+// the "sources overlap" relation of Section 3. Results are memoized: the
+// independence oracle consults this relation millions of times per
+// ordering run.
+func (m *Model) Overlap(a, b lav.SourceID) bool {
+	if a > b {
+		a, b = b, a
+	}
+	key := uint64(uint32(a))<<32 | uint64(uint32(b))
+	if v, ok := m.overlapCache[key]; ok {
+		return v
+	}
+	v := !m.Set(a).Disjoint(m.Set(b))
+	m.overlapCache[key] = v
+	return v
+}

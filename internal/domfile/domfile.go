@@ -1,0 +1,154 @@
+// Package domfile reads and writes the textual domain files consumed by
+// cmd/qporder and produced by cmd/qpgen. A domain file declares data
+// sources (LAV descriptions plus statistics) and optionally a default
+// query:
+//
+//	# movie mediator
+//	query Q(M, R) :- play-in(ford, M), review-of(R, M)
+//	source tuples=100 transmit=1 overhead=10 | V1(A, M) :- play-in(A, M), american(M)
+//	source tuples=50 transmit=0.5 overhead=5 fail=0.1 | V2(A, M) :- play-in(A, M)
+//
+// Lines beginning with '#' or '%' are comments. Statistics keys: tuples,
+// transmit, overhead, fail, accessfee, tuplefee; unset keys default to
+// tuples=1 and zero otherwise.
+package domfile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"qporder/internal/lav"
+	"qporder/internal/schema"
+)
+
+// Domain is a parsed domain file.
+type Domain struct {
+	Catalog *lav.Catalog
+	// Query is the file's default query, or nil if absent.
+	Query *schema.Query
+}
+
+// Parse reads a domain file.
+func Parse(r io.Reader) (*Domain, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	d := &Domain{Catalog: lav.NewCatalog()}
+	for ln, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		lineNo := ln + 1
+		switch {
+		case strings.HasPrefix(line, "query "):
+			if d.Query != nil {
+				return nil, fmt.Errorf("domfile: line %d: duplicate query", lineNo)
+			}
+			q, err := schema.ParseQuery(strings.TrimPrefix(line, "query "))
+			if err != nil {
+				return nil, fmt.Errorf("domfile: line %d: %w", lineNo, err)
+			}
+			d.Query = q
+		case strings.HasPrefix(line, "source "):
+			rest := strings.TrimPrefix(line, "source ")
+			parts := strings.SplitN(rest, "|", 2)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("domfile: line %d: source line needs \"stats | rule\"", lineNo)
+			}
+			stats, err := parseStats(strings.Fields(parts[0]))
+			if err != nil {
+				return nil, fmt.Errorf("domfile: line %d: %w", lineNo, err)
+			}
+			def, err := schema.ParseQuery(strings.TrimSpace(parts[1]))
+			if err != nil {
+				return nil, fmt.Errorf("domfile: line %d: %w", lineNo, err)
+			}
+			if _, err := d.Catalog.Add(def.Name, def, stats); err != nil {
+				return nil, fmt.Errorf("domfile: line %d: %w", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("domfile: line %d: expected \"query ...\" or \"source ...\"", lineNo)
+		}
+	}
+	if d.Catalog.Len() == 0 {
+		return nil, fmt.Errorf("domfile: no sources declared")
+	}
+	return d, nil
+}
+
+func parseStats(fields []string) (lav.Stats, error) {
+	st := lav.Stats{Tuples: 1}
+	for _, f := range fields {
+		kv := strings.SplitN(f, "=", 2)
+		if len(kv) != 2 {
+			return st, fmt.Errorf("bad stat %q (want key=value)", f)
+		}
+		v, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil {
+			return st, fmt.Errorf("bad stat value %q: %v", f, err)
+		}
+		switch kv[0] {
+		case "tuples":
+			st.Tuples = v
+		case "transmit":
+			st.TransmitCost = v
+		case "overhead":
+			st.Overhead = v
+		case "fail":
+			st.FailureProb = v
+		case "accessfee":
+			st.AccessFee = v
+		case "tuplefee":
+			st.TupleFee = v
+		default:
+			return st, fmt.Errorf("unknown stat key %q", kv[0])
+		}
+	}
+	return st, st.Validate()
+}
+
+// Write renders a domain file.
+func Write(w io.Writer, d *Domain) error {
+	if d.Query != nil {
+		if _, err := fmt.Fprintf(w, "query %s\n", d.Query); err != nil {
+			return err
+		}
+	}
+	for _, src := range d.Catalog.Sources() {
+		if src.Def == nil {
+			return fmt.Errorf("domfile: source %s has no description", src.Name)
+		}
+		if _, err := fmt.Fprintf(w, "source %s | %s\n", formatStats(src.Stats), src.Def); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatStats(st lav.Stats) string {
+	kv := map[string]float64{
+		"tuples":    st.Tuples,
+		"transmit":  st.TransmitCost,
+		"overhead":  st.Overhead,
+		"fail":      st.FailureProb,
+		"accessfee": st.AccessFee,
+		"tuplefee":  st.TupleFee,
+	}
+	keys := make([]string, 0, len(kv))
+	for k, v := range kv {
+		if v != 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%g", k, kv[k])
+	}
+	return strings.Join(parts, " ")
+}

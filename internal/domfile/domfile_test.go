@@ -1,0 +1,97 @@
+package domfile
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `
+# movie mediator
+query Q(M, R) :- play-in(ford, M), review-of(R, M)
+source tuples=100 transmit=1 overhead=10 | V1(A, M) :- play-in(A, M), american(M)
+source tuples=50 overhead=5 fail=0.1 | V2(A, M) :- play-in(A, M)
+source tuples=40 accessfee=3 tuplefee=0.05 | V4(R, M) :- review-of(R, M)
+`
+
+func TestParse(t *testing.T) {
+	d, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Query == nil || d.Query.Name != "Q" {
+		t.Fatalf("query = %v", d.Query)
+	}
+	if d.Catalog.Len() != 3 {
+		t.Fatalf("catalog = %d sources", d.Catalog.Len())
+	}
+	v2, ok := d.Catalog.ByName("V2")
+	if !ok {
+		t.Fatal("V2 missing")
+	}
+	if v2.Stats.Tuples != 50 || v2.Stats.FailureProb != 0.1 || v2.Stats.Overhead != 5 {
+		t.Errorf("V2 stats = %+v", v2.Stats)
+	}
+	if len(v2.Def.Body) != 1 || v2.Def.Body[0].Pred != "play-in" {
+		t.Errorf("V2 def = %v", v2.Def)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                                  // no sources
+		"bogus line",                        // unknown directive
+		"source tuples=1 V(A) :- r(A)",      // missing pipe
+		"source tuples=zero | V(A) :- r(A)", // bad number
+		"source nope=1 | V(A) :- r(A)",      // unknown key
+		"source fail=2 | V(A) :- r(A)",      // invalid stats
+		"query Q(X) :- r(X)\nquery Q(Y) :- r(Y)\nsource tuples=1 | V(A) :- r(A)", // dup query
+		"source tuples=1 | broken(", // bad rule
+	}
+	for _, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	d, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, sb.String())
+	}
+	if d2.Catalog.Len() != d.Catalog.Len() {
+		t.Fatalf("round trip lost sources")
+	}
+	for _, src := range d.Catalog.Sources() {
+		got, ok := d2.Catalog.ByName(src.Name)
+		if !ok {
+			t.Fatalf("source %s lost", src.Name)
+		}
+		if got.Stats != src.Stats {
+			t.Errorf("source %s stats changed: %+v -> %+v", src.Name, src.Stats, got.Stats)
+		}
+		if got.Def.String() != src.Def.String() {
+			t.Errorf("source %s def changed", src.Name)
+		}
+	}
+	if d2.Query.String() != d.Query.String() {
+		t.Error("query changed in round trip")
+	}
+}
+
+func TestWriteRejectsDescriptionlessSource(t *testing.T) {
+	d, _ := Parse(strings.NewReader("source tuples=1 | V(A) :- r(A)"))
+	d.Catalog.MustAdd("synthetic", nil, d.Catalog.Sources()[0].Stats)
+	var sb strings.Builder
+	if err := Write(&sb, d); err == nil {
+		t.Error("Write accepted a source without a description")
+	}
+}

@@ -1,0 +1,35 @@
+package domfile
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the domain-file parser never panics and that accepted
+// files survive a Write/Parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add(sample)
+	f.Add("source tuples=1 | V(A) :- r(A)")
+	f.Add("query Q(X) :- r(X)\nsource tuples=2 transmit=0.5 | V(A) :- r(A)")
+	f.Add("source | V(A) :- r(A)")
+	f.Add("source tuples=1 | V(A) :- r(A) | extra")
+	f.Add("# only a comment")
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := Write(&sb, d); err != nil {
+			t.Fatalf("Write of accepted domain failed: %v", err)
+		}
+		d2, err := Parse(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("re-parse failed: %v\n%s", err, sb.String())
+		}
+		if d2.Catalog.Len() != d.Catalog.Len() {
+			t.Fatalf("round trip changed source count: %d -> %d",
+				d.Catalog.Len(), d2.Catalog.Len())
+		}
+	})
+}

@@ -1,0 +1,210 @@
+// Package dominance implements the dominance graph maintained by the
+// Streamer algorithm (Section 5.2): nodes are (possibly abstract) plans
+// with cached utility intervals; a link p→q asserts that p dominates q;
+// each link carries the set E(p,q) of plans removed since the link was
+// created, which Streamer uses to recheck the link's validity.
+//
+// The nondominated set (in-degree zero) is maintained incrementally, so
+// Streamer's per-iteration cost is proportional to the nondominated
+// frontier, not the whole graph. Iteration order over plans and links is
+// unspecified; callers select deterministically via explicit comparisons.
+package dominance
+
+import (
+	"qporder/internal/interval"
+	"qporder/internal/planspace"
+)
+
+// Link is a domination link p→q with its associated plan set E(p,q).
+type Link struct {
+	From, To *planspace.Plan
+	// E lists the concrete plans output since the link was created
+	// (Figure 4/5 of the paper).
+	E []*planspace.Plan
+}
+
+type nodeInfo struct {
+	u   *interval.Interval // nil: needs (re)computation
+	out map[*planspace.Plan]*Link
+	in  map[*planspace.Plan]*Link
+}
+
+// Graph is the dominance graph. Plan identity is pointer identity: plans
+// are created once (roots and refinement children) and never rebuilt.
+// The zero value is not usable; call New.
+type Graph struct {
+	nodes  map[*planspace.Plan]*nodeInfo
+	nondom map[*planspace.Plan]struct{}
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		nodes:  make(map[*planspace.Plan]*nodeInfo),
+		nondom: make(map[*planspace.Plan]struct{}),
+	}
+}
+
+// Len returns the number of plans in the graph.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Add inserts a plan with unknown utility. Adding an existing plan panics
+// (it would silently discard link state).
+func (g *Graph) Add(p *planspace.Plan) {
+	if _, dup := g.nodes[p]; dup {
+		panic("dominance: duplicate Add of plan " + p.Key())
+	}
+	g.nodes[p] = &nodeInfo{
+		out: make(map[*planspace.Plan]*Link),
+		in:  make(map[*planspace.Plan]*Link),
+	}
+	g.nondom[p] = struct{}{}
+}
+
+// Has reports whether p is in the graph.
+func (g *Graph) Has(p *planspace.Plan) bool {
+	_, ok := g.nodes[p]
+	return ok
+}
+
+// Remove deletes a plan and every incident link; targets losing their
+// last incoming link become nondominated.
+func (g *Graph) Remove(p *planspace.Plan) {
+	info, ok := g.nodes[p]
+	if !ok {
+		panic("dominance: Remove of unknown plan " + p.Key())
+	}
+	for to := range info.out {
+		ti := g.nodes[to]
+		delete(ti.in, p)
+		if len(ti.in) == 0 {
+			g.nondom[to] = struct{}{}
+		}
+	}
+	for from := range info.in {
+		delete(g.nodes[from].out, p)
+	}
+	delete(g.nodes, p)
+	delete(g.nondom, p)
+}
+
+// Utility returns the cached utility of p, or ok=false if it needs
+// computation.
+func (g *Graph) Utility(p *planspace.Plan) (interval.Interval, bool) {
+	info := g.must(p)
+	if info.u == nil {
+		return interval.Interval{}, false
+	}
+	return *info.u, true
+}
+
+// SetUtility caches the utility of p.
+func (g *Graph) SetUtility(p *planspace.Plan, u interval.Interval) {
+	g.must(p).u = &u
+}
+
+// Invalidate marks p's utility as needing recomputation.
+func (g *Graph) Invalidate(p *planspace.Plan) { g.must(p).u = nil }
+
+func (g *Graph) must(p *planspace.Plan) *nodeInfo {
+	info, ok := g.nodes[p]
+	if !ok {
+		panic("dominance: unknown plan " + p.Key())
+	}
+	return info
+}
+
+// HasLink reports whether the link from→to exists.
+func (g *Graph) HasLink(from, to *planspace.Plan) bool {
+	_, ok := g.must(from).out[to]
+	return ok
+}
+
+// AddLink creates the link from→to with an empty E set. Self links and
+// duplicate links panic.
+func (g *Graph) AddLink(from, to *planspace.Plan) *Link {
+	if from == to {
+		panic("dominance: self link on " + from.Key())
+	}
+	fi, ti := g.must(from), g.must(to)
+	if _, dup := fi.out[to]; dup {
+		panic("dominance: duplicate link " + from.Key() + " -> " + to.Key())
+	}
+	l := &Link{From: from, To: to}
+	fi.out[to] = l
+	ti.in[from] = l
+	delete(g.nondom, to)
+	return l
+}
+
+// RemoveLink deletes the link; a target losing its last incoming link
+// becomes nondominated.
+func (g *Graph) RemoveLink(l *Link) {
+	delete(g.must(l.From).out, l.To)
+	ti := g.must(l.To)
+	delete(ti.in, l.From)
+	if len(ti.in) == 0 {
+		g.nondom[l.To] = struct{}{}
+	}
+}
+
+// Dominated reports whether p has at least one incoming link.
+func (g *Graph) Dominated(p *planspace.Plan) bool { return len(g.must(p).in) > 0 }
+
+// Nondominated returns the plans with no incoming links, in unspecified
+// order.
+func (g *Graph) Nondominated() []*planspace.Plan {
+	out := make([]*planspace.Plan, 0, len(g.nondom))
+	for p := range g.nondom {
+		out = append(out, p)
+	}
+	return out
+}
+
+// NondominatedCount returns the size of the nondominated frontier.
+func (g *Graph) NondominatedCount() int { return len(g.nondom) }
+
+// Plans returns every plan, in unspecified order.
+func (g *Graph) Plans() []*planspace.Plan {
+	out := make([]*planspace.Plan, 0, len(g.nodes))
+	for p := range g.nodes {
+		out = append(out, p)
+	}
+	return out
+}
+
+// EachPlan invokes f for every plan without allocating.
+func (g *Graph) EachPlan(f func(p *planspace.Plan)) {
+	for p := range g.nodes {
+		f(p)
+	}
+}
+
+// Links returns every link, in unspecified order.
+func (g *Graph) Links() []*Link {
+	var out []*Link
+	for _, info := range g.nodes {
+		for _, l := range info.out {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// LinkCount returns the number of links.
+func (g *Graph) LinkCount() int {
+	n := 0
+	for _, info := range g.nodes {
+		n += len(info.out)
+	}
+	return n
+}
+
+// ClearLinks removes every link; a safe (conservative) full reset.
+func (g *Graph) ClearLinks() {
+	for p, info := range g.nodes {
+		info.out = make(map[*planspace.Plan]*Link)
+		info.in = make(map[*planspace.Plan]*Link)
+		g.nondom[p] = struct{}{}
+	}
+}

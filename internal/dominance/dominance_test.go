@@ -1,0 +1,147 @@
+package dominance
+
+import (
+	"testing"
+
+	"qporder/internal/abstraction"
+	"qporder/internal/interval"
+	"qporder/internal/lav"
+	"qporder/internal/planspace"
+)
+
+func plan(id int) *planspace.Plan {
+	return planspace.New(&abstraction.Node{Sources: []lav.SourceID{lav.SourceID(id)}})
+}
+
+func TestAddRemoveAndFrontier(t *testing.T) {
+	g := New()
+	a, b, c := plan(1), plan(2), plan(3)
+	g.Add(a)
+	g.Add(b)
+	g.Add(c)
+	if g.Len() != 3 || g.NondominatedCount() != 3 {
+		t.Fatalf("Len=%d frontier=%d", g.Len(), g.NondominatedCount())
+	}
+	g.AddLink(a, b)
+	g.AddLink(a, c)
+	if g.NondominatedCount() != 1 {
+		t.Errorf("frontier = %d, want 1", g.NondominatedCount())
+	}
+	if !g.Dominated(b) || g.Dominated(a) {
+		t.Error("Dominated wrong")
+	}
+	if g.LinkCount() != 2 {
+		t.Errorf("LinkCount = %d", g.LinkCount())
+	}
+	// Removing a frees b and c.
+	g.Remove(a)
+	if g.Len() != 2 || g.NondominatedCount() != 2 {
+		t.Errorf("after Remove: Len=%d frontier=%d", g.Len(), g.NondominatedCount())
+	}
+	if g.Has(a) {
+		t.Error("removed plan still present")
+	}
+}
+
+func TestRemoveLinkPromotes(t *testing.T) {
+	g := New()
+	a, b := plan(1), plan(2)
+	g.Add(a)
+	g.Add(b)
+	l := g.AddLink(a, b)
+	if g.NondominatedCount() != 1 {
+		t.Fatal("link did not dominate")
+	}
+	g.RemoveLink(l)
+	if g.NondominatedCount() != 2 {
+		t.Error("RemoveLink did not promote target")
+	}
+}
+
+func TestUtilityLifecycle(t *testing.T) {
+	g := New()
+	a := plan(1)
+	g.Add(a)
+	if _, ok := g.Utility(a); ok {
+		t.Error("fresh plan has utility")
+	}
+	g.SetUtility(a, interval.New(1, 2))
+	if u, ok := g.Utility(a); !ok || u != interval.New(1, 2) {
+		t.Errorf("Utility = %v, %v", u, ok)
+	}
+	g.Invalidate(a)
+	if _, ok := g.Utility(a); ok {
+		t.Error("invalidated plan kept utility")
+	}
+}
+
+func TestDuplicateAddPanics(t *testing.T) {
+	g := New()
+	a := plan(1)
+	g.Add(a)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	g.Add(a)
+}
+
+func TestSelfLinkPanics(t *testing.T) {
+	g := New()
+	a := plan(1)
+	g.Add(a)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	g.AddLink(a, a)
+}
+
+func TestDuplicateLinkPanics(t *testing.T) {
+	g := New()
+	a, b := plan(1), plan(2)
+	g.Add(a)
+	g.Add(b)
+	g.AddLink(a, b)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	g.AddLink(a, b)
+}
+
+func TestClearLinks(t *testing.T) {
+	g := New()
+	a, b := plan(1), plan(2)
+	g.Add(a)
+	g.Add(b)
+	g.AddLink(a, b)
+	g.ClearLinks()
+	if g.LinkCount() != 0 || g.NondominatedCount() != 2 {
+		t.Error("ClearLinks incomplete")
+	}
+}
+
+func TestLinksEnumeration(t *testing.T) {
+	g := New()
+	a, b, c := plan(1), plan(2), plan(3)
+	g.Add(a)
+	g.Add(b)
+	g.Add(c)
+	g.AddLink(a, b)
+	g.AddLink(b, c) // b is dominated later but link persists
+	links := g.Links()
+	if len(links) != 2 {
+		t.Fatalf("Links = %d", len(links))
+	}
+	seen := map[string]bool{}
+	for _, l := range links {
+		seen[l.From.Key()+">"+l.To.Key()] = true
+	}
+	if !seen["1>2"] || !seen["2>3"] {
+		t.Errorf("links = %v", seen)
+	}
+}

@@ -1,0 +1,128 @@
+package execsim
+
+import (
+	"fmt"
+
+	"qporder/internal/schema"
+)
+
+// EvalProgram evaluates a (possibly recursive) datalog program bottom-up
+// to fixpoint using semi-naive evaluation and returns every derived fact,
+// grouped by predicate. Body atoms whose predicate is some rule's head
+// are intensional; all others are matched against edb. The inverse-rule
+// programs of Section 7 (reformulate.DatalogProgram) evaluate directly,
+// and recursion — the paper's noted future-work case — is supported,
+// e.g. transitive closure.
+//
+// EvalProgram returns an error for unsafe rules (every rule must satisfy
+// Query.Validate).
+func EvalProgram(rules []*schema.Query, edb DB) (DB, error) {
+	for _, r := range rules {
+		if err := r.Validate(); err != nil {
+			return nil, fmt.Errorf("execsim: %w", err)
+		}
+	}
+	idb := make(map[string]bool)
+	for _, r := range rules {
+		idb[r.Name] = true
+	}
+
+	// facts: all known atoms (EDB ∪ derived IDB), with dedup indexes.
+	facts := make(DB)
+	seen := make(map[string]bool)
+	add := func(a schema.Atom, into DB) bool {
+		k := a.String()
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+		facts[a.Pred] = append(facts[a.Pred], a)
+		if into != nil {
+			into[a.Pred] = append(into[a.Pred], a)
+		}
+		return true
+	}
+	for _, atoms := range edb {
+		for _, a := range atoms {
+			add(a, nil)
+		}
+	}
+
+	// fire evaluates one rule; the atom at position deltaPos (if >= 0)
+	// ranges over delta, the others over all facts. Derived heads that are
+	// new go into out.
+	fire := func(r *schema.Query, deltaPos int, delta DB, out DB) error {
+		var rec func(i int, sub schema.Subst) error
+		rec = func(i int, sub schema.Subst) error {
+			if i == len(r.Body) {
+				head := sub.ApplyAtom(r.HeadAtom())
+				for _, t := range head.Args {
+					if t.IsVar() {
+						return fmt.Errorf("execsim: non-ground derived fact %s from rule %s", head, r)
+					}
+				}
+				add(head, out)
+				return nil
+			}
+			goal := r.Body[i]
+			src := facts[goal.Pred]
+			if i == deltaPos {
+				src = delta[goal.Pred]
+			}
+			for _, tuple := range src {
+				if ext, ok := schema.MatchAtom(goal, tuple, sub); ok {
+					if err := rec(i+1, ext); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+		return rec(0, schema.Subst{})
+	}
+
+	// First round: naive evaluation of every rule over the EDB.
+	delta := make(DB)
+	for _, r := range rules {
+		if err := fire(r, -1, nil, delta); err != nil {
+			return nil, err
+		}
+	}
+	// Semi-naive iterations: a rule can derive something new only through
+	// a body atom matching a fact from the last delta.
+	for len(delta) > 0 {
+		next := make(DB)
+		for _, r := range rules {
+			for i, goal := range r.Body {
+				if !idb[goal.Pred] {
+					continue
+				}
+				if len(delta[goal.Pred]) == 0 {
+					continue
+				}
+				if err := fire(r, i, delta, next); err != nil {
+					return nil, err
+				}
+			}
+		}
+		delta = next
+	}
+
+	out := make(DB)
+	for pred := range idb {
+		out[pred] = append([]schema.Atom(nil), facts[pred]...)
+		sortAtoms(out[pred])
+	}
+	return out, nil
+}
+
+// FilterAnswers returns the atoms satisfying keep, preserving order.
+func FilterAnswers(atoms []schema.Atom, keep func(schema.Atom) bool) []schema.Atom {
+	var out []schema.Atom
+	for _, a := range atoms {
+		if keep(a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}

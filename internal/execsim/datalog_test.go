@@ -1,0 +1,121 @@
+package execsim
+
+import (
+	"testing"
+
+	"qporder/internal/schema"
+)
+
+func TestEvalProgramNonRecursive(t *testing.T) {
+	edb := make(DB)
+	edb.Add("edge", "a", "b")
+	edb.Add("edge", "b", "c")
+	rules := []*schema.Query{
+		schema.MustParseQuery("two(X, Z) :- edge(X, Y), edge(Y, Z)"),
+	}
+	out, err := EvalProgram(rules, edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out["two"]) != 1 || out["two"][0].String() != "two(a, c)" {
+		t.Errorf("two = %v", out["two"])
+	}
+}
+
+func TestEvalProgramTransitiveClosure(t *testing.T) {
+	edb := make(DB)
+	// A chain a -> b -> c -> d plus a cycle x -> y -> x.
+	edb.Add("edge", "a", "b")
+	edb.Add("edge", "b", "c")
+	edb.Add("edge", "c", "d")
+	edb.Add("edge", "x", "y")
+	edb.Add("edge", "y", "x")
+	rules := []*schema.Query{
+		schema.MustParseQuery("path(X, Y) :- edge(X, Y)"),
+		schema.MustParseQuery("path(X, Z) :- edge(X, Y), path(Y, Z)"),
+	}
+	out, err := EvalProgram(rules, edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"path(a, b)": true, "path(a, c)": true, "path(a, d)": true,
+		"path(b, c)": true, "path(b, d)": true, "path(c, d)": true,
+		"path(x, y)": true, "path(y, x)": true, "path(x, x)": true, "path(y, y)": true,
+	}
+	if len(out["path"]) != len(want) {
+		t.Fatalf("path = %v", out["path"])
+	}
+	for _, a := range out["path"] {
+		if !want[a.String()] {
+			t.Errorf("unexpected %s", a)
+		}
+	}
+}
+
+func TestEvalProgramMutualRecursion(t *testing.T) {
+	edb := make(DB)
+	edb.Add("succ", "0", "1")
+	edb.Add("succ", "1", "2")
+	edb.Add("succ", "2", "3")
+	edb.Add("zero", "0")
+	rules := []*schema.Query{
+		schema.MustParseQuery("even(X) :- zero(X)"),
+		schema.MustParseQuery("odd(Y) :- even(X), succ(X, Y)"),
+		schema.MustParseQuery("even(Y) :- odd(X), succ(X, Y)"),
+	}
+	out, err := EvalProgram(rules, edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out["even"]) != 2 || len(out["odd"]) != 2 {
+		t.Errorf("even=%v odd=%v", out["even"], out["odd"])
+	}
+}
+
+func TestEvalProgramRejectsUnsafeRule(t *testing.T) {
+	edb := make(DB)
+	rules := []*schema.Query{
+		{Name: "p", Head: []schema.Term{schema.Var("X")},
+			Body: []schema.Atom{schema.NewAtom("q", schema.Var("Y"))}},
+	}
+	if _, err := EvalProgram(rules, edb); err == nil {
+		t.Error("unsafe rule accepted")
+	}
+}
+
+func TestEvalProgramMatchesEvalOnConjunctiveQueries(t *testing.T) {
+	world := GenerateWorld(WorldConfig{
+		Relations:         []RelationSpec{{Name: "r0", Arity: 2}, {Name: "r1", Arity: 2}},
+		TuplesPerRelation: 25,
+		DomainSize:        6,
+		Seed:              8,
+	})
+	q := schema.MustParseQuery("Q(X, Z) :- r0(X, Y), r1(Y, Z)")
+	direct := Eval(q, world)
+	prog, err := EvalProgram([]*schema.Query{q}, world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog["Q"]) != len(direct) {
+		t.Fatalf("program derived %d, direct %d", len(prog["Q"]), len(direct))
+	}
+	for i := range direct {
+		if !prog["Q"][i].Equal(direct[i]) {
+			t.Fatalf("mismatch at %d: %v vs %v", i, prog["Q"][i], direct[i])
+		}
+	}
+}
+
+func TestFilterAnswers(t *testing.T) {
+	atoms := []schema.Atom{
+		schema.NewAtom("Q", schema.Const("a")),
+		schema.NewAtom("Q", schema.Const("_sk_V_Z")),
+	}
+	out := FilterAnswers(atoms, func(a schema.Atom) bool {
+		return a.Args[0].Name[0] != '_'
+	})
+	if len(out) != 1 || out[0].Args[0].Name != "a" {
+		t.Errorf("FilterAnswers = %v", out)
+	}
+}

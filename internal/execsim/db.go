@@ -1,0 +1,129 @@
+// Package execsim is a small query-execution engine over synthetic tuple
+// stores: the downstream consumer of plan ordering. It evaluates
+// conjunctive queries (mediated-schema queries over a world database, and
+// query plans over source relations), accounts access costs following the
+// paper's cost model, simulates source failures and result caching, and
+// accumulates the union of plan answers — everything needed to demonstrate
+// time-to-first-answer behavior end to end.
+package execsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qporder/internal/schema"
+)
+
+// DB maps a relation name to its ground tuples. Tuples are atoms whose
+// arguments are all constants.
+type DB map[string][]schema.Atom
+
+// Add inserts a tuple; all arguments must be constants.
+func (db DB) Add(pred string, values ...string) {
+	args := make([]schema.Term, len(values))
+	for i, v := range values {
+		args[i] = schema.Const(v)
+	}
+	db[pred] = append(db[pred], schema.Atom{Pred: pred, Args: args})
+}
+
+// AddAtom inserts a ground atom.
+func (db DB) AddAtom(a schema.Atom) error {
+	for _, t := range a.Args {
+		if t.IsVar() {
+			return fmt.Errorf("execsim: non-ground tuple %s", a)
+		}
+	}
+	db[a.Pred] = append(db[a.Pred], a)
+	return nil
+}
+
+// Size returns the total number of tuples.
+func (db DB) Size() int {
+	n := 0
+	for _, ts := range db {
+		n += len(ts)
+	}
+	return n
+}
+
+// Eval evaluates a conjunctive query against the database and returns the
+// distinct head instances, deterministically ordered.
+func Eval(q *schema.Query, db DB) []schema.Atom {
+	var out []schema.Atom
+	seen := make(map[string]bool)
+	var rec func(i int, sub schema.Subst)
+	rec = func(i int, sub schema.Subst) {
+		if i == len(q.Body) {
+			head := sub.ApplyAtom(q.HeadAtom())
+			k := head.String()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, head)
+			}
+			return
+		}
+		goal := q.Body[i]
+		for _, tuple := range db[goal.Pred] {
+			if ext, ok := schema.MatchAtom(goal, tuple, sub); ok {
+				rec(i+1, ext)
+			}
+		}
+	}
+	rec(0, schema.Subst{})
+	sortAtoms(out)
+	return out
+}
+
+// sortAtoms orders atoms lexicographically by their rendering for
+// deterministic output.
+func sortAtoms(as []schema.Atom) {
+	sort.Slice(as, func(i, j int) bool { return as[i].String() < as[j].String() })
+}
+
+// AnswerSet accumulates the union of plan outputs with deduplication.
+type AnswerSet struct {
+	seen  map[string]bool
+	atoms []schema.Atom
+}
+
+// NewAnswerSet returns an empty accumulator.
+func NewAnswerSet() *AnswerSet {
+	return &AnswerSet{seen: make(map[string]bool)}
+}
+
+// Add inserts atoms and returns how many were new.
+func (s *AnswerSet) Add(atoms []schema.Atom) int {
+	fresh := 0
+	for _, a := range atoms {
+		k := a.String()
+		if !s.seen[k] {
+			s.seen[k] = true
+			s.atoms = append(s.atoms, a)
+			fresh++
+		}
+	}
+	return fresh
+}
+
+// Len returns the number of distinct answers.
+func (s *AnswerSet) Len() int { return len(s.atoms) }
+
+// Atoms returns the distinct answers in insertion order.
+func (s *AnswerSet) Atoms() []schema.Atom { return s.atoms }
+
+// Contains reports whether the answer is present.
+func (s *AnswerSet) Contains(a schema.Atom) bool { return s.seen[a.String()] }
+
+// String renders the answers, sorted, one per line.
+func (s *AnswerSet) String() string {
+	cp := append([]schema.Atom(nil), s.atoms...)
+	sortAtoms(cp)
+	var b strings.Builder
+	for _, a := range cp {
+		b.WriteString(a.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,142 @@
+package execsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qporder/internal/lav"
+	"qporder/internal/schema"
+)
+
+// Engine executes query plans (conjunctive queries whose body atoms are
+// source relations) against a store of source contents. It accounts
+// access costs with the paper's parameters (overhead h per access,
+// transmission cost α per returned item), optionally simulates per-access
+// failures with retries, and optionally caches source-operation results.
+type Engine struct {
+	cat   *lav.Catalog
+	store DB
+
+	// Caching enables the source-operation cache: re-running an identical
+	// access (same source, same position, same bound pattern) is free.
+	Caching bool
+	// OnAccess, when set, is invoked after every real source access (cache
+	// hits excluded) with the source name, the number of tuples returned,
+	// and the number of failed attempts before success — the feed for
+	// adaptive statistics tracking.
+	OnAccess func(source string, tuples, failedAttempts int)
+	// rng drives failure simulation; nil disables failures.
+	rng *rand.Rand
+
+	cache map[string][]schema.Atom
+
+	// Cost is the accumulated execution cost in cost units.
+	Cost float64
+	// Accesses counts successful source accesses (cache hits excluded).
+	Accesses int
+	// CacheHits counts accesses served from the cache.
+	CacheHits int
+	// FailedAttempts counts access attempts lost to simulated failures.
+	FailedAttempts int
+}
+
+// NewEngine builds an engine over source contents. The store maps source
+// names (catalog names) to their tuples.
+func NewEngine(cat *lav.Catalog, store DB) *Engine {
+	return &Engine{cat: cat, store: store, cache: make(map[string][]schema.Atom)}
+}
+
+// EnableFailures turns on failure simulation with the given seed; each
+// access attempt to source V fails independently with V's FailureProb and
+// is retried (each failed attempt still pays the access overhead).
+func (e *Engine) EnableFailures(seed int64) {
+	e.rng = rand.New(rand.NewSource(seed))
+}
+
+// ExecutePlan evaluates the plan query with a left-to-right nested-loop
+// strategy: each body atom triggers one source operation per distinct
+// binding pattern of its bound arguments; returned tuples extend the
+// bindings. The distinct head instances are returned.
+func (e *Engine) ExecutePlan(pq *schema.Query) ([]schema.Atom, error) {
+	for _, a := range pq.Body {
+		if _, ok := e.cat.ByName(a.Pred); !ok {
+			return nil, fmt.Errorf("execsim: plan atom %s is not a catalog source", a)
+		}
+	}
+	var out []schema.Atom
+	seen := make(map[string]bool)
+	var rec func(i int, sub schema.Subst) error
+	rec = func(i int, sub schema.Subst) error {
+		if i == len(pq.Body) {
+			head := sub.ApplyAtom(pq.HeadAtom())
+			if k := head.String(); !seen[k] {
+				seen[k] = true
+				out = append(out, head)
+			}
+			return nil
+		}
+		goal := sub.ApplyAtom(pq.Body[i])
+		matches, err := e.access(i, goal)
+		if err != nil {
+			return err
+		}
+		for _, tuple := range matches {
+			ext, ok := schema.MatchAtom(goal, tuple, sub)
+			if !ok {
+				continue
+			}
+			if err := rec(i+1, ext); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0, schema.Subst{}); err != nil {
+		return nil, err
+	}
+	sortAtoms(out)
+	return out, nil
+}
+
+// access performs one source operation: fetch the tuples of goal's source
+// matching goal's bound arguments. Costs: overhead per attempt (failures
+// retry), transmission cost per returned tuple. With caching on, an
+// identical operation is free.
+func (e *Engine) access(pos int, goal schema.Atom) ([]schema.Atom, error) {
+	key := fmt.Sprintf("%d/%s", pos, goal.String())
+	if e.Caching {
+		if res, ok := e.cache[key]; ok {
+			e.CacheHits++
+			return res, nil
+		}
+	}
+	src, _ := e.cat.ByName(goal.Pred)
+	st := src.Stats
+
+	// Failure simulation: retry until success, paying overhead each try.
+	failed := 0
+	if e.rng != nil {
+		for e.rng.Float64() < st.FailureProb {
+			e.Cost += st.Overhead
+			e.FailedAttempts++
+			failed++
+		}
+	}
+	e.Cost += st.Overhead
+
+	var res []schema.Atom
+	for _, tuple := range e.store[goal.Pred] {
+		if _, ok := schema.MatchAtom(goal, tuple, schema.Subst{}); ok {
+			res = append(res, tuple)
+		}
+	}
+	e.Cost += st.TransmitCost * float64(len(res))
+	e.Accesses++
+	if e.Caching {
+		e.cache[key] = res
+	}
+	if e.OnAccess != nil {
+		e.OnAccess(goal.Pred, len(res), failed)
+	}
+	return res, nil
+}

@@ -1,0 +1,69 @@
+package execsim
+
+import (
+	"fmt"
+
+	"qporder/internal/physopt"
+	"qporder/internal/schema"
+)
+
+// ExecutePhysical evaluates a physical plan. Scan steps fetch the
+// source's relation once, up front (binding-independent, hence shareable
+// through the operation cache); Bind steps push the current bindings into
+// the source, one access per distinct binding, exactly like ExecutePlan.
+func (e *Engine) ExecutePhysical(p *physopt.Plan) ([]schema.Atom, error) {
+	for _, s := range p.Steps {
+		if _, ok := e.cat.ByName(s.Atom.Pred); !ok {
+			return nil, fmt.Errorf("execsim: plan atom %s is not a catalog source", s.Atom)
+		}
+	}
+	// Pre-fetch every scanned relation (unconditional work).
+	scanned := make([][]schema.Atom, len(p.Steps))
+	for i, s := range p.Steps {
+		if s.Method != physopt.Scan {
+			continue
+		}
+		rows, err := e.access(i, s.Atom)
+		if err != nil {
+			return nil, err
+		}
+		scanned[i] = rows
+	}
+
+	var out []schema.Atom
+	seen := make(map[string]bool)
+	var rec func(i int, sub schema.Subst) error
+	rec = func(i int, sub schema.Subst) error {
+		if i == len(p.Steps) {
+			head := sub.ApplyAtom(schema.Atom{Pred: p.Name, Args: p.Head})
+			if k := head.String(); !seen[k] {
+				seen[k] = true
+				out = append(out, head)
+			}
+			return nil
+		}
+		step := p.Steps[i]
+		goal := sub.ApplyAtom(step.Atom)
+		rows := scanned[i]
+		if step.Method == physopt.Bind {
+			var err error
+			rows, err = e.access(i, goal)
+			if err != nil {
+				return err
+			}
+		}
+		for _, row := range rows {
+			if ext, ok := schema.MatchAtom(goal, row, sub); ok {
+				if err := rec(i+1, ext); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := rec(0, schema.Subst{}); err != nil {
+		return nil, err
+	}
+	sortAtoms(out)
+	return out, nil
+}

@@ -1,0 +1,98 @@
+package execsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qporder/internal/lav"
+	"qporder/internal/schema"
+)
+
+// RelationSpec describes one mediated-schema relation for world
+// generation.
+type RelationSpec struct {
+	Name  string
+	Arity int
+}
+
+// WorldConfig parameterizes synthetic world generation.
+type WorldConfig struct {
+	// Relations lists the schema relations to populate.
+	Relations []RelationSpec
+	// TuplesPerRelation is the number of tuples per relation.
+	TuplesPerRelation int
+	// DomainSize is the number of distinct constants per attribute
+	// position; smaller values produce more joins.
+	DomainSize int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// GenerateWorld builds a random ground database over the schema
+// relations. Constants are "c0".."c<DomainSize-1>", shared across
+// relations and positions so joins have matches.
+func GenerateWorld(cfg WorldConfig) DB {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := make(DB)
+	for _, rel := range cfg.Relations {
+		seen := make(map[string]bool)
+		for len(db[rel.Name]) < cfg.TuplesPerRelation {
+			vals := make([]string, rel.Arity)
+			for i := range vals {
+				vals[i] = fmt.Sprintf("c%d", rng.Intn(cfg.DomainSize))
+			}
+			key := fmt.Sprint(vals)
+			if seen[key] {
+				// Tolerate saturation of small domains.
+				if len(seen) >= pow(cfg.DomainSize, rel.Arity) {
+					break
+				}
+				continue
+			}
+			seen[key] = true
+			db.Add(rel.Name, vals...)
+		}
+	}
+	return db
+}
+
+func pow(b, e int) int {
+	out := 1
+	for i := 0; i < e; i++ {
+		out *= b
+	}
+	return out
+}
+
+// PopulateSources derives source contents from a world: each source holds
+// a random subset of its description's answers on the world, reflecting
+// the LAV semantics that sources are sound but incomplete. completeness
+// is the inclusion probability per tuple. Sources without descriptions
+// are skipped. The returned DB maps source names to tuples.
+func PopulateSources(cat *lav.Catalog, world DB, completeness float64, seed int64) DB {
+	return PopulateSourcesWith(cat, world, func(string) float64 { return completeness }, seed)
+}
+
+// PopulateSourcesWith is PopulateSources with per-source completeness,
+// e.g. to make simulated contents consistent with a coverage model.
+func PopulateSourcesWith(cat *lav.Catalog, world DB, completeness func(source string) float64, seed int64) DB {
+	rng := rand.New(rand.NewSource(seed))
+	store := make(DB)
+	for _, src := range cat.Sources() {
+		if src.Def == nil {
+			continue
+		}
+		c := completeness(src.Name)
+		full := Eval(src.Def, world)
+		for _, a := range full {
+			if rng.Float64() < c {
+				store[src.Name] = append(store[src.Name],
+					schema.Atom{Pred: src.Name, Args: a.Args})
+			}
+		}
+		if store[src.Name] == nil {
+			store[src.Name] = nil // present but possibly empty
+		}
+	}
+	return store
+}

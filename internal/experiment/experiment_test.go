@@ -1,0 +1,156 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"qporder/internal/workload"
+)
+
+func smallCfg() workload.Config {
+	return workload.Config{QueryLen: 2, BucketSize: 4, Universe: 256, Zones: 2, Seed: 1}
+}
+
+func TestBuildMeasureAllKeys(t *testing.T) {
+	d := workload.Generate(smallCfg())
+	for _, key := range []MeasureKey{
+		MeasureCoverage, MeasureChain, MeasureChainFail, MeasureChainFailCache,
+		MeasureMonetary, MeasureMonetaryCache, MeasureLinear,
+	} {
+		if _, err := BuildMeasure(d, key); err != nil {
+			t.Errorf("BuildMeasure(%s): %v", key, err)
+		}
+	}
+	if _, err := BuildMeasure(d, "nope"); err == nil {
+		t.Error("unknown measure accepted")
+	}
+}
+
+func TestBuildOrdererApplicability(t *testing.T) {
+	d := workload.Generate(smallCfg())
+	// Streamer must be rejected for caching measures.
+	if _, err := BuildOrderer(d, MeasureChainFailCache, AlgoStreamer); err == nil {
+		t.Error("Streamer accepted for caching measure")
+	}
+	// Greedy only for the linear measure.
+	if _, err := BuildOrderer(d, MeasureCoverage, AlgoGreedy); err == nil {
+		t.Error("Greedy accepted for coverage")
+	}
+	if _, err := BuildOrderer(d, MeasureLinear, AlgoGreedy); err != nil {
+		t.Errorf("Greedy rejected for linear: %v", err)
+	}
+	if _, err := BuildOrderer(d, MeasureCoverage, "nope"); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestRunProducesPlansAndCountsEvals(t *testing.T) {
+	d := workload.Generate(smallCfg())
+	res := Run(d, Cell{Algo: AlgoPI, Measure: MeasureCoverage, K: 3, Config: smallCfg()})
+	if res.Err != "" {
+		t.Fatal(res.Err)
+	}
+	if res.Plans != 3 {
+		t.Errorf("Plans = %d", res.Plans)
+	}
+	if res.Evals < int(d.Space.Size()) {
+		t.Errorf("PI evals = %d, want >= %d", res.Evals, d.Space.Size())
+	}
+	if res.Time <= 0 {
+		t.Error("no time recorded")
+	}
+}
+
+func TestRunReportsInapplicable(t *testing.T) {
+	d := workload.Generate(smallCfg())
+	res := Run(d, Cell{Algo: AlgoStreamer, Measure: MeasureChainFailCache, K: 3, Config: smallCfg()})
+	if res.Err == "" {
+		t.Error("expected inapplicability error")
+	}
+}
+
+func TestFig6PanelsShape(t *testing.T) {
+	panels := Fig6Panels()
+	if len(panels) != 12 {
+		t.Fatalf("panels = %d", len(panels))
+	}
+	ids := map[string]bool{}
+	for _, p := range panels {
+		ids[p.ID] = true
+		if p.K != 1 && p.K != 10 && p.K != 100 {
+			t.Errorf("panel %s has k=%d", p.ID, p.K)
+		}
+		if len(p.Algos) < 2 {
+			t.Errorf("panel %s has %d algorithms", p.ID, len(p.Algos))
+		}
+	}
+	for _, c := range "abcdefghijkl" {
+		if !ids["6"+string(c)] {
+			t.Errorf("panel 6%c missing", c)
+		}
+	}
+	// Caching panels exclude Streamer.
+	for _, id := range []string{"6g", "6h", "6i"} {
+		p, _ := PanelByID(id)
+		for _, a := range p.Algos {
+			if a == AlgoStreamer {
+				t.Errorf("panel %s wrongly includes streamer", id)
+			}
+		}
+	}
+	if _, ok := PanelByID("9z"); ok {
+		t.Error("unknown panel found")
+	}
+}
+
+func TestRunPanelAndTable(t *testing.T) {
+	dc := make(DomainCache)
+	p, _ := PanelByID("6a")
+	pr := RunPanel(dc, p, []int{3, 4}, smallCfg())
+	if len(pr.Results) != 2 || len(pr.Results[0]) != len(p.Algos) {
+		t.Fatalf("result shape wrong: %v", pr.Results)
+	}
+	var sb strings.Builder
+	pr.Table().Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "pi-time") || !strings.Contains(out, "streamer-evals") {
+		t.Errorf("table missing columns:\n%s", out)
+	}
+}
+
+func TestDomainCacheReuses(t *testing.T) {
+	dc := make(DomainCache)
+	a := dc.Get(smallCfg())
+	b := dc.Get(smallCfg())
+	if a != b {
+		t.Error("cache did not reuse domain")
+	}
+}
+
+func TestEvalFraction(t *testing.T) {
+	dc := make(DomainCache)
+	s, p, f := EvalFraction(dc, smallCfg())
+	if s <= 0 || p <= 0 {
+		t.Fatalf("evals = %d, %d", s, p)
+	}
+	if f <= 0 || f > 2 {
+		t.Errorf("fraction = %g", f)
+	}
+}
+
+func TestSweeps(t *testing.T) {
+	dc := make(DomainCache)
+	ov := RunOverlapSweep(dc, []int{2, 1}, 2, smallCfg())
+	if len(ov) != 2 || len(ov[0].Results) != 2 {
+		t.Fatalf("overlap sweep shape: %v", ov)
+	}
+	ql := RunQueryLenSweep(dc, []int{1, 2}, 2, MeasureCoverage, smallCfg())
+	if len(ql) != 2 || len(ql[0].Results) != 3 {
+		t.Fatalf("qlen sweep shape: %v", ql)
+	}
+	var sb strings.Builder
+	SweepTable(ov, []Algorithm{AlgoPI, AlgoStreamer}).Render(&sb)
+	if !strings.Contains(sb.String(), "overlap") {
+		t.Error("sweep table missing labels")
+	}
+}

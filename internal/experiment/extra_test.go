@@ -1,0 +1,103 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"qporder/internal/workload"
+)
+
+func TestRunHeuristicAblation(t *testing.T) {
+	dc := make(DomainCache)
+	cfg := workload.Config{QueryLen: 2, BucketSize: 5, Universe: 256, Zones: 2, Seed: 4}
+	pts := RunHeuristicAblation(dc, 3, cfg)
+	if len(pts) != 6 { // 3 heuristics x {streamer, idrips}
+		t.Fatalf("points = %d", len(pts))
+	}
+	names := map[string]bool{}
+	for _, p := range pts {
+		names[p.Heuristic] = true
+		if p.Result.Err != "" {
+			t.Errorf("%s/%s: %s", p.Heuristic, p.Algo, p.Result.Err)
+			continue
+		}
+		if p.Result.Plans != 3 || p.Result.Evals == 0 {
+			t.Errorf("%s/%s: plans=%d evals=%d", p.Heuristic, p.Algo, p.Result.Plans, p.Result.Evals)
+		}
+	}
+	for _, want := range []string{"cov-sim", "by-tuples", "by-id"} {
+		if !names[want] {
+			t.Errorf("heuristic %s missing", want)
+		}
+	}
+	var sb strings.Builder
+	AblationTable(pts).Render(&sb)
+	if !strings.Contains(sb.String(), "links-recycled") {
+		t.Error("ablation table missing columns")
+	}
+}
+
+func TestRunFirstAnswers(t *testing.T) {
+	dc := make(DomainCache)
+	d := dc.Get(workload.Config{QueryLen: 2, BucketSize: 4, Universe: 256, Zones: 2, Seed: 9})
+	r, err := RunFirstAnswers(d, []float64{0.5, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalAnswers <= 0 || r.TotalCost <= 0 {
+		t.Fatalf("degenerate totals: %+v", r)
+	}
+	if len(r.OrderedCostAt) != 2 || len(r.UnorderedCostAt) != 2 {
+		t.Fatalf("cost slices wrong: %+v", r)
+	}
+	for i := range r.Fractions {
+		if r.OrderedCostAt[i] <= 0 || r.OrderedCostAt[i] > r.TotalCost {
+			t.Errorf("ordered cost[%d] = %g out of range", i, r.OrderedCostAt[i])
+		}
+		if i > 0 && r.OrderedCostAt[i] < r.OrderedCostAt[i-1] {
+			t.Errorf("ordered costs not monotone: %v", r.OrderedCostAt)
+		}
+	}
+	var sb strings.Builder
+	r.Table().Render(&sb)
+	if !strings.Contains(sb.String(), "saving") {
+		t.Error("tta table missing columns")
+	}
+}
+
+func TestRunSoundness(t *testing.T) {
+	r, err := RunSoundness(40, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Domains == 0 {
+		t.Fatal("no domains measured")
+	}
+	if r.MeanDensity <= 0 || r.MeanDensity > 1 {
+		t.Errorf("density = %g", r.MeanDensity)
+	}
+	if r.MeanFirstSoundRank < 1 {
+		t.Errorf("mean rank = %g", r.MeanFirstSoundRank)
+	}
+	if r.MaxFirstSoundRank < 1 || r.PredictedRank99 < 1 {
+		t.Errorf("result = %+v", r)
+	}
+	var sb strings.Builder
+	r.Table().Render(&sb)
+	if !strings.Contains(sb.String(), "density") {
+		t.Error("table missing columns")
+	}
+}
+
+func TestHeuristicSelectionPerMeasure(t *testing.T) {
+	d := workload.Generate(workload.Config{QueryLen: 2, BucketSize: 3, Universe: 128, Seed: 1})
+	if got := Heuristic(d, MeasureCoverage).Name(); got != "cov-sim" {
+		t.Errorf("coverage heuristic = %s", got)
+	}
+	if got := Heuristic(d, MeasureChainFail).Name(); got != "by-access-cost" {
+		t.Errorf("chain heuristic = %s", got)
+	}
+	if got := Heuristic(d, MeasureMonetary).Name(); got != "by-id" {
+		t.Errorf("monetary heuristic = %s", got)
+	}
+}

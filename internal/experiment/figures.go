@@ -1,0 +1,257 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"qporder/internal/abstraction"
+	"qporder/internal/core"
+	"qporder/internal/stats"
+	"qporder/internal/workload"
+)
+
+// Panel describes one panel of Figure 6: one utility measure, one k, the
+// applicable algorithms, time plotted against bucket size.
+type Panel struct {
+	ID      string
+	Title   string
+	Measure MeasureKey
+	K       int
+	Algos   []Algorithm
+}
+
+// Fig6Panels returns the twelve panels of Figure 6:
+// (a)-(c) plan coverage for k = 1, 10, 100;
+// (d)-(f) cost measure (2) with source failure, no caching;
+// (g)-(i) the same with caching (Streamer inapplicable);
+// (j)-(l) average monetary cost per tuple.
+func Fig6Panels() []Panel {
+	three := []Algorithm{AlgoPI, AlgoIDrips, AlgoStreamer}
+	two := []Algorithm{AlgoPI, AlgoIDrips}
+	ks := []int{1, 10, 100}
+	var panels []Panel
+	add := func(ids string, title string, m MeasureKey, algos []Algorithm) {
+		for i, k := range ks {
+			panels = append(panels, Panel{
+				ID:      "6" + string(ids[i]),
+				Title:   fmt.Sprintf("%s, first %d plan(s)", title, k),
+				Measure: m,
+				K:       k,
+				Algos:   algos,
+			})
+		}
+	}
+	add("abc", "plan coverage", MeasureCoverage, three)
+	add("def", "cost(2)+failure, no caching", MeasureChainFail, three)
+	add("ghi", "cost(2)+failure, caching", MeasureChainFailCache, two)
+	add("jkl", "avg monetary cost per tuple", MeasureMonetary, three)
+	return panels
+}
+
+// PanelByID finds a panel; ok=false when the ID is unknown.
+func PanelByID(id string) (Panel, bool) {
+	for _, p := range Fig6Panels() {
+		if p.ID == id {
+			return p, true
+		}
+	}
+	return Panel{}, false
+}
+
+// DomainCache memoizes generated domains so every algorithm in a panel
+// (and across panels) sees identical inputs.
+type DomainCache map[workload.Config]*workload.Domain
+
+// Get returns the cached domain for a configuration, generating on miss.
+func (dc DomainCache) Get(cfg workload.Config) *workload.Domain {
+	if d, ok := dc[cfg]; ok {
+		return d
+	}
+	d := workload.Generate(cfg)
+	dc[cfg] = d
+	return d
+}
+
+// PanelResult is one executed panel: per bucket size, per algorithm.
+type PanelResult struct {
+	Panel
+	BucketSizes []int
+	// Results[i][j] is bucket size i, algorithm j (panel order).
+	Results [][]Result
+}
+
+// RunPanel executes a panel over the given bucket sizes. base supplies
+// the shared configuration (query length, zones, universe, seed).
+func RunPanel(dc DomainCache, p Panel, sizes []int, base workload.Config) PanelResult {
+	pr := PanelResult{Panel: p, BucketSizes: sizes}
+	for _, m := range sizes {
+		cfg := base
+		cfg.BucketSize = m
+		d := dc.Get(cfg)
+		row := make([]Result, len(p.Algos))
+		for j, algo := range p.Algos {
+			row[j] = Run(d, Cell{Algo: algo, Measure: p.Measure, K: p.K, Config: cfg})
+		}
+		pr.Results = append(pr.Results, row)
+	}
+	return pr
+}
+
+// Table renders the panel as the paper-shaped series: one row per bucket
+// size, one time and evals column per algorithm.
+func (pr PanelResult) Table() *stats.Table {
+	headers := []string{"bucket"}
+	for _, a := range pr.Algos {
+		headers = append(headers, string(a)+"-time", string(a)+"-evals")
+	}
+	t := stats.NewTable(headers...)
+	for i, m := range pr.BucketSizes {
+		row := []string{fmt.Sprint(m)}
+		for _, r := range pr.Results[i] {
+			if r.Err != "" {
+				row = append(row, "n/a", "n/a")
+				continue
+			}
+			row = append(row, stats.FormatDuration(r.Time), fmt.Sprint(r.Evals))
+		}
+		t.Add(row...)
+	}
+	return t
+}
+
+// OverlapSweep runs the prose experiment on overlap rate: Streamer vs PI
+// on plan coverage, k plans, varying the zone count (overlap ≈ 1/zones).
+type SweepPoint struct {
+	Label   string
+	Results []Result
+}
+
+// RunOverlapSweep returns one point per zone count, each with PI and
+// Streamer results.
+func RunOverlapSweep(dc DomainCache, zones []int, k int, base workload.Config) []SweepPoint {
+	var out []SweepPoint
+	for _, z := range zones {
+		cfg := base
+		cfg.Zones = z
+		d := dc.Get(cfg)
+		pt := SweepPoint{Label: fmt.Sprintf("overlap≈%.2f", 1/float64(z))}
+		for _, algo := range []Algorithm{AlgoPI, AlgoStreamer} {
+			pt.Results = append(pt.Results, Run(d, Cell{Algo: algo, Measure: MeasureCoverage, K: k, Config: cfg}))
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+// RunQueryLenSweep varies query length (the paper: 1..7, same trends,
+// widening gaps) for a measure with all three algorithms.
+func RunQueryLenSweep(dc DomainCache, lengths []int, k int, m MeasureKey, base workload.Config) []SweepPoint {
+	var out []SweepPoint
+	for _, ql := range lengths {
+		cfg := base
+		cfg.QueryLen = ql
+		d := dc.Get(cfg)
+		pt := SweepPoint{Label: fmt.Sprintf("qlen=%d", ql)}
+		for _, algo := range []Algorithm{AlgoPI, AlgoIDrips, AlgoStreamer} {
+			pt.Results = append(pt.Results, Run(d, Cell{Algo: algo, Measure: m, K: k, Config: cfg}))
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+// EvalFraction reproduces the "<4% of the plans evaluated by PI" claim:
+// the ratio of Streamer's to PI's utility evaluations when finding the
+// first plan under plan coverage.
+func EvalFraction(dc DomainCache, base workload.Config) (streamerEvals, piEvals int, frac float64) {
+	d := dc.Get(base)
+	s := Run(d, Cell{Algo: AlgoStreamer, Measure: MeasureCoverage, K: 1, Config: base})
+	p := Run(d, Cell{Algo: AlgoPI, Measure: MeasureCoverage, K: 1, Config: base})
+	return s.Evals, p.Evals, float64(s.Evals) / float64(p.Evals)
+}
+
+// AblationPoint is one heuristic's result in the ablation study.
+type AblationPoint struct {
+	Heuristic string
+	Algo      Algorithm
+	Result    Result
+	// Recycled/Dropped are Streamer's link statistics (zero for others).
+	Recycled, Dropped int
+}
+
+// RunHeuristicAblation quantifies how much the grouping heuristic
+// matters (DESIGN.md's ablation): plan coverage ordered by Streamer and
+// iDrips under the zone-aware similarity key, the paper's plain
+// tuple-count key, and the uninformed by-ID grouping.
+func RunHeuristicAblation(dc DomainCache, k int, base workload.Config) []AblationPoint {
+	d := dc.Get(base)
+	heurs := []abstraction.Heuristic{
+		abstraction.ByKey("cov-sim", d.SimilarityKey),
+		abstraction.ByTuples(d.Catalog),
+		abstraction.ByID(),
+	}
+	var out []AblationPoint
+	for _, h := range heurs {
+		for _, algo := range []Algorithm{AlgoStreamer, AlgoIDrips} {
+			pt := AblationPoint{Heuristic: h.Name(), Algo: algo}
+			start := time.Now()
+			o, err := BuildOrdererWith(d, MeasureCoverage, algo, h)
+			if err != nil {
+				pt.Result.Err = err.Error()
+				out = append(out, pt)
+				continue
+			}
+			plans, _ := core.Take(o, k)
+			pt.Result = Result{
+				Cell:  Cell{Algo: algo, Measure: MeasureCoverage, K: k, Config: base},
+				Time:  time.Since(start),
+				Evals: o.Context().Evals(),
+				Plans: len(plans),
+			}
+			if s, ok := o.(*core.Streamer); ok {
+				pt.Recycled, pt.Dropped = s.LinkStats()
+			}
+			out = append(out, pt)
+		}
+	}
+	return out
+}
+
+// AblationTable renders the ablation results.
+func AblationTable(points []AblationPoint) *stats.Table {
+	t := stats.NewTable("heuristic", "algorithm", "time", "evals", "links-recycled", "links-dropped")
+	for _, p := range points {
+		if p.Result.Err != "" {
+			t.Add(p.Heuristic, string(p.Algo), "n/a", "n/a", "", "")
+			continue
+		}
+		rec, drop := "", ""
+		if p.Algo == AlgoStreamer {
+			rec, drop = fmt.Sprint(p.Recycled), fmt.Sprint(p.Dropped)
+		}
+		t.Add(p.Heuristic, string(p.Algo),
+			stats.FormatDuration(p.Result.Time), fmt.Sprint(p.Result.Evals), rec, drop)
+	}
+	return t
+}
+
+// SweepTable renders sweep points with the algorithm list used.
+func SweepTable(points []SweepPoint, algos []Algorithm) *stats.Table {
+	headers := []string{"point"}
+	for _, a := range algos {
+		headers = append(headers, string(a)+"-time", string(a)+"-evals")
+	}
+	t := stats.NewTable(headers...)
+	for _, pt := range points {
+		row := []string{pt.Label}
+		for _, r := range pt.Results {
+			if r.Err != "" {
+				row = append(row, "n/a", "n/a")
+				continue
+			}
+			row = append(row, stats.FormatDuration(r.Time), fmt.Sprint(r.Evals))
+		}
+		t.Add(row...)
+	}
+	return t
+}

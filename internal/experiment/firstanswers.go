@@ -1,0 +1,153 @@
+package experiment
+
+import (
+	"fmt"
+
+	"qporder/internal/core"
+	"qporder/internal/execsim"
+	"qporder/internal/planspace"
+	"qporder/internal/schema"
+	"qporder/internal/stats"
+	"qporder/internal/workload"
+)
+
+// FirstAnswersResult quantifies the paper's motivation (Section 1): how
+// much execution cost it takes to reach a fraction of the total answers
+// when plans are executed in utility order versus enumeration order.
+type FirstAnswersResult struct {
+	// TotalAnswers is the number of distinct answers over all plans.
+	TotalAnswers int
+	// TotalCost is the cost of executing every plan.
+	TotalCost float64
+	// OrderedCostAt[f] and UnorderedCostAt[f] give the cumulative cost at
+	// which the ordered/unordered execution first reached fraction f of
+	// the total answers (parallel slices with Fractions).
+	Fractions       []float64
+	OrderedCostAt   []float64
+	UnorderedCostAt []float64
+}
+
+// RunFirstAnswers executes every plan of the domain twice — in coverage
+// order (Streamer) and in plain enumeration order — against simulated
+// source contents, recording the cost at which each answer fraction is
+// reached.
+func RunFirstAnswers(d *workload.Domain, fractions []float64) (*FirstAnswersResult, error) {
+	// Source contents: derive from a synthetic world via the sources'
+	// chain-relation descriptions.
+	var rels []execsim.RelationSpec
+	for i := 0; i < d.Config.QueryLen; i++ {
+		rels = append(rels, execsim.RelationSpec{Name: fmt.Sprintf("rel%d", i), Arity: 2})
+	}
+	world := execsim.GenerateWorld(execsim.WorldConfig{
+		Relations:         rels,
+		TuplesPerRelation: 150,
+		DomainSize:        14,
+		Seed:              d.Config.Seed + 1,
+	})
+	// Tie each source's completeness to its coverage extent, so the
+	// coverage model the orderer reasons with is consistent with the
+	// simulated contents (a big-coverage source really returns more).
+	completeness := func(name string) float64 {
+		src, ok := d.Catalog.ByName(name)
+		if !ok {
+			return 0.5
+		}
+		return float64(d.SetSize(src.ID)) / float64(d.Config.Universe)
+	}
+	store := execsim.PopulateSourcesWith(d.Catalog, world, completeness, d.Config.Seed+2)
+
+	ordered, err := BuildOrderer(d, MeasureCoverage, AlgoStreamer)
+	if err != nil {
+		return nil, err
+	}
+	orderedPlans, _ := core.Take(ordered, int(d.Space.Size()))
+	unorderedPlans := d.Space.Enumerate()
+
+	res := &FirstAnswersResult{Fractions: fractions}
+	// First pass to learn the total answer count.
+	_, total, totalCost, err := executeAll(d, store, unorderedPlans, nil)
+	if err != nil {
+		return nil, err
+	}
+	res.TotalAnswers = total
+	res.TotalCost = totalCost
+
+	targets := make([]int, len(fractions))
+	for i, f := range fractions {
+		targets[i] = int(f * float64(total))
+		if targets[i] < 1 {
+			targets[i] = 1
+		}
+	}
+	if res.OrderedCostAt, _, _, err = executeAll(d, store, orderedPlans, targets); err != nil {
+		return nil, err
+	}
+	if res.UnorderedCostAt, _, _, err = executeAll(d, store, unorderedPlans, targets); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// executeAll runs the plans in order, returning the cost at which each
+// answer target was reached (unreached targets get the total cost), the
+// distinct-answer count, and the total cost.
+func executeAll(d *workload.Domain, store execsim.DB, plans []*planspace.Plan,
+	targets []int) ([]float64, int, float64, error) {
+	eng := execsim.NewEngine(d.Catalog, store)
+	answers := execsim.NewAnswerSet()
+	costAt := make([]float64, len(targets))
+	reached := make([]bool, len(targets))
+	for _, p := range plans {
+		pq := chainPlanQuery(d, p)
+		out, err := eng.ExecutePlan(pq)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		answers.Add(out)
+		for i, tgt := range targets {
+			if !reached[i] && answers.Len() >= tgt {
+				reached[i] = true
+				costAt[i] = eng.Cost
+			}
+		}
+	}
+	for i := range targets {
+		if !reached[i] {
+			costAt[i] = eng.Cost
+		}
+	}
+	return costAt, answers.Len(), eng.Cost, nil
+}
+
+// chainPlanQuery renders a synthetic-domain plan as its executable chain
+// query P(X0, Xn) :- V…(X0, X1), V…(X1, X2), ...
+func chainPlanQuery(d *workload.Domain, p *planspace.Plan) *schema.Query {
+	q := d.Query.Clone()
+	q.Name = "P"
+	srcs := p.Sources()
+	body := make([]schema.Atom, len(srcs))
+	for i, id := range srcs {
+		body[i] = schema.Atom{
+			Pred: d.Catalog.Source(id).Name,
+			Args: d.Query.Body[i].Args,
+		}
+	}
+	q.Body = body
+	return q
+}
+
+// FirstAnswersTable renders the result.
+func (r *FirstAnswersResult) Table() *stats.Table {
+	t := stats.NewTable("answer-fraction", "ordered-cost", "unordered-cost", "saving")
+	for i, f := range r.Fractions {
+		saving := "n/a"
+		if r.UnorderedCostAt[i] > 0 {
+			saving = fmt.Sprintf("%.1fx", r.UnorderedCostAt[i]/r.OrderedCostAt[i])
+		}
+		t.Add(fmt.Sprintf("%.0f%%", 100*f),
+			fmt.Sprintf("%.0f", r.OrderedCostAt[i]),
+			fmt.Sprintf("%.0f", r.UnorderedCostAt[i]),
+			saving)
+	}
+	return t
+}

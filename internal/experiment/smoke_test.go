@@ -1,0 +1,33 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"qporder/internal/workload"
+)
+
+// TestSmokePerAlgorithm pinpoints pathological algorithm/measure cells:
+// each must finish quickly at a small size.
+func TestSmokePerAlgorithm(t *testing.T) {
+	base := workload.Config{QueryLen: 3, Zones: 3, Universe: 1024, Seed: 42, BucketSize: 10}
+	dc := make(DomainCache)
+	d := dc.Get(base)
+	for _, algo := range []Algorithm{AlgoPI, AlgoIDrips, AlgoStreamer} {
+		for _, mk := range []MeasureKey{MeasureCoverage, MeasureChainFail, MeasureMonetary} {
+			algo, mk := algo, mk
+			t.Run(string(algo)+"/"+string(mk), func(t *testing.T) {
+				done := make(chan Result, 1)
+				go func() {
+					done <- Run(d, Cell{Algo: algo, Measure: mk, K: 5, Config: base})
+				}()
+				select {
+				case r := <-done:
+					t.Logf("time=%v evals=%d err=%q", r.Time, r.Evals, r.Err)
+				case <-time.After(10 * time.Second):
+					t.Fatalf("cell %s/%s did not finish within 10s", algo, mk)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"qporder/internal/core"
+	"qporder/internal/costmodel"
+	"qporder/internal/lav"
+	"qporder/internal/planspace"
+	"qporder/internal/reformulate"
+	"qporder/internal/schema"
+	"qporder/internal/stats"
+)
+
+// SoundnessResult supports Section 2's argument for ordering before
+// soundness testing: if sound plans are spread over the ordering, the
+// first sound plan appears within the first few ordered plans with high
+// probability (the paper: 20% density ⇒ sound plan in the first 20 with
+// probability 0.99).
+type SoundnessResult struct {
+	// Domains is the number of random domains measured.
+	Domains int
+	// MeanDensity is the average fraction of sound plans.
+	MeanDensity float64
+	// MeanFirstSoundRank is the average rank (1-based) of the first sound
+	// plan in the utility ordering.
+	MeanFirstSoundRank float64
+	// MaxFirstSoundRank is the worst rank observed.
+	MaxFirstSoundRank int
+	// PredictedRank99 is the geometric-tail prediction for covering 99%
+	// of cases at the mean density: ceil(ln 0.01 / ln(1-density)).
+	PredictedRank99 int
+}
+
+// RunSoundness measures sound-plan density and the rank of the first
+// sound plan over random LAV domains (random view definitions with
+// projections, so unsound candidates arise naturally).
+func RunSoundness(domains int, seed int64) (*SoundnessResult, error) {
+	rng := rand.New(rand.NewSource(seed))
+	res := &SoundnessResult{}
+	densSum, rankSum := 0.0, 0.0
+	measured := 0
+	for i := 0; i < domains; i++ {
+		cat, q := randomLAVDomain(rng)
+		b, err := reformulate.BuildBuckets(q, cat)
+		if err != nil {
+			continue // query not answerable in this draw
+		}
+		pd := reformulate.NewPlanDomain(b, cat)
+		total := int(pd.Space.Size())
+		if total == 0 {
+			continue
+		}
+		soundCount := 0
+		for _, p := range pd.Space.Enumerate() {
+			ok, err := pd.IsSound(p)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				soundCount++
+			}
+		}
+		if soundCount == 0 {
+			continue
+		}
+		// Order by cost measure (2) and find the first sound plan's rank.
+		m := costmodel.NewChainCost(pd.Entries, costmodel.Params{N: 10000})
+		o := core.NewPI([]*planspace.Space{pd.Space}, m)
+		rank := 0
+		for {
+			p, _, ok := o.Next()
+			if !ok {
+				break
+			}
+			rank++
+			isSound, err := pd.IsSound(p)
+			if err != nil {
+				return nil, err
+			}
+			if isSound {
+				break
+			}
+		}
+		measured++
+		densSum += float64(soundCount) / float64(total)
+		rankSum += float64(rank)
+		if rank > res.MaxFirstSoundRank {
+			res.MaxFirstSoundRank = rank
+		}
+	}
+	if measured == 0 {
+		return nil, fmt.Errorf("experiment: no measurable random domains in %d draws", domains)
+	}
+	res.Domains = measured
+	res.MeanDensity = densSum / float64(measured)
+	res.MeanFirstSoundRank = rankSum / float64(measured)
+	if res.MeanDensity > 0 && res.MeanDensity < 1 {
+		res.PredictedRank99 = int(math.Ceil(math.Log(0.01) / math.Log(1-res.MeanDensity)))
+	} else {
+		res.PredictedRank99 = 1
+	}
+	return res, nil
+}
+
+// randomLAVDomain builds one random LAV domain: binary relations r0..r2,
+// sources with 1-2 body atoms and random projections, and a 2-subgoal
+// query with a constant (so unsound projection-based candidates occur).
+func randomLAVDomain(rng *rand.Rand) (*lav.Catalog, *schema.Query) {
+	cat := lav.NewCatalog()
+	n := 4 + rng.Intn(5)
+	for s := 0; s < n; s++ {
+		var body []schema.Atom
+		var vars []schema.Term
+		for a := 0; a < 1+rng.Intn(2); a++ {
+			v1 := schema.Var(fmt.Sprintf("Y%d", rng.Intn(3)))
+			v2 := schema.Var(fmt.Sprintf("Y%d", rng.Intn(3)))
+			body = append(body, schema.NewAtom(fmt.Sprintf("r%d", rng.Intn(3)), v1, v2))
+			vars = append(vars, v1, v2)
+		}
+		seen := map[schema.Term]bool{}
+		var head []schema.Term
+		for _, v := range vars {
+			if !seen[v] {
+				seen[v] = true
+				if rng.Intn(3) > 0 {
+					head = append(head, v)
+				}
+			}
+		}
+		if len(head) == 0 {
+			head = vars[:1]
+		}
+		def := &schema.Query{Name: fmt.Sprintf("W%d", s), Head: head, Body: body}
+		cat.MustAdd(def.Name, def, lav.Stats{
+			Tuples:       float64(1 + rng.Intn(1000)),
+			TransmitCost: 0.5 + rng.Float64(),
+			Overhead:     1 + 9*rng.Float64(),
+		})
+	}
+	q := &schema.Query{
+		Name: "Q",
+		Head: []schema.Term{schema.Var("Q1")},
+		Body: []schema.Atom{
+			schema.NewAtom(fmt.Sprintf("r%d", rng.Intn(3)), schema.Var("Q1"), schema.Const("k0")),
+			schema.NewAtom(fmt.Sprintf("r%d", rng.Intn(3)), schema.Var("Q1"), schema.Var("Q2")),
+		},
+	}
+	return cat, q
+}
+
+// Table renders the soundness-rank result.
+func (r *SoundnessResult) Table() *stats.Table {
+	t := stats.NewTable("domains", "mean-sound-density", "mean-first-sound-rank",
+		"max-first-sound-rank", "99%-rank-at-density")
+	t.Add(fmt.Sprint(r.Domains),
+		fmt.Sprintf("%.0f%%", 100*r.MeanDensity),
+		fmt.Sprintf("%.2f", r.MeanFirstSoundRank),
+		fmt.Sprint(r.MaxFirstSoundRank),
+		fmt.Sprint(r.PredictedRank99))
+	return t
+}

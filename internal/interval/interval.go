@@ -1,0 +1,118 @@
+// Package interval implements the real-valued interval arithmetic used to
+// evaluate the utility of abstract plans (Section 5.1 of the paper).
+//
+// An abstract plan represents a set of concrete plans; its utility is an
+// interval guaranteed to contain the utility of every represented concrete
+// plan. Drips-style dominance elimination compares interval endpoints:
+// p dominates q when Low(p) >= High(q).
+package interval
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval is a closed real interval [Lo, Hi]. A point value x is
+// represented as [x, x]. The zero value is the point 0.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Point returns the degenerate interval [x, x].
+func Point(x float64) Interval { return Interval{x, x} }
+
+// New returns [lo, hi], normalizing a reversed pair.
+func New(lo, hi float64) Interval {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return Interval{lo, hi}
+}
+
+// IsPoint reports whether the interval is degenerate.
+func (a Interval) IsPoint() bool { return a.Lo == a.Hi }
+
+// Width returns Hi-Lo.
+func (a Interval) Width() float64 { return a.Hi - a.Lo }
+
+// Mid returns the midpoint.
+func (a Interval) Mid() float64 { return (a.Lo + a.Hi) / 2 }
+
+// Contains reports whether x ∈ [Lo, Hi].
+func (a Interval) Contains(x float64) bool { return a.Lo <= x && x <= a.Hi }
+
+// ContainsInterval reports whether b ⊆ a.
+func (a Interval) ContainsInterval(b Interval) bool { return a.Lo <= b.Lo && b.Hi <= a.Hi }
+
+// Overlaps reports whether a ∩ b ≠ ∅.
+func (a Interval) Overlaps(b Interval) bool { return a.Lo <= b.Hi && b.Lo <= a.Hi }
+
+// Add returns a + b.
+func (a Interval) Add(b Interval) Interval { return Interval{a.Lo + b.Lo, a.Hi + b.Hi} }
+
+// Sub returns a - b.
+func (a Interval) Sub(b Interval) Interval { return Interval{a.Lo - b.Hi, a.Hi - b.Lo} }
+
+// Neg returns -a.
+func (a Interval) Neg() Interval { return Interval{-a.Hi, -a.Lo} }
+
+// Mul returns a * b (general sign-safe product).
+func (a Interval) Mul(b Interval) Interval {
+	p1 := a.Lo * b.Lo
+	p2 := a.Lo * b.Hi
+	p3 := a.Hi * b.Lo
+	p4 := a.Hi * b.Hi
+	return Interval{
+		math.Min(math.Min(p1, p2), math.Min(p3, p4)),
+		math.Max(math.Max(p1, p2), math.Max(p3, p4)),
+	}
+}
+
+// Scale returns c * a for a scalar c.
+func (a Interval) Scale(c float64) Interval {
+	if c >= 0 {
+		return Interval{c * a.Lo, c * a.Hi}
+	}
+	return Interval{c * a.Hi, c * a.Lo}
+}
+
+// Div returns a / b. b must not contain zero; division by an interval
+// straddling zero is a modeling error in this codebase (utilities never
+// divide by quantities that can vanish), so it panics.
+func (a Interval) Div(b Interval) Interval {
+	if b.Lo <= 0 && b.Hi >= 0 {
+		panic(fmt.Sprintf("interval: division by interval containing zero: %v", b))
+	}
+	return a.Mul(Interval{1 / b.Hi, 1 / b.Lo})
+}
+
+// Hull returns the smallest interval containing both a and b.
+func (a Interval) Hull(b Interval) Interval {
+	return Interval{math.Min(a.Lo, b.Lo), math.Max(a.Hi, b.Hi)}
+}
+
+// Dominates reports the Drips dominance test: every point of a is >= every
+// point of b, i.e. a.Lo >= b.Hi. Equal point intervals dominate each other;
+// callers must tie-break to keep the dominance relation acyclic.
+func (a Interval) Dominates(b Interval) bool { return a.Lo >= b.Hi }
+
+// StrictlyDominates reports a.Lo > b.Hi.
+func (a Interval) StrictlyDominates(b Interval) bool { return a.Lo > b.Hi }
+
+// Min returns the interval of min(x, y) for x ∈ a, y ∈ b.
+func (a Interval) Min(b Interval) Interval {
+	return Interval{math.Min(a.Lo, b.Lo), math.Min(a.Hi, b.Hi)}
+}
+
+// Max returns the interval of max(x, y) for x ∈ a, y ∈ b.
+func (a Interval) Max(b Interval) Interval {
+	return Interval{math.Max(a.Lo, b.Lo), math.Max(a.Hi, b.Hi)}
+}
+
+// String renders "[lo, hi]" or "x" for points.
+func (a Interval) String() string {
+	if a.IsPoint() {
+		return fmt.Sprintf("%.4g", a.Lo)
+	}
+	return fmt.Sprintf("[%.4g, %.4g]", a.Lo, a.Hi)
+}

@@ -1,0 +1,119 @@
+package interval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	p := Point(3)
+	if !p.IsPoint() || p.Lo != 3 || p.Hi != 3 {
+		t.Errorf("Point(3) = %v", p)
+	}
+	r := New(5, 2) // reversed normalizes
+	if r.Lo != 2 || r.Hi != 5 {
+		t.Errorf("New(5,2) = %v, want [2,5]", r)
+	}
+	if r.Width() != 3 || r.Mid() != 3.5 {
+		t.Errorf("Width/Mid wrong: %v %v", r.Width(), r.Mid())
+	}
+	if !r.Contains(2) || !r.Contains(5) || r.Contains(5.01) {
+		t.Error("Contains endpoints wrong")
+	}
+	if !r.ContainsInterval(New(3, 4)) || r.ContainsInterval(New(3, 6)) {
+		t.Error("ContainsInterval wrong")
+	}
+	if !r.Overlaps(New(5, 7)) || r.Overlaps(New(5.1, 7)) {
+		t.Error("Overlaps wrong")
+	}
+}
+
+func TestDominance(t *testing.T) {
+	if !New(5, 7).Dominates(New(2, 5)) {
+		t.Error("[5,7] should dominate [2,5]")
+	}
+	if New(5, 7).Dominates(New(2, 5.1)) {
+		t.Error("[5,7] should not dominate [2,5.1]")
+	}
+	if !New(5, 7).StrictlyDominates(New(2, 4.9)) {
+		t.Error("strict dominance failed")
+	}
+	if New(5, 7).StrictlyDominates(New(2, 5)) {
+		t.Error("strict dominance should fail at equality")
+	}
+}
+
+func TestDivByZeroIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic dividing by interval containing zero")
+		}
+	}()
+	Point(1).Div(New(-1, 1))
+}
+
+func TestString(t *testing.T) {
+	if got := Point(2).String(); got != "2" {
+		t.Errorf("Point String = %q", got)
+	}
+	if got := New(1, 2).String(); got != "[1, 2]" {
+		t.Errorf("Interval String = %q", got)
+	}
+}
+
+// TestArithmeticContainment is the fundamental interval-arithmetic
+// soundness property: for x ∈ a and y ∈ b, x⊕y ∈ a⊕b for every operation.
+func TestArithmeticContainment(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	sample := func(rng *rand.Rand, iv Interval) float64 {
+		return iv.Lo + rng.Float64()*(iv.Hi-iv.Lo)
+	}
+	randIv := func(rng *rand.Rand) Interval {
+		a, b := rng.Float64()*20-10, rng.Float64()*20-10
+		return New(a, b)
+	}
+	const eps = 1e-9
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randIv(rng), randIv(rng)
+		x, y := sample(rng, a), sample(rng, b)
+
+		if s := a.Add(b); x+y < s.Lo-eps || x+y > s.Hi+eps {
+			return false
+		}
+		if s := a.Sub(b); x-y < s.Lo-eps || x-y > s.Hi+eps {
+			return false
+		}
+		if s := a.Mul(b); x*y < s.Lo-eps || x*y > s.Hi+eps {
+			return false
+		}
+		if s := a.Neg(); -x < s.Lo-eps || -x > s.Hi+eps {
+			return false
+		}
+		c := rng.Float64()*6 - 3
+		if s := a.Scale(c); c*x < s.Lo-eps || c*x > s.Hi+eps {
+			return false
+		}
+		if s := a.Hull(b); !(s.Lo <= x && x <= s.Hi && s.Lo <= y && y <= s.Hi) {
+			return false
+		}
+		if s := a.Min(b); math.Min(x, y) < s.Lo-eps || math.Min(x, y) > s.Hi+eps {
+			return false
+		}
+		if s := a.Max(b); math.Max(x, y) < s.Lo-eps || math.Max(x, y) > s.Hi+eps {
+			return false
+		}
+		// Division: shift b to be strictly positive.
+		bp := New(b.Lo+11, b.Hi+11) // ⊆ [1, 21]
+		yp := y + 11
+		if s := a.Div(bp); x/yp < s.Lo-eps || x/yp > s.Hi+eps {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

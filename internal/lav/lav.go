@@ -1,0 +1,147 @@
+// Package lav models data sources in the local-as-view approach: each
+// source is described by a conjunctive query over the mediated schema
+// ("all tuples in the source satisfy the conjunction"), together with the
+// statistics the utility measures need (Sections 2-3 of the paper).
+package lav
+
+import (
+	"fmt"
+	"sort"
+
+	"qporder/internal/schema"
+)
+
+// SourceID identifies a source within a Catalog. IDs are dense, assigned
+// in registration order, and usable as slice indices.
+type SourceID int
+
+// Stats holds the per-source parameters consumed by the utility measures.
+// They correspond to the symbols of cost measures (1) and (2):
+//
+//	h  — per-access overhead           → Overhead
+//	αᵢ — per-item transmission cost    → TransmitCost
+//	nᵢ — expected number of items out  → Tuples
+//
+// plus the extensions used by the other experimental measures.
+type Stats struct {
+	// Tuples is nᵢ, the expected number of items the source outputs for a
+	// subgoal access. Must be >= 1.
+	Tuples float64
+	// TransmitCost is αᵢ, the cost of transmitting one item to the
+	// mediator (or between sources).
+	TransmitCost float64
+	// Overhead is h, the fixed cost of one access to this source. The
+	// paper treats h as global; per-source values generalize it.
+	Overhead float64
+	// FailureProb is the probability that a single access attempt fails
+	// (the "cost with probability of source failure" measure). In [0, 1).
+	FailureProb float64
+	// AccessFee is the monetary fee charged per access (the "average
+	// monetary cost per tuple" measure).
+	AccessFee float64
+	// TupleFee is the monetary fee charged per returned tuple.
+	TupleFee float64
+}
+
+// Validate reports the first invalid statistic.
+func (s Stats) Validate() error {
+	switch {
+	case s.Tuples < 1:
+		return fmt.Errorf("lav: Tuples=%g, want >= 1", s.Tuples)
+	case s.TransmitCost < 0:
+		return fmt.Errorf("lav: negative TransmitCost %g", s.TransmitCost)
+	case s.Overhead < 0:
+		return fmt.Errorf("lav: negative Overhead %g", s.Overhead)
+	case s.FailureProb < 0 || s.FailureProb >= 1:
+		return fmt.Errorf("lav: FailureProb=%g, want [0,1)", s.FailureProb)
+	case s.AccessFee < 0 || s.TupleFee < 0:
+		return fmt.Errorf("lav: negative monetary fee")
+	}
+	return nil
+}
+
+// Source is one data source: a name, a LAV description, and statistics.
+type Source struct {
+	ID   SourceID
+	Name string
+	// Def is the source description V(X̄) :- conj(schema relations).
+	// It may be nil for purely synthetic experiment sources whose behavior
+	// is fully captured by Stats and the coverage model.
+	Def   *schema.Query
+	Stats Stats
+}
+
+// Catalog is the registry of all sources in a domain.
+type Catalog struct {
+	sources []*Source
+	byName  map[string]*Source
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{byName: make(map[string]*Source)}
+}
+
+// Add registers a source and returns it. The name must be unique; Def, if
+// present, must validate.
+func (c *Catalog) Add(name string, def *schema.Query, stats Stats) (*Source, error) {
+	if name == "" {
+		return nil, fmt.Errorf("lav: empty source name")
+	}
+	if _, dup := c.byName[name]; dup {
+		return nil, fmt.Errorf("lav: duplicate source name %q", name)
+	}
+	if def != nil {
+		if err := def.Validate(); err != nil {
+			return nil, fmt.Errorf("lav: source %s: %w", name, err)
+		}
+	}
+	if err := stats.Validate(); err != nil {
+		return nil, fmt.Errorf("lav: source %s: %w", name, err)
+	}
+	s := &Source{ID: SourceID(len(c.sources)), Name: name, Def: def, Stats: stats}
+	c.sources = append(c.sources, s)
+	c.byName[name] = s
+	return s, nil
+}
+
+// MustAdd is Add that panics on error; for tests and generators.
+func (c *Catalog) MustAdd(name string, def *schema.Query, stats Stats) *Source {
+	s, err := c.Add(name, def, stats)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of registered sources.
+func (c *Catalog) Len() int { return len(c.sources) }
+
+// Source returns the source with the given ID; it panics on an unknown ID
+// (IDs are only minted by Add).
+func (c *Catalog) Source(id SourceID) *Source {
+	if int(id) < 0 || int(id) >= len(c.sources) {
+		panic(fmt.Sprintf("lav: unknown source id %d", id))
+	}
+	return c.sources[id]
+}
+
+// ByName returns the source with the given name.
+func (c *Catalog) ByName(name string) (*Source, bool) {
+	s, ok := c.byName[name]
+	return s, ok
+}
+
+// Sources returns all sources in ID order. The slice is shared; callers
+// must not mutate it.
+func (c *Catalog) Sources() []*Source { return c.sources }
+
+// Names returns all source names sorted alphabetically.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.byName))
+	for n := range c.byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

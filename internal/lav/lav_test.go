@@ -1,0 +1,99 @@
+package lav
+
+import (
+	"strings"
+	"testing"
+
+	"qporder/internal/schema"
+)
+
+func validStats() Stats {
+	return Stats{Tuples: 10, TransmitCost: 1, Overhead: 5, FailureProb: 0.1, AccessFee: 1, TupleFee: 0.01}
+}
+
+func TestAddAndLookup(t *testing.T) {
+	cat := NewCatalog()
+	def := schema.MustParseQuery("V1(A, M) :- play-in(A, M)")
+	s, err := cat.Add("V1", def, validStats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ID != 0 || s.Name != "V1" {
+		t.Errorf("source = %+v", s)
+	}
+	if got := cat.Source(s.ID); got != s {
+		t.Error("Source lookup mismatch")
+	}
+	if got, ok := cat.ByName("V1"); !ok || got != s {
+		t.Error("ByName lookup mismatch")
+	}
+	if _, ok := cat.ByName("nope"); ok {
+		t.Error("ByName found nonexistent source")
+	}
+	if cat.Len() != 1 {
+		t.Errorf("Len = %d", cat.Len())
+	}
+}
+
+func TestAddErrors(t *testing.T) {
+	cat := NewCatalog()
+	if _, err := cat.Add("", nil, validStats()); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := cat.Add("V", nil, validStats()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Add("V", nil, validStats()); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	unsafe := &schema.Query{Name: "W", Head: []schema.Term{schema.Var("X")},
+		Body: []schema.Atom{schema.NewAtom("r", schema.Var("Y"))}}
+	if _, err := cat.Add("W", unsafe, validStats()); err == nil {
+		t.Error("unsafe description accepted")
+	}
+}
+
+func TestStatsValidate(t *testing.T) {
+	cases := []struct {
+		mutate func(*Stats)
+		want   string
+	}{
+		{func(s *Stats) { s.Tuples = 0 }, "Tuples"},
+		{func(s *Stats) { s.TransmitCost = -1 }, "TransmitCost"},
+		{func(s *Stats) { s.Overhead = -1 }, "Overhead"},
+		{func(s *Stats) { s.FailureProb = 1 }, "FailureProb"},
+		{func(s *Stats) { s.FailureProb = -0.1 }, "FailureProb"},
+		{func(s *Stats) { s.AccessFee = -1 }, "fee"},
+		{func(s *Stats) { s.TupleFee = -1 }, "fee"},
+	}
+	for _, c := range cases {
+		st := validStats()
+		c.mutate(&st)
+		err := st.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Validate() = %v, want mention of %s", err, c.want)
+		}
+	}
+	if err := validStats().Validate(); err != nil {
+		t.Errorf("valid stats rejected: %v", err)
+	}
+}
+
+func TestUnknownSourcePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewCatalog().Source(3)
+}
+
+func TestNames(t *testing.T) {
+	cat := NewCatalog()
+	cat.MustAdd("b", nil, validStats())
+	cat.MustAdd("a", nil, validStats())
+	names := cat.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names = %v", names)
+	}
+}

@@ -1,0 +1,165 @@
+// Package measure defines the utility-measure abstraction of Section 2:
+// the utility of a plan p is a number u(p | p1..pl, Q) that may depend on
+// the plans already executed. Measures evaluate both concrete plans
+// (point utilities) and abstract plans (sound utility intervals), expose
+// the structural properties the ordering algorithms exploit (full
+// monotonicity, plan independence, diminishing returns), and provide the
+// sound-but-possibly-incomplete independence oracles of Section 3.
+package measure
+
+import (
+	"qporder/internal/abstraction"
+	"qporder/internal/interval"
+	"qporder/internal/lav"
+	"qporder/internal/planspace"
+)
+
+// Measure describes a utility measure. Higher utility is better; cost
+// measures are negated internally.
+type Measure interface {
+	// Name identifies the measure in experiment output.
+	Name() string
+
+	// FullyMonotonic reports whether the measure is fully monotonic wrt
+	// every query subgoal (Section 3), enabling the Greedy algorithm. All
+	// fully monotonic measures in this package are also fully
+	// plan-independent, so per-bucket orders are unconditional.
+	FullyMonotonic() bool
+
+	// DiminishingReturns reports whether a plan's utility can never
+	// increase as more plans are executed, enabling Streamer.
+	DiminishingReturns() bool
+
+	// BucketOrder returns the given sources sorted best-first for the given
+	// subgoal, and ok=true, when the measure is monotonic wrt that subgoal.
+	BucketOrder(bucket int, sources []lav.SourceID) (ordered []lav.SourceID, ok bool)
+
+	// NewContext returns a fresh evaluation context with an empty executed
+	// prefix.
+	NewContext() Context
+}
+
+// Context carries the executed-plan prefix and per-run caches. A Context
+// belongs to one ordering run and is not safe for concurrent use.
+type Context interface {
+	// Evaluate returns a utility interval that contains the utility of
+	// every concrete plan represented by p, conditioned on the executed
+	// prefix. For concrete plans the interval is a point.
+	Evaluate(p *planspace.Plan) interval.Interval
+
+	// Observe records that concrete plan d has been executed (appended to
+	// the prefix). It panics if d is abstract.
+	Observe(d *planspace.Plan)
+
+	// Independent reports, soundly, that executing concrete plan d cannot
+	// change the utility of any concrete plan represented by p. A false
+	// result carries no information (the oracle may be incomplete).
+	Independent(p, d *planspace.Plan) bool
+
+	// IndependentWitness reports, soundly, that some concrete plan
+	// represented by p is independent of every concrete plan in ds
+	// (Streamer's CheckValidity test). ds must be concrete.
+	IndependentWitness(p *planspace.Plan, ds []*planspace.Plan) bool
+
+	// Evals returns the number of Evaluate calls performed so far — the
+	// machine-neutral work metric used throughout the paper's Section 6.
+	Evals() int
+
+	// Executed returns the executed prefix in order. Callers must not
+	// mutate the returned slice.
+	Executed() []*planspace.Plan
+
+	// Measure returns the measure this context evaluates.
+	Measure() Measure
+}
+
+// Base provides the bookkeeping shared by all contexts: the executed
+// prefix and the evaluation counter. Embed it and call CountEval from
+// Evaluate and Record from Observe.
+type Base struct {
+	executed []*planspace.Plan
+	evals    int
+}
+
+// CountEval increments the evaluation counter.
+func (b *Base) CountEval() { b.evals++ }
+
+// Evals returns the evaluation count.
+func (b *Base) Evals() int { return b.evals }
+
+// Record appends d to the executed prefix, panicking on abstract plans.
+func (b *Base) Record(d *planspace.Plan) {
+	if !d.Concrete() {
+		panic("measure: Observe of abstract plan " + d.Key())
+	}
+	b.executed = append(b.executed, d)
+}
+
+// Executed returns the executed prefix.
+func (b *Base) Executed() []*planspace.Plan { return b.executed }
+
+// WitnessCap bounds the generic concrete-witness enumeration below.
+const WitnessCap = 512
+
+// EnumerateWitness is a generic, sound IndependentWitness fallback: it
+// enumerates up to WitnessCap concrete plans represented by p and tests
+// each against every plan in ds using indep (a concrete-concrete
+// independence oracle). It returns false when the cap is exceeded without
+// finding a witness, which is sound.
+func EnumerateWitness(p *planspace.Plan, ds []*planspace.Plan,
+	indep func(a, b *planspace.Plan) bool) bool {
+	if len(ds) == 0 {
+		return true
+	}
+	tried := 0
+
+	// Depth-first enumeration of member combinations via a mixed-radix
+	// counter over node members.
+	nodes := p.Nodes
+	choice := make([]int, len(nodes))
+	for {
+		if tried >= WitnessCap {
+			return false
+		}
+		tried++
+		cand := planAt(p, choice)
+		ok := true
+		for _, d := range ds {
+			if !indep(cand, d) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+		// advance mixed-radix counter
+		i := len(choice) - 1
+		for i >= 0 {
+			choice[i]++
+			if choice[i] < nodes[i].Size() {
+				break
+			}
+			choice[i] = 0
+			i--
+		}
+		if i < 0 {
+			return false
+		}
+	}
+}
+
+// planAt materializes the concrete plan selecting member choice[i] of each
+// node of p. Fresh leaf nodes are fine here: witness candidates are tested
+// for independence, never evaluated, so node-identity caches are unused.
+func planAt(p *planspace.Plan, choice []int) *planspace.Plan {
+	nodes := make([]*abstraction.Node, len(p.Nodes))
+	for i, n := range p.Nodes {
+		if n.IsLeaf() {
+			nodes[i] = n
+			continue
+		}
+		nodes[i] = &abstraction.Node{Bucket: n.Bucket, Sources: []lav.SourceID{n.Sources[choice[i]]}}
+	}
+	return planspace.New(nodes...)
+}

@@ -1,0 +1,110 @@
+package measure
+
+import (
+	"testing"
+
+	"qporder/internal/abstraction"
+	"qporder/internal/lav"
+	"qporder/internal/planspace"
+)
+
+func leafPlan(srcs ...lav.SourceID) *planspace.Plan {
+	nodes := make([]*abstraction.Node, len(srcs))
+	for i, s := range srcs {
+		nodes[i] = &abstraction.Node{Bucket: i, Sources: []lav.SourceID{s}}
+	}
+	return planspace.New(nodes...)
+}
+
+func groupPlan(groups ...[]lav.SourceID) *planspace.Plan {
+	nodes := make([]*abstraction.Node, len(groups))
+	for i, g := range groups {
+		nodes[i] = &abstraction.Node{Bucket: i, Sources: g}
+		if len(g) > 1 {
+			// children are unused by the witness machinery
+			nodes[i].Children = []*abstraction.Node{
+				{Bucket: i, Sources: g[:1]},
+				{Bucket: i, Sources: g[1:]},
+			}
+		}
+	}
+	return planspace.New(nodes...)
+}
+
+func TestBaseBookkeeping(t *testing.T) {
+	var b Base
+	if b.Evals() != 0 || len(b.Executed()) != 0 {
+		t.Fatal("zero Base not empty")
+	}
+	b.CountEval()
+	b.CountEval()
+	if b.Evals() != 2 {
+		t.Errorf("Evals = %d", b.Evals())
+	}
+	p := leafPlan(1, 2)
+	b.Record(p)
+	if len(b.Executed()) != 1 || b.Executed()[0] != p {
+		t.Error("Record did not append")
+	}
+}
+
+func TestRecordAbstractPanics(t *testing.T) {
+	var b Base
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	b.Record(groupPlan([]lav.SourceID{1, 2}))
+}
+
+func TestEnumerateWitnessFindsWitness(t *testing.T) {
+	p := groupPlan([]lav.SourceID{1, 2}, []lav.SourceID{3, 4})
+	d := leafPlan(1, 3)
+	// Independence oracle: plans independent iff they share no source.
+	indep := func(a, b *planspace.Plan) bool {
+		for i := range a.Nodes {
+			if a.Nodes[i].Source() == b.Nodes[i].Source() {
+				return false
+			}
+		}
+		return true
+	}
+	if !EnumerateWitness(p, []*planspace.Plan{d}, indep) {
+		t.Error("witness (2,4) exists but was not found")
+	}
+	// Now every member shares a source with some executed plan.
+	ds := []*planspace.Plan{leafPlan(1, 3), leafPlan(1, 4), leafPlan(2, 3), leafPlan(2, 4)}
+	if EnumerateWitness(p, ds, indep) {
+		t.Error("witness claimed though none exists")
+	}
+}
+
+func TestEnumerateWitnessEmptySet(t *testing.T) {
+	p := groupPlan([]lav.SourceID{1, 2})
+	if !EnumerateWitness(p, nil, func(a, b *planspace.Plan) bool { return false }) {
+		t.Error("empty executed set must be independent")
+	}
+}
+
+func TestEnumerateWitnessRespectsCap(t *testing.T) {
+	// A group large enough to exceed the cap with no witness: the search
+	// must terminate (and soundly answer false).
+	big := make([]lav.SourceID, 40)
+	for i := range big {
+		big[i] = lav.SourceID(i)
+	}
+	p := groupPlan(big, big, big) // 64000 members > WitnessCap
+	calls := 0
+	got := EnumerateWitness(p, []*planspace.Plan{leafPlan(0, 0, 0)},
+		func(a, b *planspace.Plan) bool {
+			calls++
+			return false
+		})
+	if got {
+		t.Error("claimed witness with always-false oracle")
+	}
+	if calls > WitnessCap {
+		t.Errorf("oracle called %d times, cap is %d", calls, WitnessCap)
+	}
+}

@@ -1,0 +1,467 @@
+// Package mediator assembles the full data-integration system of the
+// paper's introduction: reformulate the user query, order the candidate
+// plans by utility, filter them through the soundness test, execute them
+// best-first, and stop "as soon as the user has found a satisfactory
+// answer, or when allotted resource limits have been reached"
+// (Section 1). Ordering can be overlapped with execution — the rest of
+// the plans are found while execution has begun — via the Prefetch
+// option.
+package mediator
+
+import (
+	"fmt"
+
+	"qporder/internal/abstraction"
+	"qporder/internal/adaptive"
+	"qporder/internal/core"
+	"qporder/internal/execsim"
+	"qporder/internal/lav"
+	"qporder/internal/measure"
+	"qporder/internal/physopt"
+	"qporder/internal/planspace"
+	"qporder/internal/reformulate"
+	"qporder/internal/schema"
+)
+
+// Reformulator selects the query-reformulation method.
+type Reformulator string
+
+// The supported reformulators.
+const (
+	// Buckets is the bucket algorithm (default).
+	Buckets Reformulator = "buckets"
+	// InverseRules uses the inverse-rule construction of Section 7.
+	InverseRules Reformulator = "inverse"
+	// MiniCon uses generalized buckets; plans are sound by construction.
+	MiniCon Reformulator = "minicon"
+)
+
+// Algorithm selects the ordering algorithm.
+type Algorithm string
+
+// The supported ordering algorithms.
+const (
+	// Auto picks the best applicable algorithm for the measure:
+	// Greedy for fully monotonic measures, Streamer under diminishing
+	// returns, iDrips otherwise.
+	Auto       Algorithm = "auto"
+	Greedy     Algorithm = "greedy"
+	IDrips     Algorithm = "idrips"
+	Streamer   Algorithm = "streamer"
+	PI         Algorithm = "pi"
+	Exhaustive Algorithm = "exhaustive"
+)
+
+// Config assembles a mediator.
+type Config struct {
+	// Catalog registers the sources (descriptions required).
+	Catalog *lav.Catalog
+	// Query is the user query over the mediated schema.
+	Query *schema.Query
+	// Measure builds the utility measure over the derived entry catalog
+	// the ordering algorithms see. Required.
+	Measure func(entries *lav.Catalog) measure.Measure
+	// Algorithm defaults to Auto.
+	Algorithm Algorithm
+	// Heuristic groups similar sources for the abstraction-based
+	// algorithms; defaults to ByAccessCost over the entry catalog.
+	Heuristic abstraction.Heuristic
+	// Reformulator defaults to Buckets.
+	Reformulator Reformulator
+	// Physical runs each plan through the physical optimizer before
+	// execution; PhysN is the optimizer's selectivity denominator
+	// (default 50000).
+	Physical bool
+	PhysN    float64
+	// Prefetch overlaps finding the next sound plan with executing the
+	// current one.
+	Prefetch bool
+	// Adaptive tracks the statistics observed during execution and, when a
+	// source's estimate has drifted by more than DriftFactor (default 2),
+	// re-estimates and re-orders the remaining plans (the execution-level
+	// adaptation of Section 7's related work, fed back into
+	// reformulation-level ordering).
+	Adaptive    bool
+	DriftFactor float64
+}
+
+// Budget bounds a Run. Zero fields mean "unlimited".
+type Budget struct {
+	// MaxPlans stops after executing this many sound plans.
+	MaxPlans int
+	// MaxCost stops once the engine's accrued cost reaches this value.
+	MaxCost float64
+	// MinAnswers stops once this many distinct answers have been found.
+	MinAnswers int
+}
+
+// StopReason reports why a Run ended.
+type StopReason string
+
+// The stop reasons.
+const (
+	StopExhausted  StopReason = "plans-exhausted"
+	StopMaxPlans   StopReason = "max-plans"
+	StopMaxCost    StopReason = "max-cost"
+	StopMinAnswers StopReason = "min-answers"
+)
+
+// Result summarizes a Run.
+type Result struct {
+	// Answers holds the accumulated distinct answers.
+	Answers *execsim.AnswerSet
+	// Executed lists the sound plans executed, in order.
+	Executed []*schema.Query
+	// Utilities holds each executed plan's utility at selection time.
+	Utilities []float64
+	// NewAnswers holds, per executed plan, how many answers were new.
+	NewAnswers []int
+	// Evals is the number of utility evaluations the orderer performed.
+	Evals int
+	// Cost is the engine's accrued execution cost.
+	Cost float64
+	// Reorders counts adaptive re-orderings performed.
+	Reorders int
+	// Stopped reports why the run ended.
+	Stopped StopReason
+}
+
+// System is a configured mediator for one query. Run may be called
+// repeatedly with fresh budgets; ordering continues where it stopped.
+type System struct {
+	cfg     Config
+	orderer core.Orderer
+	src     planSource
+	algo    Algorithm // resolved (Auto expanded)
+	heur    abstraction.Heuristic
+
+	next  func() sound
+	drain func()
+
+	// Adaptive state.
+	tracker  *adaptive.Tracker
+	executed []*planspace.Plan
+	reorders int
+}
+
+// planSource abstracts over the reformulators.
+type planSource interface {
+	spaces() []*planspace.Space
+	planQuery(p *planspace.Plan) (*schema.Query, error)
+	isSound(p *planspace.Plan) (bool, error)
+	entries() *lav.Catalog
+	// entriesWithStats derives a parallel entry catalog with revised
+	// statistics (adaptive re-ordering).
+	entriesWithStats(statsOf func(orig *lav.Source) lav.Stats) *lav.Catalog
+}
+
+type bucketSource struct{ pd *reformulate.PlanDomain }
+
+func (s bucketSource) spaces() []*planspace.Space { return []*planspace.Space{s.pd.Space} }
+func (s bucketSource) planQuery(p *planspace.Plan) (*schema.Query, error) {
+	return s.pd.PlanQuery(p)
+}
+func (s bucketSource) isSound(p *planspace.Plan) (bool, error) { return s.pd.IsSound(p) }
+func (s bucketSource) entries() *lav.Catalog                   { return s.pd.Entries }
+func (s bucketSource) entriesWithStats(f func(*lav.Source) lav.Stats) *lav.Catalog {
+	return s.pd.EntriesWithStats(f)
+}
+
+type miniconSource struct{ md *reformulate.MiniConDomain }
+
+func (s miniconSource) spaces() []*planspace.Space { return s.md.Spaces }
+func (s miniconSource) planQuery(p *planspace.Plan) (*schema.Query, error) {
+	return s.md.PlanQuery(p)
+}
+func (s miniconSource) isSound(*planspace.Plan) (bool, error) { return true, nil }
+func (s miniconSource) entries() *lav.Catalog                 { return s.md.Entries }
+func (s miniconSource) entriesWithStats(f func(*lav.Source) lav.Stats) *lav.Catalog {
+	return s.md.EntriesWithStats(f)
+}
+
+// New reformulates the query and builds the ordering pipeline.
+func New(cfg Config) (*System, error) {
+	if cfg.Catalog == nil || cfg.Query == nil || cfg.Measure == nil {
+		return nil, fmt.Errorf("mediator: Catalog, Query, and Measure are required")
+	}
+	if cfg.PhysN == 0 {
+		cfg.PhysN = 50000
+	}
+
+	var src planSource
+	switch cfg.Reformulator {
+	case "", Buckets:
+		b, err := reformulate.BuildBuckets(cfg.Query, cfg.Catalog)
+		if err != nil {
+			return nil, err
+		}
+		src = bucketSource{reformulate.NewPlanDomain(b, cfg.Catalog)}
+	case InverseRules:
+		b, err := reformulate.InverseBuckets(cfg.Query, cfg.Catalog)
+		if err != nil {
+			return nil, err
+		}
+		src = bucketSource{reformulate.NewPlanDomain(b, cfg.Catalog)}
+	case MiniCon:
+		gb, err := reformulate.BuildMCDs(cfg.Query, cfg.Catalog)
+		if err != nil {
+			return nil, err
+		}
+		md, err := reformulate.NewMiniConDomain(gb, cfg.Catalog)
+		if err != nil {
+			return nil, err
+		}
+		src = miniconSource{md}
+	default:
+		return nil, fmt.Errorf("mediator: unknown reformulator %q", cfg.Reformulator)
+	}
+
+	m := cfg.Measure(src.entries())
+	heur := cfg.Heuristic
+	if heur == nil {
+		heur = abstraction.ByAccessCost(src.entries())
+	}
+	algo := cfg.Algorithm
+	if algo == "" || algo == Auto {
+		switch {
+		case m.FullyMonotonic():
+			algo = Greedy
+		case m.DiminishingReturns():
+			algo = Streamer
+		default:
+			algo = IDrips
+		}
+	}
+	s := &System{cfg: cfg, src: src, algo: algo, heur: heur}
+	if cfg.Adaptive {
+		s.tracker = adaptive.NewTracker(cfg.Catalog)
+		if cfg.DriftFactor > 0 {
+			s.tracker.DriftFactor = cfg.DriftFactor
+		}
+	}
+	o, err := s.buildOrderer(m, src.spaces())
+	if err != nil {
+		return nil, err
+	}
+	s.orderer = o
+	return s, nil
+}
+
+// buildOrderer constructs the resolved algorithm over the given spaces.
+func (s *System) buildOrderer(m measure.Measure, spaces []*planspace.Space) (core.Orderer, error) {
+	switch s.algo {
+	case Greedy:
+		return core.NewGreedy(spaces, m)
+	case Streamer:
+		return core.NewStreamer(spaces, m, s.heur)
+	case IDrips:
+		return core.NewIDrips(spaces, m, s.heur), nil
+	case PI:
+		return core.NewPI(spaces, m), nil
+	case Exhaustive:
+		return core.NewExhaustive(spaces, m), nil
+	default:
+		return nil, fmt.Errorf("mediator: unknown algorithm %q", s.algo)
+	}
+}
+
+// reorder rebuilds the ordering pipeline over the remaining plans with
+// statistics revised from execution observations. The executed prefix is
+// replayed into the fresh measure context so conditional utilities stay
+// correct.
+func (s *System) reorder() error {
+	revised, err := s.tracker.Revise()
+	if err != nil {
+		return err
+	}
+	s.tracker.Rebase(revised)
+	entries := s.src.entriesWithStats(func(orig *lav.Source) lav.Stats {
+		return revised.Source(orig.ID).Stats
+	})
+	m := s.cfg.Measure(entries)
+	spaces := adaptive.RemainingSpaces(s.src.spaces(), s.executed)
+	if len(spaces) == 0 {
+		s.orderer = exhaustedOrderer{m.NewContext()}
+		s.next, s.drain = nil, nil
+		s.reorders++
+		return nil
+	}
+	o, err := s.buildOrderer(m, spaces)
+	if err != nil {
+		return err
+	}
+	for _, p := range s.executed {
+		o.Context().Observe(p)
+	}
+	s.orderer = o
+	s.next, s.drain = nil, nil
+	s.reorders++
+	return nil
+}
+
+// exhaustedOrderer is the empty orderer used when every plan has been
+// executed before a re-ordering.
+type exhaustedOrderer struct{ ctx measure.Context }
+
+func (e exhaustedOrderer) Next() (*planspace.Plan, float64, bool) { return nil, 0, false }
+func (e exhaustedOrderer) Context() measure.Context               { return e.ctx }
+
+// Entries exposes the derived entry catalog (for building coverage
+// models and inspecting statistics).
+func (s *System) Entries() *lav.Catalog { return s.src.entries() }
+
+// Orderer exposes the underlying orderer for instrumentation.
+func (s *System) Orderer() core.Orderer { return s.orderer }
+
+// sound is one ordered, soundness-checked plan ready to execute.
+type sound struct {
+	plan *planspace.Plan
+	pq   *schema.Query
+	util float64
+	err  error
+	ok   bool
+}
+
+// nextSound pulls the orderer until a sound plan appears.
+func (s *System) nextSound() sound {
+	for {
+		p, u, ok := s.orderer.Next()
+		if !ok {
+			return sound{}
+		}
+		pq, err := s.src.planQuery(p)
+		if err != nil {
+			continue // unsafe: cannot be sound
+		}
+		isSound, err := s.src.isSound(p)
+		if err != nil {
+			return sound{err: err}
+		}
+		if isSound {
+			return sound{plan: p, pq: pq, util: u, ok: true}
+		}
+	}
+}
+
+// Run executes the ordered sound plans against the engine until the
+// budget stops it. With Prefetch, the next plan is ordered concurrently
+// with the current plan's execution. With Adaptive, drifted statistics
+// trigger re-ordering of the remaining plans between executions.
+func (s *System) Run(engine *execsim.Engine, budget Budget) (*Result, error) {
+	res := &Result{Answers: execsim.NewAnswerSet(), Stopped: StopExhausted}
+	defer func() {
+		if s.drain != nil {
+			s.drain()
+		}
+	}()
+
+	if s.tracker != nil {
+		prev := engine.OnAccess
+		engine.OnAccess = func(source string, tuples, failed int) {
+			if src, ok := s.cfg.Catalog.ByName(source); ok {
+				s.tracker.Record(src.ID, tuples, failed)
+			}
+			if prev != nil {
+				prev(source, tuples, failed)
+			}
+		}
+		defer func() { engine.OnAccess = prev }()
+	}
+
+	for {
+		if s.next == nil {
+			s.next, s.drain = s.nextSoundFunc()
+		}
+		sp := s.next()
+		if sp.err != nil {
+			return nil, sp.err
+		}
+		if !sp.ok {
+			res.Stopped = StopExhausted
+			break
+		}
+		out, err := s.execute(engine, sp.pq)
+		if err != nil {
+			return nil, err
+		}
+		fresh := res.Answers.Add(out)
+		s.executed = append(s.executed, sp.plan)
+		res.Executed = append(res.Executed, sp.pq)
+		res.Utilities = append(res.Utilities, sp.util)
+		res.NewAnswers = append(res.NewAnswers, fresh)
+		res.Cost = engine.Cost
+
+		if budget.MaxPlans > 0 && len(res.Executed) >= budget.MaxPlans {
+			res.Stopped = StopMaxPlans
+			break
+		}
+		if budget.MaxCost > 0 && engine.Cost >= budget.MaxCost {
+			res.Stopped = StopMaxCost
+			break
+		}
+		if budget.MinAnswers > 0 && res.Answers.Len() >= budget.MinAnswers {
+			res.Stopped = StopMinAnswers
+			break
+		}
+		if s.tracker != nil && len(s.tracker.Drifted()) > 0 {
+			if s.drain != nil {
+				s.drain() // quiesce the old pipeline before replacing it
+			}
+			if err := s.reorder(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if s.drain != nil {
+		s.drain()
+	}
+	res.Evals = s.orderer.Context().Evals()
+	res.Reorders = s.reorders
+	return res, nil
+}
+
+// nextSoundFunc returns the plan supplier and a drain function that waits
+// for any in-flight ordering work (so the orderer is quiescent before the
+// caller reads its instrumentation). Without Prefetch both are trivial.
+func (s *System) nextSoundFunc() (next func() sound, drain func()) {
+	if !s.cfg.Prefetch {
+		return s.nextSound, func() {}
+	}
+	ch := make(chan sound, 1)
+	ch <- s.nextSound() // prime
+	inFlight := false
+	next = func() sound {
+		cur := <-ch
+		inFlight = true
+		go func() {
+			if cur.ok {
+				ch <- s.nextSound()
+				return
+			}
+			ch <- sound{} // stay exhausted
+		}()
+		return cur
+	}
+	drain = func() {
+		if inFlight {
+			// Wait for the outstanding prefetch and park its result back
+			// for a potential later Run call on the same System.
+			v := <-ch
+			ch <- v
+			inFlight = false
+		}
+	}
+	return next, drain
+}
+
+// execute runs one plan, optionally through the physical optimizer.
+func (s *System) execute(engine *execsim.Engine, pq *schema.Query) ([]schema.Atom, error) {
+	if !s.cfg.Physical {
+		return engine.ExecutePlan(pq)
+	}
+	pp, err := physopt.Optimize(pq, s.cfg.Catalog, physopt.Params{N: s.cfg.PhysN})
+	if err != nil {
+		return nil, err
+	}
+	return engine.ExecutePhysical(pp)
+}

@@ -1,0 +1,241 @@
+// Package physopt is the mediator's query optimizer (Section 1): it
+// turns a conjunctive query plan (one source atom per subgoal) into a
+// physical execution plan by choosing a join order and an access method
+// per step, using the same statistics as the cost measures.
+//
+// Two access methods are modeled, mirroring cost measures (1) and (2) of
+// Section 3:
+//
+//   - Scan: fetch the source's full relation (h + α·n) and join locally —
+//     the "join at the system site" strategy of measure (1); scans are
+//     binding-independent, so with operation caching they are shared
+//     across plans.
+//   - Bind: push the current bindings into the source and fetch only
+//     matching tuples (h + α·n·in/N) — the semijoin strategy of
+//     measure (2).
+//
+// Join orders are optimized exactly (all permutations) for short plans
+// and greedily beyond that.
+package physopt
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"qporder/internal/lav"
+	"qporder/internal/schema"
+)
+
+// Method is a physical access method.
+type Method int
+
+// The supported access methods.
+const (
+	// Bind pushes current bindings to the source (semijoin).
+	Bind Method = iota
+	// Scan fetches the full source relation and joins locally.
+	Scan
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	if m == Scan {
+		return "scan"
+	}
+	return "bind"
+}
+
+// Params configures optimization.
+type Params struct {
+	// N is the selectivity denominator (domain size per join attribute),
+	// as in cost measure (2). Must be positive.
+	N float64
+	// CachedScan reports whether a full scan of the named source is
+	// already cached (free). Nil means nothing is cached.
+	CachedScan func(source string) bool
+	// MaxExact caps the plan length for exact permutation search; longer
+	// plans use the greedy order. Default 7.
+	MaxExact int
+}
+
+// Step is one physical operation.
+type Step struct {
+	// Atom is the source atom evaluated at this step.
+	Atom schema.Atom
+	// Method is the chosen access method.
+	Method Method
+	// EstCost is the step's estimated cost.
+	EstCost float64
+	// EstOut is the estimated number of tuples flowing out of this step.
+	EstOut float64
+}
+
+// Plan is a physical execution plan.
+type Plan struct {
+	// Name and Head reproduce the logical plan's head.
+	Name string
+	Head []schema.Term
+	// Steps lists the operations in execution order.
+	Steps []Step
+	// EstCost is the total estimated cost.
+	EstCost float64
+}
+
+// String renders the plan one step per line.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(", p.Name)
+	for i, t := range p.Head {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	fmt.Fprintf(&b, ") [est %.1f]\n", p.EstCost)
+	for i, s := range p.Steps {
+		fmt.Fprintf(&b, "  %d. %-4s %-30s cost %.1f out %.0f\n",
+			i+1, s.Method, s.Atom.String(), s.EstCost, s.EstOut)
+	}
+	return b.String()
+}
+
+// Query converts the physical plan back to its logical conjunctive query
+// (in physical step order).
+func (p *Plan) Query() *schema.Query {
+	q := &schema.Query{Name: p.Name, Head: append([]schema.Term(nil), p.Head...)}
+	for _, s := range p.Steps {
+		q.Body = append(q.Body, s.Atom.Clone())
+	}
+	return q
+}
+
+// Optimize chooses a join order and access methods for the plan query.
+// Every body atom's predicate must be a catalog source with statistics.
+func Optimize(pq *schema.Query, cat *lav.Catalog, prm Params) (*Plan, error) {
+	if prm.N <= 0 {
+		return nil, fmt.Errorf("physopt: Params.N = %g, want > 0", prm.N)
+	}
+	if prm.MaxExact == 0 {
+		prm.MaxExact = 7
+	}
+	stats := make([]lav.Stats, len(pq.Body))
+	for i, a := range pq.Body {
+		src, ok := cat.ByName(a.Pred)
+		if !ok {
+			return nil, fmt.Errorf("physopt: atom %s is not a catalog source", a)
+		}
+		stats[i] = src.Stats
+	}
+
+	var bestOrder []int
+	if len(pq.Body) <= prm.MaxExact {
+		bestOrder = exactOrder(pq, stats, prm)
+	} else {
+		bestOrder = greedyOrder(pq, stats, prm)
+	}
+	return assemble(pq, stats, prm, bestOrder), nil
+}
+
+// stepCosts returns, for the atom at position idx evaluated with `in`
+// tuples flowing in, the cost of each method and the output estimate.
+func stepCosts(pq *schema.Query, st lav.Stats, prm Params, idx int, in float64, first bool) (bindCost, scanCost, out float64) {
+	over := st.Overhead / (1 - st.FailureProb)
+	if first {
+		// No bindings yet: both methods fetch the whole relation.
+		bindCost = over + st.TransmitCost*st.Tuples
+		scanCost = bindCost
+		out = st.Tuples
+	} else {
+		out = st.Tuples * in / prm.N
+		bindCost = over + st.TransmitCost*out
+		scanCost = over + st.TransmitCost*st.Tuples
+	}
+	if prm.CachedScan != nil && prm.CachedScan(pq.Body[idx].Pred) {
+		scanCost = 0
+	}
+	return bindCost, scanCost, out
+}
+
+// orderCost estimates the total cost of an order with best method per step.
+func orderCost(pq *schema.Query, stats []lav.Stats, prm Params, order []int) float64 {
+	total := 0.0
+	in := 0.0
+	for pos, idx := range order {
+		bind, scan, out := stepCosts(pq, stats[idx], prm, idx, in, pos == 0)
+		total += math.Min(bind, scan)
+		in = out
+	}
+	return total
+}
+
+// exactOrder searches all permutations.
+func exactOrder(pq *schema.Query, stats []lav.Stats, prm Params) []int {
+	n := len(pq.Body)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	best := append([]int(nil), order...)
+	bestCost := orderCost(pq, stats, prm, order)
+	var permute func(k int)
+	permute = func(k int) {
+		if k == n {
+			if c := orderCost(pq, stats, prm, order); c < bestCost {
+				bestCost = c
+				copy(best, order)
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			order[k], order[i] = order[i], order[k]
+			permute(k + 1)
+			order[k], order[i] = order[i], order[k]
+		}
+	}
+	permute(0)
+	return best
+}
+
+// greedyOrder picks, at each position, the remaining atom with the lowest
+// incremental cost.
+func greedyOrder(pq *schema.Query, stats []lav.Stats, prm Params) []int {
+	n := len(pq.Body)
+	used := make([]bool, n)
+	var order []int
+	in := 0.0
+	for pos := 0; pos < n; pos++ {
+		bestIdx, bestCost, bestOut := -1, math.Inf(1), 0.0
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			bind, scan, out := stepCosts(pq, stats[i], prm, i, in, pos == 0)
+			if c := math.Min(bind, scan); c < bestCost {
+				bestIdx, bestCost, bestOut = i, c, out
+			}
+		}
+		used[bestIdx] = true
+		order = append(order, bestIdx)
+		in = bestOut
+	}
+	return order
+}
+
+// assemble materializes the chosen order with per-step methods.
+func assemble(pq *schema.Query, stats []lav.Stats, prm Params, order []int) *Plan {
+	p := &Plan{Name: pq.Name, Head: append([]schema.Term(nil), pq.Head...)}
+	in := 0.0
+	for pos, idx := range order {
+		bind, scan, out := stepCosts(pq, stats[idx], prm, idx, in, pos == 0)
+		step := Step{Atom: pq.Body[idx].Clone(), Method: Bind, EstCost: bind, EstOut: out}
+		if scan < bind {
+			step.Method = Scan
+			step.EstCost = scan
+		}
+		p.Steps = append(p.Steps, step)
+		p.EstCost += step.EstCost
+		in = out
+	}
+	return p
+}

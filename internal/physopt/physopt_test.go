@@ -1,0 +1,171 @@
+package physopt
+
+import (
+	"math"
+	"testing"
+
+	"qporder/internal/lav"
+	"qporder/internal/schema"
+)
+
+func catalog() *lav.Catalog {
+	cat := lav.NewCatalog()
+	cat.MustAdd("Small", nil, lav.Stats{Tuples: 10, TransmitCost: 1, Overhead: 5})
+	cat.MustAdd("Big", nil, lav.Stats{Tuples: 10000, TransmitCost: 1, Overhead: 5})
+	cat.MustAdd("Mid", nil, lav.Stats{Tuples: 500, TransmitCost: 1, Overhead: 5})
+	return cat
+}
+
+func pq(src string) *schema.Query { return schema.MustParseQuery(src) }
+
+func TestOptimizePutsSelectiveSourceFirst(t *testing.T) {
+	cat := catalog()
+	p, err := Optimize(pq("P(X, Z) :- Big(X, Y), Small(Y, Z)"), cat, Params{N: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Steps[0].Atom.Pred != "Small" {
+		t.Errorf("first step = %s, want Small", p.Steps[0].Atom.Pred)
+	}
+	// Starting from 10 tuples, binding into Big fetches 10000*10/1000 = 100
+	// tuples — far better than scanning 10000.
+	if p.Steps[1].Method != Bind {
+		t.Errorf("second step method = %s, want bind", p.Steps[1].Method)
+	}
+}
+
+func TestOptimizeChoosesScanWhenBindIsWorse(t *testing.T) {
+	cat := lav.NewCatalog()
+	cat.MustAdd("Huge", nil, lav.Stats{Tuples: 10000, TransmitCost: 1, Overhead: 5})
+	cat.MustAdd("Tiny", nil, lav.Stats{Tuples: 20, TransmitCost: 1, Overhead: 5})
+	// With N=10, binding 10000 inputs into Tiny estimates 20*10000/10 =
+	// 20000 transmitted tuples; scanning Tiny costs 20. Scan must win.
+	p, err := Optimize(pq("P(X, Z) :- Huge(X, Y), Tiny(Y, Z)"), cat, Params{N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tiny *Step
+	for i := range p.Steps {
+		if p.Steps[i].Atom.Pred == "Tiny" {
+			tiny = &p.Steps[i]
+		}
+	}
+	if tiny == nil {
+		t.Fatal("Tiny step missing")
+	}
+	if tiny.Method != Scan && p.Steps[0].Atom.Pred != "Tiny" {
+		t.Errorf("expected Tiny to be scanned or placed first; plan:\n%s", p)
+	}
+}
+
+func TestOptimizeCachedScanIsFree(t *testing.T) {
+	cat := catalog()
+	prm := Params{N: 1000, CachedScan: func(name string) bool { return name == "Big" }}
+	p, err := Optimize(pq("P(X, Z) :- Small(X, Y), Big(Y, Z)"), cat, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var big *Step
+	for i := range p.Steps {
+		if p.Steps[i].Atom.Pred == "Big" {
+			big = &p.Steps[i]
+		}
+	}
+	if big.Method != Scan || big.EstCost != 0 {
+		t.Errorf("cached Big: method=%s cost=%g, want free scan\n%s", big.Method, big.EstCost, p)
+	}
+}
+
+func TestExactBeatsOrEqualsAnyOrder(t *testing.T) {
+	cat := catalog()
+	q := pq("P(X, W) :- Big(X, Y), Mid(Y, Z), Small(Z, W)")
+	prm := Params{N: 1000}
+	p, err := Optimize(q, cat, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := []lav.Stats{
+		mustStats(cat, "Big"), mustStats(cat, "Mid"), mustStats(cat, "Small"),
+	}
+	orders := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	for _, o := range orders {
+		if c := orderCost(q, stats, prm, o); c < p.EstCost-1e-9 {
+			t.Errorf("order %v cost %g beats optimizer's %g", o, c, p.EstCost)
+		}
+	}
+}
+
+func mustStats(cat *lav.Catalog, name string) lav.Stats {
+	s, ok := cat.ByName(name)
+	if !ok {
+		panic(name)
+	}
+	return s.Stats
+}
+
+func TestGreedyOrderUsedBeyondMaxExact(t *testing.T) {
+	cat := lav.NewCatalog()
+	body := ""
+	for i := 0; i < 9; i++ {
+		name := string(rune('A' + i))
+		cat.MustAdd(name, nil, lav.Stats{Tuples: float64(10 * (i + 1)), TransmitCost: 1, Overhead: 1})
+		if i > 0 {
+			body += ", "
+		}
+		body += name + "(X" + string(rune('0'+i)) + ", X" + string(rune('1'+i)) + ")"
+	}
+	q := schema.MustParseQuery("P(X0, X9) :- " + body)
+	p, err := Optimize(q, cat, Params{N: 100, MaxExact: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Steps) != 9 {
+		t.Fatalf("steps = %d", len(p.Steps))
+	}
+	// Greedy starts from the cheapest standalone source, A.
+	if p.Steps[0].Atom.Pred != "A" {
+		t.Errorf("greedy first step = %s", p.Steps[0].Atom.Pred)
+	}
+}
+
+func TestEstimatesAreFiniteAndPositive(t *testing.T) {
+	cat := catalog()
+	p, err := Optimize(pq("P(X, Z) :- Big(X, Y), Mid(Y, Z)"), cat, Params{N: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.EstCost <= 0 || math.IsInf(p.EstCost, 0) || math.IsNaN(p.EstCost) {
+		t.Errorf("EstCost = %g", p.EstCost)
+	}
+	for _, s := range p.Steps {
+		if s.EstOut <= 0 {
+			t.Errorf("step %s EstOut = %g", s.Atom, s.EstOut)
+		}
+	}
+}
+
+func TestOptimizeErrors(t *testing.T) {
+	cat := catalog()
+	if _, err := Optimize(pq("P(X) :- Nope(X)"), cat, Params{N: 10}); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if _, err := Optimize(pq("P(X) :- Small(X, Y)"), cat, Params{}); err == nil {
+		t.Error("zero N accepted")
+	}
+}
+
+func TestPlanQueryRoundTrip(t *testing.T) {
+	cat := catalog()
+	orig := pq("P(X, Z) :- Big(X, Y), Small(Y, Z)")
+	p, err := Optimize(orig, cat, Params{N: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := p.Query()
+	if len(back.Body) != 2 || back.Name != "P" {
+		t.Fatalf("Query() = %s", back)
+	}
+	if p.String() == "" {
+		t.Error("empty String()")
+	}
+}

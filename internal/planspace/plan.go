@@ -1,0 +1,159 @@
+// Package planspace represents query plans and plan spaces.
+//
+// A plan space is the Cartesian product of a set of buckets (Section 2).
+// A plan assigns one abstraction node to each bucket position: if all
+// nodes are leaves the plan is concrete, otherwise it is an abstract plan
+// representing the Cartesian product of its nodes' members (Section 5.1).
+package planspace
+
+import (
+	"strconv"
+	"strings"
+
+	"qporder/internal/abstraction"
+	"qporder/internal/lav"
+)
+
+// Plan is a (possibly abstract) query plan: one node per query subgoal.
+// Plans are immutable; Nodes must not be modified after construction.
+type Plan struct {
+	Nodes []*abstraction.Node
+	key   string // lazily built canonical key
+}
+
+// New returns a plan over the given nodes.
+func New(nodes ...*abstraction.Node) *Plan {
+	if len(nodes) == 0 {
+		panic("planspace: empty plan")
+	}
+	return &Plan{Nodes: nodes}
+}
+
+// Len returns the number of positions (the query length).
+func (p *Plan) Len() int { return len(p.Nodes) }
+
+// Concrete reports whether every position is a single source.
+func (p *Plan) Concrete() bool {
+	for _, n := range p.Nodes {
+		if !n.IsLeaf() {
+			return false
+		}
+	}
+	return true
+}
+
+// NumConcrete returns the number of concrete plans this plan represents.
+func (p *Plan) NumConcrete() int64 {
+	n := int64(1)
+	for _, nd := range p.Nodes {
+		n *= int64(nd.Size())
+	}
+	return n
+}
+
+// Sources returns the source at each position; it panics if the plan is
+// abstract.
+func (p *Plan) Sources() []lav.SourceID {
+	out := make([]lav.SourceID, len(p.Nodes))
+	for i, n := range p.Nodes {
+		out[i] = n.Source()
+	}
+	return out
+}
+
+// Key returns a canonical string identity for the plan. Concrete plans of
+// the same sources share a key even when built from distinct node objects.
+func (p *Plan) Key() string {
+	if p.key != "" {
+		return p.key
+	}
+	var b strings.Builder
+	for i, n := range p.Nodes {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		if n.IsLeaf() {
+			b.WriteString(strconv.Itoa(int(n.Sources[0])))
+			continue
+		}
+		b.WriteByte('{')
+		for j, s := range n.Sources {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(int(s)))
+		}
+		b.WriteByte('}')
+	}
+	p.key = b.String()
+	return p.key
+}
+
+// Refine replaces the largest abstract node (earliest position on ties)
+// with each of its children, returning the resulting lower-level plans.
+// It panics on concrete plans.
+func (p *Plan) Refine() []*Plan {
+	pos := -1
+	size := 1
+	for i, n := range p.Nodes {
+		if n.Size() > size {
+			pos, size = i, n.Size()
+		}
+	}
+	if pos < 0 {
+		panic("planspace: Refine on concrete plan " + p.Key())
+	}
+	node := p.Nodes[pos]
+	out := make([]*Plan, 0, len(node.Children))
+	for _, ch := range node.Children {
+		nodes := make([]*abstraction.Node, len(p.Nodes))
+		copy(nodes, p.Nodes)
+		nodes[pos] = ch
+		out = append(out, New(nodes...))
+	}
+	return out
+}
+
+// String renders "V1 V5" or "{V1 V2} V5" style, using catalog names when
+// cat is non-nil.
+func (p *Plan) String() string {
+	parts := make([]string, len(p.Nodes))
+	for i, n := range p.Nodes {
+		parts[i] = n.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Format renders the plan with catalog source names, e.g. "V1 V5".
+func (p *Plan) Format(cat *lav.Catalog) string {
+	parts := make([]string, len(p.Nodes))
+	for i, n := range p.Nodes {
+		if n.IsLeaf() {
+			parts[i] = cat.Source(n.Source()).Name
+			continue
+		}
+		names := make([]string, len(n.Sources))
+		for j, s := range n.Sources {
+			names[j] = cat.Source(s).Name
+		}
+		parts[i] = "{" + strings.Join(names, " ") + "}"
+	}
+	return strings.Join(parts, " ")
+}
+
+// SameSources reports whether two concrete plans access the same source at
+// every position.
+func SameSources(a, b *Plan) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.Nodes {
+		if !a.Nodes[i].IsLeaf() || !b.Nodes[i].IsLeaf() {
+			return false
+		}
+		if a.Nodes[i].Source() != b.Nodes[i].Source() {
+			return false
+		}
+	}
+	return true
+}

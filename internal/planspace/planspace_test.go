@@ -1,0 +1,209 @@
+package planspace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qporder/internal/abstraction"
+	"qporder/internal/lav"
+)
+
+func ids(xs ...int) []lav.SourceID {
+	out := make([]lav.SourceID, len(xs))
+	for i, x := range xs {
+		out[i] = lav.SourceID(x)
+	}
+	return out
+}
+
+func TestSpaceSizeAndContains(t *testing.T) {
+	s := NewSpace([][]lav.SourceID{ids(0, 1, 2), ids(3, 4, 5)})
+	if s.Size() != 9 {
+		t.Errorf("Size = %d, want 9", s.Size())
+	}
+	if !s.Contains(ids(1, 4)) {
+		t.Error("Contains(1,4) = false")
+	}
+	if s.Contains(ids(3, 4)) {
+		t.Error("Contains(3,4) = true (3 not in bucket 1)")
+	}
+	if s.Contains(ids(1)) {
+		t.Error("Contains with wrong arity")
+	}
+}
+
+// TestRemovePartitions verifies the Figure 2 splitting construction: the
+// returned spaces partition the original minus the removed plan.
+func TestRemovePartitions(t *testing.T) {
+	s := NewSpace([][]lav.SourceID{ids(0, 1, 2), ids(3, 4, 5)})
+	subs := s.Remove(ids(0, 4))
+	total := int64(0)
+	seen := make(map[string]int)
+	for _, sub := range subs {
+		total += sub.Size()
+		for _, p := range sub.Enumerate() {
+			seen[p.Key()]++
+		}
+	}
+	if total != 8 {
+		t.Errorf("sub-spaces cover %d plans, want 8", total)
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Errorf("plan %s appears %d times across sub-spaces", k, n)
+		}
+	}
+	if _, dup := seen["0|4"]; dup {
+		t.Error("removed plan still present")
+	}
+}
+
+func TestRemoveRandomizedPartitionProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(3)
+		buckets := make([][]lav.SourceID, n)
+		next := 0
+		for i := range buckets {
+			sz := 1 + rng.Intn(4)
+			for j := 0; j < sz; j++ {
+				buckets[i] = append(buckets[i], lav.SourceID(next))
+				next++
+			}
+		}
+		s := NewSpace(buckets)
+		all := s.Enumerate()
+		victim := all[rng.Intn(len(all))]
+		subs := s.Remove(victim.Sources())
+		seen := make(map[string]bool)
+		for _, sub := range subs {
+			for _, p := range sub.Enumerate() {
+				if seen[p.Key()] {
+					return false // overlap between sub-spaces
+				}
+				seen[p.Key()] = true
+			}
+		}
+		if seen[victim.Key()] {
+			return false
+		}
+		return len(seen) == len(all)-1
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRemoveOfForeignPlanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic removing foreign plan")
+		}
+	}()
+	NewSpace([][]lav.SourceID{ids(0, 1)}).Remove(ids(9))
+}
+
+func TestEnumerateSharesLeafNodes(t *testing.T) {
+	s := NewSpace([][]lav.SourceID{ids(0, 1), ids(2)})
+	plans := s.Enumerate()
+	if len(plans) != 2 {
+		t.Fatalf("Enumerate returned %d plans", len(plans))
+	}
+	if plans[0].Nodes[1] != plans[1].Nodes[1] {
+		t.Error("leaf node for shared source not shared between plans")
+	}
+}
+
+func TestPlanKeyAndConcrete(t *testing.T) {
+	s := NewSpace([][]lav.SourceID{ids(0, 1, 2), ids(3, 4)})
+	root := s.Root(abstraction.ByID())
+	if root.Concrete() {
+		t.Error("root of multi-source space reported concrete")
+	}
+	if root.NumConcrete() != 6 {
+		t.Errorf("NumConcrete = %d, want 6", root.NumConcrete())
+	}
+	if k := root.Key(); k != "{0,1,2}|{3,4}" {
+		t.Errorf("root key = %q", k)
+	}
+	leaf := s.Enumerate()[0]
+	if !leaf.Concrete() {
+		t.Error("enumerated plan not concrete")
+	}
+	if k := leaf.Key(); k != "0|3" {
+		t.Errorf("leaf key = %q", k)
+	}
+}
+
+func TestRefineDescendsToConcrete(t *testing.T) {
+	s := NewSpace([][]lav.SourceID{ids(0, 1, 2, 3), ids(4, 5)})
+	work := []*Plan{s.Root(abstraction.ByID())}
+	seen := make(map[string]bool)
+	concrete := 0
+	for len(work) > 0 {
+		p := work[len(work)-1]
+		work = work[:len(work)-1]
+		if seen[p.Key()] {
+			t.Fatalf("plan %s reached twice", p.Key())
+		}
+		seen[p.Key()] = true
+		if p.Concrete() {
+			concrete++
+			continue
+		}
+		kids := p.Refine()
+		if len(kids) < 2 {
+			t.Fatalf("Refine of %s returned %d children", p.Key(), len(kids))
+		}
+		var sum int64
+		for _, ch := range kids {
+			sum += ch.NumConcrete()
+		}
+		if sum != p.NumConcrete() {
+			t.Fatalf("children of %s cover %d plans, want %d", p.Key(), sum, p.NumConcrete())
+		}
+		work = append(work, kids...)
+	}
+	if concrete != 8 {
+		t.Errorf("refinement reached %d concrete plans, want 8", concrete)
+	}
+}
+
+func TestRefineConcretePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic refining concrete plan")
+		}
+	}()
+	NewSpace([][]lav.SourceID{ids(0)}).Enumerate()[0].Refine()
+}
+
+func TestSameSources(t *testing.T) {
+	s := NewSpace([][]lav.SourceID{ids(0, 1), ids(2)})
+	plans := s.Enumerate()
+	if SameSources(plans[0], plans[1]) {
+		t.Error("distinct plans reported same")
+	}
+	again := s.Enumerate()
+	if !SameSources(plans[0], again[0]) {
+		t.Error("identical plans from separate enumerations reported different")
+	}
+}
+
+func TestFormatUsesCatalogNames(t *testing.T) {
+	cat := lav.NewCatalog()
+	st := lav.Stats{Tuples: 1}
+	cat.MustAdd("alpha", nil, st)
+	cat.MustAdd("beta", nil, st)
+	s := NewSpace([][]lav.SourceID{ids(0, 1)})
+	root := s.Root(abstraction.ByID())
+	if got := root.Format(cat); got != "{alpha beta}" {
+		t.Errorf("Format = %q", got)
+	}
+	leaf := s.Enumerate()[1]
+	if got := leaf.Format(cat); got != "beta" {
+		t.Errorf("Format = %q", got)
+	}
+}

@@ -1,0 +1,152 @@
+package planspace
+
+import (
+	"fmt"
+
+	"qporder/internal/abstraction"
+	"qporder/internal/lav"
+)
+
+// Space is a plan space: the Cartesian product of per-subgoal buckets of
+// concrete sources (Figure 2 of the paper). Spaces are treated as
+// immutable; Remove returns new spaces and leaves the receiver intact.
+type Space struct {
+	Buckets [][]lav.SourceID
+}
+
+// NewSpace builds a space over the given buckets. Buckets are copied.
+func NewSpace(buckets [][]lav.SourceID) *Space {
+	if len(buckets) == 0 {
+		panic("planspace: space with no buckets")
+	}
+	cp := make([][]lav.SourceID, len(buckets))
+	for i, b := range buckets {
+		if len(b) == 0 {
+			panic(fmt.Sprintf("planspace: empty bucket %d", i))
+		}
+		cp[i] = append([]lav.SourceID(nil), b...)
+	}
+	return &Space{Buckets: cp}
+}
+
+// Len returns the number of buckets (query length).
+func (s *Space) Len() int { return len(s.Buckets) }
+
+// Size returns the number of concrete plans in the space.
+func (s *Space) Size() int64 {
+	n := int64(1)
+	for _, b := range s.Buckets {
+		n *= int64(len(b))
+	}
+	return n
+}
+
+// Contains reports whether the concrete plan (one source per bucket) lies
+// in this space.
+func (s *Space) Contains(plan []lav.SourceID) bool {
+	if len(plan) != len(s.Buckets) {
+		return false
+	}
+	for i, src := range plan {
+		if !containsID(s.Buckets[i], src) {
+			return false
+		}
+	}
+	return true
+}
+
+func containsID(b []lav.SourceID, id lav.SourceID) bool {
+	for _, x := range b {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Remove removes one concrete plan from the space by the recursive
+// splitting construction of Section 4 (Figure 2): splitting bucket i
+// produces the space whose buckets 0..i-1 are pinned to the plan's
+// sources, bucket i excludes the plan's source, and buckets i+1.. are
+// unchanged. The returned spaces partition s minus the plan. Empty spaces
+// (from singleton buckets) are omitted. Remove panics if the plan is not
+// in the space.
+func (s *Space) Remove(plan []lav.SourceID) []*Space {
+	if !s.Contains(plan) {
+		panic(fmt.Sprintf("planspace: Remove of plan %v not contained in space", plan))
+	}
+	var out []*Space
+	for i := range s.Buckets {
+		rest := without(s.Buckets[i], plan[i])
+		if len(rest) == 0 {
+			continue
+		}
+		buckets := make([][]lav.SourceID, len(s.Buckets))
+		for j := range s.Buckets {
+			switch {
+			case j < i:
+				buckets[j] = []lav.SourceID{plan[j]}
+			case j == i:
+				buckets[j] = rest
+			default:
+				buckets[j] = append([]lav.SourceID(nil), s.Buckets[j]...)
+			}
+		}
+		out = append(out, &Space{Buckets: buckets})
+	}
+	return out
+}
+
+func without(b []lav.SourceID, id lav.SourceID) []lav.SourceID {
+	out := make([]lav.SourceID, 0, len(b)-1)
+	for _, x := range b {
+		if x != id {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Enumerate returns every concrete plan in the space, sharing one leaf
+// node per (bucket, source) so utility caches keyed on node identity are
+// effective. Plans are produced in lexicographic bucket order.
+func (s *Space) Enumerate() []*Plan {
+	leaves := abstraction.BuildLeaves(s.Buckets)
+	total := s.Size()
+	out := make([]*Plan, 0, total)
+	nodes := make([]*abstraction.Node, len(leaves))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(leaves) {
+			cp := make([]*abstraction.Node, len(nodes))
+			copy(cp, nodes)
+			out = append(out, New(cp...))
+			return
+		}
+		for _, leaf := range leaves[i] {
+			nodes[i] = leaf
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// Root abstracts the space into its top plan using the given heuristic:
+// one hierarchy root per bucket (Step 1 of Figure 5).
+func (s *Space) Root(h abstraction.Heuristic) *Plan {
+	roots := abstraction.Build(s.Buckets, h)
+	return New(roots...)
+}
+
+// String renders bucket contents compactly.
+func (s *Space) String() string {
+	out := ""
+	for i, b := range s.Buckets {
+		if i > 0 {
+			out += " × "
+		}
+		out += fmt.Sprintf("B%d%v", i+1, b)
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package reformulate
+
+import (
+	"fmt"
+
+	"qporder/internal/core"
+	"qporder/internal/lav"
+	"qporder/internal/planspace"
+	"qporder/internal/schema"
+)
+
+// PlanDomain bridges reformulation and plan ordering. A source can appear
+// in one bucket through several unifiers, so the planspace unit is the
+// bucket *entry*, not the source: PlanDomain derives an entry catalog with
+// one derived source per entry, copying the underlying source's
+// statistics, and exposes the plan space over entry IDs.
+type PlanDomain struct {
+	// Buckets is the reformulation result this domain was built from.
+	Buckets *Buckets
+	// Source is the original catalog (needed to expand plans).
+	Source *lav.Catalog
+	// Entries is the derived entry catalog the ordering algorithms see.
+	Entries *lav.Catalog
+	// Space is the plan space over entry IDs.
+	Space *planspace.Space
+
+	entryOf map[lav.SourceID]Entry
+}
+
+// NewPlanDomain derives the ordering-facing view of a bucket set.
+func NewPlanDomain(b *Buckets, cat *lav.Catalog) *PlanDomain {
+	pd := &PlanDomain{
+		Buckets: b,
+		Source:  cat,
+		Entries: lav.NewCatalog(),
+		entryOf: make(map[lav.SourceID]Entry),
+	}
+	buckets := make([][]lav.SourceID, len(b.Entries))
+	for gi, es := range b.Entries {
+		for ei, e := range es {
+			name := fmt.Sprintf("%s@g%d#%d", e.Source.Name, gi, ei)
+			derived := pd.Entries.MustAdd(name, nil, e.Source.Stats)
+			pd.entryOf[derived.ID] = e
+			buckets[gi] = append(buckets[gi], derived.ID)
+		}
+	}
+	pd.Space = planspace.NewSpace(buckets)
+	return pd
+}
+
+// Entry returns the bucket entry behind a derived entry ID.
+func (pd *PlanDomain) Entry(id lav.SourceID) Entry { return pd.entryOf[id] }
+
+// Underlying returns the original source behind a derived entry ID.
+func (pd *PlanDomain) Underlying(id lav.SourceID) *lav.Source {
+	return pd.entryOf[id].Source
+}
+
+// EntriesWithStats derives a parallel entry catalog whose statistics come
+// from statsOf applied to each entry's underlying source; entry names and
+// IDs are identical to Entries, so plans, coverage models, and caches
+// keyed by entry ID remain valid. Used by adaptive re-ordering to feed
+// revised statistics into a fresh utility measure.
+func (pd *PlanDomain) EntriesWithStats(statsOf func(orig *lav.Source) lav.Stats) *lav.Catalog {
+	out := lav.NewCatalog()
+	for _, e := range pd.Entries.Sources() {
+		orig := pd.entryOf[e.ID].Source
+		out.MustAdd(e.Name, nil, statsOf(orig))
+	}
+	return out
+}
+
+// FormatPlan renders a concrete plan with the underlying source names,
+// e.g. "V1 V5".
+func (pd *PlanDomain) FormatPlan(p *planspace.Plan) string {
+	out := ""
+	for i, id := range p.Sources() {
+		if i > 0 {
+			out += " "
+		}
+		out += pd.entryOf[id].Source.Name
+	}
+	return out
+}
+
+// PlanQuery renders a concrete ordering plan as its conjunctive plan
+// query over the sources.
+func (pd *PlanDomain) PlanQuery(p *planspace.Plan) (*schema.Query, error) {
+	if !p.Concrete() {
+		return nil, fmt.Errorf("reformulate: PlanQuery of abstract plan %s", p.Key())
+	}
+	choice := make([]Entry, p.Len())
+	for i, id := range p.Sources() {
+		choice[i] = pd.entryOf[id]
+	}
+	return pd.Buckets.PlanQuery(choice)
+}
+
+// IsSound runs the soundness test on a concrete ordering plan. Unsafe
+// plans (PlanQuery error) are unsound.
+func (pd *PlanDomain) IsSound(p *planspace.Plan) (bool, error) {
+	pq, err := pd.PlanQuery(p)
+	if err != nil {
+		return false, nil
+	}
+	return IsSound(pq, pd.Buckets.Query, pd.Source)
+}
+
+// SoundNext pulls plans from an orderer until a sound one appears,
+// implementing the Section 2 strategy: order the full Cartesian product,
+// test each emitted plan for soundness, discard unsound ones. It returns
+// the plan, its plan query, its utility, and ok=false when the orderer is
+// exhausted. The error reports expansion failures (malformed catalogs).
+func (pd *PlanDomain) SoundNext(o core.Orderer) (*planspace.Plan, *schema.Query, float64, bool, error) {
+	for {
+		p, u, ok := o.Next()
+		if !ok {
+			return nil, nil, 0, false, nil
+		}
+		pq, err := pd.PlanQuery(p)
+		if err != nil {
+			continue // unsafe: cannot be sound
+		}
+		sound, err := IsSound(pq, pd.Buckets.Query, pd.Source)
+		if err != nil {
+			return nil, nil, 0, false, err
+		}
+		if sound {
+			return p, pq, u, true, nil
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package reformulate
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qporder/internal/containment"
+	"qporder/internal/lav"
+	"qporder/internal/schema"
+)
+
+// randomLAVCatalog builds a catalog of random view definitions over
+// binary relations r0..r2, with random projections (which create
+// existential variables).
+func randomLAVCatalog(rng *rand.Rand) *lav.Catalog {
+	cat := lav.NewCatalog()
+	stats := lav.Stats{Tuples: 10, TransmitCost: 1, Overhead: 1}
+	nSources := 3 + rng.Intn(5)
+	for s := 0; s < nSources; s++ {
+		nAtoms := 1 + rng.Intn(2)
+		var body []schema.Atom
+		var vars []schema.Term
+		for a := 0; a < nAtoms; a++ {
+			v1 := schema.Var(fmt.Sprintf("Y%d", rng.Intn(3)))
+			v2 := schema.Var(fmt.Sprintf("Y%d", rng.Intn(3)))
+			body = append(body, schema.NewAtom(fmt.Sprintf("r%d", rng.Intn(3)), v1, v2))
+			vars = append(vars, v1, v2)
+		}
+		// Random projection: keep a non-empty subset of the variables.
+		seen := map[schema.Term]bool{}
+		var distinct []schema.Term
+		for _, v := range vars {
+			if !seen[v] {
+				seen[v] = true
+				distinct = append(distinct, v)
+			}
+		}
+		var head []schema.Term
+		for _, v := range distinct {
+			if rng.Intn(3) > 0 {
+				head = append(head, v)
+			}
+		}
+		if len(head) == 0 {
+			head = distinct[:1]
+		}
+		def := &schema.Query{Name: fmt.Sprintf("W%d", s), Head: head, Body: body}
+		cat.MustAdd(def.Name, def, stats)
+	}
+	return cat
+}
+
+// randomQuery builds a random conjunctive query over r0..r2.
+func randomQuery(rng *rand.Rand) *schema.Query {
+	n := 1 + rng.Intn(2)
+	var body []schema.Atom
+	for i := 0; i < n; i++ {
+		v1 := schema.Var(fmt.Sprintf("Q%d", rng.Intn(3)))
+		v2 := schema.Var(fmt.Sprintf("Q%d", rng.Intn(3)))
+		body = append(body, schema.NewAtom(fmt.Sprintf("r%d", rng.Intn(3)), v1, v2))
+	}
+	var vars []schema.Term
+	for _, a := range body {
+		vars = a.Vars(vars)
+	}
+	head := vars[:1+rng.Intn(len(vars))]
+	return &schema.Query{Name: "Q", Head: head, Body: body}
+}
+
+// normalizeQuery renders a query with variables canonically renamed in
+// order of first occurrence (head first, then body in order).
+func normalizeQuery(q *schema.Query) string {
+	names := map[schema.Term]string{}
+	canon := func(t schema.Term) schema.Term {
+		if !t.IsVar() {
+			return t
+		}
+		n, ok := names[t]
+		if !ok {
+			n = fmt.Sprintf("X%d", len(names))
+			names[t] = n
+		}
+		return schema.Var(n)
+	}
+	out := q.Clone()
+	for i, t := range out.Head {
+		out.Head[i] = canon(t)
+	}
+	for i := range out.Body {
+		for j, t := range out.Body[i].Args {
+			out.Body[i].Args[j] = canon(t)
+		}
+	}
+	return out.String()
+}
+
+// soundExpansions enumerates the domain's plans, filters by soundness,
+// and returns each sound plan's expansion (over schema relations).
+func soundExpansions(t *testing.T, pd *PlanDomain) []*schema.Query {
+	t.Helper()
+	var out []*schema.Query
+	for _, p := range pd.Space.Enumerate() {
+		sound, err := pd.IsSound(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sound {
+			continue
+		}
+		pq, err := pd.PlanQuery(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exp, err := Expand(pq, pd.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, exp)
+	}
+	return out
+}
+
+// coveredBy reports whether every plan expansion in as is contained in
+// some plan expansion of bs (by Sagiv–Yannakakis, a CQ is contained in a
+// union of CQs iff it is contained in one disjunct, so this is exactly
+// "union(as) ⊆ union(bs)").
+func coveredBy(as, bs []*schema.Query) (bool, *schema.Query) {
+	for _, a := range as {
+		ok := false
+		for _, b := range bs {
+			if containment.Contains(a, b) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false, a
+		}
+	}
+	return true, nil
+}
+
+// TestInverseBucketsEquivalentToBucketAlgorithm: Section 7's claim, as an
+// executable property — for random LAV catalogs and conjunctive queries,
+// the inverse-rule construction and the bucket algorithm produce the same
+// certain answers: the unions of their sound plans' expansions are
+// equivalent. (The raw plan sets may differ: the classic bucket algorithm
+// admits entries whose unifier merges query variables, yielding redundant
+// sound plans subsumed by other plans; the inverse-rule construction
+// prunes the corresponding Skolem collisions up front.)
+func TestInverseBucketsEquivalentToBucketAlgorithm(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cat := randomLAVCatalog(rng)
+		q := randomQuery(rng)
+		ba, errA := BuildBuckets(q, cat)
+		ib, errB := InverseBuckets(q, cat)
+		if errA != nil && errB == nil {
+			t.Logf("seed %d: bucket algorithm failed (%v) but inverse rules succeeded", seed, errA)
+			return false // inverse entries are a subset of bucket entries
+		}
+		if errA != nil {
+			return true // neither covers the query
+		}
+		expA := soundExpansions(t, NewPlanDomain(ba, cat))
+		var expB []*schema.Query
+		if errB == nil {
+			expB = soundExpansions(t, NewPlanDomain(ib, cat))
+		}
+		if ok, witness := coveredBy(expA, expB); !ok {
+			t.Logf("seed %d: bucket plan %s not covered by inverse plans (q=%s)", seed, witness, q)
+			return false
+		}
+		if ok, witness := coveredBy(expB, expA); !ok {
+			t.Logf("seed %d: inverse plan %s not covered by bucket plans (q=%s)", seed, witness, q)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

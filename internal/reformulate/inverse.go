@@ -1,0 +1,195 @@
+package reformulate
+
+import (
+	"fmt"
+
+	"qporder/internal/lav"
+	"qporder/internal/schema"
+)
+
+// Inverse rules (Duschka & Genesereth [5], discussed in Section 7).
+//
+// Each LAV description V(X̄) :- g1(Ȳ1), ..., gm(Ȳm) is inverted into one
+// rule per body atom:
+//
+//	gi(Ȳi') :- V(X̄)
+//
+// where distinguished view variables stay and each existential view
+// variable Z is replaced by a Skolem term f_V_Z(X̄) — represented here as
+// a functional constant over the rule's head variables. The inverse
+// rules specify, for every schema relation, all the ways to obtain its
+// tuples from the sources; adding them to the query yields a datalog
+// program that computes all certain answers.
+//
+// Section 7 observes that for conjunctive queries the inverse rules
+// covering one schema relation naturally form a bucket, so the
+// plan-ordering algorithms apply unchanged. InverseBuckets implements
+// that construction.
+
+// InverseRule is one inverted source description.
+type InverseRule struct {
+	// Head is the schema-relation atom the rule derives.
+	Head schema.Atom
+	// Body is the single source atom V(X̄).
+	Body schema.Atom
+	// Source is the inverted source.
+	Source *lav.Source
+	// Skolems lists the head argument positions holding Skolem terms
+	// (existential view variables not exposed by the source).
+	Skolems []int
+}
+
+// String renders "play-in(A, M) :- V1(A, M)".
+func (r InverseRule) String() string {
+	return r.Head.String() + " :- " + r.Body.String()
+}
+
+// rename returns a copy of the rule with every variable suffixed.
+func (r InverseRule) rename(suffix string) InverseRule {
+	sub := make(schema.Subst)
+	var vars []schema.Term
+	vars = r.Head.Vars(vars)
+	vars = r.Body.Vars(vars)
+	for _, v := range vars {
+		sub[v] = schema.Var(v.Name + suffix)
+	}
+	out := r
+	out.Head = sub.ApplyAtom(r.Head)
+	out.Body = sub.ApplyAtom(r.Body)
+	out.Skolems = append([]int(nil), r.Skolems...)
+	return out
+}
+
+// InvertCatalog computes the inverse rules of every described source.
+func InvertCatalog(cat *lav.Catalog) []InverseRule {
+	var out []InverseRule
+	for _, src := range cat.Sources() {
+		if src.Def == nil {
+			continue
+		}
+		def := src.Def.Rename(fmt.Sprintf("_i%d", src.ID))
+		distinguished := def.DistinguishedVars()
+		headAtom := schema.Atom{Pred: src.Name, Args: def.Head}
+		for _, body := range def.Body {
+			rule := InverseRule{
+				Head:   body.Clone(),
+				Body:   headAtom.Clone(),
+				Source: src,
+			}
+			for i, t := range rule.Head.Args {
+				if t.IsVar() && !termIn(distinguished, t) {
+					// Existential variable: Skolemize. The functional term
+					// is encoded as a reserved constant name; the datalog
+					// engine treats distinct Skolem constants as distinct
+					// unknown values, which is exactly the certain-answer
+					// semantics needed (Skolem-containing answers are
+					// filtered from query output).
+					rule.Head.Args[i] = schema.Const(skolemName(src.Name, t.Name))
+					rule.Skolems = append(rule.Skolems, i)
+				}
+			}
+			out = append(out, rule)
+		}
+	}
+	return out
+}
+
+// skolemPrefix marks Skolem constants produced by InvertCatalog.
+const skolemPrefix = "_sk_"
+
+func skolemName(source, varName string) string {
+	return skolemPrefix + source + "_" + varName
+}
+
+// IsSkolem reports whether a term is a Skolem constant introduced by
+// inversion.
+func IsSkolem(t schema.Term) bool {
+	return t.Const && len(t.Name) >= len(skolemPrefix) && t.Name[:len(skolemPrefix)] == skolemPrefix
+}
+
+// InverseBuckets groups the inverse rules by the query's subgoals,
+// realizing Section 7's observation: the rules whose head predicate
+// matches subgoal i form bucket i. Rules whose Skolemized positions
+// collide with variables the query needs are pruned exactly like the
+// bucket algorithm prunes existential mismatches. The result is a
+// *Buckets value usable with NewPlanDomain, identical in spirit to
+// BuildBuckets' output.
+func InverseBuckets(q *schema.Query, cat *lav.Catalog) (*Buckets, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	rules := InvertCatalog(cat)
+	b := &Buckets{Query: q, Entries: make([][]Entry, len(q.Body))}
+	for gi, goal := range q.Body {
+		for _, rule := range rules {
+			if rule.Head.Pred != goal.Pred || len(rule.Head.Args) != len(goal.Args) {
+				continue
+			}
+			// Rename the rule per subgoal so a source used at several
+			// subgoals contributes disjoint fresh variables (otherwise the
+			// plan would accidentally join the occurrences).
+			r := rule.rename(fmt.Sprintf("_g%d", gi))
+			// A Skolem in the rule head can only match a query variable the
+			// query does not need elsewhere; needed variables and constants
+			// must come from real (distinguished) positions.
+			ok := true
+			needed := neededVars(q, goal)
+			for _, pos := range r.Skolems {
+				gt := goal.Args[pos]
+				if gt.Const || termIn(needed, gt) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			// Unify the non-Skolem positions to instantiate the source atom.
+			sub := schema.Subst{}
+			for i := range goal.Args {
+				if intIn(r.Skolems, i) {
+					continue
+				}
+				var okU bool
+				sub, okU = schema.UnifyTerms(r.Head.Args[i], goal.Args[i], sub)
+				if !okU {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			b.Entries[gi] = append(b.Entries[gi], Entry{
+				Source:  r.Source,
+				Subgoal: gi,
+				Atom:    sub.ApplyAtom(r.Body),
+			})
+		}
+	}
+	for gi := range b.Entries {
+		if len(b.Entries[gi]) == 0 {
+			return nil, fmt.Errorf("reformulate: no inverse rule covers subgoal %d (%s)",
+				gi, q.Body[gi])
+		}
+	}
+	return b, nil
+}
+
+// DatalogProgram assembles the full inverse-rule datalog program for a
+// query: the query rule itself plus one rule per inverse rule. Evaluating
+// the program (internal/datalog) over the source contents computes all
+// certain answers; answers containing Skolem constants must be filtered
+// by the caller (datalog.FilterSkolems).
+func DatalogProgram(q *schema.Query, cat *lav.Catalog) []*schema.Query {
+	rules := InvertCatalog(cat)
+	out := []*schema.Query{q.Clone()}
+	for _, r := range rules {
+		out = append(out, &schema.Query{
+			Name: r.Head.Pred,
+			Head: r.Head.Args,
+			Body: []schema.Atom{r.Body},
+		})
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package reformulate
+
+import (
+	"testing"
+
+	"qporder/internal/execsim"
+	"qporder/internal/schema"
+)
+
+func TestInvertCatalogMovie(t *testing.T) {
+	cat := movieCatalog(t)
+	rules := InvertCatalog(cat)
+	// V1 has two body atoms, V2 two, V3 one, V4-V6 one each: 8 rules.
+	if len(rules) != 8 {
+		t.Fatalf("got %d inverse rules: %v", len(rules), rules)
+	}
+	byPred := map[string]int{}
+	for _, r := range rules {
+		byPred[r.Head.Pred]++
+		if r.Body.Pred != r.Source.Name {
+			t.Errorf("rule %s body predicate != source name", r)
+		}
+	}
+	if byPred["play-in"] != 3 || byPred["review-of"] != 3 ||
+		byPred["american"] != 1 || byPred["russian"] != 1 {
+		t.Errorf("rule distribution: %v", byPred)
+	}
+}
+
+func TestInvertSkolemizesExistentials(t *testing.T) {
+	cat := movieCatalog(t)
+	stats := cat.Sources()[0].Stats
+	cat.MustAdd("VP", schema.MustParseQuery("VP(A) :- play-in(A, M)"), stats)
+	rules := InvertCatalog(cat)
+	var vp *InverseRule
+	for i := range rules {
+		if rules[i].Source.Name == "VP" {
+			vp = &rules[i]
+		}
+	}
+	if vp == nil {
+		t.Fatal("no rule for VP")
+	}
+	// play-in(A, sk) :- VP(A): position 1 Skolemized.
+	if len(vp.Skolems) != 1 || vp.Skolems[0] != 1 {
+		t.Fatalf("skolems = %v in %s", vp.Skolems, vp)
+	}
+	if !IsSkolem(vp.Head.Args[1]) {
+		t.Errorf("arg 1 = %v, want Skolem", vp.Head.Args[1])
+	}
+	if IsSkolem(vp.Head.Args[0]) {
+		t.Error("arg 0 wrongly Skolem")
+	}
+}
+
+// TestInverseBucketsMatchBucketAlgorithm: Section 7's observation — the
+// inverse rules per subgoal form exactly the buckets the bucket algorithm
+// builds (same sources, same instantiated atoms).
+func TestInverseBucketsMatchBucketAlgorithm(t *testing.T) {
+	cat := movieCatalog(t)
+	q := movieQuery()
+	ba, err := BuildBuckets(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := InverseBuckets(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ba.Entries) != len(ib.Entries) {
+		t.Fatalf("bucket counts differ")
+	}
+	for gi := range ba.Entries {
+		namesA := map[string]bool{}
+		for _, e := range ba.Entries[gi] {
+			namesA[e.Source.Name] = true
+		}
+		namesB := map[string]bool{}
+		for _, e := range ib.Entries[gi] {
+			namesB[e.Source.Name] = true
+		}
+		if len(namesA) != len(namesB) {
+			t.Errorf("bucket %d: %v vs %v", gi, namesA, namesB)
+			continue
+		}
+		for n := range namesA {
+			if !namesB[n] {
+				t.Errorf("bucket %d: source %s missing from inverse buckets", gi, n)
+			}
+		}
+	}
+	// Plans from inverse buckets are orderable and expandable like bucket
+	// ones.
+	pd := NewPlanDomain(ib, cat)
+	for _, p := range pd.Space.Enumerate() {
+		if _, err := pd.IsSound(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestInverseBucketsPruneSkolemCollisions: a source projecting away a
+// needed variable must not enter the bucket (its Skolem cannot supply the
+// value).
+func TestInverseBucketsPruneSkolemCollisions(t *testing.T) {
+	cat := movieCatalog(t)
+	stats := cat.Sources()[0].Stats
+	cat.MustAdd("VP", schema.MustParseQuery("VP(A) :- play-in(A, M)"), stats)
+	q := movieQuery() // needs M (head + join)
+	ib, err := InverseBuckets(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ib.Entries[0] {
+		if e.Source.Name == "VP" {
+			t.Error("VP entered the play-in bucket despite Skolemized M")
+		}
+	}
+}
+
+// TestDatalogProgramComputesUnionOfSoundPlans: evaluating the inverse-rule
+// program over complete sources yields exactly the answers recovered by
+// the union of sound bucket plans (after Skolem filtering) — the
+// equivalence Section 7 relies on.
+func TestDatalogProgramComputesUnionOfSoundPlans(t *testing.T) {
+	cat := movieCatalog(t)
+	q := movieQuery()
+
+	world := execsim.GenerateWorld(execsim.WorldConfig{
+		Relations: []execsim.RelationSpec{
+			{Name: "play-in", Arity: 2}, {Name: "review-of", Arity: 2},
+			{Name: "american", Arity: 1}, {Name: "russian", Arity: 1},
+		},
+		TuplesPerRelation: 25,
+		DomainSize:        7,
+		Seed:              31,
+	})
+	world.Add("play-in", "ford", "c1")
+	world.Add("review-of", "rev9", "c1")
+	store := execsim.PopulateSources(cat, world, 1.0, 32)
+
+	// Inverse-rule program over the source contents.
+	prog := DatalogProgram(q, cat)
+	derived, err := execsim.EvalProgram(prog, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progAnswers := execsim.NewAnswerSet()
+	progAnswers.Add(execsim.FilterAnswers(derived[q.Name], func(a schema.Atom) bool {
+		for _, t := range a.Args {
+			if IsSkolem(t) {
+				return false
+			}
+		}
+		return true
+	}))
+
+	// Union of sound bucket plans over the same contents.
+	b, err := BuildBuckets(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd := NewPlanDomain(b, cat)
+	eng := execsim.NewEngine(cat, store)
+	planAnswers := execsim.NewAnswerSet()
+	for _, p := range pd.Space.Enumerate() {
+		sound, err := pd.IsSound(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sound {
+			continue
+		}
+		pq, _ := pd.PlanQuery(p)
+		out, err := eng.ExecutePlan(pq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		planAnswers.Add(out)
+	}
+
+	if progAnswers.Len() != planAnswers.Len() {
+		t.Fatalf("program answers %d, plan-union answers %d\nprog:\n%splans:\n%s",
+			progAnswers.Len(), planAnswers.Len(), progAnswers, planAnswers)
+	}
+	for _, a := range progAnswers.Atoms() {
+		if !planAnswers.Contains(schema.Atom{Pred: "P", Args: a.Args}) {
+			t.Errorf("answer %v derived by program but not by plans", a)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package reformulate
+
+import (
+	"testing"
+
+	"qporder/internal/containment"
+	"qporder/internal/lav"
+	"qporder/internal/schema"
+)
+
+// movieCatalog builds the Figure 1 domain: V1-V3 over play-in (V1
+// american, V2 russian, V3 unrestricted) and V4-V6 over review-of.
+func movieCatalog(t *testing.T) *lav.Catalog {
+	t.Helper()
+	cat := lav.NewCatalog()
+	defs := []string{
+		"V1(A, M) :- play-in(A, M), american(M)",
+		"V2(A, M) :- play-in(A, M), russian(M)",
+		"V3(A, M) :- play-in(A, M)",
+		"V4(R, M) :- review-of(R, M)",
+		"V5(R, M) :- review-of(R, M)",
+		"V6(R, M) :- review-of(R, M)",
+	}
+	stats := lav.Stats{Tuples: 100, TransmitCost: 1, Overhead: 10}
+	for _, d := range defs {
+		def := schema.MustParseQuery(d)
+		cat.MustAdd(def.Name, def, stats)
+	}
+	return cat
+}
+
+func movieQuery() *schema.Query {
+	return schema.MustParseQuery(`Q(M, R) :- play-in(ford, M), review-of(R, M)`)
+}
+
+func TestBuildBucketsMovieDomain(t *testing.T) {
+	cat := movieCatalog(t)
+	b, err := BuildBuckets(movieQuery(), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(b.Entries); got != 2 {
+		t.Fatalf("got %d buckets, want 2", got)
+	}
+	if got := len(b.Entries[0]); got != 3 {
+		t.Errorf("bucket 1 has %d entries, want 3 (V1,V2,V3): %v", got, b.Entries[0])
+	}
+	if got := len(b.Entries[1]); got != 3 {
+		t.Errorf("bucket 2 has %d entries, want 3 (V4,V5,V6): %v", got, b.Entries[1])
+	}
+	// The first bucket's atoms must bind the actor position to ford.
+	for _, e := range b.Entries[0] {
+		if a := e.Atom.Args[0]; !a.Const || a.Name != "ford" {
+			t.Errorf("entry %s: first argument = %v, want constant ford", e.Atom, a)
+		}
+	}
+}
+
+func TestAllMoviePlansAreSound(t *testing.T) {
+	cat := movieCatalog(t)
+	q := movieQuery()
+	b, err := BuildBuckets(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd := NewPlanDomain(b, cat)
+	if got := pd.Space.Size(); got != 9 {
+		t.Fatalf("plan space has %d plans, want 9", got)
+	}
+	for _, p := range pd.Space.Enumerate() {
+		sound, err := pd.IsSound(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sound {
+			pq, _ := pd.PlanQuery(p)
+			t.Errorf("plan %s unexpectedly unsound", pq)
+		}
+	}
+}
+
+func TestUnsoundPlanFiltered(t *testing.T) {
+	// Classic unsound candidate: the query asks for actors of the specific
+	// movie starwars; W1 stores actors of arbitrary movies with the movie
+	// projected away, so W1 cannot enforce the constant and its plan is
+	// unsound. W2 stores exactly starwars actors and is sound.
+	cat := lav.NewCatalog()
+	stats := lav.Stats{Tuples: 10, TransmitCost: 1, Overhead: 1}
+	cat.MustAdd("W1", schema.MustParseQuery("W1(A) :- play-in(A, M)"), stats)
+	cat.MustAdd("W2", schema.MustParseQuery("W2(A) :- play-in(A, starwars)"), stats)
+	q := schema.MustParseQuery("Q(A) :- play-in(A, starwars)")
+	b, err := BuildBuckets(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd := NewPlanDomain(b, cat)
+	soundByName := make(map[string]bool)
+	for _, p := range pd.Space.Enumerate() {
+		ok, err := pd.IsSound(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := pd.Underlying(p.Sources()[0]).Name
+		soundByName[name] = ok
+		if ok {
+			pq, _ := pd.PlanQuery(p)
+			exp, err := Expand(pq, cat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !containment.Contains(exp, q) {
+				t.Errorf("plan %s declared sound but expansion not contained", pq)
+			}
+		}
+	}
+	if soundByName["W1"] {
+		t.Error("plan over W1 should be unsound (movie constant not enforced)")
+	}
+	if !soundByName["W2"] {
+		t.Error("plan over W2 should be sound")
+	}
+}
+
+func TestExistentialVariableBlocksBucketEntry(t *testing.T) {
+	// V projects away the movie, so it cannot answer a subgoal that needs
+	// the movie value for the head.
+	cat := lav.NewCatalog()
+	stats := lav.Stats{Tuples: 10, TransmitCost: 1, Overhead: 1}
+	cat.MustAdd("VA", schema.MustParseQuery("VA(A) :- play-in(A, M)"), stats)
+	cat.MustAdd("VB", schema.MustParseQuery("VB(A, M) :- play-in(A, M)"), stats)
+	q := schema.MustParseQuery("Q(A, M) :- play-in(A, M)")
+	b, err := BuildBuckets(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(b.Entries[0]); got != 1 {
+		t.Fatalf("bucket has %d entries, want only VB: %v", got, b.Entries[0])
+	}
+	if b.Entries[0][0].Source.Name != "VB" {
+		t.Errorf("bucket entry is %s, want VB", b.Entries[0][0].Source.Name)
+	}
+}
+
+func TestExpandMoviePlan(t *testing.T) {
+	cat := movieCatalog(t)
+	plan := schema.MustParseQuery("P(M, R) :- V1(ford, M), V4(R, M)")
+	exp, err := Expand(plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expansion: play-in(ford,M), american(M), review-of(R,M).
+	if len(exp.Body) != 3 {
+		t.Fatalf("expansion has %d atoms, want 3: %s", len(exp.Body), exp)
+	}
+	if !containment.Contains(exp, movieQuery()) {
+		t.Errorf("expansion %s not contained in query", exp)
+	}
+}
+
+func TestMiniConMovieDomain(t *testing.T) {
+	cat := movieCatalog(t)
+	q := movieQuery()
+	gb, err := BuildMCDs(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, err := NewMiniConDomain(gb, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All subgoals are independent here, so there is a single space of
+	// 3x3 plans, all sound.
+	if len(md.Spaces) != 1 {
+		t.Fatalf("got %d spaces, want 1", len(md.Spaces))
+	}
+	if got := md.Spaces[0].Size(); got != 9 {
+		t.Fatalf("space has %d plans, want 9", got)
+	}
+	for _, p := range md.Spaces[0].Enumerate() {
+		pq, err := md.PlanQuery(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sound, err := IsSound(pq, q, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sound {
+			t.Errorf("minicon plan %s is unsound", pq)
+		}
+	}
+}
+
+func TestMiniConSpansJoinedSubgoals(t *testing.T) {
+	// The existential join variable C forces both subgoals into one MCD:
+	// V stores pairs (A,B) connected via an unexposed middle value.
+	cat := lav.NewCatalog()
+	stats := lav.Stats{Tuples: 10, TransmitCost: 1, Overhead: 1}
+	cat.MustAdd("VP", schema.MustParseQuery("VP(A, B) :- edge(A, C), edge(C, B)"), stats)
+	q := schema.MustParseQuery("Q(X, Y) :- edge(X, Z), edge(Z, Y)")
+	gb, err := BuildMCDs(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcds, ok := gb.ByCover["0,1"]
+	if !ok || len(mcds) == 0 {
+		t.Fatalf("no MCD covering both subgoals; got %v", gb.ByCover)
+	}
+	md, err := NewMiniConDomain(gb, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range md.Spaces {
+		for _, p := range sp.Enumerate() {
+			pq, err := md.PlanQuery(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sound, err := IsSound(pq, q, cat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sound {
+				t.Errorf("minicon plan %s is unsound", pq)
+			}
+		}
+	}
+}
+
+func TestBuildBucketsErrorOnUncoverableSubgoal(t *testing.T) {
+	cat := movieCatalog(t)
+	q := schema.MustParseQuery("Q(M) :- director-of(D, M)")
+	if _, err := BuildBuckets(q, cat); err == nil {
+		t.Fatal("expected error for uncoverable subgoal")
+	}
+}

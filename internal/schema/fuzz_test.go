@@ -1,0 +1,48 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseQuery checks the parser never panics and that anything it
+// accepts round-trips through String() to an equivalent parse. The seed
+// corpus runs as part of the normal test suite; `go test -fuzz
+// FuzzParseQuery ./internal/schema` explores further.
+func FuzzParseQuery(f *testing.F) {
+	for _, seed := range []string{
+		"Q(M, R) :- play-in(ford, M), review-of(R, M)",
+		"V1(A, M) :- play-in(A, M), american(M).",
+		`Q(X) :- r(X, "two words"), s(X)`,
+		"Q(X) :- r(X",
+		"Q() :- r()",
+		"Q(X) :- ",
+		":- r(X)",
+		"Q(X):-r(X)",
+		"q(x) :- r(x)",
+		`Q(X) :- r("\"")`,
+		"Q(X) :- r(X), r(X), r(X)",
+		"Q(日本) :- r(日本)",
+		strings.Repeat("Q(X) :- r(X)", 3),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := ParseQuery(src)
+		if err != nil {
+			return
+		}
+		// Accepted input must render and re-parse to the same form.
+		s1 := q.String()
+		q2, err := ParseQuery(s1)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", s1, src, err)
+		}
+		if s2 := q2.String(); s1 != s2 {
+			t.Fatalf("round trip unstable: %q -> %q", s1, s2)
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("ParseQuery accepted invalid query %q: %v", s1, err)
+		}
+	})
+}

@@ -1,0 +1,224 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ParseQuery parses a single conjunctive query / view definition in
+// datalog syntax:
+//
+//	Q(M, R) :- play-in("Harrison Ford", M), review-of(R, M)
+//
+// A trailing period is optional. Identifiers starting with an upper-case
+// letter are variables; other identifiers, numbers, and quoted strings are
+// constants.
+func ParseQuery(src string) (*Query, error) {
+	p := newParser(src)
+	q, err := p.parseRule()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if !p.eof() {
+		return nil, p.errorf("unexpected trailing input %q", p.rest())
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// ParseProgram parses a sequence of rules separated by newlines or
+// periods. Lines whose first non-space character is '%' or '#' are
+// comments; '//' begins a comment anywhere on a line.
+func ParseProgram(src string) ([]*Query, error) {
+	var out []*Query
+	for lineNo, line := range strings.Split(src, "\n") {
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" || line[0] == '%' || line[0] == '#' {
+			continue
+		}
+		q, err := ParseQuery(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// MustParseQuery is ParseQuery that panics on error; for tests and
+// package-level examples.
+func MustParseQuery(src string) *Query {
+	q, err := ParseQuery(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	src []rune
+	pos int
+}
+
+func newParser(src string) *parser { return &parser{src: []rune(src)} }
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peek() rune {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) rest() string {
+	if p.eof() {
+		return ""
+	}
+	return string(p.src[p.pos:])
+}
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("schema: parse error at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipSpace() {
+	for !p.eof() && unicode.IsSpace(p.src[p.pos]) {
+		p.pos++
+	}
+	// A trailing period terminates a rule.
+	if !p.eof() && p.src[p.pos] == '.' && p.pos == len(p.src)-1 {
+		p.pos++
+	}
+}
+
+func (p *parser) expect(r rune) error {
+	p.skipSpace()
+	if p.peek() != r {
+		return p.errorf("expected %q, found %q", string(r), p.rest())
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) parseRule() (*Query, error) {
+	head, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if !strings.HasPrefix(p.rest(), ":-") {
+		return nil, p.errorf("expected \":-\" after head")
+	}
+	p.pos += 2
+	var body []Atom
+	for {
+		a, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, a)
+		p.skipSpace()
+		if p.peek() == ',' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return &Query{Name: head.Pred, Head: head.Args, Body: body}, nil
+}
+
+func (p *parser) parseAtom() (Atom, error) {
+	p.skipSpace()
+	pred, err := p.parseIdent()
+	if err != nil {
+		return Atom{}, err
+	}
+	if err := p.expect('('); err != nil {
+		return Atom{}, err
+	}
+	var args []Term
+	p.skipSpace()
+	if p.peek() == ')' {
+		p.pos++
+		return Atom{Pred: pred, Args: args}, nil
+	}
+	for {
+		t, err := p.parseTerm()
+		if err != nil {
+			return Atom{}, err
+		}
+		args = append(args, t)
+		p.skipSpace()
+		switch p.peek() {
+		case ',':
+			p.pos++
+		case ')':
+			p.pos++
+			return Atom{Pred: pred, Args: args}, nil
+		default:
+			return Atom{}, p.errorf("expected ',' or ')' in argument list, found %q", p.rest())
+		}
+	}
+}
+
+func (p *parser) parseTerm() (Term, error) {
+	p.skipSpace()
+	if p.peek() == '"' {
+		s, err := p.parseQuoted()
+		if err != nil {
+			return Term{}, err
+		}
+		return Const(s), nil
+	}
+	id, err := p.parseIdent()
+	if err != nil {
+		return Term{}, err
+	}
+	r := rune(id[0])
+	if r >= 'A' && r <= 'Z' {
+		return Var(id), nil
+	}
+	return Const(id), nil
+}
+
+func (p *parser) parseQuoted() (string, error) {
+	p.pos++ // opening quote
+	var b strings.Builder
+	for !p.eof() {
+		r := p.src[p.pos]
+		p.pos++
+		switch r {
+		case '\\':
+			if p.eof() {
+				return "", p.errorf("unterminated escape in string")
+			}
+			b.WriteRune(p.src[p.pos])
+			p.pos++
+		case '"':
+			return b.String(), nil
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return "", p.errorf("unterminated string literal")
+}
+
+func (p *parser) parseIdent() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for !p.eof() && isIdentRune(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errorf("expected identifier, found %q", p.rest())
+	}
+	return string(p.src[start:p.pos]), nil
+}

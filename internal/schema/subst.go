@@ -1,0 +1,101 @@
+package schema
+
+import (
+	"sort"
+	"strings"
+)
+
+// Subst maps variables to terms. Applying a substitution replaces each
+// variable by its image; unmapped variables and constants are unchanged.
+type Subst map[Term]Term
+
+// Apply returns the image of t under s.
+func (s Subst) Apply(t Term) Term {
+	if t.Const {
+		return t
+	}
+	if img, ok := s[t]; ok {
+		return img
+	}
+	return t
+}
+
+// Resolve follows variable bindings transitively until reaching a
+// constant or an unbound variable. Unlike Apply, it chases chains such as
+// {A→B, B→c}.
+func (s Subst) Resolve(t Term) Term {
+	for steps := 0; t.IsVar() && steps <= len(s); steps++ {
+		img, ok := s[t]
+		if !ok || img == t {
+			return t
+		}
+		t = img
+	}
+	return t
+}
+
+// ApplyAtom returns a copy of a with s applied to every argument.
+func (s Subst) ApplyAtom(a Atom) Atom {
+	out := a.Clone()
+	for i, t := range out.Args {
+		out.Args[i] = s.Apply(t)
+	}
+	return out
+}
+
+// ApplyQuery returns a copy of q with s applied to head and body.
+func (s Subst) ApplyQuery(q *Query) *Query {
+	c := q.Clone()
+	for i, t := range c.Head {
+		c.Head[i] = s.Apply(t)
+	}
+	for i := range c.Body {
+		c.Body[i] = s.ApplyAtom(c.Body[i])
+	}
+	return c
+}
+
+// Clone returns a copy of the substitution.
+func (s Subst) Clone() Subst {
+	c := make(Subst, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// Compose returns the substitution t∘s: first apply s, then t, flattened
+// into a single map. Bindings of t for variables not bound by s carry over.
+func (s Subst) Compose(t Subst) Subst {
+	out := make(Subst, len(s)+len(t))
+	for k, v := range s {
+		out[k] = t.Apply(v)
+	}
+	for k, v := range t {
+		if _, ok := out[k]; !ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// String renders bindings deterministically, e.g. "{A→ford, M→M1}".
+func (s Subst) String() string {
+	keys := make([]Term, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Name < keys[j].Name })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(k.String())
+		b.WriteString("→")
+		b.WriteString(s[k].String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,77 @@
+package schema
+
+// UnifyTerms extends substitution s so that s(a) == s(b), returning the
+// extended substitution and true on success. Terms here are flat (no
+// function symbols), so unification needs no occurs check beyond
+// variable-to-variable chains, which we resolve eagerly.
+func UnifyTerms(a, b Term, s Subst) (Subst, bool) {
+	a = resolve(a, s)
+	b = resolve(b, s)
+	switch {
+	case a == b:
+		return s, true
+	case a.IsVar():
+		out := s.Clone()
+		out[a] = b
+		return out, true
+	case b.IsVar():
+		out := s.Clone()
+		out[b] = a
+		return out, true
+	default: // distinct constants
+		return s, false
+	}
+}
+
+// resolve follows variable bindings in s until reaching a constant or an
+// unbound variable.
+func resolve(t Term, s Subst) Term {
+	for t.IsVar() {
+		img, ok := s[t]
+		if !ok || img == t {
+			return t
+		}
+		t = img
+	}
+	return t
+}
+
+// UnifyAtoms extends s to unify atoms a and b (same predicate and arity
+// required). It returns the extended substitution and true on success.
+func UnifyAtoms(a, b Atom, s Subst) (Subst, bool) {
+	if a.Pred != b.Pred || len(a.Args) != len(b.Args) {
+		return s, false
+	}
+	cur := s
+	for i := range a.Args {
+		var ok bool
+		cur, ok = UnifyTerms(a.Args[i], b.Args[i], cur)
+		if !ok {
+			return s, false
+		}
+	}
+	return cur, true
+}
+
+// MatchAtom attempts to extend s so that s(pattern) == ground, where
+// ground contains only constants. Unlike full unification it never binds
+// anything inside ground. Returns the extended substitution and success.
+func MatchAtom(pattern, ground Atom, s Subst) (Subst, bool) {
+	if pattern.Pred != ground.Pred || len(pattern.Args) != len(ground.Args) {
+		return s, false
+	}
+	cur := s.Clone()
+	for i, pt := range pattern.Args {
+		gt := ground.Args[i]
+		pt = resolve(pt, cur)
+		switch {
+		case pt.Const:
+			if pt != gt {
+				return s, false
+			}
+		default:
+			cur[pt] = gt
+		}
+	}
+	return cur, true
+}

@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNumericHelpers(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if got := Mean(xs); got != 2.8 {
+		t.Errorf("Mean = %g", got)
+	}
+	if got := Median(xs); got != 3 {
+		t.Errorf("Median = %g", got)
+	}
+	if got := Median([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("even Median = %g", got)
+	}
+	if got := Min(xs); got != 1 {
+		t.Errorf("Min = %g", got)
+	}
+	if got := Max(xs); got != 5 {
+		t.Errorf("Max = %g", got)
+	}
+	for _, f := range []func([]float64) float64{Mean, Median, Min, Max} {
+		if !math.IsNaN(f(nil)) {
+			t.Error("empty input should give NaN")
+		}
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := map[time.Duration]string{
+		2500 * time.Millisecond: "2.50s",
+		1500 * time.Microsecond: "1.50ms",
+		42 * time.Microsecond:   "42.0µs",
+		300 * time.Nanosecond:   "300ns",
+	}
+	for d, want := range cases {
+		if got := FormatDuration(d); got != want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("name", "value")
+	tab.Add("alpha", "1")
+	tab.Add("b")
+	var sb strings.Builder
+	tab.Render(&sb)
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "-----") {
+		t.Errorf("separator = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "alpha  1") {
+		t.Errorf("row = %q", lines[2])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("a", "b")
+	tab.Add("1", "2")
+	var sb strings.Builder
+	tab.CSV(&sb)
+	if sb.String() != "a,b\n1,2\n" {
+		t.Errorf("CSV = %q", sb.String())
+	}
+}

@@ -1,0 +1,201 @@
+// Package workload generates the synthetic experiment domains of
+// Section 6: per-subgoal buckets of sources with randomized statistics, a
+// coverage model with a controlled overlap rate, and the cost-model
+// parameters. Generation is fully deterministic given a seed.
+//
+// Coverage construction (DESIGN.md §3): for each bucket, every element of
+// the answer universe is assigned to one of Zones zones; each source
+// picks a zone and covers an ε-noised *prefix* of the zone (under a fixed
+// per-zone ordering), with a per-source extent γ. Two sources in one
+// bucket overlap iff they share a zone, so the expected overlap rate is
+// 1/Zones — Zones=3 reproduces the paper's 0.3 default.
+//
+// The near-nested structure is what makes the domain "amenable to
+// abstraction" (Section 3): same-zone sources form an approximate chain
+// (a larger source nearly contains a smaller one — think the paper's
+// national chains vs. specialized stores), so a group's member
+// intersection/union are close to its smallest/largest member and
+// abstract plans get tight utility intervals, while the γ spread
+// separates groups enough for Drips-style dominance to prune.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qporder/internal/bitset"
+	"qporder/internal/costmodel"
+	"qporder/internal/coverage"
+	"qporder/internal/lav"
+	"qporder/internal/planspace"
+	"qporder/internal/schema"
+)
+
+// Config parameterizes domain generation.
+type Config struct {
+	// QueryLen is the number of subgoals (buckets). Paper default: 3.
+	QueryLen int
+	// BucketSize is the number of sources per bucket.
+	BucketSize int
+	// Universe is the synthetic answer-universe size for the coverage
+	// model. Default 4096.
+	Universe int
+	// Zones controls the overlap rate ≈ 1/Zones. Default 3 (rate 0.3).
+	Zones int
+	// N is the selectivity denominator of cost measure (2). Default 50000.
+	N float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.QueryLen == 0 {
+		c.QueryLen = 3
+	}
+	if c.BucketSize == 0 {
+		c.BucketSize = 20
+	}
+	if c.Universe == 0 {
+		c.Universe = 4096
+	}
+	if c.Zones == 0 {
+		c.Zones = 3
+	}
+	if c.N == 0 {
+		c.N = 50000
+	}
+	return c
+}
+
+// Domain is a generated experiment domain.
+type Domain struct {
+	Config   Config
+	Catalog  *lav.Catalog
+	Buckets  [][]lav.SourceID
+	Space    *planspace.Space
+	Coverage *coverage.Model
+	Params   costmodel.Params
+	Query    *schema.Query
+	// zone[id] is the coverage zone of each source, exposed for the
+	// zone-aware similarity key (see SimilarityKey).
+	zone map[lav.SourceID]int
+	// setSize[id] is |coverage set| per source.
+	setSize map[lav.SourceID]int
+}
+
+// Generate builds a domain from the configuration.
+func Generate(cfg Config) *Domain {
+	cfg = cfg.withDefaults()
+	if cfg.QueryLen < 1 || cfg.BucketSize < 1 {
+		panic(fmt.Sprintf("workload: invalid config %+v", cfg))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := &Domain{
+		Config:   cfg,
+		Catalog:  lav.NewCatalog(),
+		Coverage: coverage.NewModel(cfg.Universe),
+		Params:   costmodel.Params{N: cfg.N},
+		zone:     make(map[lav.SourceID]int),
+		setSize:  make(map[lav.SourceID]int),
+	}
+	d.Query = chainQuery(cfg.QueryLen)
+
+	d.Buckets = make([][]lav.SourceID, cfg.QueryLen)
+	for b := 0; b < cfg.QueryLen; b++ {
+		// Per-bucket zone assignment of universe elements, with a fixed
+		// random element order per zone (the nesting order).
+		zoneElems := make([][]int, cfg.Zones)
+		perm := rng.Perm(cfg.Universe)
+		for _, i := range perm {
+			z := rng.Intn(cfg.Zones)
+			zoneElems[z] = append(zoneElems[z], i)
+		}
+		def := sourceDef(b)
+		for j := 0; j < cfg.BucketSize; j++ {
+			name := fmt.Sprintf("V%d_%d", b, j)
+			zone := rng.Intn(cfg.Zones)
+			elems := zoneElems[zone]
+			// The source covers an ε-noised prefix of its zone: extent γ
+			// determines the prefix length; each zone element then flips
+			// its membership with probability ε.
+			gamma := 0.2 + 0.75*rng.Float64()
+			eps := 0.002 + 0.018*rng.Float64()
+			prefix := int(gamma * float64(len(elems)))
+			set := bitset.New(cfg.Universe)
+			for pos, i := range elems {
+				in := pos < prefix
+				if rng.Float64() < eps {
+					in = !in
+				}
+				if in {
+					set.Add(i)
+				}
+			}
+			// Guarantee non-empty coverage so every plan is executable.
+			if !set.Any() {
+				set.Add(rng.Intn(cfg.Universe))
+			}
+			// Tuples correlates with covered volume (bigger sources return
+			// more items), with multiplicative noise.
+			tuples := 1 + float64(set.Count())/float64(cfg.Universe)*10000*(0.7+0.6*rng.Float64())
+			stats := lav.Stats{
+				Tuples:       tuples,
+				TransmitCost: 0.5 + 1.5*rng.Float64(),
+				Overhead:     10,
+				FailureProb:  0.3 * rng.Float64(),
+				// Access fees scale with catalog size times two orders of
+				// magnitude of i.i.d. pricing noise, so the monetary cost
+				// PER TUPLE is dominated by the noise: no statistic the
+				// abstraction heuristic can group by predicts it. This
+				// reproduces the paper's panels (j)-(l), where abstraction
+				// is ineffective for the monetary measure.
+				AccessFee: tuples * (0.05 + 4.95*rng.Float64()),
+				TupleFee:  0.01 + 0.09*rng.Float64(),
+			}
+			src := d.Catalog.MustAdd(name, def, stats)
+			d.Coverage.SetCoverage(src.ID, set)
+			d.zone[src.ID] = zone
+			d.setSize[src.ID] = set.Count()
+			d.Buckets[b] = append(d.Buckets[b], src.ID)
+		}
+	}
+	d.Space = planspace.NewSpace(d.Buckets)
+	return d
+}
+
+// Zone returns the coverage zone of a source.
+func (d *Domain) Zone(id lav.SourceID) int { return d.zone[id] }
+
+// SetSize returns the coverage-set cardinality of a source.
+func (d *Domain) SetSize(id lav.SourceID) int { return d.setSize[id] }
+
+// SimilarityKey is the zone-aware coverage-similarity key: sources in the
+// same zone with similar coverage sizes get adjacent keys. It corresponds
+// to the paper's "similarity wrt expected output tuples" heuristic,
+// adapted to a model where overlap structure is part of the known source
+// statistics (DESIGN.md §3).
+func (d *Domain) SimilarityKey(_ int, id lav.SourceID) float64 {
+	return float64(d.zone[id])*1e9 + float64(d.setSize[id])
+}
+
+// chainQuery builds Q(X0,Xn) :- rel0(X0,X1), ..., rel{n-1}(X{n-1},Xn).
+func chainQuery(n int) *schema.Query {
+	head := []schema.Term{schema.Var("X0"), schema.Var(fmt.Sprintf("X%d", n))}
+	body := make([]schema.Atom, n)
+	for i := 0; i < n; i++ {
+		body[i] = schema.NewAtom(fmt.Sprintf("rel%d", i),
+			schema.Var(fmt.Sprintf("X%d", i)), schema.Var(fmt.Sprintf("X%d", i+1)))
+	}
+	return &schema.Query{Name: "Q", Head: head, Body: body}
+}
+
+// sourceDef builds the LAV description V(A,B) :- rel<b>(A,B) shared by all
+// sources of bucket b.
+func sourceDef(b int) *schema.Query {
+	return &schema.Query{
+		Name: fmt.Sprintf("rel%dview", b),
+		Head: []schema.Term{schema.Var("A"), schema.Var("B")},
+		Body: []schema.Atom{schema.NewAtom(fmt.Sprintf("rel%d", b), schema.Var("A"), schema.Var("B"))},
+	}
+}

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"testing"
+
+	"qporder/internal/lav"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{QueryLen: 3, BucketSize: 6, Universe: 512, Zones: 3, Seed: 5}
+	a, b := Generate(cfg), Generate(cfg)
+	if a.Catalog.Len() != b.Catalog.Len() {
+		t.Fatal("catalog sizes differ")
+	}
+	for i := 0; i < a.Catalog.Len(); i++ {
+		sa, sb := a.Catalog.Source(lav.SourceID(i)), b.Catalog.Source(lav.SourceID(i))
+		if sa.Stats != sb.Stats || sa.Name != sb.Name {
+			t.Fatalf("source %d differs across identical seeds", i)
+		}
+		if !a.Coverage.Set(sa.ID).Equal(b.Coverage.Set(sb.ID)) {
+			t.Fatalf("coverage of source %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := Generate(Config{QueryLen: 2, BucketSize: 4, Universe: 256, Seed: 1})
+	b := Generate(Config{QueryLen: 2, BucketSize: 4, Universe: 256, Seed: 2})
+	same := true
+	for i := 0; i < a.Catalog.Len(); i++ {
+		if a.Catalog.Source(lav.SourceID(i)).Stats != b.Catalog.Source(lav.SourceID(i)).Stats {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical statistics")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	d := Generate(Config{QueryLen: 4, BucketSize: 7, Universe: 256, Zones: 2, Seed: 9})
+	if len(d.Buckets) != 4 {
+		t.Fatalf("buckets = %d", len(d.Buckets))
+	}
+	for _, b := range d.Buckets {
+		if len(b) != 7 {
+			t.Fatalf("bucket size = %d", len(b))
+		}
+	}
+	if d.Space.Size() != 7*7*7*7 {
+		t.Errorf("space size = %d", d.Space.Size())
+	}
+	if len(d.Query.Body) != 4 {
+		t.Errorf("query length = %d", len(d.Query.Body))
+	}
+	if err := d.Query.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	d := Generate(Config{Seed: 1})
+	if d.Config.QueryLen != 3 || d.Config.BucketSize != 20 ||
+		d.Config.Universe != 4096 || d.Config.Zones != 3 || d.Config.N != 50000 {
+		t.Errorf("defaults = %+v", d.Config)
+	}
+}
+
+func TestEverySourceHasCoverageAndValidStats(t *testing.T) {
+	d := Generate(Config{QueryLen: 3, BucketSize: 10, Universe: 128, Zones: 4, Seed: 17})
+	for _, src := range d.Catalog.Sources() {
+		if err := src.Stats.Validate(); err != nil {
+			t.Errorf("source %s: %v", src.Name, err)
+		}
+		if !d.Coverage.Has(src.ID) {
+			t.Errorf("source %s has no coverage set", src.Name)
+		}
+		if !d.Coverage.Set(src.ID).Any() {
+			t.Errorf("source %s has empty coverage", src.Name)
+		}
+		if d.SetSize(src.ID) != d.Coverage.Set(src.ID).Count() {
+			t.Errorf("source %s SetSize mismatch", src.Name)
+		}
+	}
+}
+
+func TestZoneStructureDrivesOverlap(t *testing.T) {
+	d := Generate(Config{QueryLen: 1, BucketSize: 30, Universe: 2048, Zones: 3, Seed: 23})
+	bucket := d.Buckets[0]
+	sameZoneOverlaps, crossZoneOverlaps := 0, 0
+	sameZonePairs, crossZonePairs := 0, 0
+	for i := 0; i < len(bucket); i++ {
+		for j := i + 1; j < len(bucket); j++ {
+			overlap := d.Coverage.Overlap(bucket[i], bucket[j])
+			if d.Zone(bucket[i]) == d.Zone(bucket[j]) {
+				sameZonePairs++
+				if overlap {
+					sameZoneOverlaps++
+				}
+			} else {
+				crossZonePairs++
+				if overlap {
+					crossZoneOverlaps++
+				}
+			}
+		}
+	}
+	if sameZonePairs == 0 || crossZonePairs == 0 {
+		t.Skip("degenerate zone assignment")
+	}
+	if sameZoneOverlaps != sameZonePairs {
+		t.Errorf("same-zone overlap %d/%d, want all", sameZoneOverlaps, sameZonePairs)
+	}
+	if crossZoneOverlaps != 0 {
+		t.Errorf("cross-zone overlap %d/%d, want none", crossZoneOverlaps, crossZonePairs)
+	}
+}
+
+func TestSimilarityKeyOrdersByZoneThenSize(t *testing.T) {
+	d := Generate(Config{QueryLen: 1, BucketSize: 20, Universe: 512, Zones: 2, Seed: 3})
+	b := d.Buckets[0]
+	for i := 0; i < len(b); i++ {
+		for j := 0; j < len(b); j++ {
+			ki, kj := d.SimilarityKey(0, b[i]), d.SimilarityKey(0, b[j])
+			if d.Zone(b[i]) < d.Zone(b[j]) && ki >= kj {
+				t.Fatalf("zone ordering violated: %v vs %v", ki, kj)
+			}
+			if d.Zone(b[i]) == d.Zone(b[j]) && d.SetSize(b[i]) < d.SetSize(b[j]) && ki >= kj {
+				t.Fatalf("size ordering violated within zone")
+			}
+		}
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Generate(Config{QueryLen: -1, BucketSize: 2})
+}
