@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench experiments fuzz clean
+.PHONY: all build vet test race bench check fmtcheck experiments fuzz clean
 
 all: build vet test
 
@@ -15,6 +15,16 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+fmtcheck:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+# check is the CI gate: formatting, vet, build, and the race-enabled
+# test suite.
+check: fmtcheck vet build race
 
 bench:
 	$(GO) test -bench=. -benchmem .

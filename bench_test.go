@@ -18,6 +18,7 @@ import (
 	"qporder/internal/experiment"
 	"qporder/internal/interval"
 	"qporder/internal/lav"
+	"qporder/internal/obs"
 	"qporder/internal/physopt"
 	"qporder/internal/planspace"
 	"qporder/internal/schema"
@@ -246,6 +247,39 @@ func BenchmarkSpaceSplit(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		d.Space.Remove(victim)
 	}
+}
+
+// benchInstrumentation measures the cost of the observability layer on
+// an ordering run: "off" is the default nil-registry path, which must
+// match the uninstrumented baseline alloc-for-alloc; "on" binds a live
+// registry.
+func benchInstrumentation(b *testing.B, m experiment.MeasureKey, algo experiment.Algorithm, k int) {
+	d := benchDomains.Get(benchBase(20))
+	for _, mode := range []string{"off", "on"} {
+		reg := (*obs.Registry)(nil)
+		if mode == "on" {
+			reg = obs.NewRegistry()
+		}
+		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				o, err := experiment.BuildOrderer(d, m, algo)
+				if err != nil {
+					b.Fatal(err)
+				}
+				core.Instrument(o, reg)
+				core.Take(o, k)
+			}
+		})
+	}
+}
+
+func BenchmarkInstrumentationStreamer(b *testing.B) {
+	benchInstrumentation(b, experiment.MeasureCoverage, experiment.AlgoStreamer, 10)
+}
+
+func BenchmarkInstrumentationGreedy(b *testing.B) {
+	benchInstrumentation(b, experiment.MeasureLinear, experiment.AlgoGreedy, 20)
 }
 
 func BenchmarkDripsBestCoverage(b *testing.B) {

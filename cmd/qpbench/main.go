@@ -13,14 +13,19 @@
 package main
 
 import (
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"qporder/internal/experiment"
+	"qporder/internal/obs"
 	"qporder/internal/stats"
 	"qporder/internal/workload"
 )
@@ -34,8 +39,22 @@ func main() {
 		zones     = flag.Int("zones", 3, "coverage zones; overlap rate ≈ 1/zones (paper default 0.3)")
 		universe  = flag.Int("universe", 4096, "coverage universe size")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		metrics   = flag.String("metrics-json", "", "write the machine-readable metrics report (JSON) to this path")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. :6060)")
 	)
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *pprofAddr != "" {
+		reg = obs.NewRegistry()
+		expvar.Publish("qporder", reg)
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "qpbench: pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof: serving %s (/debug/pprof/, /debug/vars)\n", *pprofAddr)
+	}
 
 	sizes, err := parseInts(*sizesFlag)
 	if err != nil {
@@ -156,7 +175,49 @@ func main() {
 		render(t)
 	}
 
+	if *metrics != "" {
+		if err := writeMetrics(*metrics, dc, sizes, base, reg); err != nil {
+			fmt.Fprintln(os.Stderr, "qpbench: metrics:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics: wrote %s\n", *metrics)
+	}
+
 	fmt.Printf("total: %s\n", stats.FormatDuration(time.Since(start)))
+}
+
+// writeMetrics runs the instrumented benchmark cells — coverage with PI,
+// iDrips, and Streamer (k=10) plus linear cost with Greedy (k=20) at each
+// bucket size — and writes the MetricsReport JSON document to path.
+func writeMetrics(path string, dc experiment.DomainCache, sizes []int, base workload.Config, reg *obs.Registry) error {
+	var recs []experiment.MetricRecord
+	for _, m := range sizes {
+		cfg := base
+		cfg.BucketSize = m
+		cells := []experiment.Cell{
+			{Algo: experiment.AlgoPI, Measure: experiment.MeasureCoverage, K: 10, Config: cfg},
+			{Algo: experiment.AlgoIDrips, Measure: experiment.MeasureCoverage, K: 10, Config: cfg},
+			{Algo: experiment.AlgoStreamer, Measure: experiment.MeasureCoverage, K: 10, Config: cfg},
+			{Algo: experiment.AlgoGreedy, Measure: experiment.MeasureLinear, K: 20, Config: cfg},
+		}
+		recs = append(recs, experiment.CollectMetrics(dc.Get(cfg), cells, reg)...)
+	}
+	rep := experiment.MetricsReport{
+		SchemaVersion: experiment.MetricsSchemaVersion,
+		Workload:      base,
+		Records:       recs,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func runCell(d *workload.Domain, algo experiment.Algorithm, m experiment.MeasureKey, k int, cfg workload.Config) experiment.Result {

@@ -24,6 +24,7 @@ import (
 	"qporder/internal/domfile"
 	"qporder/internal/execsim"
 	"qporder/internal/measure"
+	"qporder/internal/obs"
 	"qporder/internal/physopt"
 	"qporder/internal/planspace"
 	"qporder/internal/reformulate"
@@ -57,6 +58,7 @@ func run() error {
 		execute  = flag.Bool("execute", false, "execute the ordered plans against a simulated world")
 		physical = flag.Bool("physical", false, "run plans through the physical optimizer (join order + access methods)")
 		seed     = flag.Int64("seed", 1, "seed for the simulated world (-execute)")
+		stats    = flag.Bool("stats", false, "report phase spans and pipeline counters to stderr on exit")
 	)
 	flag.Parse()
 	if *file == "" {
@@ -82,11 +84,19 @@ func run() error {
 	}
 	fmt.Println("query:", q)
 
+	var reg *obs.Registry
+	if *stats {
+		reg = obs.NewRegistry()
+	}
+	tr := reg.Tracer()
+
+	refSpan := obs.StartSpan(tr, "qporder/reformulate")
 	buckets, err := reformulate.BuildBuckets(q, dom.Catalog)
 	if err != nil {
 		return err
 	}
 	pd := reformulate.NewPlanDomain(buckets, dom.Catalog)
+	refSpan.End()
 	fmt.Printf("plan space: %d candidate plans\n", pd.Space.Size())
 
 	m, err := buildMeasure(pd, *meas, *bigN)
@@ -97,6 +107,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	core.Instrument(o, reg)
 
 	var engine *execsim.Engine
 	answers := execsim.NewAnswerSet()
@@ -105,11 +116,14 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		engine.Instrument(reg)
 	}
 
 	produced := 0
 	for produced < *k {
+		ordSpan := obs.StartSpan(tr, "qporder/order")
 		plan, pq, utility, ok, err := pd.SoundNext(o)
+		ordSpan.End()
 		if err != nil {
 			return err
 		}
@@ -128,12 +142,14 @@ func run() error {
 			fmt.Print(indent(pp.String(), "     "))
 		}
 		if engine != nil {
+			execSpan := obs.StartSpan(tr, "qporder/execute")
 			var out []schema.Atom
 			if pp != nil {
 				out, err = engine.ExecutePhysical(pp)
 			} else {
 				out, err = engine.ExecutePlan(pq)
 			}
+			execSpan.End()
 			if err != nil {
 				return err
 			}
@@ -148,6 +164,12 @@ func run() error {
 	fmt.Printf("plans evaluated: %d\n", o.Context().Evals())
 	if engine != nil {
 		fmt.Printf("\nanswers (%d):\n%s", answers.Len(), answers)
+	}
+	if reg != nil {
+		fmt.Fprintln(os.Stderr, "--- stats ---")
+		if err := reg.WriteText(os.Stderr); err != nil {
+			return err
+		}
 	}
 	return nil
 }

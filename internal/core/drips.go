@@ -22,12 +22,17 @@ type dripsCand struct {
 // roots must be non-empty and collectively non-empty; the winner always
 // exists.
 func DripsBest(ctx measure.Context, roots []*planspace.Plan) (*planspace.Plan, float64) {
+	return dripsBest(ctx, roots, counters{})
+}
+
+// dripsBest is DripsBest with work counters (disabled when c is zero).
+func dripsBest(ctx measure.Context, roots []*planspace.Plan, c counters) (*planspace.Plan, float64) {
 	cands := make([]*dripsCand, 0, len(roots))
 	for _, r := range roots {
 		cands = append(cands, &dripsCand{p: r, u: ctx.Evaluate(r)})
 	}
 	for {
-		cands = pruneDominated(cands)
+		cands = pruneDominated(cands, c)
 		// Termination: a single concrete candidate, or only concrete
 		// candidates left (ties).
 		allConcrete := true
@@ -58,6 +63,7 @@ func DripsBest(ctx measure.Context, roots []*planspace.Plan) (*planspace.Plan, f
 		}
 		target := cands[ri]
 		cands = append(cands[:ri], cands[ri+1:]...)
+		c.refines.Inc()
 		for _, ch := range target.p.Refine() {
 			cands = append(cands, &dripsCand{p: ch, u: ctx.Evaluate(ch)})
 		}
@@ -79,7 +85,7 @@ func refineBefore(a, b *dripsCand) bool {
 // pruneDominated removes every candidate dominated by the candidate with
 // the maximum lower bound (the only candidate that can dominate others en
 // masse; pairwise checks against non-maximal candidates are subsumed).
-func pruneDominated(cands []*dripsCand) []*dripsCand {
+func pruneDominated(cands []*dripsCand, cnt counters) []*dripsCand {
 	if len(cands) <= 1 {
 		return cands
 	}
@@ -91,6 +97,9 @@ func pruneDominated(cands []*dripsCand) []*dripsCand {
 	}
 	out := cands[:0]
 	for _, c := range cands {
+		if c != w {
+			cnt.domTests.Inc()
+		}
 		if c == w || !dominates(w.u, c.u, w.p.Key(), c.p.Key()) {
 			out = append(out, c)
 		}

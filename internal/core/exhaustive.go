@@ -2,6 +2,7 @@ package core
 
 import (
 	"qporder/internal/measure"
+	"qporder/internal/obs"
 	"qporder/internal/planspace"
 )
 
@@ -13,6 +14,7 @@ type Exhaustive struct {
 	ctx     measure.Context
 	remain  []*planspace.Plan
 	started bool
+	c       counters
 }
 
 // NewExhaustive builds the orderer over the concrete plans of the given
@@ -28,9 +30,17 @@ func NewExhaustive(spaces []*planspace.Space, m measure.Measure) *Exhaustive {
 // Context implements Orderer.
 func (e *Exhaustive) Context() measure.Context { return e.ctx }
 
+// Instrument implements Instrumented.
+func (e *Exhaustive) Instrument(reg *obs.Registry) {
+	e.c = newCounters(reg, "exhaustive")
+	bindContext(e.ctx, reg, "exhaustive")
+}
+
 // Next implements Orderer.
 func (e *Exhaustive) Next() (*planspace.Plan, float64, bool) {
+	defer e.c.endNext(e.c.startNext())
 	if len(e.remain) == 0 {
+		e.c.exhausted.Inc()
 		return nil, 0, false
 	}
 	bestIdx := -1

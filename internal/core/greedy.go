@@ -7,6 +7,7 @@ import (
 	"qporder/internal/abstraction"
 	"qporder/internal/lav"
 	"qporder/internal/measure"
+	"qporder/internal/obs"
 	"qporder/internal/planspace"
 )
 
@@ -24,6 +25,7 @@ type Greedy struct {
 	ctx measure.Context
 	m   measure.Measure
 	pq  spaceHeap
+	c   counters
 }
 
 // spaceEntry is one plan space with its best plan's utility.
@@ -96,14 +98,23 @@ func (g *Greedy) entryFor(s *planspace.Space) *spaceEntry {
 // Context implements Orderer.
 func (g *Greedy) Context() measure.Context { return g.ctx }
 
+// Instrument implements Instrumented.
+func (g *Greedy) Instrument(reg *obs.Registry) {
+	g.c = newCounters(reg, "greedy")
+	bindContext(g.ctx, reg, "greedy")
+}
+
 // Next implements Orderer.
 func (g *Greedy) Next() (*planspace.Plan, float64, bool) {
+	defer g.c.endNext(g.c.startNext())
 	if g.pq.Len() == 0 {
+		g.c.exhausted.Inc()
 		return nil, 0, false
 	}
 	top := heap.Pop(&g.pq).(*spaceEntry)
 	d := top.best
 	g.ctx.Observe(d)
+	g.c.splits.Inc()
 	// Splitting preserves the best-first bucket order: Remove keeps the
 	// relative order of remaining sources and pins prefixes to singletons.
 	for _, sub := range top.space.Remove(d.Sources()) {

@@ -3,6 +3,7 @@ package core
 import (
 	"qporder/internal/abstraction"
 	"qporder/internal/measure"
+	"qporder/internal/obs"
 	"qporder/internal/planspace"
 )
 
@@ -16,6 +17,7 @@ type IDrips struct {
 	ctx    measure.Context
 	heur   abstraction.Heuristic
 	spaces []*planspace.Space
+	c      counters
 }
 
 // NewIDrips builds the orderer over the given spaces with the given
@@ -28,9 +30,17 @@ func NewIDrips(spaces []*planspace.Space, m measure.Measure, heur abstraction.He
 // Context implements Orderer.
 func (d *IDrips) Context() measure.Context { return d.ctx }
 
+// Instrument implements Instrumented.
+func (d *IDrips) Instrument(reg *obs.Registry) {
+	d.c = newCounters(reg, "idrips")
+	bindContext(d.ctx, reg, "idrips")
+}
+
 // Next implements Orderer.
 func (d *IDrips) Next() (*planspace.Plan, float64, bool) {
+	defer d.c.endNext(d.c.startNext())
 	if len(d.spaces) == 0 {
+		d.c.exhausted.Inc()
 		return nil, 0, false
 	}
 	// Re-abstract every space and run Drips over all roots jointly.
@@ -38,7 +48,7 @@ func (d *IDrips) Next() (*planspace.Plan, float64, bool) {
 	for i, s := range d.spaces {
 		roots[i] = s.Root(d.heur)
 	}
-	best, util := DripsBest(d.ctx, roots)
+	best, util := dripsBest(d.ctx, roots, d.c)
 	d.ctx.Observe(best)
 
 	// Remove the winner from its (unique) containing space by splitting.
@@ -53,6 +63,7 @@ func (d *IDrips) Next() (*planspace.Plan, float64, bool) {
 	if idx < 0 {
 		panic("core: iDrips winner not contained in any space: " + best.Key())
 	}
+	d.c.splits.Inc()
 	subs := d.spaces[idx].Remove(srcs)
 	d.spaces = append(d.spaces[:idx], d.spaces[idx+1:]...)
 	d.spaces = append(d.spaces, subs...)

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"time"
+
+	"qporder/internal/measure"
+	"qporder/internal/obs"
+)
+
+// Instrumented is implemented by orderers that can bind per-algorithm
+// work counters to an observability registry.
+type Instrumented interface {
+	// Instrument binds the orderer's work counters (and its measure
+	// context's evaluation counters) to reg. A nil reg disables
+	// instrumentation; binding is not concurrency-safe with Next.
+	Instrument(reg *obs.Registry)
+}
+
+// Instrument binds reg to o when o supports it. Both a nil reg and an
+// uninstrumentable orderer are fine: the call is then a no-op.
+func Instrument(o Orderer, reg *obs.Registry) {
+	if i, ok := o.(Instrumented); ok {
+		i.Instrument(reg)
+	}
+}
+
+// counters bundles one algorithm's work counters. The zero value (all
+// nil) is the disabled state: every recording method is a nil-check and
+// nothing else, so uninstrumented hot paths stay allocation-free.
+//
+// Counter names, with their paper meaning (see README "Observability"):
+//
+//	core.<algo>.dominance_tests — interval dominance tests Lo(p) >= Hi(q)
+//	    (Section 5.1's pruning comparisons);
+//	core.<algo>.refinements     — abstract-plan refinements, replacing an
+//	    abstract node by its children (Section 5.1);
+//	core.<algo>.splits          — plan-space splits removing an output
+//	    plan (the Figure 2 construction);
+//	core.<algo>.next_calls      — Next() invocations;
+//	core.<algo>.next_exhausted  — Next() calls that returned ok=false;
+//	core.<algo>.next_ns         — per-Next() latency, the "delay" of
+//	    ranked-enumeration work (time between consecutive outputs).
+type counters struct {
+	domTests  *obs.Counter
+	refines   *obs.Counter
+	splits    *obs.Counter
+	nextCalls *obs.Counter
+	exhausted *obs.Counter
+	nextNs    *obs.Histogram
+}
+
+// newCounters resolves the per-algorithm instrument names on reg; with a
+// nil reg every instrument is nil (disabled). The nil short-circuit
+// matters: it skips the name concatenations, keeping the disabled path
+// allocation-free.
+func newCounters(reg *obs.Registry, algo string) counters {
+	if reg == nil {
+		return counters{}
+	}
+	return counters{
+		domTests:  reg.Counter("core." + algo + ".dominance_tests"),
+		refines:   reg.Counter("core." + algo + ".refinements"),
+		splits:    reg.Counter("core." + algo + ".splits"),
+		nextCalls: reg.Counter("core." + algo + ".next_calls"),
+		exhausted: reg.Counter("core." + algo + ".next_exhausted"),
+		nextNs:    reg.Histogram("core." + algo + ".next_ns"),
+	}
+}
+
+// startNext begins timing one Next call; it returns the zero time when
+// latency tracking is disabled so endNext can skip the clock read.
+func (c *counters) startNext() time.Time {
+	c.nextCalls.Inc()
+	if c.nextNs == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// endNext records the per-Next latency begun by startNext.
+func (c *counters) endNext(start time.Time) {
+	if !start.IsZero() {
+		c.nextNs.ObserveSince(start)
+	}
+}
+
+// bindContext attaches the measure context's evaluation and
+// independence-oracle counters under the algorithm's name.
+func bindContext(ctx measure.Context, reg *obs.Registry, algo string) {
+	if reg == nil {
+		return
+	}
+	ctx.Bind(reg, "measure."+algo)
+}

@@ -32,7 +32,10 @@ type Orderer interface {
 }
 
 // Take drains up to k plans from an orderer, returning the plans and
-// their utilities.
+// their utilities. It stops at the first Next that reports exhaustion
+// and never calls Next again afterwards; that final unproductive call is
+// recorded by the orderer's "core.<algo>.next_exhausted" counter when
+// the orderer is instrumented (see Instrument).
 func Take(o Orderer, k int) ([]*planspace.Plan, []float64) {
 	plans := make([]*planspace.Plan, 0, k)
 	utils := make([]float64, 0, k)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"qporder/internal/measure"
+	"qporder/internal/obs"
 	"qporder/internal/planspace"
 )
 
@@ -16,6 +17,7 @@ type PI struct {
 	alive   []bool
 	nAlive  int
 	started bool
+	c       counters
 }
 
 // NewPI builds the orderer over the concrete plans of the given spaces.
@@ -36,8 +38,15 @@ func NewPI(spaces []*planspace.Space, m measure.Measure) *PI {
 // Context implements Orderer.
 func (pi *PI) Context() measure.Context { return pi.ctx }
 
+// Instrument implements Instrumented.
+func (pi *PI) Instrument(reg *obs.Registry) {
+	pi.c = newCounters(reg, "pi")
+	bindContext(pi.ctx, reg, "pi")
+}
+
 // Next implements Orderer.
 func (pi *PI) Next() (*planspace.Plan, float64, bool) {
+	defer pi.c.endNext(pi.c.startNext())
 	if !pi.started {
 		pi.started = true
 		for i, p := range pi.plans {
@@ -46,6 +55,7 @@ func (pi *PI) Next() (*planspace.Plan, float64, bool) {
 		}
 	}
 	if pi.nAlive == 0 {
+		pi.c.exhausted.Inc()
 		return nil, 0, false
 	}
 	bestIdx := -1

@@ -8,6 +8,7 @@ import (
 	"qporder/internal/dominance"
 	"qporder/internal/interval"
 	"qporder/internal/measure"
+	"qporder/internal/obs"
 	"qporder/internal/planspace"
 )
 
@@ -41,6 +42,8 @@ type Streamer struct {
 
 	linksRecycled int // link validity checks that succeeded (link kept)
 	linksDropped  int // link validity checks that failed (link removed)
+
+	c counters
 
 	lo planHeap // max (Lo, key): candidate incumbent w
 	hi planHeap // max (Hi, width, key): refinement candidates
@@ -103,6 +106,12 @@ func NewStreamer(spaces []*planspace.Space, m measure.Measure, heur abstraction.
 
 // Context implements Orderer.
 func (s *Streamer) Context() measure.Context { return s.ctx }
+
+// Instrument implements Instrumented.
+func (s *Streamer) Instrument(reg *obs.Registry) {
+	s.c = newCounters(reg, "streamer")
+	bindContext(s.ctx, reg, "streamer")
+}
 
 // Resets returns how many defensive graph resets occurred (expected 0;
 // exported for tests and experiment sanity checks).
@@ -178,6 +187,7 @@ func (s *Streamer) rebuild() {
 			continue
 		}
 		u, _ := s.g.Utility(p)
+		s.c.domTests.Inc()
 		if dominates(uw, u, w.Key(), p.Key()) {
 			if !s.g.HasLink(w, p) {
 				s.g.AddLink(w, p)
@@ -194,6 +204,7 @@ func (s *Streamer) rebuild() {
 
 // Next implements Orderer, following Figure 5's loop.
 func (s *Streamer) Next() (*planspace.Plan, float64, bool) {
+	defer s.c.endNext(s.c.startNext())
 	if !s.started {
 		// Step 1: abstract each space once; its root is the top plan.
 		s.started = true
@@ -239,6 +250,9 @@ func (s *Streamer) Next() (*planspace.Plan, float64, bool) {
 			continue
 		}
 		// Lazily record dominance discovered at the heap top (Step 2.b).
+		if t != w {
+			s.c.domTests.Inc()
+		}
 		if t != w && dominates(uw, ut, w.Key(), t.Key()) {
 			heap.Pop(&s.hi)
 			if !s.g.HasLink(w, t) {
@@ -250,6 +264,7 @@ func (s *Streamer) Next() (*planspace.Plan, float64, bool) {
 		if !t.Concrete() {
 			heap.Pop(&s.hi)
 			s.g.Remove(t)
+			s.c.refines.Inc()
 			for _, ch := range t.Refine() {
 				s.g.Add(ch)
 				s.evaluate(ch)
@@ -285,6 +300,7 @@ func (s *Streamer) Next() (*planspace.Plan, float64, bool) {
 		s.dirty = true
 		return d, ud.Lo, true
 	}
+	s.c.exhausted.Inc()
 	return nil, 0, false
 }
 

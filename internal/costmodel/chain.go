@@ -95,9 +95,9 @@ func (c *chainCtx) Observe(d *planspace.Plan) {
 // Independent implements measure.Context.
 func (c *chainCtx) Independent(p, d *planspace.Plan) bool {
 	if c.cached == nil {
-		return true
+		return c.CountIndep(true)
 	}
-	return structuralIndependent(p, d)
+	return c.CountIndep(structuralIndependent(p, d))
 }
 
 // IndependentWitness implements measure.Context.

@@ -77,7 +77,7 @@ func (c *linearCtx) Evaluate(p *planspace.Plan) interval.Interval {
 func (c *linearCtx) Observe(d *planspace.Plan) { c.Record(d) }
 
 // Independent implements measure.Context: always independent.
-func (c *linearCtx) Independent(_, _ *planspace.Plan) bool { return true }
+func (c *linearCtx) Independent(_, _ *planspace.Plan) bool { return c.CountIndep(true) }
 
 // IndependentWitness implements measure.Context: always true.
 func (c *linearCtx) IndependentWitness(_ *planspace.Plan, _ []*planspace.Plan) bool {

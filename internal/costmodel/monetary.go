@@ -92,9 +92,9 @@ func (c *monetaryCtx) Observe(d *planspace.Plan) {
 // Independent implements measure.Context.
 func (c *monetaryCtx) Independent(p, d *planspace.Plan) bool {
 	if c.cached == nil {
-		return true
+		return c.CountIndep(true)
 	}
-	return structuralIndependent(p, d)
+	return c.CountIndep(structuralIndependent(p, d))
 }
 
 // IndependentWitness implements measure.Context.

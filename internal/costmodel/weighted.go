@@ -110,10 +110,10 @@ func (c *weightedCtx) Observe(d *planspace.Plan) {
 func (c *weightedCtx) Independent(p, d *planspace.Plan) bool {
 	for _, sub := range c.subs {
 		if !sub.Independent(p, d) {
-			return false
+			return c.CountIndep(false)
 		}
 	}
-	return true
+	return c.CountIndep(true)
 }
 
 // IndependentWitness implements measure.Context. Component witnesses may

@@ -149,7 +149,7 @@ func (c *context) Observe(d *planspace.Plan) {
 // model, making this a few table lookups for concrete plans.
 func (c *context) Independent(p, d *planspace.Plan) bool {
 	if p.Len() != d.Len() {
-		return false // sound: no claim for heterogeneous plan shapes
+		return c.CountIndep(false) // sound: no claim for heterogeneous plan shapes
 	}
 	for i, n := range p.Nodes {
 		di := d.Nodes[i].Source()
@@ -161,10 +161,10 @@ func (c *context) Independent(p, d *planspace.Plan) bool {
 			}
 		}
 		if !overlaps {
-			return true
+			return c.CountIndep(true)
 		}
 	}
-	return false
+	return c.CountIndep(false)
 }
 
 // IndependentWitness implements measure.Context using the sound

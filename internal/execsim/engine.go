@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"qporder/internal/lav"
+	"qporder/internal/obs"
 	"qporder/internal/schema"
 )
 
@@ -38,12 +39,27 @@ type Engine struct {
 	CacheHits int
 	// FailedAttempts counts access attempts lost to simulated failures.
 	FailedAttempts int
+
+	cSourceCalls *obs.Counter
+	cTuples      *obs.Counter
+	cCacheHits   *obs.Counter
+	cFailed      *obs.Counter
 }
 
 // NewEngine builds an engine over source contents. The store maps source
 // names (catalog names) to their tuples.
 func NewEngine(cat *lav.Catalog, store DB) *Engine {
 	return &Engine{cat: cat, store: store, cache: make(map[string][]schema.Atom)}
+}
+
+// Instrument mirrors the engine's accounting into registry counters
+// (execsim.source_calls, execsim.tuples_fetched, execsim.cache_hits,
+// execsim.failed_attempts). A nil registry disables the mirroring.
+func (e *Engine) Instrument(reg *obs.Registry) {
+	e.cSourceCalls = reg.Counter("execsim.source_calls")
+	e.cTuples = reg.Counter("execsim.tuples_fetched")
+	e.cCacheHits = reg.Counter("execsim.cache_hits")
+	e.cFailed = reg.Counter("execsim.failed_attempts")
 }
 
 // EnableFailures turns on failure simulation with the given seed; each
@@ -107,6 +123,7 @@ func (e *Engine) access(pos int, goal schema.Atom) ([]schema.Atom, error) {
 	if e.Caching {
 		if res, ok := e.cache[key]; ok {
 			e.CacheHits++
+			e.cCacheHits.Inc()
 			return res, nil
 		}
 	}
@@ -119,6 +136,7 @@ func (e *Engine) access(pos int, goal schema.Atom) ([]schema.Atom, error) {
 		for e.rng.Float64() < st.FailureProb {
 			e.Cost += st.Overhead
 			e.FailedAttempts++
+			e.cFailed.Inc()
 			failed++
 		}
 	}
@@ -132,6 +150,8 @@ func (e *Engine) access(pos int, goal schema.Atom) ([]schema.Atom, error) {
 	}
 	e.Cost += st.TransmitCost * float64(len(res))
 	e.Accesses++
+	e.cSourceCalls.Inc()
+	e.cTuples.Add(int64(len(res)))
 	if e.Caching {
 		e.cache[key] = res
 	}

@@ -15,6 +15,7 @@ import (
 	"qporder/internal/costmodel"
 	"qporder/internal/coverage"
 	"qporder/internal/measure"
+	"qporder/internal/obs"
 	"qporder/internal/planspace"
 	"qporder/internal/workload"
 )
@@ -148,6 +149,9 @@ type Result struct {
 	// Plans is the number of plans actually produced (== K unless the
 	// space is smaller).
 	Plans int
+	// TimeToFirst is the wall time until the first plan is produced
+	// (zero when no plan was produced).
+	TimeToFirst time.Duration
 	// Err is non-empty when the algorithm is inapplicable for the measure.
 	Err string
 }
@@ -155,6 +159,13 @@ type Result struct {
 // Run executes one cell on a pre-generated domain (domains are reused
 // across cells so every algorithm sees identical inputs).
 func Run(d *workload.Domain, cell Cell) Result {
+	return RunObserved(d, cell, nil)
+}
+
+// RunObserved is Run with the orderer bound to a registry (nil disables
+// instrumentation), so counters such as core.<algo>.dominance_tests and
+// measure.<algo>.evals accumulate across the cell's Next calls.
+func RunObserved(d *workload.Domain, cell Cell, reg *obs.Registry) Result {
 	res := Result{Cell: cell}
 	start := time.Now()
 	o, err := BuildOrderer(d, cell.Measure, cell.Algo)
@@ -162,9 +173,15 @@ func Run(d *workload.Domain, cell Cell) Result {
 		res.Err = err.Error()
 		return res
 	}
-	plans, _ := core.Take(o, cell.K)
+	core.Instrument(o, reg)
+	if cell.K > 0 {
+		if _, _, ok := o.Next(); ok {
+			res.TimeToFirst = time.Since(start)
+			more, _ := core.Take(o, cell.K-1)
+			res.Plans = 1 + len(more)
+		}
+	}
 	res.Time = time.Since(start)
 	res.Evals = o.Context().Evals()
-	res.Plans = len(plans)
 	return res
 }

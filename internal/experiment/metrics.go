@@ -1,0 +1,110 @@
+package experiment
+
+import (
+	"qporder/internal/obs"
+	"qporder/internal/workload"
+)
+
+// MetricsSchemaVersion identifies the qpbench --metrics-json layout.
+// Bump it when a field is renamed or its meaning changes; adding fields
+// does not require a bump.
+const MetricsSchemaVersion = 1
+
+// MetricRecord is one row of the stable machine-readable benchmark
+// output. Field names are part of the schema consumed by downstream
+// tooling: rename nothing, only append.
+type MetricRecord struct {
+	Algorithm  string `json:"algorithm"`
+	Measure    string `json:"measure"`
+	BucketSize int    `json:"bucket_size"`
+	K          int    `json:"k"`
+	// Plans is the number of plans actually produced (<= K).
+	Plans int `json:"plans"`
+	// Evals counts utility evaluations, the paper's machine-neutral work
+	// measure (Section 6).
+	Evals int64 `json:"evals"`
+	// DominanceTests counts Lo(p) >= Hi(q) comparisons (Section 5.1).
+	DominanceTests int64 `json:"dominance_tests"`
+	// Refinements counts abstract-plan expansions (Section 5.1).
+	Refinements int64 `json:"refinements"`
+	// Splits counts plan-space splits after an output (Section 5.2).
+	Splits int64 `json:"splits"`
+	// IndepChecks / IndepHits count plan-independence oracle queries and
+	// how many reported independence (Section 6).
+	IndepChecks int64 `json:"indep_checks"`
+	IndepHits   int64 `json:"indep_hits"`
+	// TotalNs is wall time from query issue until the k-th plan; NsPerPlan
+	// divides by Plans; TimeToFirstNs is wall time until the first plan.
+	TotalNs       int64  `json:"total_ns"`
+	NsPerPlan     int64  `json:"ns_per_plan"`
+	TimeToFirstNs int64  `json:"time_to_first_plan_ns"`
+	Error         string `json:"error,omitempty"`
+}
+
+// MetricsReport is the top-level --metrics-json document.
+type MetricsReport struct {
+	SchemaVersion int             `json:"schema_version"`
+	Workload      workload.Config `json:"workload"`
+	Records       []MetricRecord  `json:"records"`
+}
+
+// counterNames lists the per-algorithm registry counters that feed a
+// MetricRecord, in the order consumed by recordDeltas.
+func counterNames(algo Algorithm) []string {
+	a := string(algo)
+	return []string{
+		"core." + a + ".dominance_tests",
+		"core." + a + ".refinements",
+		"core." + a + ".splits",
+		"measure." + a + ".evals",
+		"measure." + a + ".indep_checks",
+		"measure." + a + ".indep_hits",
+	}
+}
+
+func counterValues(reg *obs.Registry, names []string) []int64 {
+	vals := make([]int64, len(names))
+	for i, n := range names {
+		vals[i] = reg.Counter(n).Value()
+	}
+	return vals
+}
+
+// CollectMetrics runs every cell against the shared domain and returns
+// one MetricRecord per cell. All cells share reg (created if nil), so an
+// expvar/pprof endpoint publishing reg shows counts accumulating live;
+// per-cell numbers are computed as before/after counter deltas.
+func CollectMetrics(d *workload.Domain, cells []Cell, reg *obs.Registry) []MetricRecord {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	recs := make([]MetricRecord, 0, len(cells))
+	for _, cell := range cells {
+		names := counterNames(cell.Algo)
+		before := counterValues(reg, names)
+		res := RunObserved(d, cell, reg)
+		after := counterValues(reg, names)
+		delta := func(i int) int64 { return after[i] - before[i] }
+		rec := MetricRecord{
+			Algorithm:      string(cell.Algo),
+			Measure:        string(cell.Measure),
+			BucketSize:     cell.Config.BucketSize,
+			K:              cell.K,
+			Plans:          res.Plans,
+			Evals:          delta(3),
+			DominanceTests: delta(0),
+			Refinements:    delta(1),
+			Splits:         delta(2),
+			IndepChecks:    delta(4),
+			IndepHits:      delta(5),
+			TotalNs:        res.Time.Nanoseconds(),
+			TimeToFirstNs:  res.TimeToFirst.Nanoseconds(),
+			Error:          res.Err,
+		}
+		if res.Plans > 0 {
+			rec.NsPerPlan = rec.TotalNs / int64(res.Plans)
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}

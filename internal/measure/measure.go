@@ -11,6 +11,7 @@ import (
 	"qporder/internal/abstraction"
 	"qporder/internal/interval"
 	"qporder/internal/lav"
+	"qporder/internal/obs"
 	"qporder/internal/planspace"
 )
 
@@ -65,6 +66,16 @@ type Context interface {
 	// machine-neutral work metric used throughout the paper's Section 6.
 	Evals() int
 
+	// IndepStats returns how many independence-oracle queries (Independent
+	// calls, including those issued by witness enumeration) were made and
+	// how many reported independence.
+	IndepStats() (checks, hits int)
+
+	// Bind attaches observability counters under the given name prefix:
+	// "<prefix>.evals", "<prefix>.indep_checks", "<prefix>.indep_hits".
+	// A nil registry disables the counters (the default state).
+	Bind(reg *obs.Registry, prefix string)
+
 	// Executed returns the executed prefix in order. Callers must not
 	// mutate the returned slice.
 	Executed() []*planspace.Plan
@@ -74,18 +85,60 @@ type Context interface {
 }
 
 // Base provides the bookkeeping shared by all contexts: the executed
-// prefix and the evaluation counter. Embed it and call CountEval from
-// Evaluate and Record from Observe.
+// prefix, the evaluation counter, and the independence-oracle counters.
+// Embed it and call CountEval from Evaluate, CountIndep from Independent,
+// and Record from Observe.
 type Base struct {
 	executed []*planspace.Plan
 	evals    int
+	checks   int
+	hits     int
+
+	// Optional observability mirrors; nil (no-op) until Bind.
+	cEvals  *obs.Counter
+	cChecks *obs.Counter
+	cHits   *obs.Counter
 }
 
 // CountEval increments the evaluation counter.
-func (b *Base) CountEval() { b.evals++ }
+func (b *Base) CountEval() {
+	b.evals++
+	b.cEvals.Inc()
+}
 
 // Evals returns the evaluation count.
 func (b *Base) Evals() int { return b.evals }
+
+// CountIndep records one independence-oracle query and its verdict, and
+// returns the verdict so implementations can count in the return path:
+//
+//	func (c *ctx) Independent(p, d *planspace.Plan) bool {
+//	    return c.CountIndep(<oracle>)
+//	}
+func (b *Base) CountIndep(independent bool) bool {
+	b.checks++
+	b.cChecks.Inc()
+	if independent {
+		b.hits++
+		b.cHits.Inc()
+	}
+	return independent
+}
+
+// IndepStats returns the independence-oracle query and hit counts.
+func (b *Base) IndepStats() (checks, hits int) { return b.checks, b.hits }
+
+// Bind attaches observability counters; a nil registry yields nil (no-op)
+// counters, keeping the disabled path allocation-free.
+func (b *Base) Bind(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		b.cEvals, b.cChecks, b.cHits = nil, nil, nil
+		return
+	}
+	b.cEvals = reg.Counter(prefix + ".evals")
+	b.cChecks = reg.Counter(prefix + ".indep_checks")
+	b.cHits = reg.Counter(prefix + ".indep_hits")
+}
 
 // Record appends d to the executed prefix, panicking on abstract plans.
 func (b *Base) Record(d *planspace.Plan) {

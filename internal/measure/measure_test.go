@@ -5,6 +5,7 @@ import (
 
 	"qporder/internal/abstraction"
 	"qporder/internal/lav"
+	"qporder/internal/obs"
 	"qporder/internal/planspace"
 )
 
@@ -106,5 +107,52 @@ func TestEnumerateWitnessRespectsCap(t *testing.T) {
 	}
 	if calls > WitnessCap {
 		t.Errorf("oracle called %d times, cap is %d", calls, WitnessCap)
+	}
+}
+
+// TestBaseInstrumentation covers the counting surface shared by every
+// measure context: CountEval/CountIndep bookkeeping, the registry
+// mirroring set up by Bind, and rebinding to nil.
+func TestBaseInstrumentation(t *testing.T) {
+	var b Base
+	reg := obs.NewRegistry()
+	b.Bind(reg, "measure.test")
+
+	b.CountEval()
+	b.CountEval()
+	if got := b.CountIndep(true); !got {
+		t.Error("CountIndep(true) = false")
+	}
+	if got := b.CountIndep(false); got {
+		t.Error("CountIndep(false) = true")
+	}
+	b.CountIndep(true)
+
+	if b.Evals() != 2 {
+		t.Errorf("Evals = %d, want 2", b.Evals())
+	}
+	checks, hits := b.IndepStats()
+	if checks != 3 || hits != 2 {
+		t.Errorf("IndepStats = (%d, %d), want (3, 2)", checks, hits)
+	}
+	for name, want := range map[string]int64{
+		"measure.test.evals":        2,
+		"measure.test.indep_checks": 3,
+		"measure.test.indep_hits":   2,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+
+	// Rebinding to nil stops the mirroring but keeps local counts.
+	b.Bind(nil, "")
+	b.CountEval()
+	b.CountIndep(true)
+	if got := reg.Counter("measure.test.evals").Value(); got != 2 {
+		t.Errorf("after nil Bind, registry evals = %d, want 2", got)
+	}
+	if b.Evals() != 3 {
+		t.Errorf("after nil Bind, Evals = %d, want 3", b.Evals())
 	}
 }

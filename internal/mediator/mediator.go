@@ -10,6 +10,7 @@ package mediator
 
 import (
 	"fmt"
+	"time"
 
 	"qporder/internal/abstraction"
 	"qporder/internal/adaptive"
@@ -17,6 +18,7 @@ import (
 	"qporder/internal/execsim"
 	"qporder/internal/lav"
 	"qporder/internal/measure"
+	"qporder/internal/obs"
 	"qporder/internal/physopt"
 	"qporder/internal/planspace"
 	"qporder/internal/reformulate"
@@ -83,6 +85,12 @@ type Config struct {
 	// reformulation-level ordering).
 	Adaptive    bool
 	DriftFactor float64
+	// Obs, when non-nil, receives phase spans (mediator/reformulate,
+	// mediator/order, mediator/soundness, mediator/execute,
+	// mediator/reorder), the orderer's per-algorithm work counters, and
+	// the run-level gauges and counters. Nil disables instrumentation at
+	// zero cost.
+	Obs *obs.Registry
 }
 
 // Budget bounds a Run. Zero fields mean "unlimited".
@@ -142,6 +150,10 @@ type System struct {
 	tracker  *adaptive.Tracker
 	executed []*planspace.Plan
 	reorders int
+
+	// exhausted latches once the ordering pipeline reports no more sound
+	// plans, so later Run calls never poke a spent orderer again.
+	exhausted bool
 }
 
 // planSource abstracts over the reformulators.
@@ -187,7 +199,9 @@ func New(cfg Config) (*System, error) {
 	if cfg.PhysN == 0 {
 		cfg.PhysN = 50000
 	}
+	tr := cfg.Obs.Tracer()
 
+	reformSpan := obs.StartSpan(tr, "mediator/reformulate")
 	var src planSource
 	switch cfg.Reformulator {
 	case "", Buckets:
@@ -215,6 +229,7 @@ func New(cfg Config) (*System, error) {
 	default:
 		return nil, fmt.Errorf("mediator: unknown reformulator %q", cfg.Reformulator)
 	}
+	reformSpan.End()
 
 	m := cfg.Measure(src.entries())
 	heur := cfg.Heuristic
@@ -239,10 +254,13 @@ func New(cfg Config) (*System, error) {
 			s.tracker.DriftFactor = cfg.DriftFactor
 		}
 	}
+	buildSpan := obs.StartSpan(tr, "mediator/build-orderer")
 	o, err := s.buildOrderer(m, src.spaces())
+	buildSpan.End()
 	if err != nil {
 		return nil, err
 	}
+	core.Instrument(o, cfg.Obs)
 	s.orderer = o
 	return s, nil
 }
@@ -270,6 +288,7 @@ func (s *System) buildOrderer(m measure.Measure, spaces []*planspace.Space) (cor
 // replayed into the fresh measure context so conditional utilities stay
 // correct.
 func (s *System) reorder() error {
+	defer obs.StartSpan(s.cfg.Obs.Tracer(), "mediator/reorder").End()
 	revised, err := s.tracker.Revise()
 	if err != nil {
 		return err
@@ -290,6 +309,7 @@ func (s *System) reorder() error {
 	if err != nil {
 		return err
 	}
+	core.Instrument(o, s.cfg.Obs)
 	for _, p := range s.executed {
 		o.Context().Observe(p)
 	}
@@ -324,8 +344,11 @@ type sound struct {
 
 // nextSound pulls the orderer until a sound plan appears.
 func (s *System) nextSound() sound {
+	tr := s.cfg.Obs.Tracer()
 	for {
+		orderSpan := obs.StartSpan(tr, "mediator/order")
 		p, u, ok := s.orderer.Next()
+		orderSpan.End()
 		if !ok {
 			return sound{}
 		}
@@ -333,13 +356,16 @@ func (s *System) nextSound() sound {
 		if err != nil {
 			continue // unsafe: cannot be sound
 		}
+		soundSpan := obs.StartSpan(tr, "mediator/soundness")
 		isSound, err := s.src.isSound(p)
+		soundSpan.End()
 		if err != nil {
 			return sound{err: err}
 		}
 		if isSound {
 			return sound{plan: p, pq: pq, util: u, ok: true}
 		}
+		s.cfg.Obs.Counter("mediator.unsound_plans_skipped").Inc()
 	}
 }
 
@@ -349,6 +375,9 @@ func (s *System) nextSound() sound {
 // trigger re-ordering of the remaining plans between executions.
 func (s *System) Run(engine *execsim.Engine, budget Budget) (*Result, error) {
 	res := &Result{Answers: execsim.NewAnswerSet(), Stopped: StopExhausted}
+	if s.cfg.Obs != nil {
+		engine.Instrument(s.cfg.Obs)
+	}
 	defer func() {
 		if s.drain != nil {
 			s.drain()
@@ -368,7 +397,13 @@ func (s *System) Run(engine *execsim.Engine, budget Budget) (*Result, error) {
 		defer func() { engine.OnAccess = prev }()
 	}
 
+	runStart := time.Now()
+	firstAnswerAt := time.Duration(-1)
 	for {
+		if s.exhausted {
+			res.Stopped = StopExhausted
+			break
+		}
 		if s.next == nil {
 			s.next, s.drain = s.nextSoundFunc()
 		}
@@ -377,14 +412,23 @@ func (s *System) Run(engine *execsim.Engine, budget Budget) (*Result, error) {
 			return nil, sp.err
 		}
 		if !sp.ok {
+			s.exhausted = true
 			res.Stopped = StopExhausted
 			break
 		}
+		execSpan := obs.StartSpan(s.cfg.Obs.Tracer(), "mediator/execute")
 		out, err := s.execute(engine, sp.pq)
+		execSpan.End()
 		if err != nil {
 			return nil, err
 		}
 		fresh := res.Answers.Add(out)
+		s.cfg.Obs.Counter("mediator.plans_executed").Inc()
+		s.cfg.Obs.Counter("mediator.answers_new").Add(int64(fresh))
+		if fresh > 0 && firstAnswerAt < 0 {
+			firstAnswerAt = time.Since(runStart)
+			s.cfg.Obs.Gauge("mediator.time_to_first_answer_ns").Set(float64(firstAnswerAt))
+		}
 		s.executed = append(s.executed, sp.plan)
 		res.Executed = append(res.Executed, sp.pq)
 		res.Utilities = append(res.Utilities, sp.util)

@@ -8,6 +8,7 @@ import (
 	"qporder/internal/execsim"
 	"qporder/internal/lav"
 	"qporder/internal/measure"
+	"qporder/internal/obs"
 	"qporder/internal/schema"
 )
 
@@ -250,5 +251,69 @@ func TestConfigValidation(t *testing.T) {
 	cfg.Algorithm = Greedy
 	if _, err := New(cfg); err == nil {
 		t.Error("Greedy accepted for chain cost")
+	}
+}
+
+// TestObservedRun checks the Config.Obs wiring: phase spans and pipeline
+// counters populate, the time-to-first-answer gauge is set, and a Run
+// after exhaustion neither calls Next again nor executes more plans.
+func TestObservedRun(t *testing.T) {
+	cfg, eng, _ := fixture(t)
+	reg := obs.NewRegistry()
+	cfg.Obs = reg
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(eng, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stopped != StopExhausted {
+		t.Fatalf("Stopped = %s", res.Stopped)
+	}
+
+	executed := reg.Counter("mediator.plans_executed").Value()
+	if executed != int64(len(res.Executed)) {
+		t.Errorf("plans_executed = %d, want %d", executed, len(res.Executed))
+	}
+	if res.Answers.Len() > 0 && reg.Gauge("mediator.time_to_first_answer_ns").Value() <= 0 {
+		t.Error("time_to_first_answer_ns not set")
+	}
+	if v := reg.Counter("execsim.source_calls").Value(); v == 0 {
+		t.Error("execsim.source_calls = 0")
+	}
+
+	spans := map[string]bool{}
+	for _, st := range reg.Tracer().Stats() {
+		spans[st.Name] = true
+	}
+	for _, name := range []string{
+		"mediator/reformulate", "mediator/build-orderer",
+		"mediator/order", "mediator/soundness", "mediator/execute",
+	} {
+		if !spans[name] {
+			t.Errorf("span %q missing (have %v)", name, spans)
+		}
+	}
+
+	// Run after exhaustion: the orderer must not be poked again.
+	calls := reg.Counter("core.streamer.next_calls").Value() +
+		reg.Counter("core.idrips.next_calls").Value() +
+		reg.Counter("core.greedy.next_calls").Value() +
+		reg.Counter("core.pi.next_calls").Value()
+	res2, err := sys.Run(eng, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := reg.Counter("core.streamer.next_calls").Value() +
+		reg.Counter("core.idrips.next_calls").Value() +
+		reg.Counter("core.greedy.next_calls").Value() +
+		reg.Counter("core.pi.next_calls").Value()
+	if after != calls {
+		t.Errorf("Next called %d more times after exhaustion", after-calls)
+	}
+	if res2.Stopped != StopExhausted || len(res2.Executed) != 0 {
+		t.Errorf("post-exhaustion Run: stopped=%s executed=%d", res2.Stopped, len(res2.Executed))
 	}
 }

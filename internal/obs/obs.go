@@ -1,0 +1,231 @@
+// Package obs is the zero-dependency observability layer of the
+// pipeline: atomic counters, gauges, and histograms; span tracing with
+// nested spans and a bounded event log; and a Registry aggregating both
+// with text, JSON, and expvar-compatible rendering.
+//
+// Every public method is nil-safe: a nil *Registry hands out nil
+// instruments, and a nil *Counter, *Gauge, *Histogram, *Tracer, or *Span
+// is a no-op. Hot paths therefore instrument unconditionally — when
+// observability is disabled the calls reduce to a nil check and cost no
+// allocations (see BenchmarkOrdererObs in the repository root).
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing (except for Reset) atomic
+// counter. The zero value is ready to use; a nil Counter is a no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for a nil Counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Reset sets the counter back to zero.
+func (c *Counter) Reset() {
+	if c != nil {
+		c.v.Store(0)
+	}
+}
+
+// Gauge is an atomic float64 instantaneous value. The zero value is
+// ready to use; a nil Gauge is a no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds delta atomically.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for a nil Gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Reset sets the gauge back to zero.
+func (g *Gauge) Reset() {
+	if g != nil {
+		g.bits.Store(0)
+	}
+}
+
+// histBuckets is the number of power-of-two histogram buckets: bucket 0
+// holds observations <= 0, bucket i (i >= 1) holds [2^(i-1), 2^i - 1].
+const histBuckets = 64
+
+// Histogram records non-negative int64 observations (typically
+// nanoseconds) in power-of-two buckets with count/sum/min/max. The zero
+// value is ready to use; a nil Histogram is a no-op. All methods are
+// concurrency-safe.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid only when count > 0; raced first-store is benign via CAS loop
+	max     atomic.Int64
+	sampled atomic.Bool // set once the min sentinel has been initialized
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketIndex maps an observation to its bucket.
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(v))
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if h.sampled.CompareAndSwap(false, true) {
+		h.min.Store(math.MaxInt64)
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.min.Load()
+		if v >= old || h.min.CompareAndSwap(old, v) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+}
+
+// ObserveDuration records d in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// ObserveSince records the nanoseconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h != nil {
+		h.Observe(int64(time.Since(start)))
+	}
+}
+
+// Reset clears all recorded observations.
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.min.Store(0)
+	h.max.Store(0)
+	h.sampled.Store(false)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// HistBucket is one non-empty bucket of a histogram snapshot: Count
+// observations fell in [Lo, Hi].
+type HistBucket struct {
+	Lo    int64 `json:"lo"`
+	Hi    int64 `json:"hi"`
+	Count int64 `json:"count"`
+}
+
+// HistSnapshot is a point-in-time copy of a histogram. Concurrent
+// observations may make the fields mutually slightly inconsistent; each
+// field individually is a valid atomic read.
+type HistSnapshot struct {
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Min     int64        `json:"min"`
+	Max     int64        `json:"max"`
+	Mean    float64      `json:"mean"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot returns a copy of the histogram's current state. A nil
+// Histogram yields a zero snapshot.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	if s.Count > 0 {
+		s.Min = h.min.Load()
+		if s.Min == math.MaxInt64 { // racing first Observe; count came first
+			s.Min = 0
+		}
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		b := HistBucket{Count: n}
+		if i > 0 {
+			b.Lo = int64(1) << (i - 1)
+			if i < 63 {
+				b.Hi = int64(1)<<i - 1
+			} else {
+				b.Hi = math.MaxInt64
+			}
+		}
+		s.Buckets = append(s.Buckets, b)
+	}
+	return s
+}

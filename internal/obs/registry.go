@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Registry aggregates named counters, gauges, and histograms plus one
+// tracer. Instruments are created on first lookup and shared thereafter,
+// so independent subsystems accumulate into the same instrument when
+// they agree on a name. All methods are concurrency-safe, and every
+// method on a nil *Registry is a safe no-op (lookups return nil no-op
+// instruments), which is how instrumentation is disabled.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	tracer   *Tracer
+}
+
+// NewRegistry returns an empty registry with a DefaultMaxEvents tracer.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		tracer:   NewTracer(0),
+	}
+}
+
+// Counter returns the named counter, creating it if needed. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed. A nil registry
+// returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it if needed. A nil
+// registry returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Tracer returns the registry's tracer (nil, hence no-op, for a nil
+// registry).
+func (r *Registry) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.tracer
+}
+
+// Reset zeroes every instrument and clears the tracer, keeping the
+// instrument identities (pointers handed out remain valid).
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	for _, c := range r.counters {
+		c.Reset()
+	}
+	for _, g := range r.gauges {
+		g.Reset()
+	}
+	for _, h := range r.hists {
+		h.Reset()
+	}
+	r.mu.Unlock()
+	r.tracer.Reset()
+}
+
+// Snapshot is a point-in-time copy of a registry, JSON-serializable.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters,omitempty"`
+	Gauges     map[string]float64      `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+	Spans      []SpanStat              `json:"spans,omitempty"`
+	Events     []Event                 `json:"events,omitempty"`
+}
+
+// Snapshot copies the registry's current state. A nil registry yields a
+// zero snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	r.mu.Unlock()
+	s.Spans = r.tracer.Stats()
+	s.Events = r.tracer.Events()
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// String renders the snapshot as compact JSON. This satisfies the
+// expvar.Var interface, so a registry can be exported live with
+// expvar.Publish("qporder", reg).
+func (r *Registry) String() string {
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+// WriteText renders a human-readable report: sorted counters and gauges,
+// histogram summaries, and per-path span statistics.
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.Snapshot()
+	var err error
+	p := func(format string, args ...interface{}) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	if len(s.Counters) > 0 {
+		p("counters:\n")
+		for _, name := range sortedKeys(s.Counters) {
+			p("  %-48s %d\n", name, s.Counters[name])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		p("gauges:\n")
+		for _, name := range sortedKeys(s.Gauges) {
+			p("  %-48s %g\n", name, s.Gauges[name])
+		}
+	}
+	if len(s.Histograms) > 0 {
+		p("histograms:\n")
+		for _, name := range sortedKeys(s.Histograms) {
+			h := s.Histograms[name]
+			p("  %-48s count=%d mean=%s min=%s max=%s\n", name, h.Count,
+				time.Duration(int64(h.Mean)), time.Duration(h.Min), time.Duration(h.Max))
+		}
+	}
+	if len(s.Spans) > 0 {
+		p("spans:\n")
+		for _, st := range s.Spans {
+			p("  %-48s count=%d total=%s min=%s max=%s\n",
+				st.Name, st.Count, st.Total, st.Min, st.Max)
+		}
+	}
+	return err
+}
+
+// sortedKeys returns the sorted key set of a string-keyed map.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultMaxEvents bounds a Tracer's event ring buffer when no explicit
+// capacity is given.
+const DefaultMaxEvents = 256
+
+// Event is one entry of a tracer's bounded event log: a finished span
+// (Dur > 0 possible) or a point annotation (Dur == 0).
+type Event struct {
+	Time time.Time     `json:"time"`
+	Name string        `json:"name"`
+	Dur  time.Duration `json:"dur_ns,omitempty"`
+	Msg  string        `json:"msg,omitempty"`
+}
+
+// SpanStat aggregates the completed spans sharing one path.
+type SpanStat struct {
+	Name  string        `json:"name"`
+	Count int64         `json:"count"`
+	Total time.Duration `json:"total_ns"`
+	Min   time.Duration `json:"min_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// Tracer collects spans and events. All methods are concurrency-safe; a
+// nil Tracer is a no-op.
+type Tracer struct {
+	mu    sync.Mutex
+	stats map[string]*SpanStat
+	ring  []Event
+	next  int
+	full  bool
+}
+
+// NewTracer returns a tracer whose event log keeps the last maxEvents
+// entries (DefaultMaxEvents when maxEvents <= 0).
+func NewTracer(maxEvents int) *Tracer {
+	if maxEvents <= 0 {
+		maxEvents = DefaultMaxEvents
+	}
+	return &Tracer{stats: make(map[string]*SpanStat), ring: make([]Event, maxEvents)}
+}
+
+// Span is one in-flight timed operation. End it exactly once; children
+// started from it record slash-separated paths ("parent/child"). A nil
+// Span is a no-op.
+type Span struct {
+	t     *Tracer
+	name  string
+	start time.Time
+	ended bool
+}
+
+// StartSpan begins a span on t. A nil tracer yields a nil (no-op) span,
+// so callers never branch on whether tracing is enabled.
+func StartSpan(t *Tracer, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, start: time.Now()}
+}
+
+// StartSpan begins a nested child span ("parent/child" path).
+func (s *Span) StartSpan(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return StartSpan(s.t, s.name+"/"+name)
+}
+
+// Annotate appends a point event carrying msg to the tracer's event log,
+// attributed to this span's path.
+func (s *Span) Annotate(msg string) {
+	if s == nil {
+		return
+	}
+	s.t.addEvent(Event{Time: time.Now(), Name: s.name, Msg: msg})
+}
+
+// End finishes the span, recording its duration in the tracer's
+// aggregate statistics and event log, and returns the duration. A second
+// End (or End on a nil span) is a no-op returning 0.
+func (s *Span) End() time.Duration {
+	if s == nil || s.ended {
+		return 0
+	}
+	s.ended = true
+	d := time.Since(s.start)
+	s.t.record(s.name, s.start, d)
+	return d
+}
+
+// Event appends a point event to the log (outside any span).
+func (t *Tracer) Event(name, msg string) {
+	if t == nil {
+		return
+	}
+	t.addEvent(Event{Time: time.Now(), Name: name, Msg: msg})
+}
+
+func (t *Tracer) record(name string, start time.Time, d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.stats[name]
+	if st == nil {
+		st = &SpanStat{Name: name, Min: d, Max: d}
+		t.stats[name] = st
+	}
+	st.Count++
+	st.Total += d
+	if d < st.Min {
+		st.Min = d
+	}
+	if d > st.Max {
+		st.Max = d
+	}
+	t.push(Event{Time: start, Name: name, Dur: d})
+}
+
+func (t *Tracer) addEvent(e Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.push(e)
+}
+
+// push appends to the ring buffer; the caller holds t.mu.
+func (t *Tracer) push(e Event) {
+	t.ring[t.next] = e
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+}
+
+// Stats returns the per-path aggregates sorted by path. Nil tracers
+// return nil.
+func (t *Tracer) Stats() []SpanStat {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanStat, 0, len(t.stats))
+	for _, st := range t.stats {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Events returns the buffered events, oldest first. Nil tracers return
+// nil.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return append([]Event(nil), t.ring[:t.next]...)
+	}
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	return append(out, t.ring[:t.next]...)
+}
+
+// Reset discards all aggregates and buffered events.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats = make(map[string]*SpanStat)
+	for i := range t.ring {
+		t.ring[i] = Event{}
+	}
+	t.next = 0
+	t.full = false
+}

@@ -43,6 +43,7 @@ import (
 	"qporder/internal/lav"
 	"qporder/internal/measure"
 	"qporder/internal/mediator"
+	"qporder/internal/obs"
 	"qporder/internal/physopt"
 	"qporder/internal/planspace"
 	"qporder/internal/reformulate"
@@ -118,6 +119,17 @@ type (
 	PI = core.PI
 	// Exhaustive is the naive reference orderer.
 	Exhaustive = core.Exhaustive
+)
+
+// Observability.
+type (
+	// ObsRegistry aggregates counters, gauges, histograms, and spans; a
+	// nil registry disables all instrumentation.
+	ObsRegistry = obs.Registry
+	// ObsTracer records phase spans into bounded aggregates.
+	ObsTracer = obs.Tracer
+	// ObsSpan is one timed (possibly nested) phase.
+	ObsSpan = obs.Span
 )
 
 // Reformulation.
@@ -338,6 +350,12 @@ var (
 	DripsBest = core.DripsBest
 	// Take drains up to k plans from an orderer.
 	Take = core.Take
+	// Instrument binds an observability registry to an orderer.
+	Instrument = core.Instrument
+	// NewObsRegistry builds an empty observability registry.
+	NewObsRegistry = obs.NewRegistry
+	// StartSpan opens a span on a tracer (nil tracer: no-op span).
+	StartSpan = obs.StartSpan
 )
 
 // Execution simulation.
