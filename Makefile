@@ -1,6 +1,10 @@
 GO ?= go
+# FUZZTIME bounds each fuzz target; CI's fast-fail gate overrides it to
+# 10s so a fuzz smoke runs on every push without stalling the matrix.
+FUZZTIME ?= 30s
+BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build vet test race bench check fmtcheck experiments fuzz clean
+.PHONY: all build vet test race bench bench-json bench-check check fmtcheck experiments fuzz clean
 
 all: build vet test
 
@@ -22,12 +26,30 @@ fmtcheck:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 
-# check is the CI gate: formatting, vet, build, and the race-enabled
-# test suite.
+# check is the local all-in-one gate: formatting, vet, build, and the
+# race-enabled test suite. CI splits the same work across jobs (see
+# .github/workflows/ci.yml): a fmt/vet/fuzz fast-fail gate, an
+# {ubuntu, macos} x {oldest Go, stable} build+test matrix, a dedicated
+# -race job, and a benchmark-regression job.
 check: fmtcheck vet build race
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# bench-json writes the machine-readable benchmark report
+# (BENCH_<date>.json) that CI's bench job uploads as an artifact. The
+# report records the host's CPU count, sequential cells, and 4-worker
+# parallel cells for each algorithm.
+bench-json:
+	$(GO) run ./cmd/qpbench -exp none -parallelism 4 -metrics-json BENCH_$(BENCH_DATE).json
+
+# bench-check regenerates the report and fails when any sequential
+# ns/plan worsened >20% against BASELINE (a checked-in BENCH_*.json).
+# CI picks the newest checked-in baseline; refresh it by committing a
+# bench-json artifact from a green run.
+bench-check:
+	@test -n "$(BASELINE)" || { echo "usage: make bench-check BASELINE=BENCH_<date>.json"; exit 2; }
+	$(GO) run ./cmd/qpbench -exp none -parallelism 4 -metrics-json BENCH_$(BENCH_DATE).json -compare $(BASELINE)
 
 # Regenerate the paper's evaluation (Figure 6 a-l, sweeps, ablation, tta,
 # soundness, greedy). Takes a minute or two.
@@ -35,8 +57,8 @@ experiments:
 	$(GO) run ./cmd/qpbench -exp all -sizes 10,20,40,60 | tee results_full.txt
 
 fuzz:
-	$(GO) test -fuzz FuzzParseQuery -fuzztime 30s ./internal/schema
-	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/domfile
+	$(GO) test -fuzz FuzzParseQuery -fuzztime $(FUZZTIME) ./internal/schema
+	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/domfile
 
 clean:
 	rm -rf internal/schema/testdata internal/domfile/testdata

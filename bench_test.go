@@ -13,11 +13,14 @@ import (
 	"qporder/internal/abstraction"
 	"qporder/internal/bitset"
 	"qporder/internal/core"
+	"qporder/internal/costmodel"
 	"qporder/internal/coverage"
 	"qporder/internal/execsim"
 	"qporder/internal/experiment"
 	"qporder/internal/interval"
 	"qporder/internal/lav"
+	"qporder/internal/measure"
+	"qporder/internal/mediator"
 	"qporder/internal/obs"
 	"qporder/internal/physopt"
 	"qporder/internal/planspace"
@@ -135,6 +138,82 @@ func BenchmarkGreedy(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkParallelOrdering: the sequential-vs-parallel comparison for
+// the worker-pool paths (utility evaluation and dominance testing fan
+// out; output is identical across worker counts). workers=1 is the
+// sequential baseline the CI regression job gates on; speedups for
+// workers>1 depend on the runner's core count.
+func BenchmarkParallelOrdering(b *testing.B) {
+	cfg := benchBase(20)
+	d := benchDomains.Get(cfg)
+	for _, algo := range []experiment.Algorithm{
+		experiment.AlgoPI, experiment.AlgoIDrips, experiment.AlgoStreamer,
+	} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			algo, workers := algo, workers
+			b.Run(fmt.Sprintf("%s/workers=%d", algo, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res := experiment.Run(d, experiment.Cell{
+						Algo: algo, Measure: experiment.MeasureCoverage, K: 10,
+						Config: cfg, Parallelism: workers,
+					})
+					if res.Err != "" {
+						b.Fatal(res.Err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPipelinedMediator: end-to-end Run with ordering overlapped
+// against execution (Config.Parallelism) vs the sequential mediator.
+func BenchmarkPipelinedMediator(b *testing.B) {
+	cat := lav.NewCatalog()
+	stats := lav.Stats{Tuples: 50, TransmitCost: 1, Overhead: 10}
+	for _, def := range []string{
+		"V1(A, M) :- play-in(A, M)",
+		"V2(A, M) :- play-in(A, M)",
+		"V3(A, M) :- play-in(A, M)",
+		"V4(R, M) :- review-of(R, M)",
+		"V5(R, M) :- review-of(R, M)",
+		"V6(R, M) :- review-of(R, M)",
+	} {
+		q := schema.MustParseQuery(def)
+		cat.MustAdd(q.Name, q, stats)
+	}
+	world := execsim.GenerateWorld(execsim.WorldConfig{
+		Relations: []execsim.RelationSpec{
+			{Name: "play-in", Arity: 2}, {Name: "review-of", Arity: 2},
+		},
+		TuplesPerRelation: 60,
+		DomainSize:        12,
+		Seed:              3,
+	})
+	store := execsim.PopulateSources(cat, world, 0.9, 4)
+	for _, workers := range []int{0, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("parallelism=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys, err := mediator.New(mediator.Config{
+					Catalog: cat,
+					Query:   schema.MustParseQuery("Q(M, R) :- play-in(A, M), review-of(R, M)"),
+					Measure: func(entries *lav.Catalog) measure.Measure {
+						return costmodel.NewChainCost(entries, costmodel.Params{N: 10000})
+					},
+					Parallelism: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sys.Run(execsim.NewEngine(cat, store), mediator.Budget{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -32,7 +33,7 @@ import (
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "experiments: all, fig6, fig6a..fig6l, overlap, qlen, evalfrac, ablation, tta, soundness, greedy (comma-separated)")
+		expFlag   = flag.String("exp", "all", "experiments: all, fig6, fig6a..fig6l, overlap, qlen, evalfrac, ablation, tta, soundness, greedy, par (comma-separated)")
 		sizesFlag = flag.String("sizes", "10,20,40,60,80", "bucket sizes for Figure 6 panels")
 		seed      = flag.Int64("seed", 42, "workload seed")
 		qlen      = flag.Int("qlen", 3, "query length (paper default 3)")
@@ -41,6 +42,9 @@ func main() {
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		metrics   = flag.String("metrics-json", "", "write the machine-readable metrics report (JSON) to this path")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. :6060)")
+		par       = flag.Int("parallelism", 1, "orderer worker count for the par experiment and the parallel metrics records (1 = sequential only)")
+		compare   = flag.String("compare", "", "baseline metrics JSON to regression-check sequential ns/plan against (exit 1 on regression)")
+		regThresh = flag.Float64("regress-threshold", 0.20, "allowed ns/plan worsening vs -compare baseline (0.20 = 20%)")
 	)
 	flag.Parse()
 
@@ -159,6 +163,32 @@ func main() {
 		render(experiment.AblationTable(experiment.RunHeuristicAblation(dc, 10, cfg)))
 	}
 
+	if wants("par") {
+		workers := *par
+		if workers <= 1 {
+			workers = 4
+		}
+		fmt.Printf("== Sequential vs parallel ordering: coverage, k=10, %d workers (%d CPUs) ==\n",
+			workers, runtime.NumCPU())
+		t := stats.NewTable("bucket", "algorithm", "seq-time", "par-time", "speedup", "evals-match")
+		for _, m := range sizes {
+			cfg := base
+			cfg.BucketSize = m
+			d := dc.Get(cfg)
+			for _, algo := range []experiment.Algorithm{
+				experiment.AlgoPI, experiment.AlgoIDrips, experiment.AlgoStreamer,
+			} {
+				seq := experiment.Run(d, experiment.Cell{Algo: algo, Measure: experiment.MeasureCoverage, K: 10, Config: cfg})
+				p := experiment.Run(d, experiment.Cell{Algo: algo, Measure: experiment.MeasureCoverage, K: 10, Config: cfg, Parallelism: workers})
+				speedup := float64(seq.Time) / float64(p.Time)
+				t.Add(fmt.Sprint(m), string(algo),
+					stats.FormatDuration(seq.Time), stats.FormatDuration(p.Time),
+					fmt.Sprintf("%.2fx", speedup), fmt.Sprint(seq.Evals == p.Evals))
+			}
+		}
+		render(t)
+	}
+
 	if wants("greedy") {
 		fmt.Println("== Greedy scaling (Section 4): linear cost, k=20 ==")
 		t := stats.NewTable("bucket", "greedy-time", "greedy-evals", "exhaustive-time", "exhaustive-evals")
@@ -175,21 +205,31 @@ func main() {
 		render(t)
 	}
 
-	if *metrics != "" {
-		if err := writeMetrics(*metrics, dc, sizes, base, reg); err != nil {
-			fmt.Fprintln(os.Stderr, "qpbench: metrics:", err)
-			os.Exit(1)
+	if *metrics != "" || *compare != "" {
+		rep := buildMetrics(dc, sizes, base, reg, *par)
+		if *metrics != "" {
+			if err := writeReport(*metrics, rep); err != nil {
+				fmt.Fprintln(os.Stderr, "qpbench: metrics:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("metrics: wrote %s\n", *metrics)
 		}
-		fmt.Printf("metrics: wrote %s\n", *metrics)
+		if *compare != "" {
+			if !checkRegressions(rep, *compare, *regThresh) {
+				os.Exit(1)
+			}
+		}
 	}
 
 	fmt.Printf("total: %s\n", stats.FormatDuration(time.Since(start)))
 }
 
-// writeMetrics runs the instrumented benchmark cells — coverage with PI,
+// buildMetrics runs the instrumented benchmark cells — coverage with PI,
 // iDrips, and Streamer (k=10) plus linear cost with Greedy (k=20) at each
-// bucket size — and writes the MetricsReport JSON document to path.
-func writeMetrics(path string, dc experiment.DomainCache, sizes []int, base workload.Config, reg *obs.Registry) error {
+// bucket size — and assembles the MetricsReport document. With par > 1
+// each cell also runs with that worker count, so the report carries
+// sequential-vs-parallel pairs (tagged by the parallelism field).
+func buildMetrics(dc experiment.DomainCache, sizes []int, base workload.Config, reg *obs.Registry, par int) experiment.MetricsReport {
 	var recs []experiment.MetricRecord
 	for _, m := range sizes {
 		cfg := base
@@ -200,13 +240,24 @@ func writeMetrics(path string, dc experiment.DomainCache, sizes []int, base work
 			{Algo: experiment.AlgoStreamer, Measure: experiment.MeasureCoverage, K: 10, Config: cfg},
 			{Algo: experiment.AlgoGreedy, Measure: experiment.MeasureLinear, K: 20, Config: cfg},
 		}
+		if par > 1 {
+			for _, c := range cells[:len(cells):len(cells)] {
+				c.Parallelism = par
+				cells = append(cells, c)
+			}
+		}
 		recs = append(recs, experiment.CollectMetrics(dc.Get(cfg), cells, reg)...)
 	}
-	rep := experiment.MetricsReport{
+	return experiment.MetricsReport{
 		SchemaVersion: experiment.MetricsSchemaVersion,
 		Workload:      base,
+		CPUs:          runtime.NumCPU(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
 		Records:       recs,
 	}
+}
+
+func writeReport(path string, rep experiment.MetricsReport) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -218,6 +269,35 @@ func writeMetrics(path string, dc experiment.DomainCache, sizes []int, base work
 		return err
 	}
 	return f.Close()
+}
+
+// checkRegressions compares the current report's sequential ns/plan
+// against the baseline file; it prints every regression and returns
+// false when any cell worsened beyond the threshold.
+func checkRegressions(cur experiment.MetricsReport, baselinePath string, threshold float64) bool {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qpbench: compare:", err)
+		return false
+	}
+	var base experiment.MetricsReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintln(os.Stderr, "qpbench: compare:", err)
+		return false
+	}
+	regs := experiment.CompareReports(cur, base, threshold)
+	if len(regs) == 0 {
+		fmt.Printf("compare: no sequential ns/plan regression vs %s (threshold %.0f%%)\n",
+			baselinePath, 100*threshold)
+		return true
+	}
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr,
+			"qpbench: REGRESSION %s/%s bucket=%d k=%d: %d ns/plan vs baseline %d (%.2fx > %.2fx)\n",
+			r.Record.Algorithm, r.Record.Measure, r.Record.BucketSize, r.Record.K,
+			r.Record.NsPerPlan, r.Baseline, r.Ratio, 1+threshold)
+	}
+	return false
 }
 
 func runCell(d *workload.Domain, algo experiment.Algorithm, m experiment.MeasureKey, k int, cfg workload.Config) experiment.Result {

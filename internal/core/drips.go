@@ -3,6 +3,7 @@ package core
 import (
 	"qporder/internal/interval"
 	"qporder/internal/measure"
+	"qporder/internal/parallel"
 	"qporder/internal/planspace"
 )
 
@@ -11,6 +12,11 @@ type dripsCand struct {
 	p *planspace.Plan
 	u interval.Interval
 }
+
+// parDomThreshold is the candidate-frontier size from which the
+// dominance sweep fans out: below it the sweep is pure float compares
+// and fan-out costs more than it saves.
+const parDomThreshold = 256
 
 // DripsBest runs the Drips refinement loop (Section 5.1) over the given
 // abstract root plans and returns the best concrete plan with its
@@ -22,17 +28,22 @@ type dripsCand struct {
 // roots must be non-empty and collectively non-empty; the winner always
 // exists.
 func DripsBest(ctx measure.Context, roots []*planspace.Plan) (*planspace.Plan, float64) {
-	return dripsBest(ctx, roots, counters{})
+	return dripsBest(ctx, roots, counters{}, nil)
 }
 
-// dripsBest is DripsBest with work counters (disabled when c is zero).
-func dripsBest(ctx measure.Context, roots []*planspace.Plan, c counters) (*planspace.Plan, float64) {
+// dripsBest is DripsBest with work counters (disabled when c is zero)
+// and an optional parallel evaluator (nil = sequential). Candidate
+// evaluation fans out to the evaluator's pool; results merge back in
+// candidate order, so the refinement trajectory — and hence the winner —
+// is identical to the sequential run.
+func dripsBest(ctx measure.Context, roots []*planspace.Plan, c counters,
+	ev *parallel.Evaluator) (*planspace.Plan, float64) {
 	cands := make([]*dripsCand, 0, len(roots))
-	for _, r := range roots {
-		cands = append(cands, &dripsCand{p: r, u: ctx.Evaluate(r)})
+	for i, u := range evalAll(ctx, ev, roots) {
+		cands = append(cands, &dripsCand{p: roots[i], u: u})
 	}
 	for {
-		cands = pruneDominated(cands, c)
+		cands = pruneDominated(cands, c, ev)
 		// Termination: a single concrete candidate, or only concrete
 		// candidates left (ties).
 		allConcrete := true
@@ -64,8 +75,9 @@ func dripsBest(ctx measure.Context, roots []*planspace.Plan, c counters) (*plans
 		target := cands[ri]
 		cands = append(cands[:ri], cands[ri+1:]...)
 		c.refines.Inc()
-		for _, ch := range target.p.Refine() {
-			cands = append(cands, &dripsCand{p: ch, u: ctx.Evaluate(ch)})
+		children := target.p.Refine()
+		for i, u := range evalAll(ctx, ev, children) {
+			cands = append(cands, &dripsCand{p: children[i], u: u})
 		}
 	}
 }
@@ -85,7 +97,10 @@ func refineBefore(a, b *dripsCand) bool {
 // pruneDominated removes every candidate dominated by the candidate with
 // the maximum lower bound (the only candidate that can dominate others en
 // masse; pairwise checks against non-maximal candidates are subsumed).
-func pruneDominated(cands []*dripsCand, cnt counters) []*dripsCand {
+// Large frontiers fan the per-candidate dominance tests out to the
+// evaluator's pool; the keep-mask is index-addressed, so the surviving
+// candidates — and their order — match the sequential sweep exactly.
+func pruneDominated(cands []*dripsCand, cnt counters, ev *parallel.Evaluator) []*dripsCand {
 	if len(cands) <= 1 {
 		return cands
 	}
@@ -94,6 +109,26 @@ func pruneDominated(cands []*dripsCand, cnt counters) []*dripsCand {
 		if c.u.Lo > w.u.Lo || (c.u.Lo == w.u.Lo && c.p.Key() < w.p.Key()) {
 			w = c
 		}
+	}
+	if ev != nil && len(cands) >= parDomThreshold && ev.Parallel(len(cands)) {
+		keyW := w.p.Key() // pre-built once, shared read-only by workers
+		keep := make([]bool, len(cands))
+		ev.Pool().Run(len(cands), func(_, i int) {
+			c := cands[i]
+			if c == w {
+				keep[i] = true
+				return
+			}
+			cnt.domTests.Inc()
+			keep[i] = !dominates(w.u, c.u, keyW, c.p.Key())
+		})
+		out := cands[:0]
+		for i, c := range cands {
+			if keep[i] {
+				out = append(out, c)
+			}
+		}
+		return out
 	}
 	out := cands[:0]
 	for _, c := range cands {

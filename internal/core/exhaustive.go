@@ -9,12 +9,15 @@ import (
 // Exhaustive is the naive reference orderer: it materializes every
 // concrete plan and, for each Next call, re-evaluates every remaining
 // plan's conditional utility and returns the maximum. It is correct for
-// every utility measure and serves as the ground truth in tests.
+// every utility measure and serves as the ground truth in tests. With
+// Parallelism(n), the per-Next full re-evaluation shards across workers
+// and the shard winners merge deterministically.
 type Exhaustive struct {
 	ctx     measure.Context
 	remain  []*planspace.Plan
 	started bool
 	c       counters
+	par     parcfg
 }
 
 // NewExhaustive builds the orderer over the concrete plans of the given
@@ -34,7 +37,11 @@ func (e *Exhaustive) Context() measure.Context { return e.ctx }
 func (e *Exhaustive) Instrument(reg *obs.Registry) {
 	e.c = newCounters(reg, "exhaustive")
 	bindContext(e.ctx, reg, "exhaustive")
+	e.par.bind(reg)
 }
+
+// Parallelism implements Parallel.
+func (e *Exhaustive) Parallelism(n int) { e.par.set(n) }
 
 // Next implements Orderer.
 func (e *Exhaustive) Next() (*planspace.Plan, float64, bool) {
@@ -43,12 +50,24 @@ func (e *Exhaustive) Next() (*planspace.Plan, float64, bool) {
 		e.c.exhausted.Inc()
 		return nil, 0, false
 	}
-	bestIdx := -1
-	bestU := 0.0
-	for i, p := range e.remain {
-		u := e.ctx.Evaluate(p).Lo // concrete: point
-		if bestIdx < 0 || better(u, p.Key(), bestU, e.remain[bestIdx].Key()) {
-			bestIdx, bestU = i, u
+	var bestIdx int
+	var bestU float64
+	if ev := e.par.evaluator(e.ctx, "exhaustive"); ev != nil && ev.Parallel(len(e.remain)) {
+		utils := make([]float64, len(e.remain))
+		ev.Map(len(e.remain), func(ctx measure.Context, i int) {
+			utils[i] = ctx.Evaluate(e.remain[i]).Lo // concrete: point
+		})
+		bestIdx = ev.Pool().Best(len(e.remain), func(i, j int) bool {
+			return better(utils[i], e.remain[i].Key(), utils[j], e.remain[j].Key())
+		})
+		bestU = utils[bestIdx]
+	} else {
+		bestIdx = -1
+		for i, p := range e.remain {
+			u := e.ctx.Evaluate(p).Lo // concrete: point
+			if bestIdx < 0 || better(u, p.Key(), bestU, e.remain[bestIdx].Key()) {
+				bestIdx, bestU = i, u
+			}
 		}
 	}
 	d := e.remain[bestIdx]
@@ -58,3 +77,4 @@ func (e *Exhaustive) Next() (*planspace.Plan, float64, bool) {
 }
 
 var _ Orderer = (*Exhaustive)(nil)
+var _ Parallel = (*Exhaustive)(nil)

@@ -26,6 +26,7 @@ type Greedy struct {
 	m   measure.Measure
 	pq  spaceHeap
 	c   counters
+	par parcfg
 }
 
 // spaceEntry is one plan space with its best plan's utility.
@@ -83,14 +84,19 @@ func orderSpace(s *planspace.Space, m measure.Measure) (*planspace.Space, error)
 	return &planspace.Space{Buckets: buckets}, nil
 }
 
-// entryFor evaluates the space's best plan (the tuple of first sources;
-// buckets must already be sorted best-first) and wraps it as a queue entry.
-func (g *Greedy) entryFor(s *planspace.Space) *spaceEntry {
+// bestPlanOf builds the space's best plan: the tuple of first sources
+// (buckets must already be sorted best-first).
+func bestPlanOf(s *planspace.Space) *planspace.Plan {
 	nodes := make([]*abstraction.Node, s.Len())
 	for i, b := range s.Buckets {
 		nodes[i] = &abstraction.Node{Bucket: i, Sources: []lav.SourceID{b[0]}}
 	}
-	best := planspace.New(nodes...)
+	return planspace.New(nodes...)
+}
+
+// entryFor evaluates the space's best plan and wraps it as a queue entry.
+func (g *Greedy) entryFor(s *planspace.Space) *spaceEntry {
+	best := bestPlanOf(s)
 	util := g.ctx.Evaluate(best).Lo
 	return &spaceEntry{space: s, best: best, util: util}
 }
@@ -102,7 +108,14 @@ func (g *Greedy) Context() measure.Context { return g.ctx }
 func (g *Greedy) Instrument(reg *obs.Registry) {
 	g.c = newCounters(reg, "greedy")
 	bindContext(g.ctx, reg, "greedy")
+	g.par.bind(reg)
 }
+
+// Parallelism implements Parallel. Greedy's per-Next work is one
+// evaluation per sub-space (at most the query length), so fan-out only
+// engages on wide splits; the knob exists so every orderer honors the
+// same configuration surface.
+func (g *Greedy) Parallelism(n int) { g.par.set(n) }
 
 // Next implements Orderer.
 func (g *Greedy) Next() (*planspace.Plan, float64, bool) {
@@ -117,10 +130,22 @@ func (g *Greedy) Next() (*planspace.Plan, float64, bool) {
 	g.c.splits.Inc()
 	// Splitting preserves the best-first bucket order: Remove keeps the
 	// relative order of remaining sources and pins prefixes to singletons.
-	for _, sub := range top.space.Remove(d.Sources()) {
-		heap.Push(&g.pq, g.entryFor(sub))
+	subs := top.space.Remove(d.Sources())
+	if ev := g.par.evaluator(g.ctx, "greedy"); ev != nil && ev.Parallel(len(subs)) {
+		bests := make([]*planspace.Plan, len(subs))
+		for i, sub := range subs {
+			bests[i] = bestPlanOf(sub)
+		}
+		for i, u := range ev.Eval(bests) {
+			heap.Push(&g.pq, &spaceEntry{space: subs[i], best: bests[i], util: u.Lo})
+		}
+	} else {
+		for _, sub := range subs {
+			heap.Push(&g.pq, g.entryFor(sub))
+		}
 	}
 	return d, top.util, true
 }
 
 var _ Orderer = (*Greedy)(nil)
+var _ Parallel = (*Greedy)(nil)

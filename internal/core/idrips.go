@@ -18,6 +18,7 @@ type IDrips struct {
 	heur   abstraction.Heuristic
 	spaces []*planspace.Space
 	c      counters
+	par    parcfg
 }
 
 // NewIDrips builds the orderer over the given spaces with the given
@@ -34,7 +35,13 @@ func (d *IDrips) Context() measure.Context { return d.ctx }
 func (d *IDrips) Instrument(reg *obs.Registry) {
 	d.c = newCounters(reg, "idrips")
 	bindContext(d.ctx, reg, "idrips")
+	d.par.bind(reg)
 }
+
+// Parallelism implements Parallel: candidate evaluation and dominance
+// sweeps inside each Drips run fan out to n workers. Output is identical
+// to the sequential run for every n.
+func (d *IDrips) Parallelism(n int) { d.par.set(n) }
 
 // Next implements Orderer.
 func (d *IDrips) Next() (*planspace.Plan, float64, bool) {
@@ -48,7 +55,7 @@ func (d *IDrips) Next() (*planspace.Plan, float64, bool) {
 	for i, s := range d.spaces {
 		roots[i] = s.Root(d.heur)
 	}
-	best, util := dripsBest(d.ctx, roots, d.c)
+	best, util := dripsBest(d.ctx, roots, d.c, d.par.evaluator(d.ctx, "idrips"))
 	d.ctx.Observe(best)
 
 	// Remove the winner from its (unique) containing space by splitting.
@@ -71,3 +78,4 @@ func (d *IDrips) Next() (*planspace.Plan, float64, bool) {
 }
 
 var _ Orderer = (*IDrips)(nil)
+var _ Parallel = (*IDrips)(nil)

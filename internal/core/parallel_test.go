@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"qporder/internal/coverage"
+	"qporder/internal/obs"
+	"qporder/internal/planspace"
+	"qporder/internal/workload"
+)
+
+// TestParallelismIsDeterministic asserts the tentpole guarantee: for
+// every orderer, measure, and workload, Parallelism(8) emits the exact
+// plan sequence and utilities of Parallelism(1), and reports identical
+// work counters (evaluations and independence checks) — the parallel
+// path is a scheduling change, not a semantic one.
+func TestParallelismIsDeterministic(t *testing.T) {
+	for _, cfg := range []workload.Config{
+		{QueryLen: 2, BucketSize: 4, Universe: 256, Zones: 2, Seed: 1},
+		{QueryLen: 3, BucketSize: 4, Universe: 512, Zones: 3, Seed: 2},
+		{QueryLen: 3, BucketSize: 6, Universe: 512, Zones: 3, Seed: 3},
+		{QueryLen: 4, BucketSize: 3, Universe: 512, Zones: 2, Seed: 4},
+	} {
+		d := workload.Generate(cfg)
+		total := int(d.Space.Size())
+		for _, m := range measuresFor(d) {
+			seqOrds := orderers(d, m)
+			parOrds := orderers(d, m)
+			for name := range seqOrds {
+				seq, par := seqOrds[name], parOrds[name]
+				if _, ok := par.(Parallel); !ok {
+					t.Fatalf("alg=%s does not implement Parallel", name)
+				}
+				SetParallelism(seq, 1)
+				SetParallelism(par, 8)
+				seqPlans, seqUtils := Take(seq, total)
+				parPlans, parUtils := Take(par, total)
+				if len(parPlans) != len(seqPlans) {
+					t.Errorf("cfg=%+v measure=%s alg=%s: parallel emitted %d plans, sequential %d",
+						cfg, m.Name(), name, len(parPlans), len(seqPlans))
+					continue
+				}
+				for i := range seqPlans {
+					if parPlans[i].Key() != seqPlans[i].Key() {
+						t.Errorf("cfg=%+v measure=%s alg=%s: step %d plan %s, sequential %s",
+							cfg, m.Name(), name, i, parPlans[i].Key(), seqPlans[i].Key())
+						break
+					}
+					if parUtils[i] != seqUtils[i] {
+						t.Errorf("cfg=%+v measure=%s alg=%s: step %d utility %g, sequential %g",
+							cfg, m.Name(), name, i, parUtils[i], seqUtils[i])
+						break
+					}
+				}
+				if pe, se := par.Context().Evals(), seq.Context().Evals(); pe != se {
+					t.Errorf("cfg=%+v measure=%s alg=%s: parallel Evals %d, sequential %d",
+						cfg, m.Name(), name, pe, se)
+				}
+				pc, ph := par.Context().IndepStats()
+				sc, sh := seq.Context().IndepStats()
+				if pc != sc || ph != sh {
+					t.Errorf("cfg=%+v measure=%s alg=%s: parallel IndepStats (%d,%d), sequential (%d,%d)",
+						cfg, m.Name(), name, pc, ph, sc, sh)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelismKnobMidRun flips the worker count between Next calls;
+// the emitted sequence must not depend on when the flip happens.
+func TestParallelismKnobMidRun(t *testing.T) {
+	d := workload.Generate(workload.Config{QueryLen: 3, BucketSize: 4, Universe: 512, Zones: 3, Seed: 6})
+	total := int(d.Space.Size())
+	m := coverage.NewMeasure(d.Coverage)
+	for name, o := range orderers(d, m) {
+		ref := orderers(d, m)[name]
+		refPlans, _ := Take(ref, total)
+		var got []*planspace.Plan
+		for i := 0; i < total; i++ {
+			SetParallelism(o, 1+(i%2)*7) // alternate 1 and 8
+			p, _, ok := o.Next()
+			if !ok {
+				break
+			}
+			got = append(got, p)
+		}
+		if len(got) != len(refPlans) {
+			t.Errorf("alg=%s: emitted %d plans, want %d", name, len(got), len(refPlans))
+			continue
+		}
+		for i := range got {
+			if got[i].Key() != refPlans[i].Key() {
+				t.Errorf("alg=%s: step %d plan %s, want %s", name, i, got[i].Key(), refPlans[i].Key())
+				break
+			}
+		}
+	}
+}
+
+// TestParallelismBindsPoolGauges checks the observability satellite: an
+// instrumented parallel orderer exposes the pool's gauges and counters
+// under its algorithm prefix, and they move.
+func TestParallelismBindsPoolGauges(t *testing.T) {
+	d := workload.Generate(workload.Config{QueryLen: 3, BucketSize: 5, Universe: 512, Zones: 3, Seed: 8})
+	m := coverage.NewMeasure(d.Coverage)
+	o := NewPI([]*planspace.Space{d.Space}, m)
+	reg := obs.NewRegistry()
+	Instrument(o, reg)
+	SetParallelism(o, 4)
+	Take(o, int(d.Space.Size()))
+	if got := reg.Counter("parallel.pi.items").Value(); got == 0 {
+		t.Error("parallel.pi.items stayed 0 over a full parallel run")
+	}
+	if got := reg.Counter("parallel.pi.batches").Value(); got == 0 {
+		t.Error("parallel.pi.batches stayed 0 over a full parallel run")
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"qporder/internal/measure"
 	"qporder/internal/obs"
+	"qporder/internal/parallel"
 	"qporder/internal/planspace"
 )
 
@@ -10,6 +11,12 @@ import (
 // ordering but uses plan-independence information to recompute, after
 // each output, only the utilities of plans that may have changed. All
 // other cached utilities remain valid.
+//
+// With Parallelism(n), the plan space is sharded across n workers: the
+// initial full evaluation, the per-output selection (each shard's best
+// streams into a deterministic k-way merge), and the post-output
+// recompute sweep all fan out. Output is identical to the sequential
+// run for every n.
 type PI struct {
 	ctx     measure.Context
 	plans   []*planspace.Plan
@@ -18,6 +25,7 @@ type PI struct {
 	nAlive  int
 	started bool
 	c       counters
+	par     parcfg
 }
 
 // NewPI builds the orderer over the concrete plans of the given spaces.
@@ -42,21 +50,80 @@ func (pi *PI) Context() measure.Context { return pi.ctx }
 func (pi *PI) Instrument(reg *obs.Registry) {
 	pi.c = newCounters(reg, "pi")
 	bindContext(pi.ctx, reg, "pi")
+	pi.par.bind(reg)
 }
+
+// Parallelism implements Parallel.
+func (pi *PI) Parallelism(n int) { pi.par.set(n) }
 
 // Next implements Orderer.
 func (pi *PI) Next() (*planspace.Plan, float64, bool) {
 	defer pi.c.endNext(pi.c.startNext())
+	ev := pi.par.evaluator(pi.ctx, "pi")
 	if !pi.started {
 		pi.started = true
-		for i, p := range pi.plans {
-			pi.utils[i] = pi.ctx.Evaluate(p).Lo
-			pi.alive[i] = true
+		if ev == nil {
+			for i, p := range pi.plans {
+				pi.utils[i] = pi.ctx.Evaluate(p).Lo
+				pi.alive[i] = true
+			}
+		} else {
+			ev.Map(len(pi.plans), func(ctx measure.Context, i int) {
+				pi.utils[i] = ctx.Evaluate(pi.plans[i]).Lo
+				pi.alive[i] = true
+			})
 		}
 	}
 	if pi.nAlive == 0 {
 		pi.c.exhausted.Inc()
 		return nil, 0, false
+	}
+	bestIdx := pi.selectBest(ev)
+	d := pi.plans[bestIdx]
+	u := pi.utils[bestIdx]
+	pi.alive[bestIdx] = false
+	pi.nAlive--
+	pi.ctx.Observe(d)
+	// Recompute only plans whose utility may have changed.
+	if ev == nil {
+		for i, a := range pi.alive {
+			if !a {
+				continue
+			}
+			if !pi.ctx.Independent(pi.plans[i], d) {
+				pi.utils[i] = pi.ctx.Evaluate(pi.plans[i]).Lo
+			}
+		}
+	} else {
+		ev.Map(len(pi.plans), func(ctx measure.Context, i int) {
+			if !pi.alive[i] {
+				return
+			}
+			if !ctx.Independent(pi.plans[i], d) {
+				pi.utils[i] = ctx.Evaluate(pi.plans[i]).Lo
+			}
+		})
+	}
+	return d, u, true
+}
+
+// selectBest returns the index of the best alive plan. The parallel path
+// scans shards concurrently and merges the shard winners in shard order;
+// the comparison is a strict total order (utility, then key, with dead
+// plans after all alive ones), so the winner matches the sequential scan.
+func (pi *PI) selectBest(ev *parallel.Evaluator) int {
+	cmp := func(i, j int) bool {
+		ai, aj := pi.alive[i], pi.alive[j]
+		if ai != aj {
+			return ai
+		}
+		if !ai {
+			return i < j
+		}
+		return better(pi.utils[i], pi.plans[i].Key(), pi.utils[j], pi.plans[j].Key())
+	}
+	if ev != nil && ev.Parallel(len(pi.plans)) {
+		return ev.Pool().Best(len(pi.plans), cmp)
 	}
 	bestIdx := -1
 	for i, a := range pi.alive {
@@ -67,21 +134,8 @@ func (pi *PI) Next() (*planspace.Plan, float64, bool) {
 			bestIdx = i
 		}
 	}
-	d := pi.plans[bestIdx]
-	u := pi.utils[bestIdx]
-	pi.alive[bestIdx] = false
-	pi.nAlive--
-	pi.ctx.Observe(d)
-	// Recompute only plans whose utility may have changed.
-	for i, a := range pi.alive {
-		if !a {
-			continue
-		}
-		if !pi.ctx.Independent(pi.plans[i], d) {
-			pi.utils[i] = pi.ctx.Evaluate(pi.plans[i]).Lo
-		}
-	}
-	return d, u, true
+	return bestIdx
 }
 
 var _ Orderer = (*PI)(nil)
+var _ Parallel = (*PI)(nil)

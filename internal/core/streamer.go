@@ -43,7 +43,8 @@ type Streamer struct {
 	linksRecycled int // link validity checks that succeeded (link kept)
 	linksDropped  int // link validity checks that failed (link removed)
 
-	c counters
+	c   counters
+	par parcfg
 
 	lo planHeap // max (Lo, key): candidate incumbent w
 	hi planHeap // max (Hi, width, key): refinement candidates
@@ -111,7 +112,15 @@ func (s *Streamer) Context() measure.Context { return s.ctx }
 func (s *Streamer) Instrument(reg *obs.Registry) {
 	s.c = newCounters(reg, "streamer")
 	bindContext(s.ctx, reg, "streamer")
+	s.par.bind(reg)
 }
+
+// Parallelism implements Parallel: utility recomputation after an output,
+// refinement-children evaluation, link validity rechecks, and the
+// invalidation sweep all fan out to n workers. Verdicts apply in the
+// sequential order, so the dominance graph — and the output sequence —
+// is identical to the sequential run for every n.
+func (s *Streamer) Parallelism(n int) { s.par.set(n) }
 
 // Resets returns how many defensive graph resets occurred (expected 0;
 // exported for tests and experiment sanity checks).
@@ -142,14 +151,6 @@ func (s *Streamer) push(p *planspace.Plan, u interval.Interval) {
 	heap.Push(&s.hi, entry{p, u})
 }
 
-// evaluate computes and caches the utility of p, pushing heap entries.
-func (s *Streamer) evaluate(p *planspace.Plan) interval.Interval {
-	u := s.ctx.Evaluate(p)
-	s.g.SetUtility(p, u)
-	s.push(p, u)
-	return u
-}
-
 // rebuild re-establishes the invariant after an output (or at start):
 // every nondominated plan has a current utility, the incumbent sweep
 // links w to the plans it dominates (Step 2.b's effect), and the heaps
@@ -168,15 +169,21 @@ func (s *Streamer) rebuild() {
 		s.g.EachPlan(func(p *planspace.Plan) { s.g.Invalidate(p) })
 		nd = s.g.Nondominated()
 	}
-	// Step 2.a: (re)compute utilities of nondominated plans.
+	// Step 2.a: (re)compute utilities of nondominated plans. Stale plans
+	// batch through the evaluator; the graph writes stay on this goroutine.
+	var stale []*planspace.Plan
+	for _, p := range nd {
+		if _, ok := s.g.Utility(p); !ok {
+			stale = append(stale, p)
+		}
+	}
+	for i, u := range evalAll(s.ctx, s.par.evaluator(s.ctx, "streamer"), stale) {
+		s.g.SetUtility(stale[i], u)
+	}
 	var w *planspace.Plan
 	var uw interval.Interval
 	for _, p := range nd {
-		u, ok := s.g.Utility(p)
-		if !ok {
-			u = s.ctx.Evaluate(p)
-			s.g.SetUtility(p, u)
-		}
+		u, _ := s.g.Utility(p)
 		if w == nil || better(u.Lo, p.Key(), uw.Lo, w.Key()) {
 			w, uw = p, u
 		}
@@ -260,14 +267,20 @@ func (s *Streamer) Next() (*planspace.Plan, float64, bool) {
 			}
 			continue
 		}
-		// Step 2.c: refine the candidate if it is abstract.
+		// Step 2.c: refine the candidate if it is abstract. Children batch
+		// through the evaluator; graph and heap writes stay on this
+		// goroutine, in child order.
 		if !t.Concrete() {
 			heap.Pop(&s.hi)
 			s.g.Remove(t)
 			s.c.refines.Inc()
-			for _, ch := range t.Refine() {
+			children := t.Refine()
+			for _, ch := range children {
 				s.g.Add(ch)
-				s.evaluate(ch)
+			}
+			for i, u := range evalAll(s.ctx, s.par.evaluator(s.ctx, "streamer"), children) {
+				s.g.SetUtility(children[i], u)
+				s.push(children[i], u)
 			}
 			continue
 		}
@@ -281,22 +294,60 @@ func (s *Streamer) Next() (*planspace.Plan, float64, bool) {
 		s.g.Remove(d)
 		s.ctx.Observe(d)
 		// Recheck every remaining link: survive iff a concrete plan in the
-		// dominating side is independent of all removed plans so far.
-		for _, l := range s.g.Links() {
-			if s.ctx.IndependentWitness(l.From, append(l.E, d)) {
-				l.E = append(l.E, d)
-				s.linksRecycled++
-			} else {
-				s.g.RemoveLink(l)
-				s.linksDropped++
+		// dominating side is independent of all removed plans so far. The
+		// per-link witness searches are independent of one another, so they
+		// fan out; verdicts apply in link order on this goroutine.
+		links := s.g.Links()
+		if ev := s.par.evaluator(s.ctx, "streamer"); ev != nil && ev.Parallel(len(links)) {
+			kept := make([]bool, len(links))
+			ev.Map(len(links), func(ctx measure.Context, i int) {
+				l := links[i]
+				// Fresh backing array: workers must not write into l.E's
+				// spare capacity while the verdict is still pending.
+				ds := append(make([]*planspace.Plan, 0, len(l.E)+1), l.E...)
+				kept[i] = ctx.IndependentWitness(l.From, append(ds, d))
+			})
+			for i, l := range links {
+				if kept[i] {
+					l.E = append(l.E, d)
+					s.linksRecycled++
+				} else {
+					s.g.RemoveLink(l)
+					s.linksDropped++
+				}
+			}
+		} else {
+			for _, l := range links {
+				if s.ctx.IndependentWitness(l.From, append(l.E, d)) {
+					l.E = append(l.E, d)
+					s.linksRecycled++
+				} else {
+					s.g.RemoveLink(l)
+					s.linksDropped++
+				}
 			}
 		}
-		// Invalidate utilities of plans not independent of d.
-		s.g.EachPlan(func(e *planspace.Plan) {
-			if !s.ctx.Independent(e, d) {
-				s.g.Invalidate(e)
+		// Invalidate utilities of plans not independent of d. Each verdict
+		// reads only (plan, d, executed prefix), so the tests fan out; the
+		// graph writes apply afterwards on this goroutine.
+		if ev := s.par.evaluator(s.ctx, "streamer"); ev != nil && ev.Parallel(s.g.Len()) {
+			plans := s.g.Plans()
+			invalid := make([]bool, len(plans))
+			ev.Map(len(plans), func(ctx measure.Context, i int) {
+				invalid[i] = !ctx.Independent(plans[i], d)
+			})
+			for i, p := range plans {
+				if invalid[i] {
+					s.g.Invalidate(p)
+				}
 			}
-		})
+		} else {
+			s.g.EachPlan(func(e *planspace.Plan) {
+				if !s.ctx.Independent(e, d) {
+					s.g.Invalidate(e)
+				}
+			})
+		}
 		s.dirty = true
 		return d, ud.Lo, true
 	}
@@ -305,3 +356,4 @@ func (s *Streamer) Next() (*planspace.Plan, float64, bool) {
 }
 
 var _ Orderer = (*Streamer)(nil)
+var _ Parallel = (*Streamer)(nil)

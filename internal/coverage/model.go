@@ -16,6 +16,7 @@ package coverage
 
 import (
 	"fmt"
+	"sync"
 
 	"qporder/internal/bitset"
 	"qporder/internal/lav"
@@ -26,9 +27,11 @@ type Model struct {
 	universe int
 	sets     map[lav.SourceID]*bitset.Set
 	// overlapCache memoizes the pairwise overlap relation; it is a pure
-	// function of the (immutable) coverage sets, so sharing it across
-	// contexts is safe for sequential use.
-	overlapCache map[uint64]bool
+	// function of the (immutable) coverage sets, so a racing double
+	// computation stores the same value. A sync.Map keeps the read-mostly
+	// hot path lock-free while letting the parallel ordering paths share
+	// one model across worker contexts.
+	overlapCache sync.Map // uint64 -> bool
 }
 
 // NewModel returns a model over a universe of the given size.
@@ -37,9 +40,8 @@ func NewModel(universe int) *Model {
 		panic("coverage: universe must be positive")
 	}
 	return &Model{
-		universe:     universe,
-		sets:         make(map[lav.SourceID]*bitset.Set),
-		overlapCache: make(map[uint64]bool),
+		universe: universe,
+		sets:     make(map[lav.SourceID]*bitset.Set),
 	}
 }
 
@@ -75,16 +77,16 @@ func (m *Model) Has(id lav.SourceID) bool {
 // Overlap reports whether two sources' covered subsets intersect. This is
 // the "sources overlap" relation of Section 3. Results are memoized: the
 // independence oracle consults this relation millions of times per
-// ordering run.
+// ordering run. Overlap is safe for concurrent use.
 func (m *Model) Overlap(a, b lav.SourceID) bool {
 	if a > b {
 		a, b = b, a
 	}
 	key := uint64(uint32(a))<<32 | uint64(uint32(b))
-	if v, ok := m.overlapCache[key]; ok {
-		return v
+	if v, ok := m.overlapCache.Load(key); ok {
+		return v.(bool)
 	}
 	v := !m.Set(a).Disjoint(m.Set(b))
-	m.overlapCache[key] = v
+	m.overlapCache.Store(key, v)
 	return v
 }

@@ -134,6 +134,10 @@ type Cell struct {
 	Measure MeasureKey
 	K       int
 	Config  workload.Config
+	// Parallelism is the orderer's worker count; 0 or 1 is the
+	// sequential path. Output is identical across settings (the parallel
+	// paths merge deterministically); only timing differs.
+	Parallelism int
 }
 
 // Result records one cell's outcome.
@@ -174,6 +178,7 @@ func RunObserved(d *workload.Domain, cell Cell, reg *obs.Registry) Result {
 		return res
 	}
 	core.Instrument(o, reg)
+	core.SetParallelism(o, cell.Parallelism)
 	if cell.K > 0 {
 		if _, _, ok := o.Next(); ok {
 			res.TimeToFirst = time.Since(start)

@@ -18,6 +18,9 @@ type MetricRecord struct {
 	Measure    string `json:"measure"`
 	BucketSize int    `json:"bucket_size"`
 	K          int    `json:"k"`
+	// Parallelism is the orderer worker count the cell ran with (0 and 1
+	// both mean the sequential path; recorded as given).
+	Parallelism int `json:"parallelism"`
 	// Plans is the number of plans actually produced (<= K).
 	Plans int `json:"plans"`
 	// Evals counts utility evaluations, the paper's machine-neutral work
@@ -45,7 +48,12 @@ type MetricRecord struct {
 type MetricsReport struct {
 	SchemaVersion int             `json:"schema_version"`
 	Workload      workload.Config `json:"workload"`
-	Records       []MetricRecord  `json:"records"`
+	// CPUs and GoMaxProcs record the machine the numbers came from, so a
+	// parallel speedup (or its absence) can be read honestly: a 1-CPU
+	// runner cannot show one.
+	CPUs       int            `json:"cpus"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	Records    []MetricRecord `json:"records"`
 }
 
 // counterNames lists the per-algorithm registry counters that feed a
@@ -70,6 +78,48 @@ func counterValues(reg *obs.Registry, names []string) []int64 {
 	return vals
 }
 
+// Regression is one cell whose timing worsened beyond the threshold
+// against a baseline report.
+type Regression struct {
+	Record   MetricRecord
+	Baseline int64 // baseline ns_per_plan
+	Ratio    float64
+}
+
+// CompareReports checks cur's sequential records against base (the
+// checked-in benchmark baseline): a cell regresses when its ns_per_plan
+// exceeds the baseline's by more than threshold (0.20 = 20%). Parallel
+// records, errored cells, and cells absent from the baseline are skipped
+// — timing of the parallel path depends on the runner's core count, so
+// only the sequential path gates.
+func CompareReports(cur, base MetricsReport, threshold float64) []Regression {
+	type key struct {
+		algo, measure string
+		bucket, k     int
+	}
+	baseline := map[key]int64{}
+	for _, r := range base.Records {
+		if r.Parallelism <= 1 && r.Error == "" && r.NsPerPlan > 0 {
+			baseline[key{r.Algorithm, r.Measure, r.BucketSize, r.K}] = r.NsPerPlan
+		}
+	}
+	var out []Regression
+	for _, r := range cur.Records {
+		if r.Parallelism > 1 || r.Error != "" || r.NsPerPlan <= 0 {
+			continue
+		}
+		b, ok := baseline[key{r.Algorithm, r.Measure, r.BucketSize, r.K}]
+		if !ok {
+			continue
+		}
+		ratio := float64(r.NsPerPlan) / float64(b)
+		if ratio > 1+threshold {
+			out = append(out, Regression{Record: r, Baseline: b, Ratio: ratio})
+		}
+	}
+	return out
+}
+
 // CollectMetrics runs every cell against the shared domain and returns
 // one MetricRecord per cell. All cells share reg (created if nil), so an
 // expvar/pprof endpoint publishing reg shows counts accumulating live;
@@ -90,6 +140,7 @@ func CollectMetrics(d *workload.Domain, cells []Cell, reg *obs.Registry) []Metri
 			Measure:        string(cell.Measure),
 			BucketSize:     cell.Config.BucketSize,
 			K:              cell.K,
+			Parallelism:    cell.Parallelism,
 			Plans:          res.Plans,
 			Evals:          delta(3),
 			DominanceTests: delta(0),

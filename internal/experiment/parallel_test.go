@@ -1,0 +1,76 @@
+package experiment
+
+import (
+	"testing"
+
+	"qporder/internal/workload"
+)
+
+// TestParallelCellMatchesSequential checks the harness-level determinism
+// contract: a cell run with Parallelism 8 produces the same plan count
+// and evaluation count as the sequential run (only timing may differ).
+func TestParallelCellMatchesSequential(t *testing.T) {
+	cfg := workload.Config{QueryLen: 3, BucketSize: 4, Universe: 512, Zones: 3, Seed: 2}
+	d := workload.Generate(cfg)
+	for _, algo := range []Algorithm{AlgoPI, AlgoIDrips, AlgoStreamer, AlgoExhaustive} {
+		seq := Run(d, Cell{Algo: algo, Measure: MeasureCoverage, K: 10, Config: cfg})
+		par := Run(d, Cell{Algo: algo, Measure: MeasureCoverage, K: 10, Config: cfg, Parallelism: 8})
+		if seq.Err != "" || par.Err != "" {
+			t.Fatalf("%s: errs %q / %q", algo, seq.Err, par.Err)
+		}
+		if par.Plans != seq.Plans {
+			t.Errorf("%s: parallel produced %d plans, sequential %d", algo, par.Plans, seq.Plans)
+		}
+		if par.Evals != seq.Evals {
+			t.Errorf("%s: parallel Evals %d, sequential %d", algo, par.Evals, seq.Evals)
+		}
+	}
+}
+
+func TestCollectMetricsTagsParallelism(t *testing.T) {
+	cfg := smallCfg()
+	d := workload.Generate(cfg)
+	recs := CollectMetrics(d, []Cell{
+		{Algo: AlgoPI, Measure: MeasureCoverage, K: 3, Config: cfg},
+		{Algo: AlgoPI, Measure: MeasureCoverage, K: 3, Config: cfg, Parallelism: 4},
+	}, nil)
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if recs[0].Parallelism != 0 || recs[1].Parallelism != 4 {
+		t.Errorf("parallelism tags %d, %d; want 0, 4", recs[0].Parallelism, recs[1].Parallelism)
+	}
+	if recs[0].Evals != recs[1].Evals {
+		t.Errorf("parallel cell evals %d, sequential %d", recs[1].Evals, recs[0].Evals)
+	}
+}
+
+func TestCompareReports(t *testing.T) {
+	rec := func(algo string, bucket int, ns int64, par int, errStr string) MetricRecord {
+		return MetricRecord{
+			Algorithm: algo, Measure: "coverage", BucketSize: bucket, K: 10,
+			Parallelism: par, NsPerPlan: ns, Plans: 10, Error: errStr,
+		}
+	}
+	base := MetricsReport{Records: []MetricRecord{
+		rec("pi", 10, 1000, 0, ""),
+		rec("streamer", 10, 500, 0, ""),
+	}}
+	cur := MetricsReport{Records: []MetricRecord{
+		rec("pi", 10, 1300, 0, ""),      // +30%: regression at 20% threshold
+		rec("streamer", 10, 550, 0, ""), // +10%: fine
+		rec("pi", 10, 9000, 8, ""),      // parallel record: skipped
+		rec("idrips", 10, 9000, 0, ""),  // no baseline: skipped
+		rec("pi", 20, 9000, 0, "boom"),  // errored: skipped
+	}}
+	regs := CompareReports(cur, base, 0.20)
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions, want 1: %+v", len(regs), regs)
+	}
+	if regs[0].Record.Algorithm != "pi" || regs[0].Baseline != 1000 {
+		t.Errorf("unexpected regression %+v", regs[0])
+	}
+	if got := CompareReports(cur, base, 0.50); len(got) != 0 {
+		t.Errorf("50%% threshold flagged %d regressions, want 0", len(got))
+	}
+}

@@ -128,6 +128,53 @@ func (b *Base) CountIndep(independent bool) bool {
 // IndepStats returns the independence-oracle query and hit counts.
 func (b *Base) IndepStats() (checks, hits int) { return b.checks, b.hits }
 
+// AddCounts merges work counts harvested from forked contexts (see Fork)
+// back into this context, keeping Evals/IndepStats — and the bound obs
+// counters — identical to what a sequential run would have recorded.
+func (b *Base) AddCounts(evals, checks, hits int) {
+	b.evals += evals
+	b.checks += checks
+	b.hits += hits
+	b.cEvals.Add(int64(evals))
+	b.cChecks.Add(int64(checks))
+	b.cHits.Add(int64(hits))
+}
+
+// CountAdder is the optional interface consumed by the parallel
+// evaluation layer: contexts embedding Base get it for free. Contexts
+// without it still evaluate correctly in parallel, but their work
+// counters only reflect calls made on the main context.
+type CountAdder interface {
+	AddCounts(evals, checks, hits int)
+}
+
+// Fork returns an independent context over the same measure with the
+// same executed prefix, suitable for use from another goroutine. The
+// fork shares the measure's immutable inputs (catalog, coverage model)
+// but none of the per-context mutable state, so Evaluate/Independent/
+// IndependentWitness on the fork return exactly what the original would:
+// those results are pure functions of (measure, executed prefix, plan).
+// The fork's work counters start at zero; harvest them with Catchup's
+// accounting or merge manually via CountAdder.
+func Fork(ctx Context) Context {
+	f := ctx.Measure().NewContext()
+	for _, d := range ctx.Executed() {
+		f.Observe(d)
+	}
+	return f
+}
+
+// Catchup replays onto fork the suffix of main's executed prefix that
+// fork has not yet observed, returning the new synced length. have is
+// the number of executed plans fork has already observed.
+func Catchup(fork, main Context, have int) int {
+	exec := main.Executed()
+	for _, d := range exec[have:] {
+		fork.Observe(d)
+	}
+	return len(exec)
+}
+
 // Bind attaches observability counters; a nil registry yields nil (no-op)
 // counters, keeping the disabled path allocation-free.
 func (b *Base) Bind(reg *obs.Registry, prefix string) {

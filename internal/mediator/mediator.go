@@ -9,7 +9,9 @@
 package mediator
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"qporder/internal/abstraction"
@@ -78,6 +80,19 @@ type Config struct {
 	// Prefetch overlaps finding the next sound plan with executing the
 	// current one.
 	Prefetch bool
+	// Parallelism > 1 spreads the orderer's internal work — utility
+	// evaluation and dominance testing — across that many workers
+	// (core.SetParallelism; deterministic, so the plan sequence is
+	// byte-identical to the sequential run) and switches Run to the
+	// pipelined mode: a producer goroutine orders and soundness-checks
+	// plans into a bounded queue while the consumer executes, so plan i
+	// executes while plan i+1 is ordered. Subsumes Prefetch. 0 or 1
+	// keeps today's sequential behavior.
+	Parallelism int
+	// PipelineDepth bounds the pipelined mode's plan queue (default 2).
+	// Deeper queues let ordering run further ahead of execution; plans
+	// pulled ahead of a budget stop are preserved for the next Run call.
+	PipelineDepth int
 	// Adaptive tracks the statistics observed during execution and, when a
 	// source's estimate has drifted by more than DriftFactor (default 2),
 	// re-estimates and re-orders the remaining plans (the execution-level
@@ -145,6 +160,16 @@ type System struct {
 
 	next  func() sound
 	drain func()
+	// stash holds plans the pipelined mode pulled from the orderer ahead
+	// of a budget stop. The orderer has already conditioned on them, so
+	// they must execute before anything newly ordered; drain parks them
+	// here and the next Run serves them first.
+	stash []sound
+
+	// runMu serializes Run calls: the exhaustion latch, the pipeline
+	// fields (next/drain/stash), and the adaptive state are single-writer.
+	// Concurrent Run calls on one System are legal and queue up.
+	runMu sync.Mutex
 
 	// Adaptive state.
 	tracker  *adaptive.Tracker
@@ -152,7 +177,8 @@ type System struct {
 	reorders int
 
 	// exhausted latches once the ordering pipeline reports no more sound
-	// plans, so later Run calls never poke a spent orderer again.
+	// plans, so later Run calls never poke a spent orderer again. Stashed
+	// plans may still be pending when it latches.
 	exhausted bool
 }
 
@@ -261,6 +287,7 @@ func New(cfg Config) (*System, error) {
 		return nil, err
 	}
 	core.Instrument(o, cfg.Obs)
+	core.SetParallelism(o, cfg.Parallelism)
 	s.orderer = o
 	return s, nil
 }
@@ -301,7 +328,7 @@ func (s *System) reorder() error {
 	spaces := adaptive.RemainingSpaces(s.src.spaces(), s.executed)
 	if len(spaces) == 0 {
 		s.orderer = exhaustedOrderer{m.NewContext()}
-		s.next, s.drain = nil, nil
+		s.next, s.drain, s.stash = nil, nil, nil
 		s.reorders++
 		return nil
 	}
@@ -310,11 +337,15 @@ func (s *System) reorder() error {
 		return err
 	}
 	core.Instrument(o, s.cfg.Obs)
+	core.SetParallelism(o, s.cfg.Parallelism)
 	for _, p := range s.executed {
 		o.Context().Observe(p)
 	}
 	s.orderer = o
 	s.next, s.drain = nil, nil
+	// RemainingSpaces re-derives every unexecuted plan, including the ones
+	// pulled ahead by the pipeline; keeping the stash would emit them twice.
+	s.stash = nil
 	s.reorders++
 	return nil
 }
@@ -374,6 +405,8 @@ func (s *System) nextSound() sound {
 // with the current plan's execution. With Adaptive, drifted statistics
 // trigger re-ordering of the remaining plans between executions.
 func (s *System) Run(engine *execsim.Engine, budget Budget) (*Result, error) {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
 	res := &Result{Answers: execsim.NewAnswerSet(), Stopped: StopExhausted}
 	if s.cfg.Obs != nil {
 		engine.Instrument(s.cfg.Obs)
@@ -400,7 +433,7 @@ func (s *System) Run(engine *execsim.Engine, budget Budget) (*Result, error) {
 	runStart := time.Now()
 	firstAnswerAt := time.Duration(-1)
 	for {
-		if s.exhausted {
+		if s.exhausted && len(s.stash) == 0 {
 			res.Stopped = StopExhausted
 			break
 		}
@@ -466,8 +499,12 @@ func (s *System) Run(engine *execsim.Engine, budget Budget) (*Result, error) {
 
 // nextSoundFunc returns the plan supplier and a drain function that waits
 // for any in-flight ordering work (so the orderer is quiescent before the
-// caller reads its instrumentation). Without Prefetch both are trivial.
+// caller reads its instrumentation). With Parallelism > 1 the supplier is
+// the pipelined producer; without Prefetch both are trivial.
 func (s *System) nextSoundFunc() (next func() sound, drain func()) {
+	if s.cfg.Parallelism > 1 {
+		return s.pipelined()
+	}
 	if !s.cfg.Prefetch {
 		return s.nextSound, func() {}
 	}
@@ -494,6 +531,94 @@ func (s *System) nextSoundFunc() (next func() sound, drain func()) {
 			ch <- v
 			inFlight = false
 		}
+	}
+	return next, drain
+}
+
+// pipelined builds the Parallelism-mode plan supplier: a producer
+// goroutine orders and soundness-checks plans into a bounded queue while
+// the caller executes, so plan i executes while plan i+1 is ordered.
+// drain cancels the producer, waits for it to quiesce (the orderer and
+// its instrumentation are then safe to read), and parks every plan pulled
+// ahead in s.stash — the orderer has already conditioned on them, so they
+// must execute before anything newly ordered in a later Run.
+func (s *System) pipelined() (next func() sound, drain func()) {
+	if s.exhausted {
+		// The orderer is spent; serve the remaining stash without
+		// starting a producer that would poke it again.
+		next = func() sound {
+			if len(s.stash) > 0 {
+				v := s.stash[0]
+				s.stash = s.stash[1:]
+				return v
+			}
+			return sound{}
+		}
+		drain = func() { s.next, s.drain = nil, nil }
+		return next, drain
+	}
+	depth := s.cfg.PipelineDepth
+	if depth < 1 {
+		depth = 2
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan sound, depth)
+	done := make(chan struct{})
+	var leftover *sound // written by the producer before done closes
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+			sp := s.nextSound()
+			select {
+			case ch <- sp:
+				if sp.err != nil || !sp.ok {
+					return // terminal marker delivered; stop producing
+				}
+			case <-ctx.Done():
+				leftover = &sp
+				return
+			}
+		}
+	}()
+	next = func() sound {
+		if len(s.stash) > 0 {
+			v := s.stash[0]
+			s.stash = s.stash[1:]
+			return v
+		}
+		return <-ch
+	}
+	drain = func() {
+		cancel()
+		<-done
+		// Park queued plans in order; fold a clean end-of-plans marker
+		// into the latch instead of stashing it (a later Run would
+		// otherwise rebuild a producer just to rediscover exhaustion).
+		park := func(v sound) {
+			if v.err == nil && !v.ok {
+				s.exhausted = true
+				return
+			}
+			s.stash = append(s.stash, v)
+		}
+		for {
+			select {
+			case v := <-ch:
+				park(v)
+				continue
+			default:
+			}
+			break
+		}
+		if leftover != nil {
+			park(*leftover)
+		}
+		s.next, s.drain = nil, nil
 	}
 	return next, drain
 }

@@ -1,0 +1,201 @@
+// Package parallel provides the bounded worker pool underneath the
+// ordering pipeline's concurrent paths. The paper's plan-independence
+// property (Property 3) licenses evaluating candidate plans concurrently:
+// a plan's utility is a pure function of (measure, executed prefix,
+// plan), so utility evaluation and dominance testing fan out to workers
+// and merge back in a deterministic order, keeping every orderer's
+// Next() output byte-identical to its sequential path.
+//
+// Two layers:
+//
+//   - Pool: a bounded set of workers executing index-addressed batches
+//     with dynamic (work-stealing) dispatch, plus the obs gauges the
+//     observability layer exposes (workers busy, queue depth, batches,
+//     items, steals, merges);
+//   - Evaluator (evaluator.go): the measure-aware layer that forks
+//     evaluation contexts per worker, keeps them synced to the main
+//     context's executed prefix, and harvests their work counters so
+//     Evals()/IndepStats() match a sequential run exactly.
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"qporder/internal/obs"
+)
+
+// Pool is a bounded worker pool. The zero value is not usable; call New.
+// A Pool carries no goroutines between batches: Run fans out, joins, and
+// returns, so an idle pool costs nothing and has no lifecycle to manage.
+type Pool struct {
+	workers int
+
+	// Observability (nil, hence no-op, until Bind).
+	busy    *obs.Gauge   // workers currently executing batch items
+	depth   *obs.Gauge   // items not yet claimed in the current batch
+	batches *obs.Counter // Run invocations that fanned out
+	items   *obs.Counter // total items dispatched
+	steals  *obs.Counter // items claimed beyond a worker's even share
+	merges  *obs.Counter // deterministic merge steps (Best)
+}
+
+// New returns a pool with the given worker bound; n < 1 is clamped to 1
+// (a single-worker pool runs batches inline).
+func New(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	return &Pool{workers: n}
+}
+
+// Workers returns the worker bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Bind attaches the pool's gauges and counters under the given name
+// prefix: "<prefix>.workers_busy", "<prefix>.queue_depth",
+// "<prefix>.batches", "<prefix>.items", "<prefix>.steals",
+// "<prefix>.merges". A nil registry disables them (the default).
+func (p *Pool) Bind(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		p.busy, p.depth, p.batches, p.items, p.steals, p.merges = nil, nil, nil, nil, nil, nil
+		return
+	}
+	p.busy = reg.Gauge(prefix + ".workers_busy")
+	p.depth = reg.Gauge(prefix + ".queue_depth")
+	p.batches = reg.Counter(prefix + ".batches")
+	p.items = reg.Counter(prefix + ".items")
+	p.steals = reg.Counter(prefix + ".steals")
+	p.merges = reg.Counter(prefix + ".merges")
+}
+
+// Run executes fn(worker, i) for every i in [0, n), spread across at
+// most Workers() goroutines. worker identifies the executing slot in
+// [0, Workers()), so callers can hand each slot private state (a forked
+// evaluation context). Items are claimed from a shared cursor, so a fast
+// worker steals the queue tail from slow ones. Run returns when every
+// item is done; a panicking item re-panics on the caller's goroutine.
+//
+// fn must write results only to caller-owned, index-addressed slots
+// (out[i] = ...): that makes the result independent of scheduling and is
+// what keeps the parallel ordering paths deterministic.
+func (p *Pool) Run(n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	p.batches.Inc()
+	p.items.Add(int64(n))
+	p.depth.Set(float64(n))
+	share := (n + w - 1) / w // even share per worker; beyond it is a steal
+
+	var (
+		cursor   atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Pointer[recovered]
+	)
+	for wk := 0; wk < w; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, &recovered{r})
+				}
+			}()
+			p.busy.Add(1)
+			defer p.busy.Add(-1)
+			claimed := 0
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				p.depth.Set(float64(n - i - 1))
+				claimed++
+				if claimed > share {
+					p.steals.Inc()
+				}
+				fn(wk, i)
+			}
+		}(wk)
+	}
+	wg.Wait()
+	p.depth.Set(0)
+	if r := panicked.Load(); r != nil {
+		panic(r.v)
+	}
+}
+
+// recovered boxes a worker panic for re-raising on the caller.
+type recovered struct{ v interface{} }
+
+// Ranges splits [0, n) into parts contiguous half-open index ranges,
+// balanced within one element. Fewer than parts ranges are returned when
+// n < parts.
+func Ranges(n, parts int) [][2]int {
+	if parts > n {
+		parts = n
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	out := make([][2]int, 0, parts)
+	for s := 0; s < parts; s++ {
+		lo := s * n / parts
+		hi := (s + 1) * n / parts
+		if lo < hi {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}
+
+// Best returns the index i in [0, n) that is first under betterIdx, a
+// strict total order predicate (betterIdx(i, j) reports whether item i
+// strictly precedes item j). Each worker scans one shard; the shard
+// winners then merge deterministically in shard order — the same k-way
+// merge the parallel orderers use to keep output identical to a
+// sequential scan. betterIdx must be safe for concurrent calls and must
+// not observe writes made during the scan. Returns -1 when n == 0.
+func (p *Pool) Best(n int, betterIdx func(i, j int) bool) int {
+	if n <= 0 {
+		return -1
+	}
+	ranges := Ranges(n, p.workers)
+	if len(ranges) == 1 {
+		return scanBest(0, n, betterIdx)
+	}
+	bests := make([]int, len(ranges))
+	p.Run(len(ranges), func(_, s int) {
+		bests[s] = scanBest(ranges[s][0], ranges[s][1], betterIdx)
+	})
+	best := bests[0]
+	for _, b := range bests[1:] {
+		p.merges.Inc()
+		if betterIdx(b, best) {
+			best = b
+		}
+	}
+	return best
+}
+
+// scanBest is the sequential kernel of Best over [lo, hi).
+func scanBest(lo, hi int, betterIdx func(i, j int) bool) int {
+	best := lo
+	for i := lo + 1; i < hi; i++ {
+		if betterIdx(i, best) {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,182 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"qporder/internal/coverage"
+	"qporder/internal/measure"
+	"qporder/internal/obs"
+	"qporder/internal/workload"
+)
+
+func TestNewClampsWorkers(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{-3, 1}, {0, 1}, {1, 1}, {4, 4},
+	} {
+		if got := New(tc.in).Workers(); got != tc.want {
+			t.Errorf("New(%d).Workers() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRunCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		p := New(workers)
+		const n = 500
+		var hits [n]atomic.Int32
+		p.Run(n, func(w, i int) {
+			if w < 0 || w >= workers {
+				t.Errorf("workers=%d: worker id %d out of range", workers, w)
+			}
+			hits[i].Add(1)
+		})
+		for i := range hits {
+			if c := hits[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestRunZeroItemsIsNoop(t *testing.T) {
+	New(4).Run(0, func(w, i int) { t.Error("fn called for empty batch") })
+}
+
+func TestRunRepanicsWorkerPanic(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want \"boom\"", r)
+		}
+	}()
+	New(4).Run(100, func(_, i int) {
+		if i == 37 {
+			panic("boom")
+		}
+	})
+}
+
+func TestRangesPartition(t *testing.T) {
+	for _, tc := range []struct{ n, parts int }{
+		{10, 3}, {1, 4}, {7, 7}, {100, 8}, {5, 0},
+	} {
+		rs := Ranges(tc.n, tc.parts)
+		next := 0
+		for _, r := range rs {
+			if r[0] != next {
+				t.Fatalf("Ranges(%d,%d): range starts at %d, want %d", tc.n, tc.parts, r[0], next)
+			}
+			if r[1] <= r[0] {
+				t.Fatalf("Ranges(%d,%d): empty range %v", tc.n, tc.parts, r)
+			}
+			next = r[1]
+		}
+		if next != tc.n {
+			t.Fatalf("Ranges(%d,%d): covers [0,%d), want [0,%d)", tc.n, tc.parts, next, tc.n)
+		}
+		// Balanced within one element.
+		min, max := tc.n, 0
+		for _, r := range rs {
+			if sz := r[1] - r[0]; sz < min {
+				min = sz
+			} else if sz > max {
+				max = sz
+			}
+		}
+		if max > 0 && max-min > 1 {
+			t.Fatalf("Ranges(%d,%d): shard sizes spread %d..%d", tc.n, tc.parts, min, max)
+		}
+	}
+}
+
+func TestBestMatchesSequentialScan(t *testing.T) {
+	vals := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 9, 7, 9, 3, 2, 3, 8, 4, 6}
+	betterIdx := func(i, j int) bool {
+		if vals[i] != vals[j] {
+			return vals[i] > vals[j]
+		}
+		return i < j // strict total order despite duplicate values
+	}
+	want := scanBest(0, len(vals), betterIdx)
+	for _, workers := range []int{1, 2, 3, 5, 32} {
+		if got := New(workers).Best(len(vals), betterIdx); got != want {
+			t.Errorf("workers=%d: Best = %d, want %d", workers, got, want)
+		}
+	}
+	if got := New(4).Best(0, betterIdx); got != -1 {
+		t.Errorf("Best(0) = %d, want -1", got)
+	}
+}
+
+func TestPoolBindCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := New(4)
+	p.Bind(reg, "parallel.test")
+	const n = 64
+	p.Run(n, func(_, _ int) {})
+	if got := reg.Counter("parallel.test.items").Value(); got != n {
+		t.Errorf("items counter = %d, want %d", got, n)
+	}
+	if got := reg.Counter("parallel.test.batches").Value(); got != 1 {
+		t.Errorf("batches counter = %d, want 1", got)
+	}
+	if got := reg.Gauge("parallel.test.queue_depth").Value(); got != 0 {
+		t.Errorf("queue_depth gauge = %g after Run, want 0", got)
+	}
+}
+
+// TestEvaluatorMatchesSequential drives the fork/catchup/harvest cycle:
+// parallel evaluation must return the sequential intervals and leave the
+// main context's work counters at the sequential totals, across Observe
+// calls between batches.
+func TestEvaluatorMatchesSequential(t *testing.T) {
+	d := workload.Generate(workload.Config{QueryLen: 3, BucketSize: 3, Universe: 512, Zones: 3, Seed: 42})
+	plans := d.Space.Enumerate()
+	m := coverage.NewMeasure(d.Coverage)
+
+	seq := m.NewContext()
+	par := m.NewContext()
+	ev := NewEvaluator(New(4), par)
+
+	for round := 0; ; round++ {
+		want := make([]float64, len(plans))
+		for i, p := range plans {
+			want[i] = seq.Evaluate(p).Lo
+		}
+		got := ev.Eval(plans)
+		for i := range plans {
+			if got[i].Lo != want[i] {
+				t.Fatalf("round %d: plan %s utility %g, sequential %g",
+					round, plans[i].Key(), got[i].Lo, want[i])
+			}
+		}
+		if seq.Evals() != par.Evals() {
+			t.Fatalf("round %d: Evals %d, sequential %d", round, par.Evals(), seq.Evals())
+		}
+		pc, ph := par.IndepStats()
+		sc, sh := seq.IndepStats()
+		if pc != sc || ph != sh {
+			t.Fatalf("round %d: IndepStats (%d,%d), sequential (%d,%d)", round, pc, ph, sc, sh)
+		}
+		if round == 2 {
+			break
+		}
+		seq.Observe(plans[round])
+		par.Observe(plans[round])
+	}
+}
+
+func TestEvaluatorInlineBelowMinBatch(t *testing.T) {
+	d := workload.Generate(workload.Config{QueryLen: 2, BucketSize: 2, Universe: 128, Seed: 7})
+	m := coverage.NewMeasure(d.Coverage)
+	main := m.NewContext()
+	ev := NewEvaluator(New(4), main)
+	if ev.Parallel(DefaultMinBatch - 1) {
+		t.Error("Parallel reported fan-out below MinBatch")
+	}
+	ev.Map(2, func(ctx measure.Context, i int) {
+		if ctx != main {
+			t.Error("small batch did not run inline on the main context")
+		}
+	})
+}

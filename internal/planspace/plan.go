@@ -9,6 +9,7 @@ package planspace
 import (
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"qporder/internal/abstraction"
 	"qporder/internal/lav"
@@ -16,9 +17,11 @@ import (
 
 // Plan is a (possibly abstract) query plan: one node per query subgoal.
 // Plans are immutable; Nodes must not be modified after construction.
+// Key is safe to call from concurrent goroutines (the parallel ordering
+// paths share plans across workers).
 type Plan struct {
 	Nodes []*abstraction.Node
-	key   string // lazily built canonical key
+	key   atomic.Pointer[string] // lazily built canonical key
 }
 
 // New returns a plan over the given nodes.
@@ -63,9 +66,11 @@ func (p *Plan) Sources() []lav.SourceID {
 
 // Key returns a canonical string identity for the plan. Concrete plans of
 // the same sources share a key even when built from distinct node objects.
+// Racing callers may build the key twice; both build the same string, so
+// the duplicated work is benign and the published value is stable.
 func (p *Plan) Key() string {
-	if p.key != "" {
-		return p.key
+	if k := p.key.Load(); k != nil {
+		return *k
 	}
 	var b strings.Builder
 	for i, n := range p.Nodes {
@@ -85,8 +90,9 @@ func (p *Plan) Key() string {
 		}
 		b.WriteByte('}')
 	}
-	p.key = b.String()
-	return p.key
+	k := b.String()
+	p.key.Store(&k)
+	return k
 }
 
 // Refine replaces the largest abstract node (earliest position on ties)
