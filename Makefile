@@ -26,12 +26,15 @@ fmtcheck:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 
-# check is the local all-in-one gate: formatting, vet, build, and the
-# race-enabled test suite. CI splits the same work across jobs (see
-# .github/workflows/ci.yml): a fmt/vet/fuzz fast-fail gate, an
-# {ubuntu, macos} x {oldest Go, stable} build+test matrix, a dedicated
-# -race job, and a benchmark-regression job.
-check: fmtcheck vet build race
+# check is the local all-in-one gate: formatting, vet, build, the plain
+# test suite, and the race-enabled test suite. The plain run matters:
+# the allocation-regression gates (testing.AllocsPerRun in
+# internal/coverage) skip themselves under -race, so only a non-race
+# pass enforces the zero-allocs-per-Evaluate promise. CI splits the same
+# work across jobs (see .github/workflows/ci.yml): a fmt/vet/fuzz
+# fast-fail gate, an {ubuntu, macos} x {oldest Go, stable} build+test
+# matrix, a dedicated -race job, and a benchmark-regression job.
+check: fmtcheck vet build test race
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -59,6 +62,7 @@ experiments:
 fuzz:
 	$(GO) test -fuzz FuzzParseQuery -fuzztime $(FUZZTIME) ./internal/schema
 	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/domfile
+	$(GO) test -fuzz FuzzKernels -fuzztime $(FUZZTIME) ./internal/bitset
 
 clean:
 	rm -rf internal/schema/testdata internal/domfile/testdata

@@ -45,6 +45,7 @@ func main() {
 		par       = flag.Int("parallelism", 1, "orderer worker count for the par experiment and the parallel metrics records (1 = sequential only)")
 		compare   = flag.String("compare", "", "baseline metrics JSON to regression-check sequential ns/plan against (exit 1 on regression)")
 		regThresh = flag.Float64("regress-threshold", 0.20, "allowed ns/plan worsening vs -compare baseline (0.20 = 20%)")
+		reps      = flag.Int("reps", 3, "timing repetitions per metrics cell (best-of-N; sub-second cells only)")
 	)
 	flag.Parse()
 
@@ -206,7 +207,7 @@ func main() {
 	}
 
 	if *metrics != "" || *compare != "" {
-		rep := buildMetrics(dc, sizes, base, reg, *par)
+		rep := buildMetrics(dc, sizes, base, reg, *par, *reps)
 		if *metrics != "" {
 			if err := writeReport(*metrics, rep); err != nil {
 				fmt.Fprintln(os.Stderr, "qpbench: metrics:", err)
@@ -228,17 +229,19 @@ func main() {
 // iDrips, and Streamer (k=10) plus linear cost with Greedy (k=20) at each
 // bucket size — and assembles the MetricsReport document. With par > 1
 // each cell also runs with that worker count, so the report carries
-// sequential-vs-parallel pairs (tagged by the parallelism field).
-func buildMetrics(dc experiment.DomainCache, sizes []int, base workload.Config, reg *obs.Registry, par int) experiment.MetricsReport {
+// sequential-vs-parallel pairs (tagged by the parallelism field). Cells
+// are timed best-of-reps (sub-second cells only) so the micro cells
+// aren't at the mercy of one scheduler hiccup.
+func buildMetrics(dc experiment.DomainCache, sizes []int, base workload.Config, reg *obs.Registry, par, reps int) experiment.MetricsReport {
 	var recs []experiment.MetricRecord
 	for _, m := range sizes {
 		cfg := base
 		cfg.BucketSize = m
 		cells := []experiment.Cell{
-			{Algo: experiment.AlgoPI, Measure: experiment.MeasureCoverage, K: 10, Config: cfg},
-			{Algo: experiment.AlgoIDrips, Measure: experiment.MeasureCoverage, K: 10, Config: cfg},
-			{Algo: experiment.AlgoStreamer, Measure: experiment.MeasureCoverage, K: 10, Config: cfg},
-			{Algo: experiment.AlgoGreedy, Measure: experiment.MeasureLinear, K: 20, Config: cfg},
+			{Algo: experiment.AlgoPI, Measure: experiment.MeasureCoverage, K: 10, Config: cfg, Reps: reps},
+			{Algo: experiment.AlgoIDrips, Measure: experiment.MeasureCoverage, K: 10, Config: cfg, Reps: reps},
+			{Algo: experiment.AlgoStreamer, Measure: experiment.MeasureCoverage, K: 10, Config: cfg, Reps: reps},
+			{Algo: experiment.AlgoGreedy, Measure: experiment.MeasureLinear, K: 20, Config: cfg, Reps: reps},
 		}
 		if par > 1 {
 			for _, c := range cells[:len(cells):len(cells)] {
@@ -286,8 +289,9 @@ func checkRegressions(cur experiment.MetricsReport, baselinePath string, thresho
 		return false
 	}
 	regs := experiment.CompareReports(cur, base, threshold)
-	if len(regs) == 0 {
-		fmt.Printf("compare: no sequential ns/plan regression vs %s (threshold %.0f%%)\n",
+	aregs := experiment.CompareAllocs(cur, base, threshold)
+	if len(regs) == 0 && len(aregs) == 0 {
+		fmt.Printf("compare: no sequential ns/plan or allocs/eval regression vs %s (threshold %.0f%%)\n",
 			baselinePath, 100*threshold)
 		return true
 	}
@@ -296,6 +300,12 @@ func checkRegressions(cur experiment.MetricsReport, baselinePath string, thresho
 			"qpbench: REGRESSION %s/%s bucket=%d k=%d: %d ns/plan vs baseline %d (%.2fx > %.2fx)\n",
 			r.Record.Algorithm, r.Record.Measure, r.Record.BucketSize, r.Record.K,
 			r.Record.NsPerPlan, r.Baseline, r.Ratio, 1+threshold)
+	}
+	for _, r := range aregs {
+		fmt.Fprintf(os.Stderr,
+			"qpbench: ALLOC REGRESSION %s/%s bucket=%d k=%d: %.2f allocs/eval vs baseline %.2f (%.2fx > %.2fx)\n",
+			r.Record.Algorithm, r.Record.Measure, r.Record.BucketSize, r.Record.K,
+			r.Record.MallocsPerEval, r.Baseline, r.Ratio, 1+threshold)
 	}
 	return false
 }

@@ -11,7 +11,9 @@ package abstraction
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"qporder/internal/lav"
 )
@@ -26,6 +28,8 @@ type Node struct {
 	Sources []lav.SourceID
 	// Children are the refinement of this node (nil for leaves).
 	Children []*Node
+
+	key atomic.Pointer[string] // lazily built canonical key
 }
 
 // IsLeaf reports whether the node is a single concrete source.
@@ -44,6 +48,31 @@ func (n *Node) Source() lav.SourceID {
 
 // Min returns the smallest member ID (used for deterministic tie-breaks).
 func (n *Node) Min() lav.SourceID { return n.Sources[0] }
+
+// Key returns a canonical content key for the node's member set: "7" for
+// the leaf V7, "1,5,9" for a group over sources {1,5,9}. Two nodes with
+// the same members share a key even when they are distinct objects —
+// iDrips re-abstracts its spaces on every Next, so shared caches keyed by
+// pointer identity would never hit across Nexts. Everything memoized
+// under a key (answer sets, source statistics) is a function of the
+// member set alone, so the bucket index is deliberately excluded. The key
+// is built once and cached; concurrent callers may race to build it, but
+// they build identical strings, so last-write-wins is benign.
+func (n *Node) Key() string {
+	if k := n.key.Load(); k != nil {
+		return *k
+	}
+	var b strings.Builder
+	for i, s := range n.Sources {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(int(s)))
+	}
+	k := b.String()
+	n.key.Store(&k)
+	return k
+}
 
 // String renders a leaf as "V7" and a group as "{V3 V7 V9}".
 func (n *Node) String() string {

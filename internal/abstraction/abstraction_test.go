@@ -172,3 +172,26 @@ func TestEmptyBucketPanics(t *testing.T) {
 	}()
 	Build([][]lav.SourceID{{}}, ByID())
 }
+
+func TestNodeKey(t *testing.T) {
+	leaf := &Node{Bucket: 2, Sources: []lav.SourceID{7}}
+	if got := leaf.Key(); got != "7" {
+		t.Errorf("leaf key = %q, want 7", got)
+	}
+	g := &Node{Bucket: 0, Sources: []lav.SourceID{1, 5, 9},
+		Children: []*Node{{}, {}}}
+	if got := g.Key(); got != "1,5,9" {
+		t.Errorf("group key = %q, want 1,5,9", got)
+	}
+	// The key is content-addressed: a distinct object with the same
+	// members (even in another bucket) shares it.
+	g2 := &Node{Bucket: 3, Sources: []lav.SourceID{1, 5, 9},
+		Children: []*Node{{}, {}}}
+	if g.Key() != g2.Key() {
+		t.Error("equal member sets produced different keys")
+	}
+	// Cached: repeated calls return the same value.
+	if g.Key() != "1,5,9" {
+		t.Error("cached key changed")
+	}
+}

@@ -240,6 +240,142 @@ func (s *Set) Elems() []int {
 	return out
 }
 
+// kernelWords validates that every operand (and excl, when non-nil) has
+// the capacity of sets[0] and returns sets[0]'s backing words. All fused
+// kernels funnel through it so capacity mismatches panic exactly like the
+// pairwise operations.
+func kernelWords(sets []*Set, excl *Set) []uint64 {
+	if len(sets) == 0 {
+		panic("bitset: fused kernel over zero sets")
+	}
+	first := sets[0]
+	for _, s := range sets[1:] {
+		first.sameCap(s)
+	}
+	if excl != nil {
+		first.sameCap(excl)
+	}
+	return first.words
+}
+
+// IntersectCountAndNot returns |(∩ sets) \ excl| in a single
+// word-streaming pass with zero allocations. excl may be nil, in which
+// case the plain intersection cardinality is returned. It fuses the
+// Copy + IntersectWith + DifferenceCount chain used by the coverage hot
+// path into one traversal of the operands. The common arities (1-3 sets,
+// matching typical query lengths) are unrolled.
+func IntersectCountAndNot(sets []*Set, excl *Set) int {
+	a := kernelWords(sets, excl)
+	c := 0
+	switch len(sets) {
+	case 1:
+		if excl == nil {
+			for _, w := range a {
+				c += bits.OnesCount64(w)
+			}
+			return c
+		}
+		e := excl.words[:len(a)]
+		for i, w := range a {
+			c += bits.OnesCount64(w &^ e[i])
+		}
+	case 2:
+		b := sets[1].words[:len(a)]
+		if excl == nil {
+			for i, w := range a {
+				c += bits.OnesCount64(w & b[i])
+			}
+			return c
+		}
+		e := excl.words[:len(a)]
+		for i, w := range a {
+			c += bits.OnesCount64(w & b[i] &^ e[i])
+		}
+	case 3:
+		b := sets[1].words[:len(a)]
+		d := sets[2].words[:len(a)]
+		if excl == nil {
+			for i, w := range a {
+				c += bits.OnesCount64(w & b[i] & d[i])
+			}
+			return c
+		}
+		e := excl.words[:len(a)]
+		for i, w := range a {
+			c += bits.OnesCount64(w & b[i] & d[i] &^ e[i])
+		}
+	default:
+		for i, w := range a {
+			for _, s := range sets[1:] {
+				w &= s.words[i]
+			}
+			if excl != nil {
+				w &^= excl.words[i]
+			}
+			c += bits.OnesCount64(w)
+		}
+	}
+	return c
+}
+
+// IntersectInto sets dst = ∩ sets in a single pass. dst must have the
+// operands' capacity and may alias one of them.
+func IntersectInto(dst *Set, sets []*Set) {
+	a := kernelWords(sets, dst)
+	dw := dst.words
+	switch len(sets) {
+	case 1:
+		copy(dw, a)
+	case 2:
+		b := sets[1].words[:len(a)]
+		for i, w := range a {
+			dw[i] = w & b[i]
+		}
+	case 3:
+		b := sets[1].words[:len(a)]
+		d := sets[2].words[:len(a)]
+		for i, w := range a {
+			dw[i] = w & b[i] & d[i]
+		}
+	default:
+		for i, w := range a {
+			for _, s := range sets[1:] {
+				w &= s.words[i]
+			}
+			dw[i] = w
+		}
+	}
+}
+
+// UnionInto sets dst = ∪ sets in a single pass. dst must have the
+// operands' capacity and may alias one of them.
+func UnionInto(dst *Set, sets []*Set) {
+	a := kernelWords(sets, dst)
+	dw := dst.words
+	switch len(sets) {
+	case 1:
+		copy(dw, a)
+	case 2:
+		b := sets[1].words[:len(a)]
+		for i, w := range a {
+			dw[i] = w | b[i]
+		}
+	case 3:
+		b := sets[1].words[:len(a)]
+		d := sets[2].words[:len(a)]
+		for i, w := range a {
+			dw[i] = w | b[i] | d[i]
+		}
+	default:
+		for i, w := range a {
+			for _, s := range sets[1:] {
+				w |= s.words[i]
+			}
+			dw[i] = w
+		}
+	}
+}
+
 // String renders the set as "{1, 5, 9}".
 func (s *Set) String() string {
 	var b strings.Builder

@@ -1,0 +1,147 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveIntersectCountAndNot is the multi-pass composition the fused
+// kernels replace: clone, pairwise intersect, difference-count.
+func naiveIntersectCountAndNot(sets []*Set, excl *Set) int {
+	acc := sets[0].Clone()
+	for _, s := range sets[1:] {
+		acc.IntersectWith(s)
+	}
+	if excl == nil {
+		return acc.Count()
+	}
+	return acc.DifferenceCount(excl)
+}
+
+func naiveIntersect(sets []*Set) *Set {
+	acc := sets[0].Clone()
+	for _, s := range sets[1:] {
+		acc.IntersectWith(s)
+	}
+	return acc
+}
+
+func naiveUnion(sets []*Set) *Set {
+	acc := sets[0].Clone()
+	for _, s := range sets[1:] {
+		acc.UnionWith(s)
+	}
+	return acc
+}
+
+// TestKernelsMatchNaive cross-checks every fused kernel against its
+// naive composition over all arities the switch statements special-case
+// (1, 2, 3) plus a generic arity, with and without an exclusion set.
+func TestKernelsMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 63, 64, 65, 130, 4096} {
+		for arity := 1; arity <= 5; arity++ {
+			sets := make([]*Set, arity)
+			for i := range sets {
+				sets[i] = randomSet(rng, n)
+			}
+			excl := randomSet(rng, n)
+			for _, e := range []*Set{nil, excl} {
+				got := IntersectCountAndNot(sets, e)
+				want := naiveIntersectCountAndNot(sets, e)
+				if got != want {
+					t.Errorf("n=%d arity=%d excl=%v: IntersectCountAndNot = %d, want %d",
+						n, arity, e != nil, got, want)
+				}
+			}
+			dst := New(n)
+			IntersectInto(dst, sets)
+			if want := naiveIntersect(sets); !dst.Equal(want) {
+				t.Errorf("n=%d arity=%d: IntersectInto mismatch", n, arity)
+			}
+			UnionInto(dst, sets)
+			if want := naiveUnion(sets); !dst.Equal(want) {
+				t.Errorf("n=%d arity=%d: UnionInto mismatch", n, arity)
+			}
+		}
+	}
+}
+
+// TestKernelsAliasDst verifies dst may alias an operand.
+func TestKernelsAliasDst(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a, b, c := randomSet(rng, 200), randomSet(rng, 200), randomSet(rng, 200)
+	wantI := naiveIntersect([]*Set{a, b, c})
+	wantU := naiveUnion([]*Set{a, b, c})
+	ai := a.Clone()
+	IntersectInto(ai, []*Set{ai, b, c})
+	if !ai.Equal(wantI) {
+		t.Error("IntersectInto with aliased dst mismatch")
+	}
+	au := a.Clone()
+	UnionInto(au, []*Set{au, b, c})
+	if !au.Equal(wantU) {
+		t.Error("UnionInto with aliased dst mismatch")
+	}
+}
+
+func TestKernelQuickProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	prop := func(seed int64, arity8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		arity := 1 + int(arity8%6)
+		n := 1 + rng.Intn(300)
+		sets := make([]*Set, arity)
+		for i := range sets {
+			sets[i] = randomSet(rng, n)
+		}
+		excl := randomSet(rng, n)
+		return IntersectCountAndNot(sets, excl) == naiveIntersectCountAndNot(sets, excl) &&
+			IntersectCountAndNot(sets, nil) == naiveIntersectCountAndNot(sets, nil)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKernelPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty":    func() { IntersectCountAndNot(nil, nil) },
+		"capset":   func() { IntersectCountAndNot([]*Set{New(10), New(11)}, nil) },
+		"capexcl":  func() { IntersectCountAndNot([]*Set{New(10)}, New(11)) },
+		"capdst":   func() { IntersectInto(New(11), []*Set{New(10)}) },
+		"uniondst": func() { UnionInto(New(11), []*Set{New(10)}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkIntersectCountAndNot(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	sets := []*Set{randomSet(rng, 4096), randomSet(rng, 4096), randomSet(rng, 4096)}
+	excl := randomSet(rng, 4096)
+	b.Run("fused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			IntersectCountAndNot(sets, excl)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		scratch := New(4096)
+		for i := 0; i < b.N; i++ {
+			scratch.Copy(sets[0])
+			scratch.IntersectWith(sets[1])
+			scratch.IntersectWith(sets[2])
+			_ = scratch.DifferenceCount(excl)
+		}
+	})
+}

@@ -7,10 +7,13 @@ import (
 	"qporder/internal/planspace"
 )
 
-// dripsCand is one candidate plan in a Drips run.
+// dripsCand is one candidate plan in a Drips run. Concreteness is
+// cached at construction: the refinement loop re-checks every frontier
+// candidate each iteration, and Plan.Concrete walks all nodes per call.
 type dripsCand struct {
-	p *planspace.Plan
-	u interval.Interval
+	p    *planspace.Plan
+	u    interval.Interval
+	conc bool
 }
 
 // parDomThreshold is the candidate-frontier size from which the
@@ -40,7 +43,7 @@ func dripsBest(ctx measure.Context, roots []*planspace.Plan, c counters,
 	ev *parallel.Evaluator) (*planspace.Plan, float64) {
 	cands := make([]*dripsCand, 0, len(roots))
 	for i, u := range evalAll(ctx, ev, roots) {
-		cands = append(cands, &dripsCand{p: roots[i], u: u})
+		cands = append(cands, &dripsCand{p: roots[i], u: u, conc: roots[i].Concrete()})
 	}
 	for {
 		cands = pruneDominated(cands, c, ev)
@@ -48,7 +51,7 @@ func dripsBest(ctx measure.Context, roots []*planspace.Plan, c counters,
 		// candidates left (ties).
 		allConcrete := true
 		for _, c := range cands {
-			if !c.p.Concrete() {
+			if !c.conc {
 				allConcrete = false
 				break
 			}
@@ -56,7 +59,7 @@ func dripsBest(ctx measure.Context, roots []*planspace.Plan, c counters,
 		if allConcrete {
 			best := cands[0]
 			for _, c := range cands[1:] {
-				if better(c.u.Lo, c.p.Key(), best.u.Lo, best.p.Key()) {
+				if betterPlan(c.u.Lo, c.p, best.u.Lo, best.p) {
 					best = c
 				}
 			}
@@ -65,7 +68,7 @@ func dripsBest(ctx measure.Context, roots []*planspace.Plan, c counters,
 		// Refine the most promising abstract candidate.
 		ri := -1
 		for i, c := range cands {
-			if c.p.Concrete() {
+			if c.conc {
 				continue
 			}
 			if ri < 0 || refineBefore(c, cands[ri]) {
@@ -77,7 +80,7 @@ func dripsBest(ctx measure.Context, roots []*planspace.Plan, c counters,
 		c.refines.Inc()
 		children := target.p.Refine()
 		for i, u := range evalAll(ctx, ev, children) {
-			cands = append(cands, &dripsCand{p: children[i], u: u})
+			cands = append(cands, &dripsCand{p: children[i], u: u, conc: children[i].Concrete()})
 		}
 	}
 }
@@ -111,7 +114,7 @@ func pruneDominated(cands []*dripsCand, cnt counters, ev *parallel.Evaluator) []
 		}
 	}
 	if ev != nil && len(cands) >= parDomThreshold && ev.Parallel(len(cands)) {
-		keyW := w.p.Key() // pre-built once, shared read-only by workers
+		w.p.Key() // pre-built once so workers only take the cached read
 		keep := make([]bool, len(cands))
 		ev.Pool().Run(len(cands), func(_, i int) {
 			c := cands[i]
@@ -120,7 +123,7 @@ func pruneDominated(cands []*dripsCand, cnt counters, ev *parallel.Evaluator) []
 				return
 			}
 			cnt.domTests.Inc()
-			keep[i] = !dominates(w.u, c.u, keyW, c.p.Key())
+			keep[i] = !dominatesPlan(w.u, c.u, w.p, c.p)
 		})
 		out := cands[:0]
 		for i, c := range cands {
@@ -135,7 +138,7 @@ func pruneDominated(cands []*dripsCand, cnt counters, ev *parallel.Evaluator) []
 		if c != w {
 			cnt.domTests.Inc()
 		}
-		if c == w || !dominates(w.u, c.u, w.p.Key(), c.p.Key()) {
+		if c == w || !dominatesPlan(w.u, c.u, w.p, c.p) {
 			out = append(out, c)
 		}
 	}

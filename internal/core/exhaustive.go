@@ -58,14 +58,14 @@ func (e *Exhaustive) Next() (*planspace.Plan, float64, bool) {
 			utils[i] = ctx.Evaluate(e.remain[i]).Lo // concrete: point
 		})
 		bestIdx = ev.Pool().Best(len(e.remain), func(i, j int) bool {
-			return better(utils[i], e.remain[i].Key(), utils[j], e.remain[j].Key())
+			return betterPlan(utils[i], e.remain[i], utils[j], e.remain[j])
 		})
 		bestU = utils[bestIdx]
 	} else {
 		bestIdx = -1
 		for i, p := range e.remain {
 			u := e.ctx.Evaluate(p).Lo // concrete: point
-			if bestIdx < 0 || better(u, p.Key(), bestU, e.remain[bestIdx].Key()) {
+			if bestIdx < 0 || betterPlan(u, p, bestU, e.remain[bestIdx]) {
 				bestIdx, bestU = i, u
 			}
 		}

@@ -40,7 +40,7 @@ type spaceHeap []*spaceEntry
 
 func (h spaceHeap) Len() int { return len(h) }
 func (h spaceHeap) Less(i, j int) bool {
-	return better(h[i].util, h[i].best.Key(), h[j].util, h[j].best.Key())
+	return betterPlan(h[i].util, h[i].best, h[j].util, h[j].best)
 }
 func (h spaceHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *spaceHeap) Push(x interface{}) { *h = append(*h, x.(*spaceEntry)) }

@@ -60,6 +60,18 @@ func better(ua float64, keyA string, ub float64, keyB string) bool {
 	return keyA < keyB
 }
 
+// betterPlan is better with the plan keys taken lazily: utilities are
+// compared first and the keys — whose first build materializes a string —
+// are only touched on an exact tie. Selection loops compare every
+// candidate pair, so eagerly passing p.Key() to better would build keys
+// for the whole candidate set even when no tie ever happens.
+func betterPlan(ua float64, pa *planspace.Plan, ub float64, pb *planspace.Plan) bool {
+	if ua != ub {
+		return ua > ub
+	}
+	return pa.Key() < pb.Key()
+}
+
 // dominates implements the Drips dominance test with the tie-break that
 // keeps the relation acyclic: p dominates q when Lo(p) >= Hi(q), except
 // that identical point intervals defer to key order (DESIGN.md §3).
@@ -70,6 +82,22 @@ func dominates(up, uq interval.Interval, keyP, keyQ string) bool {
 	if up.Lo == uq.Hi {
 		if uq.Lo == up.Hi { // identical point intervals
 			return keyP < keyQ
+		}
+		return true
+	}
+	return false
+}
+
+// dominatesPlan is dominates with the plan keys taken lazily, for the
+// same reason as betterPlan: the keys only matter for identical point
+// intervals, which are rare in a dominance sweep.
+func dominatesPlan(up, uq interval.Interval, p, q *planspace.Plan) bool {
+	if up.Lo > uq.Hi {
+		return true
+	}
+	if up.Lo == uq.Hi {
+		if uq.Lo == up.Hi { // identical point intervals
+			return p.Key() < q.Key()
 		}
 		return true
 	}

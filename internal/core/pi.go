@@ -120,7 +120,7 @@ func (pi *PI) selectBest(ev *parallel.Evaluator) int {
 		if !ai {
 			return i < j
 		}
-		return better(pi.utils[i], pi.plans[i].Key(), pi.utils[j], pi.plans[j].Key())
+		return betterPlan(pi.utils[i], pi.plans[i], pi.utils[j], pi.plans[j])
 	}
 	if ev != nil && ev.Parallel(len(pi.plans)) {
 		return ev.Pool().Best(len(pi.plans), cmp)
@@ -130,7 +130,7 @@ func (pi *PI) selectBest(ev *parallel.Evaluator) int {
 		if !a {
 			continue
 		}
-		if bestIdx < 0 || better(pi.utils[i], pi.plans[i].Key(), pi.utils[bestIdx], pi.plans[bestIdx].Key()) {
+		if bestIdx < 0 || betterPlan(pi.utils[i], pi.plans[i], pi.utils[bestIdx], pi.plans[bestIdx]) {
 			bestIdx = i
 		}
 	}

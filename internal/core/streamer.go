@@ -69,7 +69,7 @@ func (h *planHeap) Swap(i, j int) { h.es[i], h.es[j] = h.es[j], h.es[i] }
 func (h *planHeap) Less(i, j int) bool {
 	a, b := h.es[i], h.es[j]
 	if h.byLo {
-		return better(a.u.Lo, a.p.Key(), b.u.Lo, b.p.Key())
+		return betterPlan(a.u.Lo, a.p, b.u.Lo, b.p)
 	}
 	if a.u.Hi != b.u.Hi {
 		return a.u.Hi > b.u.Hi
@@ -184,7 +184,7 @@ func (s *Streamer) rebuild() {
 	var uw interval.Interval
 	for _, p := range nd {
 		u, _ := s.g.Utility(p)
-		if w == nil || better(u.Lo, p.Key(), uw.Lo, w.Key()) {
+		if w == nil || betterPlan(u.Lo, p, uw.Lo, w) {
 			w, uw = p, u
 		}
 	}
@@ -195,7 +195,7 @@ func (s *Streamer) rebuild() {
 		}
 		u, _ := s.g.Utility(p)
 		s.c.domTests.Inc()
-		if dominates(uw, u, w.Key(), p.Key()) {
+		if dominatesPlan(uw, u, w, p) {
 			if !s.g.HasLink(w, p) {
 				s.g.AddLink(w, p)
 			}
@@ -260,7 +260,7 @@ func (s *Streamer) Next() (*planspace.Plan, float64, bool) {
 		if t != w {
 			s.c.domTests.Inc()
 		}
-		if t != w && dominates(uw, ut, w.Key(), t.Key()) {
+		if t != w && dominatesPlan(uw, ut, w, t) {
 			heap.Pop(&s.hi)
 			if !s.g.HasLink(w, t) {
 				s.g.AddLink(w, t)
@@ -288,7 +288,7 @@ func (s *Streamer) Next() (*planspace.Plan, float64, bool) {
 		// abstract plan remains (any such plan would have Hi > Lo(t) =
 		// Hi(t), contradicting t's maximality). Step 2.d: output.
 		d, ud := t, ut
-		if better(uw.Lo, w.Key(), ut.Lo, t.Key()) {
+		if betterPlan(uw.Lo, w, ut.Lo, t) {
 			d, ud = w, uw
 		}
 		s.g.Remove(d)

@@ -22,16 +22,19 @@ import (
 // utilities can increase as plans execute, so diminishing returns fails
 // and Streamer must not be used.
 type ChainCost struct {
-	cat *lav.Catalog
-	prm Params
+	cat  *lav.Catalog
+	prm  Params
+	aggs *aggCache // shared per-node aggregate snapshot; nil disables
 }
 
-// NewChainCost returns the measure; Params.N must be positive.
+// NewChainCost returns the measure; Params.N must be positive. Contexts
+// share a measure-owned snapshot of per-node cost aggregates (see
+// snapshot.go).
 func NewChainCost(cat *lav.Catalog, prm Params) *ChainCost {
 	if prm.N <= 0 {
 		panic(fmt.Sprintf("costmodel: Params.N = %g, want > 0", prm.N))
 	}
-	return &ChainCost{cat: cat, prm: prm}
+	return &ChainCost{cat: cat, prm: prm, aggs: newAggCache(cat, prm, false)}
 }
 
 // Name implements measure.Measure.
@@ -65,13 +68,14 @@ func (m *ChainCost) NewContext() measure.Context {
 	if m.prm.Caching {
 		cache = make(opCache)
 	}
-	return &chainCtx{m: m, cached: cache}
+	return &chainCtx{m: m, cached: cache, aggs: newAggFront(m.aggs)}
 }
 
 type chainCtx struct {
 	measure.Base
 	m      *ChainCost
-	cached opCache // nil when caching is off
+	cached opCache   // nil when caching is off
+	aggs   *aggFront // nil selects the unhoisted legacy path
 }
 
 func (c *chainCtx) Measure() measure.Measure { return c.m }
@@ -79,7 +83,7 @@ func (c *chainCtx) Measure() measure.Measure { return c.m }
 // Evaluate implements measure.Context.
 func (c *chainCtx) Evaluate(p *planspace.Plan) interval.Interval {
 	c.CountEval()
-	cost, _ := chainCost(c.m.cat, p, c.m.prm, c.cached, false)
+	cost, _ := chainCost(c.m.cat, p, c.m.prm, c.cached, false, c.aggs)
 	return cost.Neg()
 }
 

@@ -116,11 +116,46 @@ func effectiveOverhead(st lav.Stats, failure bool) float64 {
 // and, for the monetary measure, the final output-tuple interval.
 // cached may be nil (no caching). useFees selects monetary coefficients
 // (AccessFee/TupleFee) instead of time coefficients (Overhead/TransmitCost).
+// With a non-nil aggs front the loop-invariant per-node aggregates come
+// from the shared snapshot; the arithmetic is operation-for-operation the
+// same as the unhoisted path, so results are bit-identical either way.
 func chainCost(cat *lav.Catalog, p *planspace.Plan, prm Params, cached opCache,
-	useFees bool) (cost, outLast interval.Interval) {
+	useFees bool, aggs *aggFront) (cost, outLast interval.Interval) {
 	prevOut := interval.Point(0) // output of the previous position
 	total := interval.Point(0)
 	for k, node := range p.Nodes {
+		if aggs != nil {
+			ag := aggs.of(node)
+			var outIv interval.Interval
+			if k == 0 {
+				outIv = interval.New(ag.minN, ag.maxN)
+			} else {
+				outIv = interval.New(ag.minN, ag.maxN).Mul(prevOut).Scale(1 / prm.N)
+			}
+			var costIv interval.Interval
+			for i, m := range node.Sources {
+				var cm interval.Interval
+				if cached != nil && cached[opKey{k, m}] {
+					cm = interval.Point(0)
+				} else {
+					var outM interval.Interval
+					if k == 0 {
+						outM = interval.Point(ag.tuples[i])
+					} else {
+						outM = prevOut.Scale(ag.tN[i])
+					}
+					cm = outM.Scale(ag.coef[i]).Add(interval.Point(ag.base[i]))
+				}
+				if i == 0 {
+					costIv = cm
+				} else {
+					costIv = costIv.Hull(cm)
+				}
+			}
+			total = total.Add(costIv)
+			prevOut = outIv
+			continue
+		}
 		// Output-size interval of this position over all members.
 		minN, maxN := nRange(cat, node)
 		var outIv interval.Interval

@@ -16,10 +16,26 @@ import (
 // measure trivially satisfies diminishing returns as well.
 type LinearCost struct {
 	cat *lav.Catalog
+	// terms precomputes h + α·n for every source registered at
+	// construction time; later registrations fall back to on-the-fly
+	// computation of the identical expression. A node's hull is then a
+	// min/max scan over a flat float slice — a few nanoseconds per
+	// member, which is why no per-node memo exists here: building a
+	// content key to look the hull up would cost more than the scan.
+	terms []float64
 }
 
-// NewLinearCost returns the measure over the given catalog.
-func NewLinearCost(cat *lav.Catalog) *LinearCost { return &LinearCost{cat: cat} }
+// NewLinearCost returns the measure over the given catalog with the
+// per-source terms hoisted into a measure-owned table shared by every
+// context.
+func NewLinearCost(cat *lav.Catalog) *LinearCost {
+	m := &LinearCost{cat: cat, terms: make([]float64, cat.Len())}
+	for id := range m.terms {
+		st := cat.Source(lav.SourceID(id)).Stats
+		m.terms[id] = st.Overhead + st.TransmitCost*st.Tuples
+	}
+	return m
+}
 
 // Name implements measure.Measure.
 func (m *LinearCost) Name() string { return "linear-cost" }
@@ -32,6 +48,9 @@ func (m *LinearCost) DiminishingReturns() bool { return true }
 
 // term is one source's cost contribution h + α·n.
 func (m *LinearCost) term(id lav.SourceID) float64 {
+	if int(id) >= 0 && int(id) < len(m.terms) {
+		return m.terms[id]
+	}
 	st := m.cat.Source(id).Stats
 	return st.Overhead + st.TransmitCost*st.Tuples
 }
@@ -42,7 +61,9 @@ func (m *LinearCost) BucketOrder(_ int, sources []lav.SourceID) ([]lav.SourceID,
 }
 
 // NewContext implements measure.Measure.
-func (m *LinearCost) NewContext() measure.Context { return &linearCtx{m: m} }
+func (m *LinearCost) NewContext() measure.Context {
+	return &linearCtx{m: m}
+}
 
 type linearCtx struct {
 	measure.Base

@@ -21,8 +21,9 @@ import (
 // heuristic and utility, which is what makes abstraction ineffective in
 // panels (j)-(l) of Figure 6.
 type MonetaryPerTuple struct {
-	cat *lav.Catalog
-	prm Params
+	cat  *lav.Catalog
+	prm  Params
+	aggs *aggCache // shared per-node aggregate snapshot; nil disables
 }
 
 // NewMonetaryPerTuple returns the measure; Params.N must be positive.
@@ -33,7 +34,7 @@ func NewMonetaryPerTuple(cat *lav.Catalog, prm Params) *MonetaryPerTuple {
 		panic(fmt.Sprintf("costmodel: Params.N = %g, want > 0", prm.N))
 	}
 	prm.Failure = false
-	return &MonetaryPerTuple{cat: cat, prm: prm}
+	return &MonetaryPerTuple{cat: cat, prm: prm, aggs: newAggCache(cat, prm, true)}
 }
 
 // Name implements measure.Measure.
@@ -62,13 +63,14 @@ func (m *MonetaryPerTuple) NewContext() measure.Context {
 	if m.prm.Caching {
 		cache = make(opCache)
 	}
-	return &monetaryCtx{m: m, cached: cache}
+	return &monetaryCtx{m: m, cached: cache, aggs: newAggFront(m.aggs)}
 }
 
 type monetaryCtx struct {
 	measure.Base
 	m      *MonetaryPerTuple
 	cached opCache
+	aggs   *aggFront // nil selects the unhoisted legacy path
 }
 
 func (c *monetaryCtx) Measure() measure.Measure { return c.m }
@@ -76,7 +78,7 @@ func (c *monetaryCtx) Measure() measure.Measure { return c.m }
 // Evaluate implements measure.Context.
 func (c *monetaryCtx) Evaluate(p *planspace.Plan) interval.Interval {
 	c.CountEval()
-	cost, out := chainCost(c.m.cat, p, c.m.prm, c.cached, true)
+	cost, out := chainCost(c.m.cat, p, c.m.prm, c.cached, true, c.aggs)
 	// out is strictly positive: Tuples >= 1 everywhere and N is finite.
 	return cost.Div(out).Neg()
 }

@@ -1,0 +1,142 @@
+package costmodel
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"qporder/internal/abstraction"
+	"qporder/internal/lav"
+	"qporder/internal/measure"
+	"qporder/internal/planspace"
+)
+
+// testCatalog builds a random catalog with nBuckets buckets of width
+// sources and returns the bucket layout.
+func testCatalog(seed int64, nBuckets, width int) (*lav.Catalog, [][]lav.SourceID) {
+	rng := rand.New(rand.NewSource(seed))
+	cat := lav.NewCatalog()
+	buckets := make([][]lav.SourceID, nBuckets)
+	for b := range buckets {
+		for j := 0; j < width; j++ {
+			st := lav.Stats{
+				Tuples:       1 + rng.Float64()*999,
+				Overhead:     rng.Float64() * 5,
+				TransmitCost: rng.Float64() * 0.01,
+				FailureProb:  rng.Float64() * 0.5,
+				AccessFee:    rng.Float64() * 2,
+				TupleFee:     rng.Float64() * 0.05,
+			}
+			src := cat.MustAdd(fmt.Sprintf("S%d_%d", b, j), nil, st)
+			buckets[b] = append(buckets[b], src.ID)
+		}
+	}
+	return cat, buckets
+}
+
+// TestHoistedChainMatchesLegacy drives hoisted and legacy contexts of
+// every chain-family configuration through an identical schedule and
+// requires bit-identical intervals — the hoisted aggregates must feed the
+// exact same float operations the unhoisted loop performs.
+func TestHoistedChainMatchesLegacy(t *testing.T) {
+	for _, cfg := range []struct {
+		name             string
+		failure, caching bool
+		monetary         bool
+	}{
+		{"chain", false, false, false},
+		{"chain+failure", true, false, false},
+		{"chain+caching", false, true, false},
+		{"chain+failure+caching", true, true, false},
+		{"monetary", false, false, true},
+		{"monetary+caching", false, true, true},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			for seed := int64(0); seed < 10; seed++ {
+				cat, buckets := testCatalog(seed, 3, 6)
+				space := planspace.NewSpace(buckets)
+				prm := Params{N: 5000, Failure: cfg.failure, Caching: cfg.caching}
+
+				var hoisted, legacy measure.Context
+				if cfg.monetary {
+					hoisted = NewMonetaryPerTuple(cat, prm).NewContext()
+					lm := &MonetaryPerTuple{cat: cat, prm: prm}
+					lm.prm.Failure = false
+					legacy = lm.NewContext()
+				} else {
+					hoisted = NewChainCost(cat, prm).NewContext()
+					legacy = (&ChainCost{cat: cat, prm: prm}).NewContext()
+				}
+
+				rng := rand.New(rand.NewSource(seed ^ 0xd1ff))
+				all := space.Enumerate()
+				for round := 0; round < 3; round++ {
+					// Fresh hierarchies per round: distinct Node objects with
+					// identical content, as iDrips produces.
+					frontier := []*planspace.Plan{space.Root(abstraction.ByTuples(cat))}
+					for len(frontier) > 0 {
+						p := frontier[rng.Intn(len(frontier))]
+						if a, b := hoisted.Evaluate(p), legacy.Evaluate(p); a != b {
+							t.Fatalf("seed=%d plan %s: hoisted %v != legacy %v", seed, p.Key(), a, b)
+						}
+						if p.Concrete() {
+							break
+						}
+						frontier = p.Refine()
+					}
+					for i := 0; i < 5; i++ {
+						p := all[rng.Intn(len(all))]
+						if a, b := hoisted.Evaluate(p), legacy.Evaluate(p); a != b {
+							t.Fatalf("seed=%d plan %s: hoisted %v != legacy %v", seed, p.Key(), a, b)
+						}
+					}
+					d := all[rng.Intn(len(all))]
+					hoisted.Observe(d)
+					legacy.Observe(d)
+				}
+			}
+		})
+	}
+}
+
+// TestHoistedLinearMatchesLegacy: same differential for LinearCost
+// (precomputed term table + shared group hulls vs direct recomputation).
+func TestHoistedLinearMatchesLegacy(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		cat, buckets := testCatalog(seed, 3, 6)
+		space := planspace.NewSpace(buckets)
+		hoisted := NewLinearCost(cat).NewContext()
+		legacy := (&LinearCost{cat: cat}).NewContext()
+		rng := rand.New(rand.NewSource(seed))
+		all := space.Enumerate()
+		frontier := []*planspace.Plan{space.Root(abstraction.ByTuples(cat))}
+		for len(frontier) > 0 {
+			p := frontier[rng.Intn(len(frontier))]
+			if a, b := hoisted.Evaluate(p), legacy.Evaluate(p); a != b {
+				t.Fatalf("seed=%d plan %s: hoisted %v != legacy %v", seed, p.Key(), a, b)
+			}
+			if p.Concrete() {
+				break
+			}
+			frontier = p.Refine()
+		}
+		for i := 0; i < 10; i++ {
+			p := all[rng.Intn(len(all))]
+			if a, b := hoisted.Evaluate(p), legacy.Evaluate(p); a != b {
+				t.Fatalf("seed=%d plan %s: hoisted %v != legacy %v", seed, p.Key(), a, b)
+			}
+		}
+		// BucketOrder consumes the precomputed terms.
+		hm := NewLinearCost(cat)
+		lm := &LinearCost{cat: cat}
+		for b, srcs := range buckets {
+			ho, _ := hm.BucketOrder(b, srcs)
+			lo, _ := lm.BucketOrder(b, srcs)
+			for i := range ho {
+				if ho[i] != lo[i] {
+					t.Fatalf("seed=%d bucket %d: order differs at %d", seed, b, i)
+				}
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"qporder/internal/interval"
 	"qporder/internal/lav"
 	"qporder/internal/measure"
+	"qporder/internal/obs"
 	"qporder/internal/planspace"
 )
 
@@ -15,10 +16,24 @@ import (
 // often pairwise independent, so both iDrips and Streamer apply.
 type Measure struct {
 	model *Model
+	snap  *snapshot // shared answer-set memo; nil disables caching
 }
 
-// NewMeasure returns the coverage measure over the given model.
-func NewMeasure(m *Model) *Measure { return &Measure{model: m} }
+// NewMeasure returns the coverage measure over the given model. Contexts
+// share a measure-owned snapshot of answer sets (see snapshot.go): every
+// answer set is a pure function of the immutable model, so one context's
+// work — or one iDrips Next's, or one parallel worker's — is every other
+// context's cache hit.
+func NewMeasure(m *Model) *Measure {
+	return &Measure{model: m, snap: newSnapshot(defaultSnapshotCap)}
+}
+
+// NewMeasureUncached returns the coverage measure with the shared
+// snapshot disabled: every context recomputes answer sets from scratch
+// with the original multi-pass composition. It exists as the differential
+// oracle for the cached implementation — both must produce bit-identical
+// intervals and identical work counters — and as an ablation baseline.
+func NewMeasureUncached(m *Model) *Measure { return &Measure{model: m} }
 
 // Name implements measure.Measure.
 func (ms *Measure) Name() string { return "coverage" }
@@ -40,34 +55,203 @@ func (ms *Measure) Model() *Model { return ms.model }
 
 // NewContext implements measure.Measure.
 func (ms *Measure) NewContext() measure.Context {
-	return &context{
+	c := &context{
 		model:   ms.model,
 		ms:      ms,
 		covered: bitset.New(ms.model.universe),
 		inter:   make(map[*abstraction.Node]*bitset.Set),
 		union:   make(map[*abstraction.Node]*bitset.Set),
 		scratch: bitset.New(ms.model.universe),
+		snap:    ms.snap,
 	}
+	if c.snap != nil {
+		c.planLocal = make(map[string]*bitset.Set)
+	}
+	return c
 }
 
-// context evaluates conditional coverage. It caches, per abstraction
-// node, the intersection and union of the members' covered subsets; for a
-// node N they satisfy inter(N) ⊆ set(V) ⊆ union(N) for every member V,
-// which makes abstract-plan intervals sound.
+// context evaluates conditional coverage. With the shared snapshot
+// enabled (the default), answer sets are memoized across contexts and
+// utilities are computed by the fused single-pass bitset kernels; the
+// only per-context mutable state is the covered set. The maps inter,
+// union, and planLocal are pointer/string-keyed local fronts over the
+// snapshot: a local hit costs one map probe and no interface boxing,
+// which keeps the warm Evaluate path allocation-free.
+//
+// With snap == nil the context runs the original multi-pass composition
+// (clone + per-node IntersectWith + scratch DifferenceCount) with
+// per-context caches only.
 type context struct {
 	measure.Base
 	model   *Model
 	ms      *Measure
 	covered *bitset.Set // union of executed plans' answer sets
-	inter   map[*abstraction.Node]*bitset.Set
-	union   map[*abstraction.Node]*bitset.Set
-	scratch *bitset.Set
+	snap    *snapshot   // nil in uncached mode
+
+	// inter and union cache, per abstraction node, the intersection and
+	// union of the members' covered subsets; for a node N they satisfy
+	// inter(N) ⊆ set(V) ⊆ union(N) for every member V, which makes
+	// abstract-plan intervals sound. In cached mode they front the shared
+	// snapshot; in uncached mode they are the only cache.
+	inter     map[*abstraction.Node]*bitset.Set
+	union     map[*abstraction.Node]*bitset.Set
+	planLocal map[string]*bitset.Set // cached mode: plan key -> answer set
+	scratch   *bitset.Set
+	gather    []*bitset.Set // reusable kernel operand buffer
+
+	// Snapshot telemetry: local+shared hits, misses (computations), and
+	// fused-kernel invocations, with optional obs mirrors (see Bind).
+	snapHits    int
+	snapMisses  int
+	kernelCalls int
+	cSnapHits   *obs.Counter
+	cSnapMisses *obs.Counter
+	cKernel     *obs.Counter
 }
 
 // Measure implements measure.Context.
 func (c *context) Measure() measure.Measure { return c.ms }
 
-// nodeInter returns ∩ of member sets, cached.
+// Bind implements measure.Context, adding the snapshot counters
+// "<prefix>.snapshot_hits", "<prefix>.snapshot_misses", and
+// "<prefix>.kernel_calls" to the base set.
+func (c *context) Bind(reg *obs.Registry, prefix string) {
+	c.Base.Bind(reg, prefix)
+	if reg == nil {
+		c.cSnapHits, c.cSnapMisses, c.cKernel = nil, nil, nil
+		return
+	}
+	c.cSnapHits = reg.Counter(prefix + ".snapshot_hits")
+	c.cSnapMisses = reg.Counter(prefix + ".snapshot_misses")
+	c.cKernel = reg.Counter(prefix + ".kernel_calls")
+}
+
+// SnapshotStats returns the context's snapshot hit/miss counts and the
+// number of fused-kernel invocations (all zero in uncached mode).
+func (c *context) SnapshotStats() (hits, misses, kernels int) {
+	return c.snapHits, c.snapMisses, c.kernelCalls
+}
+
+func (c *context) countHit()  { c.snapHits++; c.cSnapHits.Inc() }
+func (c *context) countMiss() { c.snapMisses++; c.cSnapMisses.Inc() }
+func (c *context) countKernel() {
+	c.kernelCalls++
+	c.cKernel.Inc()
+}
+
+// ForkContext implements measure.Forker: the covered set and executed
+// prefix are copied directly instead of replaying Observe over the
+// prefix, so forking costs O(universe words + prefix length) no matter
+// how much work the parent has done. The shared snapshot carries over by
+// construction; the local front maps start empty and re-warm from it.
+func (c *context) ForkContext() measure.Context {
+	f := c.ms.NewContext().(*context)
+	f.covered.Copy(c.covered)
+	f.SeedExecuted(c.Executed())
+	return f
+}
+
+// nodeSetShared returns the ∩ (union=false) or ∪ (union=true) of the
+// node's member sets in cached mode, consulting the local front map, then
+// the shared snapshot, and computing with a fused kernel only when both
+// miss. Computed sets are admitted to the snapshot while it has room.
+func (c *context) nodeSetShared(n *abstraction.Node, union bool) *bitset.Set {
+	if n.IsLeaf() {
+		return c.model.Set(n.Source())
+	}
+	local, shared := c.inter, &c.snap.inter
+	if union {
+		local, shared = c.union, &c.snap.union
+	}
+	if s, ok := local[n]; ok {
+		c.countHit()
+		return s
+	}
+	k := n.Key()
+	if v, ok := shared.Load(k); ok {
+		c.countHit()
+		s := v.(*bitset.Set)
+		local[n] = s
+		return s
+	}
+	c.countMiss()
+	sets := make([]*bitset.Set, len(n.Sources))
+	for i, src := range n.Sources {
+		sets[i] = c.model.Set(src)
+	}
+	s := bitset.New(c.model.universe)
+	if union {
+		bitset.UnionInto(s, sets)
+	} else {
+		bitset.IntersectInto(s, sets)
+	}
+	c.countKernel()
+	if c.snap.roomFor() {
+		if prev, loaded := shared.LoadOrStore(k, s); loaded {
+			s = prev.(*bitset.Set)
+		} else {
+			c.snap.count.Add(1)
+		}
+	}
+	local[n] = s
+	return s
+}
+
+// gatherSets collects the kernel operands for plan p into the context's
+// reusable buffer: one set per node (leaf answer set, or the group's
+// intersection/union per the union flag).
+func (c *context) gatherSets(p *planspace.Plan, union bool) []*bitset.Set {
+	c.gather = c.gather[:0]
+	for _, n := range p.Nodes {
+		c.gather = append(c.gather, c.nodeSetShared(n, union))
+	}
+	return c.gather
+}
+
+// planAnswer returns the memoized exact answer set of concrete plan p,
+// computing and admitting it on a miss; nil when the snapshot is at
+// capacity and p is not cached — the caller then computes with a fused
+// kernel instead. (Past capacity the shared probe is skipped too: boxing
+// the key per call would reintroduce an allocation on the hot path.)
+//
+// planAnswer is called from Observe only: an executed plan's answer set
+// folds into covered here and again in every fork and sibling context
+// that observes the same plan, so memoizing it always pays. Evaluate
+// deliberately bypasses this memo — an ordering run evaluates most
+// concrete plans exactly once and never re-evaluates executed ones, so
+// both the eager store (set allocation plus sync.Map insert) and even a
+// read-only probe (string-key hash per call) cost more than the one
+// fused-kernel pass they could save.
+func (c *context) planAnswer(p *planspace.Plan) *bitset.Set {
+	k := p.Key()
+	if s, ok := c.planLocal[k]; ok {
+		c.countHit()
+		return s
+	}
+	if !c.snap.roomFor() {
+		c.countMiss()
+		return nil
+	}
+	if v, ok := c.snap.plans.Load(k); ok {
+		c.countHit()
+		s := v.(*bitset.Set)
+		c.planLocal[k] = s
+		return s
+	}
+	c.countMiss()
+	s := bitset.New(c.model.universe)
+	bitset.IntersectInto(s, c.gatherSets(p, false))
+	c.countKernel()
+	if prev, loaded := c.snap.plans.LoadOrStore(k, s); loaded {
+		s = prev.(*bitset.Set)
+	} else {
+		c.snap.count.Add(1)
+	}
+	c.planLocal[k] = s
+	return s
+}
+
+// nodeInter returns ∩ of member sets, cached per context (uncached mode).
 func (c *context) nodeInter(n *abstraction.Node) *bitset.Set {
 	if n.IsLeaf() {
 		return c.model.Set(n.Source())
@@ -83,7 +267,7 @@ func (c *context) nodeInter(n *abstraction.Node) *bitset.Set {
 	return s
 }
 
-// nodeUnion returns ∪ of member sets, cached.
+// nodeUnion returns ∪ of member sets, cached per context (uncached mode).
 func (c *context) nodeUnion(n *abstraction.Node) *bitset.Set {
 	if n.IsLeaf() {
 		return c.model.Set(n.Source())
@@ -117,27 +301,56 @@ func (c *context) answerHigh(p *planspace.Plan, dst *bitset.Set) {
 
 // Evaluate implements measure.Context. Concrete plans get their exact
 // conditional coverage; abstract plans get the sound interval
-// [|∩inter \ covered|, |∩union \ covered|] / |U|.
+// [|∩inter \ covered|, |∩union \ covered|] / |U|. Cached and uncached
+// modes compute the same integer cardinalities, so the returned floats
+// are bit-identical.
 func (c *context) Evaluate(p *planspace.Plan) interval.Interval {
 	c.CountEval()
 	u := float64(c.model.universe)
-	if p.Concrete() {
+	if c.snap == nil {
+		if p.Concrete() {
+			c.answerLow(p, c.scratch)
+			newTuples := c.scratch.DifferenceCount(c.covered)
+			return interval.Point(float64(newTuples) / u)
+		}
 		c.answerLow(p, c.scratch)
-		newTuples := c.scratch.DifferenceCount(c.covered)
-		return interval.Point(float64(newTuples) / u)
+		lo := float64(c.scratch.DifferenceCount(c.covered)) / u
+		c.answerHigh(p, c.scratch)
+		hi := float64(c.scratch.DifferenceCount(c.covered)) / u
+		return interval.New(lo, hi)
 	}
-	c.answerLow(p, c.scratch)
-	lo := float64(c.scratch.DifferenceCount(c.covered)) / u
-	c.answerHigh(p, c.scratch)
-	hi := float64(c.scratch.DifferenceCount(c.covered)) / u
-	return interval.New(lo, hi)
+	if p.Concrete() {
+		// Always the fused kernel, no memo probe: ordering algorithms
+		// retire a plan from the candidate set once executed, so a
+		// concrete plan is essentially never re-evaluated after its
+		// answer set is admitted — a probe here would hash the plan key
+		// on every call to hit almost never.
+		n := bitset.IntersectCountAndNot(c.gatherSets(p, false), c.covered)
+		c.countKernel()
+		return interval.Point(float64(n) / u)
+	}
+	lo := bitset.IntersectCountAndNot(c.gatherSets(p, false), c.covered)
+	c.countKernel()
+	hi := bitset.IntersectCountAndNot(c.gatherSets(p, true), c.covered)
+	c.countKernel()
+	return interval.New(float64(lo)/u, float64(hi)/u)
 }
 
 // Observe implements measure.Context: the executed plan's answers join the
 // covered set.
 func (c *context) Observe(d *planspace.Plan) {
 	c.Record(d)
-	c.answerLow(d, c.scratch) // concrete: low == exact
+	if c.snap == nil {
+		c.answerLow(d, c.scratch) // concrete: low == exact
+		c.covered.UnionWith(c.scratch)
+		return
+	}
+	if ans := c.planAnswer(d); ans != nil {
+		c.covered.UnionWith(ans)
+		return
+	}
+	bitset.IntersectInto(c.scratch, c.gatherSets(d, false))
+	c.countKernel()
 	c.covered.UnionWith(c.scratch)
 }
 
@@ -201,3 +414,4 @@ func (c *context) IndependentWitness(p *planspace.Plan, ds []*planspace.Plan) bo
 
 var _ measure.Measure = (*Measure)(nil)
 var _ measure.Context = (*context)(nil)
+var _ measure.Forker = (*context)(nil)

@@ -17,6 +17,7 @@ package coverage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"qporder/internal/bitset"
 	"qporder/internal/lav"
@@ -26,12 +27,24 @@ import (
 type Model struct {
 	universe int
 	sets     map[lav.SourceID]*bitset.Set
-	// overlapCache memoizes the pairwise overlap relation; it is a pure
-	// function of the (immutable) coverage sets, so a racing double
-	// computation stores the same value. A sync.Map keeps the read-mostly
-	// hot path lock-free while letting the parallel ordering paths share
-	// one model across worker contexts.
-	overlapCache sync.Map // uint64 -> bool
+	// dense mirrors sets for small non-negative IDs: the evaluation hot
+	// path reads a handful of leaf sets per plan, and a slice index beats
+	// the map hash. Sparse or negative IDs stay map-only.
+	dense []*bitset.Set
+	maxID int // largest source ID with a coverage set; -1 when empty
+
+	// The pairwise overlap relation is a pure function of the (immutable)
+	// coverage sets, so a racing double computation stores the same value.
+	// The primary memo is a dense bit matrix sized on first use — the
+	// independence oracle consults the relation millions of times per run,
+	// and two atomic word loads beat a sync.Map round trip (which also
+	// boxes its key). The sync.Map remains as fallback for source IDs
+	// registered after the matrix was sized, and for catalogs too large
+	// for a dense matrix.
+	matOnce          sync.Once
+	matN             int // matrix covers IDs in [0, matN)
+	matKnown, matVal []uint64
+	overlapCache     sync.Map // uint64 -> bool
 }
 
 // NewModel returns a model over a universe of the given size.
@@ -42,6 +55,7 @@ func NewModel(universe int) *Model {
 	return &Model{
 		universe: universe,
 		sets:     make(map[lav.SourceID]*bitset.Set),
+		maxID:    -1,
 	}
 }
 
@@ -56,11 +70,31 @@ func (m *Model) SetCoverage(id lav.SourceID, set *bitset.Set) {
 		panic(fmt.Sprintf("coverage: set capacity %d != universe %d", set.Len(), m.universe))
 	}
 	m.sets[id] = set
+	if int(id) > m.maxID {
+		m.maxID = int(id)
+	}
+	if i := int(id); i >= 0 && i < maxDenseSets {
+		if i >= len(m.dense) {
+			grown := make([]*bitset.Set, i+1)
+			copy(grown, m.dense)
+			m.dense = grown
+		}
+		m.dense[i] = set
+	}
 }
+
+// maxDenseSets bounds the dense set table so one huge ID cannot balloon
+// it; IDs at or above the bound are served from the map.
+const maxDenseSets = 1 << 20
 
 // Set returns the covered subset of a source; it panics if the source has
 // no coverage assigned (a configuration error).
 func (m *Model) Set(id lav.SourceID) *bitset.Set {
+	if i := int(id); i >= 0 && i < len(m.dense) {
+		if s := m.dense[i]; s != nil {
+			return s
+		}
+	}
 	s, ok := m.sets[id]
 	if !ok {
 		panic(fmt.Sprintf("coverage: source V%d has no coverage set", id))
@@ -74,6 +108,36 @@ func (m *Model) Has(id lav.SourceID) bool {
 	return ok
 }
 
+// maxOverlapMatrixBits caps each dense overlap matrix at 4 MiB
+// (supporting catalogs of up to ~5700 sources); larger catalogs fall
+// back to the sync.Map memo.
+const maxOverlapMatrixBits = 1 << 25
+
+// buildMatrix sizes the dense memo to the sources registered so far. It
+// runs once, on the first Overlap query; sources registered later use
+// the sync.Map fallback.
+func (m *Model) buildMatrix() {
+	n := m.maxID + 1
+	if n <= 0 || n > maxOverlapMatrixBits/n {
+		return
+	}
+	words := (n*n + 63) / 64
+	m.matKnown = make([]uint64, words)
+	m.matVal = make([]uint64, words)
+	m.matN = n
+}
+
+// atomicOr sets bit in *p atomically. A CAS loop rather than
+// atomic.Uint64.Or, which requires Go 1.23 while the module supports 1.22.
+func atomicOr(p *uint64, bit uint64) {
+	for {
+		old := atomic.LoadUint64(p)
+		if old&bit != 0 || atomic.CompareAndSwapUint64(p, old, old|bit) {
+			return
+		}
+	}
+}
+
 // Overlap reports whether two sources' covered subsets intersect. This is
 // the "sources overlap" relation of Section 3. Results are memoized: the
 // independence oracle consults this relation millions of times per
@@ -81,6 +145,23 @@ func (m *Model) Has(id lav.SourceID) bool {
 func (m *Model) Overlap(a, b lav.SourceID) bool {
 	if a > b {
 		a, b = b, a
+	}
+	m.matOnce.Do(m.buildMatrix)
+	if a >= 0 && int(b) < m.matN {
+		idx := int(a)*m.matN + int(b)
+		w, bit := idx/64, uint64(1)<<uint(idx%64)
+		if atomic.LoadUint64(&m.matKnown[w])&bit != 0 {
+			return atomic.LoadUint64(&m.matVal[w])&bit != 0
+		}
+		v := !m.Set(a).Disjoint(m.Set(b))
+		// Publish the value bit before the known bit; Go atomics are
+		// sequentially consistent, so a reader that observes known also
+		// observes the value.
+		if v {
+			atomicOr(&m.matVal[w], bit)
+		}
+		atomicOr(&m.matKnown[w], bit)
+		return v
 	}
 	key := uint64(uint32(a))<<32 | uint64(uint32(b))
 	if v, ok := m.overlapCache.Load(key); ok {

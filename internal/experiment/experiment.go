@@ -8,6 +8,7 @@ package experiment
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"qporder/internal/abstraction"
@@ -138,6 +139,13 @@ type Cell struct {
 	// sequential path. Output is identical across settings (the parallel
 	// paths merge deterministically); only timing differs.
 	Parallelism int
+	// Reps is the number of timing repetitions for metrics collection;
+	// 0 or 1 runs the cell once. CollectMetrics keeps the fastest rep's
+	// wall time — micro cells finish in microseconds and a single run is
+	// dominated by scheduler and GC noise, which only ever slows a run
+	// down. Cells whose first run already takes repCutoff or longer sit
+	// far above the noise floor and skip the extra reps.
+	Reps int
 }
 
 // Result records one cell's outcome.
@@ -156,6 +164,10 @@ type Result struct {
 	// TimeToFirst is the wall time until the first plan is produced
 	// (zero when no plan was produced).
 	TimeToFirst time.Duration
+	// Mallocs is the heap-allocation count over the cell (MemStats.Mallocs
+	// delta, includes orderer construction). Parallel cells also count
+	// worker allocations, so only sequential cells are comparable.
+	Mallocs int64
 	// Err is non-empty when the algorithm is inapplicable for the measure.
 	Err string
 }
@@ -171,6 +183,13 @@ func Run(d *workload.Domain, cell Cell) Result {
 // measure.<algo>.evals accumulate across the cell's Next calls.
 func RunObserved(d *workload.Domain, cell Cell, reg *obs.Registry) Result {
 	res := Result{Cell: cell}
+	// Collect the previous cell's garbage outside this cell's timed
+	// window, as testing.B does before each benchmark: without it a
+	// low-allocation cell pays the GC bill of whatever allocation-heavy
+	// cell ran before it, and cell order distorts the comparison.
+	runtime.GC()
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 	o, err := BuildOrderer(d, cell.Measure, cell.Algo)
 	if err != nil {
@@ -188,5 +207,8 @@ func RunObserved(d *workload.Domain, cell Cell, reg *obs.Registry) Result {
 	}
 	res.Time = time.Since(start)
 	res.Evals = o.Context().Evals()
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
+	res.Mallocs = int64(ms1.Mallocs - ms0.Mallocs)
 	return res
 }

@@ -1,9 +1,17 @@
 package experiment
 
 import (
+	"time"
+
 	"qporder/internal/obs"
 	"qporder/internal/workload"
 )
+
+// repCutoff is the first-rep wall time above which Cell.Reps extra
+// timing repetitions are skipped: a cell at the one-second scale is far
+// above the scheduler/GC noise floor, and repeating it would multiply
+// the benchmark's runtime for no precision gain.
+const repCutoff = time.Second
 
 // MetricsSchemaVersion identifies the qpbench --metrics-json layout.
 // Bump it when a field is renamed or its meaning changes; adding fields
@@ -38,10 +46,17 @@ type MetricRecord struct {
 	IndepHits   int64 `json:"indep_hits"`
 	// TotalNs is wall time from query issue until the k-th plan; NsPerPlan
 	// divides by Plans; TimeToFirstNs is wall time until the first plan.
-	TotalNs       int64  `json:"total_ns"`
-	NsPerPlan     int64  `json:"ns_per_plan"`
-	TimeToFirstNs int64  `json:"time_to_first_plan_ns"`
-	Error         string `json:"error,omitempty"`
+	TotalNs       int64 `json:"total_ns"`
+	NsPerPlan     int64 `json:"ns_per_plan"`
+	TimeToFirstNs int64 `json:"time_to_first_plan_ns"`
+	// Mallocs is the heap-allocation count (runtime.MemStats.Mallocs
+	// delta) over the cell; MallocsPerEval divides by Evals. Sequential
+	// cells gate on this in CompareAllocs — the snapshot-cached coverage
+	// hot path promises zero allocations per concrete Evaluate, so a
+	// per-eval alloc creep is a regression even when timing hides it.
+	Mallocs        int64   `json:"mallocs"`
+	MallocsPerEval float64 `json:"mallocs_per_eval"`
+	Error          string  `json:"error,omitempty"`
 }
 
 // MetricsReport is the top-level --metrics-json document.
@@ -120,6 +135,47 @@ func CompareReports(cur, base MetricsReport, threshold float64) []Regression {
 	return out
 }
 
+// AllocRegression is one cell whose per-evaluation allocation count grew
+// beyond the threshold against a baseline report.
+type AllocRegression struct {
+	Record   MetricRecord
+	Baseline float64 // baseline mallocs_per_eval
+	Ratio    float64
+}
+
+// CompareAllocs checks cur's sequential records' mallocs_per_eval
+// against base, mirroring CompareReports for the allocation dimension.
+// Cells whose baseline lacks allocation data (older reports predate the
+// field and unmarshal it as zero) are skipped, so the gate arms itself
+// automatically once a baseline with allocation counts is checked in.
+func CompareAllocs(cur, base MetricsReport, threshold float64) []AllocRegression {
+	type key struct {
+		algo, measure string
+		bucket, k     int
+	}
+	baseline := map[key]float64{}
+	for _, r := range base.Records {
+		if r.Parallelism <= 1 && r.Error == "" && r.MallocsPerEval > 0 {
+			baseline[key{r.Algorithm, r.Measure, r.BucketSize, r.K}] = r.MallocsPerEval
+		}
+	}
+	var out []AllocRegression
+	for _, r := range cur.Records {
+		if r.Parallelism > 1 || r.Error != "" || r.Evals == 0 {
+			continue
+		}
+		b, ok := baseline[key{r.Algorithm, r.Measure, r.BucketSize, r.K}]
+		if !ok {
+			continue
+		}
+		ratio := r.MallocsPerEval / b
+		if ratio > 1+threshold {
+			out = append(out, AllocRegression{Record: r, Baseline: b, Ratio: ratio})
+		}
+	}
+	return out
+}
+
 // CollectMetrics runs every cell against the shared domain and returns
 // one MetricRecord per cell. All cells share reg (created if nil), so an
 // expvar/pprof endpoint publishing reg shows counts accumulating live;
@@ -134,8 +190,25 @@ func CollectMetrics(d *workload.Domain, cells []Cell, reg *obs.Registry) []Metri
 		before := counterValues(reg, names)
 		res := RunObserved(d, cell, reg)
 		after := counterValues(reg, names)
+		// Extra reps keep the fastest wall time and lowest malloc count.
+		// Counter deltas come from the first rep alone: the orderers are
+		// deterministic, so every rep produces identical counts.
+		for r := 1; r < cell.Reps && res.Err == "" && res.Time < repCutoff; r++ {
+			res2 := RunObserved(d, cell, reg)
+			if res2.Err != "" {
+				continue
+			}
+			if res2.Time < res.Time {
+				res.Time = res2.Time
+				res.TimeToFirst = res2.TimeToFirst
+			}
+			if res2.Mallocs < res.Mallocs {
+				res.Mallocs = res2.Mallocs
+			}
+		}
 		delta := func(i int) int64 { return after[i] - before[i] }
 		rec := MetricRecord{
+			Mallocs:        res.Mallocs,
 			Algorithm:      string(cell.Algo),
 			Measure:        string(cell.Measure),
 			BucketSize:     cell.Config.BucketSize,
@@ -154,6 +227,9 @@ func CollectMetrics(d *workload.Domain, cells []Cell, reg *obs.Registry) []Metri
 		}
 		if res.Plans > 0 {
 			rec.NsPerPlan = rec.TotalNs / int64(res.Plans)
+		}
+		if rec.Evals > 0 {
+			rec.MallocsPerEval = float64(res.Mallocs) / float64(rec.Evals)
 		}
 		recs = append(recs, rec)
 	}

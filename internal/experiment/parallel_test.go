@@ -74,3 +74,53 @@ func TestCompareReports(t *testing.T) {
 		t.Errorf("50%% threshold flagged %d regressions, want 0", len(got))
 	}
 }
+
+func TestCompareAllocs(t *testing.T) {
+	rec := func(algo string, perEval float64, par int, errStr string) MetricRecord {
+		return MetricRecord{
+			Algorithm: algo, Measure: "coverage", BucketSize: 10, K: 10,
+			Parallelism: par, Plans: 10, Evals: 100,
+			MallocsPerEval: perEval, Error: errStr,
+		}
+	}
+	base := MetricsReport{Records: []MetricRecord{
+		rec("pi", 4, 0, ""),
+		rec("streamer", 0, 0, ""), // pre-allocation-field baseline: unarmed
+	}}
+	cur := MetricsReport{Records: []MetricRecord{
+		rec("pi", 6, 0, ""),        // +50%: regression at 20% threshold
+		rec("streamer", 99, 0, ""), // baseline had no alloc data: skipped
+		rec("pi", 40, 8, ""),       // parallel record: skipped
+		rec("idrips", 40, 0, ""),   // no baseline: skipped
+		rec("pi", 40, 0, "boom"),   // errored: skipped
+	}}
+	regs := CompareAllocs(cur, base, 0.20)
+	if len(regs) != 1 {
+		t.Fatalf("got %d alloc regressions, want 1: %+v", len(regs), regs)
+	}
+	if regs[0].Record.Algorithm != "pi" || regs[0].Baseline != 4 {
+		t.Errorf("unexpected regression %+v", regs[0])
+	}
+	if got := CompareAllocs(cur, base, 0.60); len(got) != 0 {
+		t.Errorf("60%% threshold flagged %d alloc regressions, want 0", len(got))
+	}
+}
+
+// TestMetricsRecordMallocs checks that CollectMetrics populates the
+// allocation fields for a live sequential cell.
+func TestMetricsRecordMallocs(t *testing.T) {
+	cfg := workload.Config{QueryLen: 2, BucketSize: 4, Universe: 256, Zones: 2, Seed: 21}
+	d := workload.Generate(cfg)
+	recs := CollectMetrics(d, []Cell{
+		{Algo: AlgoPI, Measure: MeasureCoverage, K: 5, Config: cfg},
+	}, nil)
+	if len(recs) != 1 || recs[0].Error != "" {
+		t.Fatalf("unexpected records %+v", recs)
+	}
+	if recs[0].Mallocs <= 0 {
+		t.Errorf("Mallocs = %d, want > 0 (orderer construction allocates)", recs[0].Mallocs)
+	}
+	if recs[0].Evals > 0 && recs[0].MallocsPerEval <= 0 {
+		t.Errorf("MallocsPerEval = %g, want > 0", recs[0].MallocsPerEval)
+	}
+}

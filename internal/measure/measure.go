@@ -148,6 +148,17 @@ type CountAdder interface {
 	AddCounts(evals, checks, hits int)
 }
 
+// Forker is the optional fast-fork interface. A context that can
+// duplicate its observed state directly (e.g. by cloning a covered
+// bitset) implements it to skip the Observe replay in Fork, dropping
+// fork cost from O(answer-set work per executed plan) to O(state copy).
+// ForkContext must return a context that behaves exactly like a replayed
+// fork: same Executed() prefix, same Evaluate/Independent results, work
+// counters starting at zero.
+type Forker interface {
+	ForkContext() Context
+}
+
 // Fork returns an independent context over the same measure with the
 // same executed prefix, suitable for use from another goroutine. The
 // fork shares the measure's immutable inputs (catalog, coverage model)
@@ -156,7 +167,13 @@ type CountAdder interface {
 // those results are pure functions of (measure, executed prefix, plan).
 // The fork's work counters start at zero; harvest them with Catchup's
 // accounting or merge manually via CountAdder.
+//
+// Contexts implementing Forker fork by direct state copy; everything
+// else forks by replaying Observe over the executed prefix.
 func Fork(ctx Context) Context {
+	if f, ok := ctx.(Forker); ok {
+		return f.ForkContext()
+	}
 	f := ctx.Measure().NewContext()
 	for _, d := range ctx.Executed() {
 		f.Observe(d)
@@ -185,6 +202,14 @@ func (b *Base) Bind(reg *obs.Registry, prefix string) {
 	b.cEvals = reg.Counter(prefix + ".evals")
 	b.cChecks = reg.Counter(prefix + ".indep_checks")
 	b.cHits = reg.Counter(prefix + ".indep_hits")
+}
+
+// SeedExecuted initializes the executed prefix from an existing one,
+// copying the slice so the seeded context and its source never alias.
+// It is intended for Forker implementations; the work counters are left
+// untouched (zero for a fresh Base).
+func (b *Base) SeedExecuted(executed []*planspace.Plan) {
+	b.executed = append([]*planspace.Plan(nil), executed...)
 }
 
 // Record appends d to the executed prefix, panicking on abstract plans.

@@ -207,3 +207,120 @@ func TestFormatUsesCatalogNames(t *testing.T) {
 		t.Errorf("Format = %q", got)
 	}
 }
+
+// TestRemoveSharesSuffixBuckets pins the copy-on-write representation:
+// suffix buckets of a split are the receiver's own slices, and prefix
+// pins alias one shared array without being able to clobber each other.
+func TestRemoveSharesSuffixBuckets(t *testing.T) {
+	s := NewSpace([][]lav.SourceID{ids(0, 1, 2), ids(3, 4, 5), ids(6, 7)})
+	subs := s.Remove(ids(0, 4, 7))
+	if len(subs) != 3 {
+		t.Fatalf("Remove produced %d splits, want 3", len(subs))
+	}
+	// Split 0 excludes at bucket 0; buckets 1 and 2 must be shared.
+	if &subs[0].Buckets[1][0] != &s.Buckets[1][0] || &subs[0].Buckets[2][0] != &s.Buckets[2][0] {
+		t.Error("suffix buckets were copied, want shared")
+	}
+	// Pins are capacity-clamped singletons: appending to one must not
+	// write into the next pin's slot.
+	p := subs[2].Buckets[0] // pinned to source 0
+	_ = append(p, 99)
+	if subs[2].Buckets[1][0] != 4 {
+		t.Error("append to a pin clobbered the neighboring pin")
+	}
+	// The receiver is untouched.
+	if !s.Contains(ids(0, 4, 7)) {
+		t.Error("Remove mutated the receiver")
+	}
+}
+
+// TestContainsIndexedWideBuckets exercises the hash-index path (bucket
+// width >= indexThreshold) against the scan path.
+func TestContainsIndexedWideBuckets(t *testing.T) {
+	wide := make([]lav.SourceID, 3*indexThreshold)
+	for i := range wide {
+		wide[i] = lav.SourceID(i * 2) // even IDs only
+	}
+	s := NewSpace([][]lav.SourceID{wide, ids(1000, 1001)})
+	if !s.Contains([]lav.SourceID{wide[len(wide)-1], 1001}) {
+		t.Error("Contains missed a member in a wide bucket")
+	}
+	if s.Contains([]lav.SourceID{3, 1001}) {
+		t.Error("Contains accepted a non-member odd ID")
+	}
+	if s.idx != nil {
+		t.Errorf("index built after only 2 probes, want none before %d", indexProbeThreshold)
+	}
+	for i := 0; i < indexProbeThreshold; i++ { // cross the probe threshold
+		if !s.Contains([]lav.SourceID{wide[0], 1000}) {
+			t.Fatal("Contains missed a member")
+		}
+	}
+	if s.idx == nil || s.idx[0] == nil {
+		t.Error("wide bucket did not get an index after repeated probes")
+	}
+	if s.idx[1] != nil {
+		t.Error("narrow bucket got an index")
+	}
+	if !s.Contains([]lav.SourceID{wide[len(wide)-1], 1001}) {
+		t.Error("indexed Contains missed a member")
+	}
+	if s.Contains([]lav.SourceID{3, 1001}) {
+		t.Error("indexed Contains accepted a non-member odd ID")
+	}
+}
+
+// BenchmarkSpaceContains compares membership on wide buckets through the
+// public Contains (indexed) against the raw linear scan it replaced.
+func BenchmarkSpaceContains(b *testing.B) {
+	const width = 80
+	buckets := make([][]lav.SourceID, 3)
+	for i := range buckets {
+		buckets[i] = make([]lav.SourceID, width)
+		for j := range buckets[i] {
+			buckets[i][j] = lav.SourceID(i*width + j)
+		}
+	}
+	s := NewSpace(buckets)
+	// Probe the worst case: last member of every bucket.
+	probe := []lav.SourceID{width - 1, 2*width - 1, 3*width - 1}
+	b.Run("indexed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !s.Contains(probe) {
+				b.Fatal("probe not found")
+			}
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j, src := range probe {
+				if !containsID(s.Buckets[j], src) {
+					b.Fatal("probe not found")
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkSpaceRemoveCOW measures the copy-on-write Remove on wide
+// buckets (the Greedy/iDrips split-heavy regime).
+func BenchmarkSpaceRemoveCOW(b *testing.B) {
+	const width = 80
+	buckets := make([][]lav.SourceID, 3)
+	for i := range buckets {
+		buckets[i] = make([]lav.SourceID, width)
+		for j := range buckets[i] {
+			buckets[i][j] = lav.SourceID(i*width + j)
+		}
+	}
+	s := NewSpace(buckets)
+	plan := []lav.SourceID{0, width, 2 * width}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := s.Remove(plan); len(got) != 3 {
+			b.Fatal("unexpected split count")
+		}
+	}
+}

@@ -2,16 +2,41 @@ package planspace
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"qporder/internal/abstraction"
 	"qporder/internal/lav"
 )
 
+// indexThreshold is the bucket width at which Contains switches from a
+// linear scan to a hash index. Narrow buckets scan faster than they hash;
+// wide buckets (the split-heavy Greedy/iDrips regimes at bucket size 80)
+// pay the one-time index build and then answer membership in O(1).
+const indexThreshold = 16
+
+// indexProbeThreshold is how many Contains calls a space absorbs before
+// building the index. Most spaces are membership-checked at most a few
+// times in their life (splitting algorithms derive thousands of
+// short-lived subspaces), and for those the map build costs far more
+// than the scans it replaces, so the index only materializes on spaces
+// that are probed repeatedly.
+const indexProbeThreshold = 8
+
 // Space is a plan space: the Cartesian product of per-subgoal buckets of
-// concrete sources (Figure 2 of the paper). Spaces are treated as
-// immutable; Remove returns new spaces and leaves the receiver intact.
+// concrete sources (Figure 2 of the paper). Spaces are immutable after
+// construction — Remove returns new spaces sharing the receiver's bucket
+// slices — which is also what makes the sharing safe.
 type Space struct {
 	Buckets [][]lav.SourceID
+
+	// Membership index for Contains, built lazily once the space has
+	// absorbed indexProbeThreshold probes: one map per bucket at least
+	// indexThreshold wide, nil for narrow buckets.
+	probes   atomic.Int32
+	idxReady atomic.Bool
+	idxOnce  sync.Once
+	idx      []map[lav.SourceID]struct{}
 }
 
 // NewSpace builds a space over the given buckets. Buckets are copied.
@@ -41,14 +66,47 @@ func (s *Space) Size() int64 {
 	return n
 }
 
+// buildIndex constructs the per-bucket membership maps for wide buckets.
+func (s *Space) buildIndex() {
+	s.idx = make([]map[lav.SourceID]struct{}, len(s.Buckets))
+	for i, b := range s.Buckets {
+		if len(b) < indexThreshold {
+			continue
+		}
+		m := make(map[lav.SourceID]struct{}, len(b))
+		for _, id := range b {
+			m[id] = struct{}{}
+		}
+		s.idx[i] = m
+	}
+}
+
 // Contains reports whether the concrete plan (one source per bucket) lies
-// in this space.
+// in this space. Repeatedly probed spaces answer wide buckets from a
+// lazily built membership index; the first few probes (and all probes on
+// narrow buckets) scan. Safe for concurrent use.
 func (s *Space) Contains(plan []lav.SourceID) bool {
 	if len(plan) != len(s.Buckets) {
 		return false
 	}
+	if !s.idxReady.Load() {
+		if s.probes.Add(1) < indexProbeThreshold {
+			for i, src := range plan {
+				if !containsID(s.Buckets[i], src) {
+					return false
+				}
+			}
+			return true
+		}
+		s.idxOnce.Do(s.buildIndex)
+		s.idxReady.Store(true)
+	}
 	for i, src := range plan {
-		if !containsID(s.Buckets[i], src) {
+		if m := s.idx[i]; m != nil {
+			if _, ok := m[src]; !ok {
+				return false
+			}
+		} else if !containsID(s.Buckets[i], src) {
 			return false
 		}
 	}
@@ -71,13 +129,27 @@ func containsID(b []lav.SourceID, id lav.SourceID) bool {
 // unchanged. The returned spaces partition s minus the plan. Empty spaces
 // (from singleton buckets) are omitted. Remove panics if the plan is not
 // in the space.
+// Remove is copy-on-write: the pinned prefix singletons all view one
+// copy of the plan, the unchanged suffix buckets are shared with the
+// receiver, and only the excluding bucket is materialized per split.
+// Sharing is safe because spaces never mutate their buckets; the
+// three-index subslices keep an append on one pin from clobbering its
+// neighbors.
 func (s *Space) Remove(plan []lav.SourceID) []*Space {
-	if !s.Contains(plan) {
+	if len(plan) != len(s.Buckets) {
 		panic(fmt.Sprintf("planspace: Remove of plan %v not contained in space", plan))
 	}
+	pins := append([]lav.SourceID(nil), plan...)
 	var out []*Space
 	for i := range s.Buckets {
 		rest := without(s.Buckets[i], plan[i])
+		if len(rest) == len(s.Buckets[i]) {
+			// without removed nothing: the plan's source is not in this
+			// bucket, so the plan is not in the space. Validating here
+			// keeps Remove off the Contains path (and its probe-counted
+			// index) — the scan already happens inside without.
+			panic(fmt.Sprintf("planspace: Remove of plan %v not contained in space", plan))
+		}
 		if len(rest) == 0 {
 			continue
 		}
@@ -85,11 +157,11 @@ func (s *Space) Remove(plan []lav.SourceID) []*Space {
 		for j := range s.Buckets {
 			switch {
 			case j < i:
-				buckets[j] = []lav.SourceID{plan[j]}
+				buckets[j] = pins[j : j+1 : j+1]
 			case j == i:
 				buckets[j] = rest
 			default:
-				buckets[j] = append([]lav.SourceID(nil), s.Buckets[j]...)
+				buckets[j] = s.Buckets[j]
 			}
 		}
 		out = append(out, &Space{Buckets: buckets})
