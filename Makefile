@@ -4,7 +4,7 @@ GO ?= go
 FUZZTIME ?= 30s
 BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build vet test race bench bench-json bench-check check fmtcheck experiments fuzz clean
+.PHONY: all build vet test race bench bench-json bench-check check fmtcheck experiments fuzz serve-smoke clean
 
 all: build vet test
 
@@ -61,8 +61,17 @@ experiments:
 
 fuzz:
 	$(GO) test -fuzz FuzzParseQuery -fuzztime $(FUZZTIME) ./internal/schema
+	$(GO) test -fuzz FuzzCanonicalKey -fuzztime $(FUZZTIME) ./internal/schema
 	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/domfile
 	$(GO) test -fuzz FuzzKernels -fuzztime $(FUZZTIME) ./internal/bitset
+
+# serve-smoke boots the qpserved daemon (race-enabled build) on a random
+# port, checks the streamed plan order byte-for-byte against qporder,
+# replays a concurrent shuffled burst through qpload requiring zero
+# errors and session-cache hits, and SIGTERMs the daemon requiring a
+# clean drain. See scripts/serve_smoke.sh.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 clean:
 	rm -rf internal/schema/testdata internal/domfile/testdata

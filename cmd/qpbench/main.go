@@ -33,7 +33,7 @@ import (
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "experiments: all, fig6, fig6a..fig6l, overlap, qlen, evalfrac, ablation, tta, soundness, greedy, par (comma-separated)")
+		expFlag   = flag.String("exp", "all", "experiments: all, fig6, fig6a..fig6l, overlap, qlen, evalfrac, ablation, tta, soundness, greedy, par, serve (comma-separated)")
 		sizesFlag = flag.String("sizes", "10,20,40,60,80", "bucket sizes for Figure 6 panels")
 		seed      = flag.Int64("seed", 42, "workload seed")
 		qlen      = flag.Int("qlen", 3, "query length (paper default 3)")
@@ -190,6 +190,20 @@ func main() {
 		render(t)
 	}
 
+	var serveRecs []experiment.ServeRecord
+	if wants("serve") {
+		fmt.Println("== Serving throughput: qpserved-equivalent daemon, chain/streamer, warm session cache ==")
+		cfg := base
+		cfg.BucketSize = 12
+		recs, err := experiment.RunServe(dc.Get(cfg), experiment.ServeConfig{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qpbench: serve:", err)
+			os.Exit(1)
+		}
+		serveRecs = recs
+		render(experiment.ServeTable(recs))
+	}
+
 	if wants("greedy") {
 		fmt.Println("== Greedy scaling (Section 4): linear cost, k=20 ==")
 		t := stats.NewTable("bucket", "greedy-time", "greedy-evals", "exhaustive-time", "exhaustive-evals")
@@ -208,6 +222,7 @@ func main() {
 
 	if *metrics != "" || *compare != "" {
 		rep := buildMetrics(dc, sizes, base, reg, *par, *reps)
+		rep.Serve = serveRecs
 		if *metrics != "" {
 			if err := writeReport(*metrics, rep); err != nil {
 				fmt.Fprintln(os.Stderr, "qpbench: metrics:", err)

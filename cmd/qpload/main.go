@@ -1,0 +1,111 @@
+// Command qpload replays a query workload against a qpserved daemon at a
+// target concurrency and request rate, consuming the NDJSON streams and
+// reporting latency percentiles for time-to-first-answer and full-k
+// completion.
+//
+// Usage:
+//
+//	qpload -url http://127.0.0.1:8091 -q 'Q(M, R) :- play-in(A, M), review-of(R, M)' -n 64 -c 8
+//	qpload -url http://127.0.0.1:8091 -q '...' -qps 50 -shuffle -json
+//	qpload -url http://127.0.0.1:8091 -q '...' -print-plans -algo streamer -measure chain
+//
+// -shuffle perturbs each request (variables renamed, body atoms
+// permuted) without changing its meaning, exercising the daemon's
+// canonicalized session cache the way distinct clients would.
+// -print-plans runs a single session and prints one plan per line, for
+// diffing against qporder -plans-only.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"qporder/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "qpload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		url        = flag.String("url", "http://127.0.0.1:8091", "base URL of the qpserved daemon")
+		query      = flag.String("q", "", "query to replay (required)")
+		requests   = flag.Int("n", 32, "total sessions to run")
+		conc       = flag.Int("c", 4, "concurrent workers")
+		k          = flag.Int("k", 0, "plan budget per session (0: server default)")
+		meas       = flag.String("measure", "", "utility measure (empty: server default)")
+		algo       = flag.String("algo", "", "ordering algorithm (empty: server default)")
+		reform     = flag.String("reform", "", "reformulator (empty: server default)")
+		deadline   = flag.Int64("deadline-ms", 0, "per-session deadline (0: server default)")
+		par        = flag.Int("parallelism", 0, "mediator pipeline width per session")
+		qps        = flag.Float64("qps", 0, "aggregate request rate (0: closed loop)")
+		shuffle    = flag.Bool("shuffle", false, "perturb each request's query (rename + reorder)")
+		seed       = flag.Int64("seed", 1, "seed for -shuffle")
+		asJSON     = flag.Bool("json", false, "emit the report as JSON")
+		printPlans = flag.Bool("print-plans", false, "run one session and print its plan order")
+	)
+	flag.Parse()
+	if *query == "" {
+		return fmt.Errorf("missing -q query")
+	}
+	cfg := server.LoadConfig{
+		BaseURL:      *url,
+		Queries:      []string{*query},
+		Requests:     *requests,
+		Concurrency:  *conc,
+		K:            *k,
+		Measure:      *meas,
+		Algorithm:    *algo,
+		Reformulator: *reform,
+		DeadlineMS:   *deadline,
+		Parallelism:  *par,
+		QPS:          *qps,
+		Shuffle:      *shuffle,
+		Seed:         *seed,
+	}
+
+	if *printPlans {
+		plans, err := server.StreamPlans(context.Background(), *url, cfg, *query)
+		if err != nil {
+			return err
+		}
+		for _, p := range plans {
+			fmt.Println(p)
+		}
+		return nil
+	}
+
+	rep, err := server.RunLoad(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("requests: %d  errors: %d  plans: %d  answers: %d\n",
+			rep.Requests, rep.Errors, rep.Plans, rep.Answers)
+		fmt.Printf("duration: %.1f ms  throughput: %.1f sessions/s\n", rep.DurationMS, rep.QPS)
+		fmt.Printf("ttfa   p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms\n",
+			rep.TTFA.P50, rep.TTFA.P90, rep.TTFA.P99, rep.TTFA.Max)
+		fmt.Printf("full-k p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms\n",
+			rep.Full.P50, rep.Full.P90, rep.Full.P99, rep.Full.Max)
+		if rep.FirstError != "" {
+			fmt.Printf("first error: %s\n", rep.FirstError)
+		}
+	}
+	if rep.Errors > 0 {
+		return fmt.Errorf("%d of %d sessions failed", rep.Errors, rep.Requests)
+	}
+	return nil
+}

@@ -49,16 +49,17 @@ func main() {
 
 func run() error {
 	var (
-		file     = flag.String("f", "", "domain file (required)")
-		qstr     = flag.String("q", "", "query (overrides the file's query)")
-		algo     = flag.String("algo", "streamer", "ordering algorithm: greedy, idrips, streamer, pi, exhaustive")
-		meas     = flag.String("measure", "chain", "utility: linear, chain, chain-fail, chain-fail-caching, monetary, monetary-caching")
-		k        = flag.Int("k", 10, "number of plans to produce")
-		bigN     = flag.Float64("N", 50000, "selectivity denominator N of cost measure (2)")
-		execute  = flag.Bool("execute", false, "execute the ordered plans against a simulated world")
-		physical = flag.Bool("physical", false, "run plans through the physical optimizer (join order + access methods)")
-		seed     = flag.Int64("seed", 1, "seed for the simulated world (-execute)")
-		stats    = flag.Bool("stats", false, "report phase spans and pipeline counters to stderr on exit")
+		file      = flag.String("f", "", "domain file (required)")
+		qstr      = flag.String("q", "", "query (overrides the file's query)")
+		algo      = flag.String("algo", "streamer", "ordering algorithm: greedy, idrips, streamer, pi, exhaustive")
+		meas      = flag.String("measure", "chain", "utility: linear, chain, chain-fail, chain-fail-caching, monetary, monetary-caching")
+		k         = flag.Int("k", 10, "number of plans to produce")
+		bigN      = flag.Float64("N", 50000, "selectivity denominator N of cost measure (2)")
+		execute   = flag.Bool("execute", false, "execute the ordered plans against a simulated world")
+		physical  = flag.Bool("physical", false, "run plans through the physical optimizer (join order + access methods)")
+		seed      = flag.Int64("seed", 1, "seed for the simulated world (-execute)")
+		stats     = flag.Bool("stats", false, "report phase spans and pipeline counters to stderr on exit")
+		plansOnly = flag.Bool("plans-only", false, "print only the ordered plan queries, one per line (for diffing against qpload -print-plans)")
 	)
 	flag.Parse()
 	if *file == "" {
@@ -82,7 +83,9 @@ func run() error {
 	if q == nil {
 		return fmt.Errorf("no query: the file has none and -q was not given")
 	}
-	fmt.Println("query:", q)
+	if !*plansOnly {
+		fmt.Println("query:", q)
+	}
 
 	var reg *obs.Registry
 	if *stats {
@@ -97,7 +100,9 @@ func run() error {
 	}
 	pd := reformulate.NewPlanDomain(buckets, dom.Catalog)
 	refSpan.End()
-	fmt.Printf("plan space: %d candidate plans\n", pd.Space.Size())
+	if !*plansOnly {
+		fmt.Printf("plan space: %d candidate plans\n", pd.Space.Size())
+	}
 
 	m, err := buildMeasure(pd, *meas, *bigN)
 	if err != nil {
@@ -131,7 +136,11 @@ func run() error {
 			break
 		}
 		produced++
-		fmt.Printf("#%-3d u=%-12.6g %-20s %s\n", produced, utility, pd.FormatPlan(plan), pq)
+		if *plansOnly {
+			fmt.Println(pq)
+		} else {
+			fmt.Printf("#%-3d u=%-12.6g %-20s %s\n", produced, utility, pd.FormatPlan(plan), pq)
+		}
 		var pp *physopt.Plan
 		if *physical {
 			cached := func(string) bool { return false }
@@ -158,10 +167,12 @@ func run() error {
 				fresh, answers.Len(), engine.Cost)
 		}
 	}
-	if produced == 0 {
-		fmt.Println("no sound plans")
+	if !*plansOnly {
+		if produced == 0 {
+			fmt.Println("no sound plans")
+		}
+		fmt.Printf("plans evaluated: %d\n", o.Context().Evals())
 	}
-	fmt.Printf("plans evaluated: %d\n", o.Context().Evals())
 	if engine != nil {
 		fmt.Printf("\nanswers (%d):\n%s", answers.Len(), answers)
 	}

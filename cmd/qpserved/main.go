@@ -1,0 +1,120 @@
+// Command qpserved is the serving daemon: it loads a domain file (LAV
+// source descriptions plus statistics), builds the simulated world once,
+// and serves queries over HTTP. POST /v1/query streams NDJSON events —
+// the chosen plans best-first, their answers as they arrive, and a final
+// summary — honoring per-request k, deadline, and algorithm/measure
+// selection. Reformulation work is cached across requests keyed by the
+// query's canonical form. GET /metrics and GET /healthz expose the
+// instrumentation registry and drain state.
+//
+// Usage:
+//
+//	qpserved -f domain.qp -addr :8091
+//	qpserved -f domain.qp -addr 127.0.0.1:0 -seed 7 -max-inflight 16
+//
+// On SIGINT/SIGTERM the daemon drains: /healthz flips to 503, new
+// queries are refused, and in-flight streams run to completion (bounded
+// by -drain-timeout) before the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"qporder/internal/domfile"
+	"qporder/internal/obs"
+	"qporder/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "qpserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		file         = flag.String("f", "", "domain file (required)")
+		addr         = flag.String("addr", "127.0.0.1:8091", "listen address (port 0 picks a free port)")
+		seed         = flag.Int64("seed", 1, "seed for the simulated world")
+		bigN         = flag.Float64("N", 50000, "selectivity denominator N of the cost measures")
+		maxInflight  = flag.Int("max-inflight", 8, "concurrently executing sessions")
+		maxQueue     = flag.Int("max-queue", 32, "sessions waiting for a slot before 503")
+		cacheSize    = flag.Int("cache-sessions", 128, "reformulation session-cache entries")
+		defaultK     = flag.Int("k", 10, "default per-request plan budget")
+		maxK         = flag.Int("max-k", 1000, "maximum per-request plan budget")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown grace for in-flight streams")
+	)
+	flag.Parse()
+	if *file == "" {
+		return fmt.Errorf("missing -f domain file")
+	}
+	f, err := os.Open(*file)
+	if err != nil {
+		return err
+	}
+	dom, err := domfile.Parse(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	reg := obs.NewRegistry()
+	srv, err := server.New(server.Config{
+		Catalog:       dom.Catalog,
+		Seed:          *seed,
+		N:             *bigN,
+		MaxInflight:   *maxInflight,
+		MaxQueue:      *maxQueue,
+		CacheSessions: *cacheSize,
+		DefaultK:      *defaultK,
+		MaxK:          *maxK,
+		Reg:           reg,
+	})
+	if err != nil {
+		return err
+	}
+	expvar.Publish("qporder", reg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The bound address goes to stdout first so scripts starting the
+	// daemon on port 0 can scrape the port.
+	fmt.Printf("listening on %s\n", ln.Addr())
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("draining")
+	srv.SetDraining(true)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("drain incomplete: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Println("drained cleanly")
+	return nil
+}

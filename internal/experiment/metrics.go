@@ -69,6 +69,9 @@ type MetricsReport struct {
 	CPUs       int            `json:"cpus"`
 	GoMaxProcs int            `json:"gomaxprocs"`
 	Records    []MetricRecord `json:"records"`
+	// Serve carries the serving-throughput sweep when the serve
+	// experiment ran (additive; absent in older reports).
+	Serve []ServeRecord `json:"serve,omitempty"`
 }
 
 // counterNames lists the per-algorithm registry counters that feed a

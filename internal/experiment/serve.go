@@ -1,0 +1,156 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"qporder/internal/obs"
+	"qporder/internal/server"
+	"qporder/internal/stats"
+	"qporder/internal/workload"
+)
+
+// ServeRecord is one row of the serving-throughput experiment: a live
+// qpserved-equivalent daemon over the workload domain, driven by the
+// load generator at one concurrency level. It rides in the metrics
+// report next to the ordering cells (additive field, no schema bump).
+type ServeRecord struct {
+	Concurrency int `json:"concurrency"`
+	Requests    int `json:"requests"`
+	Errors      int `json:"errors"`
+	K           int `json:"k"`
+	// SessionsPerSec is the achieved completion throughput.
+	SessionsPerSec float64 `json:"sessions_per_sec"`
+	// TTFA quantiles are time-to-first-answer; Full are full-k session
+	// latencies. All milliseconds.
+	TTFAP50MS float64 `json:"ttfa_p50_ms"`
+	TTFAP99MS float64 `json:"ttfa_p99_ms"`
+	FullP50MS float64 `json:"full_p50_ms"`
+	FullP99MS float64 `json:"full_p99_ms"`
+	// CacheHits/CacheMisses are the session-cache deltas for this level;
+	// with one canonical query per run, hits+misses ≈ requests and
+	// misses stays at most 1 beyond the first level.
+	CacheHits   int64  `json:"cache_hits"`
+	CacheMisses int64  `json:"cache_misses"`
+	Plans       int64  `json:"plans"`
+	Error       string `json:"error,omitempty"`
+}
+
+// ServeConfig parameterizes the serving experiment.
+type ServeConfig struct {
+	// Concurrencies are the load levels to sweep (default 1, 4, 8).
+	Concurrencies []int
+	// Requests per level (default 64).
+	Requests int
+	// K is the per-session plan budget (default 5).
+	K int
+}
+
+// RunServe boots an in-process serving daemon over the domain's catalog
+// and sweeps the load generator across concurrency levels, reusing one
+// daemon so later levels exercise a warm session cache — exactly the
+// steady state a long-lived mediator reaches.
+func RunServe(d *workload.Domain, cfg ServeConfig) ([]ServeRecord, error) {
+	if len(cfg.Concurrencies) == 0 {
+		cfg.Concurrencies = []int{1, 4, 8}
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 64
+	}
+	if cfg.K <= 0 {
+		cfg.K = 5
+	}
+	reg := obs.NewRegistry()
+	srv, err := server.New(server.Config{
+		Catalog:     d.Catalog,
+		Seed:        d.Config.Seed + 100, // distinct world from the ordering cells
+		N:           d.Config.N,
+		MaxInflight: maxConc(cfg.Concurrencies),
+		Reg:         reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+	}()
+	baseURL := "http://" + ln.Addr().String()
+
+	var out []ServeRecord
+	for _, conc := range cfg.Concurrencies {
+		hitsBefore := reg.Counter("server.cache_hits").Value()
+		missBefore := reg.Counter("server.cache_misses").Value()
+		rec := ServeRecord{Concurrency: conc, K: cfg.K}
+		rep, err := server.RunLoad(context.Background(), server.LoadConfig{
+			BaseURL:     baseURL,
+			Queries:     []string{d.Query.String()},
+			Requests:    cfg.Requests,
+			Concurrency: conc,
+			K:           cfg.K,
+			Measure:     "chain",
+			Algorithm:   "streamer",
+			Shuffle:     true,
+			Seed:        d.Config.Seed + int64(conc),
+		})
+		if err != nil {
+			rec.Error = err.Error()
+			out = append(out, rec)
+			continue
+		}
+		rec.Requests = rep.Requests
+		rec.Errors = rep.Errors
+		rec.SessionsPerSec = rep.QPS
+		rec.TTFAP50MS = rep.TTFA.P50
+		rec.TTFAP99MS = rep.TTFA.P99
+		rec.FullP50MS = rep.Full.P50
+		rec.FullP99MS = rep.Full.P99
+		rec.Plans = rep.Plans
+		rec.CacheHits = reg.Counter("server.cache_hits").Value() - hitsBefore
+		rec.CacheMisses = reg.Counter("server.cache_misses").Value() - missBefore
+		if rep.Errors > 0 {
+			rec.Error = rep.FirstError
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+func maxConc(levels []int) int {
+	m := 0
+	for _, c := range levels {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// ServeTable renders the serving sweep.
+func ServeTable(recs []ServeRecord) *stats.Table {
+	t := stats.NewTable("conc", "requests", "errors", "sessions/s",
+		"ttfa-p50", "ttfa-p99", "full-p50", "full-p99", "cache hit/miss")
+	for _, r := range recs {
+		if r.Error != "" && r.Requests == 0 {
+			t.Add(fmt.Sprint(r.Concurrency), "-", "-", r.Error, "", "", "", "", "")
+			continue
+		}
+		t.Add(fmt.Sprint(r.Concurrency),
+			fmt.Sprint(r.Requests), fmt.Sprint(r.Errors),
+			fmt.Sprintf("%.1f", r.SessionsPerSec),
+			fmt.Sprintf("%.2fms", r.TTFAP50MS), fmt.Sprintf("%.2fms", r.TTFAP99MS),
+			fmt.Sprintf("%.2fms", r.FullP50MS), fmt.Sprintf("%.2fms", r.FullP99MS),
+			fmt.Sprintf("%d/%d", r.CacheHits, r.CacheMisses))
+	}
+	return t
+}

@@ -100,6 +100,17 @@ type Config struct {
 	// reformulation-level ordering).
 	Adaptive    bool
 	DriftFactor float64
+	// Prepared, when non-nil, supplies a prebuilt reformulation (see
+	// Prepare): New skips the reformulation phase and shares the prepared
+	// plan space, which is how the serving layer's session cache reuses
+	// the expensive prefix across identical queries. Catalog, Query, and
+	// Reformulator are taken from the Prepared value when unset.
+	Prepared *Prepared
+	// OnPlan, when non-nil, is invoked synchronously from Run after each
+	// plan finishes executing, with the plan, its utility, and the fresh
+	// answers it contributed — the streaming hook the serving layer uses
+	// to push results to clients as they are produced.
+	OnPlan func(PlanEvent)
 	// Obs, when non-nil, receives phase spans (mediator/reformulate,
 	// mediator/order, mediator/soundness, mediator/execute,
 	// mediator/reorder), the orderer's per-algorithm work counters, and
@@ -127,7 +138,28 @@ const (
 	StopMaxPlans   StopReason = "max-plans"
 	StopMaxCost    StopReason = "max-cost"
 	StopMinAnswers StopReason = "min-answers"
+	StopCanceled   StopReason = "canceled"
 )
+
+// PlanEvent describes one executed plan, delivered to Config.OnPlan while
+// a Run is in progress. Cancellation and budget checks happen after the
+// callback returns, so every executed plan produces exactly one event.
+type PlanEvent struct {
+	// Index is the 1-based position of the plan within this Run.
+	Index int
+	// Plan is the executed plan query.
+	Plan *schema.Query
+	// Utility is the plan's utility at selection time.
+	Utility float64
+	// NewAnswers holds the answers this plan contributed that were not
+	// already in the answer set. The slice aliases the answer set's
+	// backing array; callers must not mutate it.
+	NewAnswers []schema.Atom
+	// TotalAnswers is the distinct-answer count after this plan.
+	TotalAnswers int
+	// Cost is the engine's accrued cost after this plan.
+	Cost float64
+}
 
 // Result summarizes a Run.
 type Result struct {
@@ -217,8 +249,81 @@ func (s miniconSource) entriesWithStats(f func(*lav.Source) lav.Stats) *lav.Cata
 	return s.md.EntriesWithStats(f)
 }
 
-// New reformulates the query and builds the ordering pipeline.
+// Prepared is the reusable reformulation prefix for one (query, catalog,
+// reformulator) triple: the buckets (or MCDs), the derived entry catalog,
+// and the plan space — everything a mediator needs before an orderer is
+// built. A Prepared value is immutable and safe to share across
+// concurrently running Systems; the serving layer caches them keyed by
+// the query's schema.CanonicalKey.
+type Prepared struct {
+	Query        *schema.Query
+	Catalog      *lav.Catalog
+	Reformulator Reformulator
+	src          planSource
+}
+
+// Entries exposes the derived entry catalog of the prepared reformulation.
+func (p *Prepared) Entries() *lav.Catalog { return p.src.entries() }
+
+// PlanSpaceSize returns the number of candidate plans across the prepared
+// plan spaces.
+func (p *Prepared) PlanSpaceSize() int64 {
+	var n int64
+	for _, sp := range p.src.spaces() {
+		n += sp.Size()
+	}
+	return n
+}
+
+// Prepare runs the reformulation phase — the expensive prefix shared by
+// every mediator over the same query — and returns it in reusable form.
+func Prepare(q *schema.Query, cat *lav.Catalog, r Reformulator) (*Prepared, error) {
+	if q == nil || cat == nil {
+		return nil, fmt.Errorf("mediator: Prepare needs a query and a catalog")
+	}
+	var src planSource
+	switch r {
+	case "", Buckets:
+		r = Buckets
+		b, err := reformulate.BuildBuckets(q, cat)
+		if err != nil {
+			return nil, err
+		}
+		src = bucketSource{reformulate.NewPlanDomain(b, cat)}
+	case InverseRules:
+		b, err := reformulate.InverseBuckets(q, cat)
+		if err != nil {
+			return nil, err
+		}
+		src = bucketSource{reformulate.NewPlanDomain(b, cat)}
+	case MiniCon:
+		gb, err := reformulate.BuildMCDs(q, cat)
+		if err != nil {
+			return nil, err
+		}
+		md, err := reformulate.NewMiniConDomain(gb, cat)
+		if err != nil {
+			return nil, err
+		}
+		src = miniconSource{md}
+	default:
+		return nil, fmt.Errorf("mediator: unknown reformulator %q", r)
+	}
+	return &Prepared{Query: q, Catalog: cat, Reformulator: r, src: src}, nil
+}
+
+// New reformulates the query (or adopts a Prepared reformulation) and
+// builds the ordering pipeline.
 func New(cfg Config) (*System, error) {
+	if cfg.Prepared != nil {
+		if cfg.Catalog == nil {
+			cfg.Catalog = cfg.Prepared.Catalog
+		}
+		if cfg.Query == nil {
+			cfg.Query = cfg.Prepared.Query
+		}
+		cfg.Reformulator = cfg.Prepared.Reformulator
+	}
 	if cfg.Catalog == nil || cfg.Query == nil || cfg.Measure == nil {
 		return nil, fmt.Errorf("mediator: Catalog, Query, and Measure are required")
 	}
@@ -227,35 +332,18 @@ func New(cfg Config) (*System, error) {
 	}
 	tr := cfg.Obs.Tracer()
 
-	reformSpan := obs.StartSpan(tr, "mediator/reformulate")
 	var src planSource
-	switch cfg.Reformulator {
-	case "", Buckets:
-		b, err := reformulate.BuildBuckets(cfg.Query, cfg.Catalog)
+	if cfg.Prepared != nil {
+		src = cfg.Prepared.src
+	} else {
+		reformSpan := obs.StartSpan(tr, "mediator/reformulate")
+		prep, err := Prepare(cfg.Query, cfg.Catalog, cfg.Reformulator)
+		reformSpan.End()
 		if err != nil {
 			return nil, err
 		}
-		src = bucketSource{reformulate.NewPlanDomain(b, cfg.Catalog)}
-	case InverseRules:
-		b, err := reformulate.InverseBuckets(cfg.Query, cfg.Catalog)
-		if err != nil {
-			return nil, err
-		}
-		src = bucketSource{reformulate.NewPlanDomain(b, cfg.Catalog)}
-	case MiniCon:
-		gb, err := reformulate.BuildMCDs(cfg.Query, cfg.Catalog)
-		if err != nil {
-			return nil, err
-		}
-		md, err := reformulate.NewMiniConDomain(gb, cfg.Catalog)
-		if err != nil {
-			return nil, err
-		}
-		src = miniconSource{md}
-	default:
-		return nil, fmt.Errorf("mediator: unknown reformulator %q", cfg.Reformulator)
+		src = prep.src
 	}
-	reformSpan.End()
 
 	m := cfg.Measure(src.entries())
 	heur := cfg.Heuristic
@@ -371,6 +459,9 @@ type sound struct {
 	util float64
 	err  error
 	ok   bool
+	// interrupted marks a pull abandoned because the Run context was
+	// canceled; unlike ok=false it must NOT latch the exhaustion flag.
+	interrupted bool
 }
 
 // nextSound pulls the orderer until a sound plan appears.
@@ -405,6 +496,17 @@ func (s *System) nextSound() sound {
 // with the current plan's execution. With Adaptive, drifted statistics
 // trigger re-ordering of the remaining plans between executions.
 func (s *System) Run(engine *execsim.Engine, budget Budget) (*Result, error) {
+	return s.RunContext(context.Background(), engine, budget)
+}
+
+// RunContext is Run bound to a context: cancellation (a client
+// disconnect, a request deadline) is observed at plan boundaries — before
+// each plan is pulled and executed — and propagates into the pipelined
+// producer, which exits promptly and parks its pulled-ahead plans in the
+// stash for a later Run. A canceled run returns the partial result with
+// Stopped == StopCanceled and a nil error: the answers streamed so far
+// are valid, the stop is not a failure.
+func (s *System) RunContext(ctx context.Context, engine *execsim.Engine, budget Budget) (*Result, error) {
 	s.runMu.Lock()
 	defer s.runMu.Unlock()
 	res := &Result{Answers: execsim.NewAnswerSet(), Stopped: StopExhausted}
@@ -433,16 +535,24 @@ func (s *System) Run(engine *execsim.Engine, budget Budget) (*Result, error) {
 	runStart := time.Now()
 	firstAnswerAt := time.Duration(-1)
 	for {
+		if ctx.Err() != nil {
+			res.Stopped = StopCanceled
+			break
+		}
 		if s.exhausted && len(s.stash) == 0 {
 			res.Stopped = StopExhausted
 			break
 		}
 		if s.next == nil {
-			s.next, s.drain = s.nextSoundFunc()
+			s.next, s.drain = s.nextSoundFunc(ctx)
 		}
 		sp := s.next()
 		if sp.err != nil {
 			return nil, sp.err
+		}
+		if sp.interrupted {
+			res.Stopped = StopCanceled
+			break
 		}
 		if !sp.ok {
 			s.exhausted = true
@@ -455,6 +565,7 @@ func (s *System) Run(engine *execsim.Engine, budget Budget) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		before := res.Answers.Len()
 		fresh := res.Answers.Add(out)
 		s.cfg.Obs.Counter("mediator.plans_executed").Inc()
 		s.cfg.Obs.Counter("mediator.answers_new").Add(int64(fresh))
@@ -467,6 +578,16 @@ func (s *System) Run(engine *execsim.Engine, budget Budget) (*Result, error) {
 		res.Utilities = append(res.Utilities, sp.util)
 		res.NewAnswers = append(res.NewAnswers, fresh)
 		res.Cost = engine.Cost
+		if s.cfg.OnPlan != nil {
+			s.cfg.OnPlan(PlanEvent{
+				Index:        len(res.Executed),
+				Plan:         sp.pq,
+				Utility:      sp.util,
+				NewAnswers:   res.Answers.Atoms()[before:],
+				TotalAnswers: res.Answers.Len(),
+				Cost:         engine.Cost,
+			})
+		}
 
 		if budget.MaxPlans > 0 && len(res.Executed) >= budget.MaxPlans {
 			res.Stopped = StopMaxPlans
@@ -500,10 +621,12 @@ func (s *System) Run(engine *execsim.Engine, budget Budget) (*Result, error) {
 // nextSoundFunc returns the plan supplier and a drain function that waits
 // for any in-flight ordering work (so the orderer is quiescent before the
 // caller reads its instrumentation). With Parallelism > 1 the supplier is
-// the pipelined producer; without Prefetch both are trivial.
-func (s *System) nextSoundFunc() (next func() sound, drain func()) {
+// the pipelined producer, which observes the Run context; the sequential
+// and Prefetch suppliers ignore it (cancellation is checked in the Run
+// loop, and their closures outlive a single Run).
+func (s *System) nextSoundFunc(ctx context.Context) (next func() sound, drain func()) {
 	if s.cfg.Parallelism > 1 {
-		return s.pipelined()
+		return s.pipelined(ctx)
 	}
 	if !s.cfg.Prefetch {
 		return s.nextSound, func() {}
@@ -542,7 +665,14 @@ func (s *System) nextSoundFunc() (next func() sound, drain func()) {
 // its instrumentation are then safe to read), and parks every plan pulled
 // ahead in s.stash — the orderer has already conditioned on them, so they
 // must execute before anything newly ordered in a later Run.
-func (s *System) pipelined() (next func() sound, drain func()) {
+//
+// The producer's context is derived from the Run context, so a request
+// cancellation stops ordering work promptly even while the consumer is
+// mid-execution, and the consumer's queue read also watches the Run
+// context — otherwise a producer that exited on cancellation without
+// delivering a terminal marker would strand the consumer on an empty
+// queue.
+func (s *System) pipelined(runCtx context.Context) (next func() sound, drain func()) {
 	if s.exhausted {
 		// The orderer is spent; serve the remaining stash without
 		// starting a producer that would poke it again.
@@ -561,7 +691,7 @@ func (s *System) pipelined() (next func() sound, drain func()) {
 	if depth < 1 {
 		depth = 2
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(runCtx)
 	ch := make(chan sound, depth)
 	done := make(chan struct{})
 	var leftover *sound // written by the producer before done closes
@@ -591,7 +721,12 @@ func (s *System) pipelined() (next func() sound, drain func()) {
 			s.stash = s.stash[1:]
 			return v
 		}
-		return <-ch
+		select {
+		case v := <-ch:
+			return v
+		case <-runCtx.Done():
+			return sound{interrupted: true}
+		}
 	}
 	drain = func() {
 		cancel()

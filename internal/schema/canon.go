@@ -1,0 +1,209 @@
+package schema
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CanonicalKey returns a rendering of the query that is identical for
+// queries equal up to consistent variable renaming and body-atom
+// reordering, and distinct otherwise: two queries share a key only when
+// one can be turned into the other by permuting body atoms and renaming
+// variables. The serving layer keys its session cache on it, so identical
+// queries submitted with different variable names or atom orders share the
+// cached reformulation while semantically different queries never collide
+// (the key IS a full rendering of the canonicalized query, so equal keys
+// imply isomorphic queries).
+//
+// Canonicalization runs a color-refinement pass: each variable starts from
+// its head positions, each atom from its predicate, constants, and
+// within-atom equality pattern, and the two signatures refine each other
+// for a bounded number of rounds. Body atoms are then sorted by signature
+// and variables renamed by first occurrence. Atoms left tied by identical
+// signatures are polished by re-sorting on their rendered form; truly
+// automorphic queries (where tied atoms are interchangeable) render
+// identically either way.
+func (q *Query) CanonicalKey() string {
+	vars := q.Vars()
+	varIdx := make(map[Term]int, len(vars))
+	for i, v := range vars {
+		varIdx[v] = i
+	}
+
+	// Initial variable signature: the head positions the variable fills.
+	varSig := make([]string, len(vars))
+	for pos, t := range q.Head {
+		if t.IsVar() {
+			varSig[varIdx[t]] += "h" + strconv.Itoa(pos) + ";"
+		}
+	}
+	headSig := append([]string(nil), varSig...)
+
+	// Base atom signature: predicate, arity, constant values, and the
+	// within-atom variable-equality pattern (r(X,Y,X) -> v0,v1,v0).
+	base := make([]string, len(q.Body))
+	for i, a := range q.Body {
+		var b strings.Builder
+		b.WriteString(a.Pred)
+		b.WriteByte('/')
+		b.WriteString(strconv.Itoa(len(a.Args)))
+		local := map[Term]int{}
+		for _, t := range a.Args {
+			if t.Const {
+				b.WriteString("|c" + strconv.Quote(t.Name))
+				continue
+			}
+			k, ok := local[t]
+			if !ok {
+				k = len(local)
+				local[t] = k
+			}
+			b.WriteString("|v" + strconv.Itoa(k))
+		}
+		base[i] = b.String()
+	}
+
+	// Refinement: atom signatures absorb their variables' signatures;
+	// variable signatures absorb the sorted multiset of (atom signature,
+	// argument position) occurrences. Rounds are bounded by the query
+	// diameter; hashing keeps signatures from growing geometrically.
+	atomSig := make([]string, len(q.Body))
+	rounds := len(q.Body) + 2
+	if rounds > 8 {
+		rounds = 8
+	}
+	for r := 0; r < rounds; r++ {
+		for i, a := range q.Body {
+			var b strings.Builder
+			b.WriteString(base[i])
+			for _, t := range a.Args {
+				if t.IsVar() {
+					b.WriteString("#" + varSig[varIdx[t]])
+				}
+			}
+			atomSig[i] = hashSig(b.String())
+		}
+		for vi, v := range vars {
+			var occ []string
+			for i, a := range q.Body {
+				for pos, t := range a.Args {
+					if t == v {
+						occ = append(occ, atomSig[i]+":"+strconv.Itoa(pos))
+					}
+				}
+			}
+			sort.Strings(occ)
+			varSig[vi] = hashSig(headSig[vi] + "&" + strings.Join(occ, ","))
+		}
+	}
+
+	// Order atoms by signature, then polish: assign canonical names by
+	// first occurrence (head first), re-sort signature ties by rendered
+	// form, and repeat until the order is stable.
+	order := make([]int, len(q.Body))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return atomSig[order[a]] < atomSig[order[b]] })
+	var names map[Term]int
+	for pass := 0; pass < 3; pass++ {
+		names = canonNames(q, order)
+		rendered := make([]string, len(q.Body))
+		for i, a := range q.Body {
+			rendered[i] = renderAtom(a, names)
+		}
+		next := append([]int(nil), order...)
+		sort.SliceStable(next, func(a, b int) bool {
+			if atomSig[next[a]] != atomSig[next[b]] {
+				return atomSig[next[a]] < atomSig[next[b]]
+			}
+			return rendered[next[a]] < rendered[next[b]]
+		})
+		if equalInts(next, order) {
+			break
+		}
+		order = next
+	}
+
+	var b strings.Builder
+	b.WriteString(q.Name)
+	b.WriteByte('(')
+	for i, t := range q.Head {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(renderTerm(t, names))
+	}
+	b.WriteString("):-")
+	for i, ai := range order {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(renderAtom(q.Body[ai], names))
+	}
+	return b.String()
+}
+
+// canonNames numbers the variables by first occurrence scanning the head,
+// then the body in the given atom order.
+func canonNames(q *Query, order []int) map[Term]int {
+	names := make(map[Term]int)
+	add := func(t Term) {
+		if t.IsVar() {
+			if _, ok := names[t]; !ok {
+				names[t] = len(names)
+			}
+		}
+	}
+	for _, t := range q.Head {
+		add(t)
+	}
+	for _, ai := range order {
+		for _, t := range q.Body[ai].Args {
+			add(t)
+		}
+	}
+	return names
+}
+
+// renderTerm renders a term unambiguously: variables as ?<canonical
+// index>, constants always quoted (the key need not be parseable datalog,
+// only collision-free).
+func renderTerm(t Term, names map[Term]int) string {
+	if t.Const {
+		return strconv.Quote(t.Name)
+	}
+	return "?" + strconv.Itoa(names[t])
+}
+
+func renderAtom(a Atom, names map[Term]int) string {
+	var b strings.Builder
+	b.WriteString(a.Pred)
+	b.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(renderTerm(t, names))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+func hashSig(s string) string {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func equalInts(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,135 @@
+package schema
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// shuffleBody returns a copy of q with its body atoms permuted.
+func shuffleBody(q *Query, rng *rand.Rand) *Query {
+	c := q.Clone()
+	rng.Shuffle(len(c.Body), func(i, j int) { c.Body[i], c.Body[j] = c.Body[j], c.Body[i] })
+	return c
+}
+
+func TestCanonicalKeyInvariance(t *testing.T) {
+	queries := []string{
+		"Q(M, R) :- play-in(ford, M), review-of(R, M)",
+		"Q(X0, X3) :- rel0(X0, X1), rel1(X1, X2), rel2(X2, X3)",
+		`Q(X) :- r(X, "two words"), s(X, X)`,
+		"Q(X, Y) :- r(X, Z), s(Z, Y), t(Y, X)",
+		"Q(A) :- p(A, B), p(B, C), p(C, A)",
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, src := range queries {
+		q := MustParseQuery(src)
+		key := q.CanonicalKey()
+		for trial := 0; trial < 20; trial++ {
+			v := shuffleBody(q.Rename("_zz"), rng)
+			if got := v.CanonicalKey(); got != key {
+				t.Errorf("%s: renamed+shuffled variant %s changed key:\n  %s\nvs\n  %s",
+					src, v, key, got)
+			}
+		}
+	}
+}
+
+func TestCanonicalKeyDistinguishes(t *testing.T) {
+	// Pairs that are semantically different and must never share a key.
+	pairs := [][2]string{
+		// Different join pattern.
+		{"Q(X) :- r(X, Y), s(Y, Z)", "Q(X) :- r(X, Y), s(X, Z)"},
+		// Different constant.
+		{"Q(M) :- play-in(ford, M)", "Q(M) :- play-in(hanks, M)"},
+		// Constant vs variable.
+		{"Q(M) :- play-in(ford, M)", "Q(M) :- play-in(A, M)"},
+		// Extra atom.
+		{"Q(X) :- r(X, Y)", "Q(X) :- r(X, Y), r(Y, X)"},
+		// Head projection differs.
+		{"Q(X, Y) :- r(X, Y)", "Q(Y, X) :- r(X, Y)"},
+		// Head predicate differs.
+		{"Q(X) :- r(X, X)", "P(X) :- r(X, X)"},
+		// Repeated-variable pattern differs.
+		{"Q(X) :- r(X, X)", "Q(X) :- r(X, Y)"},
+		// A constant whose lexical form looks like a canonical variable.
+		{`Q(X) :- r(X, "?0")`, "Q(X) :- r(X, Y)"},
+	}
+	for _, p := range pairs {
+		a, b := MustParseQuery(p[0]), MustParseQuery(p[1])
+		if a.CanonicalKey() == b.CanonicalKey() {
+			t.Errorf("distinct queries collide:\n  %s\n  %s\n  key %s", p[0], p[1], a.CanonicalKey())
+		}
+	}
+}
+
+// TestCanonicalKeyDuplicateAtoms: duplicate atoms are order-insensitive
+// and do not destabilize the key.
+func TestCanonicalKeyDuplicateAtoms(t *testing.T) {
+	a := MustParseQuery("Q(X) :- r(X, Y), r(X, Y), s(Y, X)")
+	b := MustParseQuery("Q(U) :- s(V, U), r(U, V), r(U, V)")
+	if a.CanonicalKey() != b.CanonicalKey() {
+		t.Errorf("duplicate-atom variants differ:\n  %s\n  %s", a.CanonicalKey(), b.CanonicalKey())
+	}
+}
+
+// TestQueryStringRoundTrip: MustParseQuery(q.String()) equals q up to
+// variable renaming — the property the server relies on when it echoes
+// and re-parses untrusted query strings.
+func TestQueryStringRoundTrip(t *testing.T) {
+	queries := []string{
+		"Q(M, R) :- play-in(ford, M), review-of(R, M)",
+		"V1(A, M) :- play-in(A, M), american(M)",
+		`Q(X) :- r(X, "two words"), s(X, 42)`,
+		`Q(X) :- r(X, "quoted \" inner")`,
+		"Q(X0, X4) :- rel0(X0, X1), rel1(X1, X2), rel2(X2, X3), rel3(X3, X4)",
+		"Q(A) :- p(A, B), p(B, C), p(C, A)",
+	}
+	for _, src := range queries {
+		q := MustParseQuery(src)
+		back := MustParseQuery(q.String())
+		if q.CanonicalKey() != back.CanonicalKey() {
+			t.Errorf("round trip of %q not equivalent:\n  %s\nvs\n  %s",
+				src, q.CanonicalKey(), back.CanonicalKey())
+		}
+	}
+}
+
+// FuzzCanonicalKey: for any accepted query, the key is stable across
+// re-parsing the rendered form, body-atom rotation, and variable
+// renaming, and never panics.
+func FuzzCanonicalKey(f *testing.F) {
+	for _, seed := range []string{
+		"Q(M, R) :- play-in(ford, M), review-of(R, M)",
+		"Q(X) :- r(X, Y), s(Y, Z), t(Z, X)",
+		"Q(A) :- p(A, B), p(B, C), p(C, A)",
+		`Q(X) :- r(X, "two words"), s(X, X)`,
+		"Q(X) :- r(X, X)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := ParseQuery(src)
+		if err != nil {
+			return
+		}
+		key := q.CanonicalKey()
+		// Re-parse of the String rendering agrees.
+		back, err := ParseQuery(q.String())
+		if err != nil {
+			t.Fatalf("String() of accepted query unparseable: %q", q.String())
+		}
+		if back.CanonicalKey() != key {
+			t.Fatalf("re-parse changed key: %q vs %q", key, back.CanonicalKey())
+		}
+		// Rotation of the body agrees.
+		rot := q.Clone()
+		rot.Body = append(rot.Body[1:], rot.Body[0])
+		if rot.CanonicalKey() != key {
+			t.Fatalf("body rotation changed key for %q: %q vs %q", src, key, rot.CanonicalKey())
+		}
+		// Renaming agrees.
+		if rk := q.Rename("_f").CanonicalKey(); rk != key {
+			t.Fatalf("rename changed key for %q: %q vs %q", src, key, rk)
+		}
+	})
+}

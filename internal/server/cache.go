@@ -1,0 +1,91 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"qporder/internal/mediator"
+	"qporder/internal/obs"
+)
+
+// sessionCache is the canonicalized-query keyed LRU of mediator.Prepared
+// values — the expensive reformulation prefix shared across identical
+// queries. Entries are built at most once per key via a per-entry
+// sync.Once (concurrent requests for the same fresh key block on the
+// first builder instead of duplicating the work), and a Prepared value is
+// immutable, so handing one entry to many in-flight sessions is safe.
+type sessionCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	byKey map[string]*list.Element
+
+	hits, misses, evictions *obs.Counter
+	size                    *obs.Gauge
+}
+
+type cacheEntry struct {
+	key  string
+	once sync.Once
+	prep *mediator.Prepared
+	err  error
+}
+
+func newSessionCache(max int, reg *obs.Registry) *sessionCache {
+	return &sessionCache{
+		max:       max,
+		ll:        list.New(),
+		byKey:     make(map[string]*list.Element),
+		hits:      reg.Counter("server.cache_hits"),
+		misses:    reg.Counter("server.cache_misses"),
+		evictions: reg.Counter("server.cache_evictions"),
+		size:      reg.Gauge("server.cache_sessions"),
+	}
+}
+
+// get returns the cached Prepared for key, building it with build on
+// first use. The second result reports whether the entry already existed
+// (a session-cache hit).
+func (c *sessionCache) get(key string, build func() (*mediator.Prepared, error)) (*mediator.Prepared, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		c.hits.Inc()
+		c.mu.Unlock()
+		e.once.Do(func() { e.prep, e.err = build() }) // waits if still building
+		return e.prep, true, e.err
+	}
+	e := &cacheEntry{key: key}
+	c.byKey[key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.max {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.byKey, back.Value.(*cacheEntry).key)
+		c.evictions.Inc()
+	}
+	c.misses.Inc()
+	c.size.Set(float64(c.ll.Len()))
+	c.mu.Unlock()
+
+	e.once.Do(func() { e.prep, e.err = build() })
+	if e.err != nil {
+		// Unplannable queries are not worth a cache slot; drop the entry
+		// (unless the key was already evicted or replaced).
+		c.mu.Lock()
+		if el, ok := c.byKey[key]; ok && el.Value.(*cacheEntry) == e {
+			c.ll.Remove(el)
+			delete(c.byKey, key)
+			c.size.Set(float64(c.ll.Len()))
+		}
+		c.mu.Unlock()
+	}
+	return e.prep, false, e.err
+}
+
+// len returns the number of cached sessions.
+func (c *sessionCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

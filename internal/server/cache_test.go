@@ -1,0 +1,163 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"qporder/internal/lav"
+	"qporder/internal/mediator"
+	"qporder/internal/obs"
+	"qporder/internal/schema"
+)
+
+// prepFor builds a real Prepared for the movie catalog (the cache stores
+// them by value identity, so tests need genuine ones).
+func prepFor(t *testing.T, cat *lav.Catalog, q string) func() (*mediator.Prepared, error) {
+	t.Helper()
+	return func() (*mediator.Prepared, error) {
+		return mediator.Prepare(schema.MustParseQuery(q), cat, mediator.Buckets)
+	}
+}
+
+// TestCacheCanonicalization is the satellite-3 coverage at the cache
+// layer: queries identical up to variable names and atom order share one
+// entry; semantically different ones never collide.
+func TestCacheCanonicalization(t *testing.T) {
+	cat := testCatalog(t)
+	reg := obs.NewRegistry()
+	c := newSessionCache(8, reg)
+
+	variants := []string{
+		"Q(M, R) :- play-in(A, M), review-of(R, M)",
+		"Q(Movie, Rev) :- review-of(Rev, Movie), play-in(Actor, Movie)",
+		"Q(X1, X2) :- play-in(X9, X1), review-of(X2, X1)",
+	}
+	var first *mediator.Prepared
+	for i, v := range variants {
+		key := schema.MustParseQuery(v).CanonicalKey() + "|buckets"
+		prep, hit, err := c.get(key, prepFor(t, cat, v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			if hit {
+				t.Error("first insert reported a hit")
+			}
+			first = prep
+			continue
+		}
+		if !hit {
+			t.Errorf("variant %d missed the cache", i)
+		}
+		if prep != first {
+			t.Errorf("variant %d got a different Prepared", i)
+		}
+	}
+
+	// Semantically different: same predicates, different join pattern.
+	other := "Q(M, R) :- play-in(R, M), review-of(R, M)"
+	key := schema.MustParseQuery(other).CanonicalKey() + "|buckets"
+	prep, hit, err := c.get(key, prepFor(t, cat, other))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit || prep == first {
+		t.Error("semantically different query collided with the cached entry")
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["server.cache_hits"] != 2 || snap.Counters["server.cache_misses"] != 2 {
+		t.Errorf("counters: %+v", snap.Counters)
+	}
+}
+
+// TestCacheLRUEviction: the least-recently-used entry is evicted at the
+// bound, and a re-request rebuilds it.
+func TestCacheLRUEviction(t *testing.T) {
+	cat := testCatalog(t)
+	reg := obs.NewRegistry()
+	c := newSessionCache(2, reg)
+	queries := []string{
+		"Q(M) :- play-in(ford, M)",
+		"Q(R, M) :- review-of(R, M)",
+		"Q(A, M) :- play-in(A, M), american(M)",
+	}
+	keys := make([]string, len(queries))
+	for i, q := range queries {
+		keys[i] = schema.MustParseQuery(q).CanonicalKey() + "|buckets"
+		if _, _, err := c.get(keys[i], prepFor(t, cat, q)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.len())
+	}
+	// The first query was least recently used and must have been evicted.
+	if _, hit, err := c.get(keys[0], prepFor(t, cat, queries[0])); err != nil || hit {
+		t.Errorf("evicted entry: hit=%v err=%v, want a rebuild miss", hit, err)
+	}
+	// The most recent survivor is still resident.
+	if _, hit, err := c.get(keys[2], prepFor(t, cat, queries[2])); err != nil || !hit {
+		t.Errorf("resident entry: hit=%v err=%v, want a hit", hit, err)
+	}
+	if n := reg.Snapshot().Counters["server.cache_evictions"]; n != 2 {
+		t.Errorf("evictions = %d, want 2", n)
+	}
+}
+
+// TestCacheSingleflight: concurrent requests for one fresh key run the
+// builder exactly once; everyone gets the same value.
+func TestCacheSingleflight(t *testing.T) {
+	cat := testCatalog(t)
+	c := newSessionCache(8, obs.NewRegistry())
+	var builds atomic.Int64
+	build := func() (*mediator.Prepared, error) {
+		builds.Add(1)
+		return mediator.Prepare(schema.MustParseQuery(testQuery), cat, mediator.Buckets)
+	}
+	const workers = 8
+	preps := make([]*mediator.Prepared, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, _, err := c.get("k", build)
+			if err != nil {
+				t.Error(err)
+			}
+			preps[i] = p
+		}(i)
+	}
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Errorf("builder ran %d times, want 1", n)
+	}
+	for i := 1; i < workers; i++ {
+		if preps[i] != preps[0] {
+			t.Errorf("worker %d got a different Prepared", i)
+		}
+	}
+}
+
+// TestCacheBuildErrorNotCached: a failed build is not retained, so a
+// later request retries, and failures never occupy LRU slots.
+func TestCacheBuildErrorNotCached(t *testing.T) {
+	c := newSessionCache(8, obs.NewRegistry())
+	calls := 0
+	failing := func() (*mediator.Prepared, error) {
+		calls++
+		return nil, fmt.Errorf("boom %d", calls)
+	}
+	if _, _, err := c.get("bad", failing); err == nil {
+		t.Fatal("expected a build error")
+	}
+	if c.len() != 0 {
+		t.Errorf("failed build retained: len=%d", c.len())
+	}
+	if _, _, err := c.get("bad", failing); err == nil || calls != 2 {
+		t.Errorf("retry: err=%v calls=%d, want a second attempt", err, calls)
+	}
+}

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// TestStructuredErrors is the satellite-6 table: every malformed request
+// yields a structured 4xx JSON error with a stable code — never a 500,
+// never a plain-text body.
+func TestStructuredErrors(t *testing.T) {
+	_, ts := testServer(t, func(c *Config) {
+		c.MaxK = 50
+	})
+	cases := []struct {
+		name   string
+		body   string
+		status int
+		code   string
+	}{
+		{"bad json", `{"query": `, http.StatusBadRequest, CodeBadJSON},
+		{"unknown field", `{"query": "Q(X) :- r(X)", "bogus": 1}`, http.StatusBadRequest, CodeBadJSON},
+		{"missing query", `{}`, http.StatusBadRequest, CodeMissingQuery},
+		{"blank query", `{"query": "   "}`, http.StatusBadRequest, CodeMissingQuery},
+		{"parse error", `{"query": "Q(X :- r(X)"}`, http.StatusBadRequest, CodeParseError},
+		{"unknown measure", `{"query": "Q(M, R) :- play-in(A, M), review-of(R, M)", "measure": "psychic"}`,
+			http.StatusBadRequest, CodeUnknownMeasure},
+		{"unknown algorithm", `{"query": "Q(M, R) :- play-in(A, M), review-of(R, M)", "algorithm": "quantum"}`,
+			http.StatusBadRequest, CodeUnknownAlgorithm},
+		{"unknown reformulator", `{"query": "Q(M, R) :- play-in(A, M), review-of(R, M)", "reformulator": "magic"}`,
+			http.StatusBadRequest, CodeUnknownReformulator},
+		{"negative k", `{"query": "Q(M, R) :- play-in(A, M), review-of(R, M)", "k": -1}`,
+			http.StatusBadRequest, CodeInvalidK},
+		{"k over max", `{"query": "Q(M, R) :- play-in(A, M), review-of(R, M)", "k": 51}`,
+			http.StatusBadRequest, CodeInvalidK},
+		{"negative deadline", `{"query": "Q(M, R) :- play-in(A, M), review-of(R, M)", "deadline_ms": -5}`,
+			http.StatusBadRequest, CodeInvalidDeadline},
+		{"deadline over max", `{"query": "Q(M, R) :- play-in(A, M), review-of(R, M)", "deadline_ms": 99999999}`,
+			http.StatusBadRequest, CodeInvalidDeadline},
+		{"negative parallelism", `{"query": "Q(M, R) :- play-in(A, M), review-of(R, M)", "parallelism": -2}`,
+			http.StatusBadRequest, CodeInvalidParallelism},
+		{"unplannable query", `{"query": "Q(X, Y) :- starring(X, Y)"}`,
+			http.StatusUnprocessableEntity, CodeUnplannable},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader([]byte(tc.body)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.status)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Errorf("Content-Type %q, want application/json", ct)
+			}
+			var body struct {
+				Err ErrorBody `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				t.Fatalf("non-JSON error body: %v", err)
+			}
+			if body.Err.Code != tc.code {
+				t.Errorf("code %q, want %q", body.Err.Code, tc.code)
+			}
+			if body.Err.Message == "" {
+				t.Error("error has no message")
+			}
+		})
+	}
+}
+
+// TestMethodNotAllowed: the query endpoint only accepts POST.
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := testServer(t, nil)
+	resp, err := http.Get(ts.URL + "/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/query = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestOversizedBody: a body beyond the 1MB cap is a bad_json 4xx, not a
+// connection reset or 500.
+func TestOversizedBody(t *testing.T) {
+	_, ts := testServer(t, nil)
+	big := append([]byte(`{"query": "`), bytes.Repeat([]byte("x"), 2<<20)...)
+	big = append(big, []byte(`"}`)...)
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized body = %d, want 400", resp.StatusCode)
+	}
+}

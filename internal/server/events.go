@@ -1,0 +1,72 @@
+package server
+
+// Event is one NDJSON line of the POST /v1/query response stream. The
+// server writes it with omitempty fields; clients (cmd/qpload, the serve
+// experiment) decode every line into the same type and dispatch on Event.
+//
+// The stream for a successful request is:
+//
+//	{"event":"session", ...}            once, before any ordering work
+//	{"event":"plan", ...}               per executed plan, best-first
+//	{"event":"answers", ...}            per plan that contributed answers
+//	{"event":"done", ...}               once, last line
+//
+// A failure after the stream has started (headers already sent) is
+// reported as a final {"event":"error"} line.
+type Event struct {
+	Event string `json:"event"`
+
+	// session fields.
+	Cache     string `json:"cache,omitempty"` // hit | miss
+	Algorithm string `json:"algorithm,omitempty"`
+	Measure   string `json:"measure,omitempty"`
+	K         int    `json:"k,omitempty"`
+	PlanSpace int64  `json:"plan_space,omitempty"`
+
+	// plan fields (answers events reuse Index).
+	Index        int     `json:"index,omitempty"`
+	Utility      float64 `json:"utility,omitempty"`
+	Plan         string  `json:"plan,omitempty"`
+	NewAnswers   int     `json:"new_answers,omitempty"`
+	TotalAnswers int     `json:"total_answers,omitempty"`
+
+	// answers fields.
+	Answers []string `json:"answers,omitempty"`
+
+	// done fields.
+	Stopped   string  `json:"stopped,omitempty"`
+	Plans     int     `json:"plans,omitempty"`
+	Cost      float64 `json:"cost,omitempty"`
+	Evals     int     `json:"evals,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+
+	// error fields.
+	Err *ErrorBody `json:"error,omitempty"`
+}
+
+// ErrorBody is the structured error payload: the body of every non-2xx
+// response ({"error":{...}}) and of mid-stream error events.
+type ErrorBody struct {
+	// Code is a stable machine-readable error class.
+	Code string `json:"code"`
+	// Message is the human-readable detail.
+	Message string `json:"message"`
+}
+
+// The error codes returned by the query endpoint.
+const (
+	CodeBadJSON             = "bad_json"
+	CodeMissingQuery        = "missing_query"
+	CodeParseError          = "parse_error"
+	CodeUnknownMeasure      = "unknown_measure"
+	CodeUnknownAlgorithm    = "unknown_algorithm"
+	CodeUnknownReformulator = "unknown_reformulator"
+	CodeInvalidK            = "invalid_k"
+	CodeInvalidDeadline     = "invalid_deadline"
+	CodeInvalidParallelism  = "invalid_parallelism"
+	CodeUnplannable         = "unplannable"
+	CodeInapplicable        = "algorithm_inapplicable"
+	CodeOverloaded          = "overloaded"
+	CodeDraining            = "draining"
+	CodeInternal            = "internal"
+)

@@ -1,0 +1,324 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qporder/internal/obs"
+	"qporder/internal/schema"
+)
+
+// LoadConfig parameterizes a load run against a serving daemon.
+type LoadConfig struct {
+	// BaseURL of the daemon, e.g. "http://127.0.0.1:8091".
+	BaseURL string
+	// Queries are cycled through round-robin across requests. Required.
+	Queries []string
+	// Requests is the total number of sessions to run (default 32).
+	Requests int
+	// Concurrency is the worker-pool width (default 4).
+	Concurrency int
+	// K, Measure, Algorithm, Reformulator, DeadlineMS, and Parallelism
+	// are forwarded verbatim on every request (zero values let the
+	// server apply its defaults).
+	K            int
+	Measure      string
+	Algorithm    string
+	Reformulator string
+	DeadlineMS   int64
+	Parallelism  int
+	// QPS > 0 paces request starts at that aggregate rate; 0 runs
+	// closed-loop (each worker fires as soon as its previous session
+	// finishes).
+	QPS float64
+	// Shuffle perturbs each request's query — body atoms permuted,
+	// variables renamed — without changing its meaning, exercising the
+	// canonicalized session cache the way distinct clients would.
+	Shuffle bool
+	// Seed drives the shuffling (default 1).
+	Seed int64
+}
+
+// Quantiles summarizes a latency distribution, in milliseconds.
+type Quantiles struct {
+	P50 float64 `json:"p50_ms"`
+	P90 float64 `json:"p90_ms"`
+	P99 float64 `json:"p99_ms"`
+	Max float64 `json:"max_ms"`
+}
+
+// LoadReport is the outcome of a load run.
+type LoadReport struct {
+	Requests   int     `json:"requests"`
+	Errors     int     `json:"errors"`
+	Plans      int64   `json:"plans"`
+	Answers    int64   `json:"answers"`
+	DurationMS float64 `json:"duration_ms"`
+	// QPS is the achieved session completion rate.
+	QPS float64 `json:"qps"`
+	// TTFA is time-to-first-answer: request start to the first answers
+	// event. Sessions that produced no answers are excluded.
+	TTFA Quantiles `json:"ttfa"`
+	// Full is request start to the done event (the full-k latency).
+	Full Quantiles `json:"full"`
+	// FirstError carries the first failure's detail for diagnosis.
+	FirstError string `json:"first_error,omitempty"`
+}
+
+// quantiles computes the summary of a sample set (ms).
+func quantiles(samples []float64) Quantiles {
+	if len(samples) == 0 {
+		return Quantiles{}
+	}
+	sort.Float64s(samples)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(samples)-1))
+		return samples[i]
+	}
+	return Quantiles{P50: at(0.50), P90: at(0.90), P99: at(0.99), Max: samples[len(samples)-1]}
+}
+
+// perturb rewrites a query without changing its meaning: body atoms
+// shuffled and every variable renamed, so the server only serves it from
+// the session cache if its canonicalization works.
+func perturb(src string, i int, rng *rand.Rand) string {
+	q, err := schema.ParseQuery(src)
+	if err != nil {
+		return src // let the server report the parse error
+	}
+	c := q.Rename(fmt.Sprintf("_r%d", i))
+	rng.Shuffle(len(c.Body), func(a, b int) { c.Body[a], c.Body[b] = c.Body[b], c.Body[a] })
+	return c.String()
+}
+
+// sessionResult is one request's outcome.
+type sessionResult struct {
+	err     error
+	plans   int64
+	answers int64
+	ttfaMS  float64 // <0 when no answers arrived
+	fullMS  float64
+}
+
+// runSession posts one query and consumes its NDJSON stream.
+func runSession(ctx context.Context, client *http.Client, cfg LoadConfig, query string) sessionResult {
+	body, _ := json.Marshal(queryRequest{
+		Query:        query,
+		K:            cfg.K,
+		DeadlineMS:   cfg.DeadlineMS,
+		Algorithm:    cfg.Algorithm,
+		Measure:      cfg.Measure,
+		Reformulator: cfg.Reformulator,
+		Parallelism:  cfg.Parallelism,
+	})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		return sessionResult{err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return sessionResult{err: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		detail, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return sessionResult{err: fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(detail))}
+	}
+	res := sessionResult{ttfaMS: -1}
+	sawDone := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return sessionResult{err: fmt.Errorf("bad stream line: %w", err)}
+		}
+		switch e.Event {
+		case "plan":
+			res.plans++
+		case "answers":
+			res.answers += int64(len(e.Answers))
+			if res.ttfaMS < 0 {
+				res.ttfaMS = float64(time.Since(start)) / float64(time.Millisecond)
+			}
+		case "done":
+			sawDone = true
+			res.fullMS = float64(time.Since(start)) / float64(time.Millisecond)
+		case "error":
+			return sessionResult{err: fmt.Errorf("stream error %s: %s", e.Err.Code, e.Err.Message)}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return sessionResult{err: err}
+	}
+	if !sawDone {
+		return sessionResult{err: fmt.Errorf("stream ended without a done event")}
+	}
+	return res
+}
+
+// RunLoad replays the configured workload against the daemon and
+// summarizes latency and throughput.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	if cfg.BaseURL == "" || len(cfg.Queries) == 0 {
+		return nil, fmt.Errorf("loadgen: BaseURL and Queries are required")
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 32
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 4
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+
+	// Materialize the request bodies up front so the hot loop only does
+	// I/O; perturbation is deterministic in (Seed, request index).
+	queries := make([]string, cfg.Requests)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := range queries {
+		q := cfg.Queries[i%len(cfg.Queries)]
+		if cfg.Shuffle {
+			q = perturb(q, i, rng)
+		}
+		queries[i] = q
+	}
+
+	client := &http.Client{}
+	var (
+		mu      sync.Mutex
+		results []sessionResult
+		idx     atomic.Int64
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(idx.Add(1)) - 1
+				if i >= cfg.Requests || ctx.Err() != nil {
+					return
+				}
+				if cfg.QPS > 0 {
+					// Open-loop pacing: request i is due at i/QPS.
+					due := start.Add(time.Duration(float64(i) / cfg.QPS * float64(time.Second)))
+					if d := time.Until(due); d > 0 {
+						select {
+						case <-time.After(d):
+						case <-ctx.Done():
+							return
+						}
+					}
+				}
+				r := runSession(ctx, client, cfg, queries[i])
+				mu.Lock()
+				results = append(results, r)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &LoadReport{Requests: len(results), DurationMS: float64(elapsed) / float64(time.Millisecond)}
+	var ttfa, full []float64
+	for _, r := range results {
+		if r.err != nil {
+			rep.Errors++
+			if rep.FirstError == "" {
+				rep.FirstError = r.err.Error()
+			}
+			continue
+		}
+		rep.Plans += r.plans
+		rep.Answers += r.answers
+		if r.ttfaMS >= 0 {
+			ttfa = append(ttfa, r.ttfaMS)
+		}
+		full = append(full, r.fullMS)
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.QPS = float64(len(results)-rep.Errors) / secs
+	}
+	rep.TTFA = quantiles(ttfa)
+	rep.Full = quantiles(full)
+	return rep, nil
+}
+
+// StreamPlans runs one session and returns the streamed plan queries in
+// order — the parity probe qpload -print-plans uses to diff the served
+// order against qporder's.
+func StreamPlans(ctx context.Context, baseURL string, cfg LoadConfig, query string) ([]string, error) {
+	body, _ := json.Marshal(queryRequest{
+		Query:        query,
+		K:            cfg.K,
+		DeadlineMS:   cfg.DeadlineMS,
+		Algorithm:    cfg.Algorithm,
+		Measure:      cfg.Measure,
+		Reformulator: cfg.Reformulator,
+		Parallelism:  cfg.Parallelism,
+	})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		detail, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(detail))
+	}
+	var plans []string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, err
+		}
+		switch e.Event {
+		case "plan":
+			plans = append(plans, e.Plan)
+		case "error":
+			return nil, fmt.Errorf("stream error %s: %s", e.Err.Code, e.Err.Message)
+		}
+	}
+	return plans, sc.Err()
+}
+
+// FetchSnapshot reads the daemon's metrics snapshot (/metrics?format=json).
+func FetchSnapshot(ctx context.Context, baseURL string) (*obs.Snapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/metrics?format=json", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}

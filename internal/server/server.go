@@ -1,0 +1,550 @@
+// Package server is the stdlib-only serving layer over the mediator: a
+// long-lived daemon that accepts conjunctive queries over HTTP, streams
+// ordered best-first results as NDJSON, caches the reformulation prefix
+// across requests keyed by the query's canonical form, and applies
+// admission control so a burst of clients degrades to queueing and
+// clean 503s instead of unbounded goroutines.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"qporder/internal/costmodel"
+	"qporder/internal/execsim"
+	"qporder/internal/lav"
+	"qporder/internal/measure"
+	"qporder/internal/mediator"
+	"qporder/internal/obs"
+	"qporder/internal/schema"
+)
+
+// Config parameterizes a Server. Zero fields take the documented
+// defaults.
+type Config struct {
+	// Catalog registers the sources the daemon mediates over. Required.
+	Catalog *lav.Catalog
+	// Seed drives the simulated world exactly as qporder -execute does:
+	// world at Seed, source contents at Seed+1, access failures at
+	// Seed+2, so a served query and a qporder run agree. Default 1.
+	Seed int64
+	// N is the selectivity denominator of the cost measures (default
+	// 50000, the qporder default).
+	N float64
+	// MaxInflight bounds concurrently executing sessions (default 8).
+	MaxInflight int
+	// MaxQueue bounds sessions waiting for an execution slot; beyond it
+	// requests are rejected with 503 overloaded (default 32).
+	MaxQueue int
+	// CacheSessions bounds the reformulation session cache (default 128).
+	CacheSessions int
+	// DefaultK and MaxK bound the per-request plan budget (defaults 10
+	// and 1000).
+	DefaultK int
+	MaxK     int
+	// DefaultDeadline and MaxDeadline bound the per-request deadline
+	// (defaults 10s and 2m).
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// MaxParallelism caps the per-request mediator pipeline width
+	// (default 8).
+	MaxParallelism int
+	// Reg receives the server's counters and gauges alongside the
+	// mediator's; a fresh registry is created when nil.
+	Reg *obs.Registry
+}
+
+// Server mediates queries over a fixed catalog and simulated world.
+type Server struct {
+	cfg   Config
+	store execsim.DB
+	reg   *obs.Registry
+	cache *sessionCache
+	mux   *http.ServeMux
+
+	sem      chan struct{}
+	waiting  atomic.Int64
+	draining atomic.Bool
+
+	inflight   *obs.Gauge
+	queueDepth *obs.Gauge
+	requests   *obs.Counter
+	rejected   *obs.Counter
+	badRequest *obs.Counter
+}
+
+// New builds the server: it generates the simulated world once (shared,
+// read-only) and wires the HTTP surface.
+func New(cfg Config) (*Server, error) {
+	if cfg.Catalog == nil {
+		return nil, fmt.Errorf("server: Catalog is required")
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.N == 0 {
+		cfg.N = 50000
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 8
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 32
+	}
+	if cfg.CacheSessions <= 0 {
+		cfg.CacheSessions = 128
+	}
+	if cfg.DefaultK <= 0 {
+		cfg.DefaultK = 10
+	}
+	if cfg.MaxK <= 0 {
+		cfg.MaxK = 1000
+	}
+	if cfg.DefaultDeadline <= 0 {
+		cfg.DefaultDeadline = 10 * time.Second
+	}
+	if cfg.MaxDeadline <= 0 {
+		cfg.MaxDeadline = 2 * time.Minute
+	}
+	if cfg.MaxParallelism <= 0 {
+		cfg.MaxParallelism = 8
+	}
+	if cfg.Reg == nil {
+		cfg.Reg = obs.NewRegistry()
+	}
+	store, err := buildStore(cfg.Catalog, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:        cfg,
+		store:      store,
+		reg:        cfg.Reg,
+		cache:      newSessionCache(cfg.CacheSessions, cfg.Reg),
+		sem:        make(chan struct{}, cfg.MaxInflight),
+		inflight:   cfg.Reg.Gauge("server.inflight"),
+		queueDepth: cfg.Reg.Gauge("server.queue_depth"),
+		requests:   cfg.Reg.Counter("server.requests"),
+		rejected:   cfg.Reg.Counter("server.rejected"),
+		badRequest: cfg.Reg.Counter("server.bad_requests"),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	s.mux = mux
+	return s, nil
+}
+
+// buildStore generates the world over every relation the source
+// descriptions mention and derives incomplete source contents, with the
+// same shape and seeds as qporder's -execute mode.
+func buildStore(cat *lav.Catalog, seed int64) (execsim.DB, error) {
+	arity := make(map[string]int)
+	for _, src := range cat.Sources() {
+		if src.Def == nil {
+			continue
+		}
+		for _, a := range src.Def.Body {
+			if prev, ok := arity[a.Pred]; ok && prev != a.Arity() {
+				return nil, fmt.Errorf("server: relation %s used with arities %d and %d", a.Pred, prev, a.Arity())
+			}
+			arity[a.Pred] = a.Arity()
+		}
+	}
+	rels := make([]execsim.RelationSpec, 0, len(arity))
+	for name, ar := range arity {
+		rels = append(rels, execsim.RelationSpec{Name: name, Arity: ar})
+	}
+	sort.Slice(rels, func(i, j int) bool { return rels[i].Name < rels[j].Name })
+	world := execsim.GenerateWorld(execsim.WorldConfig{
+		Relations:         rels,
+		TuplesPerRelation: 100,
+		DomainSize:        15,
+		Seed:              seed,
+	})
+	return execsim.PopulateSources(cat, world, 0.8, seed+1), nil
+}
+
+// Handler returns the server's HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the server's metrics registry (publishable with
+// expvar.Publish, since *obs.Registry satisfies expvar.Var).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// SetDraining flips the drain flag: while set, /healthz reports 503 and
+// new queries are rejected with 503 draining, but admitted sessions run
+// to completion. The daemon sets it on SIGTERM before http.Server.
+// Shutdown waits for in-flight streams.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// queryRequest is the POST /v1/query body.
+type queryRequest struct {
+	// Query is the conjunctive query, in the same syntax qporder's -q
+	// flag accepts. Required.
+	Query string `json:"query"`
+	// K bounds the number of sound plans executed (default DefaultK).
+	K int `json:"k"`
+	// DeadlineMS bounds the session wall-clock (default DefaultDeadline,
+	// clamped to MaxDeadline).
+	DeadlineMS int64 `json:"deadline_ms"`
+	// Algorithm, Measure, and Reformulator name the ordering algorithm
+	// (default streamer, matching qporder), the utility measure (default
+	// chain), and the reformulation method (default buckets).
+	Algorithm    string `json:"algorithm"`
+	Measure      string `json:"measure"`
+	Reformulator string `json:"reformulator"`
+	// Parallelism > 1 enables the mediator's pipelined mode for this
+	// session (capped at MaxParallelism).
+	Parallelism int `json:"parallelism"`
+}
+
+// session is a fully validated request, ready to admit and run.
+type session struct {
+	query    *schema.Query
+	k        int
+	deadline time.Duration
+	algo     mediator.Algorithm
+	algoName string
+	measName string
+	measure  func(*lav.Catalog) measure.Measure
+	reform   mediator.Reformulator
+	par      int
+}
+
+// badRequestError carries a structured 4xx.
+type badRequestError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *badRequestError) Error() string { return e.msg }
+
+func bad(code, format string, args ...interface{}) *badRequestError {
+	return &badRequestError{status: http.StatusBadRequest, code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// parseRequest validates the body into a runnable session. Every
+// rejection is a structured 4xx, never a 500: the client sent something,
+// the server names exactly what was wrong with it.
+func (s *Server) parseRequest(r *http.Request) (*session, *badRequestError) {
+	var req queryRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, bad(CodeBadJSON, "invalid request body: %v", err)
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		return nil, bad(CodeMissingQuery, "request has no query")
+	}
+	q, err := schema.ParseQuery(req.Query)
+	if err != nil {
+		return nil, bad(CodeParseError, "cannot parse query: %v", err)
+	}
+	sess := &session{query: q, k: s.cfg.DefaultK, deadline: s.cfg.DefaultDeadline}
+	if req.K < 0 || req.K > s.cfg.MaxK {
+		return nil, bad(CodeInvalidK, "k must be in [0, %d], got %d", s.cfg.MaxK, req.K)
+	}
+	if req.K > 0 {
+		sess.k = req.K
+	}
+	if req.DeadlineMS < 0 {
+		return nil, bad(CodeInvalidDeadline, "deadline_ms must be >= 0, got %d", req.DeadlineMS)
+	}
+	if req.DeadlineMS > 0 {
+		sess.deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+		if sess.deadline > s.cfg.MaxDeadline {
+			return nil, bad(CodeInvalidDeadline, "deadline_ms exceeds the maximum %d", s.cfg.MaxDeadline.Milliseconds())
+		}
+	}
+	if req.Parallelism < 0 || req.Parallelism > s.cfg.MaxParallelism {
+		return nil, bad(CodeInvalidParallelism, "parallelism must be in [0, %d], got %d", s.cfg.MaxParallelism, req.Parallelism)
+	}
+	sess.par = req.Parallelism
+
+	sess.measName = req.Measure
+	if sess.measName == "" {
+		sess.measName = "chain"
+	}
+	sess.measure, err = measureFactory(sess.measName, s.cfg.N)
+	if err != nil {
+		return nil, bad(CodeUnknownMeasure, "%v", err)
+	}
+	sess.algoName = req.Algorithm
+	if sess.algoName == "" {
+		sess.algoName = "streamer"
+	}
+	sess.algo, err = algorithmByName(sess.algoName)
+	if err != nil {
+		return nil, bad(CodeUnknownAlgorithm, "%v", err)
+	}
+	sess.reform, err = reformulatorByName(req.Reformulator)
+	if err != nil {
+		return nil, bad(CodeUnknownReformulator, "%v", err)
+	}
+	return sess, nil
+}
+
+// measureFactory maps a measure name to a constructor over the derived
+// entry catalog; the names match qporder's -measure flag.
+func measureFactory(name string, n float64) (func(*lav.Catalog) measure.Measure, error) {
+	switch name {
+	case "linear":
+		return func(e *lav.Catalog) measure.Measure { return costmodel.NewLinearCost(e) }, nil
+	case "chain":
+		return func(e *lav.Catalog) measure.Measure {
+			return costmodel.NewChainCost(e, costmodel.Params{N: n})
+		}, nil
+	case "chain-fail":
+		return func(e *lav.Catalog) measure.Measure {
+			return costmodel.NewChainCost(e, costmodel.Params{N: n, Failure: true})
+		}, nil
+	case "chain-fail-caching":
+		return func(e *lav.Catalog) measure.Measure {
+			return costmodel.NewChainCost(e, costmodel.Params{N: n, Failure: true, Caching: true})
+		}, nil
+	case "monetary":
+		return func(e *lav.Catalog) measure.Measure {
+			return costmodel.NewMonetaryPerTuple(e, costmodel.Params{N: n})
+		}, nil
+	case "monetary-caching":
+		return func(e *lav.Catalog) measure.Measure {
+			return costmodel.NewMonetaryPerTuple(e, costmodel.Params{N: n, Caching: true})
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown measure %q", name)
+	}
+}
+
+// algorithmByName maps the qporder -algo names onto mediator algorithms.
+func algorithmByName(name string) (mediator.Algorithm, error) {
+	switch name {
+	case "auto":
+		return mediator.Auto, nil
+	case "greedy":
+		return mediator.Greedy, nil
+	case "idrips":
+		return mediator.IDrips, nil
+	case "streamer":
+		return mediator.Streamer, nil
+	case "pi":
+		return mediator.PI, nil
+	case "exhaustive":
+		return mediator.Exhaustive, nil
+	default:
+		return "", fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+// reformulatorByName maps request names onto mediator reformulators.
+func reformulatorByName(name string) (mediator.Reformulator, error) {
+	switch name {
+	case "", "buckets":
+		return mediator.Buckets, nil
+	case "inverse":
+		return mediator.InverseRules, nil
+	case "minicon":
+		return mediator.MiniCon, nil
+	default:
+		return "", fmt.Errorf("unknown reformulator %q", name)
+	}
+}
+
+// errRejected reports an admission rejection (503 + code).
+var errClientGone = errors.New("client gone")
+
+// admit blocks until an execution slot frees (or the client leaves) and
+// returns its release function. A full queue or an active drain rejects
+// immediately.
+func (s *Server) admit(r *http.Request) (release func(), rejectCode string, err error) {
+	if s.draining.Load() {
+		return nil, CodeDraining, nil
+	}
+	acquired := false
+	select {
+	case s.sem <- struct{}{}:
+		acquired = true
+	default:
+	}
+	if !acquired {
+		w := s.waiting.Add(1)
+		s.queueDepth.Set(float64(w))
+		if w > int64(s.cfg.MaxQueue) {
+			s.queueDepth.Set(float64(s.waiting.Add(-1)))
+			return nil, CodeOverloaded, nil
+		}
+		select {
+		case s.sem <- struct{}{}:
+			s.queueDepth.Set(float64(s.waiting.Add(-1)))
+		case <-r.Context().Done():
+			s.queueDepth.Set(float64(s.waiting.Add(-1)))
+			return nil, "", errClientGone
+		}
+	}
+	s.inflight.Set(float64(len(s.sem)))
+	return func() {
+		<-s.sem
+		s.inflight.Set(float64(len(s.sem)))
+	}, "", nil
+}
+
+// writeError writes a structured non-2xx JSON body: {"error":{code,message}}.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(struct {
+		Err ErrorBody `json:"error"`
+	}{ErrorBody{Code: code, Message: msg}})
+}
+
+// handleQuery validates, admits, and streams one query session.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	sess, berr := s.parseRequest(r)
+	if berr != nil {
+		s.badRequest.Inc()
+		writeError(w, berr.status, berr.code, berr.msg)
+		return
+	}
+	release, code, err := s.admit(r)
+	if err != nil {
+		return // client disconnected while queued; nothing to say to it
+	}
+	if code != "" {
+		s.rejected.Inc()
+		writeError(w, http.StatusServiceUnavailable, code, "server cannot accept new sessions")
+		return
+	}
+	defer release()
+
+	// The reformulation prefix is shared across requests whose queries
+	// are identical up to variable renaming and atom order.
+	key := sess.query.CanonicalKey() + "|" + string(sess.reform)
+	prep, hit, err := s.cache.get(key, func() (*mediator.Prepared, error) {
+		return mediator.Prepare(sess.query, s.cfg.Catalog, sess.reform)
+	})
+	if err != nil {
+		s.badRequest.Inc()
+		writeError(w, http.StatusUnprocessableEntity, CodeUnplannable, err.Error())
+		return
+	}
+
+	start := time.Now()
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	var streamErr error
+	emit := func(e Event) {
+		if streamErr != nil {
+			return
+		}
+		if streamErr = enc.Encode(e); streamErr == nil && flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	mcfg := mediator.Config{
+		Prepared:    prep,
+		Measure:     sess.measure,
+		Algorithm:   sess.algo,
+		Parallelism: sess.par,
+		Obs:         s.reg,
+		OnPlan: func(e mediator.PlanEvent) {
+			emit(Event{
+				Event:        "plan",
+				Index:        e.Index,
+				Utility:      e.Utility,
+				Plan:         e.Plan.String(),
+				NewAnswers:   len(e.NewAnswers),
+				TotalAnswers: e.TotalAnswers,
+			})
+			if len(e.NewAnswers) > 0 {
+				out := make([]string, len(e.NewAnswers))
+				for i, a := range e.NewAnswers {
+					out[i] = a.String()
+				}
+				emit(Event{Event: "answers", Index: e.Index, Answers: out})
+			}
+		},
+	}
+	sys, err := mediator.New(mcfg)
+	if err != nil {
+		s.badRequest.Inc()
+		writeError(w, http.StatusUnprocessableEntity, CodeInapplicable, err.Error())
+		return
+	}
+
+	// From here the response is a stream; failures become error events.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	cache := "miss"
+	if hit {
+		cache = "hit"
+	}
+	emit(Event{
+		Event:     "session",
+		Cache:     cache,
+		Algorithm: sess.algoName,
+		Measure:   sess.measName,
+		K:         sess.k,
+		PlanSpace: prep.PlanSpaceSize(),
+	})
+
+	// A fresh engine per session over the shared read-only store keeps
+	// per-request cost accounting isolated while every session sees the
+	// same simulated world (failure seed matches qporder -execute).
+	eng := execsim.NewEngine(s.cfg.Catalog, s.store)
+	eng.EnableFailures(s.cfg.Seed + 2)
+
+	ctx, cancel := context.WithTimeout(r.Context(), sess.deadline)
+	defer cancel()
+	res, err := sys.RunContext(ctx, eng, mediator.Budget{MaxPlans: sess.k})
+	if err != nil {
+		emit(Event{Event: "error", Err: &ErrorBody{Code: CodeInternal, Message: err.Error()}})
+		return
+	}
+	emit(Event{
+		Event:        "done",
+		Stopped:      string(res.Stopped),
+		Plans:        len(res.Executed),
+		TotalAnswers: res.Answers.Len(),
+		Cost:         res.Cost,
+		Evals:        res.Evals,
+		ElapsedMS:    float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+// handleHealthz reports liveness; a draining server answers 503 so load
+// balancers stop routing to it while in-flight streams finish.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"draining"}`)
+		return
+	}
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// handleMetrics renders the registry: text by default, the JSON snapshot
+// with ?format=json.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.reg.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = s.reg.WriteText(w)
+}

@@ -1,0 +1,92 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke test of the serving subsystem:
+#   1. boot qpserved (race-enabled build) on a random port over the
+#      movie domain,
+#   2. verify the streamed plan order is byte-identical to qporder's
+#      for the same query, seed, algorithm, and measure,
+#   3. replay a concurrent shuffled burst through qpload (zero errors
+#      required) and check the session cache saw hits,
+#   4. SIGTERM the daemon and require a clean drain.
+# Used by `make serve-smoke` and the serve-smoke CI job.
+set -eu
+
+GO=${GO:-go}
+WORKDIR=$(mktemp -d)
+trap 'rm -rf "$WORKDIR"; [ -n "${SRV_PID:-}" ] && kill "$SRV_PID" 2>/dev/null || true' EXIT
+
+QUERY='Q(M, R) :- play-in(A, M), review-of(R, M)'
+SEED=1
+ALGO=streamer
+MEASURE=chain
+K=6
+
+echo "serve-smoke: building race-enabled binaries"
+$GO build -race -o "$WORKDIR/qpserved" ./cmd/qpserved
+$GO build -race -o "$WORKDIR/qpload" ./cmd/qpload
+$GO build -o "$WORKDIR/qporder" ./cmd/qporder
+$GO run ./cmd/qpgen -preset movie > "$WORKDIR/movie.qp"
+
+echo "serve-smoke: booting qpserved on a random port"
+"$WORKDIR/qpserved" -f "$WORKDIR/movie.qp" -addr 127.0.0.1:0 -seed "$SEED" \
+    > "$WORKDIR/served.log" 2>&1 &
+SRV_PID=$!
+
+PORT=""
+for _ in $(seq 1 50); do
+    PORT=$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "$WORKDIR/served.log")
+    [ -n "$PORT" ] && break
+    kill -0 "$SRV_PID" 2>/dev/null || { echo "serve-smoke: daemon died:"; cat "$WORKDIR/served.log"; exit 1; }
+    sleep 0.2
+done
+[ -n "$PORT" ] || { echo "serve-smoke: no port in daemon log"; cat "$WORKDIR/served.log"; exit 1; }
+URL="http://127.0.0.1:$PORT"
+echo "serve-smoke: daemon is up at $URL"
+
+curl -fsS "$URL/healthz" > /dev/null || { echo "serve-smoke: healthz failed"; exit 1; }
+
+echo "serve-smoke: checking served plan order against qporder"
+"$WORKDIR/qpload" -url "$URL" -q "$QUERY" -print-plans \
+    -algo "$ALGO" -measure "$MEASURE" -k "$K" > "$WORKDIR/served_plans.txt"
+"$WORKDIR/qporder" -f "$WORKDIR/movie.qp" -q "$QUERY" -plans-only \
+    -algo "$ALGO" -measure "$MEASURE" -k "$K" -seed "$SEED" > "$WORKDIR/direct_plans.txt"
+if ! diff -u "$WORKDIR/direct_plans.txt" "$WORKDIR/served_plans.txt"; then
+    echo "serve-smoke: FAIL: served plan order diverges from qporder"
+    exit 1
+fi
+[ -s "$WORKDIR/served_plans.txt" ] || { echo "serve-smoke: FAIL: no plans streamed"; exit 1; }
+echo "serve-smoke: plan order is byte-identical ($(wc -l < "$WORKDIR/served_plans.txt" | tr -d ' ') plans)"
+
+echo "serve-smoke: concurrent shuffled burst (48 sessions, 8 workers)"
+"$WORKDIR/qpload" -url "$URL" -q "$QUERY" -n 48 -c 8 -k "$K" -shuffle \
+    -algo "$ALGO" -measure "$MEASURE"
+
+HITS=$(curl -fsS "$URL/metrics?format=json" \
+    | sed -n 's/.*"server\.cache_hits": *\([0-9][0-9]*\).*/\1/p')
+[ -n "$HITS" ] && [ "$HITS" -gt 0 ] || { echo "serve-smoke: FAIL: no session-cache hits (got '${HITS:-none}')"; exit 1; }
+echo "serve-smoke: session cache hits: $HITS"
+
+echo "serve-smoke: draining via SIGTERM"
+kill -TERM "$SRV_PID"
+DRAINED=1
+for _ in $(seq 1 100); do
+    if ! kill -0 "$SRV_PID" 2>/dev/null; then DRAINED=0; break; fi
+    sleep 0.2
+done
+if [ "$DRAINED" -ne 0 ]; then
+    echo "serve-smoke: FAIL: daemon did not exit after SIGTERM"
+    cat "$WORKDIR/served.log"
+    exit 1
+fi
+wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=""
+grep -q "drained cleanly" "$WORKDIR/served.log" || {
+    echo "serve-smoke: FAIL: no clean-drain marker in daemon log:"
+    cat "$WORKDIR/served.log"
+    exit 1
+}
+if grep -iq "DATA RACE" "$WORKDIR/served.log"; then
+    echo "serve-smoke: FAIL: race detected in daemon log:"
+    cat "$WORKDIR/served.log"
+    exit 1
+fi
+echo "serve-smoke: PASS"
