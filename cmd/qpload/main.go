@@ -100,6 +100,12 @@ func run() error {
 			rep.TTFA.P50, rep.TTFA.P90, rep.TTFA.P99, rep.TTFA.Max)
 		fmt.Printf("full-k p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms\n",
 			rep.Full.P50, rep.Full.P90, rep.Full.P99, rep.Full.Max)
+		if len(rep.Slowest) > 0 {
+			fmt.Println("slowest sessions (trace IDs; look them up at /debug/requests?trace=ID):")
+			for _, s := range rep.Slowest {
+				fmt.Printf("  %s  %.2fms\n", s.TraceID, s.FullMS)
+			}
+		}
 		if rep.FirstError != "" {
 			fmt.Printf("first error: %s\n", rep.FirstError)
 		}

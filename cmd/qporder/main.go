@@ -10,9 +10,17 @@
 //	qporder -f domain.qp -algo streamer -measure chain-fail -k 5
 //	qporder -f domain.qp -q 'Q(M) :- play-in(ford, M)' -algo greedy -measure linear
 //	qporder -f domain.qp -execute
+//	qporder -f domain.qp -explain
+//	qporder -f domain.qp -trace run.ndjson && qptrace run.ndjson
+//
+// -explain prints, per emitted plan, the ordering provenance: utility
+// at selection, dominance tests won and lost, refinements, splits, and
+// utility evaluations since the previous plan. -trace exports the run's
+// request trace (spans plus provenance) as one NDJSON line for qptrace.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -60,6 +68,8 @@ func run() error {
 		seed      = flag.Int64("seed", 1, "seed for the simulated world (-execute)")
 		stats     = flag.Bool("stats", false, "report phase spans and pipeline counters to stderr on exit")
 		plansOnly = flag.Bool("plans-only", false, "print only the ordered plan queries, one per line (for diffing against qpload -print-plans)")
+		explain   = flag.Bool("explain", false, "print per-plan ordering provenance after the plan list")
+		traceOut  = flag.String("trace", "", "write the run's trace (spans + provenance) as NDJSON to this file")
 	)
 	flag.Parse()
 	if *file == "" {
@@ -92,13 +102,25 @@ func run() error {
 		reg = obs.NewRegistry()
 	}
 	tr := reg.Tracer()
+	// The request trace doubles as the provenance recorder for -explain
+	// and as the exported span tree for -trace; nil (the default) keeps
+	// the ordering hot path allocation-identical to an untraced run.
+	var rt *obs.Trace
+	if *explain || *traceOut != "" {
+		rt = obs.NewTrace("qporder")
+		rt.SetAttr("query", q.String())
+		rt.SetAttr("algorithm", *algo)
+		rt.SetAttr("measure", *meas)
+	}
 
 	refSpan := obs.StartSpan(tr, "qporder/reformulate")
+	refTSpan := rt.StartSpan("qporder/reformulate")
 	buckets, err := reformulate.BuildBuckets(q, dom.Catalog)
 	if err != nil {
 		return err
 	}
 	pd := reformulate.NewPlanDomain(buckets, dom.Catalog)
+	refTSpan.End()
 	refSpan.End()
 	if !*plansOnly {
 		fmt.Printf("plan space: %d candidate plans\n", pd.Space.Size())
@@ -113,6 +135,7 @@ func run() error {
 		return err
 	}
 	core.Instrument(o, reg)
+	core.SetTrace(o, rt)
 
 	var engine *execsim.Engine
 	answers := execsim.NewAnswerSet()
@@ -127,7 +150,9 @@ func run() error {
 	produced := 0
 	for produced < *k {
 		ordSpan := obs.StartSpan(tr, "qporder/order")
+		ordTSpan := rt.StartSpan("qporder/order")
 		plan, pq, utility, ok, err := pd.SoundNext(o)
+		ordTSpan.End()
 		ordSpan.End()
 		if err != nil {
 			return err
@@ -152,12 +177,14 @@ func run() error {
 		}
 		if engine != nil {
 			execSpan := obs.StartSpan(tr, "qporder/execute")
+			execTSpan := rt.StartSpan("qporder/execute")
 			var out []schema.Atom
 			if pp != nil {
 				out, err = engine.ExecutePhysical(pp)
 			} else {
 				out, err = engine.ExecutePlan(pq)
 			}
+			execTSpan.End()
 			execSpan.End()
 			if err != nil {
 				return err
@@ -176,6 +203,18 @@ func run() error {
 	if engine != nil {
 		fmt.Printf("\nanswers (%d):\n%s", answers.Len(), answers)
 	}
+	if *explain {
+		fmt.Println("--- explain (per emitted plan; deltas since the previous plan) ---")
+		for _, p := range rt.Plans() {
+			fmt.Printf("#%-3d u=%-12.6g dom_won=%-4d dom_lost=%-4d refinements=%-4d splits=%-4d evals=%-5d %s\n",
+				p.Index+1, p.Utility, p.DomWon, p.DomLost, p.Refinements, p.Splits, p.Evals, p.Plan)
+		}
+	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, rt); err != nil {
+			return err
+		}
+	}
 	if reg != nil {
 		fmt.Fprintln(os.Stderr, "--- stats ---")
 		if err := reg.WriteText(os.Stderr); err != nil {
@@ -183,6 +222,23 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// writeTrace appends the finished trace as one NDJSON line, the format
+// qpserved -trace-out uses and qptrace ingests.
+func writeTrace(path string, rt *obs.Trace) error {
+	snap := rt.Finish()
+	b, err := json.Marshal(snap)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(append(b, '\n'))
+	return err
 }
 
 func buildMeasure(pd *reformulate.PlanDomain, name string, n float64) (measure.Measure, error) {

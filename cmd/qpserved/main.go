@@ -5,7 +5,12 @@
 // summary — honoring per-request k, deadline, and algorithm/measure
 // selection. Reformulation work is cached across requests keyed by the
 // query's canonical form. GET /metrics and GET /healthz expose the
-// instrumentation registry and drain state.
+// instrumentation registry and drain state. Every request runs under a
+// W3C-traceparent-compatible request trace: GET /debug/requests serves
+// the always-on flight recorder (recent, slowest, and errored request
+// traces), -trace-out exports finished traces as NDJSON for offline
+// analysis with qptrace, and per-request log lines on stderr are
+// correlated by trace ID.
 //
 // Usage:
 //
@@ -23,6 +28,7 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -54,6 +60,9 @@ func run() error {
 		defaultK     = flag.Int("k", 10, "default per-request plan budget")
 		maxK         = flag.Int("max-k", 1000, "maximum per-request plan budget")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown grace for in-flight streams")
+		flight       = flag.Int("flight", 64, "flight-recorder recent-request entries (/debug/requests)")
+		traceOut     = flag.String("trace-out", "", "append finished request traces to this NDJSON file (qptrace input)")
+		logRequests  = flag.Bool("log-requests", true, "log one structured line per request to stderr, correlated by trace ID")
 	)
 	flag.Parse()
 	if *file == "" {
@@ -70,7 +79,7 @@ func run() error {
 	}
 
 	reg := obs.NewRegistry()
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		Catalog:       dom.Catalog,
 		Seed:          *seed,
 		N:             *bigN,
@@ -80,7 +89,20 @@ func run() error {
 		DefaultK:      *defaultK,
 		MaxK:          *maxK,
 		Reg:           reg,
-	})
+		FlightEntries: *flight,
+	}
+	if *logRequests {
+		cfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	if *traceOut != "" {
+		tf, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		cfg.TraceOut = tf
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,83 @@
+// Command qptrace analyzes exported request traces: the NDJSON files
+// qpserved -trace-out and qporder -trace write (one TraceSnapshot per
+// line). It reports the hottest span paths, the slowest requests with
+// their critical paths, and the aggregate ordering provenance (plans
+// emitted, dominance tests won/lost, refinements, splits, evaluations).
+//
+// Usage:
+//
+//	qptrace traces.ndjson
+//	qptrace -top 5 traces.ndjson more-traces.ndjson
+//	qpserved -trace-out /dev/stdout ... | qptrace -json -
+//
+// With no file arguments (or "-") it reads stdin. Any malformed line is
+// a hard error: the input is machine-written, so corruption should fail
+// loudly.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"qporder/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "qptrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		top    = flag.Int("top", 10, "how many spans and slowest requests to keep")
+		asJSON = flag.Bool("json", false, "emit the report as JSON")
+	)
+	flag.Parse()
+
+	var traces []obs.TraceSnapshot
+	read := func(r io.Reader, name string) error {
+		ts, err := obs.ReadTraces(r)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		traces = append(traces, ts...)
+		return nil
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"-"}
+	}
+	for _, a := range args {
+		if a == "-" {
+			if err := read(os.Stdin, "stdin"); err != nil {
+				return err
+			}
+			continue
+		}
+		f, err := os.Open(a)
+		if err != nil {
+			return err
+		}
+		err = read(f, a)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	if len(traces) == 0 {
+		return fmt.Errorf("no traces in input")
+	}
+
+	rep := obs.AnalyzeTraces(traces, *top)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	return rep.WriteText(os.Stdout)
+}

@@ -77,7 +77,7 @@ func dripsBest(ctx measure.Context, roots []*planspace.Plan, c counters,
 		}
 		target := cands[ri]
 		cands = append(cands[:ri], cands[ri+1:]...)
-		c.refines.Inc()
+		c.refine()
 		children := target.p.Refine()
 		for i, u := range evalAll(ctx, ev, children) {
 			cands = append(cands, &dripsCand{p: children[i], u: u, conc: children[i].Concrete()})
@@ -122,8 +122,9 @@ func pruneDominated(cands []*dripsCand, cnt counters, ev *parallel.Evaluator) []
 				keep[i] = true
 				return
 			}
-			cnt.domTests.Inc()
-			keep[i] = !dominatesPlan(w.u, c.u, w.p, c.p)
+			dominated := dominatesPlan(w.u, c.u, w.p, c.p)
+			cnt.domTest(dominated)
+			keep[i] = !dominated
 		})
 		out := cands[:0]
 		for i, c := range cands {
@@ -135,10 +136,13 @@ func pruneDominated(cands []*dripsCand, cnt counters, ev *parallel.Evaluator) []
 	}
 	out := cands[:0]
 	for _, c := range cands {
-		if c != w {
-			cnt.domTests.Inc()
+		if c == w {
+			out = append(out, c)
+			continue
 		}
-		if c == w || !dominatesPlan(w.u, c.u, w.p, c.p) {
+		dominated := dominatesPlan(w.u, c.u, w.p, c.p)
+		cnt.domTest(dominated)
+		if !dominated {
 			out = append(out, c)
 		}
 	}

@@ -18,6 +18,7 @@ type Exhaustive struct {
 	started bool
 	c       counters
 	par     parcfg
+	trace   traceState
 }
 
 // NewExhaustive builds the orderer over the concrete plans of the given
@@ -36,8 +37,15 @@ func (e *Exhaustive) Context() measure.Context { return e.ctx }
 // Instrument implements Instrumented.
 func (e *Exhaustive) Instrument(reg *obs.Registry) {
 	e.c = newCounters(reg, "exhaustive")
+	e.c.prov = e.trace.provPtr()
 	bindContext(e.ctx, reg, "exhaustive")
 	e.par.bind(reg)
+}
+
+// SetTrace implements Traced.
+func (e *Exhaustive) SetTrace(tr *obs.Trace) {
+	e.trace.set(tr, e.ctx)
+	e.c.prov = e.trace.provPtr()
 }
 
 // Parallelism implements Parallel.
@@ -73,8 +81,10 @@ func (e *Exhaustive) Next() (*planspace.Plan, float64, bool) {
 	d := e.remain[bestIdx]
 	e.remain = append(e.remain[:bestIdx], e.remain[bestIdx+1:]...)
 	e.ctx.Observe(d)
+	e.trace.emitPlan("exhaustive", d, bestU, e.ctx.Evals())
 	return d, bestU, true
 }
 
 var _ Orderer = (*Exhaustive)(nil)
 var _ Parallel = (*Exhaustive)(nil)
+var _ Traced = (*Exhaustive)(nil)

@@ -22,11 +22,12 @@ import (
 // measures in this codebase are also fully plan-independent, so per-bucket
 // orders never change as plans execute.
 type Greedy struct {
-	ctx measure.Context
-	m   measure.Measure
-	pq  spaceHeap
-	c   counters
-	par parcfg
+	ctx   measure.Context
+	m     measure.Measure
+	pq    spaceHeap
+	c     counters
+	par   parcfg
+	trace traceState
 }
 
 // spaceEntry is one plan space with its best plan's utility.
@@ -107,8 +108,15 @@ func (g *Greedy) Context() measure.Context { return g.ctx }
 // Instrument implements Instrumented.
 func (g *Greedy) Instrument(reg *obs.Registry) {
 	g.c = newCounters(reg, "greedy")
+	g.c.prov = g.trace.provPtr()
 	bindContext(g.ctx, reg, "greedy")
 	g.par.bind(reg)
+}
+
+// SetTrace implements Traced.
+func (g *Greedy) SetTrace(tr *obs.Trace) {
+	g.trace.set(tr, g.ctx)
+	g.c.prov = g.trace.provPtr()
 }
 
 // Parallelism implements Parallel. Greedy's per-Next work is one
@@ -127,7 +135,7 @@ func (g *Greedy) Next() (*planspace.Plan, float64, bool) {
 	top := heap.Pop(&g.pq).(*spaceEntry)
 	d := top.best
 	g.ctx.Observe(d)
-	g.c.splits.Inc()
+	g.c.split()
 	// Splitting preserves the best-first bucket order: Remove keeps the
 	// relative order of remaining sources and pins prefixes to singletons.
 	subs := top.space.Remove(d.Sources())
@@ -144,8 +152,10 @@ func (g *Greedy) Next() (*planspace.Plan, float64, bool) {
 			heap.Push(&g.pq, g.entryFor(sub))
 		}
 	}
+	g.trace.emitPlan("greedy", d, top.util, g.ctx.Evals())
 	return d, top.util, true
 }
 
 var _ Orderer = (*Greedy)(nil)
 var _ Parallel = (*Greedy)(nil)
+var _ Traced = (*Greedy)(nil)

@@ -19,6 +19,7 @@ type IDrips struct {
 	spaces []*planspace.Space
 	c      counters
 	par    parcfg
+	trace  traceState
 }
 
 // NewIDrips builds the orderer over the given spaces with the given
@@ -34,8 +35,15 @@ func (d *IDrips) Context() measure.Context { return d.ctx }
 // Instrument implements Instrumented.
 func (d *IDrips) Instrument(reg *obs.Registry) {
 	d.c = newCounters(reg, "idrips")
+	d.c.prov = d.trace.provPtr()
 	bindContext(d.ctx, reg, "idrips")
 	d.par.bind(reg)
+}
+
+// SetTrace implements Traced.
+func (d *IDrips) SetTrace(tr *obs.Trace) {
+	d.trace.set(tr, d.ctx)
+	d.c.prov = d.trace.provPtr()
 }
 
 // Parallelism implements Parallel: candidate evaluation and dominance
@@ -70,12 +78,14 @@ func (d *IDrips) Next() (*planspace.Plan, float64, bool) {
 	if idx < 0 {
 		panic("core: iDrips winner not contained in any space: " + best.Key())
 	}
-	d.c.splits.Inc()
+	d.c.split()
 	subs := d.spaces[idx].Remove(srcs)
 	d.spaces = append(d.spaces[:idx], d.spaces[idx+1:]...)
 	d.spaces = append(d.spaces, subs...)
+	d.trace.emitPlan("idrips", best, util, d.ctx.Evals())
 	return best, util, true
 }
 
 var _ Orderer = (*IDrips)(nil)
 var _ Parallel = (*IDrips)(nil)
+var _ Traced = (*IDrips)(nil)

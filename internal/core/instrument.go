@@ -47,6 +47,40 @@ type counters struct {
 	nextCalls *obs.Counter
 	exhausted *obs.Counter
 	nextNs    *obs.Histogram
+	// prov, when non-nil, additionally accumulates per-Next provenance
+	// deltas for the bound request trace (see traceState). It is a
+	// pointer because counters travels by value into dripsBest while
+	// the deltas must land in the orderer's single accumulator.
+	prov *provCounts
+}
+
+// domTest records one interval dominance test and whether the incumbent
+// won it (the tested plan was pruned).
+func (c *counters) domTest(dominated bool) {
+	c.domTests.Inc()
+	if p := c.prov; p != nil {
+		if dominated {
+			p.domWon.Add(1)
+		} else {
+			p.domLost.Add(1)
+		}
+	}
+}
+
+// refine records one abstract-plan refinement.
+func (c *counters) refine() {
+	c.refines.Inc()
+	if p := c.prov; p != nil {
+		p.refines.Add(1)
+	}
+}
+
+// split records one plan-space split.
+func (c *counters) split() {
+	c.splits.Inc()
+	if p := c.prov; p != nil {
+		p.splits.Add(1)
+	}
 }
 
 // newCounters resolves the per-algorithm instrument names on reg; with a

@@ -26,6 +26,7 @@ type PI struct {
 	started bool
 	c       counters
 	par     parcfg
+	trace   traceState
 }
 
 // NewPI builds the orderer over the concrete plans of the given spaces.
@@ -49,8 +50,15 @@ func (pi *PI) Context() measure.Context { return pi.ctx }
 // Instrument implements Instrumented.
 func (pi *PI) Instrument(reg *obs.Registry) {
 	pi.c = newCounters(reg, "pi")
+	pi.c.prov = pi.trace.provPtr()
 	bindContext(pi.ctx, reg, "pi")
 	pi.par.bind(reg)
+}
+
+// SetTrace implements Traced.
+func (pi *PI) SetTrace(tr *obs.Trace) {
+	pi.trace.set(tr, pi.ctx)
+	pi.c.prov = pi.trace.provPtr()
 }
 
 // Parallelism implements Parallel.
@@ -104,6 +112,7 @@ func (pi *PI) Next() (*planspace.Plan, float64, bool) {
 			}
 		})
 	}
+	pi.trace.emitPlan("pi", d, u, pi.ctx.Evals())
 	return d, u, true
 }
 
@@ -139,3 +148,4 @@ func (pi *PI) selectBest(ev *parallel.Evaluator) int {
 
 var _ Orderer = (*PI)(nil)
 var _ Parallel = (*PI)(nil)
+var _ Traced = (*PI)(nil)

@@ -43,8 +43,9 @@ type Streamer struct {
 	linksRecycled int // link validity checks that succeeded (link kept)
 	linksDropped  int // link validity checks that failed (link removed)
 
-	c   counters
-	par parcfg
+	c     counters
+	par   parcfg
+	trace traceState
 
 	lo planHeap // max (Lo, key): candidate incumbent w
 	hi planHeap // max (Hi, width, key): refinement candidates
@@ -111,8 +112,15 @@ func (s *Streamer) Context() measure.Context { return s.ctx }
 // Instrument implements Instrumented.
 func (s *Streamer) Instrument(reg *obs.Registry) {
 	s.c = newCounters(reg, "streamer")
+	s.c.prov = s.trace.provPtr()
 	bindContext(s.ctx, reg, "streamer")
 	s.par.bind(reg)
+}
+
+// SetTrace implements Traced.
+func (s *Streamer) SetTrace(tr *obs.Trace) {
+	s.trace.set(tr, s.ctx)
+	s.c.prov = s.trace.provPtr()
 }
 
 // Parallelism implements Parallel: utility recomputation after an output,
@@ -194,8 +202,9 @@ func (s *Streamer) rebuild() {
 			continue
 		}
 		u, _ := s.g.Utility(p)
-		s.c.domTests.Inc()
-		if dominatesPlan(uw, u, w, p) {
+		dominated := dominatesPlan(uw, u, w, p)
+		s.c.domTest(dominated)
+		if dominated {
 			if !s.g.HasLink(w, p) {
 				s.g.AddLink(w, p)
 			}
@@ -258,14 +267,15 @@ func (s *Streamer) Next() (*planspace.Plan, float64, bool) {
 		}
 		// Lazily record dominance discovered at the heap top (Step 2.b).
 		if t != w {
-			s.c.domTests.Inc()
-		}
-		if t != w && dominatesPlan(uw, ut, w, t) {
-			heap.Pop(&s.hi)
-			if !s.g.HasLink(w, t) {
-				s.g.AddLink(w, t)
+			dominated := dominatesPlan(uw, ut, w, t)
+			s.c.domTest(dominated)
+			if dominated {
+				heap.Pop(&s.hi)
+				if !s.g.HasLink(w, t) {
+					s.g.AddLink(w, t)
+				}
+				continue
 			}
-			continue
 		}
 		// Step 2.c: refine the candidate if it is abstract. Children batch
 		// through the evaluator; graph and heap writes stay on this
@@ -273,7 +283,7 @@ func (s *Streamer) Next() (*planspace.Plan, float64, bool) {
 		if !t.Concrete() {
 			heap.Pop(&s.hi)
 			s.g.Remove(t)
-			s.c.refines.Inc()
+			s.c.refine()
 			children := t.Refine()
 			for _, ch := range children {
 				s.g.Add(ch)
@@ -349,6 +359,7 @@ func (s *Streamer) Next() (*planspace.Plan, float64, bool) {
 			})
 		}
 		s.dirty = true
+		s.trace.emitPlan("streamer", d, ud.Lo, s.ctx.Evals())
 		return d, ud.Lo, true
 	}
 	s.c.exhausted.Inc()
@@ -357,3 +368,4 @@ func (s *Streamer) Next() (*planspace.Plan, float64, bool) {
 
 var _ Orderer = (*Streamer)(nil)
 var _ Parallel = (*Streamer)(nil)
+var _ Traced = (*Streamer)(nil)

@@ -208,6 +208,12 @@ type System struct {
 	executed []*planspace.Plan
 	reorders int
 
+	// trace is the request trace of the Run in progress (nil outside a
+	// traced Run). It is set under runMu before the pipeline producer
+	// starts and the producer quiesces before Run returns, so the
+	// producer's span writes never race a later Run's rebinding.
+	trace *obs.Trace
+
 	// exhausted latches once the ordering pipeline reports no more sound
 	// plans, so later Run calls never poke a spent orderer again. Stashed
 	// plans may still be pending when it latches.
@@ -404,6 +410,8 @@ func (s *System) buildOrderer(m measure.Measure, spaces []*planspace.Space) (cor
 // correct.
 func (s *System) reorder() error {
 	defer obs.StartSpan(s.cfg.Obs.Tracer(), "mediator/reorder").End()
+	defer s.trace.StartSpan("mediator/reorder").End()
+	s.trace.Event("adaptive/reorder", "statistics drift triggered re-ordering")
 	revised, err := s.tracker.Revise()
 	if err != nil {
 		return err
@@ -429,6 +437,10 @@ func (s *System) reorder() error {
 	for _, p := range s.executed {
 		o.Context().Observe(p)
 	}
+	// The rebuilt orderer keeps recording provenance onto the same
+	// request trace; SetTrace re-syncs its baselines to the fresh
+	// context, so the next emitted plan's deltas start at zero.
+	core.SetTrace(o, s.trace)
 	s.orderer = o
 	s.next, s.drain = nil, nil
 	// RemainingSpaces re-derives every unexecuted plan, including the ones
@@ -469,7 +481,9 @@ func (s *System) nextSound() sound {
 	tr := s.cfg.Obs.Tracer()
 	for {
 		orderSpan := obs.StartSpan(tr, "mediator/order")
+		orderTSpan := s.trace.StartSpan("mediator/order")
 		p, u, ok := s.orderer.Next()
+		orderTSpan.End()
 		orderSpan.End()
 		if !ok {
 			return sound{}
@@ -479,7 +493,9 @@ func (s *System) nextSound() sound {
 			continue // unsafe: cannot be sound
 		}
 		soundSpan := obs.StartSpan(tr, "mediator/soundness")
+		soundTSpan := s.trace.StartSpan("mediator/soundness")
 		isSound, err := s.src.isSound(p)
+		soundTSpan.End()
 		soundSpan.End()
 		if err != nil {
 			return sound{err: err}
@@ -509,6 +525,12 @@ func (s *System) Run(engine *execsim.Engine, budget Budget) (*Result, error) {
 func (s *System) RunContext(ctx context.Context, engine *execsim.Engine, budget Budget) (*Result, error) {
 	s.runMu.Lock()
 	defer s.runMu.Unlock()
+	// Bind the request trace (nil when the context carries none, which
+	// detaches any previous binding) so the orderer records per-plan
+	// provenance scoped to this request.
+	s.trace = obs.TraceFrom(ctx)
+	core.SetTrace(s.orderer, s.trace)
+	defer s.trace.StartSpan("mediator/run").End()
 	res := &Result{Answers: execsim.NewAnswerSet(), Stopped: StopExhausted}
 	if s.cfg.Obs != nil {
 		engine.Instrument(s.cfg.Obs)
@@ -560,7 +582,9 @@ func (s *System) RunContext(ctx context.Context, engine *execsim.Engine, budget 
 			break
 		}
 		execSpan := obs.StartSpan(s.cfg.Obs.Tracer(), "mediator/execute")
+		execTSpan := s.trace.StartSpan("mediator/execute")
 		out, err := s.execute(engine, sp.pq)
+		execTSpan.End()
 		execSpan.End()
 		if err != nil {
 			return nil, err

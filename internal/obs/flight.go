@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// FlightRecorder is an always-on bounded buffer of finished request
+// traces: the last N requests, the slowest N seen so far, and the last N
+// that ended in error. It is cheap enough to run unconditionally — each
+// Record is a mutex-guarded ring insert — so the recent past of a
+// production daemon is always inspectable at /debug/requests without
+// having turned anything on beforehand. All methods are concurrency-safe
+// and nil-safe.
+type FlightRecorder struct {
+	mu      sync.Mutex
+	recent  []TraceSnapshot // ring, next points at the oldest slot
+	next    int
+	full    bool
+	slowest []TraceSnapshot // sorted by DurNS descending, capped
+	slowCap int
+	errored []TraceSnapshot // ring
+	errNext int
+	errFull bool
+	total   int64
+}
+
+// NewFlightRecorder sizes the three retention classes; any n <= 0 takes
+// the shown default.
+func NewFlightRecorder(recent, slowest, errored int) *FlightRecorder {
+	if recent <= 0 {
+		recent = 64
+	}
+	if slowest <= 0 {
+		slowest = 16
+	}
+	if errored <= 0 {
+		errored = 16
+	}
+	return &FlightRecorder{
+		recent:  make([]TraceSnapshot, recent),
+		slowCap: slowest,
+		errored: make([]TraceSnapshot, errored),
+	}
+}
+
+// Record retains one finished trace.
+func (f *FlightRecorder) Record(s TraceSnapshot) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.total++
+	f.recent[f.next] = s
+	f.next++
+	if f.next == len(f.recent) {
+		f.next, f.full = 0, true
+	}
+	// Slowest: insert sorted, truncate to cap. The list is tiny, so the
+	// linear insert beats a heap in both code and constant factor.
+	i := sort.Search(len(f.slowest), func(i int) bool { return f.slowest[i].DurNS < s.DurNS })
+	f.slowest = append(f.slowest, TraceSnapshot{})
+	copy(f.slowest[i+1:], f.slowest[i:])
+	f.slowest[i] = s
+	if len(f.slowest) > f.slowCap {
+		f.slowest = f.slowest[:f.slowCap]
+	}
+	if s.Status == "error" {
+		f.errored[f.errNext] = s
+		f.errNext++
+		if f.errNext == len(f.errored) {
+			f.errNext, f.errFull = 0, true
+		}
+	}
+}
+
+// FlightSnapshot is the recorder's current retained state. Recent and
+// Errored are newest-first.
+type FlightSnapshot struct {
+	Total   int64           `json:"total"`
+	Recent  []TraceSnapshot `json:"recent,omitempty"`
+	Slowest []TraceSnapshot `json:"slowest,omitempty"`
+	Errored []TraceSnapshot `json:"errored,omitempty"`
+}
+
+// drainRing copies a ring newest-first. next is the slot the next insert
+// would take, i.e. one past the newest entry.
+func drainRing(ring []TraceSnapshot, next int, full bool) []TraceSnapshot {
+	n := next
+	if full {
+		n = len(ring)
+	}
+	out := make([]TraceSnapshot, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, ring[(next-1-i+len(ring))%len(ring)])
+	}
+	return out
+}
+
+// Snapshot copies the retained traces. A nil recorder yields a zero
+// snapshot.
+func (f *FlightRecorder) Snapshot() FlightSnapshot {
+	if f == nil {
+		return FlightSnapshot{}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return FlightSnapshot{
+		Total:   f.total,
+		Recent:  drainRing(f.recent, f.next, f.full),
+		Slowest: append([]TraceSnapshot(nil), f.slowest...),
+		Errored: drainRing(f.errored, f.errNext, f.errFull),
+	}
+}
+
+// Find returns the retained trace with the given ID (recent, then
+// slowest, then errored), or ok=false.
+func (f *FlightRecorder) Find(id TraceID) (TraceSnapshot, bool) {
+	s := f.Snapshot()
+	for _, group := range [][]TraceSnapshot{s.Recent, s.Slowest, s.Errored} {
+		for _, t := range group {
+			if t.TraceID == id {
+				return t, true
+			}
+		}
+	}
+	return TraceSnapshot{}, false
+}
+
+// WriteText renders the snapshot as a human-readable report: one line
+// per retained request, grouped by retention class.
+func (s FlightSnapshot) WriteText(w io.Writer) error {
+	var err error
+	p := func(format string, args ...interface{}) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("requests recorded: %d\n", s.Total)
+	group := func(title string, ts []TraceSnapshot) {
+		if len(ts) == 0 {
+			return
+		}
+		p("%s:\n", title)
+		for _, t := range ts {
+			line := fmt.Sprintf("  %s  %-5s %10s  spans=%-3d plans=%-3d %s",
+				t.TraceID, t.Status, time.Duration(t.DurNS), len(t.Spans), len(t.Plans), t.Name)
+			if q, ok := t.Attrs["query"]; ok {
+				line += "  " + q
+			}
+			if t.Error != "" {
+				line += "  err=" + t.Error
+			}
+			p("%s\n", line)
+		}
+	}
+	group("recent (newest first)", s.Recent)
+	group("slowest", s.Slowest)
+	group("errored (newest first)", s.Errored)
+	return err
+}

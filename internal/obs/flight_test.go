@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// flightSnap builds a minimal finished-trace snapshot for recorder tests.
+func flightSnap(seq byte, durNS int64, status string) TraceSnapshot {
+	var id TraceID
+	id[15] = seq
+	return TraceSnapshot{TraceID: id, Name: "req", Status: status, DurNS: durNS}
+}
+
+// TestFlightRecorderRetention: the recent ring keeps the last N
+// newest-first, the slowest list keeps the N largest durations sorted
+// descending, and errored traces land in their own ring.
+func TestFlightRecorderRetention(t *testing.T) {
+	f := NewFlightRecorder(4, 2, 2)
+	// Durations chosen so the slowest are NOT the most recent.
+	durs := []int64{70, 90, 20, 30, 40, 50}
+	for i, d := range durs {
+		status := "ok"
+		if i == 2 || i == 4 { // seq 3 and 5 fail
+			status = "error"
+		}
+		f.Record(flightSnap(byte(i+1), d, status))
+	}
+	s := f.Snapshot()
+	if s.Total != 6 {
+		t.Fatalf("total = %d, want 6", s.Total)
+	}
+	wantRecent := []byte{6, 5, 4, 3}
+	if len(s.Recent) != len(wantRecent) {
+		t.Fatalf("recent = %d entries, want %d", len(s.Recent), len(wantRecent))
+	}
+	for i, w := range wantRecent {
+		if s.Recent[i].TraceID[15] != w {
+			t.Fatalf("recent[%d] = seq %d, want %d (newest first)", i, s.Recent[i].TraceID[15], w)
+		}
+	}
+	if len(s.Slowest) != 2 || s.Slowest[0].DurNS != 90 || s.Slowest[1].DurNS != 70 {
+		t.Fatalf("slowest = %+v, want durations [90 70]", s.Slowest)
+	}
+	if len(s.Errored) != 2 || s.Errored[0].TraceID[15] != 5 || s.Errored[1].TraceID[15] != 3 {
+		t.Fatalf("errored = %+v, want seq [5 3] newest first", s.Errored)
+	}
+}
+
+// TestFlightRecorderFind: retained traces are found by ID across all
+// three retention classes; evicted-everywhere IDs are not.
+func TestFlightRecorderFind(t *testing.T) {
+	f := NewFlightRecorder(2, 1, 1)
+	f.Record(flightSnap(1, 100, "ok")) // slowest keeps it after eviction from recent
+	f.Record(flightSnap(2, 10, "error"))
+	f.Record(flightSnap(3, 20, "ok"))
+	f.Record(flightSnap(4, 30, "ok")) // evicts seq 2 from recent; errored still holds it
+	for _, seq := range []byte{1, 2, 3, 4} {
+		var id TraceID
+		id[15] = seq
+		if _, ok := f.Find(id); !ok {
+			t.Fatalf("Find(seq %d) missed a retained trace", seq)
+		}
+	}
+	var missing TraceID
+	missing[0] = 0xee
+	if _, ok := f.Find(missing); ok {
+		t.Fatal("Find returned a trace that was never recorded")
+	}
+}
+
+func TestFlightSnapshotWriteText(t *testing.T) {
+	f := NewFlightRecorder(4, 2, 2)
+	ok := flightSnap(1, 1000, "ok")
+	ok.Attrs = map[string]string{"query": "Q(x) :- r(x)"}
+	f.Record(ok)
+	bad := flightSnap(2, 2000, "error")
+	bad.Error = "deadline exceeded"
+	f.Record(bad)
+	var buf bytes.Buffer
+	if err := f.Snapshot().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"requests recorded: 2",
+		"recent (newest first):",
+		"slowest:",
+		"errored (newest first):",
+		"Q(x) :- r(x)",
+		"err=deadline exceeded",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFlightRecorderNil(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(flightSnap(1, 1, "ok"))
+	if s := f.Snapshot(); s.Total != 0 || s.Recent != nil {
+		t.Fatalf("nil Snapshot = %+v", s)
+	}
+	if _, ok := f.Find(TraceID{}); ok {
+		t.Fatal("nil Find returned ok")
+	}
+}
+
+func TestFlightRecorderDefaults(t *testing.T) {
+	f := NewFlightRecorder(0, -1, 0)
+	for i := 0; i < 100; i++ {
+		f.Record(flightSnap(byte(i), int64(i), "ok"))
+	}
+	s := f.Snapshot()
+	if len(s.Recent) != 64 || len(s.Slowest) != 16 {
+		t.Fatalf("defaults: recent=%d slowest=%d, want 64/16", len(s.Recent), len(s.Slowest))
+	}
+}

@@ -183,14 +183,60 @@ type HistBucket struct {
 
 // HistSnapshot is a point-in-time copy of a histogram. Concurrent
 // observations may make the fields mutually slightly inconsistent; each
-// field individually is a valid atomic read.
+// field individually is a valid atomic read. P50/P95/P99 are quantile
+// estimates interpolated within the power-of-two buckets (see Quantile),
+// so their relative error is bounded by the bucket width.
 type HistSnapshot struct {
 	Count   int64        `json:"count"`
 	Sum     int64        `json:"sum"`
 	Min     int64        `json:"min"`
 	Max     int64        `json:"max"`
 	Mean    float64      `json:"mean"`
+	P50     int64        `json:"p50,omitempty"`
+	P95     int64        `json:"p95,omitempty"`
+	P99     int64        `json:"p99,omitempty"`
 	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) from the snapshot's
+// buckets: the target rank's bucket is located on the cumulative counts
+// and the value interpolated linearly within the bucket's [Lo, Hi]
+// range, clamped to the observed Min and Max. A snapshot with no
+// observations yields 0.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count <= 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is 1-based: the ceil(q*count)-th smallest observation.
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for _, b := range s.Buckets {
+		if seen+b.Count < rank {
+			seen += b.Count
+			continue
+		}
+		// Interpolate the rank's position within this bucket.
+		frac := float64(rank-seen) / float64(b.Count)
+		v := float64(b.Lo) + frac*float64(b.Hi-b.Lo)
+		est := int64(v)
+		if est < s.Min {
+			est = s.Min
+		}
+		if est > s.Max {
+			est = s.Max
+		}
+		return est
+	}
+	return s.Max
 }
 
 // Snapshot returns a copy of the histogram's current state. A nil
@@ -227,5 +273,8 @@ func (h *Histogram) Snapshot() HistSnapshot {
 		}
 		s.Buckets = append(s.Buckets, b)
 	}
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
 	return s
 }

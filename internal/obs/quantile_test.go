@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestHistogramQuantiles checks the interpolated quantile estimates on a
+// known distribution (1..100): p50 lands on the true median, and the
+// upper quantiles clamp to the observed max when interpolation would
+// overshoot the bucket's upper bound.
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// Rank 50 falls in the [32,63] bucket with 32 of ranks 32..63:
+	// 32 + (50-31)/32 * 31 = 50.4 -> 50.
+	if s.P50 != 50 {
+		t.Fatalf("p50 = %d, want 50", s.P50)
+	}
+	// Ranks 95 and 99 fall in the top bucket [64,127]; interpolation
+	// overshoots the observed max and must clamp to it.
+	if s.P95 != 100 || s.P99 != 100 {
+		t.Fatalf("p95/p99 = %d/%d, want 100/100", s.P95, s.P99)
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Fatalf("q0 = %d, want min 1", got)
+	}
+	if got := s.Quantile(1); got != 100 {
+		t.Fatalf("q1 = %d, want max 100", got)
+	}
+	// Quantiles are monotone in q.
+	prev := int64(0)
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile(%g) = %d < previous %d", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramQuantileSingleAndEmpty(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s.P50 != 0 || s.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram quantiles = %+v", s)
+	}
+	h.Observe(1000)
+	s := h.Snapshot()
+	// One observation: every quantile clamps into [min, max] = [1000, 1000].
+	if s.P50 != 1000 || s.P95 != 1000 || s.P99 != 1000 {
+		t.Fatalf("single-value quantiles = %d/%d/%d, want 1000", s.P50, s.P95, s.P99)
+	}
+}
+
+// TestHistogramQuantileRendering: the registry's text view carries the
+// new percentile columns.
+func TestHistogramQuantileRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("latency_ns").Observe(1_000_000)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"p50=", "p95=", "p99="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteText missing %q:\n%s", want, out)
+		}
+	}
+}

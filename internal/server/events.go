@@ -1,5 +1,7 @@
 package server
 
+import "qporder/internal/obs"
+
 // Event is one NDJSON line of the POST /v1/query response stream. The
 // server writes it with omitempty fields; clients (cmd/qpload, the serve
 // experiment) decode every line into the same type and dispatch on Event.
@@ -9,12 +11,18 @@ package server
 //	{"event":"session", ...}            once, before any ordering work
 //	{"event":"plan", ...}               per executed plan, best-first
 //	{"event":"answers", ...}            per plan that contributed answers
+//	{"event":"explain", ...}            once, when requested, before done
 //	{"event":"done", ...}               once, last line
 //
 // A failure after the stream has started (headers already sent) is
 // reported as a final {"event":"error"} line.
 type Event struct {
 	Event string `json:"event"`
+
+	// TraceID correlates the stream with the server's flight recorder,
+	// logs, and exported traces; it is set on session, explain, and done
+	// events.
+	TraceID string `json:"trace_id,omitempty"`
 
 	// session fields.
 	Cache     string `json:"cache,omitempty"` // hit | miss
@@ -32,6 +40,11 @@ type Event struct {
 
 	// answers fields.
 	Answers []string `json:"answers,omitempty"`
+
+	// explain fields: per emitted plan, the ordering provenance the
+	// orderer recorded — utility at selection, dominance tests won and
+	// lost, refinements, splits, and evaluations since the previous plan.
+	Explain []obs.PlanProvenance `json:"explain,omitempty"`
 
 	// done fields.
 	Stopped   string  `json:"stopped,omitempty"`
@@ -69,4 +82,6 @@ const (
 	CodeOverloaded          = "overloaded"
 	CodeDraining            = "draining"
 	CodeInternal            = "internal"
+	CodeBadTraceID          = "bad_trace_id"
+	CodeTraceNotFound       = "trace_not_found"
 )

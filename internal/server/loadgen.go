@@ -71,8 +71,19 @@ type LoadReport struct {
 	TTFA Quantiles `json:"ttfa"`
 	// Full is request start to the done event (the full-k latency).
 	Full Quantiles `json:"full"`
+	// Slowest lists the trace IDs of the slowest sessions (up to 5, by
+	// full latency, descending) — the handles to pull out of the
+	// daemon's /debug/requests or an exported trace file.
+	Slowest []SlowSession `json:"slowest,omitempty"`
 	// FirstError carries the first failure's detail for diagnosis.
 	FirstError string `json:"first_error,omitempty"`
+}
+
+// SlowSession identifies one slow session by its server-assigned trace
+// ID.
+type SlowSession struct {
+	TraceID string  `json:"trace_id"`
+	FullMS  float64 `json:"full_ms"`
 }
 
 // quantiles computes the summary of a sample set (ms).
@@ -108,6 +119,7 @@ type sessionResult struct {
 	answers int64
 	ttfaMS  float64 // <0 when no answers arrived
 	fullMS  float64
+	traceID string // the server's trace ID for this session
 }
 
 // runSession posts one query and consumes its NDJSON stream.
@@ -126,6 +138,10 @@ func runSession(ctx context.Context, client *http.Client, cfg LoadConfig, query 
 		return sessionResult{err: err}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Propagate a client-side trace context the way an upstream service
+	// would; the server continues it, so the session's trace ID is known
+	// even if the response headers get lost.
+	req.Header.Set("Traceparent", obs.FormatTraceparent(obs.NewTraceID(), obs.NewSpanID()))
 	start := time.Now()
 	resp, err := client.Do(req)
 	if err != nil {
@@ -137,6 +153,9 @@ func runSession(ctx context.Context, client *http.Client, cfg LoadConfig, query 
 		return sessionResult{err: fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(detail))}
 	}
 	res := sessionResult{ttfaMS: -1}
+	if tid, _, ok := obs.ParseTraceparent(resp.Header.Get("Traceparent")); ok {
+		res.traceID = tid.String()
+	}
 	sawDone := false
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
@@ -257,6 +276,24 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	}
 	rep.TTFA = quantiles(ttfa)
 	rep.Full = quantiles(full)
+	// Surface the slowest sessions' trace IDs so a load run ends with
+	// actionable handles into the daemon's flight recorder.
+	var slow []SlowSession
+	for _, r := range results {
+		if r.err == nil && r.traceID != "" {
+			slow = append(slow, SlowSession{TraceID: r.traceID, FullMS: r.fullMS})
+		}
+	}
+	sort.Slice(slow, func(i, j int) bool {
+		if slow[i].FullMS != slow[j].FullMS {
+			return slow[i].FullMS > slow[j].FullMS
+		}
+		return slow[i].TraceID < slow[j].TraceID
+	})
+	if len(slow) > 5 {
+		slow = slow[:5]
+	}
+	rep.Slowest = slow
 	return rep, nil
 }
 

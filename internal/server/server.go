@@ -12,9 +12,12 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -60,6 +63,18 @@ type Config struct {
 	// Reg receives the server's counters and gauges alongside the
 	// mediator's; a fresh registry is created when nil.
 	Reg *obs.Registry
+	// FlightEntries sizes the flight recorder's recent-request ring
+	// (default 64); the slowest and errored classes each keep a quarter
+	// of it. The recorder is always on — every request leaves a trace
+	// inspectable at /debug/requests.
+	FlightEntries int
+	// TraceOut, when non-nil, receives one JSON line per finished
+	// request trace (the NDJSON export cmd/qptrace ingests). Writes are
+	// serialized by the server.
+	TraceOut io.Writer
+	// Logger, when non-nil, receives one structured log line per
+	// request, correlated by trace ID. Nil disables request logging.
+	Logger *slog.Logger
 }
 
 // Server mediates queries over a fixed catalog and simulated world.
@@ -73,6 +88,9 @@ type Server struct {
 	sem      chan struct{}
 	waiting  atomic.Int64
 	draining atomic.Bool
+
+	flight  *obs.FlightRecorder
+	traceMu sync.Mutex // serializes TraceOut lines
 
 	inflight   *obs.Gauge
 	queueDepth *obs.Gauge
@@ -130,6 +148,7 @@ func New(cfg Config) (*Server, error) {
 		reg:        cfg.Reg,
 		cache:      newSessionCache(cfg.CacheSessions, cfg.Reg),
 		sem:        make(chan struct{}, cfg.MaxInflight),
+		flight:     obs.NewFlightRecorder(cfg.FlightEntries, cfg.FlightEntries/4, cfg.FlightEntries/4),
 		inflight:   cfg.Reg.Gauge("server.inflight"),
 		queueDepth: cfg.Reg.Gauge("server.queue_depth"),
 		requests:   cfg.Reg.Counter("server.requests"),
@@ -141,6 +160,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/requests", s.handleRequests)
 	s.mux = mux
 	return s, nil
 }
@@ -207,6 +227,10 @@ type queryRequest struct {
 	// Parallelism > 1 enables the mediator's pipelined mode for this
 	// session (capped at MaxParallelism).
 	Parallelism int `json:"parallelism"`
+	// Explain requests a final explain event carrying the per-plan
+	// ordering provenance (utility at selection, dominance tests won and
+	// lost, refinements, splits, evaluations).
+	Explain bool `json:"explain"`
 }
 
 // session is a fully validated request, ready to admit and run.
@@ -220,6 +244,7 @@ type session struct {
 	measure  func(*lav.Catalog) measure.Measure
 	reform   mediator.Reformulator
 	par      int
+	explain  bool
 }
 
 // badRequestError carries a structured 4xx.
@@ -272,6 +297,7 @@ func (s *Server) parseRequest(r *http.Request) (*session, *badRequestError) {
 		return nil, bad(CodeInvalidParallelism, "parallelism must be in [0, %d], got %d", s.cfg.MaxParallelism, req.Parallelism)
 	}
 	sess.par = req.Parallelism
+	sess.explain = req.Explain
 
 	sess.measName = req.Measure
 	if sess.measName == "" {
@@ -408,22 +434,42 @@ func writeError(w http.ResponseWriter, status int, code, msg string) {
 	}{ErrorBody{Code: code, Message: msg}})
 }
 
-// handleQuery validates, admits, and streams one query session.
+// handleQuery validates, admits, and streams one query session. Every
+// request runs under a request trace: an incoming W3C traceparent header
+// continues the caller's trace (a malformed one silently starts a fresh
+// trace — tracing must never fail a request), the response carries the
+// server's own traceparent, and the finished trace lands in the flight
+// recorder, the structured log, and the NDJSON export.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.requests.Inc()
+	tr := obs.StartRequestTrace("POST /v1/query", r.Header.Get("traceparent"))
+	w.Header().Set("Traceparent", tr.Traceparent())
+	defer s.finishTrace(tr)
 	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	parseSpan := tr.StartSpan("server/parse")
 	sess, berr := s.parseRequest(r)
+	parseSpan.End()
 	if berr != nil {
 		s.badRequest.Inc()
+		tr.SetAttr("code", berr.code)
+		tr.SetError(berr.msg)
 		writeError(w, berr.status, berr.code, berr.msg)
 		return
 	}
+	tr.SetAttr("query", sess.query.String())
+	tr.SetAttr("algorithm", sess.algoName)
+	tr.SetAttr("measure", sess.measName)
+	admitSpan := tr.StartSpan("server/admit")
 	release, code, err := s.admit(r)
+	admitSpan.End()
 	if err != nil {
+		tr.SetError("client disconnected while queued")
 		return // client disconnected while queued; nothing to say to it
 	}
 	if code != "" {
 		s.rejected.Inc()
+		tr.SetAttr("code", code)
+		tr.SetError("server cannot accept new sessions")
 		writeError(w, http.StatusServiceUnavailable, code, "server cannot accept new sessions")
 		return
 	}
@@ -432,11 +478,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// The reformulation prefix is shared across requests whose queries
 	// are identical up to variable renaming and atom order.
 	key := sess.query.CanonicalKey() + "|" + string(sess.reform)
+	prepSpan := tr.StartSpan("server/prepare")
 	prep, hit, err := s.cache.get(key, func() (*mediator.Prepared, error) {
 		return mediator.Prepare(sess.query, s.cfg.Catalog, sess.reform)
 	})
+	prepSpan.End()
 	if err != nil {
 		s.badRequest.Inc()
+		tr.SetAttr("code", CodeUnplannable)
+		tr.SetError(err.Error())
 		writeError(w, http.StatusUnprocessableEntity, CodeUnplannable, err.Error())
 		return
 	}
@@ -478,9 +528,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			}
 		},
 	}
+	buildSpan := tr.StartSpan("server/build")
 	sys, err := mediator.New(mcfg)
+	buildSpan.End()
 	if err != nil {
 		s.badRequest.Inc()
+		tr.SetAttr("code", CodeInapplicable)
+		tr.SetError(err.Error())
 		writeError(w, http.StatusUnprocessableEntity, CodeInapplicable, err.Error())
 		return
 	}
@@ -492,8 +546,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if hit {
 		cache = "hit"
 	}
+	tr.SetAttr("cache", cache)
 	emit(Event{
 		Event:     "session",
+		TraceID:   tr.TraceID().String(),
 		Cache:     cache,
 		Algorithm: sess.algoName,
 		Measure:   sess.measName,
@@ -509,13 +565,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), sess.deadline)
 	defer cancel()
+	ctx = obs.WithTrace(ctx, tr)
+	runSpan := tr.StartSpan("server/run")
 	res, err := sys.RunContext(ctx, eng, mediator.Budget{MaxPlans: sess.k})
+	runSpan.End()
 	if err != nil {
+		tr.SetAttr("code", CodeInternal)
+		tr.SetError(err.Error())
 		emit(Event{Event: "error", Err: &ErrorBody{Code: CodeInternal, Message: err.Error()}})
 		return
 	}
+	tr.SetAttr("stopped", string(res.Stopped))
+	if sess.explain {
+		emit(Event{Event: "explain", TraceID: tr.TraceID().String(), Explain: tr.Plans()})
+	}
 	emit(Event{
 		Event:        "done",
+		TraceID:      tr.TraceID().String(),
 		Stopped:      string(res.Stopped),
 		Plans:        len(res.Executed),
 		TotalAnswers: res.Answers.Len(),
@@ -523,6 +589,71 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Evals:        res.Evals,
 		ElapsedMS:    float64(time.Since(start)) / float64(time.Millisecond),
 	})
+}
+
+// finishTrace seals the request trace and fans it out to the retention
+// sinks: the flight recorder, the NDJSON export, and the structured log.
+func (s *Server) finishTrace(tr *obs.Trace) {
+	snap := tr.Finish()
+	s.flight.Record(snap)
+	if s.cfg.TraceOut != nil {
+		if b, err := json.Marshal(snap); err == nil {
+			s.traceMu.Lock()
+			_, _ = s.cfg.TraceOut.Write(append(b, '\n'))
+			s.traceMu.Unlock()
+		}
+	}
+	if s.cfg.Logger != nil {
+		lvl := slog.LevelInfo
+		attrs := []any{
+			"trace_id", snap.TraceID.String(),
+			"status", snap.Status,
+			"dur_ms", float64(snap.DurNS) / 1e6,
+			"spans", len(snap.Spans),
+			"plans", len(snap.Plans),
+		}
+		if q, ok := snap.Attrs["query"]; ok {
+			attrs = append(attrs, "query", q)
+		}
+		if snap.Error != "" {
+			lvl = slog.LevelWarn
+			attrs = append(attrs, "error", snap.Error)
+		}
+		s.cfg.Logger.Log(context.Background(), lvl, "request", attrs...)
+	}
+}
+
+// handleRequests serves the flight recorder: the retained recent,
+// slowest, and errored request traces, as text by default, as JSON with
+// ?format=json, or one full trace with ?trace=<id>.
+func (s *Server) handleRequests(w http.ResponseWriter, r *http.Request) {
+	if q := r.URL.Query().Get("trace"); q != "" {
+		var id obs.TraceID
+		if err := id.UnmarshalText([]byte(q)); err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadTraceID, "invalid trace id "+q)
+			return
+		}
+		t, ok := s.flight.Find(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, CodeTraceNotFound, "trace "+q+" not retained")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(t)
+		return
+	}
+	snap := s.flight.Snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = snap.WriteText(w)
 }
 
 // handleHealthz reports liveness; a draining server answers 503 so load

@@ -4,9 +4,12 @@
 #      movie domain,
 #   2. verify the streamed plan order is byte-identical to qporder's
 #      for the same query, seed, algorithm, and measure,
-#   3. replay a concurrent shuffled burst through qpload (zero errors
+#   3. exercise the tracing surface: traceparent round-trip, the explain
+#      event, the /debug/requests flight recorder, and the -trace-out
+#      NDJSON export analyzed by qptrace (zero parse errors required),
+#   4. replay a concurrent shuffled burst through qpload (zero errors
 #      required) and check the session cache saw hits,
-#   4. SIGTERM the daemon and require a clean drain.
+#   5. SIGTERM the daemon and require a clean drain.
 # Used by `make serve-smoke` and the serve-smoke CI job.
 set -eu
 
@@ -24,10 +27,12 @@ echo "serve-smoke: building race-enabled binaries"
 $GO build -race -o "$WORKDIR/qpserved" ./cmd/qpserved
 $GO build -race -o "$WORKDIR/qpload" ./cmd/qpload
 $GO build -o "$WORKDIR/qporder" ./cmd/qporder
+$GO build -o "$WORKDIR/qptrace" ./cmd/qptrace
 $GO run ./cmd/qpgen -preset movie > "$WORKDIR/movie.qp"
 
 echo "serve-smoke: booting qpserved on a random port"
 "$WORKDIR/qpserved" -f "$WORKDIR/movie.qp" -addr 127.0.0.1:0 -seed "$SEED" \
+    -trace-out "$WORKDIR/traces.ndjson" \
     > "$WORKDIR/served.log" 2>&1 &
 SRV_PID=$!
 
@@ -55,6 +60,63 @@ if ! diff -u "$WORKDIR/direct_plans.txt" "$WORKDIR/served_plans.txt"; then
 fi
 [ -s "$WORKDIR/served_plans.txt" ] || { echo "serve-smoke: FAIL: no plans streamed"; exit 1; }
 echo "serve-smoke: plan order is byte-identical ($(wc -l < "$WORKDIR/served_plans.txt" | tr -d ' ') plans)"
+
+echo "serve-smoke: checking traceparent round-trip and the explain event"
+TP='00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01'
+TRACE_ID='0af7651916cd43dd8448eb211c80319c'
+curl -fsS -D "$WORKDIR/explain_headers.txt" "$URL/v1/query" \
+    -H "traceparent: $TP" \
+    -d "{\"query\":\"$QUERY\",\"k\":$K,\"algorithm\":\"$ALGO\",\"measure\":\"$MEASURE\",\"explain\":true}" \
+    > "$WORKDIR/explain_stream.ndjson"
+grep -iq "^traceparent: 00-$TRACE_ID-" "$WORKDIR/explain_headers.txt" || {
+    echo "serve-smoke: FAIL: response did not join the caller's trace:"
+    cat "$WORKDIR/explain_headers.txt"
+    exit 1
+}
+grep -q "\"event\":\"explain\"" "$WORKDIR/explain_stream.ndjson" || {
+    echo "serve-smoke: FAIL: no explain event in the stream:"
+    cat "$WORKDIR/explain_stream.ndjson"
+    exit 1
+}
+grep -q "\"dom_won\"" "$WORKDIR/explain_stream.ndjson" || {
+    echo "serve-smoke: FAIL: explain event carries no provenance:"
+    cat "$WORKDIR/explain_stream.ndjson"
+    exit 1
+}
+echo "serve-smoke: explain event present, trace ID joined"
+
+echo "serve-smoke: checking the /debug/requests flight recorder"
+curl -fsS "$URL/debug/requests?format=json" > "$WORKDIR/flight.json"
+grep -q "$TRACE_ID" "$WORKDIR/flight.json" || {
+    echo "serve-smoke: FAIL: flight recorder does not retain $TRACE_ID"
+    exit 1
+}
+curl -fsS "$URL/debug/requests?trace=$TRACE_ID" > "$WORKDIR/one_trace.json"
+grep -q "\"trace_id\": \"$TRACE_ID\"" "$WORKDIR/one_trace.json" || {
+    echo "serve-smoke: FAIL: single-trace lookup failed for $TRACE_ID"
+    exit 1
+}
+echo "serve-smoke: flight recorder retains the request"
+
+echo "serve-smoke: analyzing the trace export with qptrace"
+[ -s "$WORKDIR/traces.ndjson" ] || { echo "serve-smoke: FAIL: -trace-out wrote nothing"; exit 1; }
+"$WORKDIR/qptrace" "$WORKDIR/traces.ndjson" > "$WORKDIR/qptrace.txt" || {
+    echo "serve-smoke: FAIL: qptrace rejected the daemon's trace export:"
+    cat "$WORKDIR/traces.ndjson"
+    exit 1
+}
+grep -q "$TRACE_ID" "$WORKDIR/qptrace.txt" || {
+    echo "serve-smoke: FAIL: qptrace report is missing $TRACE_ID:"
+    cat "$WORKDIR/qptrace.txt"
+    exit 1
+}
+echo "serve-smoke: qptrace ingested $(wc -l < "$WORKDIR/traces.ndjson" | tr -d ' ') exported traces"
+
+echo "serve-smoke: checking qporder -explain"
+"$WORKDIR/qporder" -f "$WORKDIR/movie.qp" -q "$QUERY" \
+    -algo "$ALGO" -measure "$MEASURE" -k "$K" -seed "$SEED" -explain \
+    | grep -q "dom_won" || { echo "serve-smoke: FAIL: qporder -explain printed no provenance"; exit 1; }
+echo "serve-smoke: qporder -explain prints provenance"
 
 echo "serve-smoke: concurrent shuffled burst (48 sessions, 8 workers)"
 "$WORKDIR/qpload" -url "$URL" -q "$QUERY" -n 48 -c 8 -k "$K" -shuffle \
