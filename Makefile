@@ -4,7 +4,7 @@ GO ?= go
 FUZZTIME ?= 30s
 BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build vet test race bench bench-json bench-check check fmtcheck experiments fuzz serve-smoke clean
+.PHONY: all build vet test race bench bench-json bench-check check fmtcheck lint-metrics experiments fuzz serve-smoke clean
 
 all: build vet test
 
@@ -26,15 +26,21 @@ fmtcheck:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 
-# check is the local all-in-one gate: formatting, vet, build, the plain
-# test suite, and the race-enabled test suite. The plain run matters:
+# lint-metrics rejects instrument names outside [a-z0-9._] so the
+# OpenMetrics exposition (/metrics?format=openmetrics) never needs a
+# lossy sanitization. See scripts/metric_lint.sh.
+lint-metrics:
+	sh scripts/metric_lint.sh
+
+# check is the local all-in-one gate: formatting, metric-name lint,
+# vet, build, the plain test suite, and the race-enabled test suite. The plain run matters:
 # the allocation-regression gates (testing.AllocsPerRun in
 # internal/coverage) skip themselves under -race, so only a non-race
 # pass enforces the zero-allocs-per-Evaluate promise. CI splits the same
 # work across jobs (see .github/workflows/ci.yml): a fmt/vet/fuzz
 # fast-fail gate, an {ubuntu, macos} x {oldest Go, stable} build+test
 # matrix, a dedicated -race job, and a benchmark-regression job.
-check: fmtcheck vet build test race
+check: fmtcheck lint-metrics vet build test race
 
 bench:
 	$(GO) test -bench=. -benchmem .

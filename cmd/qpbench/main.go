@@ -33,7 +33,7 @@ import (
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "experiments: all, fig6, fig6a..fig6l, overlap, qlen, evalfrac, ablation, tta, soundness, greedy, par, serve (comma-separated)")
+		expFlag   = flag.String("exp", "all", "experiments: all, fig6, fig6a..fig6l, overlap, qlen, evalfrac, ablation, tta, soundness, greedy, par, serve, calibration (comma-separated)")
 		sizesFlag = flag.String("sizes", "10,20,40,60,80", "bucket sizes for Figure 6 panels")
 		seed      = flag.Int64("seed", 42, "workload seed")
 		qlen      = flag.Int("qlen", 3, "query length (paper default 3)")
@@ -46,6 +46,7 @@ func main() {
 		compare   = flag.String("compare", "", "baseline metrics JSON to regression-check sequential ns/plan against (exit 1 on regression)")
 		regThresh = flag.Float64("regress-threshold", 0.20, "allowed ns/plan worsening vs -compare baseline (0.20 = 20%)")
 		reps      = flag.Int("reps", 3, "timing repetitions per metrics cell (best-of-N; sub-second cells only)")
+		calibFlag = flag.Bool("calibration", false, "run the estimator-calibration experiment (alias for -exp calibration)")
 	)
 	flag.Parse()
 
@@ -72,6 +73,14 @@ func main() {
 	want := map[string]bool{}
 	for _, e := range strings.Split(*expFlag, ",") {
 		want[strings.TrimSpace(e)] = true
+	}
+	if *calibFlag {
+		// -calibration alone runs just that experiment; combined with
+		// -exp it adds the calibration cell to the selection.
+		if *expFlag == "all" {
+			delete(want, "all")
+		}
+		want["calibration"] = true
 	}
 	wants := func(names ...string) bool {
 		if want["all"] {
@@ -202,6 +211,25 @@ func main() {
 		}
 		serveRecs = recs
 		render(experiment.ServeTable(recs))
+	}
+
+	if wants("calibration") {
+		fmt.Println("== Estimator calibration: fresh vs stale statistics (stale must trip the drift detector) ==")
+		cfg := base
+		cfg.QueryLen = 2
+		cfg.BucketSize = 4
+		recs, err := experiment.RunCalibration(cfg, 16, 12)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qpbench: calibration:", err)
+			os.Exit(1)
+		}
+		render(experiment.CalibTable(recs))
+		for _, r := range recs {
+			if r.Scenario == "stale" && len(r.Drifted) == 0 {
+				fmt.Fprintln(os.Stderr, "qpbench: calibration: stale scenario did not trip the drift detector")
+				os.Exit(1)
+			}
+		}
 	}
 
 	if wants("greedy") {

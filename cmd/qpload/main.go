@@ -49,6 +49,7 @@ func run() error {
 		shuffle    = flag.Bool("shuffle", false, "perturb each request's query (rename + reorder)")
 		seed       = flag.Int64("seed", 1, "seed for -shuffle")
 		asJSON     = flag.Bool("json", false, "emit the report as JSON")
+		outFile    = flag.String("out", "", "also write the report as schema-versioned JSON to this file")
 		printPlans = flag.Bool("print-plans", false, "run one session and print its plan order")
 	)
 	flag.Parse()
@@ -85,6 +86,21 @@ func run() error {
 	rep, err := server.RunLoad(context.Background(), cfg)
 	if err != nil {
 		return err
+	}
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)

@@ -12,11 +12,16 @@
 //	qporder -f domain.qp -execute
 //	qporder -f domain.qp -explain
 //	qporder -f domain.qp -trace run.ndjson && qptrace run.ndjson
+//	qporder -f domain.qp -execute -calibration
 //
 // -explain prints, per emitted plan, the ordering provenance: utility
 // at selection, dominance tests won and lost, refinements, splits, and
 // utility evaluations since the previous plan. -trace exports the run's
 // request trace (spans plus provenance) as one NDJSON line for qptrace.
+// -calibration (with -execute) pairs the estimator's predictions with
+// execution ground truth — per-source Tuples statistics against observed
+// result sizes, per-plan utilities against realized answers or cost —
+// and prints q-error, bias, and EWMA drift per series after the run.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"qporder/internal/abstraction"
 	"qporder/internal/core"
@@ -70,6 +76,7 @@ func run() error {
 		plansOnly = flag.Bool("plans-only", false, "print only the ordered plan queries, one per line (for diffing against qpload -print-plans)")
 		explain   = flag.Bool("explain", false, "print per-plan ordering provenance after the plan list")
 		traceOut  = flag.String("trace", "", "write the run's trace (spans + provenance) as NDJSON to this file")
+		calib     = flag.Bool("calibration", false, "report estimate-vs-actual calibration (q-error, bias, EWMA drift) after the run; needs -execute")
 	)
 	flag.Parse()
 	if *file == "" {
@@ -146,6 +153,15 @@ func run() error {
 		}
 		engine.Instrument(reg)
 	}
+	var cal *obs.Calibration
+	if *calib {
+		if engine == nil {
+			fmt.Fprintln(os.Stderr, "qporder: -calibration needs -execute for ground truth; ignoring")
+		} else {
+			cal = obs.NewCalibration(obs.CalibConfig{})
+			engine.SetCalibration(cal)
+		}
+	}
 
 	produced := 0
 	for produced < *k {
@@ -176,6 +192,8 @@ func run() error {
 			fmt.Print(indent(pp.String(), "     "))
 		}
 		if engine != nil {
+			costBefore := engine.Cost
+			execStart := time.Now()
 			execSpan := obs.StartSpan(tr, "qporder/execute")
 			execTSpan := rt.StartSpan("qporder/execute")
 			var out []schema.Atom
@@ -186,10 +204,16 @@ func run() error {
 			}
 			execTSpan.End()
 			execSpan.End()
+			execWall := time.Since(execStart)
 			if err != nil {
 				return err
 			}
 			fresh := answers.Add(out)
+			rt.AnnotatePlan(plan.Key(), fresh, int64(execWall))
+			if cal != nil {
+				est, act := obs.PairPlanEstimate(utility, fresh, engine.Cost-costBefore)
+				cal.ObservePlan(*meas+"/"+*algo, est, act, fresh, engine.Cost-costBefore, execWall)
+			}
 			fmt.Printf("     +%d answers (total %d), cumulative cost %.1f\n",
 				fresh, answers.Len(), engine.Cost)
 		}
@@ -202,6 +226,15 @@ func run() error {
 	}
 	if engine != nil {
 		fmt.Printf("\nanswers (%d):\n%s", answers.Len(), answers)
+	}
+	if cal != nil {
+		fmt.Println("--- calibration ---")
+		cs := cal.Snapshot()
+		if cs.Empty() {
+			fmt.Println("no observations (no plans executed)")
+		} else if err := cs.WriteText(os.Stdout); err != nil {
+			return err
+		}
 	}
 	if *explain {
 		fmt.Println("--- explain (per emitted plan; deltas since the previous plan) ---")

@@ -10,7 +10,11 @@
 // the always-on flight recorder (recent, slowest, and errored request
 // traces), -trace-out exports finished traces as NDJSON for offline
 // analysis with qptrace, and per-request log lines on stderr are
-// correlated by trace ID.
+// correlated by trace ID. The daemon also tracks estimator calibration —
+// estimate-vs-actual q-error, bias, and EWMA drift per source and plan
+// series — served at GET /debug/calibration, exported per request with
+// -calib-out, and scrapeable alongside every registry instrument at
+// GET /metrics?format=openmetrics (OpenMetrics text exposition).
 //
 // Usage:
 //
@@ -62,6 +66,7 @@ func run() error {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown grace for in-flight streams")
 		flight       = flag.Int("flight", 64, "flight-recorder recent-request entries (/debug/requests)")
 		traceOut     = flag.String("trace-out", "", "append finished request traces to this NDJSON file (qptrace input)")
+		calibOut     = flag.String("calib-out", "", "append per-request calibration snapshots to this NDJSON file (may equal -trace-out; qptrace ingests the mixed stream)")
 		logRequests  = flag.Bool("log-requests", true, "log one structured line per request to stderr, correlated by trace ID")
 	)
 	flag.Parse()
@@ -101,6 +106,20 @@ func run() error {
 		}
 		defer tf.Close()
 		cfg.TraceOut = tf
+	}
+	if *calibOut != "" {
+		if *calibOut == *traceOut {
+			// Same file: share the handle so trace and calibration lines
+			// interleave whole (the server serializes both writers).
+			cfg.CalibOut = cfg.TraceOut
+		} else {
+			cf, err := os.OpenFile(*calibOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return err
+			}
+			defer cf.Close()
+			cfg.CalibOut = cf
+		}
 	}
 	srv, err := server.New(cfg)
 	if err != nil {

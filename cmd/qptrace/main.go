@@ -3,6 +3,9 @@
 // line). It reports the hottest span paths, the slowest requests with
 // their critical paths, and the aggregate ordering provenance (plans
 // emitted, dominance tests won/lost, refinements, splits, evaluations).
+// Calibration records (qpserved -calib-out) may ride in the same stream;
+// the report then appends the last cumulative estimator-calibration
+// snapshot — per-source and per-plan q-error, bias, and drift flags.
 //
 // Usage:
 //
@@ -40,12 +43,14 @@ func run() error {
 	flag.Parse()
 
 	var traces []obs.TraceSnapshot
+	var calibs []obs.CalibrationRecord
 	read := func(r io.Reader, name string) error {
-		ts, err := obs.ReadTraces(r)
+		ts, cs, err := obs.ReadExports(r)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		traces = append(traces, ts...)
+		calibs = append(calibs, cs...)
 		return nil
 	}
 	args := flag.Args()
@@ -69,11 +74,17 @@ func run() error {
 			return err
 		}
 	}
-	if len(traces) == 0 {
+	if len(traces) == 0 && len(calibs) == 0 {
 		return fmt.Errorf("no traces in input")
 	}
 
 	rep := obs.AnalyzeTraces(traces, *top)
+	if len(calibs) > 0 {
+		// Calibration snapshots are cumulative; the last one subsumes the
+		// rest, so the report carries it alone plus the ingest count.
+		rep.CalibrationRecords = len(calibs)
+		rep.Calibration = &calibs[len(calibs)-1].Calibration
+	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

@@ -44,6 +44,14 @@ type Engine struct {
 	cTuples      *obs.Counter
 	cCacheHits   *obs.Counter
 	cFailed      *obs.Counter
+
+	// calib, when set, receives one estimate-vs-actual observation per
+	// unconstrained source access: the catalog's Tuples statistic
+	// against the observed result size. Bound accesses are excluded —
+	// their result size measures join selectivity, not source size, so
+	// pairing them against Tuples would poison the series (the pairing
+	// contract, DESIGN.md). Nil disables recording at zero cost.
+	calib *obs.Calibration
 }
 
 // NewEngine builds an engine over source contents. The store maps source
@@ -61,6 +69,11 @@ func (e *Engine) Instrument(reg *obs.Registry) {
 	e.cCacheHits = reg.Counter("execsim.cache_hits")
 	e.cFailed = reg.Counter("execsim.failed_attempts")
 }
+
+// SetCalibration binds an estimator-calibration accumulator: every
+// unconstrained source access records the Tuples estimate against the
+// observed result size. Nil detaches (the default, costing nothing).
+func (e *Engine) SetCalibration(c *obs.Calibration) { e.calib = c }
 
 // EnableFailures turns on failure simulation with the given seed; each
 // access attempt to source V fails independently with V's FailureProb and
@@ -114,6 +127,18 @@ func (e *Engine) ExecutePlan(pq *schema.Query) ([]schema.Atom, error) {
 	return out, nil
 }
 
+// unbound reports whether the access goal constrains no argument — the
+// case where the source's Tuples statistic directly estimates the
+// result size.
+func unbound(goal schema.Atom) bool {
+	for _, t := range goal.Args {
+		if !t.IsVar() {
+			return false
+		}
+	}
+	return true
+}
+
 // access performs one source operation: fetch the tuples of goal's source
 // matching goal's bound arguments. Costs: overhead per attempt (failures
 // retry), transmission cost per returned tuple. With caching on, an
@@ -152,6 +177,9 @@ func (e *Engine) access(pos int, goal schema.Atom) ([]schema.Atom, error) {
 	e.Accesses++
 	e.cSourceCalls.Inc()
 	e.cTuples.Add(int64(len(res)))
+	if e.calib != nil && unbound(goal) {
+		e.calib.ObserveSource(goal.Pred, st.Tuples, float64(len(res)))
+	}
 	if e.Caching {
 		e.cache[key] = res
 	}

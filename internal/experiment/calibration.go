@@ -1,0 +1,173 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"qporder/internal/costmodel"
+	"qporder/internal/execsim"
+	"qporder/internal/lav"
+	"qporder/internal/measure"
+	"qporder/internal/mediator"
+	"qporder/internal/obs"
+	"qporder/internal/stats"
+	"qporder/internal/workload"
+)
+
+// This file is the estimator-calibration experiment: the same workload
+// domain and simulated world are mediated twice, once with source Tuples
+// statistics matching the world exactly ("fresh") and once with every
+// statistic inflated by a stale factor ("stale"), and the calibration
+// accumulator's verdict is compared. Fresh statistics must sit at
+// q-error 1 with no drift; stale ones must show q-error ≈ the factor and
+// trip the EWMA drift detector — the end-to-end demonstration that the
+// observability layer detects what it claims to detect.
+
+// CalibScenario is one cell of the calibration experiment.
+type CalibScenario struct {
+	// Scenario is "fresh" or "stale".
+	Scenario string `json:"scenario"`
+	// StaleFactor multiplied every Tuples statistic (1 for fresh).
+	StaleFactor float64 `json:"stale_factor"`
+	// Plans and Answers summarize the mediated run.
+	Plans   int `json:"plans"`
+	Answers int `json:"answers"`
+	// Sources is the number of per-source calibration series recorded
+	// (only sources reached by an unconstrained access record).
+	Sources int `json:"sources"`
+	// Drifted lists the sources whose EWMA drift detector tripped.
+	Drifted []string `json:"drifted,omitempty"`
+	// MaxQErrP50 is the worst per-source median q-error; MaxAbsEWMA the
+	// largest per-source |EWMA| of log2(est/act).
+	MaxQErrP50 float64 `json:"max_qerr_p50"`
+	MaxAbsEWMA float64 `json:"max_abs_ewma"`
+	// PlanQErrP50 is the median q-error of the per-plan series (predicted
+	// utility against realized value).
+	PlanQErrP50 float64 `json:"plan_qerr_p50"`
+	// Snapshot is the full calibration state after the run.
+	Snapshot obs.CalibrationSnapshot `json:"snapshot"`
+}
+
+// RunCalibration runs the fresh and stale scenarios over one generated
+// domain. staleFactor defaults to 16 (two doublings beyond the default
+// drift threshold of 4), k defaults to 12 plans. The runs are fully
+// deterministic: no simulated failures, and per-source ground truth is
+// the unconstrained access's result size, which depends only on the
+// store contents.
+func RunCalibration(cfg workload.Config, staleFactor float64, k int) ([]CalibScenario, error) {
+	if staleFactor <= 1 {
+		staleFactor = 16
+	}
+	if k <= 0 {
+		k = 12
+	}
+	d := workload.Generate(cfg)
+	cfg = d.Config // defaults filled
+
+	// One simulated world and one derived store serve both scenarios;
+	// only the catalog statistics differ between them.
+	rels := make([]execsim.RelationSpec, cfg.QueryLen)
+	for b := 0; b < cfg.QueryLen; b++ {
+		rels[b] = execsim.RelationSpec{Name: fmt.Sprintf("rel%d", b), Arity: 2}
+	}
+	world := execsim.GenerateWorld(execsim.WorldConfig{
+		Relations:         rels,
+		TuplesPerRelation: 100,
+		DomainSize:        15,
+		Seed:              cfg.Seed,
+	})
+	store := execsim.PopulateSources(d.Catalog, world, 0.8, cfg.Seed+1)
+
+	out := make([]CalibScenario, 0, 2)
+	for _, sc := range []struct {
+		name   string
+		factor float64
+	}{{"fresh", 1}, {"stale", staleFactor}} {
+		cat, err := restatCatalog(d.Catalog, store, sc.factor)
+		if err != nil {
+			return nil, err
+		}
+		rec, err := runCalibScenario(cat, d, store, k)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %s scenario: %w", sc.name, err)
+		}
+		rec.Scenario = sc.name
+		rec.StaleFactor = sc.factor
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// restatCatalog derives a catalog whose Tuples statistics are the true
+// store sizes times factor (factor 1 = perfectly fresh statistics); all
+// other statistics carry over unchanged.
+func restatCatalog(cat *lav.Catalog, store execsim.DB, factor float64) (*lav.Catalog, error) {
+	out := lav.NewCatalog()
+	for _, src := range cat.Sources() {
+		st := src.Stats
+		st.Tuples = math.Max(1, float64(len(store[src.Name]))) * factor
+		st.FailureProb = 0 // scenarios run without simulated failures
+		if _, err := out.Add(src.Name, src.Def, st); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// runCalibScenario mediates the domain query over the restated catalog
+// with a fresh calibration accumulator and summarizes its verdict.
+func runCalibScenario(cat *lav.Catalog, d *workload.Domain, store execsim.DB, k int) (CalibScenario, error) {
+	cal := obs.NewCalibration(obs.CalibConfig{})
+	sys, err := mediator.New(mediator.Config{
+		Catalog: cat,
+		Query:   d.Query,
+		Measure: func(e *lav.Catalog) measure.Measure {
+			return costmodel.NewChainCost(e, costmodel.Params{N: d.Config.N})
+		},
+		Algorithm: mediator.Streamer,
+		Calib:     cal,
+	})
+	if err != nil {
+		return CalibScenario{}, err
+	}
+	eng := execsim.NewEngine(cat, store)
+	res, err := sys.Run(eng, mediator.Budget{MaxPlans: k})
+	if err != nil {
+		return CalibScenario{}, err
+	}
+	snap := cal.Snapshot()
+	rec := CalibScenario{
+		Plans:    len(res.Executed),
+		Answers:  res.Answers.Len(),
+		Sources:  len(snap.Sources),
+		Snapshot: snap,
+	}
+	for _, s := range snap.Sources {
+		if s.Drifted {
+			rec.Drifted = append(rec.Drifted, s.Name)
+		}
+		rec.MaxQErrP50 = math.Max(rec.MaxQErrP50, s.QErrP50)
+		rec.MaxAbsEWMA = math.Max(rec.MaxAbsEWMA, math.Abs(s.EWMA))
+	}
+	for _, p := range snap.Plans {
+		rec.PlanQErrP50 = math.Max(rec.PlanQErrP50, p.QErrP50)
+	}
+	return rec, nil
+}
+
+// CalibTable renders the scenario cells for terminals.
+func CalibTable(recs []CalibScenario) *stats.Table {
+	t := stats.NewTable("scenario", "stale-factor", "plans", "sources",
+		"max-qerr-p50", "max-|ewma|", "plan-qerr-p50", "drifted")
+	for _, r := range recs {
+		drifted := fmt.Sprintf("%d", len(r.Drifted))
+		if len(r.Drifted) > 0 {
+			drifted = fmt.Sprintf("%d %v", len(r.Drifted), r.Drifted)
+		}
+		t.Add(r.Scenario, fmt.Sprintf("%g", r.StaleFactor),
+			fmt.Sprintf("%d", r.Plans), fmt.Sprintf("%d", r.Sources),
+			fmt.Sprintf("%.3f", r.MaxQErrP50), fmt.Sprintf("%.3f", r.MaxAbsEWMA),
+			fmt.Sprintf("%.3f", r.PlanQErrP50), drifted)
+	}
+	return t
+}

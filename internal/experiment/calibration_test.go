@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"testing"
+
+	"qporder/internal/workload"
+)
+
+// The calibration experiment's whole point: fresh statistics calibrate
+// cleanly, stale ones show the q-error and trip the drift detector.
+func TestRunCalibrationFreshVsStale(t *testing.T) {
+	recs, err := RunCalibration(workload.Config{QueryLen: 2, BucketSize: 4, Seed: 7}, 16, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d scenarios, want 2", len(recs))
+	}
+	fresh, stale := recs[0], recs[1]
+	if fresh.Scenario != "fresh" || stale.Scenario != "stale" {
+		t.Fatalf("scenario order %q/%q, want fresh/stale", fresh.Scenario, stale.Scenario)
+	}
+	if fresh.Plans == 0 || stale.Plans == 0 {
+		t.Fatalf("scenarios executed no plans: fresh=%d stale=%d", fresh.Plans, stale.Plans)
+	}
+	if fresh.Sources == 0 {
+		t.Fatal("fresh scenario recorded no per-source series")
+	}
+
+	// Fresh statistics equal the store sizes exactly, so every
+	// unconstrained access pairs est == act: q-error 1, EWMA 0, no trip.
+	if len(fresh.Drifted) != 0 {
+		t.Errorf("fresh scenario drifted: %v", fresh.Drifted)
+	}
+	if fresh.MaxQErrP50 > 1.001 {
+		t.Errorf("fresh max q-error p50 = %g, want 1", fresh.MaxQErrP50)
+	}
+	if fresh.MaxAbsEWMA > 0.001 {
+		t.Errorf("fresh max |EWMA| = %g, want 0", fresh.MaxAbsEWMA)
+	}
+
+	// Stale statistics are inflated 16x: q-error ~16 on every observed
+	// source, and with 12 plans over a 4-source position-0 bucket some
+	// source collects >= 3 samples and trips the detector.
+	if len(stale.Drifted) == 0 {
+		t.Error("stale scenario tripped no drift detector")
+	}
+	if stale.MaxQErrP50 < 8 {
+		t.Errorf("stale max q-error p50 = %g, want ~16", stale.MaxQErrP50)
+	}
+	if stale.MaxAbsEWMA < 2 {
+		t.Errorf("stale max |EWMA| = %g, want > 2 (= log2(4))", stale.MaxAbsEWMA)
+	}
+
+	// The rendered table carries one row per scenario.
+	tbl := CalibTable(recs)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("table rows = %d, want 2", len(tbl.Rows))
+	}
+}

@@ -117,6 +117,13 @@ type Config struct {
 	// the run-level gauges and counters. Nil disables instrumentation at
 	// zero cost.
 	Obs *obs.Registry
+	// Calib, when non-nil, accumulates estimator-calibration series: the
+	// engine pairs each unconstrained source access's Tuples estimate
+	// with the observed result size, and Run pairs each executed plan's
+	// predicted utility with its realized value (fresh answers for
+	// coverage-family measures, accrued cost for cost-family ones — see
+	// obs.PairPlanEstimate). Nil disables calibration at zero cost.
+	Calib *obs.Calibration
 }
 
 // Budget bounds a Run. Zero fields mean "unlimited".
@@ -184,11 +191,12 @@ type Result struct {
 // System is a configured mediator for one query. Run may be called
 // repeatedly with fresh budgets; ordering continues where it stopped.
 type System struct {
-	cfg     Config
-	orderer core.Orderer
-	src     planSource
-	algo    Algorithm // resolved (Auto expanded)
-	heur    abstraction.Heuristic
+	cfg      Config
+	orderer  core.Orderer
+	src      planSource
+	algo     Algorithm // resolved (Auto expanded)
+	heur     abstraction.Heuristic
+	measName string // the measure's Name(), keying calibration plan series
 
 	next  func() sound
 	drain func()
@@ -367,7 +375,7 @@ func New(cfg Config) (*System, error) {
 			algo = IDrips
 		}
 	}
-	s := &System{cfg: cfg, src: src, algo: algo, heur: heur}
+	s := &System{cfg: cfg, src: src, algo: algo, heur: heur, measName: m.Name()}
 	if cfg.Adaptive {
 		s.tracker = adaptive.NewTracker(cfg.Catalog)
 		if cfg.DriftFactor > 0 {
@@ -535,6 +543,9 @@ func (s *System) RunContext(ctx context.Context, engine *execsim.Engine, budget 
 	if s.cfg.Obs != nil {
 		engine.Instrument(s.cfg.Obs)
 	}
+	if s.cfg.Calib != nil {
+		engine.SetCalibration(s.cfg.Calib)
+	}
 	defer func() {
 		if s.drain != nil {
 			s.drain()
@@ -581,11 +592,14 @@ func (s *System) RunContext(ctx context.Context, engine *execsim.Engine, budget 
 			res.Stopped = StopExhausted
 			break
 		}
+		costBefore := engine.Cost
+		execStart := time.Now()
 		execSpan := obs.StartSpan(s.cfg.Obs.Tracer(), "mediator/execute")
 		execTSpan := s.trace.StartSpan("mediator/execute")
 		out, err := s.execute(engine, sp.pq)
 		execTSpan.End()
 		execSpan.End()
+		execWall := time.Since(execStart)
 		if err != nil {
 			return nil, err
 		}
@@ -602,6 +616,11 @@ func (s *System) RunContext(ctx context.Context, engine *execsim.Engine, budget 
 		res.Utilities = append(res.Utilities, sp.util)
 		res.NewAnswers = append(res.NewAnswers, fresh)
 		res.Cost = engine.Cost
+		s.trace.AnnotatePlan(sp.plan.Key(), fresh, int64(execWall))
+		if c := s.cfg.Calib; c != nil {
+			est, act := obs.PairPlanEstimate(sp.util, fresh, engine.Cost-costBefore)
+			c.ObservePlan(s.measName+"/"+string(s.algo), est, act, fresh, engine.Cost-costBefore, execWall)
+		}
 		if s.cfg.OnPlan != nil {
 			s.cfg.OnPlan(PlanEvent{
 				Index:        len(res.Executed),

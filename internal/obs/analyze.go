@@ -85,6 +85,10 @@ type TraceReport struct {
 	Splits   int64            `json:"splits"`
 	Evals    int64            `json:"evals"`
 	Statuses map[string]int   `json:"statuses,omitempty"`
+	// CalibrationRecords counts the calibration lines ingested alongside
+	// the traces; Calibration holds the last (cumulative) snapshot.
+	CalibrationRecords int                  `json:"calibration_records,omitempty"`
+	Calibration        *CalibrationSnapshot `json:"calibration,omitempty"`
 }
 
 // criticalPath walks the span tree of one trace from its root and
@@ -214,6 +218,12 @@ func (r TraceReport) WriteText(w io.Writer) error {
 			if s.CriticalPath != "" {
 				p("    critical path: %s (%s)\n", s.CriticalPath, time.Duration(s.CriticalNS))
 			}
+		}
+	}
+	if r.Calibration != nil {
+		p("calibration records ingested: %d (showing the last, cumulative)\n", r.CalibrationRecords)
+		if err == nil {
+			err = r.Calibration.WriteText(w)
 		}
 	}
 	return err

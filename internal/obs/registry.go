@@ -21,6 +21,11 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	tracer   *Tracer
+	// collectors run at the start of every Snapshot, outside the lock,
+	// to refresh gauges that mirror external state (runtime metrics).
+	collectors []func()
+	// calib, when attached, rides along in every snapshot and rendering.
+	calib *Calibration
 }
 
 // NewRegistry returns an empty registry with a DefaultMaxEvents tracer.
@@ -90,6 +95,41 @@ func (r *Registry) Tracer() *Tracer {
 	return r.tracer
 }
 
+// AddCollector registers a function invoked at the start of every
+// Snapshot (outside the registry lock, so it may set gauges). Use it
+// for gauges that mirror external state, e.g. Go runtime metrics.
+func (r *Registry) AddCollector(f func()) {
+	if r == nil || f == nil {
+		return
+	}
+	r.mu.Lock()
+	r.collectors = append(r.collectors, f)
+	r.mu.Unlock()
+}
+
+// AttachCalibration binds an estimator-calibration accumulator to the
+// registry: its series ride along in Snapshot, WriteText, and the
+// OpenMetrics exposition. Attaching nil detaches.
+func (r *Registry) AttachCalibration(c *Calibration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.calib = c
+	r.mu.Unlock()
+}
+
+// Calibration returns the attached calibration accumulator (nil when
+// none is attached or the registry is nil).
+func (r *Registry) Calibration() *Calibration {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.calib
+}
+
 // Reset zeroes every instrument and clears the tracer, keeping the
 // instrument identities (pointers handed out remain valid).
 func (r *Registry) Reset() {
@@ -112,11 +152,12 @@ func (r *Registry) Reset() {
 
 // Snapshot is a point-in-time copy of a registry, JSON-serializable.
 type Snapshot struct {
-	Counters   map[string]int64        `json:"counters,omitempty"`
-	Gauges     map[string]float64      `json:"gauges,omitempty"`
-	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
-	Spans      []SpanStat              `json:"spans,omitempty"`
-	Events     []Event                 `json:"events,omitempty"`
+	Counters    map[string]int64        `json:"counters,omitempty"`
+	Gauges      map[string]float64      `json:"gauges,omitempty"`
+	Histograms  map[string]HistSnapshot `json:"histograms,omitempty"`
+	Spans       []SpanStat              `json:"spans,omitempty"`
+	Events      []Event                 `json:"events,omitempty"`
+	Calibration *CalibrationSnapshot    `json:"calibration,omitempty"`
 }
 
 // Snapshot copies the registry's current state. A nil registry yields a
@@ -124,6 +165,15 @@ type Snapshot struct {
 func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return Snapshot{}
+	}
+	// Collectors refresh externally-mirrored gauges; they run outside
+	// the lock because they call back into Gauge.Set.
+	r.mu.Lock()
+	cols := r.collectors
+	calib := r.calib
+	r.mu.Unlock()
+	for _, f := range cols {
+		f()
 	}
 	r.mu.Lock()
 	s := Snapshot{
@@ -143,6 +193,10 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.Unlock()
 	s.Spans = r.tracer.Stats()
 	s.Events = r.tracer.Events()
+	if calib != nil {
+		cs := calib.Snapshot()
+		s.Calibration = &cs
+	}
 	return s
 }
 
@@ -201,6 +255,9 @@ func (r *Registry) WriteText(w io.Writer) error {
 			p("  %-48s count=%d total=%s min=%s max=%s\n",
 				st.Name, st.Count, st.Total, st.Min, st.Max)
 		}
+	}
+	if err == nil && s.Calibration != nil && !s.Calibration.Empty() {
+		err = s.Calibration.WriteText(w)
 	}
 	return err
 }

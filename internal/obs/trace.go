@@ -185,6 +185,15 @@ type PlanProvenance struct {
 	Refinements int64   `json:"refinements"`
 	Splits      int64   `json:"splits"`
 	Evals       int64   `json:"evals"`
+
+	// Execution ground truth, annotated after the plan runs (zero until
+	// then, and absent for plans ordered but never executed): the fresh
+	// answers the plan contributed and its execution wall time. Together
+	// with Utility these are the per-plan estimate-vs-actual pair the
+	// calibration layer aggregates.
+	NewAnswers int   `json:"new_answers,omitempty"`
+	ExecNS     int64 `json:"exec_ns,omitempty"`
+	Executed   bool  `json:"executed,omitempty"`
 }
 
 // TraceSnapshot is the serializable form of a finished (or in-flight)
@@ -339,6 +348,30 @@ func (t *Trace) EmitPlan(p PlanProvenance) {
 		t.dropped++
 	} else {
 		t.plans = append(t.plans, p)
+	}
+	t.mu.Unlock()
+}
+
+// AnnotatePlan merges execution ground truth into the earliest
+// not-yet-executed provenance record whose Plan key matches: plans are
+// emitted and executed in the same order, but matching by key (rather
+// than position) stays correct when an adaptive re-ordering abandons
+// emitted-ahead records or re-emits a plan under revised statistics.
+// No-op when no record matches (the record may have been dropped at the
+// provenance bound).
+func (t *Trace) AnnotatePlan(planKey string, newAnswers int, execNS int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	for i := range t.plans {
+		if t.plans[i].Executed || t.plans[i].Plan != planKey {
+			continue
+		}
+		t.plans[i].NewAnswers = newAnswers
+		t.plans[i].ExecNS = execNS
+		t.plans[i].Executed = true
+		break
 	}
 	t.mu.Unlock()
 }

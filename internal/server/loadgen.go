@@ -57,13 +57,20 @@ type Quantiles struct {
 	Max float64 `json:"max_ms"`
 }
 
+// LoadReportSchemaVersion stamps serialized LoadReports so downstream
+// tooling can detect shape changes; bump it when a field changes
+// meaning or disappears (additive fields don't need a bump).
+const LoadReportSchemaVersion = 1
+
 // LoadReport is the outcome of a load run.
 type LoadReport struct {
-	Requests   int     `json:"requests"`
-	Errors     int     `json:"errors"`
-	Plans      int64   `json:"plans"`
-	Answers    int64   `json:"answers"`
-	DurationMS float64 `json:"duration_ms"`
+	// SchemaVersion is LoadReportSchemaVersion at write time.
+	SchemaVersion int     `json:"schema_version"`
+	Requests      int     `json:"requests"`
+	Errors        int     `json:"errors"`
+	Plans         int64   `json:"plans"`
+	Answers       int64   `json:"answers"`
+	DurationMS    float64 `json:"duration_ms"`
 	// QPS is the achieved session completion rate.
 	QPS float64 `json:"qps"`
 	// TTFA is time-to-first-answer: request start to the first answers
@@ -254,7 +261,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	rep := &LoadReport{Requests: len(results), DurationMS: float64(elapsed) / float64(time.Millisecond)}
+	rep := &LoadReport{SchemaVersion: LoadReportSchemaVersion, Requests: len(results), DurationMS: float64(elapsed) / float64(time.Millisecond)}
 	var ttfa, full []float64
 	for _, r := range results {
 		if r.err != nil {

@@ -72,6 +72,12 @@ type Config struct {
 	// request trace (the NDJSON export cmd/qptrace ingests). Writes are
 	// serialized by the server.
 	TraceOut io.Writer
+	// CalibOut, when non-nil, receives one calibration-snapshot JSON line
+	// per finished query request (cumulative estimator-calibration state,
+	// correlated by trace ID). It may be the same writer as TraceOut:
+	// qptrace ingests the mixed stream. Writes are serialized with
+	// TraceOut's.
+	CalibOut io.Writer
 	// Logger, when non-nil, receives one structured log line per
 	// request, correlated by trace ID. Nil disables request logging.
 	Logger *slog.Logger
@@ -90,7 +96,8 @@ type Server struct {
 	draining atomic.Bool
 
 	flight  *obs.FlightRecorder
-	traceMu sync.Mutex // serializes TraceOut lines
+	calib   *obs.Calibration
+	traceMu sync.Mutex // serializes TraceOut and CalibOut lines
 
 	inflight   *obs.Gauge
 	queueDepth *obs.Gauge
@@ -149,18 +156,25 @@ func New(cfg Config) (*Server, error) {
 		cache:      newSessionCache(cfg.CacheSessions, cfg.Reg),
 		sem:        make(chan struct{}, cfg.MaxInflight),
 		flight:     obs.NewFlightRecorder(cfg.FlightEntries, cfg.FlightEntries/4, cfg.FlightEntries/4),
+		calib:      obs.NewCalibration(obs.CalibConfig{}),
 		inflight:   cfg.Reg.Gauge("server.inflight"),
 		queueDepth: cfg.Reg.Gauge("server.queue_depth"),
 		requests:   cfg.Reg.Counter("server.requests"),
 		rejected:   cfg.Reg.Counter("server.rejected"),
 		badRequest: cfg.Reg.Counter("server.bad_requests"),
 	}
+	// The calibration accumulator rides along in every registry surface
+	// (text, JSON, OpenMetrics), and the runtime gauges refresh at each
+	// scrape.
+	s.reg.AttachCalibration(s.calib)
+	obs.RegisterRuntimeMetrics(s.reg)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("GET /debug/requests", s.handleRequests)
+	mux.HandleFunc("GET /debug/calibration", s.handleCalibration)
 	s.mux = mux
 	return s, nil
 }
@@ -510,6 +524,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Algorithm:   sess.algo,
 		Parallelism: sess.par,
 		Obs:         s.reg,
+		Calib:       s.calib,
 		OnPlan: func(e mediator.PlanEvent) {
 			emit(Event{
 				Event:        "plan",
@@ -603,6 +618,19 @@ func (s *Server) finishTrace(tr *obs.Trace) {
 			s.traceMu.Unlock()
 		}
 	}
+	if s.cfg.CalibOut != nil {
+		// One cumulative calibration snapshot per request that produced
+		// observations, correlated to the request by trace ID. Requests
+		// rejected before execution add nothing, so skip while empty.
+		if cs := s.calib.Snapshot(); !cs.Empty() {
+			rec := obs.CalibrationRecord{TraceID: snap.TraceID.String(), Calibration: cs}
+			if b, err := json.Marshal(rec); err == nil {
+				s.traceMu.Lock()
+				_, _ = s.cfg.CalibOut.Write(append(b, '\n'))
+				s.traceMu.Unlock()
+			}
+		}
+	}
 	if s.cfg.Logger != nil {
 		lvl := slog.LevelInfo
 		attrs := []any{
@@ -669,13 +697,43 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleMetrics renders the registry: text by default, the JSON snapshot
-// with ?format=json.
+// with ?format=json, or the standards-compliant scrape exposition with
+// ?format=openmetrics (also negotiated via the Accept header, so a
+// Prometheus-compatible scraper needs no query parameter).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Query().Get("format") == "json" {
+	format := r.URL.Query().Get("format")
+	if format == "" && strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		format = "openmetrics"
+	}
+	switch format {
+	case "json":
 		w.Header().Set("Content-Type", "application/json")
 		_ = s.reg.WriteJSON(w)
+	case "openmetrics":
+		w.Header().Set("Content-Type", obs.OpenMetricsContentType)
+		_ = s.reg.WriteOpenMetrics(w)
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = s.reg.WriteText(w)
+	}
+}
+
+// handleCalibration serves the estimator-calibration state: per-source
+// and per-plan q-error summaries, signed bias, and EWMA drift flags, as
+// text by default or JSON with ?format=json.
+func (s *Server) handleCalibration(w http.ResponseWriter, r *http.Request) {
+	cs := s.calib.Snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(cs)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	_ = s.reg.WriteText(w)
+	if cs.Empty() {
+		fmt.Fprintln(w, "calibration: no observations yet (run a query)")
+		return
+	}
+	_ = cs.WriteText(w)
 }

@@ -130,6 +130,14 @@ type (
 	ObsTracer = obs.Tracer
 	// ObsSpan is one timed (possibly nested) phase.
 	ObsSpan = obs.Span
+	// ObsCalibration accumulates estimate-vs-actual pairs into q-error,
+	// bias, and drift series; nil disables calibration entirely.
+	ObsCalibration = obs.Calibration
+	// ObsCalibrationSnapshot is a point-in-time calibration report.
+	ObsCalibrationSnapshot = obs.CalibrationSnapshot
+	// ObsCalibConfig tunes the drift detector; the zero value gets
+	// defaults (alpha 0.3, drift factor 4, 3-sample minimum).
+	ObsCalibConfig = obs.CalibConfig
 )
 
 // Reformulation.
@@ -354,6 +362,10 @@ var (
 	Instrument = core.Instrument
 	// NewObsRegistry builds an empty observability registry.
 	NewObsRegistry = obs.NewRegistry
+	// NewCalibration builds an estimator-calibration accumulator.
+	NewCalibration = obs.NewCalibration
+	// RegisterRuntimeMetrics attaches Go runtime gauges to a registry.
+	RegisterRuntimeMetrics = obs.RegisterRuntimeMetrics
 	// StartSpan opens a span on a tracer (nil tracer: no-op span).
 	StartSpan = obs.StartSpan
 )

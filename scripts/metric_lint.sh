@@ -1,0 +1,38 @@
+#!/bin/sh
+# metric_lint.sh — lint instrument-name string literals handed to the
+# obs registry (Counter/Gauge/Histogram call sites plus the Metric*
+# constants in internal/obs/runtime.go). Names must be lowercase dotted
+# identifiers from [a-z0-9._] with a leading letter and no empty
+# segments, so that OpenMetrics sanitization (dot -> underscore, see
+# internal/obs/openmetrics.go) is lossless and collision-free by
+# construction. Used by `make lint-metrics` (part of `make check`).
+set -eu
+cd "$(dirname "$0")/.."
+
+names=$({
+    grep -rhoE '\.(Counter|Gauge|Histogram)\("[^"]*"\)' \
+        --include='*.go' --exclude='*_test.go' internal cmd
+    grep -hoE 'Metric[A-Za-z0-9]+[[:space:]]*=[[:space:]]*"[^"]*"' \
+        internal/obs/runtime.go
+} | sed 's/.*"\([^"]*\)".*/\1/' | sort -u)
+
+[ -n "$names" ] || {
+    echo "metric-lint: extracted no instrument names; the extraction pattern broke" >&2
+    exit 1
+}
+
+fail=0
+count=0
+for n in $names; do
+    count=$((count + 1))
+    case $n in
+    *[!a-z0-9._]* | [!a-z]* | *. | *..*)
+        echo "metric-lint: bad instrument name: '$n'" >&2
+        echo "  want lowercase [a-z0-9._], leading letter, no empty segments" >&2
+        fail=1
+        ;;
+    esac
+done
+
+[ "$fail" -eq 0 ] || exit 1
+echo "metric-lint: OK ($count instrument names)"

@@ -9,7 +9,13 @@
 #      NDJSON export analyzed by qptrace (zero parse errors required),
 #   4. replay a concurrent shuffled burst through qpload (zero errors
 #      required) and check the session cache saw hits,
-#   5. SIGTERM the daemon and require a clean drain.
+#   5. scrape the OpenMetrics exposition (/metrics?format=openmetrics)
+#      and the estimator-calibration surface (/debug/calibration, text
+#      and JSON), failing on malformed output; the daemon also exports
+#      calibration records into the same NDJSON file as its traces
+#      (-calib-out = -trace-out), so step 3's qptrace run doubles as the
+#      mixed-stream ingest check,
+#   6. SIGTERM the daemon and require a clean drain.
 # Used by `make serve-smoke` and the serve-smoke CI job.
 set -eu
 
@@ -32,7 +38,7 @@ $GO run ./cmd/qpgen -preset movie > "$WORKDIR/movie.qp"
 
 echo "serve-smoke: booting qpserved on a random port"
 "$WORKDIR/qpserved" -f "$WORKDIR/movie.qp" -addr 127.0.0.1:0 -seed "$SEED" \
-    -trace-out "$WORKDIR/traces.ndjson" \
+    -trace-out "$WORKDIR/traces.ndjson" -calib-out "$WORKDIR/traces.ndjson" \
     > "$WORKDIR/served.log" 2>&1 &
 SRV_PID=$!
 
@@ -110,7 +116,12 @@ grep -q "$TRACE_ID" "$WORKDIR/qptrace.txt" || {
     cat "$WORKDIR/qptrace.txt"
     exit 1
 }
-echo "serve-smoke: qptrace ingested $(wc -l < "$WORKDIR/traces.ndjson" | tr -d ' ') exported traces"
+grep -q "calibration records ingested" "$WORKDIR/qptrace.txt" || {
+    echo "serve-smoke: FAIL: qptrace report is missing the calibration section:"
+    cat "$WORKDIR/qptrace.txt"
+    exit 1
+}
+echo "serve-smoke: qptrace ingested $(wc -l < "$WORKDIR/traces.ndjson" | tr -d ' ') mixed trace+calibration lines"
 
 echo "serve-smoke: checking qporder -explain"
 "$WORKDIR/qporder" -f "$WORKDIR/movie.qp" -q "$QUERY" \
@@ -120,12 +131,54 @@ echo "serve-smoke: qporder -explain prints provenance"
 
 echo "serve-smoke: concurrent shuffled burst (48 sessions, 8 workers)"
 "$WORKDIR/qpload" -url "$URL" -q "$QUERY" -n 48 -c 8 -k "$K" -shuffle \
-    -algo "$ALGO" -measure "$MEASURE"
+    -algo "$ALGO" -measure "$MEASURE" -out "$WORKDIR/load_report.json"
+grep -q '"schema_version": 1' "$WORKDIR/load_report.json" || {
+    echo "serve-smoke: FAIL: qpload -out report lacks schema_version:"
+    cat "$WORKDIR/load_report.json"
+    exit 1
+}
 
 HITS=$(curl -fsS "$URL/metrics?format=json" \
     | sed -n 's/.*"server\.cache_hits": *\([0-9][0-9]*\).*/\1/p')
 [ -n "$HITS" ] && [ "$HITS" -gt 0 ] || { echo "serve-smoke: FAIL: no session-cache hits (got '${HITS:-none}')"; exit 1; }
 echo "serve-smoke: session cache hits: $HITS"
+
+echo "serve-smoke: scraping the OpenMetrics exposition"
+curl -fsS -D "$WORKDIR/om_headers.txt" "$URL/metrics?format=openmetrics" > "$WORKDIR/metrics.om"
+grep -iq "^content-type: application/openmetrics-text" "$WORKDIR/om_headers.txt" || {
+    echo "serve-smoke: FAIL: wrong Content-Type for OpenMetrics:"
+    cat "$WORKDIR/om_headers.txt"
+    exit 1
+}
+[ "$(tail -n 1 "$WORKDIR/metrics.om")" = "# EOF" ] || {
+    echo "serve-smoke: FAIL: OpenMetrics exposition is not terminated by # EOF:"
+    tail -n 3 "$WORKDIR/metrics.om"
+    exit 1
+}
+for want in "^# TYPE server_requests counter" "^server_requests_total " \
+    "^# TYPE runtime_heap_bytes gauge" "^calib_plan_qerror"; do
+    grep -q "$want" "$WORKDIR/metrics.om" || {
+        echo "serve-smoke: FAIL: OpenMetrics exposition is missing '$want':"
+        cat "$WORKDIR/metrics.om"
+        exit 1
+    }
+done
+echo "serve-smoke: OpenMetrics exposition is well-formed ($(wc -l < "$WORKDIR/metrics.om" | tr -d ' ') lines)"
+
+echo "serve-smoke: scraping /debug/calibration"
+curl -fsS "$URL/debug/calibration" > "$WORKDIR/calib.txt"
+grep -q "per-plan (utility at selection vs execution outcome)" "$WORKDIR/calib.txt" || {
+    echo "serve-smoke: FAIL: /debug/calibration has no per-plan accounting:"
+    cat "$WORKDIR/calib.txt"
+    exit 1
+}
+curl -fsS "$URL/debug/calibration?format=json" > "$WORKDIR/calib.json"
+grep -q '"drift_factor"' "$WORKDIR/calib.json" || {
+    echo "serve-smoke: FAIL: /debug/calibration?format=json is malformed:"
+    cat "$WORKDIR/calib.json"
+    exit 1
+}
+echo "serve-smoke: calibration surface reports estimate-vs-actual accounting"
 
 echo "serve-smoke: draining via SIGTERM"
 kill -TERM "$SRV_PID"
