@@ -4,7 +4,7 @@ GO ?= go
 FUZZTIME ?= 30s
 BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build vet test race bench bench-json bench-check check fmtcheck lint-metrics experiments fuzz serve-smoke clean
+.PHONY: all build vet test race bench bench-json bench-check check fmtcheck lint-metrics experiments fuzz serve-smoke fleet-smoke clean
 
 all: build vet test
 
@@ -33,14 +33,16 @@ lint-metrics:
 	sh scripts/metric_lint.sh
 
 # check is the local all-in-one gate: formatting, metric-name lint,
-# vet, build, the plain test suite, and the race-enabled test suite. The plain run matters:
+# vet, build, the plain test suite, the race-enabled test suite, and the
+# fleet smoke. The plain run matters:
 # the allocation-regression gates (testing.AllocsPerRun in
 # internal/coverage) skip themselves under -race, so only a non-race
 # pass enforces the zero-allocs-per-Evaluate promise. CI splits the same
 # work across jobs (see .github/workflows/ci.yml): a fmt/vet/fuzz
 # fast-fail gate, an {ubuntu, macos} x {oldest Go, stable} build+test
-# matrix, a dedicated -race job, and a benchmark-regression job.
-check: fmtcheck lint-metrics vet build test race
+# matrix, a dedicated -race job, serving smokes, and a
+# benchmark-regression job.
+check: fmtcheck lint-metrics vet build test race fleet-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -78,6 +80,15 @@ fuzz:
 # clean drain. See scripts/serve_smoke.sh.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# fleet-smoke boots three race-enabled qpserved shards behind qprouter,
+# proves scatter-gather byte-parity against single-process qporder,
+# checks canonical-key session affinity, SIGTERMs a shard under paced
+# load requiring zero client-visible errors and a reroute, re-proves
+# parity on the 2-shard fleet, and drains everything cleanly. See
+# scripts/fleet_smoke.sh.
+fleet-smoke:
+	sh scripts/fleet_smoke.sh
 
 clean:
 	rm -rf internal/schema/testdata internal/domfile/testdata

@@ -33,7 +33,7 @@ import (
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "experiments: all, fig6, fig6a..fig6l, overlap, qlen, evalfrac, ablation, tta, soundness, greedy, par, serve, calibration (comma-separated)")
+		expFlag   = flag.String("exp", "all", "experiments: all, fig6, fig6a..fig6l, overlap, qlen, evalfrac, ablation, tta, soundness, greedy, par, serve, fleet, calibration (comma-separated)")
 		sizesFlag = flag.String("sizes", "10,20,40,60,80", "bucket sizes for Figure 6 panels")
 		seed      = flag.Int64("seed", 42, "workload seed")
 		qlen      = flag.Int("qlen", 3, "query length (paper default 3)")
@@ -213,6 +213,22 @@ func main() {
 		render(experiment.ServeTable(recs))
 	}
 
+	var fleetRecs []experiment.FleetRecord
+	if wants("fleet") {
+		fmt.Println("== Fleet throughput: sharded daemons behind a consistent-hash router, affinity vs scatter ==")
+		cfg := base
+		// Session cost is dominated by simulated plan execution; a small
+		// bucket keeps the whole two-mode sweep in the tens of seconds.
+		cfg.BucketSize = 6
+		recs, err := experiment.RunFleet(dc.Get(cfg), experiment.FleetConfig{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qpbench: fleet:", err)
+			os.Exit(1)
+		}
+		fleetRecs = recs
+		render(experiment.FleetTable(recs))
+	}
+
 	if wants("calibration") {
 		fmt.Println("== Estimator calibration: fresh vs stale statistics (stale must trip the drift detector) ==")
 		cfg := base
@@ -251,6 +267,7 @@ func main() {
 	if *metrics != "" || *compare != "" {
 		rep := buildMetrics(dc, sizes, base, reg, *par, *reps)
 		rep.Serve = serveRecs
+		rep.Fleet = fleetRecs
 		if *metrics != "" {
 			if err := writeReport(*metrics, rep); err != nil {
 				fmt.Fprintln(os.Stderr, "qpbench: metrics:", err)

@@ -14,6 +14,17 @@
 // canonicalized session cache the way distinct clients would.
 // -print-plans runs a single session and prints one plan per line, for
 // diffing against qporder -plans-only.
+//
+// Fleet mode targets a qprouter front end instead of a single daemon:
+//
+//	qpload -router http://127.0.0.1:8090 -q '...' -sweep 1,2,4,8,16,32 -json
+//	qpload -url http://127.0.0.1:8090 -q '...' -scatter -print-plans
+//
+// -router sweeps the workload across the given concurrency levels and
+// reports the throughput knee — the smallest concurrency already
+// delivering ~90% of the fleet's best QPS. -scatter asks the router to
+// partition the PI plan space across its shards and gather the streams
+// (works with any qpload mode pointed at a router).
 package main
 
 import (
@@ -22,6 +33,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"qporder/internal/server"
 )
@@ -51,13 +64,20 @@ func run() error {
 		asJSON     = flag.Bool("json", false, "emit the report as JSON")
 		outFile    = flag.String("out", "", "also write the report as schema-versioned JSON to this file")
 		printPlans = flag.Bool("print-plans", false, "run one session and print its plan order")
+		router     = flag.String("router", "", "qprouter base URL: sweep -sweep concurrency levels and report the throughput knee")
+		scatter    = flag.Bool("scatter", false, "ask the router to scatter the plan space across its shards")
+		sweep      = flag.String("sweep", "1,2,4,8,16,32", "comma-separated concurrency levels for -router mode")
 	)
 	flag.Parse()
 	if *query == "" {
 		return fmt.Errorf("missing -q query")
 	}
+	base := *url
+	if *router != "" {
+		base = *router
+	}
 	cfg := server.LoadConfig{
-		BaseURL:      *url,
+		BaseURL:      base,
 		Queries:      []string{*query},
 		Requests:     *requests,
 		Concurrency:  *conc,
@@ -70,10 +90,15 @@ func run() error {
 		QPS:          *qps,
 		Shuffle:      *shuffle,
 		Seed:         *seed,
+		Scatter:      *scatter,
+	}
+
+	if *router != "" && !*printPlans {
+		return runFleetSweep(cfg, *sweep, *asJSON, *outFile)
 	}
 
 	if *printPlans {
-		plans, err := server.StreamPlans(context.Background(), *url, cfg, *query)
+		plans, err := server.StreamPlans(context.Background(), base, cfg, *query)
 		if err != nil {
 			return err
 		}
@@ -128,6 +153,65 @@ func run() error {
 	}
 	if rep.Errors > 0 {
 		return fmt.Errorf("%d of %d sessions failed", rep.Errors, rep.Requests)
+	}
+	return nil
+}
+
+// runFleetSweep drives the -router mode: the same workload at each
+// concurrency level, looking for the throughput knee.
+func runFleetSweep(cfg server.LoadConfig, sweep string, asJSON bool, outFile string) error {
+	var levels []int
+	for _, part := range strings.Split(sweep, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		c, err := strconv.Atoi(part)
+		if err != nil || c <= 0 {
+			return fmt.Errorf("bad -sweep level %q", part)
+		}
+		levels = append(levels, c)
+	}
+	rep, err := server.RunFleetSweep(context.Background(), cfg, levels)
+	if err != nil {
+		return err
+	}
+	if outFile != "" {
+		f, err := os.Create(outFile)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Printf("fleet sweep against %s (scatter=%v)\n", rep.BaseURL, rep.Scatter)
+	for _, p := range rep.Points {
+		marker := " "
+		if p.Concurrency == rep.Knee {
+			marker = "*"
+		}
+		fmt.Printf("%s c=%-3d qps=%8.1f errors=%d full p50=%.2fms p99=%.2fms\n",
+			marker, p.Concurrency, p.QPS, p.Errors, p.Full.P50, p.Full.P99)
+	}
+	fmt.Printf("knee: c=%d reaches %.0f%% of max %.1f qps\n", rep.Knee, 100*rep.KneeFraction, rep.MaxQPS)
+	errs := 0
+	for _, p := range rep.Points {
+		errs += p.Errors
+	}
+	if errs > 0 {
+		return fmt.Errorf("%d sessions failed across the sweep", errs)
 	}
 	return nil
 }

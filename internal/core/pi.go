@@ -31,9 +31,37 @@ type PI struct {
 
 // NewPI builds the orderer over the concrete plans of the given spaces.
 func NewPI(spaces []*planspace.Space, m measure.Measure) *PI {
+	return NewPISharded(spaces, m, 0, 1)
+}
+
+// NewPISharded builds the orderer over one slice of the plan space: the
+// plans whose position in the deterministic enumeration order is
+// congruent to index mod count. This is the cross-process analogue of the
+// in-process shard split Parallelism(n) applies: every shard enumerates
+// the same global order and keeps a disjoint residue class, so the union
+// of the shards is exactly the full space and no plan is ordered twice.
+//
+// For measures with prefix-independent utilities (measure.
+// IsPrefixIndependent), each shard's Next sequence is the global Next
+// sequence restricted to its slice; merging shard streams by (utility,
+// plan key) — the betterPlan order — reproduces the unsharded sequence
+// byte-for-byte. That invariant is what lets a router scatter one query
+// across a fleet of daemons and gather a stream identical to a single
+// process, for any shard count. The caller is responsible for checking
+// the measure; sharding a prefix-dependent measure silently diverges.
+func NewPISharded(spaces []*planspace.Space, m measure.Measure, index, count int) *PI {
+	if count < 1 || index < 0 || index >= count {
+		panic("core: NewPISharded wants 0 <= index < count")
+	}
 	var plans []*planspace.Plan
+	pos := 0
 	for _, s := range spaces {
-		plans = append(plans, s.Enumerate()...)
+		for _, p := range s.Enumerate() {
+			if pos%count == index {
+				plans = append(plans, p)
+			}
+			pos++
+		}
 	}
 	return &PI{
 		ctx:    m.NewContext(),

@@ -57,6 +57,12 @@ func (m *ChainCost) FullyMonotonic() bool { return false }
 // caching is in effect (utilities are then constant).
 func (m *ChainCost) DiminishingReturns() bool { return !m.prm.Caching }
 
+// PrefixIndependent implements measure.PrefixIndependent: without
+// caching, no per-context state survives Observe, so utilities are
+// invariant under the executed prefix; with caching, executed plans make
+// later operations free, so they are not.
+func (m *ChainCost) PrefixIndependent() bool { return !m.prm.Caching }
+
 // BucketOrder implements measure.Measure.
 func (m *ChainCost) BucketOrder(int, []lav.SourceID) ([]lav.SourceID, bool) {
 	return nil, false

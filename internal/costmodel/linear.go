@@ -46,6 +46,10 @@ func (m *LinearCost) FullyMonotonic() bool { return true }
 // DiminishingReturns implements measure.Measure.
 func (m *LinearCost) DiminishingReturns() bool { return true }
 
+// PrefixIndependent implements measure.PrefixIndependent: utilities are a
+// pure function of the plan's sources, never of the executed prefix.
+func (m *LinearCost) PrefixIndependent() bool { return true }
+
 // term is one source's cost contribution h + α·n.
 func (m *LinearCost) term(id lav.SourceID) float64 {
 	if int(id) >= 0 && int(id) < len(m.terms) {

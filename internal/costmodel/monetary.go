@@ -52,6 +52,10 @@ func (m *MonetaryPerTuple) FullyMonotonic() bool { return false }
 // DiminishingReturns implements measure.Measure.
 func (m *MonetaryPerTuple) DiminishingReturns() bool { return !m.prm.Caching }
 
+// PrefixIndependent implements measure.PrefixIndependent: like ChainCost,
+// utilities only depend on the executed prefix when caching is on.
+func (m *MonetaryPerTuple) PrefixIndependent() bool { return !m.prm.Caching }
+
 // BucketOrder implements measure.Measure.
 func (m *MonetaryPerTuple) BucketOrder(int, []lav.SourceID) ([]lav.SourceID, bool) {
 	return nil, false

@@ -1,0 +1,176 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"qporder/internal/fleet"
+	"qporder/internal/obs"
+	"qporder/internal/server"
+	"qporder/internal/stats"
+	"qporder/internal/workload"
+)
+
+// FleetRecord is one row of the fleet experiment: the router-fronted
+// shard fleet driven at one concurrency level, in one routing mode.
+type FleetRecord struct {
+	// Mode is "affinity" (whole sessions routed by canonical key) or
+	// "scatter" (plan space partitioned across the fleet per session).
+	Mode        string `json:"mode"`
+	Shards      int    `json:"shards"`
+	Concurrency int    `json:"concurrency"`
+	Requests    int    `json:"requests"`
+	Errors      int    `json:"errors"`
+	K           int    `json:"k"`
+	// SessionsPerSec is the achieved completion throughput through the
+	// router hop.
+	SessionsPerSec float64 `json:"sessions_per_sec"`
+	FullP50MS      float64 `json:"full_p50_ms"`
+	FullP99MS      float64 `json:"full_p99_ms"`
+	// Knee marks the level RunFleetSweep identified as the throughput
+	// knee for this mode.
+	Knee  bool   `json:"knee,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// FleetConfig parameterizes the fleet experiment.
+type FleetConfig struct {
+	// Shards is the fleet size (default 3).
+	Shards int
+	// Concurrencies are the sweep levels (default 1, 2, 4).
+	Concurrencies []int
+	// Requests per level (default 16).
+	Requests int
+	// K is the per-session plan budget (default 5).
+	K int
+}
+
+// RunFleet boots an in-process fleet — N qpserved-equivalent shards
+// behind a qprouter-equivalent router — and sweeps the load generator
+// across concurrency levels in both routing modes. The affinity sweep
+// measures the fleet as a throughput multiplier (sessions spread across
+// shard caches); the scatter sweep measures per-session latency when
+// every session fans out across the whole fleet.
+func RunFleet(d *workload.Domain, cfg FleetConfig) ([]FleetRecord, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 3
+	}
+	if len(cfg.Concurrencies) == 0 {
+		cfg.Concurrencies = []int{1, 2, 4}
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 16
+	}
+	if cfg.K <= 0 {
+		cfg.K = 5
+	}
+
+	shards := make([]string, cfg.Shards)
+	for i := range shards {
+		srv, err := server.New(server.Config{
+			Catalog:     d.Catalog,
+			Seed:        d.Config.Seed + 100, // one world across the fleet
+			N:           d.Config.N,
+			MaxInflight: maxConc(cfg.Concurrencies) * 2,
+			Reg:         obs.NewRegistry(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go httpSrv.Serve(ln)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			httpSrv.Shutdown(ctx)
+		}()
+		shards[i] = "http://" + ln.Addr().String()
+	}
+
+	rt, err := fleet.New(fleet.Config{
+		Shards:         shards,
+		HealthInterval: 250 * time.Millisecond,
+		Registry:       obs.NewRegistry(),
+		DefaultK:       cfg.K,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	httpSrv := &http.Server{Handler: rt.Handler()}
+	go httpSrv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+	}()
+	routerURL := "http://" + ln.Addr().String()
+
+	var out []FleetRecord
+	for _, mode := range []string{"affinity", "scatter"} {
+		lc := server.LoadConfig{
+			BaseURL:  routerURL,
+			Queries:  []string{d.Query.String()},
+			Requests: cfg.Requests,
+			K:        cfg.K,
+			Measure:  "chain",
+			Shuffle:  true,
+			Seed:     d.Config.Seed,
+			Scatter:  mode == "scatter",
+		}
+		if mode == "scatter" {
+			lc.Algorithm = "pi"
+		} else {
+			lc.Algorithm = "streamer"
+		}
+		rep, err := server.RunFleetSweep(context.Background(), lc, cfg.Concurrencies)
+		if err != nil {
+			out = append(out, FleetRecord{Mode: mode, Shards: cfg.Shards, Error: err.Error()})
+			continue
+		}
+		for _, p := range rep.Points {
+			out = append(out, FleetRecord{
+				Mode: mode, Shards: cfg.Shards,
+				Concurrency: p.Concurrency, Requests: cfg.Requests,
+				Errors: p.Errors, K: cfg.K,
+				SessionsPerSec: p.QPS,
+				FullP50MS:      p.Full.P50, FullP99MS: p.Full.P99,
+				Knee: p.Concurrency == rep.Knee,
+			})
+		}
+	}
+	return out, nil
+}
+
+// FleetTable renders the fleet sweep.
+func FleetTable(recs []FleetRecord) *stats.Table {
+	t := stats.NewTable("mode", "shards", "conc", "requests", "errors",
+		"sessions/s", "full-p50", "full-p99", "knee")
+	for _, r := range recs {
+		if r.Error != "" && r.Requests == 0 {
+			t.Add(r.Mode, fmt.Sprint(r.Shards), "-", "-", "-", r.Error, "", "", "")
+			continue
+		}
+		knee := ""
+		if r.Knee {
+			knee = "*"
+		}
+		t.Add(r.Mode, fmt.Sprint(r.Shards), fmt.Sprint(r.Concurrency),
+			fmt.Sprint(r.Requests), fmt.Sprint(r.Errors),
+			fmt.Sprintf("%.1f", r.SessionsPerSec),
+			fmt.Sprintf("%.2fms", r.FullP50MS), fmt.Sprintf("%.2fms", r.FullP99MS),
+			knee)
+	}
+	return t
+}

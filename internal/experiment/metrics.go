@@ -72,6 +72,9 @@ type MetricsReport struct {
 	// Serve carries the serving-throughput sweep when the serve
 	// experiment ran (additive; absent in older reports).
 	Serve []ServeRecord `json:"serve,omitempty"`
+	// Fleet carries the router-fronted fleet sweep when the fleet
+	// experiment ran (additive; absent in older reports).
+	Fleet []FleetRecord `json:"fleet,omitempty"`
 }
 
 // counterNames lists the per-algorithm registry counters that feed a

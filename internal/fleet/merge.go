@@ -1,0 +1,160 @@
+package fleet
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"qporder/internal/server"
+)
+
+// planGroup is one shard-stream unit of the gather: a plan event plus
+// the answers event that follows it (nil when the plan contributed no
+// new answers shard-locally).
+type planGroup struct {
+	plan    server.Event
+	answers *server.Event
+}
+
+// shardStream is one live scatter sub-request: the NDJSON response of a
+// shard ordering its slice of the plan space, consumed as a cursor of
+// planGroups. Each stream is in the canonical (utility desc, plan key
+// asc) order — the per-slice restriction of the global order — so the
+// gather is a k-way merge of sorted streams.
+type shardStream struct {
+	shard  string
+	resp   *http.Response
+	sc     *bufio.Scanner
+	cancel context.CancelFunc
+
+	session *server.Event // the shard's session event, once seen
+	done    *server.Event // the shard's done event, once seen
+	head    *planGroup    // next group to merge; nil when exhausted
+	pending *server.Event // lookahead plan event already read
+	err     error
+}
+
+// newShardStream wraps an open 200 response; the caller has already
+// verified the status. It does not read from the body yet.
+func newShardStream(shard string, resp *http.Response, cancel context.CancelFunc) *shardStream {
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	return &shardStream{shard: shard, resp: resp, sc: sc, cancel: cancel}
+}
+
+// advance reads the next planGroup into ss.head; head becomes nil when
+// the stream is exhausted (done seen). A stream error or an in-stream
+// error event lands in ss.err and exhausts the stream.
+func (ss *shardStream) advance() {
+	ss.head = nil
+	if ss.err != nil || ss.done != nil {
+		return
+	}
+	var g *planGroup
+	if ss.pending != nil {
+		g = &planGroup{plan: *ss.pending}
+		ss.pending = nil
+	}
+	for ss.sc.Scan() {
+		var e server.Event
+		if err := json.Unmarshal(ss.sc.Bytes(), &e); err != nil {
+			ss.err = fmt.Errorf("shard %s: bad stream line: %w", ss.shard, err)
+			return
+		}
+		switch e.Event {
+		case "session":
+			ss.session = &e
+		case "plan":
+			if g == nil {
+				g = &planGroup{plan: e}
+				continue
+			}
+			ss.pending = &e
+			ss.head = g
+			return
+		case "answers":
+			if g != nil && e.Index == g.plan.Index {
+				ans := e
+				g.answers = &ans
+			}
+		case "done":
+			ss.done = &e
+			ss.head = g
+			return
+		case "error":
+			ss.err = fmt.Errorf("shard %s: stream error %s: %s", ss.shard, e.Err.Code, e.Err.Message)
+			return
+		default:
+			// Unknown and explain events pass through the gather silently:
+			// per-shard provenance is scoped to the shard's slice and is
+			// served by the shard's own /debug surfaces instead.
+		}
+	}
+	if err := ss.sc.Err(); err != nil {
+		ss.err = fmt.Errorf("shard %s: %w", ss.shard, err)
+		return
+	}
+	if ss.done == nil {
+		ss.err = fmt.Errorf("shard %s: stream ended without a done event", ss.shard)
+	}
+}
+
+// close cancels the sub-request and releases the response body.
+func (ss *shardStream) close() {
+	if ss.cancel != nil {
+		ss.cancel()
+	}
+	if ss.resp != nil {
+		ss.resp.Body.Close()
+	}
+}
+
+// betterGroup is the canonical output order over stream heads: higher
+// utility first, then lexicographic plan key — core's betterPlan lifted
+// onto the wire format. It is the comparator under which the merged
+// stream reproduces the single-process sequence.
+func betterGroup(a, b *planGroup) bool {
+	if a.plan.Utility != b.plan.Utility {
+		return a.plan.Utility > b.plan.Utility
+	}
+	return a.plan.PlanKey < b.plan.PlanKey
+}
+
+// mergeState carries the gather's global accounting: the deduplicated
+// answer set and the emitted-plan count. Each shard deduplicates only
+// within its own slice; the gather re-establishes the global invariant
+// that an answer is "new" exactly once, which makes the rewritten
+// new_answers/total_answers fields — and the answers events — identical
+// to a single process executing the merged plan sequence.
+type mergeState struct {
+	seen    map[string]bool
+	emitted int
+}
+
+func newMergeState() *mergeState { return &mergeState{seen: make(map[string]bool)} }
+
+// take renumbers group g as the next merged output and rewrites its
+// answer accounting against the global set, returning the plan event and
+// the answers event to emit (nil when nothing was globally new).
+func (m *mergeState) take(g *planGroup) (server.Event, *server.Event) {
+	m.emitted++
+	var fresh []string
+	if g.answers != nil {
+		for _, a := range g.answers.Answers {
+			if !m.seen[a] {
+				m.seen[a] = true
+				fresh = append(fresh, a)
+			}
+		}
+	}
+	p := g.plan
+	p.Index = m.emitted
+	p.NewAnswers = len(fresh)
+	p.TotalAnswers = len(m.seen)
+	if len(fresh) == 0 {
+		return p, nil
+	}
+	return p, &server.Event{Event: "answers", Index: m.emitted, Answers: fresh}
+}

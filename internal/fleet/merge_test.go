@@ -1,0 +1,150 @@
+package fleet
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"qporder/internal/server"
+)
+
+func streamOf(t *testing.T, lines ...string) *shardStream {
+	t.Helper()
+	body := strings.Join(lines, "\n")
+	resp := &http.Response{Body: io.NopCloser(strings.NewReader(body))}
+	return newShardStream("test", resp, func() {})
+}
+
+// TestShardStreamCursor: the cursor groups each plan with its answers,
+// captures session and done events, and exhausts cleanly.
+func TestShardStreamCursor(t *testing.T) {
+	ss := streamOf(t,
+		`{"event":"session","algorithm":"pi","measure":"chain","plan_space":9}`,
+		`{"event":"plan","index":1,"utility":0.9,"plan":"p1","plan_key":"0|1"}`,
+		`{"event":"answers","index":1,"answers":["a","b"]}`,
+		`{"event":"plan","index":2,"utility":0.5,"plan":"p2","plan_key":"0|4"}`,
+		`{"event":"plan","index":3,"utility":0.1,"plan":"p3","plan_key":"0|7"}`,
+		`{"event":"answers","index":3,"answers":["c"]}`,
+		`{"event":"done","plans":3}`,
+	)
+	type want struct {
+		key     string
+		answers int
+	}
+	wants := []want{{"0|1", 2}, {"0|4", 0}, {"0|7", 1}}
+	for i, w := range wants {
+		ss.advance()
+		if ss.err != nil {
+			t.Fatalf("group %d: %v", i, ss.err)
+		}
+		if ss.head == nil {
+			t.Fatalf("group %d: stream exhausted early", i)
+		}
+		if ss.head.plan.PlanKey != w.key {
+			t.Errorf("group %d key %q, want %q", i, ss.head.plan.PlanKey, w.key)
+		}
+		got := 0
+		if ss.head.answers != nil {
+			got = len(ss.head.answers.Answers)
+		}
+		if got != w.answers {
+			t.Errorf("group %d has %d answers, want %d", i, got, w.answers)
+		}
+	}
+	ss.advance()
+	if ss.head != nil || ss.err != nil {
+		t.Fatalf("after done: head=%+v err=%v, want exhausted", ss.head, ss.err)
+	}
+	if ss.session == nil || ss.session.PlanSpace != 9 {
+		t.Errorf("session not captured: %+v", ss.session)
+	}
+	if ss.done == nil || ss.done.Plans != 3 {
+		t.Errorf("done not captured: %+v", ss.done)
+	}
+}
+
+// TestShardStreamErrors: a mid-stream error event and a truncated stream
+// both surface as cursor errors, never as silent exhaustion.
+func TestShardStreamErrors(t *testing.T) {
+	ss := streamOf(t,
+		`{"event":"session"}`,
+		`{"event":"error","error":{"code":"internal","message":"boom"}}`,
+	)
+	ss.advance()
+	if ss.err == nil || !strings.Contains(ss.err.Error(), "boom") {
+		t.Fatalf("err = %v, want the shard's error surfaced", ss.err)
+	}
+
+	truncated := streamOf(t,
+		`{"event":"session"}`,
+		`{"event":"plan","index":1,"utility":0.9,"plan_key":"0|1"}`,
+	)
+	truncated.advance()
+	if truncated.err == nil || !strings.Contains(truncated.err.Error(), "without a done") {
+		t.Fatalf("err = %v, want truncation detected", truncated.err)
+	}
+}
+
+// TestBetterGroup: utility descending, plan key ascending on ties —
+// core's canonical output order lifted onto the wire format.
+func TestBetterGroup(t *testing.T) {
+	g := func(u float64, key string) *planGroup {
+		return &planGroup{plan: server.Event{Utility: u, PlanKey: key}}
+	}
+	cases := []struct {
+		a, b   *planGroup
+		better bool
+	}{
+		{g(0.9, "0|5"), g(0.5, "0|1"), true},
+		{g(0.5, "0|1"), g(0.9, "0|5"), false},
+		{g(0.5, "0|1"), g(0.5, "0|2"), true},
+		{g(0.5, "0|2"), g(0.5, "0|1"), false},
+		{g(0.5, "0|1"), g(0.5, "0|1"), false},
+	}
+	for i, tc := range cases {
+		if got := betterGroup(tc.a, tc.b); got != tc.better {
+			t.Errorf("case %d: betterGroup = %v, want %v", i, got, tc.better)
+		}
+	}
+}
+
+// TestMergeStateDedup: answers already seen from an earlier merged plan
+// are dropped, counts rewritten, indexes renumbered — reproducing the
+// single-process "new answers" accounting.
+func TestMergeStateDedup(t *testing.T) {
+	st := newMergeState()
+	p1, a1 := st.take(&planGroup{
+		plan:    server.Event{Event: "plan", Index: 7, Utility: 0.9},
+		answers: &server.Event{Event: "answers", Index: 7, Answers: []string{"a", "b"}},
+	})
+	if p1.Index != 1 || p1.NewAnswers != 2 || p1.TotalAnswers != 2 {
+		t.Fatalf("first plan %+v, want index 1 with 2/2 answers", p1)
+	}
+	if a1 == nil || len(a1.Answers) != 2 || a1.Index != 1 {
+		t.Fatalf("first answers %+v", a1)
+	}
+	// Second plan repeats "b" (seen via another shard's slice) plus one
+	// fresh answer.
+	p2, a2 := st.take(&planGroup{
+		plan:    server.Event{Event: "plan", Index: 1, Utility: 0.8},
+		answers: &server.Event{Event: "answers", Index: 1, Answers: []string{"b", "c"}},
+	})
+	if p2.Index != 2 || p2.NewAnswers != 1 || p2.TotalAnswers != 3 {
+		t.Fatalf("second plan %+v, want index 2 with 1 new / 3 total", p2)
+	}
+	if a2 == nil || len(a2.Answers) != 1 || a2.Answers[0] != "c" {
+		t.Fatalf("second answers %+v, want just c", a2)
+	}
+	// Third plan contributes nothing new: no answers event at all.
+	p3, a3 := st.take(&planGroup{
+		plan:    server.Event{Event: "plan", Index: 2, Utility: 0.7},
+		answers: &server.Event{Event: "answers", Index: 2, Answers: []string{"a", "c"}},
+	})
+	if p3.Index != 3 || p3.NewAnswers != 0 || p3.TotalAnswers != 3 {
+		t.Fatalf("third plan %+v, want index 3 with 0 new / 3 total", p3)
+	}
+	if a3 != nil {
+		t.Fatalf("third answers %+v, want suppressed", a3)
+	}
+}

@@ -1,0 +1,145 @@
+// Package fleet is the distributed serving tier over qpserved: a
+// consistent-hash ring that routes queries to daemon shards for
+// session-cache affinity, a stateless router that proxies /v1/query
+// NDJSON streams (cmd/qprouter), a scatter-gather mode that partitions
+// the PI plan space across shards and merges the per-shard streams back
+// into the exact single-process order, and a health prober that takes
+// draining or dead shards out of the ring with bounded-backoff rerouting.
+package fleet
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ringSeed perturbs every vnode and key hash. It is a fixed constant —
+// determinism across processes and runs is the point: a router restarted
+// with the same shard set rebuilds the identical ring, so cache affinity
+// survives router restarts.
+const ringSeed = "qporder-fleet-v1|"
+
+// Ring is an immutable consistent-hash ring over a set of nodes, each
+// projected onto the hash circle as Replicas virtual nodes. Lookups are
+// deterministic in (node set, replicas): the node order given at
+// construction does not matter. Membership changes are handled by
+// building a fresh Ring over the new set — cheap at fleet sizes, and it
+// keeps the type trivially safe for concurrent readers.
+type Ring struct {
+	replicas int
+	hashes   []uint64 // sorted vnode positions
+	owners   []int    // owners[i] = node index of hashes[i]
+	nodes    []string // sorted node set
+}
+
+// NewRing builds a ring over the given nodes with replicas virtual nodes
+// each (replicas < 1 is clamped to 1; 64–128 keeps the key distribution
+// within a few percent of even). Duplicate nodes collapse to one.
+func NewRing(nodes []string, replicas int) *Ring {
+	if replicas < 1 {
+		replicas = 1
+	}
+	uniq := make([]string, 0, len(nodes))
+	seen := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		if !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	sort.Strings(uniq)
+	r := &Ring{replicas: replicas, nodes: uniq}
+	type vnode struct {
+		h     uint64
+		owner int
+	}
+	vns := make([]vnode, 0, len(uniq)*replicas)
+	for i, n := range uniq {
+		for v := 0; v < replicas; v++ {
+			vns = append(vns, vnode{hash64(n + "#" + strconv.Itoa(v)), i})
+		}
+	}
+	sort.Slice(vns, func(a, b int) bool {
+		if vns[a].h != vns[b].h {
+			return vns[a].h < vns[b].h
+		}
+		// A full 64-bit hash collision between distinct vnodes is
+		// vanishingly rare; break it by owner so the sort — and hence
+		// every lookup — stays deterministic anyway.
+		return vns[a].owner < vns[b].owner
+	})
+	r.hashes = make([]uint64, len(vns))
+	r.owners = make([]int, len(vns))
+	for i, v := range vns {
+		r.hashes[i] = v.h
+		r.owners[i] = v.owner
+	}
+	return r
+}
+
+// hash64 is FNV-1a over the seeded key, passed through a 64-bit
+// avalanche finalizer — stdlib-only and stable across platforms and
+// runs. The finalizer matters: raw FNV-1a barely mixes a final-byte
+// difference into the high bits, and ring position is ordered by high
+// bits, so the "#0".."#63" vnode suffixes would clump each node's
+// virtual nodes together on the circle instead of interleaving them.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(ringSeed + s))
+	return fmix64(h.Sum64())
+}
+
+// fmix64 is the murmur3 finalizer: full avalanche, every input bit
+// flips each output bit with ~1/2 probability.
+func fmix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Len returns the number of distinct nodes on the ring.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Nodes returns the node set in sorted order. Callers must not mutate
+// the returned slice.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// Lookup returns the node owning key: the first virtual node clockwise
+// from the key's position. An empty ring returns "".
+func (r *Ring) Lookup(key string) string {
+	if len(r.hashes) == 0 {
+		return ""
+	}
+	return r.nodes[r.owners[r.at(key)]]
+}
+
+// Successors returns every distinct node in ring order starting at the
+// key's owner — the retry sequence for "try the next ring node". An
+// empty ring returns nil.
+func (r *Ring) Successors(key string) []string {
+	if len(r.hashes) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(r.nodes))
+	seen := make(map[int]bool, len(r.nodes))
+	for i, n := r.at(key), 0; n < len(r.hashes) && len(out) < len(r.nodes); i, n = (i+1)%len(r.hashes), n+1 {
+		if o := r.owners[i]; !seen[o] {
+			seen[o] = true
+			out = append(out, r.nodes[o])
+		}
+	}
+	return out
+}
+
+// at returns the index of the first vnode clockwise from key's hash.
+func (r *Ring) at(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	return i
+}

@@ -1,0 +1,147 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys1k() []string {
+	out := make([]string, 1000)
+	for i := range out {
+		out[i] = fmt.Sprintf("Q%d(M, R) :- play-in(A, M), review-of(R, M)", i)
+	}
+	return out
+}
+
+// TestRingDeterminism: the ring is a pure function of the node set —
+// construction order, duplicates, and repeated builds must not change
+// any lookup.
+func TestRingDeterminism(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	variants := [][]string{
+		{"http://a:1", "http://b:2", "http://c:3", "http://d:4"},
+		{"http://d:4", "http://c:3", "http://b:2", "http://a:1"},
+		{"http://b:2", "http://a:1", "http://d:4", "http://c:3", "http://a:1"}, // dup collapses
+	}
+	base := NewRing(nodes, 64)
+	for vi, v := range variants {
+		r := NewRing(v, 64)
+		if r.Len() != base.Len() {
+			t.Fatalf("variant %d: %d nodes, want %d", vi, r.Len(), base.Len())
+		}
+		for _, k := range keys1k() {
+			if got, want := r.Lookup(k), base.Lookup(k); got != want {
+				t.Fatalf("variant %d: Lookup(%q) = %q, want %q", vi, k, got, want)
+			}
+		}
+	}
+}
+
+// TestRingDistribution: with enough virtual nodes, 1k keys spread over
+// the shards within a loose skew bound — no shard starves, none owns a
+// majority it shouldn't. Table-driven over fleet shapes.
+func TestRingDistribution(t *testing.T) {
+	cases := []struct {
+		nodes    int
+		replicas int
+		// minShare/maxShare bound each node's fraction of the 1k keys.
+		minShare, maxShare float64
+	}{
+		{nodes: 2, replicas: 64, minShare: 0.30, maxShare: 0.70},
+		{nodes: 3, replicas: 64, minShare: 0.15, maxShare: 0.55},
+		{nodes: 5, replicas: 128, minShare: 0.10, maxShare: 0.35},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("n%d_r%d", tc.nodes, tc.replicas), func(t *testing.T) {
+			nodes := make([]string, tc.nodes)
+			for i := range nodes {
+				nodes[i] = fmt.Sprintf("http://127.0.0.1:%d", 9000+i)
+			}
+			r := NewRing(nodes, tc.replicas)
+			counts := map[string]int{}
+			keys := keys1k()
+			for _, k := range keys {
+				counts[r.Lookup(k)]++
+			}
+			for _, n := range nodes {
+				share := float64(counts[n]) / float64(len(keys))
+				if share < tc.minShare || share > tc.maxShare {
+					t.Errorf("node %s owns %.1f%% of keys, want within [%.0f%%, %.0f%%] (counts %v)",
+						n, 100*share, 100*tc.minShare, 100*tc.maxShare, counts)
+				}
+			}
+		})
+	}
+}
+
+// TestRingMinimalRemapping: removing a node must remap only the keys it
+// owned — every other key keeps its owner. This is the exact property
+// consistent hashing buys over mod-N: it is what preserves the surviving
+// shards' session caches when one shard leaves the ring.
+func TestRingMinimalRemapping(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	full := NewRing(nodes, 64)
+	keys := keys1k()
+	for _, removed := range nodes {
+		rest := make([]string, 0, len(nodes)-1)
+		for _, n := range nodes {
+			if n != removed {
+				rest = append(rest, n)
+			}
+		}
+		shrunk := NewRing(rest, 64)
+		moved := 0
+		for _, k := range keys {
+			before := full.Lookup(k)
+			after := shrunk.Lookup(k)
+			if before == removed {
+				moved++
+				if after == removed {
+					t.Fatalf("key %q still maps to removed node %s", k, removed)
+				}
+				continue
+			}
+			if after != before {
+				t.Errorf("key %q moved %s -> %s though %s left the ring", k, before, after, removed)
+			}
+		}
+		if moved == 0 {
+			t.Errorf("node %s owned no keys out of %d", removed, len(keys))
+		}
+	}
+}
+
+// TestRingSuccessors: the retry walk starts at the owner, visits each
+// node exactly once, and agrees with Lookup on the shrunken ring — the
+// second successor is where a session lands after the owner dies.
+func TestRingSuccessors(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r := NewRing(nodes, 64)
+	for _, k := range keys1k()[:100] {
+		succ := r.Successors(k)
+		if len(succ) != len(nodes) {
+			t.Fatalf("Successors(%q) = %v, want all %d nodes", k, succ, len(nodes))
+		}
+		if succ[0] != r.Lookup(k) {
+			t.Fatalf("Successors(%q)[0] = %q, Lookup = %q", k, succ[0], r.Lookup(k))
+		}
+		seen := map[string]bool{}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("Successors(%q) repeats %q: %v", k, s, succ)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// TestRingEmpty: lookups on an empty ring degrade, not panic.
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 64)
+	if got := r.Lookup("anything"); got != "" {
+		t.Errorf("Lookup on empty ring = %q, want empty", got)
+	}
+	if got := r.Successors("anything"); got != nil {
+		t.Errorf("Successors on empty ring = %v, want nil", got)
+	}
+}

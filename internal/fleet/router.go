@@ -1,0 +1,648 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qporder/internal/obs"
+	"qporder/internal/parallel"
+	"qporder/internal/schema"
+	"qporder/internal/server"
+)
+
+// Config parameterizes a Router. Zero values take the documented
+// defaults; Shards is the only required field.
+type Config struct {
+	// Shards is the base URL of every qpserved shard, e.g.
+	// "http://127.0.0.1:8091". Required, at least one.
+	Shards []string
+	// Replicas is the number of virtual nodes per shard on the
+	// consistent-hash ring (default 64).
+	Replicas int
+	// HealthInterval is the /healthz probe period (default 1s).
+	HealthInterval time.Duration
+	// HealthTimeout bounds each probe attempt. It is decoupled from the
+	// interval on purpose: a shard saturated with ordering work answers
+	// probes slowly without being gone, and a timeout tighter than the
+	// interval would empty the ring under load (default 2s, floored at
+	// the interval).
+	HealthTimeout time.Duration
+	// Retries bounds how many distinct shards a session setup is
+	// attempted on before the router gives up (default 3).
+	Retries int
+	// Backoff is the base sleep between retry attempts; it doubles per
+	// attempt and is capped at one second (default 25ms).
+	Backoff time.Duration
+	// DefaultK mirrors the shards' default plan budget; the router needs
+	// it to know where to cut a gathered scatter stream when the client
+	// omits k (default 10).
+	DefaultK int
+	// Registry receives the fleet.* instruments; nil disables metrics.
+	Registry *obs.Registry
+	// Client issues shard requests and health probes. It must not have a
+	// global timeout (plan streams are long-lived); per-probe deadlines
+	// come from HealthTimeout. Default: a fresh http.Client.
+	Client *http.Client
+	// Logf, when set, receives operational log lines (reroutes, health
+	// flips). Nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Router is the stateless fleet front end: it owns no ordering state and
+// no caches, only the health view and the ring. Every /v1/query request
+// is either proxied whole to the shard owning the query's canonical key
+// (session-cache affinity) or — with "scatter": true — split into
+// plan-space slices across every healthy shard and gathered back into
+// the canonical order. Kill a router and start another with the same
+// -shards list: the ring is deterministic, so affinity is unchanged.
+type Router struct {
+	cfg      Config
+	client   *http.Client
+	prober   *prober
+	mux      *http.ServeMux
+	logf     func(string, ...any)
+	draining atomic.Bool
+
+	shardsUp *obs.Gauge
+	inflight map[string]*obs.Gauge
+	proxied  *obs.Counter // affinity sessions streamed
+	scatters *obs.Counter // scatter sessions gathered
+	rerouted *obs.Counter // sessions served by a non-owner shard
+	retried  *obs.Counter // individual setup retries
+	rejected *obs.Counter // client-visible fleet failures
+	flips    *obs.Counter // health transitions observed
+}
+
+// New builds a Router and starts its health prober; call Close to stop
+// it. The shard list is normalized (trailing slashes stripped) and must
+// be non-empty.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("fleet: no shards configured")
+	}
+	shards := make([]string, 0, len(cfg.Shards))
+	for _, s := range cfg.Shards {
+		s = strings.TrimRight(strings.TrimSpace(s), "/")
+		if s == "" {
+			return nil, fmt.Errorf("fleet: empty shard URL")
+		}
+		shards = append(shards, s)
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 64
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = time.Second
+	}
+	if cfg.HealthTimeout <= 0 {
+		cfg.HealthTimeout = 2 * time.Second
+	}
+	if cfg.HealthTimeout < cfg.HealthInterval {
+		cfg.HealthTimeout = cfg.HealthInterval
+	}
+	if cfg.Retries <= 0 {
+		cfg.Retries = 3
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 25 * time.Millisecond
+	}
+	if cfg.DefaultK <= 0 {
+		cfg.DefaultK = 10
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	rt := &Router{
+		cfg:      cfg,
+		client:   client,
+		logf:     cfg.Logf,
+		inflight: make(map[string]*obs.Gauge, len(shards)),
+		shardsUp: cfg.Registry.Gauge("fleet.shards_up"),
+		proxied:  cfg.Registry.Counter("fleet.sessions_proxied"),
+		scatters: cfg.Registry.Counter("fleet.sessions_scatter"),
+		rerouted: cfg.Registry.Counter("fleet.sessions_rerouted"),
+		retried:  cfg.Registry.Counter("fleet.retries"),
+		rejected: cfg.Registry.Counter("fleet.rejected"),
+		flips:    cfg.Registry.Counter("fleet.probe_flips"),
+	}
+	for i, s := range shards {
+		rt.inflight[s] = cfg.Registry.Gauge(fmt.Sprintf("fleet.shard%d.inflight", i))
+	}
+	rt.prober = newProber(shards, cfg.Replicas, client, cfg.HealthInterval, cfg.HealthTimeout, func(url string, up bool) {
+		rt.flips.Inc()
+		rt.say("fleet: shard %s -> up=%v", url, up)
+	})
+	if cfg.Registry != nil {
+		cfg.Registry.AddCollector(func() {
+			_, n := rt.prober.view()
+			rt.shardsUp.Set(float64(n))
+		})
+	}
+	go rt.prober.run()
+
+	rt.mux = http.NewServeMux()
+	rt.mux.HandleFunc("POST /v1/query", rt.handleQuery)
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	return rt, nil
+}
+
+// Handler returns the router's HTTP handler.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Close stops the health prober. In-flight proxied streams are not
+// interrupted; the caller drains them via http.Server.Shutdown.
+func (rt *Router) Close() { rt.prober.close() }
+
+// SetDraining flips the /healthz answer to 503 so upstream balancers
+// stop sending new sessions during shutdown.
+func (rt *Router) SetDraining(v bool) { rt.draining.Store(v) }
+
+func (rt *Router) say(format string, args ...any) {
+	if rt.logf != nil {
+		rt.logf(format, args...)
+	}
+}
+
+// routeProbe is the subset of the request the router itself inspects;
+// the full body is forwarded (affinity) or rewritten per slice (scatter)
+// without dropping fields the router doesn't know about.
+type routeProbe struct {
+	Query     string          `json:"query"`
+	K         int             `json:"k"`
+	Scatter   bool            `json:"scatter"`
+	Algorithm string          `json:"algorithm"`
+	Shard     json.RawMessage `json:"shard"`
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	states := rt.prober.states()
+	up := 0
+	for _, ok := range states {
+		if ok {
+			up++
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	code := http.StatusOK
+	status := "ok"
+	if rt.draining.Load() {
+		code = http.StatusServiceUnavailable
+		status = "draining"
+	} else if up == 0 {
+		code = http.StatusServiceUnavailable
+		status = "no_shards"
+	}
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status": status, "shards_up": up, "shards": states,
+	})
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := rt.cfg.Registry
+	if reg == nil {
+		http.Error(w, "metrics disabled", http.StatusNotFound)
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" && strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		format = "openmetrics"
+	}
+	switch format {
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	case "openmetrics":
+		w.Header().Set("Content-Type", obs.OpenMetricsContentType)
+		_ = reg.WriteOpenMetrics(w)
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = reg.WriteText(w)
+	}
+}
+
+// writeError emits a non-streaming structured error, mirroring the
+// shard error body shape so clients need one decoder.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]*server.ErrorBody{
+		"error": {Code: code, Message: fmt.Sprintf(format, args...)},
+	})
+}
+
+// CodeFleetUnavailable is returned when no healthy shard could accept a
+// session within the retry budget.
+const CodeFleetUnavailable = "fleet_unavailable"
+
+// CodeShardStream is returned when a scatter sub-stream fails before or
+// during the gather.
+const CodeShardStream = "shard_stream"
+
+func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, server.CodeBadJSON, "reading body: %v", err)
+		return
+	}
+	var probe routeProbe
+	if err := json.Unmarshal(body, &probe); err != nil {
+		writeError(w, http.StatusBadRequest, server.CodeBadJSON, "decoding request: %v", err)
+		return
+	}
+	if len(probe.Shard) > 0 && string(probe.Shard) != "null" {
+		writeError(w, http.StatusBadRequest, server.CodeInvalidShard,
+			"shard is assigned by the router; clients must not set it")
+		return
+	}
+	if probe.Scatter {
+		rt.scatterGather(w, r, body, probe)
+		return
+	}
+	rt.proxy(w, r, body, probe)
+}
+
+// affinityKey maps the request to its ring position: the query's
+// canonical key, so syntactic variants of the same query share a shard
+// and hence its session cache. An unparsable query falls back to the
+// raw text — the owning shard then reports the canonical parse error.
+func affinityKey(query string) string {
+	if q, err := schema.ParseQuery(query); err == nil {
+		return q.CanonicalKey()
+	}
+	return query
+}
+
+// proxy streams a whole session from the shard owning the query's
+// canonical key, walking the ring's successor sequence with bounded
+// doubling backoff when the owner is unreachable or draining. Retries
+// happen only before any response byte reaches the client — session
+// setup is idempotent (the session cache makes a replayed setup a
+// cache hit at worst), mid-stream failures are not replayed.
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, body []byte, probe routeProbe) {
+	ring, _ := rt.prober.view()
+	cands := ring.Successors(affinityKey(probe.Query))
+	if len(cands) == 0 {
+		// The health view can be transiently wrong (every probe timed out
+		// under load). Fall back to the full configured set and let the
+		// per-attempt failures below decide — truly dead shards error out,
+		// draining ones answer 503 themselves.
+		cands = rt.prober.all()
+	}
+	if len(cands) == 0 {
+		rt.rejected.Inc()
+		writeError(w, http.StatusServiceUnavailable, CodeFleetUnavailable, "no healthy shards")
+		return
+	}
+	attempts := rt.cfg.Retries
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			rt.retried.Inc()
+			time.Sleep(backoffFor(rt.cfg.Backoff, i-1))
+		}
+		// Walk the successor sequence; wrap so a transient 503 on a
+		// small fleet still gets the full retry budget.
+		shard := cands[i%len(cands)]
+		resp, err := rt.send(r, shard, body)
+		if err != nil {
+			// Connection-level failure: the shard is gone right now.
+			// Tell the prober so the very next session routes around it.
+			rt.prober.markDown(shard)
+			rt.say("fleet: %s unreachable, rerouting: %v", shard, err)
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			// Draining or at MaxInflight: healthy but not accepting.
+			resp.Body.Close()
+			lastErr = fmt.Errorf("%s answered 503", shard)
+			continue
+		}
+		if shard != cands[0] {
+			rt.rerouted.Inc()
+		}
+		rt.relay(w, r, resp, shard)
+		return
+	}
+	rt.rejected.Inc()
+	writeError(w, http.StatusServiceUnavailable, CodeFleetUnavailable,
+		"no shard accepted the session after %d attempts: %v", attempts, lastErr)
+}
+
+// send issues the shard sub-request, forwarding the client's traceparent
+// so the shard joins the caller's trace.
+func (rt *Router) send(r *http.Request, shard string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, shard+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tp := r.Header.Get("Traceparent"); tp != "" {
+		req.Header.Set("Traceparent", tp)
+	}
+	return rt.client.Do(req)
+}
+
+// relay streams the shard response to the client, flushing per chunk so
+// NDJSON lines arrive as the shard emits them.
+func (rt *Router) relay(w http.ResponseWriter, r *http.Request, resp *http.Response, shard string) {
+	defer resp.Body.Close()
+	if g := rt.inflight[shard]; g != nil {
+		g.Add(1)
+		defer g.Add(-1)
+	}
+	rt.proxied.Inc()
+	for _, h := range []string{"Content-Type", "Traceparent"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	fw := &flushWriter{w: w}
+	if _, err := io.Copy(fw, resp.Body); err != nil {
+		// Headers (and possibly bytes) are out: nothing to retry.
+		rt.say("fleet: mid-stream copy from %s failed: %v", shard, err)
+	}
+}
+
+// flushWriter flushes after every write so line-buffered shard output
+// reaches the client without router-side batching.
+type flushWriter struct{ w http.ResponseWriter }
+
+func (f *flushWriter) Write(p []byte) (int, error) {
+	n, err := f.w.Write(p)
+	if fl, ok := f.w.(http.Flusher); ok {
+		fl.Flush()
+	}
+	return n, err
+}
+
+// backoffFor doubles base per attempt, capped at one second.
+func backoffFor(base time.Duration, attempt int) time.Duration {
+	d := base << attempt
+	if d > time.Second || d <= 0 {
+		d = time.Second
+	}
+	return d
+}
+
+// scatterGather partitions the plan space across every healthy shard
+// (residue classes of the deterministic enumeration order) and merges
+// the per-shard streams back into the canonical (utility, plan key)
+// order. For prefix-independent measures the gathered plan and answers
+// events are byte-identical to a single qpserved executing the same
+// request — see core.NewPISharded for the argument. The shard count is
+// fixed at launch; a shard dying mid-gather fails the stream with an
+// error event rather than silently dropping its slice of the plan space.
+func (rt *Router) scatterGather(w http.ResponseWriter, r *http.Request, body []byte, probe routeProbe) {
+	if probe.Algorithm != "" && probe.Algorithm != "pi" {
+		writeError(w, http.StatusBadRequest, server.CodeInvalidShard,
+			"scatter requires algorithm pi, got %q", probe.Algorithm)
+		return
+	}
+	var fields map[string]any
+	if err := json.Unmarshal(body, &fields); err != nil {
+		writeError(w, http.StatusBadRequest, server.CodeBadJSON, "decoding request: %v", err)
+		return
+	}
+	delete(fields, "scatter")
+	if probe.Algorithm == "" {
+		// The shard default is streamer; sharding is a PI contract.
+		fields["algorithm"] = "pi"
+	}
+	shards := rt.prober.healthy()
+	if len(shards) == 0 {
+		// Same fallback as the affinity path: an all-timeouts probe round
+		// must not reject sessions the shards would happily serve.
+		shards = rt.prober.all()
+	}
+	n := len(shards)
+	if n == 0 {
+		rt.rejected.Inc()
+		writeError(w, http.StatusServiceUnavailable, CodeFleetUnavailable, "no healthy shards")
+		return
+	}
+	k := probe.K
+	if k <= 0 {
+		k = rt.cfg.DefaultK
+	}
+
+	start := time.Now()
+	streams := make([]*shardStream, n)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		fields["shard"] = map[string]int{"index": i, "count": n}
+		slice, err := json.Marshal(fields)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, server.CodeInternal, "encoding slice: %v", err)
+			return
+		}
+		wg.Add(1)
+		go func(i int, slice []byte) {
+			defer wg.Done()
+			streams[i], errs[i] = rt.openSlice(r, shards, i, slice)
+		}(i, slice)
+	}
+	wg.Wait()
+	if err := firstError(errs); err != nil {
+		for _, ss := range streams {
+			if ss != nil {
+				ss.close()
+			}
+		}
+		rt.rejected.Inc()
+		var se *sliceError
+		if asSliceError(err, &se) && se.status != 0 && se.status != http.StatusServiceUnavailable {
+			// A shard rejected the request itself (bad measure, parse
+			// error, ...): relay its structured error verbatim.
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(se.status)
+			_, _ = w.Write(se.body)
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, CodeFleetUnavailable, "scatter setup failed: %v", err)
+		return
+	}
+	defer func() {
+		for _, ss := range streams {
+			ss.close()
+		}
+	}()
+
+	// Prime every cursor before committing the response status: a shard
+	// that accepts the request but errors immediately still produces a
+	// clean non-200 for the client.
+	for _, ss := range streams {
+		wg.Add(1)
+		go func(ss *shardStream) { defer wg.Done(); ss.advance() }(ss)
+	}
+	wg.Wait()
+	for _, ss := range streams {
+		if ss.err != nil {
+			rt.rejected.Inc()
+			writeError(w, http.StatusBadGateway, CodeShardStream, "%v", ss.err)
+			return
+		}
+	}
+	rt.scatters.Inc()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if tp := streams[0].resp.Header.Get("Traceparent"); tp != "" {
+		w.Header().Set("Traceparent", tp)
+	}
+	w.WriteHeader(http.StatusOK)
+	emit := func(e server.Event) bool {
+		line, err := json.Marshal(e)
+		if err != nil {
+			return false
+		}
+		fw := &flushWriter{w: w}
+		_, err = fw.Write(append(line, '\n'))
+		return err == nil
+	}
+
+	sess := server.Event{Event: "session", K: k, Shards: n}
+	if s0 := streams[0].session; s0 != nil {
+		sess.TraceID = s0.TraceID
+		sess.Algorithm = s0.Algorithm
+		sess.Measure = s0.Measure
+		sess.PlanSpace = s0.PlanSpace
+	}
+	if !emit(sess) {
+		return
+	}
+
+	st := newMergeState()
+	for st.emitted < k {
+		best := bestHead(streams)
+		if best < 0 {
+			break
+		}
+		g := streams[best].head
+		streams[best].advance()
+		if err := streams[best].err; err != nil {
+			_ = emit(server.Event{Event: "error", Err: &server.ErrorBody{Code: CodeShardStream, Message: err.Error()}})
+			return
+		}
+		plan, answers := st.take(g)
+		if !emit(plan) {
+			return
+		}
+		if answers != nil && !emit(*answers) {
+			return
+		}
+	}
+	stopped := "plans-exhausted"
+	if st.emitted >= k {
+		stopped = "max-plans"
+	}
+	_ = emit(server.Event{
+		Event: "done", TraceID: sess.TraceID, Stopped: stopped,
+		Plans: st.emitted, TotalAnswers: len(st.seen),
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000.0,
+	})
+}
+
+// bestHead picks the stream whose head comes first in the canonical
+// output order; ties cannot occur (plan keys are unique across slices).
+// The merge step is parallel.BestHead — the same contract the in-process
+// parallel orderer uses to gather worker results deterministically.
+func bestHead(streams []*shardStream) int {
+	return parallel.BestHead(len(streams),
+		func(i int) bool { return streams[i].head != nil },
+		func(i, j int) bool { return betterGroup(streams[i].head, streams[j].head) })
+}
+
+// sliceError carries a shard's non-200 setup response for relaying.
+type sliceError struct {
+	status int
+	body   []byte
+	msg    string
+}
+
+func (e *sliceError) Error() string { return e.msg }
+
+func asSliceError(err error, out **sliceError) bool {
+	se, ok := err.(*sliceError)
+	if ok {
+		*out = se
+	}
+	return ok
+}
+
+func firstError(errs []error) error {
+	// Prefer a definitive shard rejection over a transport error so the
+	// client sees the most actionable failure.
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		var se *sliceError
+		if asSliceError(err, &se) && se.status != http.StatusServiceUnavailable {
+			return err
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// openSlice opens slice i's sub-request, retrying on other shards with
+// the same bounded backoff as the affinity path. A slice may land on a
+// shard already serving another slice — shards are stateless with
+// respect to the partition, only the (index, count) pair matters.
+func (rt *Router) openSlice(r *http.Request, shards []string, i int, body []byte) (*shardStream, error) {
+	var lastErr error
+	for attempt := 0; attempt < rt.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			rt.retried.Inc()
+			time.Sleep(backoffFor(rt.cfg.Backoff, attempt-1))
+		}
+		shard := shards[(i+attempt)%len(shards)]
+		ctx, cancel := context.WithCancel(r.Context())
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, shard+"/v1/query", bytes.NewReader(body))
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if tp := r.Header.Get("Traceparent"); tp != "" {
+			req.Header.Set("Traceparent", tp)
+		}
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			cancel()
+			rt.prober.markDown(shard)
+			lastErr = fmt.Errorf("slice %d: %s unreachable: %v", i, shard, err)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(io.LimitReader(resp.Body, 64*1024))
+			resp.Body.Close()
+			cancel()
+			lastErr = &sliceError{status: resp.StatusCode, body: b,
+				msg: fmt.Sprintf("slice %d: %s answered %d: %s", i, shard, resp.StatusCode, strings.TrimSpace(string(b)))}
+			if resp.StatusCode != http.StatusServiceUnavailable {
+				// A definitive rejection will repeat on every shard; stop.
+				return nil, lastErr
+			}
+			continue
+		}
+		return newShardStream(shard, resp, cancel), nil
+	}
+	return nil, lastErr
+}

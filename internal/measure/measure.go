@@ -140,6 +140,29 @@ func (b *Base) AddCounts(evals, checks, hits int) {
 	b.cHits.Add(int64(hits))
 }
 
+// PrefixIndependent is the optional marker interface for measures whose
+// plan utilities never depend on the executed prefix: Evaluate(p) returns
+// the same interval no matter which plans have been Observed. Such
+// measures admit cross-process scatter-gather ordering — disjoint slices
+// of the plan space can be ordered on independent contexts (even in
+// different processes) and merged by (utility, key) into exactly the
+// sequence a single context would have produced. Cost measures without
+// caching satisfy it; coverage-family measures (whose utilities shrink as
+// answers accumulate) do not.
+type PrefixIndependent interface {
+	// PrefixIndependent reports whether utilities are invariant under
+	// Observe for this measure configuration.
+	PrefixIndependent() bool
+}
+
+// IsPrefixIndependent reports whether m declares prefix-independent
+// utilities. Measures that do not implement the marker are conservatively
+// treated as prefix-dependent.
+func IsPrefixIndependent(m Measure) bool {
+	pi, ok := m.(PrefixIndependent)
+	return ok && pi.PrefixIndependent()
+}
+
 // CountAdder is the optional interface consumed by the parallel
 // evaluation layer: contexts embedding Base get it for free. Contexts
 // without it still evaluate correctly in parallel, but their work

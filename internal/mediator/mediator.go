@@ -100,6 +100,16 @@ type Config struct {
 	// reformulation-level ordering).
 	Adaptive    bool
 	DriftFactor float64
+	// ShardCount > 1 restricts ordering to one slice of the plan space:
+	// the plans whose deterministic enumeration position is congruent to
+	// ShardIndex mod ShardCount (core.NewPISharded). Only the PI
+	// algorithm supports sharding, and only over measures with
+	// prefix-independent utilities (measure.IsPrefixIndependent) — the
+	// combination under which per-shard streams merge byte-identically
+	// into the unsharded sequence. New rejects anything else. 0 and 1
+	// mean the whole space.
+	ShardIndex int
+	ShardCount int
 	// Prepared, when non-nil, supplies a prebuilt reformulation (see
 	// Prepare): New skips the reformulation phase and shares the prepared
 	// plan space, which is how the serving layer's session cache reuses
@@ -156,6 +166,10 @@ type PlanEvent struct {
 	Index int
 	// Plan is the executed plan query.
 	Plan *schema.Query
+	// Key is the plan's canonical planspace key — the tie-break the
+	// orderers use after utility, and the handle a cross-process gather
+	// needs to merge shard streams in exactly the single-process order.
+	Key string
 	// Utility is the plan's utility at selection time.
 	Utility float64
 	// NewAnswers holds the answers this plan contributed that were not
@@ -375,6 +389,20 @@ func New(cfg Config) (*System, error) {
 			algo = IDrips
 		}
 	}
+	if cfg.ShardCount > 1 {
+		if cfg.ShardIndex < 0 || cfg.ShardIndex >= cfg.ShardCount {
+			return nil, fmt.Errorf("mediator: shard index %d out of range [0, %d)", cfg.ShardIndex, cfg.ShardCount)
+		}
+		if algo != PI {
+			return nil, fmt.Errorf("mediator: plan-space sharding requires the pi algorithm, not %q", algo)
+		}
+		if !measure.IsPrefixIndependent(m) {
+			return nil, fmt.Errorf("mediator: measure %s has prefix-dependent utilities; sharded streams would not merge back into the unsharded order", m.Name())
+		}
+		if cfg.Adaptive {
+			return nil, fmt.Errorf("mediator: adaptive re-ordering cannot be combined with plan-space sharding")
+		}
+	}
 	s := &System{cfg: cfg, src: src, algo: algo, heur: heur, measName: m.Name()}
 	if cfg.Adaptive {
 		s.tracker = adaptive.NewTracker(cfg.Catalog)
@@ -404,6 +432,9 @@ func (s *System) buildOrderer(m measure.Measure, spaces []*planspace.Space) (cor
 	case IDrips:
 		return core.NewIDrips(spaces, m, s.heur), nil
 	case PI:
+		if s.cfg.ShardCount > 1 {
+			return core.NewPISharded(spaces, m, s.cfg.ShardIndex, s.cfg.ShardCount), nil
+		}
 		return core.NewPI(spaces, m), nil
 	case Exhaustive:
 		return core.NewExhaustive(spaces, m), nil
@@ -625,6 +656,7 @@ func (s *System) RunContext(ctx context.Context, engine *execsim.Engine, budget 
 			s.cfg.OnPlan(PlanEvent{
 				Index:        len(res.Executed),
 				Plan:         sp.pq,
+				Key:          sp.plan.Key(),
 				Utility:      sp.util,
 				NewAnswers:   res.Answers.Atoms()[before:],
 				TotalAnswers: res.Answers.Len(),

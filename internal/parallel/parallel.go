@@ -189,6 +189,31 @@ func (p *Pool) Best(n int, betterIdx func(i, j int) bool) int {
 	return best
 }
 
+// BestHead is the single merge step of a deterministic k-way merge over
+// ordered streams: given n stream heads, it returns the index of the
+// stream whose head precedes all others under better, scanning streams
+// in index order so ties resolve to the lowest stream — exactly the
+// shard-order merge Pool.Best applies to in-process shard winners. ok
+// reports whether stream i currently has a head; streams without one are
+// skipped. Returns -1 when no stream has a head.
+//
+// The fleet layer uses this to gather per-shard plan streams over the
+// wire: each shard's stream is already in the canonical (utility, key)
+// order, so repeatedly taking BestHead reproduces the single-process
+// sequence.
+func BestHead(n int, ok func(i int) bool, better func(i, j int) bool) int {
+	best := -1
+	for i := 0; i < n; i++ {
+		if !ok(i) {
+			continue
+		}
+		if best < 0 || better(i, best) {
+			best = i
+		}
+	}
+	return best
+}
+
 // scanBest is the sequential kernel of Best over [lo, hi).
 func scanBest(lo, hi int, betterIdx func(i, j int) bool) int {
 	best := lo

@@ -30,13 +30,22 @@ type Event struct {
 	Measure   string `json:"measure,omitempty"`
 	K         int    `json:"k,omitempty"`
 	PlanSpace int64  `json:"plan_space,omitempty"`
+	// Shards is set on the session event of a router-gathered
+	// scatter stream: the number of shards the plan space was
+	// partitioned across.
+	Shards int `json:"shards,omitempty"`
 
 	// plan fields (answers events reuse Index).
-	Index        int     `json:"index,omitempty"`
-	Utility      float64 `json:"utility,omitempty"`
-	Plan         string  `json:"plan,omitempty"`
-	NewAnswers   int     `json:"new_answers,omitempty"`
-	TotalAnswers int     `json:"total_answers,omitempty"`
+	Index   int     `json:"index,omitempty"`
+	Utility float64 `json:"utility,omitempty"`
+	Plan    string  `json:"plan,omitempty"`
+	// PlanKey is the plan's canonical planspace key — the post-utility
+	// tie-break of the canonical output order. The fleet router merges
+	// per-shard plan streams by (utility, plan_key), which is what makes
+	// a gathered stream byte-identical to a single process.
+	PlanKey      string `json:"plan_key,omitempty"`
+	NewAnswers   int    `json:"new_answers,omitempty"`
+	TotalAnswers int    `json:"total_answers,omitempty"`
 
 	// answers fields.
 	Answers []string `json:"answers,omitempty"`
@@ -77,6 +86,8 @@ const (
 	CodeInvalidK            = "invalid_k"
 	CodeInvalidDeadline     = "invalid_deadline"
 	CodeInvalidParallelism  = "invalid_parallelism"
+	CodeInvalidShard        = "invalid_shard"
+	CodeScatterProxyOnly    = "scatter_proxy_only"
 	CodeUnplannable         = "unplannable"
 	CodeInapplicable        = "algorithm_inapplicable"
 	CodeOverloaded          = "overloaded"

@@ -41,6 +41,9 @@ type LoadConfig struct {
 	// closed-loop (each worker fires as soon as its previous session
 	// finishes).
 	QPS float64
+	// Scatter asks a qprouter BaseURL to partition the plan space across
+	// its fleet and gather the streams; qpserved itself rejects it.
+	Scatter bool
 	// Shuffle perturbs each request's query — body atoms permuted,
 	// variables renamed — without changing its meaning, exercising the
 	// canonicalized session cache the way distinct clients would.
@@ -139,6 +142,7 @@ func runSession(ctx context.Context, client *http.Client, cfg LoadConfig, query 
 		Measure:      cfg.Measure,
 		Reformulator: cfg.Reformulator,
 		Parallelism:  cfg.Parallelism,
+		Scatter:      cfg.Scatter,
 	})
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+"/v1/query", bytes.NewReader(body))
 	if err != nil {
@@ -316,6 +320,7 @@ func StreamPlans(ctx context.Context, baseURL string, cfg LoadConfig, query stri
 		Measure:      cfg.Measure,
 		Reformulator: cfg.Reformulator,
 		Parallelism:  cfg.Parallelism,
+		Scatter:      cfg.Scatter,
 	})
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/query", bytes.NewReader(body))
 	if err != nil {
@@ -347,6 +352,82 @@ func StreamPlans(ctx context.Context, baseURL string, cfg LoadConfig, query stri
 		}
 	}
 	return plans, sc.Err()
+}
+
+// FleetReportSchemaVersion stamps serialized FleetReports; bump on
+// incompatible shape changes.
+const FleetReportSchemaVersion = 1
+
+// SweepPoint is one concurrency level of a fleet throughput sweep.
+type SweepPoint struct {
+	Concurrency int       `json:"concurrency"`
+	QPS         float64   `json:"qps"`
+	Errors      int       `json:"errors"`
+	Full        Quantiles `json:"full"`
+	// FirstError carries the level's first failure detail, if any.
+	FirstError string `json:"first_error,omitempty"`
+}
+
+// FleetReport is the outcome of a fleet sweep: the per-level points and
+// the throughput knee — the smallest concurrency already delivering at
+// least KneeFraction of the best observed QPS. Past the knee, added
+// concurrency buys latency, not throughput.
+type FleetReport struct {
+	SchemaVersion int          `json:"schema_version"`
+	BaseURL       string       `json:"base_url"`
+	Scatter       bool         `json:"scatter"`
+	Points        []SweepPoint `json:"points"`
+	KneeFraction  float64      `json:"knee_fraction"`
+	Knee          int          `json:"knee_concurrency"`
+	MaxQPS        float64      `json:"max_qps"`
+}
+
+// RunFleetSweep replays the workload at each concurrency level and
+// locates the throughput knee. Levels are swept in the given order;
+// each level reruns the full cfg.Requests workload with
+// cfg.Concurrency overridden.
+func RunFleetSweep(ctx context.Context, cfg LoadConfig, levels []int) (*FleetReport, error) {
+	if len(levels) == 0 {
+		levels = []int{1, 2, 4, 8, 16, 32}
+	}
+	rep := &FleetReport{
+		SchemaVersion: FleetReportSchemaVersion,
+		BaseURL:       cfg.BaseURL,
+		Scatter:       cfg.Scatter,
+		KneeFraction:  0.9,
+	}
+	for _, c := range levels {
+		if c <= 0 {
+			return nil, fmt.Errorf("loadgen: sweep concurrency must be positive, got %d", c)
+		}
+		lc := cfg
+		lc.Concurrency = c
+		lr, err := RunLoad(ctx, lc)
+		if err != nil {
+			return nil, err
+		}
+		rep.Points = append(rep.Points, SweepPoint{
+			Concurrency: c, QPS: lr.QPS, Errors: lr.Errors, Full: lr.Full,
+			FirstError: lr.FirstError,
+		})
+		if lr.QPS > rep.MaxQPS {
+			rep.MaxQPS = lr.QPS
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	// Knee: first level reaching KneeFraction of the sweep's best QPS,
+	// scanning smallest concurrency first.
+	sorted := append([]SweepPoint(nil), rep.Points...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Concurrency < sorted[j].Concurrency })
+	for _, p := range sorted {
+		if p.QPS >= rep.KneeFraction*rep.MaxQPS {
+			rep.Knee = p.Concurrency
+			break
+		}
+	}
+	return rep, nil
 }
 
 // FetchSnapshot reads the daemon's metrics snapshot (/metrics?format=json).

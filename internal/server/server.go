@@ -245,6 +245,23 @@ type queryRequest struct {
 	// ordering provenance (utility at selection, dominance tests won and
 	// lost, refinements, splits, evaluations).
 	Explain bool `json:"explain"`
+	// Shard restricts the session to one slice of the plan space — the
+	// scatter-gather field a fleet router stamps on its fan-out
+	// sub-requests. It requires the pi algorithm and a measure with
+	// prefix-independent utilities; see mediator.Config.ShardCount.
+	Shard *ShardSpec `json:"shard,omitempty"`
+	// Scatter is a router-side field: a fleet router fans the session
+	// out across its shards and gathers the streams. A daemon receiving
+	// it rejects the request — clients wanting scatter must talk to
+	// qprouter, not to a shard directly.
+	Scatter bool `json:"scatter,omitempty"`
+}
+
+// ShardSpec names one slice of a scatter-gathered plan space: the plans
+// whose deterministic enumeration position ≡ Index mod Count.
+type ShardSpec struct {
+	Index int `json:"index"`
+	Count int `json:"count"`
 }
 
 // session is a fully validated request, ready to admit and run.
@@ -259,6 +276,7 @@ type session struct {
 	reform   mediator.Reformulator
 	par      int
 	explain  bool
+	shard    *ShardSpec
 }
 
 // badRequestError carries a structured 4xx.
@@ -332,6 +350,18 @@ func (s *Server) parseRequest(r *http.Request) (*session, *badRequestError) {
 	sess.reform, err = reformulatorByName(req.Reformulator)
 	if err != nil {
 		return nil, bad(CodeUnknownReformulator, "%v", err)
+	}
+	if req.Scatter {
+		return nil, bad(CodeScatterProxyOnly, "scatter is a router-side field; send the request to qprouter")
+	}
+	if req.Shard != nil {
+		if req.Shard.Count < 1 || req.Shard.Index < 0 || req.Shard.Index >= req.Shard.Count {
+			return nil, bad(CodeInvalidShard, "shard index must be in [0, count), got %d of %d", req.Shard.Index, req.Shard.Count)
+		}
+		if sess.algo != mediator.PI {
+			return nil, bad(CodeInvalidShard, "plan-space sharding requires algorithm pi, got %q", sess.algoName)
+		}
+		sess.shard = req.Shard
 	}
 	return sess, nil
 }
@@ -531,6 +561,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				Index:        e.Index,
 				Utility:      e.Utility,
 				Plan:         e.Plan.String(),
+				PlanKey:      e.Key,
 				NewAnswers:   len(e.NewAnswers),
 				TotalAnswers: e.TotalAnswers,
 			})
@@ -542,6 +573,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				emit(Event{Event: "answers", Index: e.Index, Answers: out})
 			}
 		},
+	}
+	if sess.shard != nil {
+		mcfg.ShardIndex = sess.shard.Index
+		mcfg.ShardCount = sess.shard.Count
 	}
 	buildSpan := tr.StartSpan("server/build")
 	sys, err := mediator.New(mcfg)

@@ -1,0 +1,225 @@
+#!/bin/sh
+# fleet_smoke.sh — end-to-end smoke test of the distributed serving tier:
+#   1. boot three race-enabled qpserved shards on random ports and a
+#      qprouter front end over them,
+#   2. scatter-gather parity: a scatter session through the router must
+#      stream a plan order byte-identical to single-process qporder for
+#      the same query, seed, algorithm (pi), and measure,
+#   3. affinity: a shuffled burst of one query routes every session to
+#      the same shard (canonical-key ring), zero errors, warm cache,
+#   4. traceparent forwarding: the fleet hop joins the caller's trace,
+#   5. kill a shard mid-burst: SIGTERM the ring owner while paced load
+#      runs; zero client-visible errors, sessions reroute to the next
+#      ring node, fleet.shards_up settles at 2,
+#   6. scatter parity again on the 2-shard fleet — the merged order is
+#      invariant to the shard count,
+#   7. SIGTERM the router and surviving shards; all must drain cleanly.
+# Used by `make fleet-smoke` and the fleet-smoke CI job.
+set -eu
+
+GO=${GO:-go}
+WORKDIR=$(mktemp -d)
+
+# Track every daemon we start; cleanup kills and reaps them all BEFORE
+# removing the workdir, on every exit path (success, failure, signal).
+# On failure the logs go to SMOKE_ARTIFACT_DIR if set (CI uploads them).
+PIDS=""
+cleanup() {
+    status=$?
+    if [ "$status" -ne 0 ] && [ -n "${SMOKE_ARTIFACT_DIR:-}" ]; then
+        mkdir -p "$SMOKE_ARTIFACT_DIR"
+        cp "$WORKDIR"/*.log "$WORKDIR"/*.txt "$WORKDIR"/*.json "$SMOKE_ARTIFACT_DIR"/ 2>/dev/null || true
+    fi
+    for pid in $PIDS; do
+        kill -TERM "$pid" 2>/dev/null || true
+    done
+    for pid in $PIDS; do
+        for _ in $(seq 1 50); do
+            kill -0 "$pid" 2>/dev/null || break
+            sleep 0.1
+        done
+        kill -KILL "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    done
+    rm -rf "$WORKDIR"
+    exit "$status"
+}
+trap cleanup EXIT INT TERM
+
+# FAIL_INJECT exercises the cleanup path: exit mid-run with daemons up;
+# the driver asserts they are gone afterwards (pids in $FAIL_INJECT).
+FAIL_INJECT=${FAIL_INJECT:-}
+
+QUERY='Q(M, R) :- play-in(A, M), review-of(R, M)'
+SEED=1
+MEASURE=chain
+K=6
+
+echo "fleet-smoke: building race-enabled binaries"
+$GO build -race -o "$WORKDIR/qpserved" ./cmd/qpserved
+$GO build -race -o "$WORKDIR/qprouter" ./cmd/qprouter
+$GO build -race -o "$WORKDIR/qpload" ./cmd/qpload
+$GO build -o "$WORKDIR/qporder" ./cmd/qporder
+$GO run ./cmd/qpgen -preset movie > "$WORKDIR/movie.qp"
+
+# boot_daemon <binary> <logfile> <args...>: starts it, scrapes
+# "listening on" for the port, echoes "<pid> <url>". It runs inside
+# command substitution — a subshell — so it CANNOT mutate PIDS itself;
+# every caller must append the echoed pid to PIDS in the parent shell.
+boot_daemon() {
+    bin=$1; log=$2; shift 2
+    "$WORKDIR/$bin" "$@" > "$WORKDIR/$log" 2>&1 &
+    pid=$!
+    port=""
+    for _ in $(seq 1 100); do
+        port=$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "$WORKDIR/$log")
+        [ -n "$port" ] && break
+        kill -0 "$pid" 2>/dev/null || { echo "fleet-smoke: $bin died:" >&2; cat "$WORKDIR/$log" >&2; return 1; }
+        sleep 0.1
+    done
+    [ -n "$port" ] || { echo "fleet-smoke: no port in $log" >&2; return 1; }
+    echo "$pid http://127.0.0.1:$port"
+}
+
+# scrape_counter <url> <name>: integer value from /metrics?format=json.
+# The JSON is pretty-printed one instrument per line; the trailing comma
+# is absent on the last entry of a block, so it is optional here.
+scrape_counter() {
+    curl -fsS "$1/metrics?format=json" \
+        | sed -n "s/^ *\"$(echo "$2" | sed 's/\./\\./g')\": *\([0-9][0-9]*\)\(\.[0-9]*\)\{0,1\},\{0,1\}$/\1/p"
+}
+
+echo "fleet-smoke: booting three shards"
+set -- $(boot_daemon qpserved shard1.log -f "$WORKDIR/movie.qp" -addr 127.0.0.1:0 -seed "$SEED")
+S1_PID=$1; S1_URL=$2; PIDS="$PIDS $S1_PID"
+set -- $(boot_daemon qpserved shard2.log -f "$WORKDIR/movie.qp" -addr 127.0.0.1:0 -seed "$SEED")
+S2_PID=$1; S2_URL=$2; PIDS="$PIDS $S2_PID"
+set -- $(boot_daemon qpserved shard3.log -f "$WORKDIR/movie.qp" -addr 127.0.0.1:0 -seed "$SEED")
+S3_PID=$1; S3_URL=$2; PIDS="$PIDS $S3_PID"
+echo "fleet-smoke: shards up at $S1_URL $S2_URL $S3_URL"
+
+echo "fleet-smoke: booting the router"
+set -- $(boot_daemon qprouter router.log -shards "$S1_URL,$S2_URL,$S3_URL" \
+    -addr 127.0.0.1:0 -health-interval 500ms -backoff 10ms -k "$K")
+RT_PID=$1; RT_URL=$2; PIDS="$PIDS $RT_PID"
+curl -fsS "$RT_URL/healthz" > /dev/null || { echo "fleet-smoke: router healthz failed"; exit 1; }
+echo "fleet-smoke: router up at $RT_URL"
+
+if [ -n "$FAIL_INJECT" ]; then
+    echo "fleet-smoke: FAIL_INJECT set, exiting mid-run with the fleet up"
+    echo "$PIDS" > "$FAIL_INJECT"
+    exit 42
+fi
+
+echo "fleet-smoke: scatter-gather parity against single-process qporder (3 shards)"
+"$WORKDIR/qpload" -url "$RT_URL" -q "$QUERY" -print-plans -scatter \
+    -algo pi -measure "$MEASURE" -k "$K" > "$WORKDIR/scatter_plans.txt"
+"$WORKDIR/qporder" -f "$WORKDIR/movie.qp" -q "$QUERY" -plans-only \
+    -algo pi -measure "$MEASURE" -k "$K" -seed "$SEED" > "$WORKDIR/direct_plans.txt"
+if ! diff -u "$WORKDIR/direct_plans.txt" "$WORKDIR/scatter_plans.txt"; then
+    echo "fleet-smoke: FAIL: 3-shard scatter order diverges from qporder"
+    exit 1
+fi
+[ -s "$WORKDIR/scatter_plans.txt" ] || { echo "fleet-smoke: FAIL: no plans gathered"; exit 1; }
+echo "fleet-smoke: scatter order is byte-identical ($(wc -l < "$WORKDIR/scatter_plans.txt" | tr -d ' ') plans)"
+
+echo "fleet-smoke: shuffled affinity burst (32 sessions, 4 workers)"
+"$WORKDIR/qpload" -url "$RT_URL" -q "$QUERY" -n 32 -c 4 -k "$K" -shuffle \
+    -measure "$MEASURE" -out "$WORKDIR/affinity_report.json"
+
+# All 32 canonical-equivalent sessions must have landed on ONE shard
+# (plus each shard served one scatter slice above): exactly one shard's
+# session cache saw hits.
+OWNER_URL=""; OWNER_PID=""; HOT=0
+for pair in "$S1_PID $S1_URL" "$S2_PID $S2_URL" "$S3_PID $S3_URL"; do
+    set -- $pair
+    hits=$(scrape_counter "$2" "server.cache_hits"); hits=${hits:-0}
+    if [ "$hits" -gt 0 ]; then
+        HOT=$((HOT + 1)); OWNER_PID=$1; OWNER_URL=$2
+    fi
+done
+[ "$HOT" -eq 1 ] || { echo "fleet-smoke: FAIL: $HOT shards saw cache hits, want exactly 1 (affinity broken)"; exit 1; }
+echo "fleet-smoke: affinity holds — all sessions on $OWNER_URL"
+
+echo "fleet-smoke: traceparent forwarding through the fleet hop"
+TP='00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01'
+TRACE_ID='0af7651916cd43dd8448eb211c80319c'
+curl -fsS -D "$WORKDIR/tp_headers.txt" "$RT_URL/v1/query" \
+    -H "traceparent: $TP" \
+    -d "{\"query\":\"$QUERY\",\"k\":$K,\"measure\":\"$MEASURE\"}" > /dev/null
+grep -iq "^traceparent: 00-$TRACE_ID-" "$WORKDIR/tp_headers.txt" || {
+    echo "fleet-smoke: FAIL: fleet hop did not join the caller's trace:"
+    cat "$WORKDIR/tp_headers.txt"
+    exit 1
+}
+echo "fleet-smoke: shard joined trace $TRACE_ID through the router"
+
+echo "fleet-smoke: SIGTERM the owner shard ($OWNER_URL) under paced load"
+"$WORKDIR/qpload" -url "$RT_URL" -q "$QUERY" -n 60 -c 4 -qps 50 -k "$K" \
+    -measure "$MEASURE" > "$WORKDIR/kill_burst.txt" 2>&1 &
+BURST_PID=$!
+sleep 0.3
+kill -TERM "$OWNER_PID"
+if ! wait "$BURST_PID"; then
+    echo "fleet-smoke: FAIL: client-visible errors while a shard died:"
+    cat "$WORKDIR/kill_burst.txt"
+    exit 1
+fi
+echo "fleet-smoke: 60 sessions, zero client-visible errors across the kill"
+
+# The dead shard must leave the ring: fleet.shards_up settles at 2.
+UP=""
+for _ in $(seq 1 50); do
+    UP=$(scrape_counter "$RT_URL" "fleet.shards_up"); UP=${UP:-}
+    [ "$UP" = "2" ] && break
+    sleep 0.2
+done
+[ "$UP" = "2" ] || { echo "fleet-smoke: FAIL: fleet.shards_up is '$UP', want 2"; exit 1; }
+REROUTED=$(scrape_counter "$RT_URL" "fleet.sessions_rerouted"); REROUTED=${REROUTED:-0}
+[ "$REROUTED" -ge 1 ] || { echo "fleet-smoke: FAIL: no sessions rerouted across the kill"; exit 1; }
+echo "fleet-smoke: shard left the ring, $REROUTED sessions rerouted"
+
+# Reap the killed shard and drop it from the cleanup list.
+wait "$OWNER_PID" 2>/dev/null || true
+NEWPIDS=""
+for pid in $PIDS; do
+    [ "$pid" = "$OWNER_PID" ] || NEWPIDS="$NEWPIDS $pid"
+done
+PIDS=$NEWPIDS
+
+echo "fleet-smoke: scatter-gather parity on the surviving 2-shard fleet"
+"$WORKDIR/qpload" -url "$RT_URL" -q "$QUERY" -print-plans -scatter \
+    -algo pi -measure "$MEASURE" -k "$K" > "$WORKDIR/scatter2_plans.txt"
+if ! diff -u "$WORKDIR/direct_plans.txt" "$WORKDIR/scatter2_plans.txt"; then
+    echo "fleet-smoke: FAIL: 2-shard scatter order diverges — merge is not invariant to fleet size"
+    exit 1
+fi
+echo "fleet-smoke: merged order is invariant to the shard count"
+
+echo "fleet-smoke: draining the router and surviving shards"
+for pid in $PIDS; do
+    kill -TERM "$pid" 2>/dev/null || true
+done
+for pid in $PIDS; do
+    DRAINED=1
+    for _ in $(seq 1 100); do
+        if ! kill -0 "$pid" 2>/dev/null; then DRAINED=0; break; fi
+        sleep 0.1
+    done
+    [ "$DRAINED" -eq 0 ] || { echo "fleet-smoke: FAIL: pid $pid did not exit after SIGTERM"; exit 1; }
+    wait "$pid" 2>/dev/null || true
+done
+PIDS=""
+for log in router.log shard1.log shard2.log shard3.log; do
+    if grep -iq "DATA RACE" "$WORKDIR/$log"; then
+        echo "fleet-smoke: FAIL: race detected in $log:"
+        cat "$WORKDIR/$log"
+        exit 1
+    fi
+done
+grep -q "drained cleanly" "$WORKDIR/router.log" || {
+    echo "fleet-smoke: FAIL: no clean-drain marker in router log:"
+    cat "$WORKDIR/router.log"
+    exit 1
+}
+echo "fleet-smoke: PASS"

@@ -21,7 +21,36 @@ set -eu
 
 GO=${GO:-go}
 WORKDIR=$(mktemp -d)
-trap 'rm -rf "$WORKDIR"; [ -n "${SRV_PID:-}" ] && kill "$SRV_PID" 2>/dev/null || true' EXIT
+
+# cleanup runs on every exit path — success, failure, or interrupt. The
+# daemon is killed (TERM, then KILL if it lingers) and reaped BEFORE the
+# workdir is removed: deleting the logs first would race a daemon still
+# writing to them, and an early-exit would leak the background process.
+# On failure, the logs are preserved in SMOKE_ARTIFACT_DIR if set (CI
+# uploads them as workflow artifacts).
+cleanup() {
+    status=$?
+    if [ "$status" -ne 0 ] && [ -n "${SMOKE_ARTIFACT_DIR:-}" ]; then
+        mkdir -p "$SMOKE_ARTIFACT_DIR"
+        cp "$WORKDIR"/*.log "$WORKDIR"/*.json "$WORKDIR"/*.txt "$SMOKE_ARTIFACT_DIR"/ 2>/dev/null || true
+    fi
+    if [ -n "${SRV_PID:-}" ]; then
+        kill -TERM "$SRV_PID" 2>/dev/null || true
+        for _ in $(seq 1 50); do
+            kill -0 "$SRV_PID" 2>/dev/null || break
+            sleep 0.1
+        done
+        kill -KILL "$SRV_PID" 2>/dev/null || true
+        wait "$SRV_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORKDIR"
+    exit "$status"
+}
+trap cleanup EXIT INT TERM
+
+# FAIL_INJECT=1 exercises the cleanup path itself: exit mid-run with the
+# daemon still up; the driver then asserts the process is gone.
+FAIL_INJECT=${FAIL_INJECT:-}
 
 QUERY='Q(M, R) :- play-in(A, M), review-of(R, M)'
 SEED=1
@@ -54,6 +83,12 @@ URL="http://127.0.0.1:$PORT"
 echo "serve-smoke: daemon is up at $URL"
 
 curl -fsS "$URL/healthz" > /dev/null || { echo "serve-smoke: healthz failed"; exit 1; }
+
+if [ -n "$FAIL_INJECT" ]; then
+    echo "serve-smoke: FAIL_INJECT set, exiting mid-run with the daemon up (pid $SRV_PID)"
+    echo "$SRV_PID" > "${FAIL_INJECT}"
+    exit 42
+fi
 
 echo "serve-smoke: checking served plan order against qporder"
 "$WORKDIR/qpload" -url "$URL" -q "$QUERY" -print-plans \
