@@ -4,7 +4,7 @@ GO ?= go
 FUZZTIME ?= 30s
 BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build vet test race bench bench-json bench-check check fmtcheck lint-metrics experiments fuzz serve-smoke fleet-smoke clean
+.PHONY: all build vet test race bench bench-json bench-batch bench-check check fmtcheck lint-metrics experiments fuzz serve-smoke fleet-smoke clean
 
 all: build vet test
 
@@ -54,6 +54,16 @@ bench:
 bench-json:
 	$(GO) run ./cmd/qpbench -exp none -parallelism 4 -metrics-json BENCH_$(BENCH_DATE).json
 
+# bench-batch writes the batched-evaluation report
+# (BENCH_<date>_batch.json): the standard sequential cells plus the
+# frontier-size sweep comparing the tiled batch kernels against the
+# per-plan scalar path at each frontier width. Pass
+# BASELINE=BENCH_<date>.json to also regression-gate the cells against a
+# checked-in report (batch cells gate once a baseline containing them
+# lands).
+bench-batch:
+	$(GO) run ./cmd/qpbench -exp batch -metrics-json BENCH_$(BENCH_DATE)_batch.json $(if $(BASELINE),-compare $(BASELINE))
+
 # bench-check regenerates the report and fails when any sequential
 # ns/plan worsened >20% against BASELINE (a checked-in BENCH_*.json).
 # CI picks the newest checked-in baseline; refresh it by committing a
@@ -72,6 +82,7 @@ fuzz:
 	$(GO) test -fuzz FuzzCanonicalKey -fuzztime $(FUZZTIME) ./internal/schema
 	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/domfile
 	$(GO) test -fuzz FuzzKernels -fuzztime $(FUZZTIME) ./internal/bitset
+	$(GO) test -fuzz FuzzBatchKernels -fuzztime $(FUZZTIME) ./internal/bitset
 
 # serve-smoke boots the qpserved daemon (race-enabled build) on a random
 # port, checks the streamed plan order byte-for-byte against qporder,

@@ -1,0 +1,141 @@
+// Package arena provides a bump allocator for per-request evaluation
+// scratch: bitset word rows and int32 spans handed out by the batched
+// frontier evaluator. An Arena grows to its high-water mark once and
+// then serves every subsequent allocation from the same slabs, so a
+// warm serving loop takes nothing from the garbage collector.
+//
+// Ownership contract: a slice returned by Words or Int32s is valid only
+// until the next Reset. Callers must not retain arena memory across a
+// Reset — in particular, no bitset built over arena words may escape
+// into a shared structure (snapshot, model, result). Under the race
+// detector, Reset poisons released memory and the next allocation
+// verifies the poison survived, so a retained-and-written slice panics
+// instead of silently corrupting a later frontier (see poison_race.go).
+package arena
+
+const (
+	// minWords/minSpans size the first slab; after that slabs double.
+	minWords = 128
+	minSpans = 256
+
+	wordPoison       = 0xBADC0FFEE0DDF00D
+	spanPoison int32 = -0x21524111 // 0xDEADBEEF
+)
+
+// Arena is a bump allocator over two grow-only slabs. The zero value is
+// ready to use but New is preferred for documentation's sake. An Arena
+// belongs to one evaluation context and is not safe for concurrent use.
+type Arena struct {
+	words     []uint64
+	wOff      int
+	wPoisoned int // words [0,wPoisoned) hold wordPoison (race builds only)
+
+	spans     []int32
+	sOff      int
+	sPoisoned int
+}
+
+// New returns an empty arena; slabs are allocated on first use.
+func New() *Arena { return &Arena{} }
+
+// Words returns a zeroed []uint64 of length n, valid until Reset.
+func (a *Arena) Words(n int) []uint64 {
+	if n < 0 {
+		panic("arena: negative length")
+	}
+	if a.wOff+n > len(a.words) {
+		// A fresh slab; outstanding slices keep the old one alive and
+		// stay valid, they just no longer share storage with new ones.
+		a.words = make([]uint64, grown(len(a.words), n, minWords))
+		a.wOff, a.wPoisoned = 0, 0
+	}
+	s := a.words[a.wOff : a.wOff+n : a.wOff+n]
+	if poisonEnabled {
+		a.checkWords(a.wOff, a.wOff+n)
+	}
+	a.wOff += n
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// Int32s returns a zeroed []int32 of length n, valid until Reset.
+func (a *Arena) Int32s(n int) []int32 {
+	if n < 0 {
+		panic("arena: negative length")
+	}
+	if a.sOff+n > len(a.spans) {
+		a.spans = make([]int32, grown(len(a.spans), n, minSpans))
+		a.sOff, a.sPoisoned = 0, 0
+	}
+	s := a.spans[a.sOff : a.sOff+n : a.sOff+n]
+	if poisonEnabled {
+		a.checkSpans(a.sOff, a.sOff+n)
+	}
+	a.sOff += n
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// Reset releases everything allocated since the last Reset. Slab
+// capacity is retained — that is the point: the next frontier reuses
+// the same memory. Under the race detector the released region is
+// poisoned so stale references are caught on the next allocation.
+func (a *Arena) Reset() {
+	if poisonEnabled {
+		for i := 0; i < a.wOff; i++ {
+			a.words[i] = wordPoison
+		}
+		a.wPoisoned = a.wOff
+		for i := 0; i < a.sOff; i++ {
+			a.spans[i] = spanPoison
+		}
+		a.sPoisoned = a.sOff
+	}
+	a.wOff, a.sOff = 0, 0
+}
+
+// Bytes reports the arena's slab footprint — the steady-state memory a
+// context pins between Resets (exported as the arena_bytes gauge).
+func (a *Arena) Bytes() int { return len(a.words)*8 + len(a.spans)*4 }
+
+// checkWords verifies the poison sentinel in [lo,hi) ∩ [0,wPoisoned):
+// a mismatch means a slice handed out before the last Reset was written
+// afterwards.
+func (a *Arena) checkWords(lo, hi int) {
+	if hi > a.wPoisoned {
+		hi = a.wPoisoned
+	}
+	for i := lo; i < hi; i++ {
+		if a.words[i] != wordPoison {
+			panic("arena: word scratch written after Reset (stale reference)")
+		}
+	}
+}
+
+func (a *Arena) checkSpans(lo, hi int) {
+	if hi > a.sPoisoned {
+		hi = a.sPoisoned
+	}
+	for i := lo; i < hi; i++ {
+		if a.spans[i] != spanPoison {
+			panic("arena: span scratch written after Reset (stale reference)")
+		}
+	}
+}
+
+// grown picks the next slab length: double the current one, but at
+// least min and at least n.
+func grown(cur, n, min int) int {
+	next := 2 * cur
+	if next < min {
+		next = min
+	}
+	if next < n {
+		next = n
+	}
+	return next
+}

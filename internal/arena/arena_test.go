@@ -1,0 +1,98 @@
+package arena
+
+import "testing"
+
+func TestWordsZeroedAndDisjoint(t *testing.T) {
+	a := New()
+	w1 := a.Words(10)
+	for i := range w1 {
+		if w1[i] != 0 {
+			t.Fatalf("Words not zeroed at %d: %#x", i, w1[i])
+		}
+		w1[i] = ^uint64(0)
+	}
+	w2 := a.Words(10)
+	for i := range w2 {
+		if w2[i] != 0 {
+			t.Fatalf("second Words sees first allocation's bits at %d", i)
+		}
+	}
+	// Writing one allocation must not be visible through the other.
+	w2[0] = 7
+	if w1[9] != ^uint64(0) {
+		t.Fatal("allocations overlap")
+	}
+}
+
+func TestInt32sZeroed(t *testing.T) {
+	a := New()
+	s := a.Int32s(5)
+	for i := range s {
+		if s[i] != 0 {
+			t.Fatalf("Int32s not zeroed at %d", i)
+		}
+		s[i] = -1
+	}
+	a.Reset()
+	s2 := a.Int32s(5)
+	for i := range s2 {
+		if s2[i] != 0 {
+			t.Fatalf("Int32s after Reset not zeroed at %d: %d", i, s2[i])
+		}
+	}
+}
+
+// TestResetReusesSlab is the arena's reason to exist: after warmup,
+// Reset + re-allocate must not grow the footprint.
+func TestResetReusesSlab(t *testing.T) {
+	a := New()
+	a.Words(300)
+	a.Int32s(700)
+	grownTo := a.Bytes()
+	for i := 0; i < 50; i++ {
+		a.Reset()
+		a.Words(300)
+		a.Int32s(700)
+		if a.Bytes() != grownTo {
+			t.Fatalf("iteration %d: footprint changed %d -> %d", i, grownTo, a.Bytes())
+		}
+	}
+}
+
+// TestGrowthKeepsOutstandingSlices: growing mid-batch moves new
+// allocations to a fresh slab; slices already handed out stay valid.
+func TestGrowthKeepsOutstandingSlices(t *testing.T) {
+	a := New()
+	w1 := a.Words(minWords)
+	w1[minWords-1] = 42
+	w2 := a.Words(4 * minWords) // forces a new slab
+	w2[0] = 7
+	if w1[minWords-1] != 42 {
+		t.Fatal("outstanding slice corrupted by slab growth")
+	}
+}
+
+func TestBytesGrowsMonotonically(t *testing.T) {
+	a := New()
+	if a.Bytes() != 0 {
+		t.Fatalf("fresh arena has %d bytes", a.Bytes())
+	}
+	prev := 0
+	for _, n := range []int{8, 64, 512, 4096} {
+		a.Reset()
+		a.Words(n)
+		if a.Bytes() < prev {
+			t.Fatalf("Bytes shrank: %d -> %d", prev, a.Bytes())
+		}
+		prev = a.Bytes()
+	}
+}
+
+func TestNegativeLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Words(-1) did not panic")
+		}
+	}()
+	New().Words(-1)
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package arena
+
+// Poison checking is compiled out of non-race builds; see poison_race.go.
+const poisonEnabled = false

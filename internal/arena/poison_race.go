@@ -1,0 +1,9 @@
+//go:build race
+
+package arena
+
+// Under the race detector, Reset poisons released scratch and the next
+// allocation verifies the sentinel survived — the arena analogue of
+// use-after-free checking. The constant lets the compiler delete the
+// checks entirely from production builds.
+const poisonEnabled = true

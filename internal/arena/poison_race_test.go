@@ -1,0 +1,47 @@
+//go:build race
+
+package arena
+
+import "testing"
+
+// These tests run only under -race, where poisoning is compiled in: a
+// slice retained across Reset and written afterwards must be detected
+// on the next allocation from the same region.
+
+func TestPoisonCatchesStaleWordWrite(t *testing.T) {
+	a := New()
+	w := a.Words(8)
+	a.Reset()
+	w[3] = 42 // contract violation: written after Reset
+	defer func() {
+		if recover() == nil {
+			t.Fatal("stale word write not detected")
+		}
+	}()
+	a.Words(8)
+}
+
+func TestPoisonCatchesStaleSpanWrite(t *testing.T) {
+	a := New()
+	s := a.Int32s(8)
+	a.Reset()
+	s[0] = 1
+	defer func() {
+		if recover() == nil {
+			t.Fatal("stale span write not detected")
+		}
+	}()
+	a.Int32s(8)
+}
+
+// A clean Reset/alloc cycle must not trip the checker.
+func TestPoisonAllowsCleanReuse(t *testing.T) {
+	a := New()
+	for i := 0; i < 10; i++ {
+		w := a.Words(16)
+		w[0] = uint64(i)
+		s := a.Int32s(16)
+		s[0] = int32(i)
+		a.Reset()
+	}
+}

@@ -1,0 +1,310 @@
+package bitset
+
+import "math/bits"
+
+// This file holds the frontier-batched kernels: instead of scoring one
+// plan per call, they score a whole refinement frontier in one pass,
+// tiled over 64-bit word ranges so the source-answer words shared by
+// the frontier's plans stay hot in cache while every plan consumes
+// them. Per-plan trimmed word bounds are hoisted into kernel setup
+// (Set.TrimmedLen, cached on the set), so the sweep never re-scans
+// trailing zero words.
+
+// TileWords is the word-range tile the batch kernels sweep: 64 words =
+// 512 bytes per operand row, so a query's worth of operand rows plus
+// the exclusion row fit comfortably in L1 while the whole frontier
+// reads them.
+const TileWords = 64
+
+// BatchIntersectCountAndNot scores a frontier in CSR layout: plan g's
+// operands are sets[offs[g]:offs[g+1]] (len(offs) == len(counts)+1, offs
+// ascending), and on return counts[g] = |(∩ ops(g)) \ excl| — exactly
+// what IntersectCountAndNot(ops(g), excl) returns, including the
+// empty-operand convention (counts[g] = |U \ excl|, or 0 when excl is
+// nil). excl may be nil. bounds is caller scratch with len >=
+// len(counts); its contents are overwritten. The kernel allocates
+// nothing.
+func BatchIntersectCountAndNot(sets []*Set, offs []int32, excl *Set, bounds, counts []int32) {
+	n := len(counts)
+	if len(offs) != n+1 {
+		panic("bitset: batch offs/counts length mismatch")
+	}
+	if n == 0 {
+		return
+	}
+	if len(bounds) < n {
+		panic("bitset: batch bounds scratch too small")
+	}
+	var ew []uint64
+	ref := excl
+	if excl != nil {
+		ew = excl.words
+	}
+	// Setup pass: validate capacities once, hoist each plan's trimmed
+	// word bound, and settle zero-operand plans up front.
+	maxB := 0
+	emptyCount := int32(-1)
+	for g := 0; g < n; g++ {
+		ops := sets[offs[g]:offs[g+1]]
+		if len(ops) == 0 {
+			if emptyCount < 0 {
+				emptyCount = int32(universeCountAndNot(excl))
+			}
+			counts[g] = emptyCount
+			bounds[g] = 0
+			continue
+		}
+		if ref == nil {
+			ref = ops[0]
+		}
+		b := len(ops[0].words)
+		for _, s := range ops {
+			ref.sameCap(s)
+			if t := s.TrimmedLen(); t < b {
+				b = t
+			}
+		}
+		counts[g] = 0
+		bounds[g] = int32(b)
+		if b > maxB {
+			maxB = b
+		}
+	}
+	// Tiled sweep: word tiles outer, plans inner.
+	for base := 0; base < maxB; base += TileWords {
+		end := base + TileWords
+		if end > maxB {
+			end = maxB
+		}
+		for g := 0; g < n; g++ {
+			hi := int(bounds[g])
+			if hi > end {
+				hi = end
+			}
+			if hi <= base {
+				continue
+			}
+			counts[g] += int32(countTile(sets[offs[g]:offs[g+1]], ew, base, hi))
+		}
+	}
+}
+
+// countTile popcounts (∩ ops) &^ excl over words [lo, hi). The common
+// arities are unrolled and every operand row is pre-sliced to the tile
+// so the inner loops run bounds-check-free, mirroring
+// IntersectCountAndNot.
+func countTile(ops []*Set, ew []uint64, lo, hi int) int {
+	c := 0
+	a := ops[0].words[lo:hi]
+	switch len(ops) {
+	case 1:
+		if ew == nil {
+			for _, w := range a {
+				c += bits.OnesCount64(w)
+			}
+		} else {
+			e := ew[lo:hi]
+			for i, w := range a {
+				c += bits.OnesCount64(w &^ e[i])
+			}
+		}
+	case 2:
+		b := ops[1].words[lo:hi]
+		if ew == nil {
+			for i, w := range a {
+				c += bits.OnesCount64(w & b[i])
+			}
+		} else {
+			e := ew[lo:hi]
+			for i, w := range a {
+				c += bits.OnesCount64(w & b[i] &^ e[i])
+			}
+		}
+	case 3:
+		b := ops[1].words[lo:hi]
+		d := ops[2].words[lo:hi]
+		if ew == nil {
+			for i, w := range a {
+				c += bits.OnesCount64(w & b[i] & d[i])
+			}
+		} else {
+			e := ew[lo:hi]
+			for i, w := range a {
+				c += bits.OnesCount64(w & b[i] & d[i] &^ e[i])
+			}
+		}
+	default:
+		for i, w := range a {
+			for _, s := range ops[1:] {
+				w &= s.words[lo+i]
+			}
+			if ew != nil {
+				w &^= ew[lo+i]
+			}
+			c += bits.OnesCount64(w)
+		}
+	}
+	return c
+}
+
+// BatchRefineCountAndNot scores sibling plans that share a common
+// intersection prefix and differ in a single operand — the shape a
+// Refine step produces (children of one refinement differ in exactly
+// one bucket) and the shape consecutive plans of the Cartesian
+// enumeration share. On return counts[i] = |(∩ prefix ∩ vars[i]) \ excl|.
+//
+// The key algebraic move: (A ∩ v) \ E = (A \ E) ∩ v, so the prefix
+// intersection AND the exclusion are folded into one masked tile in
+// scratch, computed once per word tile and reused for every sibling.
+// The per-sibling inner loop then touches exactly two streams (mask,
+// var) where the fused scalar kernel touches q+1, so a frontier of m
+// siblings with a p-set prefix does p + 1 + 2m word-reads per tile
+// instead of m·(p+2).
+//
+// An empty prefix means the universe: counts[i] = |vars[i] \ excl|.
+// excl may be nil. scratch needs min(TileWords, words) uint64s unless
+// both the prefix is empty and excl is nil; bounds is caller scratch
+// with len >= len(vars). The kernel allocates nothing.
+func BatchRefineCountAndNot(prefix, vars []*Set, excl *Set, scratch []uint64, bounds, counts []int32) {
+	n := len(vars)
+	if len(counts) != n {
+		panic("bitset: refine vars/counts length mismatch")
+	}
+	if n == 0 {
+		return
+	}
+	if len(bounds) < n {
+		panic("bitset: refine bounds scratch too small")
+	}
+	ref := vars[0]
+	for _, s := range vars[1:] {
+		ref.sameCap(s)
+	}
+	for _, s := range prefix {
+		ref.sameCap(s)
+	}
+	var ew []uint64
+	if excl != nil {
+		ref.sameCap(excl)
+		ew = excl.words
+	}
+	// Hoist trimmed bounds: the prefix bound caps every sibling's.
+	pB := len(ref.words)
+	for _, s := range prefix {
+		if t := s.TrimmedLen(); t < pB {
+			pB = t
+		}
+	}
+	maxB := 0
+	for i, v := range vars {
+		b := v.TrimmedLen()
+		if b > pB {
+			b = pB
+		}
+		bounds[i] = int32(b)
+		counts[i] = 0
+		if b > maxB {
+			maxB = b
+		}
+	}
+	if maxB == 0 {
+		return
+	}
+	if len(prefix) == 0 && ew == nil {
+		// Pure popcounts; no mask needed.
+		for i, v := range vars {
+			c := 0
+			for _, w := range v.words[:bounds[i]] {
+				c += bits.OnesCount64(w)
+			}
+			counts[i] = int32(c)
+		}
+		return
+	}
+	need := maxB
+	if need > TileWords {
+		need = TileWords
+	}
+	if len(scratch) < need {
+		panic("bitset: refine scratch too small")
+	}
+	for base := 0; base < maxB; base += TileWords {
+		end := base + TileWords
+		if end > maxB {
+			end = maxB
+		}
+		maskTile(prefix, ew, scratch, base, end)
+		s := scratch[:end-base]
+		for i, v := range vars {
+			hi := int(bounds[i])
+			if hi > end {
+				hi = end
+			}
+			if hi <= base {
+				continue
+			}
+			vw := v.words[base:hi]
+			sw := s[:hi-base]
+			c := 0
+			for j, w := range vw {
+				c += bits.OnesCount64(w & sw[j])
+			}
+			counts[i] += int32(c)
+		}
+	}
+}
+
+// maskTile writes scratch[0:end-base] = ((∩ prefix) &^ excl)[base:end],
+// with an empty prefix meaning the universe (so the mask is ^excl; set
+// words carry no bits past the universe, so the var stream masks the
+// stray high bits of the final complemented word).
+func maskTile(prefix []*Set, ew, scratch []uint64, base, end int) {
+	dst := scratch[:end-base]
+	if len(prefix) == 0 {
+		e := ew[base:end]
+		for j := range dst {
+			dst[j] = ^e[j]
+		}
+		return
+	}
+	a := prefix[0].words[base:end]
+	switch {
+	case ew == nil:
+		switch len(prefix) {
+		case 1:
+			copy(dst, a)
+		case 2:
+			b := prefix[1].words[base:end]
+			for j, w := range a {
+				dst[j] = w & b[j]
+			}
+		default:
+			for j, w := range a {
+				for _, s := range prefix[1:] {
+					w &= s.words[base+j]
+				}
+				dst[j] = w
+			}
+		}
+	default:
+		e := ew[base:end]
+		switch len(prefix) {
+		case 1:
+			for j, w := range a {
+				dst[j] = w &^ e[j]
+			}
+		case 2:
+			b := prefix[1].words[base:end]
+			for j, w := range a {
+				dst[j] = w & b[j] &^ e[j]
+			}
+		default:
+			for j, w := range a {
+				for _, s := range prefix[1:] {
+					w &= s.words[base+j]
+				}
+				dst[j] = w &^ e[j]
+			}
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveBatch applies the scalar kernel per plan — the oracle the tiled
+// kernels must match exactly.
+func naiveBatch(sets []*Set, offs []int32, excl *Set) []int32 {
+	out := make([]int32, len(offs)-1)
+	for g := range out {
+		out[g] = int32(IntersectCountAndNot(sets[offs[g]:offs[g+1]], excl))
+	}
+	return out
+}
+
+// randomCSR builds a random frontier in CSR layout: nplans plans of
+// arity 1..maxArity over nbits-bit sets with the given fill density.
+func randomCSR(rng *rand.Rand, nplans, maxArity, nbits int, density float64) ([]*Set, []int32) {
+	var sets []*Set
+	offs := make([]int32, 1, nplans+1)
+	for g := 0; g < nplans; g++ {
+		arity := 1 + rng.Intn(maxArity)
+		for a := 0; a < arity; a++ {
+			sets = append(sets, densitySet(rng, nbits, density))
+		}
+		offs = append(offs, int32(len(sets)))
+	}
+	return sets, offs
+}
+
+func densitySet(rng *rand.Rand, n int, density float64) *Set {
+	s := New(n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < density {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+func TestBatchIntersectCountAndNotMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	// Sizes straddle tile boundaries: < 1 tile, exactly 1, and several.
+	for _, nbits := range []int{1, 63, 64 * 64, 64*64 + 1, 3*64*64 + 17} {
+		for _, density := range []float64{0, 0.02, 0.5} {
+			sets, offs := randomCSR(rng, 23, 5, nbits, density)
+			excl := densitySet(rng, nbits, 0.3)
+			for _, e := range []*Set{nil, excl} {
+				counts := make([]int32, len(offs)-1)
+				bounds := make([]int32, len(counts))
+				BatchIntersectCountAndNot(sets, offs, e, bounds, counts)
+				want := naiveBatch(sets, offs, e)
+				for g := range counts {
+					if counts[g] != want[g] {
+						t.Fatalf("nbits=%d density=%.2f excl=%v plan %d: got %d, want %d",
+							nbits, density, e != nil, g, counts[g], want[g])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchZeroOperandPlan: an empty operand range follows the scalar
+// empty-frontier convention (universe minus excl; 0 with nil excl).
+func TestBatchZeroOperandPlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := densitySet(rng, 200, 0.5)
+	excl := densitySet(rng, 200, 0.25)
+	sets := []*Set{a}
+	offs := []int32{0, 0, 1} // plan 0 has no operands, plan 1 = {a}
+	counts := make([]int32, 2)
+	bounds := make([]int32, 2)
+	BatchIntersectCountAndNot(sets, offs, excl, bounds, counts)
+	if want := int32(200 - excl.Count()); counts[0] != want {
+		t.Errorf("zero-operand plan with excl: got %d, want %d", counts[0], want)
+	}
+	if want := int32(IntersectCountAndNot([]*Set{a}, excl)); counts[1] != want {
+		t.Errorf("plan 1: got %d, want %d", counts[1], want)
+	}
+	BatchIntersectCountAndNot(sets, offs, nil, bounds, counts)
+	if counts[0] != 0 {
+		t.Errorf("zero-operand plan without excl: got %d, want 0", counts[0])
+	}
+}
+
+func TestBatchEmptyFrontierNoop(t *testing.T) {
+	BatchIntersectCountAndNot(nil, []int32{0}, nil, nil, nil)
+	BatchRefineCountAndNot(nil, nil, nil, nil, nil, nil)
+}
+
+func TestBatchRefineCountAndNotMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for _, nbits := range []int{1, 64, 64 * 64, 2*64*64 + 5} {
+		for _, plen := range []int{0, 1, 2, 4} {
+			prefix := make([]*Set, plen)
+			for i := range prefix {
+				prefix[i] = densitySet(rng, nbits, 0.6)
+			}
+			vars := make([]*Set, 17)
+			for i := range vars {
+				vars[i] = densitySet(rng, nbits, 0.4)
+			}
+			excl := densitySet(rng, nbits, 0.3)
+			for _, e := range []*Set{nil, excl} {
+				counts := make([]int32, len(vars))
+				bounds := make([]int32, len(vars))
+				scratch := make([]uint64, TileWords)
+				BatchRefineCountAndNot(prefix, vars, e, scratch, bounds, counts)
+				for i, v := range vars {
+					ops := append(append([]*Set{}, prefix...), v)
+					if want := int32(IntersectCountAndNot(ops, e)); counts[i] != want {
+						t.Fatalf("nbits=%d plen=%d excl=%v var %d: got %d, want %d",
+							nbits, plen, e != nil, i, counts[i], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchSparseBounds exercises the hoisted trimmed-length bounds:
+// operands whose high words are all zero must not disturb the counts.
+func TestBatchSparseBounds(t *testing.T) {
+	n := 4 * 64 * 64
+	low := New(n)  // bits only in the first tile
+	high := New(n) // bits only in the last tile
+	for i := 0; i < 100; i++ {
+		low.Add(i)
+		high.Add(n - 1 - i)
+	}
+	full := New(n)
+	full.Fill()
+	sets := []*Set{low, full, high, full, low, high}
+	offs := []int32{0, 2, 4, 6}
+	counts := make([]int32, 3)
+	bounds := make([]int32, 3)
+	BatchIntersectCountAndNot(sets, offs, nil, bounds, counts)
+	if counts[0] != 100 || counts[1] != 100 || counts[2] != 0 {
+		t.Errorf("sparse-bound counts = %v, want [100 100 0]", counts)
+	}
+	// Refine form: a sparse prefix caps every sibling's bound.
+	rc := make([]int32, 2)
+	rb := make([]int32, 2)
+	BatchRefineCountAndNot([]*Set{low}, []*Set{full, high}, nil, make([]uint64, TileWords), rb, rc)
+	if rc[0] != 100 || rc[1] != 0 {
+		t.Errorf("refine sparse counts = %v, want [100 0]", rc)
+	}
+}
+
+func TestBatchCapacityMismatchPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"csr": func() {
+			BatchIntersectCountAndNot([]*Set{New(10), New(11)}, []int32{0, 2}, nil,
+				make([]int32, 1), make([]int32, 1))
+		},
+		"csr-excl": func() {
+			BatchIntersectCountAndNot([]*Set{New(10)}, []int32{0, 1}, New(11),
+				make([]int32, 1), make([]int32, 1))
+		},
+		"refine": func() {
+			BatchRefineCountAndNot([]*Set{New(10)}, []*Set{New(11)}, nil,
+				make([]uint64, TileWords), make([]int32, 1), make([]int32, 1))
+		},
+		"offs": func() {
+			BatchIntersectCountAndNot([]*Set{New(10)}, []int32{0, 1}, nil,
+				make([]int32, 2), make([]int32, 2))
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTrimmedLen(t *testing.T) {
+	s := New(300) // 5 words
+	if got := s.TrimmedLen(); got != 0 {
+		t.Errorf("empty TrimmedLen = %d, want 0", got)
+	}
+	s.Add(70) // word 1
+	if got := s.TrimmedLen(); got != 2 {
+		t.Errorf("TrimmedLen after Add(70) = %d, want 2", got)
+	}
+	// Cached value must be invalidated by growth...
+	s.Add(256) // word 4
+	if got := s.TrimmedLen(); got != 5 {
+		t.Errorf("TrimmedLen after Add(256) = %d, want 5", got)
+	}
+	// ...and by shrinkage.
+	s.Remove(256)
+	if got := s.TrimmedLen(); got != 2 {
+		t.Errorf("TrimmedLen after Remove(256) = %d, want 2", got)
+	}
+	s.Clear()
+	if got := s.TrimmedLen(); got != 0 {
+		t.Errorf("TrimmedLen after Clear = %d, want 0", got)
+	}
+	s.Fill()
+	if got := s.TrimmedLen(); got != 5 {
+		t.Errorf("TrimmedLen after Fill = %d, want 5", got)
+	}
+	c := s.Clone()
+	if got := c.TrimmedLen(); got != 5 {
+		t.Errorf("Clone TrimmedLen = %d, want 5", got)
+	}
+	other := New(300)
+	other.Add(3)
+	c.IntersectWith(other)
+	if got := c.TrimmedLen(); got != 1 {
+		t.Errorf("TrimmedLen after IntersectWith = %d, want 1", got)
+	}
+	c.UnionWith(s)
+	if got := c.TrimmedLen(); got != 5 {
+		t.Errorf("TrimmedLen after UnionWith = %d, want 5", got)
+	}
+	c.DifferenceWith(s)
+	if got := c.TrimmedLen(); got != 0 {
+		t.Errorf("TrimmedLen after DifferenceWith = %d, want 0", got)
+	}
+	c.Copy(s)
+	if got := c.TrimmedLen(); got != 5 {
+		t.Errorf("TrimmedLen after Copy = %d, want 5", got)
+	}
+	// The Into kernels mutate dst and must invalidate too.
+	IntersectInto(c, []*Set{New(300)})
+	if got := c.TrimmedLen(); got != 0 {
+		t.Errorf("TrimmedLen after IntersectInto = %d, want 0", got)
+	}
+	UnionInto(c, []*Set{s})
+	if got := c.TrimmedLen(); got != 5 {
+		t.Errorf("TrimmedLen after UnionInto = %d, want 5", got)
+	}
+}
+
+func BenchmarkBatchIntersectCountAndNot(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	const nbits = 4096
+	excl := densitySet(rng, nbits, 0.3)
+	shared := []*Set{densitySet(rng, nbits, 0.5), densitySet(rng, nbits, 0.5)}
+	vars := make([]*Set, 32)
+	for i := range vars {
+		vars[i] = densitySet(rng, nbits, 0.5)
+	}
+	var sets []*Set
+	offs := []int32{0}
+	for _, v := range vars {
+		sets = append(sets, shared[0], shared[1], v)
+		offs = append(offs, int32(len(sets)))
+	}
+	counts := make([]int32, len(vars))
+	bounds := make([]int32, len(vars))
+	scratch := make([]uint64, TileWords)
+	b.Run("scalar-loop", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for g := range vars {
+				counts[g] = int32(IntersectCountAndNot(sets[offs[g]:offs[g+1]], excl))
+			}
+		}
+	})
+	b.Run("tiled-csr", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			BatchIntersectCountAndNot(sets, offs, excl, bounds, counts)
+		}
+	})
+	b.Run("tiled-refine", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			BatchRefineCountAndNot(shared, vars, excl, scratch, bounds, counts)
+		}
+	})
+}

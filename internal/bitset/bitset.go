@@ -10,15 +10,23 @@ import (
 	"fmt"
 	"math/bits"
 	"strings"
+	"sync/atomic"
 )
 
 const wordBits = 64
 
 // Set is a fixed-size bitset. The zero value is unusable; create sets with
-// New. Sets are not safe for concurrent mutation.
+// New. Sets are not safe for concurrent mutation. Sets are handled by
+// pointer throughout (tlen makes them non-copyable).
 type Set struct {
 	n     int // capacity in bits
 	words []uint64
+
+	// tlen caches TrimmedLen as trimmed-length+1; 0 means unknown.
+	// Atomic because snapshot-shared sets are read — and therefore
+	// lazily trimmed — from concurrent evaluation contexts; mutators
+	// (which require exclusive access anyway) reset it to unknown.
+	tlen atomic.Int32
 }
 
 // New returns a set with capacity n bits, all clear.
@@ -32,16 +40,39 @@ func New(n int) *Set {
 // Len returns the capacity of the set in bits.
 func (s *Set) Len() int { return s.n }
 
+// TrimmedLen returns the number of backing words up to and including
+// the last nonzero word — the only words a streaming kernel needs to
+// visit. The scan is lazy and cached so the batch kernels hoist it into
+// setup once instead of re-scanning trailing zero words on every pass;
+// every mutator invalidates the cache. Safe for concurrent readers of
+// an unchanging set (the shared-snapshot case).
+func (s *Set) TrimmedLen() int {
+	if v := s.tlen.Load(); v > 0 {
+		return int(v - 1)
+	}
+	t := len(s.words)
+	for t > 0 && s.words[t-1] == 0 {
+		t--
+	}
+	s.tlen.Store(int32(t + 1))
+	return t
+}
+
+// dirty marks the cached trimmed length unknown; every mutator calls it.
+func (s *Set) dirty() { s.tlen.Store(0) }
+
 // Add sets bit i.
 func (s *Set) Add(i int) {
 	s.check(i)
 	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+	s.dirty()
 }
 
 // Remove clears bit i.
 func (s *Set) Remove(i int) {
 	s.check(i)
 	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+	s.dirty()
 }
 
 // Contains reports whether bit i is set.
@@ -70,6 +101,7 @@ func (s *Set) Clear() {
 	for i := range s.words {
 		s.words[i] = 0
 	}
+	s.dirty()
 }
 
 // Fill sets all bits in [0, Len).
@@ -78,6 +110,7 @@ func (s *Set) Fill() {
 		s.words[i] = ^uint64(0)
 	}
 	s.trim()
+	s.dirty()
 }
 
 // trim zeroes the bits above capacity in the last word.
@@ -91,6 +124,7 @@ func (s *Set) trim() {
 func (s *Set) Clone() *Set {
 	c := New(s.n)
 	copy(c.words, s.words)
+	c.tlen.Store(s.tlen.Load()) // identical contents, identical trim
 	return c
 }
 
@@ -98,6 +132,7 @@ func (s *Set) Clone() *Set {
 func (s *Set) Copy(other *Set) {
 	s.sameCap(other)
 	copy(s.words, other.words)
+	s.dirty()
 }
 
 func (s *Set) sameCap(other *Set) {
@@ -112,6 +147,7 @@ func (s *Set) UnionWith(other *Set) {
 	for i, w := range other.words {
 		s.words[i] |= w
 	}
+	s.dirty()
 }
 
 // IntersectWith sets s = s ∩ other.
@@ -120,6 +156,7 @@ func (s *Set) IntersectWith(other *Set) {
 	for i, w := range other.words {
 		s.words[i] &= w
 	}
+	s.dirty()
 }
 
 // DifferenceWith sets s = s \ other.
@@ -128,6 +165,7 @@ func (s *Set) DifferenceWith(other *Set) {
 	for i, w := range other.words {
 		s.words[i] &^= w
 	}
+	s.dirty()
 }
 
 // Union returns a new set s ∪ other.
@@ -243,7 +281,9 @@ func (s *Set) Elems() []int {
 // kernelWords validates that every operand (and excl, when non-nil) has
 // the capacity of sets[0] and returns sets[0]'s backing words. All fused
 // kernels funnel through it so capacity mismatches panic exactly like the
-// pairwise operations.
+// pairwise operations. Empty operand slices never reach it: each kernel
+// defines its explicit empty-frontier result first (see
+// IntersectCountAndNot, IntersectInto, UnionInto).
 func kernelWords(sets []*Set, excl *Set) []uint64 {
 	if len(sets) == 0 {
 		panic("bitset: fused kernel over zero sets")
@@ -258,13 +298,33 @@ func kernelWords(sets []*Set, excl *Set) []uint64 {
 	return first.words
 }
 
+// universeCountAndNot is the empty-frontier case of IntersectCountAndNot:
+// the intersection of zero sets is the full universe, so the result is
+// |U \ excl| with the capacity taken from excl. With no excl either, no
+// capacity exists to measure against and the count is 0 by definition.
+func universeCountAndNot(excl *Set) int {
+	if excl == nil {
+		return 0
+	}
+	return excl.n - excl.Count()
+}
+
 // IntersectCountAndNot returns |(∩ sets) \ excl| in a single
 // word-streaming pass with zero allocations. excl may be nil, in which
 // case the plain intersection cardinality is returned. It fuses the
 // Copy + IntersectWith + DifferenceCount chain used by the coverage hot
 // path into one traversal of the operands. The common arities (1-3 sets,
 // matching typical query lengths) are unrolled.
+//
+// An empty sets slice is the empty frontier, whose intersection is by
+// convention the full universe: with a non-nil excl the result is
+// |U \ excl| (capacity from excl); with excl nil as well it is 0, there
+// being no operand to take a capacity from. Both cases are explicit and
+// tested, not artifacts of a degenerate loop.
 func IntersectCountAndNot(sets []*Set, excl *Set) int {
+	if len(sets) == 0 {
+		return universeCountAndNot(excl)
+	}
 	a := kernelWords(sets, excl)
 	c := 0
 	switch len(sets) {
@@ -319,8 +379,14 @@ func IntersectCountAndNot(sets []*Set, excl *Set) int {
 }
 
 // IntersectInto sets dst = ∩ sets in a single pass. dst must have the
-// operands' capacity and may alias one of them.
+// operands' capacity and may alias one of them. An empty sets slice is
+// the intersection's neutral element: dst becomes the full universe.
 func IntersectInto(dst *Set, sets []*Set) {
+	if len(sets) == 0 {
+		dst.Fill()
+		return
+	}
+	defer dst.dirty()
 	a := kernelWords(sets, dst)
 	dw := dst.words
 	switch len(sets) {
@@ -348,8 +414,14 @@ func IntersectInto(dst *Set, sets []*Set) {
 }
 
 // UnionInto sets dst = ∪ sets in a single pass. dst must have the
-// operands' capacity and may alias one of them.
+// operands' capacity and may alias one of them. An empty sets slice is
+// the union's neutral element: dst becomes empty.
 func UnionInto(dst *Set, sets []*Set) {
+	if len(sets) == 0 {
+		dst.Clear()
+		return
+	}
+	defer dst.dirty()
 	a := kernelWords(sets, dst)
 	dw := dst.words
 	switch len(sets) {

@@ -105,9 +105,43 @@ func TestKernelQuickProperty(t *testing.T) {
 	}
 }
 
+// TestEmptyFrontierSemantics pins down the explicit empty-sets results:
+// the intersection of zero sets is the universe, so IntersectCountAndNot
+// returns |U \ excl| against a non-nil excl and 0 (no capacity to
+// measure) with excl nil; the Into kernels produce the neutral element.
+func TestEmptyFrontierSemantics(t *testing.T) {
+	if got := IntersectCountAndNot(nil, nil); got != 0 {
+		t.Errorf("IntersectCountAndNot(nil, nil) = %d, want 0", got)
+	}
+	if got := IntersectCountAndNot([]*Set{}, nil); got != 0 {
+		t.Errorf("IntersectCountAndNot(empty, nil) = %d, want 0", got)
+	}
+	excl := New(130)
+	excl.Add(0)
+	excl.Add(64)
+	excl.Add(129)
+	if got, want := IntersectCountAndNot(nil, excl), 130-3; got != want {
+		t.Errorf("IntersectCountAndNot(nil, excl) = %d, want %d", got, want)
+	}
+	full := New(130)
+	full.Fill()
+	if got := IntersectCountAndNot(nil, full); got != 0 {
+		t.Errorf("IntersectCountAndNot(nil, full) = %d, want 0", got)
+	}
+	dst := New(70)
+	dst.Add(3)
+	IntersectInto(dst, nil)
+	if dst.Count() != 70 {
+		t.Errorf("IntersectInto(dst, nil): %d bits set, want full universe (70)", dst.Count())
+	}
+	UnionInto(dst, nil)
+	if dst.Count() != 0 {
+		t.Errorf("UnionInto(dst, nil): %d bits set, want 0", dst.Count())
+	}
+}
+
 func TestKernelPanics(t *testing.T) {
 	for name, f := range map[string]func(){
-		"empty":    func() { IntersectCountAndNot(nil, nil) },
 		"capset":   func() { IntersectCountAndNot([]*Set{New(10), New(11)}, nil) },
 		"capexcl":  func() { IntersectCountAndNot([]*Set{New(10)}, New(11)) },
 		"capdst":   func() { IntersectInto(New(11), []*Set{New(10)}) },

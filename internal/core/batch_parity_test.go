@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"qporder/internal/coverage"
+	"qporder/internal/measure"
+	"qporder/internal/planspace"
+	"qporder/internal/workload"
+)
+
+// TestBatchedOrderingMatchesScalar is the end-to-end parity gate for
+// frontier-batched evaluation: every orderer, driven to exhaustion over
+// the coverage measure, must emit a byte-identical (plan key, utility)
+// stream and identical Evals/IndepStats under the batched path, the
+// scalar path, and the uncached oracle, at parallelism 1 and 8. The
+// scalar sequential run is the baseline.
+func TestBatchedOrderingMatchesScalar(t *testing.T) {
+	variants := map[string]func(d *workload.Domain) measure.Measure{
+		"batched": func(d *workload.Domain) measure.Measure {
+			return coverage.NewMeasure(d.Coverage)
+		},
+		"scalar": func(d *workload.Domain) measure.Measure {
+			ms := coverage.NewMeasure(d.Coverage)
+			ms.SetBatching(false)
+			return ms
+		},
+		"uncached": func(d *workload.Domain) measure.Measure {
+			return coverage.NewMeasureUncached(d.Coverage)
+		},
+	}
+	type outcome struct {
+		keys         []string
+		utils        []float64
+		evals        int
+		checks, hits int
+	}
+	for _, cfg := range []workload.Config{
+		{QueryLen: 3, BucketSize: 5, Universe: 512, Zones: 3, Seed: 11},
+		{QueryLen: 2, BucketSize: 7, Universe: 256, Zones: 2, Seed: 12},
+	} {
+		d := workload.Generate(cfg)
+		total := int(d.Space.Size())
+		run := func(m measure.Measure, workers int) map[string]outcome {
+			out := map[string]outcome{}
+			for name, o := range orderers(d, m) {
+				SetParallelism(o, workers)
+				plans, utils := Take(o, total+1)
+				keys := make([]string, len(plans))
+				for i, p := range plans {
+					keys[i] = p.Key()
+				}
+				ck, ht := o.Context().IndepStats()
+				out[name] = outcome{keys, utils, o.Context().Evals(), ck, ht}
+			}
+			return out
+		}
+		base := run(variants["scalar"](d), 1)
+		for vname, mk := range variants {
+			for _, workers := range []int{1, 8} {
+				got := run(mk(d), workers)
+				for name, b := range base {
+					g, ok := got[name]
+					if !ok {
+						t.Fatalf("cfg seed=%d %s/%d: orderer %s missing", cfg.Seed, vname, workers, name)
+					}
+					if len(g.keys) != len(b.keys) {
+						t.Fatalf("cfg seed=%d %s/%d alg=%s: %d plans, want %d",
+							cfg.Seed, vname, workers, name, len(g.keys), len(b.keys))
+					}
+					for i := range b.keys {
+						if g.keys[i] != b.keys[i] || g.utils[i] != b.utils[i] {
+							t.Fatalf("cfg seed=%d %s/%d alg=%s step %d: (%s, %v), want (%s, %v)",
+								cfg.Seed, vname, workers, name, i,
+								g.keys[i], g.utils[i], b.keys[i], b.utils[i])
+						}
+					}
+					if g.evals != b.evals || g.checks != b.checks || g.hits != b.hits {
+						t.Errorf("cfg seed=%d %s/%d alg=%s: counters (%d,%d,%d), want (%d,%d,%d)",
+							cfg.Seed, vname, workers, name,
+							g.evals, g.checks, g.hits, b.evals, b.checks, b.hits)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchPathEngages guards against the batched path silently
+// reverting to scalar: a default coverage measure driven through PI
+// must report batched frontiers on its context.
+func TestBatchPathEngages(t *testing.T) {
+	d := workload.Generate(workload.Config{
+		QueryLen: 2, BucketSize: 5, Universe: 256, Zones: 2, Seed: 21,
+	})
+	o := NewPI([]*planspace.Space{d.Space}, coverage.NewMeasure(d.Coverage))
+	Take(o, 3)
+	bs, ok := o.Context().(interface{ BatchStats() (int, int) })
+	if !ok {
+		t.Fatal("coverage context does not expose BatchStats")
+	}
+	if calls, plans := bs.BatchStats(); calls == 0 || plans == 0 {
+		t.Errorf("BatchStats = (%d,%d), want both > 0", calls, plans)
+	}
+}

@@ -71,15 +71,16 @@ func (p *parcfg) evaluator(ctx measure.Context, algo string) *parallel.Evaluator
 }
 
 // evalAll evaluates every plan through the evaluator when one is
-// configured, sequentially on ctx otherwise. Results are in input order
-// either way.
+// configured, via measure.EvaluateAll on ctx otherwise — either way a
+// batch-capable context (coverage with its snapshot) scores the whole
+// slice per kernel pass instead of plan by plan. Results are in input
+// order.
 func evalAll(ctx measure.Context, ev *parallel.Evaluator, plans []*planspace.Plan) []interval.Interval {
+	out := make([]interval.Interval, len(plans))
 	if ev == nil {
-		out := make([]interval.Interval, len(plans))
-		for i, p := range plans {
-			out[i] = ctx.Evaluate(p)
-		}
-		return out
+		measure.EvaluateAll(ctx, plans, out)
+	} else {
+		ev.EvalInto(plans, out)
 	}
-	return ev.Eval(plans)
+	return out
 }

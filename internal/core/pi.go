@@ -1,6 +1,7 @@
 package core
 
 import (
+	"qporder/internal/interval"
 	"qporder/internal/measure"
 	"qporder/internal/obs"
 	"qporder/internal/parallel"
@@ -27,6 +28,15 @@ type PI struct {
 	c       counters
 	par     parcfg
 	trace   traceState
+
+	// Reusable sweep buffers: the frontier of plans pending re-evaluation
+	// after an output, their indices, the interval results, and the
+	// per-plan independence verdicts the bulk sweep writes. Keeping them
+	// on the orderer makes the steady-state Next loop allocation-free.
+	pending []*planspace.Plan
+	pendIdx []int
+	ivals   []interval.Interval
+	indep   []bool
 }
 
 // NewPI builds the orderer over the concrete plans of the given spaces.
@@ -54,13 +64,21 @@ func NewPISharded(spaces []*planspace.Space, m measure.Measure, index, count int
 		panic("core: NewPISharded wants 0 <= index < count")
 	}
 	var plans []*planspace.Plan
-	pos := 0
-	for _, s := range spaces {
-		for _, p := range s.Enumerate() {
-			if pos%count == index {
-				plans = append(plans, p)
+	if count == 1 && len(spaces) == 1 {
+		// The whole-space single-shard shape shares the space's memoized
+		// enumeration directly: PI only reads the slice, and skipping the
+		// copy keeps repeated orderer construction over one catalog from
+		// re-allocating (and re-GC-scanning) a pointer-dense clone.
+		plans = spaces[0].Enumerate()
+	} else {
+		pos := 0
+		for _, s := range spaces {
+			for _, p := range s.Enumerate() {
+				if pos%count == index {
+					plans = append(plans, p)
+				}
+				pos++
 			}
-			pos++
 		}
 	}
 	return &PI{
@@ -98,16 +116,15 @@ func (pi *PI) Next() (*planspace.Plan, float64, bool) {
 	ev := pi.par.evaluator(pi.ctx, "pi")
 	if !pi.started {
 		pi.started = true
+		pi.scratch(len(pi.plans))
 		if ev == nil {
-			for i, p := range pi.plans {
-				pi.utils[i] = pi.ctx.Evaluate(p).Lo
-				pi.alive[i] = true
-			}
+			measure.EvaluateAll(pi.ctx, pi.plans, pi.ivals)
 		} else {
-			ev.Map(len(pi.plans), func(ctx measure.Context, i int) {
-				pi.utils[i] = ctx.Evaluate(pi.plans[i]).Lo
-				pi.alive[i] = true
-			})
+			ev.EvalInto(pi.plans, pi.ivals)
+		}
+		for i := range pi.plans {
+			pi.utils[i] = pi.ivals[i].Lo
+			pi.alive[i] = true
 		}
 	}
 	if pi.nAlive == 0 {
@@ -120,28 +137,47 @@ func (pi *PI) Next() (*planspace.Plan, float64, bool) {
 	pi.alive[bestIdx] = false
 	pi.nAlive--
 	pi.ctx.Observe(d)
-	// Recompute only plans whose utility may have changed.
+	// Recompute only plans whose utility may have changed: one bulk
+	// independence sweep against the fixed delta (memoized overlap rows
+	// on bulk-capable contexts), then the dependent survivors score as
+	// one frontier so a batch-capable measure takes the tiled kernels.
+	pi.scratch(len(pi.plans))
 	if ev == nil {
-		for i, a := range pi.alive {
-			if !a {
-				continue
-			}
-			if !pi.ctx.Independent(pi.plans[i], d) {
-				pi.utils[i] = pi.ctx.Evaluate(pi.plans[i]).Lo
-			}
-		}
+		measure.IndependentAll(pi.ctx, pi.plans, d, pi.alive, pi.indep)
 	} else {
-		ev.Map(len(pi.plans), func(ctx measure.Context, i int) {
-			if !pi.alive[i] {
-				return
-			}
-			if !ctx.Independent(pi.plans[i], d) {
-				pi.utils[i] = ctx.Evaluate(pi.plans[i]).Lo
-			}
-		})
+		ev.IndependentInto(pi.plans, d, pi.alive, pi.indep)
+	}
+	for i, a := range pi.alive {
+		if a && !pi.indep[i] {
+			pi.pendIdx = append(pi.pendIdx, i)
+			pi.pending = append(pi.pending, pi.plans[i])
+		}
+	}
+	if ev == nil {
+		measure.EvaluateAll(pi.ctx, pi.pending, pi.ivals)
+	} else {
+		ev.EvalInto(pi.pending, pi.ivals)
+	}
+	for k, idx := range pi.pendIdx {
+		pi.utils[idx] = pi.ivals[k].Lo
 	}
 	pi.trace.emitPlan("pi", d, u, pi.ctx.Evals())
 	return d, u, true
+}
+
+// scratch sizes the reusable sweep buffers for n plans and empties the
+// pending lists.
+func (pi *PI) scratch(n int) {
+	if cap(pi.ivals) < n {
+		pi.ivals = make([]interval.Interval, n)
+		pi.pending = make([]*planspace.Plan, 0, n)
+		pi.pendIdx = make([]int, 0, n)
+		pi.indep = make([]bool, n)
+	}
+	pi.ivals = pi.ivals[:n]
+	pi.indep = pi.indep[:n]
+	pi.pending = pi.pending[:0]
+	pi.pendIdx = pi.pendIdx[:0]
 }
 
 // selectBest returns the index of the best alive plan. The parallel path
@@ -163,12 +199,19 @@ func (pi *PI) selectBest(ev *parallel.Evaluator) int {
 		return ev.Pool().Best(len(pi.plans), cmp)
 	}
 	bestIdx := -1
+	bestU := 0.0
 	for i, a := range pi.alive {
 		if !a {
 			continue
 		}
-		if bestIdx < 0 || betterPlan(pi.utils[i], pi.plans[i], pi.utils[bestIdx], pi.plans[bestIdx]) {
-			bestIdx = i
+		// betterPlan orders by utility first, so a strictly lower utility
+		// can never win; the key comparison only breaks exact ties.
+		u := pi.utils[i]
+		if bestIdx >= 0 && u < bestU {
+			continue
+		}
+		if bestIdx < 0 || betterPlan(u, pi.plans[i], bestU, pi.plans[bestIdx]) {
+			bestIdx, bestU = i, u
 		}
 	}
 	return bestIdx

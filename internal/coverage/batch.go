@@ -1,0 +1,213 @@
+package coverage
+
+import (
+	"qporder/internal/bitset"
+	"qporder/internal/interval"
+	"qporder/internal/measure"
+	"qporder/internal/planspace"
+)
+
+// This file is the batched evaluation path: EvaluateBatch scores an
+// entire refinement frontier in one pass through the tiled bitset
+// kernels, with all transient state (operand lists, trimmed bounds,
+// count vectors, the masked prefix tile) bump-allocated from the
+// context's arena. After slab warm-up a frontier evaluation performs
+// zero heap allocations; the scalar Evaluate loop remains the
+// differential oracle and the fallback for uncached contexts.
+
+// EvaluateBatch implements measure.BatchEvaluator. out[i] receives
+// exactly what Evaluate(plans[i]) returns — the same integer
+// cardinalities divided by the same universe — and the Evals counter
+// advances by len(plans), so batched and scalar runs are
+// byte-identical in both output and utility-level telemetry. (Snapshot
+// hit counts may legitimately drop below the scalar path's: a sibling
+// run resolves its shared prefix nodes once per run instead of once
+// per plan. Misses — actual kernel computations admitted to the
+// snapshot — are identical.) Uncached contexts (and measures with
+// batching toggled off) take the scalar loop.
+func (c *context) EvaluateBatch(plans []*planspace.Plan, out []interval.Interval) {
+	n := len(plans)
+	if n == 0 {
+		return
+	}
+	if c.snap == nil || !c.ms.batch {
+		for i, p := range plans {
+			out[i] = c.Evaluate(p)
+		}
+		return
+	}
+	c.CountEvals(n)
+	a := c.arena
+	a.Reset()
+	lo := a.Int32s(n)
+	c.batchCounts(plans, nil, false, lo)
+	// Abstract plans need the second (union) pass for their upper bound;
+	// it runs dense over just the abstract selection.
+	nAbs := 0
+	for _, p := range plans {
+		if !p.Concrete() {
+			nAbs++
+		}
+	}
+	if nAbs == 0 {
+		u := float64(c.model.universe)
+		for i := range plans {
+			out[i] = interval.Point(float64(lo[i]) / u)
+		}
+		c.countBatch(n)
+		return
+	}
+	abs := a.Int32s(nAbs)
+	k := 0
+	for i, p := range plans {
+		if !p.Concrete() {
+			abs[k] = int32(i)
+			k++
+		}
+	}
+	hi := a.Int32s(nAbs)
+	c.batchCounts(plans, abs, true, hi)
+	u := float64(c.model.universe)
+	k = 0
+	for i, p := range plans {
+		if p.Concrete() {
+			out[i] = interval.Point(float64(lo[i]) / u)
+		} else {
+			out[i] = interval.New(float64(lo[i])/u, float64(hi[k])/u)
+			k++
+		}
+	}
+	c.countBatch(n)
+}
+
+// batchAt resolves the k-th selected plan: sel == nil selects all plans
+// in order; otherwise plan k is plans[sel[k]].
+func batchAt(plans []*planspace.Plan, sel []int32, k int) *planspace.Plan {
+	if sel == nil {
+		return plans[k]
+	}
+	return plans[sel[k]]
+}
+
+// batchCounts fills counts[k] = |(∩ sets of plan) \ covered| for each
+// selected plan, using the node sets' intersections (union=false) or
+// unions (union=true).
+//
+// The planner factors maximal sibling runs — consecutive plans whose
+// node lists equal the leader's except at one shared position, the
+// shape Refine children and consecutive Cartesian-enumeration plans
+// take — and routes them through the prefix-sharing refine kernel,
+// resolving the shared prefix nodes once per run and only the varying
+// node per plan. Everything else spills to the CSR kernel (or the
+// scalar fused kernel for singletons). Run detection is by node
+// pointer identity, which Enumerate and Refine guarantee for shared
+// positions; a missed identification only costs sharing, never
+// correctness.
+func (c *context) batchCounts(plans []*planspace.Plan, sel []int32, union bool, counts []int32) {
+	a := c.arena
+	m := len(counts)
+	w := (c.model.universe + 63) / 64
+	if w > bitset.TileWords {
+		w = bitset.TileWords
+	}
+	scratch := a.Words(w)
+	bounds := a.Int32s(m)
+	spill := -1
+	i := 0
+	for i < m {
+		j, varyPos := batchRun(plans, sel, i, m)
+		if j-i < 2 {
+			if spill < 0 {
+				spill = i
+			}
+			i = j
+			continue
+		}
+		if spill >= 0 {
+			c.flushSpill(plans, sel, union, spill, i, bounds, counts)
+			spill = -1
+		}
+		lead := batchAt(plans, sel, i)
+		c.bprefix = c.bprefix[:0]
+		for pos, nd := range lead.Nodes {
+			if pos != varyPos {
+				c.bprefix = append(c.bprefix, c.nodeSetShared(nd, union))
+			}
+		}
+		c.bvars = c.bvars[:0]
+		for g := i; g < j; g++ {
+			c.bvars = append(c.bvars, c.nodeSetShared(batchAt(plans, sel, g).Nodes[varyPos], union))
+		}
+		bitset.BatchRefineCountAndNot(c.bprefix, c.bvars, c.covered, scratch, bounds[i:j], counts[i:j])
+		c.countKernel()
+		i = j
+	}
+	if spill >= 0 {
+		c.flushSpill(plans, sel, union, spill, m, bounds, counts)
+	}
+}
+
+// batchRun returns the end of the maximal run of plans starting at
+// start whose node lists equal the leader's except at one shared
+// position, plus that position. Duplicate plans (no differing
+// position) extend any run.
+func batchRun(plans []*planspace.Plan, sel []int32, start, m int) (end, varyPos int) {
+	lead := batchAt(plans, sel, start).Nodes
+	arity := len(lead)
+	varyPos = -1
+	j := start + 1
+	for j < m {
+		nds := batchAt(plans, sel, j).Nodes
+		if len(nds) != arity {
+			break
+		}
+		diff, ok := -1, true
+		for p := range nds {
+			if nds[p] != lead[p] {
+				if diff >= 0 {
+					ok = false
+					break
+				}
+				diff = p
+			}
+		}
+		if !ok {
+			break
+		}
+		if diff >= 0 {
+			if varyPos >= 0 && diff != varyPos {
+				break
+			}
+			varyPos = diff
+		}
+		j++
+	}
+	if varyPos < 0 {
+		varyPos = 0
+	}
+	return j, varyPos
+}
+
+// flushSpill scores the pending non-run plans [from, to) — a singleton
+// through the scalar fused kernel, longer stretches through the CSR
+// kernel with operands gathered per plan.
+func (c *context) flushSpill(plans []*planspace.Plan, sel []int32, union bool, from, to int, bounds, counts []int32) {
+	if to-from == 1 {
+		counts[from] = int32(bitset.IntersectCountAndNot(c.gatherSets(batchAt(plans, sel, from), union), c.covered))
+		c.countKernel()
+		return
+	}
+	c.bops = c.bops[:0]
+	offs := c.arena.Int32s(to - from + 1)
+	for k := from; k < to; k++ {
+		for _, nd := range batchAt(plans, sel, k).Nodes {
+			c.bops = append(c.bops, c.nodeSetShared(nd, union))
+		}
+		offs[k-from+1] = int32(len(c.bops))
+	}
+	bitset.BatchIntersectCountAndNot(c.bops, offs, c.covered, bounds[from:to], counts[from:to])
+	c.countKernel()
+}
+
+var _ measure.BatchEvaluator = (*context)(nil)
+var _ measure.ScratchResetter = (*context)(nil)

@@ -1,0 +1,170 @@
+package coverage
+
+import (
+	"math/rand"
+	"testing"
+
+	"qporder/internal/abstraction"
+	"qporder/internal/interval"
+	"qporder/internal/obs"
+	"qporder/internal/planspace"
+)
+
+// TestEvaluateBatchMatchesEvaluate drives EvaluateBatch over randomized
+// frontiers — Refine sibling runs, random concrete subsets with
+// duplicates, and mixed abstract/concrete slices — against per-plan
+// Evaluate on a scalar-mode twin and the uncached oracle, requiring
+// bit-identical intervals plus identical Evals and snapshot hit/miss
+// totals.
+func TestEvaluateBatchMatchesEvaluate(t *testing.T) {
+	model, buckets := testModel(41, 768, 3, 5)
+	space := planspace.NewSpace(buckets)
+	batched := NewMeasure(model).NewContext().(*context)
+	scalarMs := NewMeasure(model)
+	scalarMs.SetBatching(false)
+	scalar := scalarMs.NewContext().(*context)
+	plain := NewMeasureUncached(model).NewContext().(*context)
+
+	all := space.Enumerate()
+	rng := rand.New(rand.NewSource(99))
+	h := abstraction.ByID()
+	for round := 0; round < 9; round++ {
+		var frontier []*planspace.Plan
+		switch round % 3 {
+		case 0: // Refine children of the root: the sibling-run shape
+			frontier = space.Root(h).Refine()
+		case 1: // random concrete plans, duplicates included
+			for i := 0; i < 1+rng.Intn(2*len(all)); i++ {
+				frontier = append(frontier, all[rng.Intn(len(all))])
+			}
+		case 2: // mixed abstract and concrete
+			frontier = append(frontier, space.Root(h))
+			frontier = append(frontier, space.Root(h).Refine()...)
+			for i := 0; i < 5; i++ {
+				frontier = append(frontier, all[rng.Intn(len(all))])
+			}
+		}
+		out := make([]interval.Interval, len(frontier))
+		batched.EvaluateBatch(frontier, out)
+		for i, p := range frontier {
+			a, b := scalar.Evaluate(p), plain.Evaluate(p)
+			if out[i] != a || out[i] != b {
+				t.Fatalf("round %d plan %s: batch %v, scalar %v, uncached %v",
+					round, p.Key(), out[i], a, b)
+			}
+		}
+		if batched.Evals() != scalar.Evals() {
+			t.Fatalf("round %d: Evals %d != scalar %d", round, batched.Evals(), scalar.Evals())
+		}
+		obsPlan := all[rng.Intn(len(all))]
+		batched.Observe(obsPlan)
+		scalar.Observe(obsPlan)
+		plain.Observe(obsPlan)
+	}
+	// Misses are actual kernel computations admitted to the snapshot and
+	// must match the scalar path exactly; hits may only drop (sibling
+	// runs resolve shared prefix nodes once per run, not once per plan).
+	bh, bm, _ := batched.SnapshotStats()
+	sh, sm, _ := scalar.SnapshotStats()
+	if bm != sm {
+		t.Errorf("snapshot misses: batch %d != scalar %d", bm, sm)
+	}
+	if bh > sh {
+		t.Errorf("snapshot hits: batch %d > scalar %d", bh, sh)
+	}
+	calls, plans := batched.BatchStats()
+	if calls == 0 || plans == 0 {
+		t.Error("batch path never engaged")
+	}
+}
+
+// TestUncachedEvaluateBatchFallsBack: an uncached context exposes the
+// same EvaluateBatch entry point but runs the scalar loop — identical
+// results, no batch telemetry.
+func TestUncachedEvaluateBatchFallsBack(t *testing.T) {
+	model, buckets := testModel(7, 256, 2, 4)
+	space := planspace.NewSpace(buckets)
+	ctx := NewMeasureUncached(model).NewContext().(*context)
+	oracle := NewMeasureUncached(model).NewContext().(*context)
+	all := space.Enumerate()
+	out := make([]interval.Interval, len(all))
+	ctx.EvaluateBatch(all, out)
+	for i, p := range all {
+		if want := oracle.Evaluate(p); out[i] != want {
+			t.Fatalf("plan %s: fallback %v != Evaluate %v", p.Key(), out[i], want)
+		}
+	}
+	if calls, plans := ctx.BatchStats(); calls != 0 || plans != 0 {
+		t.Errorf("uncached BatchStats = (%d,%d), want (0,0)", calls, plans)
+	}
+}
+
+// TestBatchObsCounters checks that Bind exposes batch_calls,
+// batch_plans, and the arena_bytes gauge and that they move with
+// EvaluateBatch.
+func TestBatchObsCounters(t *testing.T) {
+	model, buckets := testModel(13, 256, 2, 4)
+	space := planspace.NewSpace(buckets)
+	ctx := NewMeasure(model).NewContext().(*context)
+	reg := obs.NewRegistry()
+	ctx.Bind(reg, "measure.cov")
+	all := space.Enumerate()
+	out := make([]interval.Interval, len(all))
+	ctx.EvaluateBatch(all, out)
+	if got := reg.Counter("measure.cov.batch_calls").Value(); got != 1 {
+		t.Errorf("batch_calls = %d, want 1", got)
+	}
+	if got := reg.Counter("measure.cov.batch_plans").Value(); got != int64(len(all)) {
+		t.Errorf("batch_plans = %d, want %d", got, len(all))
+	}
+	if got := reg.Gauge("measure.cov.arena_bytes").Value(); got <= 0 {
+		t.Errorf("arena_bytes = %g, want > 0", got)
+	}
+	if got := reg.Counter("measure.cov.evals").Value(); got != int64(len(all)) {
+		t.Errorf("evals = %d, want %d", got, len(all))
+	}
+}
+
+// TestEvaluateBatchZeroAllocs is the allocation-regression gate for the
+// batched hot path: after one warm-up frontier (slabs grown, CSR
+// buffers sized, snapshot fronts filled), a full mixed frontier
+// evaluation must not touch the heap at all.
+func TestEvaluateBatchZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under -race")
+	}
+	model, buckets := testModel(43, 4096, 3, 4)
+	space := planspace.NewSpace(buckets)
+	ctx := NewMeasure(model).NewContext().(*context)
+	root := space.Root(abstraction.ByID())
+	frontier := append([]*planspace.Plan{root}, root.Refine()...)
+	frontier = append(frontier, space.Enumerate()...)
+	out := make([]interval.Interval, len(frontier))
+	ctx.EvaluateBatch(frontier, out) // warm
+	ctx.Observe(space.Enumerate()[0])
+	if avg := testing.AllocsPerRun(100, func() {
+		ctx.EvaluateBatch(frontier, out)
+	}); avg != 0 {
+		t.Errorf("EvaluateBatch allocates %.2f allocs per frontier, want 0", avg)
+	}
+}
+
+// TestResetScratchKeepsResultsStable: resetting the arena between
+// frontiers (the per-request hook) must not disturb subsequent results
+// or leak stale state into them.
+func TestResetScratchKeepsResultsStable(t *testing.T) {
+	model, buckets := testModel(47, 512, 3, 4)
+	space := planspace.NewSpace(buckets)
+	ctx := NewMeasure(model).NewContext().(*context)
+	all := space.Enumerate()
+	out := make([]interval.Interval, len(all))
+	ctx.EvaluateBatch(all, out)
+	want := append([]interval.Interval(nil), out...)
+	ctx.ResetScratch()
+	ctx.EvaluateBatch(all, out)
+	for i := range out {
+		if out[i] != want[i] {
+			t.Fatalf("plan %d: %v after ResetScratch, want %v", i, out[i], want[i])
+		}
+	}
+}

@@ -102,6 +102,28 @@ func (m *Model) Set(id lav.SourceID) *bitset.Set {
 	return s
 }
 
+// MaxID returns the largest source ID with a coverage set, or -1 when
+// none is registered.
+func (m *Model) MaxID() int { return m.maxID }
+
+// OverlapRow fills row — at least MaxID()/64+1 words — with one bit per
+// registered source v in [0, MaxID()]: bit v is set iff Overlap(v, d).
+// Unregistered IDs stay zero. The row is how bulk independence sweeps
+// turn per-check model probes into single bit tests.
+func (m *Model) OverlapRow(d lav.SourceID, row []uint64) {
+	for i := range row {
+		row[i] = 0
+	}
+	for id := range m.sets {
+		if id < 0 {
+			continue
+		}
+		if m.Overlap(id, d) {
+			row[id/64] |= 1 << uint(id%64)
+		}
+	}
+}
+
 // Has reports whether the source has a coverage set assigned.
 func (m *Model) Has(id lav.SourceID) bool {
 	_, ok := m.sets[id]

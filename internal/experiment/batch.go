@@ -1,0 +1,182 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"qporder/internal/coverage"
+	"qporder/internal/interval"
+	"qporder/internal/measure"
+	"qporder/internal/planspace"
+	"qporder/internal/stats"
+	"qporder/internal/workload"
+)
+
+// The batch sweep isolates the frontier-batched evaluation path from
+// the ordering algorithms: it slices the plan enumeration into
+// frontiers of a given size and scores every frontier through
+// measure.EvaluateAll, once on the batched coverage measure (the tiled
+// kernels with arena scratch) and once on its scalar twin
+// (SetBatching(false), the per-plan fused kernels). Both modes evaluate
+// the same plans against the same executed prefix, so ns/plan and
+// mallocs/eval are directly comparable; the crossover frontier size is
+// where the "batch" rows drop below the "batch-scalar" rows.
+
+// Algorithm labels the sweep records under; frontier size is carried in
+// the K field so the {algorithm, measure, bucket_size, k} baseline key
+// of CompareReports/CompareAllocs gates every sweep point.
+const (
+	algoBatch       = "batch"
+	algoBatchScalar = "batch-scalar"
+)
+
+// DefaultBatchFrontiers is the frontier-size sweep: powers of two
+// around the refinement frontier widths the orderers actually produce
+// (Refine emits bucket-size siblings; PI's initial scoring and
+// recompute sweeps hand over frontiers in the thousands, which the
+// 256-point stands in for).
+var DefaultBatchFrontiers = []int{1, 2, 4, 8, 16, 32, 64, 256}
+
+// batchSweepMaxPlans caps the plans scored per pass so large bucket
+// sizes don't turn the sweep into a full-enumeration benchmark; the cap
+// still spans many frontiers of every swept size.
+const batchSweepMaxPlans = 2048
+
+// RunBatchSweep measures batched vs scalar frontier evaluation on the
+// domain, returning one record pair (algoBatch, algoBatchScalar) per
+// frontier size. reps is the best-of timing repetition count.
+func RunBatchSweep(d *workload.Domain, frontiers []int, reps int) []MetricRecord {
+	var recs []MetricRecord
+	for _, f := range frontiers {
+		if f < 1 {
+			continue
+		}
+		recs = append(recs,
+			runBatchCell(d, f, false, reps),
+			runBatchCell(d, f, true, reps))
+	}
+	return recs
+}
+
+// runBatchCell times one (frontier size, mode) point. A warm pass grows
+// the arena slabs, CSR buffers, and snapshot fronts outside the timed
+// window, mirroring a warm serving loop; the timed region is best-of-
+// reps over enough rounds to sit above timer resolution.
+func runBatchCell(d *workload.Domain, frontier int, scalar bool, reps int) MetricRecord {
+	ms := coverage.NewMeasure(d.Coverage)
+	algo := algoBatch
+	if scalar {
+		ms.SetBatching(false)
+		algo = algoBatchScalar
+	}
+	ctx := ms.NewContext()
+	all := d.Space.Enumerate()
+	if len(all) > batchSweepMaxPlans {
+		all = all[:batchSweepMaxPlans]
+	}
+	// Observe a small executed prefix so the kernels exercise the
+	// covered-exclusion path, as they do mid-ordering.
+	for _, p := range all[:min(3, len(all))] {
+		ctx.Observe(p)
+	}
+	var windows [][]*planspace.Plan
+	for lo := 0; lo < len(all); lo += frontier {
+		windows = append(windows, all[lo:min(lo+frontier, len(all))])
+	}
+	out := make([]interval.Interval, frontier)
+	pass := func() {
+		for _, w := range windows {
+			measure.EvaluateAll(ctx, w, out)
+		}
+	}
+	pass() // warm
+	rounds := 1
+	for {
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			pass()
+		}
+		if time.Since(start) >= 2*time.Millisecond || rounds >= 1<<16 {
+			break
+		}
+		rounds *= 2
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	evals0 := ctx.Evals()
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	best := time.Duration(-1)
+	for rep := 0; rep < reps; rep++ {
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			pass()
+		}
+		if el := time.Since(start); best < 0 || el < best {
+			best = el
+		}
+	}
+	runtime.ReadMemStats(&m1)
+	plans := rounds * len(all) // per rep
+	rec := MetricRecord{
+		Algorithm:     algo,
+		Measure:       string(MeasureCoverage),
+		BucketSize:    d.Config.BucketSize,
+		K:             frontier,
+		Parallelism:   1,
+		Plans:         plans,
+		Evals:         int64(ctx.Evals() - evals0),
+		Mallocs:       int64(m1.Mallocs - m0.Mallocs),
+		TotalNs:       best.Nanoseconds(),
+		TimeToFirstNs: 0,
+	}
+	if plans > 0 {
+		rec.NsPerPlan = rec.TotalNs / int64(plans)
+	}
+	if rec.Evals > 0 {
+		rec.MallocsPerEval = float64(rec.Mallocs) / float64(rec.Evals)
+	}
+	return rec
+}
+
+// BatchTable renders the sweep as paired batched/scalar rows per
+// frontier size with the speedup ratio.
+func BatchTable(recs []MetricRecord) *stats.Table {
+	t := stats.NewTable("frontier", "batched ns/plan", "scalar ns/plan", "speedup",
+		"batched mallocs/eval", "scalar mallocs/eval")
+	type pair struct{ batch, scalar *MetricRecord }
+	pairs := map[int]*pair{}
+	var order []int
+	for i := range recs {
+		r := &recs[i]
+		p, ok := pairs[r.K]
+		if !ok {
+			p = &pair{}
+			pairs[r.K] = p
+			order = append(order, r.K)
+		}
+		if r.Algorithm == algoBatch {
+			p.batch = r
+		} else {
+			p.scalar = r
+		}
+	}
+	for _, k := range order {
+		p := pairs[k]
+		if p.batch == nil || p.scalar == nil {
+			continue
+		}
+		speedup := "-"
+		if p.batch.NsPerPlan > 0 {
+			speedup = fmt.Sprintf("%.2fx", float64(p.scalar.NsPerPlan)/float64(p.batch.NsPerPlan))
+		}
+		t.Add(fmt.Sprint(k),
+			fmt.Sprint(p.batch.NsPerPlan), fmt.Sprint(p.scalar.NsPerPlan), speedup,
+			fmt.Sprintf("%.3f", p.batch.MallocsPerEval),
+			fmt.Sprintf("%.3f", p.scalar.MallocsPerEval))
+	}
+	return t
+}

@@ -1,0 +1,82 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+
+	"qporder/internal/coverage"
+	"qporder/internal/interval"
+	"qporder/internal/measure"
+	"qporder/internal/workload"
+)
+
+func batchDomain() *workload.Domain {
+	return workload.Generate(workload.Config{
+		QueryLen: 3, BucketSize: 8, Universe: 1024, Zones: 3, Seed: 31,
+	})
+}
+
+// TestRunBatchSweepShape checks the sweep emits a batched/scalar pair
+// per frontier size with sane fields and matching work counts.
+func TestRunBatchSweepShape(t *testing.T) {
+	d := batchDomain()
+	recs := RunBatchSweep(d, []int{1, 8}, 1)
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4", len(recs))
+	}
+	for _, r := range recs {
+		if r.Algorithm != algoBatch && r.Algorithm != algoBatchScalar {
+			t.Errorf("unexpected algorithm %q", r.Algorithm)
+		}
+		if r.Measure != string(MeasureCoverage) || r.Parallelism != 1 {
+			t.Errorf("record %+v: wrong measure/parallelism", r)
+		}
+		if r.Plans <= 0 || r.Evals <= 0 || r.NsPerPlan <= 0 {
+			t.Errorf("record %+v: empty work", r)
+		}
+	}
+	if recs[0].K != 1 || recs[2].K != 8 {
+		t.Errorf("frontier sizes recorded as %d,%d, want 1,8", recs[0].K, recs[2].K)
+	}
+	if BatchTable(recs) == nil {
+		t.Error("BatchTable returned nil")
+	}
+}
+
+// BenchmarkBatchFrontier is the standalone entry point behind the
+// EXPERIMENTS.md batch section: it scores the same frontier slices
+// through the batched and scalar coverage paths at several frontier
+// sizes, so `go test -bench BatchFrontier` reproduces the crossover
+// without qpbench.
+func BenchmarkBatchFrontier(b *testing.B) {
+	d := batchDomain()
+	all := d.Space.Enumerate()
+	for _, frontier := range []int{4, 8, 32} {
+		for _, mode := range []string{"batched", "scalar"} {
+			b.Run(fmt.Sprintf("%s/f%d", mode, frontier), func(b *testing.B) {
+				ms := coverage.NewMeasure(d.Coverage)
+				if mode == "scalar" {
+					ms.SetBatching(false)
+				}
+				ctx := ms.NewContext()
+				for _, p := range all[:3] {
+					ctx.Observe(p)
+				}
+				out := make([]interval.Interval, frontier)
+				pass := func() {
+					for lo := 0; lo < len(all); lo += frontier {
+						hi := min(lo+frontier, len(all))
+						measure.EvaluateAll(ctx, all[lo:hi], out)
+					}
+				}
+				pass() // warm
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					pass()
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(all)), "ns/plan")
+			})
+		}
+	}
+}

@@ -106,6 +106,15 @@ func (b *Base) CountEval() {
 	b.cEvals.Inc()
 }
 
+// CountEvals bulk-increments the evaluation counter: batched evaluation
+// records one Evaluate per frontier plan in a single call, keeping
+// Evals() — and the bound obs counter — exactly what a scalar loop
+// would have recorded.
+func (b *Base) CountEvals(n int) {
+	b.evals += n
+	b.cEvals.Add(int64(n))
+}
+
 // Evals returns the evaluation count.
 func (b *Base) Evals() int { return b.evals }
 
@@ -123,6 +132,17 @@ func (b *Base) CountIndep(independent bool) bool {
 		b.cHits.Inc()
 	}
 	return independent
+}
+
+// CountIndeps bulk-records independence-oracle queries: a sweep
+// answering one query per examined plan records them in a single call,
+// keeping IndepStats() — and the bound obs counters — exactly what a
+// scalar Independent loop would have recorded.
+func (b *Base) CountIndeps(checks, hits int) {
+	b.checks += checks
+	b.hits += hits
+	b.cChecks.Add(int64(checks))
+	b.cHits.Add(int64(hits))
 }
 
 // IndepStats returns the independence-oracle query and hit counts.
@@ -169,6 +189,74 @@ func IsPrefixIndependent(m Measure) bool {
 // counters only reflect calls made on the main context.
 type CountAdder interface {
 	AddCounts(evals, checks, hits int)
+}
+
+// BatchEvaluator is the optional frontier-evaluation interface: a
+// context that can score a whole refinement frontier in one pass (tiled
+// kernels, shared intersection prefixes, arena-backed scratch)
+// implements it. EvaluateBatch must fill out[i] with exactly what
+// Evaluate(plans[i]) would return against the same executed prefix, for
+// every i, and advance the work counters identically (one evaluation
+// per plan) — the batched and scalar paths are interchangeable bit for
+// bit, which is what lets EvaluateAll pick freely between them.
+type BatchEvaluator interface {
+	// EvaluateBatch scores plans[i] into out[i]; len(out) >= len(plans).
+	EvaluateBatch(plans []*planspace.Plan, out []interval.Interval)
+}
+
+// EvaluateAll scores plans[i] into out[i] for every i, through the
+// context's batched path when it implements BatchEvaluator and a scalar
+// Evaluate loop otherwise. Results, counters, and determinism are
+// identical either way.
+func EvaluateAll(ctx Context, plans []*planspace.Plan, out []interval.Interval) {
+	if len(plans) == 0 {
+		return
+	}
+	if be, ok := ctx.(BatchEvaluator); ok {
+		be.EvaluateBatch(plans, out[:len(plans)])
+		return
+	}
+	for i, p := range plans {
+		out[i] = ctx.Evaluate(p)
+	}
+}
+
+// BulkIndependent is the optional sweep-independence interface: a
+// context that can answer "which of these plans may depend on d"
+// faster than one Independent call per plan implements it (e.g. by
+// memoizing per-position overlap rows for the fixed d). The verdicts
+// and the IndepStats deltas must be exactly what the scalar loop in
+// IndependentAll would have produced: one counted query per examined
+// plan, one hit per independent verdict.
+type BulkIndependent interface {
+	// IndependentSweep sets indep[i] = Independent(plans[i], d) for
+	// every i with alive[i] (alive == nil means every i); other slots
+	// are left untouched.
+	IndependentSweep(plans []*planspace.Plan, d *planspace.Plan, alive, indep []bool)
+}
+
+// IndependentAll fills indep[i] = ctx.Independent(plans[i], d) for
+// every i with alive[i] (alive == nil selects all), through the
+// context's bulk path when it implements BulkIndependent and a scalar
+// loop otherwise. Verdicts and counters are identical either way.
+func IndependentAll(ctx Context, plans []*planspace.Plan, d *planspace.Plan, alive, indep []bool) {
+	if bi, ok := ctx.(BulkIndependent); ok {
+		bi.IndependentSweep(plans, d, alive, indep)
+		return
+	}
+	for i, p := range plans {
+		if alive == nil || alive[i] {
+			indep[i] = ctx.Independent(p, d)
+		}
+	}
+}
+
+// ScratchResetter is the optional hook for contexts that own reusable
+// scratch memory (a per-request arena): run owners call it when a
+// session finishes so a parked context does not pin its high-water
+// scratch between requests. It must not affect evaluation results.
+type ScratchResetter interface {
+	ResetScratch()
 }
 
 // Forker is the optional fast-fork interface. A context that can

@@ -577,6 +577,16 @@ func (s *System) RunContext(ctx context.Context, engine *execsim.Engine, budget 
 	if s.cfg.Calib != nil {
 		engine.SetCalibration(s.cfg.Calib)
 	}
+	// Release per-request evaluation scratch (the batch evaluator's
+	// arena) once the run — including the pipelined producer's drain,
+	// which may still evaluate plans — is over. Registered before the
+	// drain defer so it runs after it; slab capacity is retained, so the
+	// next request on this system reuses the same memory.
+	defer func() {
+		if r, ok := s.orderer.Context().(measure.ScratchResetter); ok {
+			r.ResetScratch()
+		}
+	}()
 	defer func() {
 		if s.drain != nil {
 			s.drain()

@@ -79,10 +79,60 @@ func (e *Evaluator) Map(n int, fn func(ctx measure.Context, i int)) {
 // Eval evaluates every plan, returning the intervals in input order.
 func (e *Evaluator) Eval(plans []*planspace.Plan) []interval.Interval {
 	out := make([]interval.Interval, len(plans))
-	e.Map(len(plans), func(ctx measure.Context, i int) {
-		out[i] = ctx.Evaluate(plans[i])
-	})
+	e.EvalInto(plans, out)
 	return out
+}
+
+// EvalInto evaluates every plan into out[i], routing each contiguous
+// chunk through measure.EvaluateAll so batch-capable contexts score
+// whole frontiers per kernel pass. Small batches run inline on the main
+// context; larger ones split into one contiguous range per worker, each
+// fork batch-evaluating its range. Per-plan results depend only on
+// (measure, executed prefix, plan) — never on chunk grouping — so the
+// output is identical at every parallelism level, and harvest() keeps
+// the counters identical too.
+func (e *Evaluator) EvalInto(plans []*planspace.Plan, out []interval.Interval) {
+	n := len(plans)
+	if len(out) < n {
+		panic("parallel: EvalInto output slice too short")
+	}
+	if !e.Parallel(n) {
+		measure.EvaluateAll(e.main, plans, out)
+		return
+	}
+	e.sync()
+	ranges := Ranges(n, e.pool.Workers())
+	e.pool.Run(len(ranges), func(w, i int) {
+		r := ranges[i]
+		measure.EvaluateAll(e.forks[w], plans[r[0]:r[1]], out[r[0]:r[1]])
+	})
+	e.harvest()
+}
+
+// IndependentInto fills indep[i] = Independent(plans[i], d) for every i
+// with alive[i] (alive == nil selects all), routing each contiguous
+// chunk through measure.IndependentAll so bulk-capable contexts sweep
+// with memoized delta rows. Small batches run inline; larger ones split
+// into one range per worker. Verdicts depend only on (measure, plan, d),
+// so the output is identical at every parallelism level, and harvest()
+// keeps IndepStats identical too.
+func (e *Evaluator) IndependentInto(plans []*planspace.Plan, d *planspace.Plan, alive, indep []bool) {
+	n := len(plans)
+	if !e.Parallel(n) {
+		measure.IndependentAll(e.main, plans, d, alive, indep)
+		return
+	}
+	e.sync()
+	ranges := Ranges(n, e.pool.Workers())
+	e.pool.Run(len(ranges), func(w, i int) {
+		r := ranges[i]
+		var al []bool
+		if alive != nil {
+			al = alive[r[0]:r[1]]
+		}
+		measure.IndependentAll(e.forks[w], plans[r[0]:r[1]], d, al, indep[r[0]:r[1]])
+	})
+	e.harvest()
 }
 
 // sync creates missing forks and replays the main context's executed

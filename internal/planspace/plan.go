@@ -110,12 +110,20 @@ func (p *Plan) Refine() []*Plan {
 		panic("planspace: Refine on concrete plan " + p.Key())
 	}
 	node := p.Nodes[pos]
-	out := make([]*Plan, 0, len(node.Children))
-	for _, ch := range node.Children {
-		nodes := make([]*abstraction.Node, len(p.Nodes))
+	// One plan slab and one node slab for the whole sibling set (the
+	// refinement loops churn through frontiers of these), not two
+	// allocations per child.
+	q := len(p.Nodes)
+	n := len(node.Children)
+	out := make([]*Plan, n)
+	plans := make([]Plan, n)
+	slab := make([]*abstraction.Node, n*q)
+	for ci, ch := range node.Children {
+		nodes := slab[ci*q : (ci+1)*q : (ci+1)*q]
 		copy(nodes, p.Nodes)
 		nodes[pos] = ch
-		out = append(out, New(nodes...))
+		plans[ci].Nodes = nodes
+		out[ci] = &plans[ci]
 	}
 	return out
 }
