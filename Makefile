@@ -4,7 +4,7 @@ GO ?= go
 FUZZTIME ?= 30s
 BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build vet test race bench bench-json bench-batch bench-check check fmtcheck lint-metrics experiments fuzz serve-smoke fleet-smoke clean
+.PHONY: all build vet test race bench bench-json bench-batch bench-check bench-store check fmtcheck lint-metrics experiments fuzz serve-smoke fleet-smoke store-smoke clean
 
 all: build vet test
 
@@ -42,7 +42,7 @@ lint-metrics:
 # fast-fail gate, an {ubuntu, macos} x {oldest Go, stable} build+test
 # matrix, a dedicated -race job, serving smokes, and a
 # benchmark-regression job.
-check: fmtcheck lint-metrics vet build test race fleet-smoke
+check: fmtcheck lint-metrics vet build test race fleet-smoke store-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -72,6 +72,15 @@ bench-check:
 	@test -n "$(BASELINE)" || { echo "usage: make bench-check BASELINE=BENCH_<date>.json"; exit 2; }
 	$(GO) run ./cmd/qpbench -exp none -parallelism 4 -metrics-json BENCH_$(BENCH_DATE).json -compare $(BASELINE)
 
+# bench-store writes the cold-vs-warm segment-store report
+# (BENCH_<date>_store.json): every algorithm run against the in-memory
+# domain, then store-backed cold (empty page cache) and warm (immediate
+# re-run), with fault/hit/residency deltas per row. The run exits
+# non-zero if any store-backed plan stream diverges from the in-memory
+# one. EXPERIMENTS.md's storage entry cites the checked-in report.
+bench-store:
+	$(GO) run ./cmd/qpbench -exp store -metrics-json BENCH_$(BENCH_DATE)_store.json
+
 # Regenerate the paper's evaluation (Figure 6 a-l, sweeps, ablation, tta,
 # soundness, greedy). Takes a minute or two.
 experiments:
@@ -83,6 +92,7 @@ fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/domfile
 	$(GO) test -fuzz FuzzKernels -fuzztime $(FUZZTIME) ./internal/bitset
 	$(GO) test -fuzz FuzzBatchKernels -fuzztime $(FUZZTIME) ./internal/bitset
+	$(GO) test -fuzz FuzzSegmentDecode -fuzztime $(FUZZTIME) ./internal/store
 
 # serve-smoke boots the qpserved daemon (race-enabled build) on a random
 # port, checks the streamed plan order byte-for-byte against qporder,
@@ -100,6 +110,15 @@ serve-smoke:
 # scripts/fleet_smoke.sh.
 fleet-smoke:
 	sh scripts/fleet_smoke.sh
+
+# store-smoke generates a segment store with qpgen -store, proves
+# qpstore verify rejects any single corrupted byte in either file, boots
+# a race-enabled qpserved -store over the clean store, proves the
+# streamed plan order byte-identical to qporder -store, runs the
+# parity-gated cold/warm store experiment, and drains cleanly. See
+# scripts/store_smoke.sh.
+store-smoke:
+	sh scripts/store_smoke.sh
 
 clean:
 	rm -rf internal/schema/testdata internal/domfile/testdata

@@ -33,7 +33,7 @@ import (
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "experiments: all, fig6, fig6a..fig6l, overlap, qlen, evalfrac, ablation, tta, soundness, greedy, par, serve, fleet, calibration, batch (comma-separated)")
+		expFlag   = flag.String("exp", "all", "experiments: all, fig6, fig6a..fig6l, overlap, qlen, evalfrac, ablation, tta, soundness, greedy, par, serve, fleet, calibration, batch, store (comma-separated)")
 		sizesFlag = flag.String("sizes", "10,20,40,60,80", "bucket sizes for Figure 6 panels")
 		seed      = flag.Int64("seed", 42, "workload seed")
 		qlen      = flag.Int("qlen", 3, "query length (paper default 3)")
@@ -248,6 +248,31 @@ func main() {
 		}
 	}
 
+	var storeRecs []experiment.StoreRecord
+	if wants("store") {
+		// The sweep runs against a catalog 16× the default in-memory
+		// universe (per-source answer sets an order of magnitude past
+		// what default runs hold), persisted to disk and re-read cold
+		// and warm through the segment store's page-touch tracker.
+		cfg := base
+		cfg.Universe = *universe * 16
+		cfg.BucketSize = 12
+		fmt.Printf("== Segment store: in-memory vs store-backed cold/warm, universe %d (16x default) ==\n", cfg.Universe)
+		recs, err := experiment.RunStore(experiment.StoreConfig{Config: cfg})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qpbench: store:", err)
+			os.Exit(1)
+		}
+		storeRecs = recs
+		render(experiment.StoreTable(recs))
+		for _, r := range recs {
+			if r.Error == "" && !r.Parity {
+				fmt.Fprintf(os.Stderr, "qpbench: store: %s/%s diverged from the in-memory stream\n", r.Mode, r.Algorithm)
+				os.Exit(1)
+			}
+		}
+	}
+
 	var batchRecs []experiment.MetricRecord
 	if wants("batch") {
 		fmt.Println("== Frontier-batched evaluation: tiled kernels vs per-plan scalar, coverage ==")
@@ -280,6 +305,7 @@ func main() {
 		rep.Records = append(rep.Records, batchRecs...)
 		rep.Serve = serveRecs
 		rep.Fleet = fleetRecs
+		rep.Store = storeRecs
 		if *metrics != "" {
 			if err := writeReport(*metrics, rep); err != nil {
 				fmt.Fprintln(os.Stderr, "qpbench: metrics:", err)

@@ -43,6 +43,7 @@ import (
 	"qporder/internal/planspace"
 	"qporder/internal/reformulate"
 	"qporder/internal/schema"
+	"qporder/internal/store"
 )
 
 // indent prefixes every non-empty line of s.
@@ -63,7 +64,8 @@ func main() {
 
 func run() error {
 	var (
-		file      = flag.String("f", "", "domain file (required)")
+		file      = flag.String("f", "", "domain file (this or -store is required)")
+		storeDir  = flag.String("store", "", "segment/catalog store directory (alternative to -f)")
 		qstr      = flag.String("q", "", "query (overrides the file's query)")
 		algo      = flag.String("algo", "streamer", "ordering algorithm: greedy, idrips, streamer, pi, exhaustive")
 		meas      = flag.String("measure", "chain", "utility: linear, chain, chain-fail, chain-fail-caching, monetary, monetary-caching")
@@ -79,18 +81,34 @@ func run() error {
 		calib     = flag.Bool("calibration", false, "report estimate-vs-actual calibration (q-error, bias, EWMA drift) after the run; needs -execute")
 	)
 	flag.Parse()
-	if *file == "" {
-		return fmt.Errorf("missing -f domain file")
+	var dom *domfile.Domain
+	switch {
+	case *file != "" && *storeDir != "":
+		return fmt.Errorf("-f and -store are mutually exclusive")
+	case *storeDir != "":
+		// The catalog carries everything the ordering pipeline needs
+		// besides the bitsets (LAV defs, statistics, the query); the light
+		// LoadCatalog path never faults a segment data page.
+		cat, q, err := store.LoadCatalog(*storeDir)
+		if err != nil {
+			return err
+		}
+		dom = &domfile.Domain{Catalog: cat, Query: q}
+	case *file != "":
+		f, err := os.Open(*file)
+		if err != nil {
+			return err
+		}
+		var perr error
+		dom, perr = domfile.Parse(f)
+		f.Close()
+		if perr != nil {
+			return perr
+		}
+	default:
+		return fmt.Errorf("missing -f domain file (or -store directory)")
 	}
-	f, err := os.Open(*file)
-	if err != nil {
-		return err
-	}
-	dom, err := domfile.Parse(f)
-	f.Close()
-	if err != nil {
-		return err
-	}
+	var err error
 	q := dom.Query
 	if *qstr != "" {
 		if q, err = schema.ParseQuery(*qstr); err != nil {

@@ -43,6 +43,7 @@ import (
 	"qporder/internal/domfile"
 	"qporder/internal/obs"
 	"qporder/internal/server"
+	"qporder/internal/store"
 )
 
 func main() {
@@ -54,7 +55,8 @@ func main() {
 
 func run() error {
 	var (
-		file         = flag.String("f", "", "domain file (required)")
+		file         = flag.String("f", "", "domain file (this or -store is required)")
+		storeDir     = flag.String("store", "", "segment/catalog store directory (alternative to -f)")
 		addr         = flag.String("addr", "127.0.0.1:8091", "listen address (port 0 picks a free port)")
 		seed         = flag.Int64("seed", 1, "seed for the simulated world")
 		bigN         = flag.Float64("N", 50000, "selectivity denominator N of the cost measures")
@@ -70,17 +72,33 @@ func run() error {
 		logRequests  = flag.Bool("log-requests", true, "log one structured line per request to stderr, correlated by trace ID")
 	)
 	flag.Parse()
-	if *file == "" {
-		return fmt.Errorf("missing -f domain file")
-	}
-	f, err := os.Open(*file)
-	if err != nil {
-		return err
-	}
-	dom, err := domfile.Parse(f)
-	f.Close()
-	if err != nil {
-		return err
+	var dom *domfile.Domain
+	switch {
+	case *file != "" && *storeDir != "":
+		return fmt.Errorf("-f and -store are mutually exclusive")
+	case *storeDir != "":
+		// Startup loads the persisted statistics catalog instead of
+		// synthesizing a domain; LoadCatalog checksums the envelope but
+		// never faults a segment data page.
+		cat, q, err := store.LoadCatalog(*storeDir)
+		if err != nil {
+			return err
+		}
+		dom = &domfile.Domain{Catalog: cat, Query: q}
+		fmt.Printf("loaded store %s: %d sources\n", *storeDir, cat.Len())
+	case *file != "":
+		f, err := os.Open(*file)
+		if err != nil {
+			return err
+		}
+		var perr error
+		dom, perr = domfile.Parse(f)
+		f.Close()
+		if perr != nil {
+			return perr
+		}
+	default:
+		return fmt.Errorf("missing -f domain file (or -store directory)")
 	}
 
 	reg := obs.NewRegistry()

@@ -278,6 +278,32 @@ func (s *Set) Elems() []int {
 	return out
 }
 
+// Words exposes the backing word slice (little-endian bit order within
+// each uint64, bit i of the set at word i/64 bit i%64). It exists for
+// serialization (internal/store writes sets to disk) and must be
+// treated read-only: mutating the slice bypasses the trimmed-length
+// cache and, for view sets over mapped files, would write through to
+// the mapping.
+func (s *Set) Words() []uint64 { return s.words }
+
+// FromWords wraps an existing word slice as a Set of capacity n without
+// copying. The slice must hold exactly (n+63)/64 words and any bits at
+// or above n must be clear. The returned set is a VIEW: it aliases
+// words, so the caller must not mutate the slice afterwards, and the
+// set itself must be treated immutable — calling a mutator on a view
+// whose words alias read-only mapped memory faults. This is the bridge
+// that lets the fused kernels stream directly over an mmap'ed segment
+// file (see internal/store).
+func FromWords(n int, words []uint64) *Set {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	if want := (n + wordBits - 1) / wordBits; len(words) != want {
+		panic(fmt.Sprintf("bitset: FromWords got %d words, want %d for capacity %d", len(words), want, n))
+	}
+	return &Set{n: n, words: words}
+}
+
 // kernelWords validates that every operand (and excl, when non-nil) has
 // the capacity of sets[0] and returns sets[0]'s backing words. All fused
 // kernels funnel through it so capacity mismatches panic exactly like the

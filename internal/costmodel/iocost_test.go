@@ -1,0 +1,100 @@
+package costmodel_test
+
+import (
+	"testing"
+
+	"qporder/internal/abstraction"
+	"qporder/internal/costmodel"
+	"qporder/internal/lav"
+	"qporder/internal/measure"
+	"qporder/internal/planspace"
+)
+
+// ioWorld builds a two-bucket catalog with known linear terms and page
+// footprints: a=210+2p, b=55+1p, c=110+3p, d=20+1p at faultCost 1.
+func ioWorld(t *testing.T) (*lav.Catalog, []int, [][]lav.SourceID) {
+	t.Helper()
+	cat := lav.NewCatalog()
+	a := cat.MustAdd("a", nil, lav.Stats{Tuples: 100, TransmitCost: 2, Overhead: 10})
+	b := cat.MustAdd("b", nil, lav.Stats{Tuples: 50, TransmitCost: 1, Overhead: 5})
+	c := cat.MustAdd("c", nil, lav.Stats{Tuples: 100, TransmitCost: 1, Overhead: 10})
+	d := cat.MustAdd("d", nil, lav.Stats{Tuples: 10, TransmitCost: 1, Overhead: 10})
+	pages := []int{2, 1, 3, 1}
+	buckets := [][]lav.SourceID{{a.ID, b.ID}, {c.ID, d.ID}}
+	return cat, pages, buckets
+}
+
+func TestIOCostColdManual(t *testing.T) {
+	cat, pages, buckets := ioWorld(t)
+	m := costmodel.NewIOCost(cat, pages, 100, false)
+	ctx := m.NewContext()
+	leaves := abstraction.BuildLeaves(buckets)
+	p := planspace.New(leaves[0][0], leaves[1][1]) // a, d
+	// cost = (210 + 100*2) + (20 + 100*1) = 530; utility = -530.
+	if got := ctx.Evaluate(p).Lo; got != -530 {
+		t.Errorf("cold utility = %g, want -530", got)
+	}
+	if !m.FullyMonotonic() || !m.DiminishingReturns() || !m.PrefixIndependent() {
+		t.Error("cold IOCost must be fully monotonic, diminishing-returns, prefix-independent")
+	}
+	// Cold terms at faultCost 100: a=410, b=155, c=410, d=120.
+	got, ok := m.BucketOrder(0, buckets[0])
+	if !ok || got[0] != buckets[0][1] || got[1] != buckets[0][0] {
+		t.Errorf("cold BucketOrder = %v ok=%v, want [b a] true", got, ok)
+	}
+}
+
+func TestIOCostWarming(t *testing.T) {
+	cat, pages, buckets := ioWorld(t)
+	m := costmodel.NewIOCost(cat, pages, 100, true)
+	if m.FullyMonotonic() || m.DiminishingReturns() || m.PrefixIndependent() {
+		t.Error("caching IOCost must not claim monotonicity properties")
+	}
+	if _, ok := m.BucketOrder(0, buckets[0]); ok {
+		t.Error("caching IOCost must decline BucketOrder")
+	}
+	ctx := m.NewContext()
+	leaves := abstraction.BuildLeaves(buckets)
+	ad := planspace.New(leaves[0][0], leaves[1][1]) // a, d
+	bd := planspace.New(leaves[0][1], leaves[1][1]) // b, d
+	if got := ctx.Evaluate(ad).Lo; got != -530 {
+		t.Fatalf("pre-warm utility = %g, want -530", got)
+	}
+	ctx.Observe(ad)
+	// a and d warm: cost drops to linear 210 + 20.
+	if got := ctx.Evaluate(ad).Lo; got != -230 {
+		t.Errorf("post-warm utility = %g, want -230", got)
+	}
+	// b still cold, d warm: (55 + 100) + 20.
+	if got := ctx.Evaluate(bd).Lo; got != -175 {
+		t.Errorf("mixed utility = %g, want -175", got)
+	}
+
+	// Independence: re-executing the all-warm plan ad changes nothing;
+	// bd shares position-1 source d with... every plan, but its
+	// position-0 source b is fresh, so plans using b are dependent.
+	if !ctx.Independent(bd, ad) {
+		t.Error("all-warm executed plan must be independent of everything")
+	}
+	if ctx.Independent(bd, bd) {
+		t.Error("a plan is not independent of executing itself while cold")
+	}
+
+	// A fork must reproduce the warm set via Observe replay.
+	fork := measure.Fork(ctx)
+	if got := fork.Evaluate(bd).Lo; got != -175 {
+		t.Errorf("forked utility = %g, want -175", got)
+	}
+}
+
+func TestIOCostDefaultFaultCost(t *testing.T) {
+	cat, pages, _ := ioWorld(t)
+	m := costmodel.NewIOCost(cat, pages, 0, false)
+	ctx := m.NewContext()
+	leaves := abstraction.BuildLeaves([][]lav.SourceID{{0}})
+	p := planspace.New(leaves[0][0])
+	want := -(210 + costmodel.DefaultFaultCost*2.0)
+	if got := ctx.Evaluate(p).Lo; got != want {
+		t.Errorf("default fault cost utility = %g, want %g", got, want)
+	}
+}

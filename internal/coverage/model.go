@@ -45,6 +45,15 @@ type Model struct {
 	matN             int // matrix covers IDs in [0, matN)
 	matKnown, matVal []uint64
 	overlapCache     sync.Map // uint64 -> bool
+
+	// touch, when non-nil, is invoked on every Set lookup. The
+	// store-backed loader (internal/store) installs it to drive the LRU
+	// page-touch tracker: each hot-path read of a source's answer set
+	// simulates faulting that source's segment pages. It must be
+	// installed before the model is queried and must be safe for
+	// concurrent use; it observes accesses only and must not affect
+	// results.
+	touch func(lav.SourceID)
 }
 
 // NewModel returns a model over a universe of the given size.
@@ -87,9 +96,17 @@ func (m *Model) SetCoverage(id lav.SourceID, set *bitset.Set) {
 // it; IDs at or above the bound are served from the map.
 const maxDenseSets = 1 << 20
 
+// SetTouch installs a hook invoked on every Set lookup (nil uninstalls
+// it). It exists for the store-backed loader's page-touch accounting and
+// must be installed before the model is shared across goroutines.
+func (m *Model) SetTouch(f func(lav.SourceID)) { m.touch = f }
+
 // Set returns the covered subset of a source; it panics if the source has
 // no coverage assigned (a configuration error).
 func (m *Model) Set(id lav.SourceID) *bitset.Set {
+	if m.touch != nil {
+		m.touch(id)
+	}
 	if i := int(id); i >= 0 && i < len(m.dense) {
 		if s := m.dense[i]; s != nil {
 			return s
@@ -147,6 +164,38 @@ func (m *Model) buildMatrix() {
 	m.matKnown = make([]uint64, words)
 	m.matVal = make([]uint64, words)
 	m.matN = n
+}
+
+// PrimeOverlap seeds the dense overlap memo from persisted rows:
+// rows[a] holds one bit per source b (bit b set iff sources a and b
+// overlap), in the OverlapRow layout. It returns the number of pairs
+// primed. Priming lets a store-backed model answer every independence
+// probe from the catalog without faulting a single segment page. It
+// must be called before the model is shared across goroutines; when the
+// catalog is too large for the dense matrix it is a no-op (probes fall
+// back to computing disjointness from the mapped sets).
+func (m *Model) PrimeOverlap(rows [][]uint64) int {
+	m.matOnce.Do(m.buildMatrix)
+	if m.matN == 0 {
+		return 0
+	}
+	primed := 0
+	for a := 0; a < len(rows) && a < m.matN; a++ {
+		row := rows[a]
+		for b := a; b < m.matN; b++ {
+			if b/64 >= len(row) {
+				break
+			}
+			idx := a*m.matN + b
+			w, bit := idx/64, uint64(1)<<uint(idx%64)
+			if row[b/64]&(1<<uint(b%64)) != 0 {
+				m.matVal[w] |= bit
+			}
+			m.matKnown[w] |= bit
+			primed++
+		}
+	}
+	return primed
 }
 
 // atomicOr sets bit in *p atomically. A CAS loop rather than

@@ -82,27 +82,72 @@ func sortAtoms(as []schema.Atom) {
 	sort.Slice(as, func(i, j int) bool { return as[i].String() < as[j].String() })
 }
 
+// atomKeyArity is the widest atom dedup'ed without allocating: the key
+// inlines up to this many arguments in a comparable array. Mediated
+// query heads in the experiment domains are binary, so the inline path
+// covers every hot-loop answer; wider atoms fall back to a string key.
+const atomKeyArity = 8
+
+// atomKey is a comparable dedup key carrying the atom's value (schema.Term
+// is a comparable struct), so map probes need no rendered string and
+// re-adding a duplicate answer costs zero allocations.
+type atomKey struct {
+	pred string
+	n    int
+	args [atomKeyArity]schema.Term
+}
+
+// keyOf builds the inline key; ok=false means the atom is too wide.
+func keyOf(a schema.Atom) (k atomKey, ok bool) {
+	if len(a.Args) > atomKeyArity {
+		return atomKey{}, false
+	}
+	k.pred = a.Pred
+	k.n = len(a.Args)
+	copy(k.args[:], a.Args)
+	return k, true
+}
+
 // AnswerSet accumulates the union of plan outputs with deduplication.
+// Dedup keys on the atom value, not its rendering: the execution hot
+// path re-presents the same answers plan after plan, and probing with a
+// value key makes those duplicate Adds allocation-free (gated by
+// TestAnswerSetAddAllocs).
 type AnswerSet struct {
-	seen  map[string]bool
+	seen map[atomKey]bool
+	// wide holds string keys for atoms with more than atomKeyArity
+	// arguments; nil until one appears.
+	wide  map[string]bool
 	atoms []schema.Atom
 }
 
 // NewAnswerSet returns an empty accumulator.
 func NewAnswerSet() *AnswerSet {
-	return &AnswerSet{seen: make(map[string]bool)}
+	return &AnswerSet{seen: make(map[atomKey]bool)}
 }
 
 // Add inserts atoms and returns how many were new.
 func (s *AnswerSet) Add(atoms []schema.Atom) int {
 	fresh := 0
-	for _, a := range atoms {
-		k := a.String()
-		if !s.seen[k] {
+	for i := range atoms {
+		a := atoms[i]
+		if k, ok := keyOf(a); ok {
+			if s.seen[k] {
+				continue
+			}
 			s.seen[k] = true
-			s.atoms = append(s.atoms, a)
-			fresh++
+		} else {
+			w := a.String()
+			if s.wide[w] {
+				continue
+			}
+			if s.wide == nil {
+				s.wide = make(map[string]bool)
+			}
+			s.wide[w] = true
 		}
+		s.atoms = append(s.atoms, a)
+		fresh++
 	}
 	return fresh
 }
@@ -114,7 +159,12 @@ func (s *AnswerSet) Len() int { return len(s.atoms) }
 func (s *AnswerSet) Atoms() []schema.Atom { return s.atoms }
 
 // Contains reports whether the answer is present.
-func (s *AnswerSet) Contains(a schema.Atom) bool { return s.seen[a.String()] }
+func (s *AnswerSet) Contains(a schema.Atom) bool {
+	if k, ok := keyOf(a); ok {
+		return s.seen[k]
+	}
+	return s.wide[a.String()]
+}
 
 // String renders the answers, sorted, one per line.
 func (s *AnswerSet) String() string {

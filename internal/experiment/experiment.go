@@ -15,9 +15,11 @@ import (
 	"qporder/internal/core"
 	"qporder/internal/costmodel"
 	"qporder/internal/coverage"
+	"qporder/internal/lav"
 	"qporder/internal/measure"
 	"qporder/internal/obs"
 	"qporder/internal/planspace"
+	"qporder/internal/store"
 	"qporder/internal/workload"
 )
 
@@ -45,6 +47,8 @@ const (
 	MeasureMonetary       MeasureKey = "monetary"           // avg monetary cost/tuple
 	MeasureMonetaryCache  MeasureKey = "monetary-caching"   // ″ with caching
 	MeasureLinear         MeasureKey = "linear"             // cost measure (1)
+	MeasureIO             MeasureKey = "io"                 // (1) + cold segment faults
+	MeasureIOCaching      MeasureKey = "io-caching"         // ″ with a warming page cache
 )
 
 // BuildMeasure instantiates a measure over a domain.
@@ -65,9 +69,25 @@ func BuildMeasure(d *workload.Domain, key MeasureKey) (measure.Measure, error) {
 		return costmodel.NewMonetaryPerTuple(d.Catalog, costmodel.Params{N: n, Caching: true}), nil
 	case MeasureLinear:
 		return costmodel.NewLinearCost(d.Catalog), nil
+	case MeasureIO:
+		return costmodel.NewIOCost(d.Catalog, segmentPages(d), 0, false), nil
+	case MeasureIOCaching:
+		return costmodel.NewIOCost(d.Catalog, segmentPages(d), 0, true), nil
 	default:
 		return nil, fmt.Errorf("experiment: unknown measure %q", key)
 	}
+}
+
+// segmentPages computes every source's resident segment-page footprint
+// for the I/O-aware measures. The footprint is a pure function of the
+// coverage words, so in-memory and store-backed domains charge identical
+// fault costs.
+func segmentPages(d *workload.Domain) []int {
+	pages := make([]int, d.Catalog.Len())
+	for i := range pages {
+		pages[i] = store.ResidentPages(d.Coverage.Set(lav.SourceID(i)))
+	}
+	return pages
 }
 
 // Heuristic returns the abstraction heuristic paired with a measure, the
@@ -90,7 +110,7 @@ func Heuristic(d *workload.Domain, key MeasureKey) abstraction.Heuristic {
 	switch key {
 	case MeasureCoverage:
 		return abstraction.ByKey("cov-sim", d.SimilarityKey)
-	case MeasureChain, MeasureChainFail, MeasureChainFailCache, MeasureLinear:
+	case MeasureChain, MeasureChainFail, MeasureChainFailCache, MeasureLinear, MeasureIO, MeasureIOCaching:
 		return abstraction.ByAccessCost(d.Catalog)
 	default:
 		return abstraction.ByID()

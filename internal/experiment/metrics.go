@@ -75,6 +75,9 @@ type MetricsReport struct {
 	// Fleet carries the router-fronted fleet sweep when the fleet
 	// experiment ran (additive; absent in older reports).
 	Fleet []FleetRecord `json:"fleet,omitempty"`
+	// Store carries the cold-vs-warm segment-store sweep when the store
+	// experiment ran (additive; absent in older reports).
+	Store []StoreRecord `json:"store,omitempty"`
 }
 
 // counterNames lists the per-algorithm registry counters that feed a

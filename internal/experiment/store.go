@@ -1,0 +1,181 @@
+package experiment
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"qporder/internal/core"
+	"qporder/internal/stats"
+	"qporder/internal/store"
+	"qporder/internal/workload"
+)
+
+// StoreRecord is one row of the store experiment: one algorithm driven
+// over one backend mode.
+type StoreRecord struct {
+	// Mode is "memory" (the generated in-memory domain), "cold" (the
+	// store-backed domain with an empty page cache), or "warm" (the same
+	// store immediately re-run, pages resident).
+	Mode      string `json:"mode"`
+	Algorithm string `json:"algorithm"`
+	Measure   string `json:"measure"`
+	Universe  int    `json:"universe"`
+	Sources   int    `json:"sources"`
+	K         int    `json:"k"`
+	Plans     int    `json:"plans"`
+	Evals     int64  `json:"evals"`
+	TotalNs   int64  `json:"total_ns"`
+	// Store accounting deltas over the run (zero for memory rows).
+	Faults         int64 `json:"faults"`
+	PageHits       int64 `json:"page_hits"`
+	BytesResident  int64 `json:"bytes_resident"`
+	SegmentsMapped int64 `json:"segments_mapped"`
+	CatalogHits    int64 `json:"catalog_hits"`
+	// Parity reports that this row's (plan key, utility) stream is
+	// byte-identical to the memory row of the same cell; memory rows are
+	// trivially true.
+	Parity bool   `json:"parity"`
+	Error  string `json:"error,omitempty"`
+}
+
+// StoreConfig parameterizes the store experiment.
+type StoreConfig struct {
+	// Config generates the domain; the caller scales Universe (qpbench
+	// uses 16× the in-memory default so the sweep runs against a catalog
+	// an order of magnitude past what default runs hold in RAM).
+	Config workload.Config
+	// Algos defaults to PI, iDrips, Streamer.
+	Algos []Algorithm
+	// Measure defaults to MeasureCoverage — the one measure whose
+	// Evaluate hot path reads answer sets, so cold/warm page realism
+	// shows up in wall time.
+	Measure MeasureKey
+	// K is the per-run plan budget (default 10).
+	K int
+	// CachePages bounds the simulated page cache (default unbounded).
+	CachePages int
+}
+
+func (c StoreConfig) withDefaults() StoreConfig {
+	if len(c.Algos) == 0 {
+		c.Algos = []Algorithm{AlgoPI, AlgoIDrips, AlgoStreamer}
+	}
+	if c.Measure == "" {
+		c.Measure = MeasureCoverage
+	}
+	if c.K == 0 {
+		c.K = 10
+	}
+	return c
+}
+
+// RunStore generates a domain, persists it with store.WriteDomain, and
+// runs every algorithm three ways: against the in-memory domain, then
+// against the store-backed domain cold (page cache reset before the
+// run) and warm (immediate re-run, pages resident). Each store-backed
+// row records the fault/hit/residency deltas its run incurred and
+// whether its plan stream matched the in-memory run byte-for-byte.
+func RunStore(cfg StoreConfig) ([]StoreRecord, error) {
+	cfg = cfg.withDefaults()
+	gen := workload.Generate(cfg.Config)
+	dir, err := os.MkdirTemp("", "qpstore-exp-*")
+	if err != nil {
+		return nil, fmt.Errorf("experiment: temp store dir: %w", err)
+	}
+	defer os.RemoveAll(dir)
+	if err := store.WriteDomain(dir, gen); err != nil {
+		return nil, err
+	}
+	st, d, err := store.Load(dir, store.Options{CachePages: cfg.CachePages})
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+
+	type streamKey struct{ keys, utils string }
+	base := map[Algorithm]streamKey{}
+	var recs []StoreRecord
+
+	run := func(dom *workload.Domain, algo Algorithm) (streamKey, StoreRecord) {
+		rec := StoreRecord{
+			Algorithm: string(algo),
+			Measure:   string(cfg.Measure),
+			Universe:  dom.Coverage.Universe(),
+			Sources:   dom.Catalog.Len(),
+			K:         cfg.K,
+		}
+		o, err := BuildOrderer(dom, cfg.Measure, algo)
+		if err != nil {
+			rec.Error = err.Error()
+			return streamKey{}, rec
+		}
+		start := time.Now()
+		plans, utils := core.Take(o, cfg.K)
+		rec.TotalNs = time.Since(start).Nanoseconds()
+		rec.Plans = len(plans)
+		rec.Evals = int64(o.Context().Evals())
+		sk := streamKey{}
+		for i, p := range plans {
+			sk.keys += p.Key() + "\n"
+			sk.utils += fmt.Sprintf("%x\n", utils[i])
+		}
+		return sk, rec
+	}
+
+	for _, algo := range cfg.Algos {
+		sk, rec := run(gen, algo)
+		rec.Mode = "memory"
+		rec.Parity = rec.Error == ""
+		recs = append(recs, rec)
+		if rec.Error == "" {
+			base[algo] = sk
+		}
+	}
+	for _, algo := range cfg.Algos {
+		if _, ok := base[algo]; !ok {
+			continue
+		}
+		// Cold: empty page cache, every touched page faults. Warm: the
+		// immediate re-run over the pages the cold run left resident.
+		st.ResetCache()
+		for _, mode := range []string{"cold", "warm"} {
+			before := st.Snapshot()
+			sk, rec := run(d, algo)
+			after := st.Snapshot()
+			rec.Mode = mode
+			rec.Faults = after.Faults - before.Faults
+			rec.PageHits = after.PageHits - before.PageHits
+			rec.BytesResident = after.BytesResident
+			rec.SegmentsMapped = after.SegmentsMapped
+			rec.CatalogHits = after.CatalogHits
+			rec.Parity = rec.Error == "" && sk == base[algo]
+			recs = append(recs, rec)
+		}
+	}
+	return recs, nil
+}
+
+// StoreTable renders store records for the text report.
+func StoreTable(recs []StoreRecord) *stats.Table {
+	t := stats.NewTable("mode", "algorithm", "universe", "sources", "plans",
+		"evals", "total", "faults", "hits", "resident", "parity")
+	for _, r := range recs {
+		if r.Error != "" {
+			t.Add(r.Mode, r.Algorithm, fmt.Sprint(r.Universe), fmt.Sprint(r.Sources),
+				r.Error, "", "", "", "", "", "")
+			continue
+		}
+		parity := "ok"
+		if !r.Parity {
+			parity = "DIVERGED"
+		}
+		t.Add(r.Mode, r.Algorithm, fmt.Sprint(r.Universe), fmt.Sprint(r.Sources),
+			fmt.Sprint(r.Plans), fmt.Sprint(r.Evals),
+			time.Duration(r.TotalNs).Round(time.Microsecond).String(),
+			fmt.Sprint(r.Faults), fmt.Sprint(r.PageHits),
+			fmt.Sprintf("%.1fMiB", float64(r.BytesResident)/(1<<20)),
+			parity)
+	}
+	return t
+}

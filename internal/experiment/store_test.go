@@ -1,0 +1,67 @@
+package experiment
+
+import (
+	"testing"
+
+	"qporder/internal/workload"
+)
+
+func TestRunStoreColdWarmParity(t *testing.T) {
+	recs, err := RunStore(StoreConfig{
+		Config: workload.Config{QueryLen: 3, BucketSize: 4, Universe: 2048, Zones: 3, Seed: 9},
+		K:      5,
+	})
+	if err != nil {
+		t.Fatalf("RunStore: %v", err)
+	}
+	modes := map[string]int{}
+	for _, r := range recs {
+		modes[r.Mode]++
+		if r.Error != "" {
+			t.Errorf("%s/%s errored: %s", r.Mode, r.Algorithm, r.Error)
+			continue
+		}
+		if !r.Parity {
+			t.Errorf("%s/%s diverged from the in-memory stream", r.Mode, r.Algorithm)
+		}
+		switch r.Mode {
+		case "memory":
+			if r.Faults != 0 || r.PageHits != 0 {
+				t.Errorf("memory row carries store deltas: %+v", r)
+			}
+		case "cold":
+			if r.Faults == 0 {
+				t.Errorf("cold %s run faulted no pages", r.Algorithm)
+			}
+		case "warm":
+			if r.Faults != 0 {
+				t.Errorf("warm %s run faulted %d pages, want 0", r.Algorithm, r.Faults)
+			}
+			if r.PageHits == 0 {
+				t.Errorf("warm %s run recorded no page hits", r.Algorithm)
+			}
+		}
+	}
+	if modes["memory"] != 3 || modes["cold"] != 3 || modes["warm"] != 3 {
+		t.Errorf("mode counts %v, want 3 of each", modes)
+	}
+	if tbl := StoreTable(recs); len(tbl.Rows) != len(recs) {
+		t.Errorf("table has %d rows, want %d", len(tbl.Rows), len(recs))
+	}
+}
+
+func TestIOMeasureKeysBuild(t *testing.T) {
+	d := workload.Generate(workload.Config{QueryLen: 2, BucketSize: 3, Universe: 256, Zones: 2, Seed: 2})
+	for _, key := range []MeasureKey{MeasureIO, MeasureIOCaching} {
+		m, err := BuildMeasure(d, key)
+		if err != nil {
+			t.Fatalf("BuildMeasure(%s): %v", key, err)
+		}
+		if m.Name() == "" {
+			t.Errorf("measure %s has no name", key)
+		}
+		if _, err := BuildOrderer(d, key, AlgoPI); err != nil {
+			t.Errorf("BuildOrderer(%s, pi): %v", key, err)
+		}
+	}
+}

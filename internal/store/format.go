@@ -1,0 +1,334 @@
+// Package store persists a generated domain as two checksummed files:
+// a segment file holding every source's answer bitset as a page-aligned
+// little-endian word run (mmap-able, so the fused bitset kernels stream
+// directly over mapped memory), and a statistics catalog holding
+// everything else the orderers consume — per-source cardinality, cost
+// terms, zone, overlap rows, the mediated query, and the generating
+// configuration. A store-backed domain is bit-for-bit equivalent to the
+// in-memory domain it was written from: the same coverage words, the
+// same float64 statistics, the same overlap verdicts. See README
+// "Storage" and DESIGN.md §9.
+//
+// Segment file layout (segments.qps), all integers little-endian:
+//
+//	page 0          header (64 bytes used, zero-padded to PageSize)
+//	  [0,8)    magic "QPSEGV1\n"
+//	  [8,12)   format version (1)
+//	  [12,16)  page size in bytes
+//	  [16,24)  universe size in bits
+//	  [24,32)  source count
+//	  [32,40)  words per run  = ceil(universe/64)
+//	  [40,48)  pages per run  = ceil(words*8/pageSize)
+//	  [48,52)  data CRC32C over file[56:] (header padding + all runs)
+//	  [52,56)  header CRC32C over bytes [0,52)
+//	page 1+i*pagesPerRun   run of source i: words as uint64 LE, page-padded
+//
+// Catalog file layout (catalog.qpc):
+//
+//	[0,8)    magic "QPCATV1\n"
+//	[8,12)   format version (1)
+//	[12,16)  body length in bytes
+//	[16,20)  body CRC32C
+//	[20,24)  header CRC32C over bytes [0,20)
+//	[24,...) JSON body (Catalog)
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+
+	"qporder/internal/bitset"
+	"qporder/internal/lav"
+	"qporder/internal/workload"
+)
+
+const (
+	// SegmentMagic and CatalogMagic open the two files.
+	SegmentMagic = "QPSEGV1\n"
+	CatalogMagic = "QPCATV1\n"
+	// FormatVersion is the schema version of both files; readers reject
+	// versions they do not understand.
+	FormatVersion = 1
+	// PageSize is the run alignment quantum and the unit of the
+	// page-touch tracker. 4 KiB matches the common OS page.
+	PageSize = 4096
+	// SegmentsFile and CatalogFile are the fixed file names inside a
+	// store directory.
+	SegmentsFile = "segments.qps"
+	CatalogFile  = "catalog.qpc"
+
+	segHeaderLen  = 56 // bytes [0,segHeaderLen) of page 0 carry the header
+	segHeaderCRC  = 52 // offset of the header checksum
+	segDataStart  = 56 // dataCRC covers file[segDataStart:]
+	catHeaderLen  = 24
+	catHeaderCRC  = 20
+	maxUniverse   = 1 << 40 // sanity bound: 128 GiB of words per run
+	maxSources    = 1 << 24
+	maxCatalogLen = 1 << 30 // sanity bound on the JSON body
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SegmentHeader is the decoded fixed-size header of a segment file.
+type SegmentHeader struct {
+	Version     uint32
+	PageSize    uint32
+	Universe    uint64
+	Sources     uint64
+	WordsPerRun uint64
+	PagesPerRun uint64
+	DataCRC     uint32
+}
+
+// encodeSegmentHeader renders h into the first segHeaderLen bytes of
+// page 0, computing the header checksum.
+func encodeSegmentHeader(h SegmentHeader) [segHeaderLen]byte {
+	var b [segHeaderLen]byte
+	copy(b[0:8], SegmentMagic)
+	binary.LittleEndian.PutUint32(b[8:12], h.Version)
+	binary.LittleEndian.PutUint32(b[12:16], h.PageSize)
+	binary.LittleEndian.PutUint64(b[16:24], h.Universe)
+	binary.LittleEndian.PutUint64(b[24:32], h.Sources)
+	binary.LittleEndian.PutUint64(b[32:40], h.WordsPerRun)
+	binary.LittleEndian.PutUint64(b[40:48], h.PagesPerRun)
+	binary.LittleEndian.PutUint32(b[48:52], h.DataCRC)
+	binary.LittleEndian.PutUint32(b[52:56], crc32.Checksum(b[:segHeaderCRC], castagnoli))
+	return b
+}
+
+// DecodeSegmentHeader parses and validates the fixed-size segment
+// header from the start of a segment file. It checks the magic, the
+// header checksum, the version, and the internal consistency of the
+// geometry fields; it does NOT read or checksum the data pages (that is
+// Verify's job — decoding must stay O(1) so Open never faults the
+// mapping).
+func DecodeSegmentHeader(b []byte) (SegmentHeader, error) {
+	var h SegmentHeader
+	if len(b) < segHeaderLen {
+		return h, fmt.Errorf("store: segment header truncated: %d bytes, want %d", len(b), segHeaderLen)
+	}
+	if string(b[0:8]) != SegmentMagic {
+		return h, fmt.Errorf("store: bad segment magic %q", b[0:8])
+	}
+	if got, want := binary.LittleEndian.Uint32(b[52:56]), crc32.Checksum(b[:segHeaderCRC], castagnoli); got != want {
+		return h, fmt.Errorf("store: segment header checksum mismatch: file %08x, computed %08x", got, want)
+	}
+	h.Version = binary.LittleEndian.Uint32(b[8:12])
+	if h.Version != FormatVersion {
+		return h, fmt.Errorf("store: unsupported segment format version %d (reader understands %d)", h.Version, FormatVersion)
+	}
+	h.PageSize = binary.LittleEndian.Uint32(b[12:16])
+	h.Universe = binary.LittleEndian.Uint64(b[16:24])
+	h.Sources = binary.LittleEndian.Uint64(b[24:32])
+	h.WordsPerRun = binary.LittleEndian.Uint64(b[32:40])
+	h.PagesPerRun = binary.LittleEndian.Uint64(b[40:48])
+	h.DataCRC = binary.LittleEndian.Uint32(b[48:52])
+	if h.PageSize != PageSize {
+		return h, fmt.Errorf("store: segment page size %d, want %d", h.PageSize, PageSize)
+	}
+	if h.Universe == 0 || h.Universe > maxUniverse {
+		return h, fmt.Errorf("store: segment universe %d out of range (0, %d]", h.Universe, uint64(maxUniverse))
+	}
+	if h.Sources == 0 || h.Sources > maxSources {
+		return h, fmt.Errorf("store: segment source count %d out of range (0, %d]", h.Sources, uint64(maxSources))
+	}
+	if want := (h.Universe + 63) / 64; h.WordsPerRun != want {
+		return h, fmt.Errorf("store: words per run %d, want %d for universe %d", h.WordsPerRun, want, h.Universe)
+	}
+	if want := (h.WordsPerRun*8 + PageSize - 1) / PageSize; h.PagesPerRun != want {
+		return h, fmt.Errorf("store: pages per run %d, want %d for %d words", h.PagesPerRun, want, h.WordsPerRun)
+	}
+	return h, nil
+}
+
+// FileSize returns the exact byte size a well-formed segment file with
+// this header must have: the header page plus one padded run per source.
+// The geometry bounds enforced by DecodeSegmentHeader keep the product
+// far below overflow.
+func (h SegmentHeader) FileSize() int64 {
+	return int64(PageSize) * (1 + int64(h.Sources)*int64(h.PagesPerRun))
+}
+
+// RunOffset returns the byte offset of source i's word run.
+func (h SegmentHeader) RunOffset(i int) int64 {
+	return int64(PageSize) * (1 + int64(i)*int64(h.PagesPerRun))
+}
+
+// SourceRecord is the per-source entry of the catalog body, in dense
+// SourceID order (record index == SourceID).
+type SourceRecord struct {
+	Name string `json:"name"`
+	// Bucket is the query subgoal this source belongs to.
+	Bucket int `json:"bucket"`
+	// Zone is the coverage zone (drives the similarity key).
+	Zone int `json:"zone"`
+	// Def is the LAV description in datalog syntax.
+	Def string `json:"def"`
+	// Cardinality is |coverage set|.
+	Cardinality int `json:"cardinality"`
+	// TrimmedWords is the number of backing words up to and including
+	// the highest non-zero word of the coverage set.
+	TrimmedWords int `json:"trimmed_words"`
+	// Pages is the number of segment pages holding those words — the
+	// source's resident footprint charged by the I/O-aware cost model.
+	Pages int `json:"pages"`
+	// CRC is the CRC32C of the source's full padded run bytes.
+	CRC uint32 `json:"crc"`
+	// Stats carries the cost-model terms. Go's float64 JSON encoding is
+	// shortest-round-trip, so persisted statistics decode to the exact
+	// bits that were generated.
+	Stats lav.Stats `json:"stats"`
+}
+
+// Catalog is the JSON body of the catalog file: every non-bitset
+// artifact a store-backed domain needs.
+type Catalog struct {
+	// SchemaVersion guards the JSON body independently of the framing
+	// version (FormatVersion guards the binary envelope).
+	SchemaVersion int `json:"schema_version"`
+	// Config is the generating configuration (defaults applied), so a
+	// catalog is self-describing and reproducible.
+	Config workload.Config `json:"workload"`
+	// Query is the mediated query in datalog syntax.
+	Query string `json:"query"`
+	// PageSize and Universe mirror the segment header; readers
+	// cross-check the two files.
+	PageSize int `json:"page_size"`
+	Universe int `json:"universe"`
+	// Sources lists every source in dense SourceID order.
+	Sources []SourceRecord `json:"sources"`
+	// OverlapRows persists the pairwise overlap relation: OverlapRows[a]
+	// has bit b set iff sources a and b overlap, in the
+	// coverage.OverlapRow layout. Priming the model from these rows lets
+	// every independence probe be answered without faulting a page.
+	OverlapRows [][]uint64 `json:"overlap_rows"`
+}
+
+// EncodeCatalog renders the catalog document with its binary envelope.
+// Encoding is deterministic: struct-driven JSON field order and Go's
+// shortest-round-trip float formatting.
+func EncodeCatalog(c *Catalog) ([]byte, error) {
+	body, err := json.Marshal(c)
+	if err != nil {
+		return nil, fmt.Errorf("store: encoding catalog: %w", err)
+	}
+	out := make([]byte, catHeaderLen+len(body))
+	copy(out[0:8], CatalogMagic)
+	binary.LittleEndian.PutUint32(out[8:12], FormatVersion)
+	binary.LittleEndian.PutUint32(out[12:16], uint32(len(body)))
+	binary.LittleEndian.PutUint32(out[16:20], crc32.Checksum(body, castagnoli))
+	binary.LittleEndian.PutUint32(out[20:24], crc32.Checksum(out[:catHeaderCRC], castagnoli))
+	copy(out[catHeaderLen:], body)
+	return out, nil
+}
+
+// DecodeCatalog parses and validates a catalog file: envelope checksums,
+// version, exact body length, JSON body, and structural invariants
+// (dense records, row/record count agreement, geometry cross-checks).
+// Semantic validation against the segment data lives in Verify.
+func DecodeCatalog(b []byte) (*Catalog, error) {
+	if len(b) < catHeaderLen {
+		return nil, fmt.Errorf("store: catalog truncated: %d bytes, want >= %d", len(b), catHeaderLen)
+	}
+	if string(b[0:8]) != CatalogMagic {
+		return nil, fmt.Errorf("store: bad catalog magic %q", b[0:8])
+	}
+	if got, want := binary.LittleEndian.Uint32(b[20:24]), crc32.Checksum(b[:catHeaderCRC], castagnoli); got != want {
+		return nil, fmt.Errorf("store: catalog header checksum mismatch: file %08x, computed %08x", got, want)
+	}
+	if v := binary.LittleEndian.Uint32(b[8:12]); v != FormatVersion {
+		return nil, fmt.Errorf("store: unsupported catalog format version %d (reader understands %d)", v, FormatVersion)
+	}
+	bodyLen := binary.LittleEndian.Uint32(b[12:16])
+	if bodyLen > maxCatalogLen || int64(bodyLen) != int64(len(b)-catHeaderLen) {
+		return nil, fmt.Errorf("store: catalog body length %d, file holds %d", bodyLen, len(b)-catHeaderLen)
+	}
+	body := b[catHeaderLen:]
+	if got, want := binary.LittleEndian.Uint32(b[16:20]), crc32.Checksum(body, castagnoli); got != want {
+		return nil, fmt.Errorf("store: catalog body checksum mismatch: file %08x, computed %08x", got, want)
+	}
+	var c Catalog
+	if err := json.Unmarshal(body, &c); err != nil {
+		return nil, fmt.Errorf("store: decoding catalog body: %w", err)
+	}
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// validate checks the structural invariants of a decoded catalog body.
+func (c *Catalog) validate() error {
+	if c.SchemaVersion != FormatVersion {
+		return fmt.Errorf("store: catalog schema version %d, want %d", c.SchemaVersion, FormatVersion)
+	}
+	if c.PageSize != PageSize {
+		return fmt.Errorf("store: catalog page size %d, want %d", c.PageSize, PageSize)
+	}
+	if c.Universe <= 0 || c.Universe > maxUniverse {
+		return fmt.Errorf("store: catalog universe %d out of range", c.Universe)
+	}
+	n := len(c.Sources)
+	if n == 0 || n > maxSources {
+		return fmt.Errorf("store: catalog source count %d out of range", n)
+	}
+	if len(c.OverlapRows) != n {
+		return fmt.Errorf("store: %d overlap rows for %d sources", len(c.OverlapRows), n)
+	}
+	rowWords := (n + 63) / 64
+	perBucket := make(map[int]int)
+	buckets := 0
+	for i, rec := range c.Sources {
+		if rec.Name == "" {
+			return fmt.Errorf("store: source %d has no name", i)
+		}
+		if rec.Bucket < 0 || rec.Bucket >= n {
+			return fmt.Errorf("store: source %d bucket %d out of range", i, rec.Bucket)
+		}
+		perBucket[rec.Bucket]++
+		if rec.Bucket >= buckets {
+			buckets = rec.Bucket + 1
+		}
+		if rec.Cardinality < 0 || rec.Cardinality > c.Universe {
+			return fmt.Errorf("store: source %d cardinality %d out of range [0,%d]", i, rec.Cardinality, c.Universe)
+		}
+		maxWords := (c.Universe + 63) / 64
+		if rec.TrimmedWords < 0 || rec.TrimmedWords > maxWords {
+			return fmt.Errorf("store: source %d trimmed words %d out of range [0,%d]", i, rec.TrimmedWords, maxWords)
+		}
+		if len(c.OverlapRows[i]) != rowWords {
+			return fmt.Errorf("store: overlap row %d has %d words, want %d", i, len(c.OverlapRows[i]), rowWords)
+		}
+	}
+	if c.Config.QueryLen != buckets {
+		return fmt.Errorf("store: catalog query length %d but records span %d buckets", c.Config.QueryLen, buckets)
+	}
+	for b := 0; b < buckets; b++ {
+		if perBucket[b] == 0 {
+			return fmt.Errorf("store: bucket %d has no sources", b)
+		}
+	}
+	return nil
+}
+
+// Buckets reconstructs the per-subgoal source ID lists from the records,
+// in the registration order Generate used (dense IDs ascending within
+// each bucket).
+func (c *Catalog) Buckets() [][]lav.SourceID {
+	out := make([][]lav.SourceID, c.Config.QueryLen)
+	for i, rec := range c.Sources {
+		out[rec.Bucket] = append(out[rec.Bucket], lav.SourceID(i))
+	}
+	return out
+}
+
+// ResidentPages returns the number of PageSize segment pages that hold a
+// set's trimmed words — the resident footprint of reading that source's
+// run. Identical for an in-memory set and its store-backed view (both
+// trim to the same highest non-zero word), which is what keeps the
+// I/O-aware cost model byte-deterministic across backends.
+func ResidentPages(s *bitset.Set) int {
+	return (s.TrimmedLen()*8 + PageSize - 1) / PageSize
+}

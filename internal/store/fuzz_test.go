@@ -1,0 +1,63 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"qporder/internal/workload"
+)
+
+// FuzzSegmentDecode throws arbitrary bytes at both file parsers. The
+// invariants: never panic; a successful segment-header decode must
+// re-encode to the identical header bytes (the parser accepts only
+// canonical headers); a successful catalog decode must satisfy the
+// structural validator and survive re-encoding.
+func FuzzSegmentDecode(f *testing.F) {
+	// Seed with a well-formed store so the fuzzer starts from valid
+	// framing, plus targeted truncations and field mutations.
+	dir := f.TempDir()
+	d := workload.Generate(workload.Config{QueryLen: 2, BucketSize: 3, Universe: 128, Zones: 2, Seed: 1})
+	if err := WriteDomain(dir, d); err != nil {
+		f.Fatal(err)
+	}
+	seg, err := os.ReadFile(filepath.Join(dir, SegmentsFile))
+	if err != nil {
+		f.Fatal(err)
+	}
+	cat, err := os.ReadFile(filepath.Join(dir, CatalogFile))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seg[:segHeaderLen])
+	f.Add(seg[:PageSize])
+	f.Add(cat)
+	f.Add(cat[:catHeaderLen])
+	f.Add([]byte(SegmentMagic))
+	f.Add([]byte(CatalogMagic))
+	f.Add([]byte{})
+	mut := append([]byte(nil), seg[:segHeaderLen]...)
+	mut[16] = 0xff // universe low byte
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if h, err := DecodeSegmentHeader(b); err == nil {
+			enc := encodeSegmentHeader(h)
+			if !bytes.Equal(enc[:], b[:segHeaderLen]) {
+				t.Fatalf("accepted non-canonical segment header: % x", b[:segHeaderLen])
+			}
+			if h.FileSize() <= int64(PageSize) {
+				t.Fatalf("accepted header implies file size %d", h.FileSize())
+			}
+		}
+		if c, err := DecodeCatalog(b); err == nil {
+			if err := c.validate(); err != nil {
+				t.Fatalf("accepted catalog fails validation: %v", err)
+			}
+			if _, err := EncodeCatalog(c); err != nil {
+				t.Fatalf("accepted catalog cannot re-encode: %v", err)
+			}
+		}
+	})
+}

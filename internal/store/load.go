@@ -1,0 +1,102 @@
+package store
+
+import (
+	"fmt"
+
+	"qporder/internal/coverage"
+	"qporder/internal/lav"
+	"qporder/internal/schema"
+	"qporder/internal/workload"
+)
+
+// LoadCatalog opens only the catalog file and rebuilds the lav source
+// registry and mediated query from it — the light path for consumers
+// that never touch answer sets (qporder and qpserved build their
+// execution worlds from source definitions and statistics alone).
+func LoadCatalog(dir string) (*lav.Catalog, *schema.Query, error) {
+	st, err := Open(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer st.Close()
+	cat, query, err := buildLav(st.cat)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cat, query, nil
+}
+
+// buildLav rebuilds the source registry and query from a decoded
+// catalog document. Records are registered in order, so minted IDs
+// equal record indices.
+func buildLav(c *Catalog) (*lav.Catalog, *schema.Query, error) {
+	query, err := schema.ParseQuery(c.Query)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: catalog query: %w", err)
+	}
+	cat := lav.NewCatalog()
+	for i, rec := range c.Sources {
+		var def *schema.Query
+		if rec.Def != "" {
+			def, err = schema.ParseQuery(rec.Def)
+			if err != nil {
+				return nil, nil, fmt.Errorf("store: source %s def: %w", rec.Name, err)
+			}
+		}
+		src, err := cat.Add(rec.Name, def, rec.Stats)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: rebuilding catalog: %w", err)
+		}
+		if int(src.ID) != i {
+			return nil, nil, fmt.Errorf("store: source %s minted ID %d, want %d", rec.Name, src.ID, i)
+		}
+	}
+	return cat, query, nil
+}
+
+// Load opens the store and rebuilds a fully store-backed
+// workload.Domain over it: the coverage model's sets are zero-copy
+// views into the mapped segment file, the overlap memo is primed from
+// the catalog's persisted rows, per-source statistics come from the
+// catalog records, and every hot-path set read drives the store's LRU
+// page-touch tracker. The returned Store owns the mapping — it must
+// stay open for as long as the domain is in use, and Close invalidates
+// the domain's coverage sets.
+//
+// A loaded domain is bit-for-bit equivalent to the in-memory domain the
+// store was written from: identical coverage words, float64 statistics,
+// similarity keys, and overlap verdicts, hence byte-identical orderer
+// output and counters (internal/store/parity_test.go proves this for
+// every orderer at parallelism 1 and 8).
+func Load(dir string, opt Options) (*Store, *workload.Domain, error) {
+	st, err := OpenOptions(dir, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	cat, query, err := buildLav(st.cat)
+	if err != nil {
+		st.Close()
+		return nil, nil, err
+	}
+	n := st.NumSources()
+	model := coverage.NewModel(st.Universe())
+	zone := make(map[lav.SourceID]int, n)
+	setSize := make(map[lav.SourceID]int, n)
+	for i := 0; i < n; i++ {
+		id := lav.SourceID(i)
+		model.SetCoverage(id, st.AnswerSet(i))
+		zone[id] = st.cat.Sources[i].Zone
+		setSize[id] = st.cat.Sources[i].Cardinality
+	}
+	primed := model.PrimeOverlap(st.cat.OverlapRows)
+	// One catalog hit per statistics record served plus one per primed
+	// overlap row (n rows when the dense memo accepted them).
+	rowHits := 0
+	if primed > 0 {
+		rowHits = n
+	}
+	st.countCatalogHits(int64(n + rowHits))
+	model.SetTouch(func(id lav.SourceID) { st.TouchSource(int(id)) })
+	d := workload.Rehydrate(st.cat.Config, cat, st.cat.Buckets(), model, query, zone, setSize)
+	return st, d, nil
+}

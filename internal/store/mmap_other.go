@@ -1,0 +1,11 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package store
+
+import "os"
+
+// mapFile always reports ok=false on platforms without the syscall.Mmap
+// surface; Open falls back to reading the file into memory.
+func mapFile(_ *os.File, _ int64) (data []byte, unmap func() error, ok bool) {
+	return nil, nil, false
+}

@@ -1,0 +1,25 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only. On success the returned
+// cleanup unmaps; ok=false means the platform call failed and the
+// caller should fall back to reading a copy (e.g. filesystems that
+// reject mmap). Mapping is read-only by contract: every Set handed out
+// by the store is a view over this memory, and mutating a view would
+// fault — see DESIGN.md §9.
+func mapFile(f *os.File, size int64) (data []byte, unmap func() error, ok bool) {
+	if size <= 0 || size != int64(int(size)) {
+		return nil, nil, false
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, false
+	}
+	return b, func() error { return syscall.Munmap(b) }, true
+}

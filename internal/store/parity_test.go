@@ -1,0 +1,144 @@
+package store_test
+
+import (
+	"testing"
+
+	"qporder/internal/abstraction"
+	"qporder/internal/core"
+	"qporder/internal/costmodel"
+	"qporder/internal/coverage"
+	"qporder/internal/lav"
+	"qporder/internal/measure"
+	"qporder/internal/planspace"
+	"qporder/internal/store"
+	"qporder/internal/workload"
+)
+
+// storePages computes every source's resident-page footprint from its
+// coverage set — identical for generated sets and store-backed views,
+// which is what keeps the I/O-aware measure deterministic across
+// backends.
+func storePages(d *workload.Domain) []int {
+	pages := make([]int, d.Catalog.Len())
+	for i := range pages {
+		pages[i] = store.ResidentPages(d.Coverage.Set(lav.SourceID(i)))
+	}
+	return pages
+}
+
+// measures builds, per domain, every measure family the parity gate
+// covers: the coverage utility, the linear cost (which Greedy always
+// accepts), and both I/O-aware variants.
+func measures(d *workload.Domain) map[string]measure.Measure {
+	return map[string]measure.Measure{
+		"coverage": coverage.NewMeasure(d.Coverage),
+		"linear":   costmodel.NewLinearCost(d.Catalog),
+		"io-cold":  costmodel.NewIOCost(d.Catalog, storePages(d), 0, false),
+		"io-warm":  costmodel.NewIOCost(d.Catalog, storePages(d), 0, true),
+	}
+}
+
+// orderers mirrors internal/core's test helper: every orderer the
+// measure admits (Greedy requires full monotonicity, Streamer
+// diminishing returns).
+func orderers(d *workload.Domain, m measure.Measure) map[string]core.Orderer {
+	spaces := []*planspace.Space{d.Space}
+	heur := abstraction.ByKey("cov-sim", d.SimilarityKey)
+	out := map[string]core.Orderer{
+		"exhaustive": core.NewExhaustive(spaces, m),
+		"pi":         core.NewPI(spaces, m),
+		"idrips":     core.NewIDrips(spaces, m, heur),
+	}
+	if g, err := core.NewGreedy(spaces, m); err == nil {
+		out["greedy"] = g
+	}
+	if s, err := core.NewStreamer(spaces, m, heur); err == nil {
+		out["streamer"] = s
+	}
+	return out
+}
+
+type outcome struct {
+	keys         []string
+	utils        []float64
+	evals        int
+	checks, hits int
+}
+
+// runAll drives every admitted orderer to exhaustion and captures its
+// full (plan key, utility) stream plus work counters.
+func runAll(d *workload.Domain, workers int) map[string]map[string]outcome {
+	total := int(d.Space.Size())
+	out := map[string]map[string]outcome{}
+	for mname, m := range measures(d) {
+		cells := map[string]outcome{}
+		for name, o := range orderers(d, m) {
+			core.SetParallelism(o, workers)
+			plans, utils := core.Take(o, total+1)
+			keys := make([]string, len(plans))
+			for i, p := range plans {
+				keys[i] = p.Key()
+			}
+			ck, ht := o.Context().IndepStats()
+			cells[name] = outcome{keys, utils, o.Context().Evals(), ck, ht}
+		}
+		out[mname] = cells
+	}
+	return out
+}
+
+// TestStoreBackedOrderingParity is the acceptance gate of the store
+// subsystem: a store-backed run of every orderer must produce a
+// byte-identical plan stream (keys and utilities) and identical
+// Evals/IndepStats counters vs the in-memory model, at parallelism 1
+// and 8, across every measure family — over both the mmap and the
+// copy-fallback open paths.
+func TestStoreBackedOrderingParity(t *testing.T) {
+	for _, cfg := range []workload.Config{
+		{QueryLen: 3, BucketSize: 5, Universe: 512, Zones: 3, Seed: 41},
+		{QueryLen: 2, BucketSize: 7, Universe: 4096, Zones: 2, Seed: 42},
+		{QueryLen: 4, BucketSize: 3, Universe: 256, Zones: 3, Seed: 43},
+	} {
+		gen := workload.Generate(cfg)
+		dir := t.TempDir()
+		if err := store.WriteDomain(dir, gen); err != nil {
+			t.Fatalf("WriteDomain: %v", err)
+		}
+		base := runAll(gen, 1)
+		for _, opt := range []store.Options{{}, {NoMmap: true}} {
+			st, d, err := store.Load(dir, opt)
+			if err != nil {
+				t.Fatalf("Load(%+v): %v", opt, err)
+			}
+			for _, workers := range []int{1, 8} {
+				got := runAll(d, workers)
+				for mname, cells := range base {
+					for name, b := range cells {
+						g, ok := got[mname][name]
+						if !ok {
+							t.Fatalf("seed=%d mmap=%v workers=%d: cell %s/%s missing from store-backed run",
+								cfg.Seed, !opt.NoMmap, workers, mname, name)
+						}
+						if len(g.keys) != len(b.keys) {
+							t.Fatalf("seed=%d mmap=%v workers=%d %s/%s: %d plans, want %d",
+								cfg.Seed, !opt.NoMmap, workers, mname, name, len(g.keys), len(b.keys))
+						}
+						for i := range b.keys {
+							if g.keys[i] != b.keys[i] || g.utils[i] != b.utils[i] {
+								t.Fatalf("seed=%d mmap=%v workers=%d %s/%s step %d: (%s, %v), want (%s, %v)",
+									cfg.Seed, !opt.NoMmap, workers, mname, name, i,
+									g.keys[i], g.utils[i], b.keys[i], b.utils[i])
+							}
+						}
+						if g.evals != b.evals || g.checks != b.checks || g.hits != b.hits {
+							t.Errorf("seed=%d mmap=%v workers=%d %s/%s: counters (%d,%d,%d), want (%d,%d,%d)",
+								cfg.Seed, !opt.NoMmap, workers, mname, name,
+								g.evals, g.checks, g.hits, b.evals, b.checks, b.hits)
+						}
+					}
+				}
+			}
+			st.Close()
+		}
+	}
+}

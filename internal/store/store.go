@@ -1,0 +1,280 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"unsafe"
+
+	"qporder/internal/bitset"
+	"qporder/internal/obs"
+)
+
+// hostLittleEndian reports whether uint64 loads read mapped bytes in
+// file order; on big-endian hosts views fall back to decoded copies.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// Options tunes Open.
+type Options struct {
+	// CachePages is the LRU page-touch tracker capacity; <= 0 tracks
+	// every touched page (unbounded warm set).
+	CachePages int
+	// NoMmap forces the copy fallback even where mmap is available
+	// (tests exercise both paths on one platform).
+	NoMmap bool
+}
+
+// Stats is a snapshot of the store's cumulative access accounting.
+type Stats struct {
+	// SegmentsMapped counts source runs exposed as bitset views.
+	SegmentsMapped int64
+	// Faults and PageHits count simulated page-cache misses and hits
+	// across every TouchSource call.
+	Faults   int64
+	PageHits int64
+	// BytesResident is the warm set size in bytes (tracked pages ×
+	// PageSize).
+	BytesResident int64
+	// CatalogHits counts artifacts served from the persisted catalog
+	// instead of being recomputed: one per source-statistics record and
+	// one per primed overlap row.
+	CatalogHits int64
+}
+
+// Store is an open segment/catalog pair. The segment file is mapped
+// read-only (or copied where mmap is unavailable); AnswerSet hands out
+// zero-copy bitset views over the mapping. Views stay valid until
+// Close; Close unmaps, so the loader that owns the Store must outlive
+// every model built over it (DESIGN.md §9 spells out the lifetime
+// contract).
+type Store struct {
+	dir    string
+	hdr    SegmentHeader
+	cat    *Catalog
+	data   []byte
+	unmap  func() error
+	mapped bool // data aliases the file mapping (vs a private copy)
+
+	mu      sync.Mutex
+	views   []*bitset.Set
+	tracker *tracker
+
+	segMapped   int64
+	catalogHits int64
+
+	// obs mirrors; nil until Bind (all obs methods are nil-safe).
+	cMapped, cFaults, cHits, cCatalog *obs.Counter
+	gResident                         *obs.Gauge
+}
+
+// Open opens the store in dir with default options.
+func Open(dir string) (*Store, error) { return OpenOptions(dir, Options{}) }
+
+// OpenOptions opens the store in dir. It validates both file headers,
+// the catalog body checksum, the exact segment file size, and the
+// cross-file geometry — but does not read the segment data pages
+// (Verify does); a terabyte store opens in O(1).
+func OpenOptions(dir string, opt Options) (*Store, error) {
+	catBytes, err := os.ReadFile(filepath.Join(dir, CatalogFile))
+	if err != nil {
+		return nil, fmt.Errorf("store: reading catalog: %w", err)
+	}
+	cat, err := DecodeCatalog(catBytes)
+	if err != nil {
+		return nil, err
+	}
+
+	f, err := os.Open(filepath.Join(dir, SegmentsFile))
+	if err != nil {
+		return nil, fmt.Errorf("store: opening segments: %w", err)
+	}
+	defer f.Close()
+	var hdrBytes [segHeaderLen]byte
+	if _, err := f.ReadAt(hdrBytes[:], 0); err != nil {
+		return nil, fmt.Errorf("store: reading segment header: %w", err)
+	}
+	hdr, err := DecodeSegmentHeader(hdrBytes[:])
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("store: stat segments: %w", err)
+	}
+	if fi.Size() != hdr.FileSize() {
+		return nil, fmt.Errorf("store: segment file is %d bytes, header implies %d", fi.Size(), hdr.FileSize())
+	}
+	if int(hdr.Universe) != cat.Universe {
+		return nil, fmt.Errorf("store: segment universe %d != catalog universe %d", hdr.Universe, cat.Universe)
+	}
+	if int(hdr.Sources) != len(cat.Sources) {
+		return nil, fmt.Errorf("store: segment holds %d sources, catalog %d", hdr.Sources, len(cat.Sources))
+	}
+
+	s := &Store{
+		dir:     dir,
+		hdr:     hdr,
+		cat:     cat,
+		views:   make([]*bitset.Set, hdr.Sources),
+		tracker: newTracker(opt.CachePages),
+	}
+	if !opt.NoMmap {
+		if data, unmap, ok := mapFile(f, fi.Size()); ok {
+			s.data, s.unmap, s.mapped = data, unmap, true
+		}
+	}
+	if s.data == nil {
+		data, err := os.ReadFile(filepath.Join(dir, SegmentsFile))
+		if err != nil {
+			return nil, fmt.Errorf("store: reading segments: %w", err)
+		}
+		if int64(len(data)) != hdr.FileSize() {
+			return nil, fmt.Errorf("store: segment file changed size during open")
+		}
+		s.data = data
+	}
+	return s, nil
+}
+
+// Close releases the mapping. Every bitset view handed out by AnswerSet
+// becomes invalid; reading one afterwards may fault.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data = nil
+	s.views = nil
+	if s.unmap != nil {
+		u := s.unmap
+		s.unmap = nil
+		return u()
+	}
+	return nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Header returns the decoded segment header.
+func (s *Store) Header() SegmentHeader { return s.hdr }
+
+// Catalog returns the decoded catalog document (shared; treat as
+// read-only).
+func (s *Store) Catalog() *Catalog { return s.cat }
+
+// Mapped reports whether the segment data aliases a file mapping (false
+// means the copy fallback is active).
+func (s *Store) Mapped() bool { return s.mapped }
+
+// NumSources returns the source count.
+func (s *Store) NumSources() int { return int(s.hdr.Sources) }
+
+// Universe returns the answer-universe size in bits.
+func (s *Store) Universe() int { return int(s.hdr.Universe) }
+
+// AnswerSet returns source i's coverage set as a read-only view over
+// the segment data. The first call per source materializes the view
+// (zero-copy when the mapping is 8-byte aligned on a little-endian
+// host, a decoded copy otherwise) and counts one mapped segment.
+// The view must never be mutated and dies with Close.
+func (s *Store) AnswerSet(i int) *bitset.Set {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.views == nil {
+		panic("store: AnswerSet after Close")
+	}
+	if v := s.views[i]; v != nil {
+		return v
+	}
+	off := s.hdr.RunOffset(i)
+	w := int(s.hdr.WordsPerRun)
+	raw := s.data[off : off+int64(w)*8]
+	var words []uint64
+	if hostLittleEndian && uintptr(unsafe.Pointer(&raw[0]))%8 == 0 {
+		words = unsafe.Slice((*uint64)(unsafe.Pointer(&raw[0])), w)
+	} else {
+		words = make([]uint64, w)
+		for j := range words {
+			words[j] = binary.LittleEndian.Uint64(raw[j*8:])
+		}
+	}
+	v := bitset.FromWords(int(s.hdr.Universe), words)
+	s.views[i] = v
+	s.segMapped++
+	s.cMapped.Inc()
+	return v
+}
+
+// TouchSource records a hot-path read of source i's run: its resident
+// pages (the pages holding the set's trimmed words, from the catalog)
+// pass through the LRU tracker, classifying each as a fault or a hit
+// and updating the bytes_resident gauge.
+func (s *Store) TouchSource(i int) {
+	rec := &s.cat.Sources[i]
+	if rec.Pages == 0 {
+		return
+	}
+	first := s.hdr.RunOffset(i) / PageSize
+	faults, hits := s.tracker.touchRange(first, rec.Pages)
+	if faults != 0 {
+		s.cFaults.Add(faults)
+	}
+	if hits != 0 {
+		s.cHits.Add(hits)
+	}
+	s.gResident.Set(float64(int64(s.tracker.resident()) * PageSize))
+}
+
+// ResetCache empties the warm page set — a simulated cold restart —
+// without clearing cumulative counters.
+func (s *Store) ResetCache() {
+	s.tracker.reset()
+	s.gResident.Set(0)
+}
+
+// countCatalogHits records n artifacts served from the persisted
+// catalog (see Stats.CatalogHits).
+func (s *Store) countCatalogHits(n int64) {
+	s.mu.Lock()
+	s.catalogHits += n
+	s.mu.Unlock()
+	s.cCatalog.Add(n)
+}
+
+// Snapshot returns the cumulative access accounting.
+func (s *Store) Snapshot() Stats {
+	faults, hits := s.tracker.counters()
+	s.mu.Lock()
+	mapped, catalog := s.segMapped, s.catalogHits
+	s.mu.Unlock()
+	return Stats{
+		SegmentsMapped: mapped,
+		Faults:         faults,
+		PageHits:       hits,
+		BytesResident:  int64(s.tracker.resident()) * PageSize,
+		CatalogHits:    catalog,
+	}
+}
+
+// Bind mirrors the store's accounting into reg under the store.*
+// instrument names (see README metrics glossary). Call before serving
+// traffic; until then the mirrors are nil no-ops.
+func (s *Store) Bind(reg *obs.Registry) {
+	s.cMapped = reg.Counter("store.segments_mapped")
+	s.cFaults = reg.Counter("store.faults")
+	s.cHits = reg.Counter("store.page_hits")
+	s.cCatalog = reg.Counter("store.catalog_hits")
+	s.gResident = reg.Gauge("store.bytes_resident")
+	// Backfill whatever accrued before binding so scrapes agree with
+	// Snapshot.
+	st := s.Snapshot()
+	s.cMapped.Add(st.SegmentsMapped)
+	s.cFaults.Add(st.Faults)
+	s.cHits.Add(st.PageHits)
+	s.cCatalog.Add(st.CatalogHits)
+	s.gResident.Set(float64(st.BytesResident))
+}

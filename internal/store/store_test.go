@@ -1,0 +1,335 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"qporder/internal/lav"
+	"qporder/internal/obs"
+	"qporder/internal/workload"
+)
+
+func testConfig(seed int64) workload.Config {
+	return workload.Config{QueryLen: 3, BucketSize: 5, Universe: 512, Zones: 3, Seed: seed}
+}
+
+func writeTestStore(t *testing.T, cfg workload.Config) (string, *workload.Domain) {
+	t.Helper()
+	d := workload.Generate(cfg)
+	dir := t.TempDir()
+	if err := WriteDomain(dir, d); err != nil {
+		t.Fatalf("WriteDomain: %v", err)
+	}
+	return dir, d
+}
+
+func TestWriteIsDeterministic(t *testing.T) {
+	cfg := testConfig(7)
+	dirA, _ := writeTestStore(t, cfg)
+	dirB, _ := writeTestStore(t, cfg)
+	for _, name := range []string{SegmentsFile, CatalogFile} {
+		a, err := os.ReadFile(filepath.Join(dirA, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirB, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s differs between two writes of the same domain", name)
+		}
+	}
+}
+
+func TestVerifyCleanStore(t *testing.T) {
+	dir, d := writeTestStore(t, testConfig(3))
+	rep, err := Verify(dir)
+	if err != nil {
+		t.Fatalf("Verify on a clean store: %v", err)
+	}
+	if rep.Sources != d.Catalog.Len() || rep.Universe != d.Coverage.Universe() {
+		t.Errorf("report %+v does not match domain (%d sources, universe %d)",
+			rep, d.Catalog.Len(), d.Coverage.Universe())
+	}
+	n := d.Catalog.Len()
+	if want := n * (n + 1) / 2; rep.OverlapPairs != want {
+		t.Errorf("verified %d overlap pairs, want %d", rep.OverlapPairs, want)
+	}
+}
+
+// TestVerifyDetectsEveryCorruptByte flips single bytes across both
+// files — header, run data, run padding, catalog envelope, catalog
+// body — and requires Verify to fail each time.
+func TestVerifyDetectsEveryCorruptByte(t *testing.T) {
+	dir, _ := writeTestStore(t, testConfig(5))
+	for _, tc := range []struct {
+		file    string
+		offsets []int64
+	}{
+		{SegmentsFile, []int64{0, 9, 20, 50, 54, 100, PageSize, PageSize + 7, 3*PageSize - 1, -1}},
+		{CatalogFile, []int64{0, 10, 17, 22, 40, 200, -1}},
+	} {
+		path := filepath.Join(dir, tc.file)
+		orig, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, off := range tc.offsets {
+			if off < 0 {
+				off = int64(len(orig)) - 1
+			}
+			mut := append([]byte(nil), orig...)
+			mut[off] ^= 0x40
+			if err := os.WriteFile(path, mut, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Verify(dir); err == nil {
+				t.Errorf("Verify passed with %s byte %d corrupted", tc.file, off)
+			}
+			if err := os.WriteFile(path, orig, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := Verify(dir); err != nil {
+		t.Fatalf("Verify after restoring: %v", err)
+	}
+}
+
+func TestOpenRejectsGeometryMismatch(t *testing.T) {
+	dir, _ := writeTestStore(t, testConfig(11))
+	path := filepath.Join(dir, SegmentsFile)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncating the segment file breaks the size implied by the header.
+	if err := os.WriteFile(path, orig[:len(orig)-PageSize], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Error("Open accepted a truncated segment file")
+	}
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A corrupt header magic must fail before any data is read.
+	mut := append([]byte(nil), orig...)
+	mut[0] = 'X'
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Error("Open accepted a bad segment magic")
+	}
+}
+
+func TestAnswerSetViewsMatchSource(t *testing.T) {
+	cfg := testConfig(13)
+	dir, d := writeTestStore(t, cfg)
+	for _, opt := range []Options{{}, {NoMmap: true}} {
+		st, err := OpenOptions(dir, opt)
+		if err != nil {
+			t.Fatalf("Open(%+v): %v", opt, err)
+		}
+		for i := 0; i < st.NumSources(); i++ {
+			got := st.AnswerSet(i)
+			want := d.Coverage.Set(lav.SourceID(i))
+			if !got.Equal(want) {
+				t.Fatalf("opt %+v: source %d answer set differs from generated set", opt, i)
+			}
+			if got.TrimmedLen() != want.TrimmedLen() {
+				t.Fatalf("opt %+v: source %d trimmed length %d, want %d",
+					opt, i, got.TrimmedLen(), want.TrimmedLen())
+			}
+		}
+		if st.Snapshot().SegmentsMapped != int64(st.NumSources()) {
+			t.Errorf("opt %+v: SegmentsMapped=%d, want %d", opt, st.Snapshot().SegmentsMapped, st.NumSources())
+		}
+		st.Close()
+	}
+}
+
+func TestTrackerLRU(t *testing.T) {
+	tr := newTracker(2)
+	if f, h := tr.touchRange(0, 2); f != 2 || h != 0 {
+		t.Fatalf("first touch: faults=%d hits=%d, want 2,0", f, h)
+	}
+	if f, h := tr.touchRange(0, 2); f != 0 || h != 2 {
+		t.Fatalf("warm touch: faults=%d hits=%d, want 0,2", f, h)
+	}
+	// Touching page 2 evicts the LRU page 0.
+	if f, _ := tr.touchRange(2, 1); f != 1 {
+		t.Fatal("new page must fault")
+	}
+	if f, _ := tr.touchRange(0, 1); f != 1 {
+		t.Fatal("evicted page must re-fault")
+	}
+	if got := tr.resident(); got != 2 {
+		t.Fatalf("resident=%d, want capacity 2", got)
+	}
+	tr.reset()
+	if got := tr.resident(); got != 0 {
+		t.Fatalf("resident after reset=%d, want 0", got)
+	}
+	if f, _ := tr.counters(); f != 4 {
+		t.Fatalf("cumulative faults=%d, want 4", f)
+	}
+}
+
+func TestLoadColdWarmAccounting(t *testing.T) {
+	dir, _ := writeTestStore(t, testConfig(17))
+	st, d, err := Load(dir, Options{})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	defer st.Close()
+	if st.Snapshot().CatalogHits == 0 {
+		t.Error("Load served nothing from the catalog")
+	}
+	n := d.Catalog.Len()
+	// A full sweep over every source faults each resident page once...
+	for i := 0; i < n; i++ {
+		d.Coverage.Set(lav.SourceID(i))
+	}
+	cold := st.Snapshot()
+	if cold.Faults == 0 || cold.PageHits != 0 {
+		t.Fatalf("cold sweep: %+v, want faults>0 hits=0", cold)
+	}
+	if cold.BytesResident == 0 {
+		t.Error("cold sweep left nothing resident")
+	}
+	// ...and a second sweep over the unbounded warm set only hits.
+	for i := 0; i < n; i++ {
+		d.Coverage.Set(lav.SourceID(i))
+	}
+	warm := st.Snapshot()
+	if warm.Faults != cold.Faults || warm.PageHits != cold.Faults {
+		t.Fatalf("warm sweep: %+v, want faults unchanged and hits=%d", warm, cold.Faults)
+	}
+	// A cold restart re-faults everything.
+	st.ResetCache()
+	if st.Snapshot().BytesResident != 0 {
+		t.Error("ResetCache left pages resident")
+	}
+	for i := 0; i < n; i++ {
+		d.Coverage.Set(lav.SourceID(i))
+	}
+	if again := st.Snapshot(); again.Faults != 2*cold.Faults {
+		t.Fatalf("post-reset sweep: faults=%d, want %d", again.Faults, 2*cold.Faults)
+	}
+}
+
+func TestPrimedOverlapAvoidsFaults(t *testing.T) {
+	dir, gen := writeTestStore(t, testConfig(19))
+	st, d, err := Load(dir, Options{})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	defer st.Close()
+	n := d.Catalog.Len()
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			got := d.Coverage.Overlap(lav.SourceID(a), lav.SourceID(b))
+			want := gen.Coverage.Overlap(lav.SourceID(a), lav.SourceID(b))
+			if got != want {
+				t.Fatalf("overlap(%d,%d)=%v, want %v", a, b, got, want)
+			}
+		}
+	}
+	if faults := st.Snapshot().Faults; faults != 0 {
+		t.Errorf("primed overlap probes faulted %d pages, want 0", faults)
+	}
+}
+
+func TestBindMirrorsStats(t *testing.T) {
+	dir, _ := writeTestStore(t, testConfig(23))
+	st, d, err := Load(dir, Options{CachePages: 4})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	defer st.Close()
+	reg := obs.NewRegistry()
+	st.Bind(reg)
+	for i := 0; i < d.Catalog.Len(); i++ {
+		d.Coverage.Set(lav.SourceID(i))
+	}
+	snap := st.Snapshot()
+	for name, want := range map[string]int64{
+		"store.segments_mapped": snap.SegmentsMapped,
+		"store.faults":          snap.Faults,
+		"store.page_hits":       snap.PageHits,
+		"store.catalog_hits":    snap.CatalogHits,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := reg.Gauge("store.bytes_resident").Value(); got != float64(snap.BytesResident) {
+		t.Errorf("store.bytes_resident = %g, want %d", got, snap.BytesResident)
+	}
+	if snap.BytesResident > 4*PageSize {
+		t.Errorf("capacity 4 tracker holds %d bytes resident", snap.BytesResident)
+	}
+}
+
+func TestLoadCatalogLightPath(t *testing.T) {
+	dir, d := writeTestStore(t, testConfig(29))
+	cat, query, err := LoadCatalog(dir)
+	if err != nil {
+		t.Fatalf("LoadCatalog: %v", err)
+	}
+	if cat.Len() != d.Catalog.Len() {
+		t.Fatalf("catalog holds %d sources, want %d", cat.Len(), d.Catalog.Len())
+	}
+	if query.String() != d.Query.String() {
+		t.Errorf("query %q, want %q", query, d.Query)
+	}
+	for _, src := range d.Catalog.Sources() {
+		got := cat.Source(src.ID)
+		if got.Name != src.Name || got.Stats != src.Stats {
+			t.Errorf("source %d round-tripped as %+v, want %+v", src.ID, got, src)
+		}
+		if (got.Def == nil) != (src.Def == nil) ||
+			(got.Def != nil && got.Def.String() != src.Def.String()) {
+			t.Errorf("source %s def mismatch", src.Name)
+		}
+	}
+}
+
+func TestRehydratedDomainMatches(t *testing.T) {
+	cfg := testConfig(31)
+	dir, gen := writeTestStore(t, cfg)
+	st, d, err := Load(dir, Options{})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	defer st.Close()
+	if d.Config != gen.Config {
+		t.Errorf("config %+v, want %+v", d.Config, gen.Config)
+	}
+	if d.Space.Size() != gen.Space.Size() {
+		t.Errorf("plan space size %d, want %d", d.Space.Size(), gen.Space.Size())
+	}
+	if len(d.Buckets) != len(gen.Buckets) {
+		t.Fatalf("%d buckets, want %d", len(d.Buckets), len(gen.Buckets))
+	}
+	for b := range gen.Buckets {
+		if len(d.Buckets[b]) != len(gen.Buckets[b]) {
+			t.Fatalf("bucket %d has %d sources, want %d", b, len(d.Buckets[b]), len(gen.Buckets[b]))
+		}
+		for j := range gen.Buckets[b] {
+			if d.Buckets[b][j] != gen.Buckets[b][j] {
+				t.Fatalf("bucket %d slot %d: %d, want %d", b, j, d.Buckets[b][j], gen.Buckets[b][j])
+			}
+		}
+	}
+	for _, src := range gen.Catalog.Sources() {
+		if got, want := d.SimilarityKey(0, src.ID), gen.SimilarityKey(0, src.ID); got != want {
+			t.Errorf("similarity key of %s: %g, want %g", src.Name, got, want)
+		}
+	}
+}

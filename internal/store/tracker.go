@@ -1,0 +1,119 @@
+package store
+
+import "sync"
+
+// tracker is the LRU page-touch simulator behind the store's cold/warm
+// accounting. Every hot-path read of a source's answer set "touches"
+// that source's resident pages; a touch of a page not currently in the
+// tracked set is a fault (a cold read that would hit disk), a touch of
+// a tracked page is a hit (the page is warm). With a finite capacity
+// the least-recently-touched page is evicted when a new one enters, so
+// long scans over catalogs larger than the cache re-fault exactly the
+// way a real page cache would.
+//
+// The tracker models I/O, it does not perform it: the mmap'ed data is
+// always readable regardless of tracker state.
+type tracker struct {
+	mu       sync.Mutex
+	capacity int // max tracked pages; <=0 means unbounded
+	pages    map[int64]*pageNode
+	head     *pageNode // most recently touched
+	tail     *pageNode // least recently touched
+	faults   int64
+	hits     int64
+}
+
+type pageNode struct {
+	page       int64
+	prev, next *pageNode
+}
+
+func newTracker(capacity int) *tracker {
+	return &tracker{capacity: capacity, pages: make(map[int64]*pageNode)}
+}
+
+// touchRange touches pages [first, first+count) in ascending order and
+// returns the number of faults and hits incurred.
+func (t *tracker) touchRange(first int64, count int) (faults, hits int64) {
+	if count <= 0 {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for p := first; p < first+int64(count); p++ {
+		if n, ok := t.pages[p]; ok {
+			t.hits++
+			hits++
+			t.moveToFront(n)
+			continue
+		}
+		t.faults++
+		faults++
+		n := &pageNode{page: p}
+		t.pages[p] = n
+		t.pushFront(n)
+		if t.capacity > 0 && len(t.pages) > t.capacity {
+			evict := t.tail
+			t.unlink(evict)
+			delete(t.pages, evict.page)
+		}
+	}
+	return faults, hits
+}
+
+// reset drops all tracked pages (a cold restart) without clearing the
+// cumulative fault/hit counters.
+func (t *tracker) reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.pages = make(map[int64]*pageNode)
+	t.head, t.tail = nil, nil
+}
+
+// resident returns the number of currently tracked (warm) pages.
+func (t *tracker) resident() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.pages)
+}
+
+// counters returns the cumulative fault and hit counts.
+func (t *tracker) counters() (faults, hits int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.faults, t.hits
+}
+
+func (t *tracker) pushFront(n *pageNode) {
+	n.prev = nil
+	n.next = t.head
+	if t.head != nil {
+		t.head.prev = n
+	}
+	t.head = n
+	if t.tail == nil {
+		t.tail = n
+	}
+}
+
+func (t *tracker) unlink(n *pageNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		t.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		t.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (t *tracker) moveToFront(n *pageNode) {
+	if t.head == n {
+		return
+	}
+	t.unlink(n)
+	t.pushFront(n)
+}

@@ -1,0 +1,170 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math/bits"
+	"os"
+	"path/filepath"
+
+	"qporder/internal/schema"
+)
+
+// Report summarizes a successful verification.
+type Report struct {
+	Sources  int
+	Universe int
+	// SegmentBytes and CatalogBytes are the two file sizes.
+	SegmentBytes int64
+	CatalogBytes int64
+	// PagesPerRun is each source's padded run length in pages.
+	PagesPerRun int
+	// OverlapPairs is the number of (a<=b) overlap verdicts recomputed
+	// from the runs and matched against the catalog rows.
+	OverlapPairs int
+}
+
+// Verify exhaustively checks a store directory: every checksum (segment
+// header, whole-file data CRC, per-run CRCs, catalog envelope), exact
+// file sizes, cross-file geometry, per-record invariants (cardinality,
+// trimmed words, resident pages recomputed from the run words; padding
+// and out-of-universe bits zero; statistics validate; definitions and
+// query parse), and the full pairwise overlap relation recomputed from
+// the runs against the persisted rows. Any single corrupted byte in
+// either file fails verification — scripts/store_smoke.sh flips one bit
+// to prove it.
+//
+// Verify reads both files into memory; it is the integrity tool, not
+// the serving path (Open stays O(1)).
+func Verify(dir string) (*Report, error) {
+	catBytes, err := os.ReadFile(filepath.Join(dir, CatalogFile))
+	if err != nil {
+		return nil, fmt.Errorf("store: reading catalog: %w", err)
+	}
+	cat, err := DecodeCatalog(catBytes)
+	if err != nil {
+		return nil, err
+	}
+	segBytes, err := os.ReadFile(filepath.Join(dir, SegmentsFile))
+	if err != nil {
+		return nil, fmt.Errorf("store: reading segments: %w", err)
+	}
+	hdr, err := DecodeSegmentHeader(segBytes)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(segBytes)) != hdr.FileSize() {
+		return nil, fmt.Errorf("store: segment file is %d bytes, header implies %d", len(segBytes), hdr.FileSize())
+	}
+	if got := crc32.Checksum(segBytes[segDataStart:], castagnoli); got != hdr.DataCRC {
+		return nil, fmt.Errorf("store: segment data checksum mismatch: header %08x, computed %08x", hdr.DataCRC, got)
+	}
+	// Header-page padding must be zero (it is covered by the data CRC,
+	// but a canonical writer also keeps it zero).
+	for i := segHeaderLen; i < PageSize; i++ {
+		if segBytes[i] != 0 {
+			return nil, fmt.Errorf("store: non-zero header padding at byte %d", i)
+		}
+	}
+	if int(hdr.Universe) != cat.Universe {
+		return nil, fmt.Errorf("store: segment universe %d != catalog universe %d", hdr.Universe, cat.Universe)
+	}
+	n := len(cat.Sources)
+	if int(hdr.Sources) != n {
+		return nil, fmt.Errorf("store: segment holds %d sources, catalog %d", hdr.Sources, n)
+	}
+
+	if _, err := schema.ParseQuery(cat.Query); err != nil {
+		return nil, fmt.Errorf("store: catalog query: %w", err)
+	}
+
+	words := int(hdr.WordsPerRun)
+	pagesPer := int(hdr.PagesPerRun)
+	runBytes := pagesPer * PageSize
+	universe := int(hdr.Universe)
+	runs := make([][]uint64, n)
+	for i, rec := range cat.Sources {
+		raw := segBytes[hdr.RunOffset(i) : hdr.RunOffset(i)+int64(runBytes)]
+		if got := crc32.Checksum(raw, castagnoli); got != rec.CRC {
+			return nil, fmt.Errorf("store: source %s run checksum mismatch: catalog %08x, computed %08x", rec.Name, rec.CRC, got)
+		}
+		run := make([]uint64, words)
+		card, trimmed := 0, 0
+		for w := range run {
+			v := binary.LittleEndian.Uint64(raw[w*8:])
+			run[w] = v
+			card += bits.OnesCount64(v)
+			if v != 0 {
+				trimmed = w + 1
+			}
+		}
+		// Bits at or above the universe inside the last word, and all
+		// padding beyond the word run, must be zero.
+		if tail := universe % 64; tail != 0 && words > 0 && run[words-1]>>uint(tail) != 0 {
+			return nil, fmt.Errorf("store: source %s has bits beyond the universe", rec.Name)
+		}
+		for b := words * 8; b < runBytes; b++ {
+			if raw[b] != 0 {
+				return nil, fmt.Errorf("store: source %s has non-zero run padding at byte %d", rec.Name, b)
+			}
+		}
+		if card != rec.Cardinality {
+			return nil, fmt.Errorf("store: source %s cardinality %d, catalog says %d", rec.Name, card, rec.Cardinality)
+		}
+		if trimmed != rec.TrimmedWords {
+			return nil, fmt.Errorf("store: source %s trimmed words %d, catalog says %d", rec.Name, trimmed, rec.TrimmedWords)
+		}
+		if wantPages := (trimmed*8 + PageSize - 1) / PageSize; wantPages != rec.Pages {
+			return nil, fmt.Errorf("store: source %s resident pages %d, catalog says %d", rec.Name, wantPages, rec.Pages)
+		}
+		if card == 0 {
+			return nil, fmt.Errorf("store: source %s covers nothing (plans through it are unexecutable)", rec.Name)
+		}
+		if err := rec.Stats.Validate(); err != nil {
+			return nil, fmt.Errorf("store: source %s: %w", rec.Name, err)
+		}
+		if rec.Def != "" {
+			if _, err := schema.ParseQuery(rec.Def); err != nil {
+				return nil, fmt.Errorf("store: source %s def: %w", rec.Name, err)
+			}
+		}
+		runs[i] = run
+	}
+
+	// Recompute the full pairwise overlap relation and require exact
+	// agreement (both directions of each symmetric pair) with the rows.
+	pairs := 0
+	for a := 0; a < n; a++ {
+		for b := a; b < n; b++ {
+			got := overlaps(runs[a], runs[b])
+			if rowBit(cat.OverlapRows[a], b) != got || rowBit(cat.OverlapRows[b], a) != got {
+				return nil, fmt.Errorf("store: overlap row disagrees with runs for sources %s, %s",
+					cat.Sources[a].Name, cat.Sources[b].Name)
+			}
+			pairs++
+		}
+	}
+
+	return &Report{
+		Sources:      n,
+		Universe:     universe,
+		SegmentBytes: int64(len(segBytes)),
+		CatalogBytes: int64(len(catBytes)),
+		PagesPerRun:  pagesPer,
+		OverlapPairs: pairs,
+	}, nil
+}
+
+func overlaps(a, b []uint64) bool {
+	for i := range a {
+		if a[i]&b[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func rowBit(row []uint64, b int) bool {
+	return row[b/64]&(1<<uint(b%64)) != 0
+}

@@ -1,0 +1,137 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"qporder/internal/lav"
+	"qporder/internal/workload"
+)
+
+// WriteDomain persists a generated domain into dir as a segment file
+// plus a statistics catalog. The write is deterministic — the same
+// domain always produces byte-identical files — and atomic per file
+// (tmp + rename), so a crashed writer never leaves a half-valid store
+// that passes checksums.
+func WriteDomain(dir string, d *workload.Domain) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	n := d.Catalog.Len()
+	if n == 0 {
+		return fmt.Errorf("store: domain has no sources")
+	}
+	universe := d.Coverage.Universe()
+	words := (universe + 63) / 64
+	pagesPer := (words*8 + PageSize - 1) / PageSize
+
+	// Segment file: header page then one padded run per source, in dense
+	// ID order.
+	size := PageSize * (1 + n*pagesPer)
+	buf := make([]byte, size)
+	cat := &Catalog{
+		SchemaVersion: FormatVersion,
+		Config:        d.Config,
+		Query:         d.Query.String(),
+		PageSize:      PageSize,
+		Universe:      universe,
+		Sources:       make([]SourceRecord, n),
+		OverlapRows:   make([][]uint64, n),
+	}
+	bucketOf := make(map[lav.SourceID]int, n)
+	for b, ids := range d.Buckets {
+		for _, id := range ids {
+			bucketOf[id] = b
+		}
+	}
+	for i := 0; i < n; i++ {
+		id := lav.SourceID(i)
+		src := d.Catalog.Source(id)
+		if !d.Coverage.Has(id) {
+			return fmt.Errorf("store: source %s has no coverage set", src.Name)
+		}
+		set := d.Coverage.Set(id)
+		if set.Len() != universe {
+			return fmt.Errorf("store: source %s set capacity %d != universe %d", src.Name, set.Len(), universe)
+		}
+		run := buf[int(PageSize)*(1+i*pagesPer):]
+		for w, word := range set.Words() {
+			binary.LittleEndian.PutUint64(run[w*8:], word)
+		}
+		def := ""
+		if src.Def != nil {
+			def = src.Def.String()
+		}
+		bucket, ok := bucketOf[id]
+		if !ok {
+			return fmt.Errorf("store: source %s belongs to no bucket", src.Name)
+		}
+		cat.Sources[i] = SourceRecord{
+			Name:         src.Name,
+			Bucket:       bucket,
+			Zone:         d.Zone(id),
+			Def:          def,
+			Cardinality:  set.Count(),
+			TrimmedWords: set.TrimmedLen(),
+			Pages:        ResidentPages(set),
+			CRC:          crc32.Checksum(run[:pagesPer*PageSize], castagnoli),
+			Stats:        src.Stats,
+		}
+	}
+	rowWords := (n + 63) / 64
+	for a := 0; a < n; a++ {
+		row := make([]uint64, rowWords)
+		d.Coverage.OverlapRow(lav.SourceID(a), row)
+		cat.OverlapRows[a] = row
+	}
+
+	hdr := SegmentHeader{
+		Version:     FormatVersion,
+		PageSize:    PageSize,
+		Universe:    uint64(universe),
+		Sources:     uint64(n),
+		WordsPerRun: uint64(words),
+		PagesPerRun: uint64(pagesPer),
+		DataCRC:     crc32.Checksum(buf[segDataStart:], castagnoli),
+	}
+	enc := encodeSegmentHeader(hdr)
+	copy(buf, enc[:])
+
+	catBytes, err := EncodeCatalog(cat)
+	if err != nil {
+		return err
+	}
+	if err := writeAtomic(filepath.Join(dir, SegmentsFile), buf); err != nil {
+		return err
+	}
+	return writeAtomic(filepath.Join(dir, CatalogFile), catBytes)
+}
+
+// writeAtomic writes data to path via a same-directory temp file and
+// rename, fsyncing the file before the swap.
+func writeAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: creating temp for %s: %w", path, err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: writing %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: syncing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: closing %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: publishing %s: %w", path, err)
+	}
+	return nil
+}

@@ -164,6 +164,30 @@ func Generate(cfg Config) *Domain {
 	return d
 }
 
+// Rehydrate reconstructs a Domain from externally persisted parts (the
+// segment/catalog store of internal/store). The caller supplies the
+// exact artifacts Generate would have produced: the configuration, the
+// populated source catalog, per-bucket source IDs, the coverage model,
+// the mediated query, and the per-source zone and set-size tables that
+// back SimilarityKey. cfg is normalized with the same defaults as
+// Generate so a round-tripped domain compares equal field-for-field.
+func Rehydrate(cfg Config, cat *lav.Catalog, buckets [][]lav.SourceID,
+	cov *coverage.Model, query *schema.Query,
+	zone, setSize map[lav.SourceID]int) *Domain {
+	cfg = cfg.withDefaults()
+	return &Domain{
+		Config:   cfg,
+		Catalog:  cat,
+		Buckets:  buckets,
+		Space:    planspace.NewSpace(buckets),
+		Coverage: cov,
+		Params:   costmodel.Params{N: cfg.N},
+		Query:    query,
+		zone:     zone,
+		setSize:  setSize,
+	}
+}
+
 // Zone returns the coverage zone of a source.
 func (d *Domain) Zone(id lav.SourceID) int { return d.zone[id] }
 

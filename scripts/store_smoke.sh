@@ -1,0 +1,180 @@
+#!/bin/sh
+# store_smoke.sh — end-to-end smoke test of the disk-backed segment
+# store (internal/store):
+#   1. generate a store directory with `qpgen -store` and require
+#      `qpstore verify` to pass (the generator round-trips through the
+#      verifier),
+#   2. corrupt a single byte of segments.qps — verify must fail; restore
+#      and corrupt a single byte of catalog.qpc — verify must fail again;
+#      restore and verify must pass,
+#   3. boot a race-enabled `qpserved -store` over the clean store and
+#      require the streamed plan order to be byte-identical to
+#      `qporder -store` reading the same directory,
+#   4. run the cold-vs-warm store experiment (`qpbench -exp store`),
+#      which exits non-zero on any parity divergence,
+#   5. SIGTERM the daemon and require a clean drain.
+# Used by `make store-smoke` and the store-smoke CI job.
+set -eu
+
+GO=${GO:-go}
+WORKDIR=$(mktemp -d)
+
+# cleanup runs on every exit path — success, failure, or interrupt. The
+# daemon is killed (TERM, then KILL if it lingers) and reaped BEFORE the
+# workdir is removed. On failure, logs are preserved in
+# SMOKE_ARTIFACT_DIR if set (CI uploads them as workflow artifacts).
+cleanup() {
+    status=$?
+    if [ "$status" -ne 0 ] && [ -n "${SMOKE_ARTIFACT_DIR:-}" ]; then
+        mkdir -p "$SMOKE_ARTIFACT_DIR"
+        cp "$WORKDIR"/*.log "$WORKDIR"/*.txt "$SMOKE_ARTIFACT_DIR"/ 2>/dev/null || true
+    fi
+    if [ -n "${SRV_PID:-}" ]; then
+        kill -TERM "$SRV_PID" 2>/dev/null || true
+        for _ in $(seq 1 50); do
+            kill -0 "$SRV_PID" 2>/dev/null || break
+            sleep 0.1
+        done
+        kill -KILL "$SRV_PID" 2>/dev/null || true
+        wait "$SRV_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORKDIR"
+    exit "$status"
+}
+trap cleanup EXIT INT TERM
+
+# FAIL_INJECT=1 exercises the cleanup path itself: exit mid-run with the
+# daemon still up; the driver then asserts the process is gone.
+FAIL_INJECT=${FAIL_INJECT:-}
+
+STORE="$WORKDIR/store"
+QUERY='Q(X0, X3) :- rel0(X0, X1), rel1(X1, X2), rel2(X2, X3)'
+SEED=7
+ALGO=streamer
+MEASURE=chain
+K=6
+
+echo "store-smoke: building binaries"
+$GO build -o "$WORKDIR/qpgen" ./cmd/qpgen
+$GO build -o "$WORKDIR/qpstore" ./cmd/qpstore
+$GO build -o "$WORKDIR/qporder" ./cmd/qporder
+$GO build -o "$WORKDIR/qpbench" ./cmd/qpbench
+$GO build -race -o "$WORKDIR/qpserved" ./cmd/qpserved
+$GO build -race -o "$WORKDIR/qpload" ./cmd/qpload
+
+echo "store-smoke: generating a store and verifying it"
+"$WORKDIR/qpgen" -store "$STORE" -qlen 3 -sources 6 -universe 16384 -seed "$SEED"
+"$WORKDIR/qpstore" verify -dir "$STORE" || {
+    echo "store-smoke: FAIL: freshly generated store does not verify"
+    exit 1
+}
+"$WORKDIR/qpstore" inspect -dir "$STORE" > "$WORKDIR/inspect.txt"
+grep -q "universe" "$WORKDIR/inspect.txt" || {
+    echo "store-smoke: FAIL: qpstore inspect printed no summary"
+    exit 1
+}
+
+# corrupt_byte FILE OFFSET — increment the byte at OFFSET (mod 256), a
+# guaranteed single-byte change.
+corrupt_byte() {
+    orig=$(od -An -tu1 -j "$2" -N 1 "$1" | tr -d ' ')
+    new=$(( (orig + 1) % 256 ))
+    printf "\\$(printf '%03o' "$new")" \
+        | dd of="$1" bs=1 seek="$2" count=1 conv=notrunc 2>/dev/null
+}
+
+echo "store-smoke: a corrupted segment byte must fail verification"
+cp "$STORE/segments.qps" "$WORKDIR/segments.pristine"
+cp "$STORE/catalog.qpc" "$WORKDIR/catalog.pristine"
+corrupt_byte "$STORE/segments.qps" 6000
+if "$WORKDIR/qpstore" verify -dir "$STORE" > "$WORKDIR/verify_seg.txt" 2>&1; then
+    echo "store-smoke: FAIL: verify passed over a corrupted segment file"
+    exit 1
+fi
+cp "$WORKDIR/segments.pristine" "$STORE/segments.qps"
+
+echo "store-smoke: a corrupted catalog byte must fail verification"
+corrupt_byte "$STORE/catalog.qpc" 100
+if "$WORKDIR/qpstore" verify -dir "$STORE" > "$WORKDIR/verify_cat.txt" 2>&1; then
+    echo "store-smoke: FAIL: verify passed over a corrupted catalog file"
+    exit 1
+fi
+cp "$WORKDIR/catalog.pristine" "$STORE/catalog.qpc"
+"$WORKDIR/qpstore" verify -dir "$STORE" || {
+    echo "store-smoke: FAIL: restored store does not verify"
+    exit 1
+}
+echo "store-smoke: single-byte corruption detected in both files"
+
+echo "store-smoke: booting qpserved -store on a random port"
+"$WORKDIR/qpserved" -store "$STORE" -addr 127.0.0.1:0 -seed "$SEED" \
+    > "$WORKDIR/served.log" 2>&1 &
+SRV_PID=$!
+
+PORT=""
+for _ in $(seq 1 50); do
+    PORT=$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "$WORKDIR/served.log")
+    [ -n "$PORT" ] && break
+    kill -0 "$SRV_PID" 2>/dev/null || { echo "store-smoke: daemon died:"; cat "$WORKDIR/served.log"; exit 1; }
+    sleep 0.2
+done
+[ -n "$PORT" ] || { echo "store-smoke: no port in daemon log"; cat "$WORKDIR/served.log"; exit 1; }
+URL="http://127.0.0.1:$PORT"
+echo "store-smoke: daemon is up at $URL"
+curl -fsS "$URL/healthz" > /dev/null || { echo "store-smoke: healthz failed"; exit 1; }
+
+if [ -n "$FAIL_INJECT" ]; then
+    echo "store-smoke: FAIL_INJECT set, exiting mid-run with the daemon up (pid $SRV_PID)"
+    echo "$SRV_PID" > "${FAIL_INJECT}"
+    exit 42
+fi
+
+echo "store-smoke: checking served plan order against qporder -store"
+"$WORKDIR/qpload" -url "$URL" -q "$QUERY" -print-plans \
+    -algo "$ALGO" -measure "$MEASURE" -k "$K" > "$WORKDIR/served_plans.txt"
+"$WORKDIR/qporder" -store "$STORE" -plans-only \
+    -algo "$ALGO" -measure "$MEASURE" -k "$K" -seed "$SEED" > "$WORKDIR/direct_plans.txt"
+if ! diff -u "$WORKDIR/direct_plans.txt" "$WORKDIR/served_plans.txt"; then
+    echo "store-smoke: FAIL: served plan order diverges from qporder -store"
+    exit 1
+fi
+[ -s "$WORKDIR/served_plans.txt" ] || { echo "store-smoke: FAIL: no plans streamed"; exit 1; }
+echo "store-smoke: plan order is byte-identical ($(wc -l < "$WORKDIR/served_plans.txt" | tr -d ' ') plans)"
+
+echo "store-smoke: cold-vs-warm store experiment (parity-gated)"
+"$WORKDIR/qpbench" -exp store -universe 1024 > "$WORKDIR/bench_store.txt" || {
+    echo "store-smoke: FAIL: qpbench -exp store reported divergence:"
+    cat "$WORKDIR/bench_store.txt"
+    exit 1
+}
+grep -q "warm" "$WORKDIR/bench_store.txt" || {
+    echo "store-smoke: FAIL: store experiment produced no warm rows:"
+    cat "$WORKDIR/bench_store.txt"
+    exit 1
+}
+
+echo "store-smoke: draining via SIGTERM"
+kill -TERM "$SRV_PID"
+DRAINED=1
+for _ in $(seq 1 100); do
+    if ! kill -0 "$SRV_PID" 2>/dev/null; then DRAINED=0; break; fi
+    sleep 0.2
+done
+if [ "$DRAINED" -ne 0 ]; then
+    echo "store-smoke: FAIL: daemon did not exit after SIGTERM"
+    cat "$WORKDIR/served.log"
+    exit 1
+fi
+wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=""
+grep -q "drained cleanly" "$WORKDIR/served.log" || {
+    echo "store-smoke: FAIL: no clean-drain marker in daemon log:"
+    cat "$WORKDIR/served.log"
+    exit 1
+}
+if grep -iq "DATA RACE" "$WORKDIR/served.log"; then
+    echo "store-smoke: FAIL: race detected in daemon log:"
+    cat "$WORKDIR/served.log"
+    exit 1
+fi
+echo "store-smoke: PASS"
