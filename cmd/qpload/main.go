@@ -22,9 +22,12 @@
 //
 // -router sweeps the workload across the given concurrency levels and
 // reports the throughput knee — the smallest concurrency already
-// delivering ~90% of the fleet's best QPS. -scatter asks the router to
-// partition the PI plan space across its shards and gather the streams
-// (works with any qpload mode pointed at a router).
+// delivering ~90% of the fleet's best QPS — plus a per-shard breakdown
+// (sessions, answers, latency quantiles from the router's
+// fleet.shard<i>.* instruments) that makes shard skew visible.
+// -scatter asks the router to partition the PI plan space across its
+// shards and gather the streams (works with any qpload mode pointed at
+// a router).
 package main
 
 import (
@@ -206,6 +209,13 @@ func runFleetSweep(cfg server.LoadConfig, sweep string, asJSON bool, outFile str
 			marker, p.Concurrency, p.QPS, p.Errors, p.Full.P50, p.Full.P99)
 	}
 	fmt.Printf("knee: c=%d reaches %.0f%% of max %.1f qps\n", rep.Knee, 100*rep.KneeFraction, rep.MaxQPS)
+	if len(rep.Shards) > 0 {
+		fmt.Println("per-shard load (skew check; counts are sweep deltas):")
+		for _, s := range rep.Shards {
+			fmt.Printf("  shard%-2d sessions=%-6d answers=%-8d latency p50=%.2fms p99=%.2fms\n",
+				s.Shard, s.Sessions, s.Answers, s.LatencyP50MS, s.LatencyP99MS)
+		}
+	}
 	errs := 0
 	for _, p := range rep.Points {
 		errs += p.Errors

@@ -13,8 +13,18 @@
 // or dead shards leave the ring within one probe interval, and session
 // setup retries on the next ring node with bounded doubling backoff.
 // Client traceparent headers are forwarded, so a fleet hop stays inside
-// one W3C trace. GET /metrics serves the fleet.* instruments in text,
-// JSON, or OpenMetrics form; GET /healthz reports the fleet view.
+// one W3C trace. With -trace-out the router goes further: it runs its
+// own request trace per session (admission, shard pick, proxy/slice,
+// merge spans), asks every shard for its span tree via the stream's
+// spans trailer, and appends the unified multi-process export — router
+// plus shard snapshots under one trace ID — as NDJSON that qptrace
+// stitches into a fleet-wide critical path. GET /metrics serves the
+// fleet.* instruments in text or JSON form; ?format=openmetrics
+// federates, merging every healthy shard's exposition (re-labeled
+// shard="<index>") with the router's own. The -slo-* flags arm an SLO
+// monitor — rolling-window burn rates at GET /debug/slo and slo.*
+// gauges — which also tail-samples -trace-out to slow, errored, or
+// budget-burning sessions. GET /healthz reports the fleet view.
 //
 // Usage:
 //
@@ -61,6 +71,11 @@ func run() error {
 		defaultK     = flag.Int("k", 10, "default plan budget for scatter requests that omit k (match the shards' -k)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown grace for in-flight streams")
 		quiet        = flag.Bool("quiet", false, "suppress reroute/health log lines on stderr")
+		traceOut     = flag.String("trace-out", "", "append unified fleet traces (router + shard spans) to this NDJSON file (qptrace input)")
+		sloTTFA      = flag.Duration("slo-ttfa", 0, "time-to-first-answer objective (0 disables)")
+		sloFull      = flag.Duration("slo-full", 0, "full-session latency objective (0 disables)")
+		sloTarget    = flag.Float64("slo-target", 0.99, "fraction of sessions that must meet the objectives")
+		sloWindow    = flag.Duration("slo-window", 5*time.Minute, "rolling window for burn-rate accounting")
 	)
 	flag.Parse()
 	if *shards == "" {
@@ -83,6 +98,20 @@ func run() error {
 		Backoff:        *backoff,
 		DefaultK:       *defaultK,
 		Registry:       reg,
+		SLO: obs.NewSLOMonitor(obs.SLOConfig{
+			TTFAObjective: *sloTTFA,
+			FullObjective: *sloFull,
+			Target:        *sloTarget,
+			Window:        *sloWindow,
+		}),
+	}
+	if *traceOut != "" {
+		tf, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		cfg.TraceOut = tf
 	}
 	if !*quiet {
 		cfg.Logf = func(format string, args ...any) {

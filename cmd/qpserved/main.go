@@ -14,7 +14,11 @@
 // estimate-vs-actual q-error, bias, and EWMA drift per source and plan
 // series — served at GET /debug/calibration, exported per request with
 // -calib-out, and scrapeable alongside every registry instrument at
-// GET /metrics?format=openmetrics (OpenMetrics text exposition).
+// GET /metrics?format=openmetrics (OpenMetrics text exposition). The
+// -slo-* flags arm an SLO monitor: rolling-window TTFA and full-session
+// burn rates at GET /debug/slo, slo.* gauges on the registry, and
+// tail sampling of -trace-out (only slow, errored, or budget-burning
+// sessions export; others count slo.sampled_dropped).
 //
 // Usage:
 //
@@ -70,6 +74,10 @@ func run() error {
 		traceOut     = flag.String("trace-out", "", "append finished request traces to this NDJSON file (qptrace input)")
 		calibOut     = flag.String("calib-out", "", "append per-request calibration snapshots to this NDJSON file (may equal -trace-out; qptrace ingests the mixed stream)")
 		logRequests  = flag.Bool("log-requests", true, "log one structured line per request to stderr, correlated by trace ID")
+		sloTTFA      = flag.Duration("slo-ttfa", 0, "time-to-first-answer objective (0 disables)")
+		sloFull      = flag.Duration("slo-full", 0, "full-session latency objective (0 disables)")
+		sloTarget    = flag.Float64("slo-target", 0.99, "fraction of sessions that must meet the objectives")
+		sloWindow    = flag.Duration("slo-window", 5*time.Minute, "rolling window for burn-rate accounting")
 	)
 	flag.Parse()
 	var dom *domfile.Domain
@@ -113,6 +121,12 @@ func run() error {
 		MaxK:          *maxK,
 		Reg:           reg,
 		FlightEntries: *flight,
+		SLO: obs.NewSLOMonitor(obs.SLOConfig{
+			TTFAObjective: *sloTTFA,
+			FullObjective: *sloFull,
+			Target:        *sloTarget,
+			Window:        *sloWindow,
+		}),
 	}
 	if *logRequests {
 		cfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))

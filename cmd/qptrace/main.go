@@ -1,11 +1,16 @@
 // Command qptrace analyzes exported request traces: the NDJSON files
-// qpserved -trace-out and qporder -trace write (one TraceSnapshot per
-// line). It reports the hottest span paths, the slowest requests with
-// their critical paths, and the aggregate ordering provenance (plans
-// emitted, dominance tests won/lost, refinements, splits, evaluations).
-// Calibration records (qpserved -calib-out) may ride in the same stream;
-// the report then appends the last cumulative estimator-calibration
-// snapshot — per-source and per-plan q-error, bias, and drift flags.
+// qpserved -trace-out, qprouter -trace-out, and qporder -trace write
+// (one TraceSnapshot per line). It reports the hottest span paths, the
+// slowest requests with their critical paths, and the aggregate
+// ordering provenance (plans emitted, dominance tests won/lost,
+// refinements, splits, evaluations). Snapshots from different processes
+// sharing a trace ID — a router hop plus the shard hops it fanned out
+// to — are stitched into one fleet-wide trace: the report renders the
+// merged critical path across processes and a per-hop self-time
+// breakdown (router queueing vs shard execution vs merge). Calibration
+// records (qpserved -calib-out) may ride in the same stream; the report
+// then appends the last cumulative estimator-calibration snapshot —
+// per-source and per-plan q-error, bias, and drift flags.
 //
 // Usage:
 //

@@ -1,0 +1,106 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"qporder/internal/obs"
+)
+
+// This file is the router half of metrics federation: one scrape of the
+// router's /metrics?format=openmetrics returns the whole fleet — the
+// router's own fleet.* families plus every healthy shard's families
+// re-labeled with shard="<configured index>". A Prometheus-compatible
+// collector then needs exactly one target per fleet, and per-shard
+// series stay distinguishable (and aggregatable) via the shard label.
+//
+// Unhealthy or failing shards are skipped, not fatal: a federated
+// scrape degrades to the reachable subset, counted in
+// fleet.federate_errors, rather than turning one dead shard into a
+// fleet-wide metrics outage.
+
+// writeFederated serves the merged OpenMetrics exposition.
+func (rt *Router) writeFederated(w http.ResponseWriter, r *http.Request) {
+	// Render the router's own registry through the same writer the
+	// shards use and re-parse it, so local and scraped families go
+	// through one merge path.
+	var own bytes.Buffer
+	if err := rt.cfg.Registry.WriteOpenMetrics(&own); err != nil {
+		http.Error(w, "rendering local metrics: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	local, err := obs.ParseOpenMetrics(&own)
+	if err != nil {
+		http.Error(w, "parsing local metrics: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	healthy := make(map[string]bool)
+	for _, u := range rt.prober.healthy() {
+		healthy[u] = true
+	}
+	scraped := make([][]obs.OMFamily, len(rt.shards))
+	var wg sync.WaitGroup
+	for i, shard := range rt.shards {
+		if !healthy[shard] {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, shard string) {
+			defer wg.Done()
+			rt.scrapes.Inc()
+			fams, err := rt.scrapeShard(r.Context(), shard)
+			if err != nil {
+				rt.scrapeEr.Inc()
+				rt.say("fleet: federation scrape of %s failed: %v", shard, err)
+				return
+			}
+			scraped[i] = fams
+		}(i, shard)
+	}
+	wg.Wait()
+
+	sources := make([]obs.LabeledExposition, 0, len(rt.shards)+1)
+	sources = append(sources, obs.LabeledExposition{Families: local})
+	for i, fams := range scraped {
+		if fams == nil {
+			continue
+		}
+		sources = append(sources, obs.LabeledExposition{
+			Families: fams,
+			Label:    [2]string{"shard", strconv.Itoa(i)},
+		})
+	}
+	w.Header().Set("Content-Type", obs.OpenMetricsContentType)
+	if _, err := obs.WriteMergedOpenMetrics(w, sources); err != nil {
+		rt.say("fleet: writing federated metrics: %v", err)
+	}
+}
+
+// scrapeShard fetches and parses one shard's OpenMetrics exposition,
+// bounded by the health-probe timeout so a hung shard cannot stall the
+// federated scrape indefinitely.
+func (rt *Router) scrapeShard(ctx context.Context, shard string) ([]obs.OMFamily, error) {
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, shard+"/metrics?format=openmetrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", obs.OpenMetricsContentType)
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("%s answered %d", shard, resp.StatusCode)
+	}
+	return obs.ParseOpenMetrics(resp.Body)
+}

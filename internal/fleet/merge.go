@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"qporder/internal/obs"
 	"qporder/internal/server"
 )
 
@@ -99,6 +100,29 @@ func (ss *shardStream) advance() {
 	if ss.done == nil {
 		ss.err = fmt.Errorf("shard %s: stream ended without a done event", ss.shard)
 	}
+}
+
+// trailer consumes the stream past its done (or error) event and
+// returns the shard's spans trailers — the span snapshots a shard
+// appends when the sub-request set "spans": true. The merge may stop
+// before a stream's done (the k-th plan emitted elsewhere), so the
+// drain first advances the cursor to the stream's end, discarding
+// unmerged plan groups, then scans the remaining raw lines.
+func (ss *shardStream) trailer() []obs.TraceSnapshot {
+	for ss.err == nil && ss.done == nil {
+		ss.advance()
+	}
+	var out []obs.TraceSnapshot
+	for ss.sc.Scan() {
+		var e server.Event
+		if json.Unmarshal(ss.sc.Bytes(), &e) != nil {
+			break
+		}
+		if e.Event == "spans" && e.Trace != nil {
+			out = append(out, *e.Trace)
+		}
+	}
+	return out
 }
 
 // close cancels the sub-request and releases the response body.

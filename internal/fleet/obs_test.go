@@ -1,0 +1,532 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"qporder/internal/obs"
+	"qporder/internal/server"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer for trace exports.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// spyShards wraps n real shards in reverse proxies that record the
+// Traceparent header of every /v1/query sub-request.
+func spyShards(t *testing.T, n int) (urls []string, seen func() []string) {
+	t.Helper()
+	real := startShards(t, n)
+	var mu sync.Mutex
+	var tps []string
+	for i := 0; i < n; i++ {
+		target, err := url.Parse(real[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		proxy := httputil.NewSingleHostReverseProxy(target)
+		proxy.FlushInterval = -1
+		spy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/query" {
+				mu.Lock()
+				tps = append(tps, r.Header.Get("Traceparent"))
+				mu.Unlock()
+			}
+			proxy.ServeHTTP(w, r)
+		}))
+		t.Cleanup(spy.Close)
+		urls = append(urls, spy.URL)
+	}
+	return urls, func() []string {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]string(nil), tps...)
+	}
+}
+
+func postWithTraceparent(t *testing.T, url, tp string, req map[string]any) (int, []server.Event) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := http.NewRequest(http.MethodPost, url+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	hr.Header.Set("Traceparent", tp)
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var events []server.Event
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var e server.Event
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("bad stream: %v", err)
+		}
+		events = append(events, e)
+	}
+	return resp.StatusCode, events
+}
+
+// TestScatterTraceparentPropagation: every scatter sub-request carries
+// the client's W3C trace ID. Without router tracing the header is
+// forwarded verbatim; with tracing each slice gets its own parent span
+// under the shared trace.
+func TestScatterTraceparentPropagation(t *testing.T) {
+	const clientTP = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	const clientTrace = "0af7651916cd43dd8448eb211c80319c"
+	const clientSpan = "b7ad6b7169203331"
+	req := map[string]any{"query": fleetQuery, "k": 9, "measure": "chain", "scatter": true}
+
+	t.Run("verbatim without tracing", func(t *testing.T) {
+		shards, seen := spyShards(t, 2)
+		_, url := startRouter(t, shards, nil)
+		status, _ := postWithTraceparent(t, url, clientTP, req)
+		if status != http.StatusOK {
+			t.Fatalf("status %d", status)
+		}
+		tps := seen()
+		if len(tps) != 2 {
+			t.Fatalf("saw %d sub-requests, want 2", len(tps))
+		}
+		for _, tp := range tps {
+			if tp != clientTP {
+				t.Errorf("shard saw %q, want the client's header verbatim", tp)
+			}
+		}
+	})
+
+	t.Run("per-slice spans with tracing", func(t *testing.T) {
+		shards, seen := spyShards(t, 2)
+		var exported syncBuffer
+		_, url := startRouter(t, shards, func(cfg *Config) { cfg.TraceOut = &exported })
+		status, _ := postWithTraceparent(t, url, clientTP, req)
+		if status != http.StatusOK {
+			t.Fatalf("status %d", status)
+		}
+		tps := seen()
+		if len(tps) != 2 {
+			t.Fatalf("saw %d sub-requests, want 2", len(tps))
+		}
+		spans := map[string]bool{}
+		for _, tp := range tps {
+			parts := strings.Split(tp, "-")
+			if len(parts) != 4 || parts[1] != clientTrace {
+				t.Fatalf("shard saw %q, want the client's trace ID %s", tp, clientTrace)
+			}
+			if parts[2] == clientSpan {
+				t.Errorf("slice parent is the client's span; want a router slice span")
+			}
+			spans[parts[2]] = true
+		}
+		if len(spans) != 2 {
+			t.Errorf("slices share a parent span: %v", spans)
+		}
+	})
+}
+
+// TestScatterStitchedExport: a traced scatter session exports the
+// router's snapshot plus every shard's trailer under one trace ID, and
+// StitchTraces joins them into a fleet-wide trace with a cross-process
+// critical path.
+func TestScatterStitchedExport(t *testing.T) {
+	shards := startShards(t, 2)
+	var exported syncBuffer
+	_, url := startRouter(t, shards, func(cfg *Config) { cfg.TraceOut = &exported })
+	status, events := post(t, url, map[string]any{"query": fleetQuery, "k": 9, "measure": "chain", "scatter": true})
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	for _, e := range events {
+		if e.Event == "spans" {
+			t.Fatal("spans trailer reached the client without spans:true")
+		}
+	}
+
+	traces, err := obs.ReadTraces(strings.NewReader(exported.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 3 { // router + 2 shard hops
+		t.Fatalf("exported %d snapshots, want 3", len(traces))
+	}
+	stitched := obs.StitchTraces(traces)
+	if len(stitched) != 1 {
+		t.Fatalf("stitched %d traces, want 1", len(stitched))
+	}
+	st := stitched[0]
+	if st.Procs != 3 || st.Orphans != 0 {
+		t.Fatalf("stitched = procs %d orphans %d, want 3/0", st.Procs, st.Orphans)
+	}
+	if !strings.Contains(st.Name, "router") {
+		t.Fatalf("root hop = %q, want the router", st.Name)
+	}
+	if st.CriticalPath == "" || !strings.Contains(st.CriticalPath, "router/slice") {
+		t.Fatalf("critical path %q does not cross the process boundary", st.CriticalPath)
+	}
+	if len(st.Breakdown) < 2 {
+		t.Fatalf("breakdown = %+v, want router and shard parts", st.Breakdown)
+	}
+	// The router hop carries its own pipeline spans.
+	var routerSnap *obs.TraceSnapshot
+	for i := range traces {
+		if strings.Contains(traces[i].Name, "router") {
+			routerSnap = &traces[i]
+		}
+	}
+	if routerSnap == nil {
+		t.Fatal("no router snapshot in the export")
+	}
+	names := map[string]bool{}
+	for _, sp := range routerSnap.Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"router/admit", "router/pick", "router/slice0", "router/slice1", "router/merge"} {
+		if !names[want] {
+			t.Errorf("router snapshot lacks span %q; has %v", want, names)
+		}
+	}
+}
+
+// TestScatterSpansReemitted: a client that itself asks for spans gets
+// every shard's trailer relayed after done, plus the router does not
+// need tracing enabled for the passthrough.
+func TestScatterSpansReemitted(t *testing.T) {
+	shards := startShards(t, 2)
+	_, url := startRouter(t, shards, nil)
+	status, events := post(t, url, map[string]any{
+		"query": fleetQuery, "k": 9, "measure": "chain", "scatter": true, "spans": true,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	doneAt := -1
+	var spans []server.Event
+	for i, e := range events {
+		switch e.Event {
+		case "done":
+			doneAt = i
+		case "spans":
+			if doneAt < 0 {
+				t.Fatal("spans trailer before done")
+			}
+			spans = append(spans, e)
+		}
+	}
+	if len(spans) != 2 {
+		t.Fatalf("client got %d spans trailers, want one per shard", len(spans))
+	}
+	for _, e := range spans {
+		if e.Trace == nil || len(e.Trace.Spans) == 0 {
+			t.Fatalf("empty spans trailer: %+v", e)
+		}
+		if e.TraceID == "" || e.Trace.TraceID.String() != e.TraceID {
+			t.Fatalf("trailer trace ID mismatch: event %q snapshot %s", e.TraceID, e.Trace.TraceID)
+		}
+	}
+}
+
+// TestProxySpansPassthrough: in affinity mode the shard's trailer is
+// relayed to a spans-requesting client untouched.
+func TestProxySpansPassthrough(t *testing.T) {
+	shards := startShards(t, 1)
+	_, url := startRouter(t, shards, nil)
+	status, events := post(t, url, map[string]any{"query": fleetQuery, "k": 3, "spans": true})
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	last := events[len(events)-1]
+	if last.Event != "spans" || last.Trace == nil {
+		t.Fatalf("stream does not end with a spans trailer: %+v", last)
+	}
+
+	// Without the flag the trailer must not leak through the relay.
+	status, events = post(t, url, map[string]any{"query": fleetQuery, "k": 3})
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	for _, e := range events {
+		if e.Event == "spans" {
+			t.Fatal("spans trailer leaked to a plain client")
+		}
+	}
+}
+
+// TestFederatedMetrics: the router's openmetrics view folds in every
+// healthy shard's exposition under a shard label and still satisfies
+// the grammar (terminal # EOF, single TYPE per family).
+func TestFederatedMetrics(t *testing.T) {
+	shards := startShards(t, 2)
+	rt, url := startRouter(t, shards, nil)
+	// Produce some traffic so shard counters are non-zero.
+	if status, _ := post(t, url, map[string]any{"query": fleetQuery, "k": 9, "measure": "chain", "scatter": true}); status != http.StatusOK {
+		t.Fatalf("warmup status %d", status)
+	}
+
+	resp, err := http.Get(url + "/metrics?format=openmetrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.OpenMetricsContentType {
+		t.Fatalf("content-type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(raw)
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Fatalf("exposition does not end with # EOF:\n...%s", out[max(0, len(out)-80):])
+	}
+	// Both shards present under their configured index.
+	if !strings.Contains(out, `shard="0"`) || !strings.Contains(out, `shard="1"`) {
+		t.Fatalf("shard labels missing:\n%s", out)
+	}
+	// The router's own families stay unlabeled.
+	if !strings.Contains(out, "fleet_sessions_scatter_total ") {
+		t.Fatalf("router families missing:\n%s", out)
+	}
+	// Shard-side families arrive relabeled.
+	if !strings.Contains(out, `server_requests_total{shard="0"}`) {
+		t.Fatalf("shard families not relabeled:\n%s", out)
+	}
+	// The merged output is valid OpenMetrics: it re-parses, and each
+	// family is declared exactly once.
+	fams, err := obs.ParseOpenMetrics(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("federated output does not re-parse: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, f := range fams {
+		if seen[f.Name] {
+			t.Fatalf("family %s declared twice", f.Name)
+		}
+		seen[f.Name] = true
+	}
+	if got := rt.scrapes.Value(); got != 2 {
+		t.Errorf("fleet.federate_scrapes = %d, want 2", got)
+	}
+	if got := rt.scrapeEr.Value(); got != 0 {
+		t.Errorf("fleet.federate_errors = %d, want 0", got)
+	}
+}
+
+// TestFederatedMetricsDegraded: a dead shard is skipped, counted in
+// fleet.federate_errors, and the endpoint still answers.
+func TestFederatedMetricsDegraded(t *testing.T) {
+	shards := startShards(t, 1)
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	t.Cleanup(dead.Close)
+	rt, url := startRouter(t, append(shards, dead.URL), nil)
+
+	resp, err := http.Get(url + "/metrics?format=openmetrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(raw)
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Fatalf("degraded exposition is not terminated:\n%s", out)
+	}
+	if !strings.Contains(out, `shard="0"`) {
+		t.Fatalf("live shard missing from degraded merge:\n%s", out)
+	}
+	if strings.Contains(out, `shard="1"`) {
+		t.Fatalf("dead shard's samples present:\n%s", out)
+	}
+	if got := rt.scrapeEr.Value(); got != 1 {
+		t.Errorf("fleet.federate_errors = %d, want 1", got)
+	}
+}
+
+// TestRouterSLOEndpoint: the router observes every session in its SLO
+// monitor and serves /debug/slo.
+func TestRouterSLOEndpoint(t *testing.T) {
+	shards := startShards(t, 1)
+	slo := obs.NewSLOMonitor(obs.SLOConfig{FullObjective: time.Hour})
+	_, url := startRouter(t, shards, func(cfg *Config) { cfg.SLO = slo })
+	post(t, url, map[string]any{"query": fleetQuery, "k": 3})
+
+	resp, err := http.Get(url + "/debug/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(b), "sessions=1") {
+		t.Fatalf("slo view: status %d body %q", resp.StatusCode, b)
+	}
+	if s := slo.Snapshot(); s.Sessions != 1 || s.FullViolations != 0 {
+		t.Fatalf("slo snapshot = %+v", s)
+	}
+}
+
+// TestRouterTailSampling: with tracing on and a generous SLO, healthy
+// sessions are dropped from the export; errored sessions still export.
+func TestRouterTailSampling(t *testing.T) {
+	shards := startShards(t, 1)
+	var exported syncBuffer
+	slo := obs.NewSLOMonitor(obs.SLOConfig{FullObjective: time.Hour})
+	_, url := startRouter(t, shards, func(cfg *Config) {
+		cfg.TraceOut = &exported
+		cfg.SLO = slo
+	})
+	post(t, url, map[string]any{"query": fleetQuery, "k": 3})
+	if exported.String() != "" {
+		t.Fatalf("healthy session exported despite tail sampling:\n%s", exported.String())
+	}
+	if s := slo.Snapshot(); s.Dropped != 1 {
+		t.Fatalf("slo snapshot = %+v, want one dropped export", s)
+	}
+
+	post(t, url, map[string]any{"query": "nonsense ]["})
+	traces, err := obs.ReadTraces(strings.NewReader(exported.String()))
+	if err != nil || len(traces) != 1 || traces[0].Status != "error" {
+		t.Fatalf("errored session not exported: %d traces, err %v", len(traces), err)
+	}
+}
+
+// TestRelayDispatchAllocs: with tracing disabled the per-line relay
+// dispatch — prefix tests plus the reused output buffer — must not
+// allocate per line.
+func TestRelayDispatchAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under -race")
+	}
+	line := []byte(`{"event":"plan","plan":"p(x) :- v1(x)","cost":12.5}`)
+	out := make([]byte, 0, len(line)+1)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if bytes.HasPrefix(line, answersPrefix) || bytes.HasPrefix(line, spansPrefix) ||
+			bytes.HasPrefix(line, errorPrefix) {
+			t.Fatal("plan line matched a dispatch prefix")
+		}
+		out = append(out[:0], line...)
+		out = append(out, '\n')
+	})
+	if allocs != 0 {
+		t.Fatalf("relay dispatch allocates %.1f per line, want 0", allocs)
+	}
+}
+
+// benchScrape drives GET requests against a metrics endpoint.
+func benchScrape(b *testing.B, url string) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Get(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}
+
+// BenchmarkShardScrape is the federation baseline: one shard rendering
+// its own OpenMetrics exposition with no fan-out.
+func BenchmarkShardScrape(b *testing.B) {
+	shards := startShards(b, 1)
+	benchScrape(b, shards[0]+"/metrics?format=openmetrics")
+}
+
+// BenchmarkFederatedScrape measures the router's federated view: one
+// concurrent scrape per healthy shard plus parse, relabel, and merge.
+func BenchmarkFederatedScrape(b *testing.B) {
+	for _, n := range []int{1, 3} {
+		b.Run(fmt.Sprintf("shards%d", n), func(b *testing.B) {
+			_, url := startRouter(b, startShards(b, n), nil)
+			benchScrape(b, url+"/metrics?format=openmetrics")
+		})
+	}
+}
+
+// TestFleetSweepShardBreakdown: a qpload-style sweep through the router
+// reports per-shard deltas in the v2 FleetReport.
+func TestFleetSweepShardBreakdown(t *testing.T) {
+	shards := startShards(t, 2)
+	_, url := startRouter(t, shards, nil)
+	rep, err := server.RunFleetSweep(context.Background(), server.LoadConfig{
+		BaseURL: url,
+		Queries: []string{fleetQuery},
+		K:       3, Measure: "chain", Requests: 4, Scatter: true,
+	}, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != server.FleetReportSchemaVersion || rep.SchemaVersion < 2 {
+		t.Fatalf("schema_version = %d", rep.SchemaVersion)
+	}
+	if len(rep.Shards) != 2 {
+		t.Fatalf("breakdown covers %d shards, want 2: %+v", len(rep.Shards), rep.Shards)
+	}
+	var sessions, answers int64
+	for i, s := range rep.Shards {
+		if s.Shard != i {
+			t.Fatalf("shard index %d at position %d", s.Shard, i)
+		}
+		sessions += s.Sessions
+		answers += s.Answers
+		if s.Sessions > 0 && s.LatencyP50MS <= 0 {
+			t.Fatalf("shard %d served sessions but has no latency: %+v", i, s)
+		}
+	}
+	// Every scatter session opens one sub-stream per shard: 2 levels x 4
+	// requests x 2 shards.
+	if sessions != 16 {
+		t.Fatalf("summed shard sessions = %d, want 16", sessions)
+	}
+	if answers <= 0 {
+		t.Fatalf("summed shard answers = %d, want > 0", answers)
+	}
+}

@@ -1,0 +1,6 @@
+//go:build race
+
+package fleet
+
+// raceEnabled reports whether the race detector instrumented this build.
+const raceEnabled = true

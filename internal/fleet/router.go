@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -54,6 +55,18 @@ type Config struct {
 	// Logf, when set, receives operational log lines (reroutes, health
 	// flips). Nil silences them.
 	Logf func(format string, args ...any)
+	// TraceOut, when non-nil, enables fleet-wide tracing: the router
+	// runs its own request trace per session (admission, shard pick,
+	// per-shard proxy, scatter merge), asks every shard for its span
+	// tree via the spans trailer, and writes the unified export — the
+	// router's snapshot plus each shard's, all under one W3C trace ID —
+	// as NDJSON lines qptrace stitches. Writes are serialized.
+	TraceOut io.Writer
+	// SLO, when non-nil, observes every routed session's TTFA and full
+	// latency against its objectives (served at GET /debug/slo,
+	// burn-rate gauges on Registry) and tail-samples TraceOut: only
+	// errored, objective-violating, or budget-burning sessions export.
+	SLO *obs.SLOMonitor
 }
 
 // Router is the stateless fleet front end: it owns no ordering state and
@@ -70,15 +83,31 @@ type Router struct {
 	mux      *http.ServeMux
 	logf     func(string, ...any)
 	draining atomic.Bool
+	shards   []string   // normalized configured order (federation label = index)
+	traceMu  sync.Mutex // serializes TraceOut lines
 
 	shardsUp *obs.Gauge
 	inflight map[string]*obs.Gauge
+	stats    map[string]*shardStats
 	proxied  *obs.Counter // affinity sessions streamed
 	scatters *obs.Counter // scatter sessions gathered
 	rerouted *obs.Counter // sessions served by a non-owner shard
 	retried  *obs.Counter // individual setup retries
 	rejected *obs.Counter // client-visible fleet failures
 	flips    *obs.Counter // health transitions observed
+	scrapes  *obs.Counter // federation scrape attempts
+	scrapeEr *obs.Counter // federation scrape failures
+}
+
+// shardStats is one shard's per-session skew accounting, indexed like
+// the inflight gauges by the shard's configured position: sessions
+// touched, answers it streamed (pre-dedup for scatter slices, so the
+// counter measures the shard's own production), and the per-session
+// latency the router observed.
+type shardStats struct {
+	sessions *obs.Counter
+	answers  *obs.Counter
+	latency  *obs.Histogram
 }
 
 // New builds a Router and starts its health prober; call Close to stop
@@ -125,7 +154,9 @@ func New(cfg Config) (*Router, error) {
 		cfg:      cfg,
 		client:   client,
 		logf:     cfg.Logf,
+		shards:   shards,
 		inflight: make(map[string]*obs.Gauge, len(shards)),
+		stats:    make(map[string]*shardStats, len(shards)),
 		shardsUp: cfg.Registry.Gauge("fleet.shards_up"),
 		proxied:  cfg.Registry.Counter("fleet.sessions_proxied"),
 		scatters: cfg.Registry.Counter("fleet.sessions_scatter"),
@@ -133,10 +164,18 @@ func New(cfg Config) (*Router, error) {
 		retried:  cfg.Registry.Counter("fleet.retries"),
 		rejected: cfg.Registry.Counter("fleet.rejected"),
 		flips:    cfg.Registry.Counter("fleet.probe_flips"),
+		scrapes:  cfg.Registry.Counter("fleet.federate_scrapes"),
+		scrapeEr: cfg.Registry.Counter("fleet.federate_errors"),
 	}
 	for i, s := range shards {
 		rt.inflight[s] = cfg.Registry.Gauge(fmt.Sprintf("fleet.shard%d.inflight", i))
+		rt.stats[s] = &shardStats{
+			sessions: cfg.Registry.Counter(fmt.Sprintf("fleet.shard%d.sessions", i)),
+			answers:  cfg.Registry.Counter(fmt.Sprintf("fleet.shard%d.answers", i)),
+			latency:  cfg.Registry.Histogram(fmt.Sprintf("fleet.shard%d.latency_ns", i)),
+		}
 	}
+	cfg.SLO.Bind(cfg.Registry) // no-op when no objectives are configured
 	rt.prober = newProber(shards, cfg.Replicas, client, cfg.HealthInterval, cfg.HealthTimeout, func(url string, up bool) {
 		rt.flips.Inc()
 		rt.say("fleet: shard %s -> up=%v", url, up)
@@ -153,6 +192,7 @@ func New(cfg Config) (*Router, error) {
 	rt.mux.HandleFunc("POST /v1/query", rt.handleQuery)
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	rt.mux.HandleFunc("GET /debug/slo", rt.handleSLO)
 	return rt, nil
 }
 
@@ -182,6 +222,33 @@ type routeProbe struct {
 	Scatter   bool            `json:"scatter"`
 	Algorithm string          `json:"algorithm"`
 	Shard     json.RawMessage `json:"shard"`
+	// Spans records whether the client itself asked for the trailing
+	// spans event. The router always asks its shards for spans when
+	// tracing, but strips the trailers from the client stream unless the
+	// client opted in too.
+	Spans bool `json:"spans"`
+}
+
+// routeCtx carries one routed session's observability state across the
+// proxy and scatter paths: the router's own trace (nil unless TraceOut
+// is configured), the shard span snapshots harvested from spans
+// trailers, and the latency figures the SLO monitor observes.
+type routeCtx struct {
+	tr        *obs.Trace
+	start     time.Time
+	ttfa      time.Duration // offset of the first answers event; 0 until one streams
+	errored   bool
+	wantSpans bool // the client itself requested spans trailers
+	snaps     []obs.TraceSnapshot
+}
+
+// fail marks the session errored for SLO accounting and records the
+// message on the router's trace.
+func (rc *routeCtx) fail(format string, args ...any) {
+	rc.errored = true
+	if rc.tr != nil {
+		rc.tr.SetError(fmt.Sprintf(format, args...))
+	}
 }
 
 func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -223,8 +290,7 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = reg.WriteJSON(w)
 	case "openmetrics":
-		w.Header().Set("Content-Type", obs.OpenMetricsContentType)
-		_ = reg.WriteOpenMetrics(w)
+		rt.writeFederated(w, r)
 	default:
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_ = reg.WriteText(w)
@@ -250,26 +316,89 @@ const CodeFleetUnavailable = "fleet_unavailable"
 const CodeShardStream = "shard_stream"
 
 func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
+	rc := &routeCtx{start: time.Now()}
+	if rt.cfg.TraceOut != nil {
+		rc.tr = obs.StartRequestTrace("router /v1/query", r.Header.Get("Traceparent"))
+		// The client joins the router's trace; the shard hops hang off it
+		// below, all under the same trace ID.
+		w.Header().Set("Traceparent", rc.tr.Traceparent())
+	}
+	defer rt.finishSession(rc)
+	admit := rc.tr.StartSpan("router/admit")
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 	if err != nil {
+		admit.End()
+		rc.fail("reading body: %v", err)
 		writeError(w, http.StatusBadRequest, server.CodeBadJSON, "reading body: %v", err)
 		return
 	}
 	var probe routeProbe
 	if err := json.Unmarshal(body, &probe); err != nil {
+		admit.End()
+		rc.fail("decoding request: %v", err)
 		writeError(w, http.StatusBadRequest, server.CodeBadJSON, "decoding request: %v", err)
 		return
 	}
+	rc.wantSpans = probe.Spans
 	if len(probe.Shard) > 0 && string(probe.Shard) != "null" {
+		admit.End()
+		rc.fail("client-set shard")
 		writeError(w, http.StatusBadRequest, server.CodeInvalidShard,
 			"shard is assigned by the router; clients must not set it")
 		return
 	}
+	admit.End()
 	if probe.Scatter {
-		rt.scatterGather(w, r, body, probe)
+		rt.scatterGather(w, r, body, probe, rc)
 		return
 	}
-	rt.proxy(w, r, body, probe)
+	rt.proxy(w, r, body, probe, rc)
+}
+
+// finishSession closes out one routed session's observability: the SLO
+// monitor observes its latency, and — when tracing — the router's own
+// snapshot plus every harvested shard snapshot are written to TraceOut
+// as one NDJSON group under the session's trace ID, subject to tail
+// sampling when an SLO monitor is configured.
+func (rt *Router) finishSession(rc *routeCtx) {
+	full := time.Since(rc.start)
+	rt.cfg.SLO.Observe(rc.ttfa, full, rc.errored)
+	if rc.tr == nil {
+		return
+	}
+	snap := rc.tr.Finish()
+	if rt.cfg.SLO != nil {
+		if !rt.cfg.SLO.ShouldSample(rc.ttfa, full, rc.errored) {
+			rt.cfg.SLO.MarkExport(false)
+			return
+		}
+		rt.cfg.SLO.MarkExport(true)
+	}
+	rt.traceMu.Lock()
+	defer rt.traceMu.Unlock()
+	enc := json.NewEncoder(rt.cfg.TraceOut)
+	if err := enc.Encode(snap); err != nil {
+		rt.say("fleet: trace export failed: %v", err)
+		return
+	}
+	for i := range rc.snaps {
+		if err := enc.Encode(rc.snaps[i]); err != nil {
+			rt.say("fleet: trace export failed: %v", err)
+			return
+		}
+	}
+}
+
+// handleSLO serves the router's SLO burn-rate snapshot (text by
+// default, ?format=json for machines).
+func (rt *Router) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = rt.cfg.SLO.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = rt.cfg.SLO.WriteText(w)
 }
 
 // affinityKey maps the request to its ring position: the query's
@@ -289,7 +418,8 @@ func affinityKey(query string) string {
 // happen only before any response byte reaches the client — session
 // setup is idempotent (the session cache makes a replayed setup a
 // cache hit at worst), mid-stream failures are not replayed.
-func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, body []byte, probe routeProbe) {
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, body []byte, probe routeProbe, rc *routeCtx) {
+	pick := rc.tr.StartSpan("router/pick")
 	ring, _ := rt.prober.view()
 	cands := ring.Successors(affinityKey(probe.Query))
 	if len(cands) == 0 {
@@ -299,10 +429,17 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, body []byte, pro
 		// draining ones answer 503 themselves.
 		cands = rt.prober.all()
 	}
+	pick.End()
 	if len(cands) == 0 {
 		rt.rejected.Inc()
+		rc.fail("no healthy shards")
 		writeError(w, http.StatusServiceUnavailable, CodeFleetUnavailable, "no healthy shards")
 		return
+	}
+	if rc.tr != nil && !probe.Spans {
+		// Ask the shard for its span tree; the trailer is stripped from
+		// the client stream in relay since the client didn't opt in.
+		body = withSpans(body)
 	}
 	attempts := rt.cfg.Retries
 	var lastErr error
@@ -314,10 +451,13 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, body []byte, pro
 		// Walk the successor sequence; wrap so a transient 503 on a
 		// small fleet still gets the full retry budget.
 		shard := cands[i%len(cands)]
-		resp, err := rt.send(r, shard, body)
+		span := rc.tr.StartSpan("router/proxy")
+		span.Annotate(shard)
+		resp, err := rt.send(r, shard, body, span.Traceparent())
 		if err != nil {
 			// Connection-level failure: the shard is gone right now.
 			// Tell the prober so the very next session routes around it.
+			span.End()
 			rt.prober.markDown(shard)
 			rt.say("fleet: %s unreachable, rerouting: %v", shard, err)
 			lastErr = err
@@ -325,6 +465,7 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, body []byte, pro
 		}
 		if resp.StatusCode == http.StatusServiceUnavailable {
 			// Draining or at MaxInflight: healthy but not accepting.
+			span.End()
 			resp.Body.Close()
 			lastErr = fmt.Errorf("%s answered 503", shard)
 			continue
@@ -332,48 +473,135 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, body []byte, pro
 		if shard != cands[0] {
 			rt.rerouted.Inc()
 		}
-		rt.relay(w, r, resp, shard)
+		rt.relay(w, resp, shard, rc)
+		span.End()
 		return
 	}
 	rt.rejected.Inc()
+	rc.fail("no shard accepted after %d attempts", attempts)
 	writeError(w, http.StatusServiceUnavailable, CodeFleetUnavailable,
 		"no shard accepted the session after %d attempts: %v", attempts, lastErr)
 }
 
-// send issues the shard sub-request, forwarding the client's traceparent
-// so the shard joins the caller's trace.
-func (rt *Router) send(r *http.Request, shard string, body []byte) (*http.Response, error) {
+// withSpans rewrites the request body with "spans": true so the shard
+// appends its span-tree trailer. A body that fails to round-trip is
+// forwarded unchanged — the session then simply exports without shard
+// spans rather than failing.
+func withSpans(body []byte) []byte {
+	var fields map[string]any
+	if err := json.Unmarshal(body, &fields); err != nil {
+		return body
+	}
+	fields["spans"] = true
+	b, err := json.Marshal(fields)
+	if err != nil {
+		return body
+	}
+	return b
+}
+
+// send issues the shard sub-request. When the router runs its own trace
+// (tp non-empty) the sub-request carries the router span's traceparent,
+// so the shard's trace hangs off that span while sharing the client's
+// trace ID; otherwise the client's header is forwarded verbatim.
+func (rt *Router) send(r *http.Request, shard string, body []byte, tp string) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, shard+"/v1/query", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	if tp := r.Header.Get("Traceparent"); tp != "" {
+	if tp == "" {
+		tp = r.Header.Get("Traceparent")
+	}
+	if tp != "" {
 		req.Header.Set("Traceparent", tp)
 	}
 	return rt.client.Do(req)
 }
 
-// relay streams the shard response to the client, flushing per chunk so
-// NDJSON lines arrive as the shard emits them.
-func (rt *Router) relay(w http.ResponseWriter, r *http.Request, resp *http.Response, shard string) {
+// relay streams the shard response to the client line by line, flushing
+// per line so NDJSON arrives as the shard emits it. Along the way it
+// notes the first answers event (TTFA), counts the shard's answers, and
+// harvests spans trailers into the route context — forwarding them only
+// when the client itself asked for spans.
+func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, shard string, rc *routeCtx) {
 	defer resp.Body.Close()
 	if g := rt.inflight[shard]; g != nil {
 		g.Add(1)
 		defer g.Add(-1)
 	}
 	rt.proxied.Inc()
+	if stats := rt.stats[shard]; stats != nil {
+		stats.sessions.Inc()
+		defer func() { stats.latency.ObserveSince(rc.start) }()
+	}
 	for _, h := range []string{"Content-Type", "Traceparent"} {
+		if h == "Traceparent" && rc.tr != nil {
+			continue // the client already has the router's traceparent
+		}
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}
 	}
+	if resp.StatusCode != http.StatusOK {
+		rc.fail("shard %s answered %d", shard, resp.StatusCode)
+	}
 	w.WriteHeader(resp.StatusCode)
 	fw := &flushWriter{w: w}
-	if _, err := io.Copy(fw, resp.Body); err != nil {
-		// Headers (and possibly bytes) are out: nothing to retry.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var out []byte // reused per line; sc.Bytes must not be appended to
+	for sc.Scan() {
+		line := sc.Bytes()
+		switch {
+		case bytes.HasPrefix(line, answersPrefix):
+			if rc.ttfa == 0 {
+				rc.ttfa = time.Since(rc.start)
+			}
+			if stats := rt.stats[shard]; stats != nil {
+				stats.answers.Add(int64(answerCount(line)))
+			}
+		case bytes.HasPrefix(line, spansPrefix):
+			var e server.Event
+			if json.Unmarshal(line, &e) == nil && e.Trace != nil {
+				rc.snaps = append(rc.snaps, *e.Trace)
+			}
+			if !rc.wantSpans {
+				continue
+			}
+		case bytes.HasPrefix(line, errorPrefix):
+			rc.errored = true
+		}
+		out = append(append(out[:0], line...), '\n')
+		if _, err := fw.Write(out); err != nil {
+			// Headers (and possibly bytes) are out: nothing to retry.
+			rt.say("fleet: mid-stream copy from %s failed: %v", shard, err)
+			return
+		}
+	}
+	if err := sc.Err(); err != nil {
 		rt.say("fleet: mid-stream copy from %s failed: %v", shard, err)
 	}
+}
+
+// Event prefixes the relay dispatches on. The shard writes events with
+// json.Marshal on a struct whose first field is Event, so the prefix
+// match is exact, not heuristic.
+var (
+	answersPrefix = []byte(`{"event":"answers"`)
+	spansPrefix   = []byte(`{"event":"spans"`)
+	errorPrefix   = []byte(`{"event":"error"`)
+)
+
+// answerCount extracts the answer count from an answers event line.
+func answerCount(line []byte) int {
+	var e struct {
+		Answers []json.RawMessage `json:"answers"`
+	}
+	if json.Unmarshal(line, &e) != nil {
+		return 0
+	}
+	return len(e.Answers)
 }
 
 // flushWriter flushes after every write so line-buffered shard output
@@ -405,14 +633,16 @@ func backoffFor(base time.Duration, attempt int) time.Duration {
 // request — see core.NewPISharded for the argument. The shard count is
 // fixed at launch; a shard dying mid-gather fails the stream with an
 // error event rather than silently dropping its slice of the plan space.
-func (rt *Router) scatterGather(w http.ResponseWriter, r *http.Request, body []byte, probe routeProbe) {
+func (rt *Router) scatterGather(w http.ResponseWriter, r *http.Request, body []byte, probe routeProbe, rc *routeCtx) {
 	if probe.Algorithm != "" && probe.Algorithm != "pi" {
+		rc.fail("scatter with non-pi algorithm")
 		writeError(w, http.StatusBadRequest, server.CodeInvalidShard,
 			"scatter requires algorithm pi, got %q", probe.Algorithm)
 		return
 	}
 	var fields map[string]any
 	if err := json.Unmarshal(body, &fields); err != nil {
+		rc.fail("decoding request: %v", err)
 		writeError(w, http.StatusBadRequest, server.CodeBadJSON, "decoding request: %v", err)
 		return
 	}
@@ -421,15 +651,24 @@ func (rt *Router) scatterGather(w http.ResponseWriter, r *http.Request, body []b
 		// The shard default is streamer; sharding is a PI contract.
 		fields["algorithm"] = "pi"
 	}
+	if rc.tr != nil {
+		// Every slice returns its span tree for the unified export; the
+		// trailers stay out of the client stream unless the client opted
+		// in via its own "spans": true (still set in fields).
+		fields["spans"] = true
+	}
+	pick := rc.tr.StartSpan("router/pick")
 	shards := rt.prober.healthy()
 	if len(shards) == 0 {
 		// Same fallback as the affinity path: an all-timeouts probe round
 		// must not reject sessions the shards would happily serve.
 		shards = rt.prober.all()
 	}
+	pick.End()
 	n := len(shards)
 	if n == 0 {
 		rt.rejected.Inc()
+		rc.fail("no healthy shards")
 		writeError(w, http.StatusServiceUnavailable, CodeFleetUnavailable, "no healthy shards")
 		return
 	}
@@ -438,22 +677,44 @@ func (rt *Router) scatterGather(w http.ResponseWriter, r *http.Request, body []b
 		k = rt.cfg.DefaultK
 	}
 
-	start := time.Now()
+	start := rc.start
 	streams := make([]*shardStream, n)
+	var sliceSpans []*obs.TraceSpan
+	if rc.tr != nil {
+		sliceSpans = make([]*obs.TraceSpan, n)
+		for i := range sliceSpans {
+			sliceSpans[i] = rc.tr.StartSpan(fmt.Sprintf("router/slice%d", i))
+		}
+	}
+	endSlices := func() {
+		for i, sp := range sliceSpans {
+			if streams[i] != nil {
+				sp.Annotate(streams[i].shard)
+			}
+			sp.End()
+		}
+		sliceSpans = nil
+	}
+	defer endSlices()
 	var wg sync.WaitGroup
 	errs := make([]error, n)
 	for i := 0; i < n; i++ {
 		fields["shard"] = map[string]int{"index": i, "count": n}
 		slice, err := json.Marshal(fields)
 		if err != nil {
+			rc.fail("encoding slice: %v", err)
 			writeError(w, http.StatusInternalServerError, server.CodeInternal, "encoding slice: %v", err)
 			return
 		}
+		tp := ""
+		if rc.tr != nil {
+			tp = sliceSpans[i].Traceparent()
+		}
 		wg.Add(1)
-		go func(i int, slice []byte) {
+		go func(i int, slice []byte, tp string) {
 			defer wg.Done()
-			streams[i], errs[i] = rt.openSlice(r, shards, i, slice)
-		}(i, slice)
+			streams[i], errs[i] = rt.openSlice(r, shards, i, slice, tp)
+		}(i, slice, tp)
 	}
 	wg.Wait()
 	if err := firstError(errs); err != nil {
@@ -463,6 +724,7 @@ func (rt *Router) scatterGather(w http.ResponseWriter, r *http.Request, body []b
 			}
 		}
 		rt.rejected.Inc()
+		rc.fail("scatter setup failed: %v", err)
 		var se *sliceError
 		if asSliceError(err, &se) && se.status != 0 && se.status != http.StatusServiceUnavailable {
 			// A shard rejected the request itself (bad measure, parse
@@ -480,6 +742,12 @@ func (rt *Router) scatterGather(w http.ResponseWriter, r *http.Request, body []b
 			ss.close()
 		}
 	}()
+	for _, ss := range streams {
+		if stats := rt.stats[ss.shard]; stats != nil {
+			stats.sessions.Inc()
+			defer func(stats *shardStats) { stats.latency.ObserveSince(start) }(stats)
+		}
+	}
 
 	// Prime every cursor before committing the response status: a shard
 	// that accepts the request but errors immediately still produces a
@@ -492,6 +760,7 @@ func (rt *Router) scatterGather(w http.ResponseWriter, r *http.Request, body []b
 	for _, ss := range streams {
 		if ss.err != nil {
 			rt.rejected.Inc()
+			rc.fail("shard stream: %v", ss.err)
 			writeError(w, http.StatusBadGateway, CodeShardStream, "%v", ss.err)
 			return
 		}
@@ -499,8 +768,10 @@ func (rt *Router) scatterGather(w http.ResponseWriter, r *http.Request, body []b
 	rt.scatters.Inc()
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	if tp := streams[0].resp.Header.Get("Traceparent"); tp != "" {
-		w.Header().Set("Traceparent", tp)
+	if rc.tr == nil {
+		if tp := streams[0].resp.Header.Get("Traceparent"); tp != "" {
+			w.Header().Set("Traceparent", tp)
+		}
 	}
 	w.WriteHeader(http.StatusOK)
 	emit := func(e server.Event) bool {
@@ -524,6 +795,7 @@ func (rt *Router) scatterGather(w http.ResponseWriter, r *http.Request, body []b
 		return
 	}
 
+	merge := rc.tr.StartSpan("router/merge")
 	st := newMergeState()
 	for st.emitted < k {
 		best := bestHead(streams)
@@ -531,28 +803,66 @@ func (rt *Router) scatterGather(w http.ResponseWriter, r *http.Request, body []b
 			break
 		}
 		g := streams[best].head
+		if stats := rt.stats[streams[best].shard]; stats != nil && g.answers != nil {
+			// Pre-dedup count: the shard's own production, so skew shows
+			// even when the merge discards duplicates.
+			stats.answers.Add(int64(len(g.answers.Answers)))
+		}
 		streams[best].advance()
 		if err := streams[best].err; err != nil {
+			merge.End()
+			rc.fail("shard stream: %v", err)
 			_ = emit(server.Event{Event: "error", Err: &server.ErrorBody{Code: CodeShardStream, Message: err.Error()}})
 			return
 		}
 		plan, answers := st.take(g)
 		if !emit(plan) {
+			merge.End()
 			return
 		}
-		if answers != nil && !emit(*answers) {
-			return
+		if answers != nil {
+			if rc.ttfa == 0 {
+				rc.ttfa = time.Since(rc.start)
+			}
+			if !emit(*answers) {
+				merge.End()
+				return
+			}
 		}
 	}
+	merge.End()
 	stopped := "plans-exhausted"
 	if st.emitted >= k {
 		stopped = "max-plans"
 	}
-	_ = emit(server.Event{
+	if !emit(server.Event{
 		Event: "done", TraceID: sess.TraceID, Stopped: stopped,
 		Plans: st.emitted, TotalAnswers: len(st.seen),
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000.0,
-	})
+	}) {
+		return
+	}
+
+	if rc.tr == nil && !rc.wantSpans {
+		return
+	}
+	// Drain the spans trailers: they ride after each slice's done event,
+	// which the merge may not have consumed (a stream can still be
+	// mid-plan when the k-th plan emits elsewhere). The drain closes the
+	// slice spans first so the shard trees reparent onto completed spans.
+	endSlices()
+	drain := rc.tr.StartSpan("router/drain")
+	for _, ss := range streams {
+		rc.snaps = append(rc.snaps, ss.trailer()...)
+	}
+	drain.End()
+	if rc.wantSpans {
+		for i := range rc.snaps {
+			// Label each trailer from its own snapshot: without router
+			// tracing the shards run under separate trace IDs.
+			_ = emit(server.Event{Event: "spans", TraceID: rc.snaps[i].TraceID.String(), Trace: &rc.snaps[i]})
+		}
+	}
 }
 
 // bestHead picks the stream whose head comes first in the canonical
@@ -604,8 +914,10 @@ func firstError(errs []error) error {
 // openSlice opens slice i's sub-request, retrying on other shards with
 // the same bounded backoff as the affinity path. A slice may land on a
 // shard already serving another slice — shards are stateless with
-// respect to the partition, only the (index, count) pair matters.
-func (rt *Router) openSlice(r *http.Request, shards []string, i int, body []byte) (*shardStream, error) {
+// respect to the partition, only the (index, count) pair matters. A
+// non-empty tp (the router's per-slice span) replaces the client's
+// traceparent so the shard trace reparents onto the router's span.
+func (rt *Router) openSlice(r *http.Request, shards []string, i int, body []byte, tp string) (*shardStream, error) {
 	var lastErr error
 	for attempt := 0; attempt < rt.cfg.Retries; attempt++ {
 		if attempt > 0 {
@@ -620,8 +932,12 @@ func (rt *Router) openSlice(r *http.Request, shards []string, i int, body []byte
 			return nil, err
 		}
 		req.Header.Set("Content-Type", "application/json")
-		if tp := r.Header.Get("Traceparent"); tp != "" {
-			req.Header.Set("Traceparent", tp)
+		hdr := tp
+		if hdr == "" {
+			hdr = r.Header.Get("Traceparent")
+		}
+		if hdr != "" {
+			req.Header.Set("Traceparent", hdr)
 		}
 		resp, err := rt.client.Do(req)
 		if err != nil {

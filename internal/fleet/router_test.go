@@ -21,7 +21,7 @@ import (
 // fleetCatalog is the movie catalog with three sources per bucket, so
 // the fixture query has a 9-plan space — enough for a 3-way scatter to
 // give every shard work.
-func fleetCatalog(t *testing.T) *lav.Catalog {
+func fleetCatalog(t testing.TB) *lav.Catalog {
 	t.Helper()
 	cat := lav.NewCatalog()
 	stats := []lav.Stats{
@@ -47,7 +47,7 @@ func fleetCatalog(t *testing.T) *lav.Catalog {
 const fleetQuery = "Q(M, R) :- play-in(A, M), review-of(R, M)"
 
 // startShards boots n real qpserved cores on httptest listeners.
-func startShards(t *testing.T, n int) []string {
+func startShards(t testing.TB, n int) []string {
 	t.Helper()
 	urls := make([]string, n)
 	for i := 0; i < n; i++ {
@@ -64,7 +64,7 @@ func startShards(t *testing.T, n int) []string {
 
 // startRouter builds a Router over the given shards with fast test
 // timings and serves it on an httptest listener.
-func startRouter(t *testing.T, shards []string, mutate func(*Config)) (*Router, string) {
+func startRouter(t testing.TB, shards []string, mutate func(*Config)) (*Router, string) {
 	t.Helper()
 	cfg := Config{
 		Shards:         shards,

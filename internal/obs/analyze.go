@@ -85,6 +85,10 @@ type TraceReport struct {
 	Splits   int64            `json:"splits"`
 	Evals    int64            `json:"evals"`
 	Statuses map[string]int   `json:"statuses,omitempty"`
+	// Stitched holds the multi-process traces reassembled across hops
+	// (router + shards) by trace ID, by duration descending. See
+	// StitchTraces.
+	Stitched []StitchedTrace `json:"stitched,omitempty"`
 	// CalibrationRecords counts the calibration lines ingested alongside
 	// the traces; Calibration holds the last (cumulative) snapshot.
 	CalibrationRecords int                  `json:"calibration_records,omitempty"`
@@ -187,6 +191,10 @@ func AnalyzeTraces(ts []TraceSnapshot, top int) TraceReport {
 		sums = sums[:top]
 	}
 	rep.Slowest = sums
+	rep.Stitched = StitchTraces(ts)
+	if len(rep.Stitched) > top {
+		rep.Stitched = rep.Stitched[:top]
+	}
 	return rep
 }
 
@@ -217,6 +225,27 @@ func (r TraceReport) WriteText(w io.Writer) error {
 				s.TraceID, s.Status, time.Duration(s.DurNS), s.Spans, s.Plans, s.Name)
 			if s.CriticalPath != "" {
 				p("    critical path: %s (%s)\n", s.CriticalPath, time.Duration(s.CriticalNS))
+			}
+		}
+	}
+	if len(r.Stitched) > 0 {
+		p("stitched fleet traces (joined across processes by trace ID):\n")
+		for _, s := range r.Stitched {
+			p("  %s  %-5s %10s  procs=%d spans=%-3d %s", s.TraceID, s.Status,
+				time.Duration(s.DurNS), s.Procs, s.Spans, strings.Join(s.Hops, " + "))
+			if s.Orphans > 0 {
+				p("  orphans=%d", s.Orphans)
+			}
+			p("\n")
+			if s.CriticalPath != "" {
+				p("    critical path: %s (%s)\n", s.CriticalPath, time.Duration(s.CriticalNS))
+			}
+			if len(s.Breakdown) > 0 {
+				p("    breakdown:")
+				for _, part := range s.Breakdown {
+					p(" %s=%s", part.Name, time.Duration(part.SelfNS))
+				}
+				p("\n")
 			}
 		}
 	}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file is the metrics-federation half of the OpenMetrics support:
+// the router scrapes every healthy shard's /metrics?format=openmetrics
+// exposition, re-labels each sample with the shard's identity, and
+// merges the shard families with its own registry into one valid
+// exposition. The parser is deliberately narrow — it round-trips the
+// exposition this package writes (TYPE lines, optional label blocks,
+// "# EOF") rather than the full OpenMetrics grammar — but it is
+// escape-aware: label values may contain escaped quotes, backslashes,
+// and literal '}' bytes, so the label block is scanned, not split.
+
+// OMSample is one exposition sample attributed to a family: the name
+// suffix ("", "_total", "_sum", "_count", ...), the raw label pairs
+// (without braces, "" when unlabeled), and the raw rendered value.
+type OMSample struct {
+	Suffix string
+	Labels string
+	Value  string
+}
+
+// OMFamily is one metric family of a parsed exposition.
+type OMFamily struct {
+	Name    string
+	Type    string
+	Samples []OMSample
+}
+
+// ParseOpenMetrics parses an exposition of the shape this package
+// writes. Unknown comment lines (# HELP, # UNIT) are skipped; a sample
+// line before any TYPE, or one whose name does not extend the current
+// family's, is an error. Input ending without "# EOF" is an error — a
+// truncated scrape must not federate as if complete.
+func ParseOpenMetrics(r io.Reader) ([]OMFamily, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var fams []OMFamily
+	sawEOF := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if sawEOF {
+			return nil, fmt.Errorf("obs: openmetrics line %d: content after # EOF", lineNo)
+		}
+		if strings.HasPrefix(line, "#") {
+			switch {
+			case line == "# EOF":
+				sawEOF = true
+			case strings.HasPrefix(line, "# TYPE "):
+				rest := line[len("# TYPE "):]
+				sp := strings.IndexByte(rest, ' ')
+				if sp <= 0 {
+					return nil, fmt.Errorf("obs: openmetrics line %d: malformed TYPE", lineNo)
+				}
+				fams = append(fams, OMFamily{Name: rest[:sp], Type: rest[sp+1:]})
+			}
+			continue // other comments (HELP, UNIT) are tolerated
+		}
+		if len(fams) == 0 {
+			return nil, fmt.Errorf("obs: openmetrics line %d: sample before any TYPE", lineNo)
+		}
+		fam := &fams[len(fams)-1]
+		sample, err := parseOMSample(line, fam.Name)
+		if err != nil {
+			return nil, fmt.Errorf("obs: openmetrics line %d: %w", lineNo, err)
+		}
+		fam.Samples = append(fam.Samples, sample)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawEOF {
+		return nil, fmt.Errorf("obs: openmetrics exposition truncated (no # EOF)")
+	}
+	return fams, nil
+}
+
+// parseOMSample splits one sample line into suffix, raw label block,
+// and value, verifying the name belongs to the family.
+func parseOMSample(line, famName string) (OMSample, error) {
+	// The metric name runs to the first '{' or space.
+	nameEnd := len(line)
+	for i := 0; i < len(line); i++ {
+		if line[i] == '{' || line[i] == ' ' {
+			nameEnd = i
+			break
+		}
+	}
+	name := line[:nameEnd]
+	if !strings.HasPrefix(name, famName) {
+		return OMSample{}, fmt.Errorf("sample %q outside family %q", name, famName)
+	}
+	s := OMSample{Suffix: name[len(famName):]}
+	rest := line[nameEnd:]
+	if strings.HasPrefix(rest, "{") {
+		end := labelBlockEnd(rest)
+		if end < 0 {
+			return OMSample{}, fmt.Errorf("unterminated label block in %q", line)
+		}
+		s.Labels = rest[1:end]
+		rest = rest[end+1:]
+	}
+	if !strings.HasPrefix(rest, " ") || len(rest) < 2 {
+		return OMSample{}, fmt.Errorf("missing value in %q", line)
+	}
+	s.Value = rest[1:]
+	return s, nil
+}
+
+// labelBlockEnd returns the index of the '}' closing the label block
+// starting at s[0] == '{', honoring escaped bytes inside quoted label
+// values (so a value containing '}' or '\"' does not end the block).
+// Returns -1 when unterminated.
+func labelBlockEnd(s string) int {
+	inQuote := false
+	for i := 1; i < len(s); i++ {
+		switch c := s[i]; {
+		case inQuote && c == '\\':
+			i++ // skip the escaped byte
+		case c == '"':
+			inQuote = !inQuote
+		case !inQuote && c == '}':
+			return i
+		}
+	}
+	return -1
+}
+
+// LabeledExposition is one federation source: a parsed exposition and
+// the label stamped onto every one of its samples (zero Label key means
+// no re-labeling, used for the federating process's own families).
+type LabeledExposition struct {
+	Families []OMFamily
+	Label    [2]string
+}
+
+// WriteMergedOpenMetrics merges the sources into one exposition:
+// families sharing a name collapse into one declaration (first source's
+// type wins; a later source whose type disagrees has that family's
+// samples dropped, counted in the return value), each source's samples
+// carry its label, and the output ends with "# EOF". Families appear in
+// first-seen source order, so the merged exposition is deterministic
+// for a fixed source order.
+func WriteMergedOpenMetrics(w io.Writer, sources []LabeledExposition) (dropped int, err error) {
+	type mergedFam struct {
+		typ   string
+		lines []string // fully rendered sample lines
+	}
+	var order []string
+	merged := make(map[string]*mergedFam)
+	for _, src := range sources {
+		var inject string
+		if src.Label[0] != "" {
+			inject = src.Label[0] + `="` + openMetricsLabelValue(src.Label[1]) + `"`
+		}
+		for _, fam := range src.Families {
+			mf := merged[fam.Name]
+			if mf == nil {
+				mf = &mergedFam{typ: fam.Type}
+				merged[fam.Name] = mf
+				order = append(order, fam.Name)
+			} else if mf.typ != fam.Type {
+				dropped += len(fam.Samples)
+				continue
+			}
+			for _, s := range fam.Samples {
+				labels := s.Labels
+				if inject != "" {
+					if labels == "" {
+						labels = inject
+					} else {
+						labels = inject + "," + labels
+					}
+				}
+				line := fam.Name + s.Suffix
+				if labels != "" {
+					line += "{" + labels + "}"
+				}
+				line += " " + s.Value
+				mf.lines = append(mf.lines, line)
+			}
+		}
+	}
+	o := &omWriter{w: w}
+	for _, name := range order {
+		mf := merged[name]
+		o.printf("# TYPE %s %s\n", name, mf.typ)
+		for _, line := range mf.lines {
+			o.printf("%s\n", line)
+		}
+	}
+	o.printf("# EOF\n")
+	return dropped, o.err
+}

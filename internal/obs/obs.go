@@ -183,9 +183,9 @@ type HistBucket struct {
 
 // HistSnapshot is a point-in-time copy of a histogram. Concurrent
 // observations may make the fields mutually slightly inconsistent; each
-// field individually is a valid atomic read. P50/P95/P99 are quantile
-// estimates interpolated within the power-of-two buckets (see Quantile),
-// so their relative error is bounded by the bucket width.
+// field individually is a valid atomic read. P50/P95/P99/P999 are
+// quantile estimates interpolated within the power-of-two buckets (see
+// Quantile), so their relative error is bounded by the bucket width.
 type HistSnapshot struct {
 	Count   int64        `json:"count"`
 	Sum     int64        `json:"sum"`
@@ -195,6 +195,7 @@ type HistSnapshot struct {
 	P50     int64        `json:"p50,omitempty"`
 	P95     int64        `json:"p95,omitempty"`
 	P99     int64        `json:"p99,omitempty"`
+	P999    int64        `json:"p999,omitempty"`
 	Buckets []HistBucket `json:"buckets,omitempty"`
 }
 
@@ -276,5 +277,6 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	s.P50 = s.Quantile(0.50)
 	s.P95 = s.Quantile(0.95)
 	s.P99 = s.Quantile(0.99)
+	s.P999 = s.Quantile(0.999)
 	return s
 }

@@ -145,7 +145,7 @@ func sampleLabels(collide bool, orig string, extra ...[2]string) string {
 var summaryQuantiles = []struct {
 	label string
 	q     float64
-}{{"0.5", 0.50}, {"0.95", 0.95}, {"0.99", 0.99}}
+}{{"0.5", 0.50}, {"0.95", 0.95}, {"0.99", 0.99}, {"0.999", 0.999}}
 
 // WriteOpenMetrics renders the snapshot in the OpenMetrics text
 // exposition format, terminated by "# EOF".

@@ -244,9 +244,9 @@ func (r *Registry) WriteText(w io.Writer) error {
 		p("histograms:\n")
 		for _, name := range sortedKeys(s.Histograms) {
 			h := s.Histograms[name]
-			p("  %-48s count=%d mean=%s p50=%s p95=%s p99=%s min=%s max=%s\n", name, h.Count,
+			p("  %-48s count=%d mean=%s p50=%s p95=%s p99=%s p99.9=%s min=%s max=%s\n", name, h.Count,
 				time.Duration(int64(h.Mean)), time.Duration(h.P50), time.Duration(h.P95),
-				time.Duration(h.P99), time.Duration(h.Min), time.Duration(h.Max))
+				time.Duration(h.P99), time.Duration(h.P999), time.Duration(h.Min), time.Duration(h.Max))
 		}
 	}
 	if len(s.Spans) > 0 {

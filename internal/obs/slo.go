@@ -1,0 +1,291 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// This file implements SLO burn-rate monitoring and the tail-sampling
+// decision it drives. An SLOMonitor tracks every session's
+// time-to-first-answer (TTFA) and full-completion latency against
+// configured objectives over a rolling window of fixed-width time
+// buckets, and derives burn rates: the fraction of the error budget
+// (1 - target) the current violation rate consumes. Burn >= 1 means the
+// window is eating budget faster than the objective allows.
+//
+// The monitor is also the tail-sampling policy for trace exports: a
+// session's full trace is worth exporting when the session errored,
+// violated an objective, or ran while the fleet was burning budget —
+// everything else is droppable bulk. Like the rest of obs, a nil
+// *SLOMonitor is the disabled state: every method is a no-op costing no
+// allocations, and ShouldSample reports true (no monitor = export
+// everything, the pre-SLO behavior).
+
+// sloRingBuckets is the number of rolling-window buckets; the window is
+// divided evenly across them and a bucket is reset lazily when its slot
+// is reused for a later epoch.
+const sloRingBuckets = 60
+
+// SLOConfig configures an SLOMonitor. An objective of zero disables
+// that objective's tracking (NewSLOMonitor returns nil when both are
+// zero).
+type SLOConfig struct {
+	// TTFAObjective is the time-to-first-answer objective. A session
+	// violates it when its first answer arrived later than this, or when
+	// it produced no answers at all and still ran longer than this.
+	TTFAObjective time.Duration
+	// FullObjective is the full-session (all k plans / done event)
+	// latency objective.
+	FullObjective time.Duration
+	// Target is the fraction of sessions that must meet the objectives
+	// (default 0.99, i.e. a 1% error budget). Values outside (0, 1) are
+	// clamped to the default.
+	Target float64
+	// Window is the rolling observation window (default 5m).
+	Window time.Duration
+	// Now overrides the clock, for tests. Default time.Now.
+	Now func() time.Time
+}
+
+// sloBucket is one ring slot: counts for the bucket that began at
+// epoch*bucketDur. A slot whose epoch is stale is logically zero.
+type sloBucket struct {
+	epoch    int64
+	sessions int64
+	errors   int64
+	ttfaViol int64
+	fullViol int64
+}
+
+// SLOMonitor tracks rolling-window latency objectives. All methods are
+// concurrency-safe and nil-safe.
+type SLOMonitor struct {
+	cfg       SLOConfig
+	bucketDur time.Duration
+
+	mu      sync.Mutex
+	buckets [sloRingBuckets]sloBucket
+
+	// Bound by Bind: the tail-sampling outcome counters.
+	exported *Counter
+	dropped  *Counter
+}
+
+// NewSLOMonitor builds a monitor for the given objectives. When both
+// objectives are zero there is nothing to monitor and it returns nil —
+// the disabled monitor — so call sites can construct unconditionally
+// from flag values.
+func NewSLOMonitor(cfg SLOConfig) *SLOMonitor {
+	if cfg.TTFAObjective <= 0 && cfg.FullObjective <= 0 {
+		return nil
+	}
+	if !(cfg.Target > 0 && cfg.Target < 1) {
+		cfg.Target = 0.99
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 5 * time.Minute
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	bd := cfg.Window / sloRingBuckets
+	if bd < time.Millisecond {
+		bd = time.Millisecond
+	}
+	return &SLOMonitor{cfg: cfg, bucketDur: bd}
+}
+
+// Bind registers the monitor's instruments on the registry: static
+// objective gauges, a collector refreshing the burn-rate gauges at
+// every snapshot, and the tail-sampling outcome counters
+// (slo.sampled_exports / slo.sampled_dropped).
+func (m *SLOMonitor) Bind(reg *Registry) {
+	if m == nil || reg == nil {
+		return
+	}
+	reg.Gauge("slo.ttfa_objective_ms").Set(float64(m.cfg.TTFAObjective) / 1e6)
+	reg.Gauge("slo.full_objective_ms").Set(float64(m.cfg.FullObjective) / 1e6)
+	reg.Gauge("slo.target").Set(m.cfg.Target)
+	m.exported = reg.Counter("slo.sampled_exports")
+	m.dropped = reg.Counter("slo.sampled_dropped")
+	ttfaBurn := reg.Gauge("slo.ttfa_burn_rate")
+	fullBurn := reg.Gauge("slo.full_burn_rate")
+	errBurn := reg.Gauge("slo.error_burn_rate")
+	sessions := reg.Gauge("slo.window_sessions")
+	reg.AddCollector(func() {
+		s := m.Snapshot()
+		ttfaBurn.Set(s.TTFABurn)
+		fullBurn.Set(s.FullBurn)
+		errBurn.Set(s.ErrorBurn)
+		sessions.Set(float64(s.Sessions))
+	})
+}
+
+// Observe records one finished session: its TTFA (zero when no answer
+// was ever streamed), its full latency, and whether it errored.
+func (m *SLOMonitor) Observe(ttfa, full time.Duration, errored bool) {
+	if m == nil {
+		return
+	}
+	ttfaViol := m.cfg.TTFAObjective > 0 &&
+		(ttfa > m.cfg.TTFAObjective || (ttfa <= 0 && full > m.cfg.TTFAObjective))
+	fullViol := m.cfg.FullObjective > 0 && full > m.cfg.FullObjective
+	epoch := m.cfg.Now().UnixNano() / int64(m.bucketDur)
+	m.mu.Lock()
+	b := &m.buckets[epoch%sloRingBuckets]
+	if b.epoch != epoch {
+		*b = sloBucket{epoch: epoch}
+	}
+	b.sessions++
+	if errored {
+		b.errors++
+	}
+	if ttfaViol {
+		b.ttfaViol++
+	}
+	if fullViol {
+		b.fullViol++
+	}
+	m.mu.Unlock()
+}
+
+// windowTotals sums the live buckets. Caller holds no lock.
+func (m *SLOMonitor) windowTotals() (total sloBucket) {
+	nowEpoch := m.cfg.Now().UnixNano() / int64(m.bucketDur)
+	m.mu.Lock()
+	for i := range m.buckets {
+		b := &m.buckets[i]
+		if b.epoch <= nowEpoch-sloRingBuckets || b.epoch > nowEpoch {
+			continue // stale slot (or clock went backwards)
+		}
+		total.sessions += b.sessions
+		total.errors += b.errors
+		total.ttfaViol += b.ttfaViol
+		total.fullViol += b.fullViol
+	}
+	m.mu.Unlock()
+	return total
+}
+
+// burnRate is violations/sessions expressed as a multiple of the error
+// budget 1-target: 1.0 means the window is burning budget exactly as
+// fast as the objective tolerates.
+func (m *SLOMonitor) burnRate(violations, sessions int64) float64 {
+	if sessions == 0 || violations == 0 {
+		return 0
+	}
+	budget := 1 - m.cfg.Target
+	return (float64(violations) / float64(sessions)) / budget
+}
+
+// ShouldSample is the tail-sampling decision for one finished session:
+// export its trace when the session errored, violated an objective, or
+// any burn rate is at or above 1 (while budget burns, every trace is
+// evidence). A nil monitor reports true — sampling disabled exports
+// everything.
+func (m *SLOMonitor) ShouldSample(ttfa, full time.Duration, errored bool) bool {
+	if m == nil {
+		return true
+	}
+	if errored {
+		return true
+	}
+	if m.cfg.FullObjective > 0 && full > m.cfg.FullObjective {
+		return true
+	}
+	if m.cfg.TTFAObjective > 0 &&
+		(ttfa > m.cfg.TTFAObjective || (ttfa <= 0 && full > m.cfg.TTFAObjective)) {
+		return true
+	}
+	t := m.windowTotals()
+	return m.burnRate(t.ttfaViol, t.sessions) >= 1 ||
+		m.burnRate(t.fullViol, t.sessions) >= 1 ||
+		m.burnRate(t.errors, t.sessions) >= 1
+}
+
+// MarkExport records a tail-sampling outcome on the bound counters.
+func (m *SLOMonitor) MarkExport(exported bool) {
+	if m == nil {
+		return
+	}
+	if exported {
+		m.exported.Inc()
+	} else {
+		m.dropped.Inc()
+	}
+}
+
+// SLOSnapshot is a point-in-time view of the monitor, the payload of
+// GET /debug/slo.
+type SLOSnapshot struct {
+	TTFAObjectiveMS float64 `json:"ttfa_objective_ms,omitempty"`
+	FullObjectiveMS float64 `json:"full_objective_ms,omitempty"`
+	Target          float64 `json:"target"`
+	WindowS         float64 `json:"window_s"`
+	Sessions        int64   `json:"sessions"`
+	Errors          int64   `json:"errors"`
+	TTFAViolations  int64   `json:"ttfa_violations"`
+	FullViolations  int64   `json:"full_violations"`
+	TTFABurn        float64 `json:"ttfa_burn_rate"`
+	FullBurn        float64 `json:"full_burn_rate"`
+	ErrorBurn       float64 `json:"error_burn_rate"`
+	Exported        int64   `json:"sampled_exports"`
+	Dropped         int64   `json:"sampled_dropped"`
+}
+
+// Snapshot copies the monitor's rolling-window state (zero for nil).
+func (m *SLOMonitor) Snapshot() SLOSnapshot {
+	if m == nil {
+		return SLOSnapshot{}
+	}
+	t := m.windowTotals()
+	return SLOSnapshot{
+		TTFAObjectiveMS: float64(m.cfg.TTFAObjective) / 1e6,
+		FullObjectiveMS: float64(m.cfg.FullObjective) / 1e6,
+		Target:          m.cfg.Target,
+		WindowS:         m.cfg.Window.Seconds(),
+		Sessions:        t.sessions,
+		Errors:          t.errors,
+		TTFAViolations:  t.ttfaViol,
+		FullViolations:  t.fullViol,
+		TTFABurn:        m.burnRate(t.ttfaViol, t.sessions),
+		FullBurn:        m.burnRate(t.fullViol, t.sessions),
+		ErrorBurn:       m.burnRate(t.errors, t.sessions),
+		Exported:        m.exported.Value(),
+		Dropped:         m.dropped.Value(),
+	}
+}
+
+// WriteText renders the snapshot for humans. A nil monitor reports the
+// disabled state.
+func (m *SLOMonitor) WriteText(w io.Writer) error {
+	if m == nil {
+		_, err := fmt.Fprintln(w, "slo: disabled (no objectives configured)")
+		return err
+	}
+	s := m.Snapshot()
+	var err error
+	p := func(format string, args ...interface{}) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("slo objectives: ttfa=%s full=%s target=%.4g window=%s\n",
+		time.Duration(s.TTFAObjectiveMS*1e6), time.Duration(s.FullObjectiveMS*1e6),
+		s.Target, time.Duration(s.WindowS*1e9))
+	p("window: sessions=%d errors=%d ttfa_violations=%d full_violations=%d\n",
+		s.Sessions, s.Errors, s.TTFAViolations, s.FullViolations)
+	p("burn rates: ttfa=%.3f full=%.3f error=%.3f\n", s.TTFABurn, s.FullBurn, s.ErrorBurn)
+	p("tail sampling: exported=%d dropped=%d\n", s.Exported, s.Dropped)
+	return err
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (m *SLOMonitor) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m.Snapshot())
+}

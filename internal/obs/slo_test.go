@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for window tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newSLOForTest(t *testing.T, cfg SLOConfig) (*SLOMonitor, *fakeClock) {
+	t.Helper()
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	cfg.Now = clk.now
+	m := NewSLOMonitor(cfg)
+	if m == nil {
+		t.Fatal("NewSLOMonitor returned nil for configured objectives")
+	}
+	return m, clk
+}
+
+func TestSLOMonitorDisabled(t *testing.T) {
+	if m := NewSLOMonitor(SLOConfig{}); m != nil {
+		t.Fatal("no objectives should yield a nil (disabled) monitor")
+	}
+	var m *SLOMonitor
+	// Every method must be a safe no-op on nil.
+	m.Bind(NewRegistry())
+	m.Observe(time.Second, time.Second, true)
+	m.MarkExport(true)
+	if !m.ShouldSample(0, 0, false) {
+		t.Fatal("nil monitor must sample everything")
+	}
+	if s := m.Snapshot(); s.Sessions != 0 {
+		t.Fatalf("nil snapshot = %+v", s)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "disabled") {
+		t.Fatalf("nil WriteText = %q, want disabled notice", buf.String())
+	}
+	buf.Reset()
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSLOMonitorDefaults(t *testing.T) {
+	m := NewSLOMonitor(SLOConfig{FullObjective: time.Second, Target: 1.5})
+	if m == nil {
+		t.Fatal("nil monitor")
+	}
+	if m.cfg.Target != 0.99 {
+		t.Fatalf("out-of-range target not clamped: %g", m.cfg.Target)
+	}
+	if m.cfg.Window != 5*time.Minute {
+		t.Fatalf("default window = %s", m.cfg.Window)
+	}
+	if m.bucketDur != 5*time.Minute/sloRingBuckets {
+		t.Fatalf("bucketDur = %s", m.bucketDur)
+	}
+}
+
+func TestSLOViolationsAndBurn(t *testing.T) {
+	m, _ := newSLOForTest(t, SLOConfig{
+		TTFAObjective: 10 * time.Millisecond,
+		FullObjective: 100 * time.Millisecond,
+		Target:        0.9, // 10% budget, so >=10% violations means burn >= 1
+		Window:        time.Minute,
+	})
+	// 8 good sessions, 1 TTFA violation, 1 full violation.
+	for i := 0; i < 8; i++ {
+		m.Observe(time.Millisecond, 10*time.Millisecond, false)
+	}
+	m.Observe(50*time.Millisecond, 60*time.Millisecond, false) // TTFA blown
+	m.Observe(time.Millisecond, 200*time.Millisecond, false)   // full blown
+	s := m.Snapshot()
+	if s.Sessions != 10 || s.TTFAViolations != 1 || s.FullViolations != 1 || s.Errors != 0 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	// 1 violation / 10 sessions / 0.1 budget = burn rate 1.0 (allow for
+	// floating-point rounding in the budget division).
+	near := func(got, want float64) bool { return got > want-1e-9 && got < want+1e-9 }
+	if !near(s.TTFABurn, 1) || !near(s.FullBurn, 1) || s.ErrorBurn != 0 {
+		t.Fatalf("burn rates = %g/%g/%g, want 1/1/0", s.TTFABurn, s.FullBurn, s.ErrorBurn)
+	}
+}
+
+func TestSLOTTFAViolationWhenNoAnswerStreamed(t *testing.T) {
+	m, _ := newSLOForTest(t, SLOConfig{TTFAObjective: 10 * time.Millisecond, Window: time.Minute})
+	// No answer ever streamed (ttfa=0) and the session outlived the
+	// objective: that's a violation, not a pass.
+	m.Observe(0, time.Second, false)
+	// No answer but the whole session fit inside the objective: fine.
+	m.Observe(0, time.Millisecond, false)
+	if s := m.Snapshot(); s.TTFAViolations != 1 {
+		t.Fatalf("ttfa violations = %d, want 1", s.TTFAViolations)
+	}
+}
+
+func TestSLOWindowExpiry(t *testing.T) {
+	m, clk := newSLOForTest(t, SLOConfig{FullObjective: time.Millisecond, Window: time.Minute})
+	m.Observe(0, time.Second, true)
+	if s := m.Snapshot(); s.Sessions != 1 || s.Errors != 1 {
+		t.Fatalf("before expiry: %+v", s)
+	}
+	clk.advance(2 * time.Minute)
+	if s := m.Snapshot(); s.Sessions != 0 {
+		t.Fatalf("after expiry: %+v, want empty window", s)
+	}
+	// A new observation lands in a reused (lazily reset) bucket.
+	m.Observe(0, time.Microsecond, false)
+	if s := m.Snapshot(); s.Sessions != 1 || s.FullViolations != 0 || s.Errors != 0 {
+		t.Fatalf("after reuse: %+v", s)
+	}
+}
+
+func TestSLOShouldSample(t *testing.T) {
+	m, _ := newSLOForTest(t, SLOConfig{
+		TTFAObjective: 10 * time.Millisecond,
+		FullObjective: 100 * time.Millisecond,
+		Target:        0.9,
+		Window:        time.Minute,
+	})
+	if m.ShouldSample(time.Millisecond, time.Millisecond, false) {
+		t.Fatal("healthy session in a quiet window should not sample")
+	}
+	if !m.ShouldSample(time.Millisecond, time.Millisecond, true) {
+		t.Fatal("errored session must sample")
+	}
+	if !m.ShouldSample(time.Second, 2*time.Second, false) {
+		t.Fatal("objective-violating session must sample")
+	}
+	// Drive the window to burn >= 1: now even healthy sessions sample.
+	for i := 0; i < 5; i++ {
+		m.Observe(0, time.Second, false)
+	}
+	if !m.ShouldSample(time.Millisecond, time.Millisecond, false) {
+		t.Fatal("burning window must sample every session")
+	}
+}
+
+func TestSLOBindAndMark(t *testing.T) {
+	m, _ := newSLOForTest(t, SLOConfig{FullObjective: 50 * time.Millisecond, Window: time.Minute})
+	reg := NewRegistry()
+	m.Bind(reg)
+	m.Observe(0, time.Second, false)
+	m.MarkExport(true)
+	m.MarkExport(false)
+	m.MarkExport(false)
+	snap := reg.Snapshot()
+	if got := snap.Counters["slo.sampled_exports"]; got != 1 {
+		t.Fatalf("sampled_exports = %d, want 1", got)
+	}
+	if got := snap.Counters["slo.sampled_dropped"]; got != 2 {
+		t.Fatalf("sampled_dropped = %d, want 2", got)
+	}
+	if got := snap.Gauges["slo.full_objective_ms"]; got != 50 {
+		t.Fatalf("full_objective_ms = %g, want 50", got)
+	}
+	if got := snap.Gauges["slo.full_burn_rate"]; got <= 0 {
+		t.Fatalf("full_burn_rate = %g, want > 0", got)
+	}
+	if got := snap.Gauges["slo.window_sessions"]; got != 1 {
+		t.Fatalf("window_sessions = %g, want 1", got)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"slo objectives:", "burn rates:", "tail sampling:"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("WriteText output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// A disabled (nil) monitor must add zero allocations to the hot path.
+func TestDisabledSLOAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under -race")
+	}
+	var m *SLOMonitor
+	allocs := testing.AllocsPerRun(1000, func() {
+		m.Observe(time.Millisecond, time.Second, false)
+		if !m.ShouldSample(time.Millisecond, time.Second, false) {
+			t.Fatal("unexpected")
+		}
+		m.MarkExport(true)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled SLO monitor allocates %.1f per op, want 0", allocs)
+	}
+}

@@ -222,7 +222,8 @@ type TraceSnapshot struct {
 type Trace struct {
 	id     TraceID
 	root   SpanID
-	parent SpanID // remote parent from an accepted traceparent; zero if none
+	parent SpanID  // remote parent from an accepted traceparent; zero if none
+	salt   [8]byte // per-trace random entropy mixed into span IDs
 	name   string
 	start  time.Time
 
@@ -242,9 +243,7 @@ type Trace struct {
 
 // NewTrace starts a trace with a fresh random trace ID.
 func NewTrace(name string) *Trace {
-	t := &Trace{id: NewTraceID(), name: name, start: time.Now()}
-	t.root = t.nextSpanID()
-	return t
+	return newTrace(NewTraceID(), SpanID{}, name)
 }
 
 // StartRequestTrace starts a trace for an incoming request carrying the
@@ -257,19 +256,28 @@ func StartRequestTrace(name, traceparent string) *Trace {
 	if !ok {
 		return NewTrace(name)
 	}
-	t := &Trace{id: tid, parent: parent, name: name, start: time.Now()}
+	return newTrace(tid, parent, name)
+}
+
+func newTrace(id TraceID, parent SpanID, name string) *Trace {
+	t := &Trace{id: id, parent: parent, name: name, start: time.Now()}
+	_, _ = cryptorand.Read(t.salt[:])
 	t.root = t.nextSpanID()
 	return t
 }
 
 // nextSpanID allocates the next span ID: the trace-unique sequence
-// number mixed with the trace ID's entropy so IDs differ across traces.
+// number mixed with per-trace random entropy, so IDs differ across
+// traces and — crucially for fleet-wide stitching — across the
+// processes participating in one distributed trace (the router and
+// every shard join the same trace ID but draw from independent salts,
+// so a reassembled span tree never collides).
 func (t *Trace) nextSpanID() SpanID {
 	var id SpanID
 	seq := t.spanSeq.Add(1)
 	binary.BigEndian.PutUint64(id[:], seq)
 	for i := 0; i < 6; i++ { // keep the low two sequence bytes readable
-		id[i] ^= t.id[i]
+		id[i] ^= t.salt[i]
 	}
 	if id.IsZero() {
 		id[7] = 1
@@ -426,6 +434,24 @@ func (s *TraceSpan) StartSpan(name string) *TraceSpan {
 		return nil
 	}
 	return &TraceSpan{t: s.t, id: s.t.nextSpanID(), parent: s.id, name: name, start: time.Now()}
+}
+
+// ID returns the span's ID (zero for a nil span).
+func (s *TraceSpan) ID() SpanID {
+	if s == nil {
+		return SpanID{}
+	}
+	return s.id
+}
+
+// Traceparent renders the header value identifying this span, so a
+// sub-request issued while the span is open parents under it — the
+// cross-process link trace stitching joins on.
+func (s *TraceSpan) Traceparent() string {
+	if s == nil {
+		return ""
+	}
+	return FormatTraceparent(s.t.id, s.id)
 }
 
 // Annotate appends a point event attributed to this span's name.

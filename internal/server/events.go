@@ -12,10 +12,13 @@ import "qporder/internal/obs"
 //	{"event":"plan", ...}               per executed plan, best-first
 //	{"event":"answers", ...}            per plan that contributed answers
 //	{"event":"explain", ...}            once, when requested, before done
-//	{"event":"done", ...}               once, last line
+//	{"event":"done", ...}               once, last data line
+//	{"event":"spans", ...}              once, after done, when requested
 //
 // A failure after the stream has started (headers already sent) is
-// reported as a final {"event":"error"} line.
+// reported as an {"event":"error"} line (followed by the spans trailer
+// when requested). Everything after done/error is observability
+// metadata; clients dispatching on Event ignore unknown trailers.
 type Event struct {
 	Event string `json:"event"`
 
@@ -64,6 +67,14 @@ type Event struct {
 
 	// error fields.
 	Err *ErrorBody `json:"error,omitempty"`
+
+	// spans fields: the trailing spans event (emitted after done — or
+	// after a mid-stream error event — when the request set "spans":
+	// true) carries the process-local span tree. A fleet router sets the
+	// flag on its sub-requests, ingests the trailer, and re-exports the
+	// shard snapshots under its own trace for cross-process stitching.
+	// Plain clients ignore unknown trailing events.
+	Trace *obs.TraceSnapshot `json:"trace,omitempty"`
 }
 
 // ErrorBody is the structured error payload: the body of every non-2xx

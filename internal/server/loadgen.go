@@ -355,8 +355,8 @@ func StreamPlans(ctx context.Context, baseURL string, cfg LoadConfig, query stri
 }
 
 // FleetReportSchemaVersion stamps serialized FleetReports; bump on
-// incompatible shape changes.
-const FleetReportSchemaVersion = 1
+// incompatible shape changes. v2 added the per-shard Shards breakdown.
+const FleetReportSchemaVersion = 2
 
 // SweepPoint is one concurrency level of a fleet throughput sweep.
 type SweepPoint struct {
@@ -380,6 +380,55 @@ type FleetReport struct {
 	KneeFraction  float64      `json:"knee_fraction"`
 	Knee          int          `json:"knee_concurrency"`
 	MaxQPS        float64      `json:"max_qps"`
+	// Shards is the per-shard load breakdown over the sweep, read from
+	// the router's fleet.shard<i>.* instruments (session and answer
+	// counts are sweep deltas; latency quantiles are the router's
+	// cumulative view). Empty when BaseURL is a plain qpserved or its
+	// metrics are unreachable. Skewed rows mean the affinity hash — or
+	// the plan-space partition — is not spreading work evenly.
+	Shards []ShardLoad `json:"shards,omitempty"`
+}
+
+// ShardLoad is one shard's share of a fleet sweep, indexed by the
+// shard's configured position in the router's -shards list.
+type ShardLoad struct {
+	Shard        int     `json:"shard"`
+	Sessions     int64   `json:"sessions"`
+	Answers      int64   `json:"answers"`
+	LatencyP50MS float64 `json:"latency_p50_ms,omitempty"`
+	LatencyP99MS float64 `json:"latency_p99_ms,omitempty"`
+}
+
+// shardLoads derives the per-shard breakdown from router metric
+// snapshots taken before and after the sweep. The shard set is probed
+// by index until the first missing fleet.shard<i>.sessions counter.
+func shardLoads(before, after *obs.Snapshot) []ShardLoad {
+	if after == nil {
+		return nil
+	}
+	var out []ShardLoad
+	for i := 0; ; i++ {
+		sessKey := fmt.Sprintf("fleet.shard%d.sessions", i)
+		sessions, ok := after.Counters[sessKey]
+		if !ok {
+			break
+		}
+		sl := ShardLoad{
+			Shard:    i,
+			Sessions: sessions,
+			Answers:  after.Counters[fmt.Sprintf("fleet.shard%d.answers", i)],
+		}
+		if before != nil {
+			sl.Sessions -= before.Counters[sessKey]
+			sl.Answers -= before.Counters[fmt.Sprintf("fleet.shard%d.answers", i)]
+		}
+		if h, ok := after.Histograms[fmt.Sprintf("fleet.shard%d.latency_ns", i)]; ok {
+			sl.LatencyP50MS = float64(h.P50) / 1e6
+			sl.LatencyP99MS = float64(h.P99) / 1e6
+		}
+		out = append(out, sl)
+	}
+	return out
 }
 
 // RunFleetSweep replays the workload at each concurrency level and
@@ -396,6 +445,10 @@ func RunFleetSweep(ctx context.Context, cfg LoadConfig, levels []int) (*FleetRep
 		Scatter:       cfg.Scatter,
 		KneeFraction:  0.9,
 	}
+	// Snapshot the target's metrics around the sweep so the per-shard
+	// counters can be reported as deltas. Either fetch failing (a plain
+	// qpserved target, metrics disabled) just omits the breakdown.
+	before, _ := FetchSnapshot(ctx, cfg.BaseURL)
 	for _, c := range levels {
 		if c <= 0 {
 			return nil, fmt.Errorf("loadgen: sweep concurrency must be positive, got %d", c)
@@ -417,6 +470,8 @@ func RunFleetSweep(ctx context.Context, cfg LoadConfig, levels []int) (*FleetRep
 			return nil, err
 		}
 	}
+	after, _ := FetchSnapshot(ctx, cfg.BaseURL)
+	rep.Shards = shardLoads(before, after)
 	// Knee: first level reaching KneeFraction of the sweep's best QPS,
 	// scanning smallest concurrency first.
 	sorted := append([]SweepPoint(nil), rep.Points...)

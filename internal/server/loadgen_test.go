@@ -1,0 +1,44 @@
+package server
+
+import "qporder/internal/obs"
+
+import "testing"
+
+// TestShardLoads: the per-shard breakdown probes fleet.shard<i>.*
+// counters by index, reports sweep deltas, and stops at the first gap.
+func TestShardLoads(t *testing.T) {
+	before := &obs.Snapshot{Counters: map[string]int64{
+		"fleet.shard0.sessions": 10, "fleet.shard0.answers": 100,
+		"fleet.shard1.sessions": 0, "fleet.shard1.answers": 0,
+	}}
+	after := &obs.Snapshot{
+		Counters: map[string]int64{
+			"fleet.shard0.sessions": 14, "fleet.shard0.answers": 160,
+			"fleet.shard1.sessions": 3, "fleet.shard1.answers": 45,
+			// shard3 without shard2: unreachable past the gap.
+			"fleet.shard3.sessions": 99,
+		},
+		Histograms: map[string]obs.HistSnapshot{
+			"fleet.shard0.latency_ns": {P50: 2_000_000, P99: 8_000_000},
+		},
+	}
+	got := shardLoads(before, after)
+	if len(got) != 2 {
+		t.Fatalf("probed %d shards, want 2 (stop at the index gap)", len(got))
+	}
+	if got[0] != (ShardLoad{Shard: 0, Sessions: 4, Answers: 60, LatencyP50MS: 2, LatencyP99MS: 8}) {
+		t.Fatalf("shard0 = %+v", got[0])
+	}
+	if got[1] != (ShardLoad{Shard: 1, Sessions: 3, Answers: 45}) {
+		t.Fatalf("shard1 = %+v", got[1])
+	}
+
+	// No before-snapshot (first scrape failed): absolute counts.
+	if abs := shardLoads(nil, after); abs[0].Sessions != 14 {
+		t.Fatalf("absolute sessions = %d, want 14", abs[0].Sessions)
+	}
+	// No after-snapshot (plain qpserved target): no breakdown at all.
+	if got := shardLoads(before, nil); got != nil {
+		t.Fatalf("breakdown without an after-snapshot: %+v", got)
+	}
+}

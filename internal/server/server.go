@@ -81,6 +81,13 @@ type Config struct {
 	// Logger, when non-nil, receives one structured log line per
 	// request, correlated by trace ID. Nil disables request logging.
 	Logger *slog.Logger
+	// SLO, when non-nil, observes every session's TTFA/full latency
+	// against its objectives (served at GET /debug/slo, burn-rate gauges
+	// on the registry) and switches TraceOut to tail-based sampling:
+	// only sessions that errored, violated an objective, or ran while
+	// the error budget was burning export their trace; the rest count in
+	// slo.sampled_dropped. Nil keeps the export-everything behavior.
+	SLO *obs.SLOMonitor
 }
 
 // Server mediates queries over a fixed catalog and simulated world.
@@ -168,6 +175,7 @@ func New(cfg Config) (*Server, error) {
 	// scrape.
 	s.reg.AttachCalibration(s.calib)
 	obs.RegisterRuntimeMetrics(s.reg)
+	cfg.SLO.Bind(s.reg) // no-op when no objectives are configured
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -175,6 +183,7 @@ func New(cfg Config) (*Server, error) {
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("GET /debug/requests", s.handleRequests)
 	mux.HandleFunc("GET /debug/calibration", s.handleCalibration)
+	mux.HandleFunc("GET /debug/slo", s.handleSLO)
 	s.mux = mux
 	return s, nil
 }
@@ -255,6 +264,11 @@ type queryRequest struct {
 	// it rejects the request — clients wanting scatter must talk to
 	// qprouter, not to a shard directly.
 	Scatter bool `json:"scatter,omitempty"`
+	// Spans requests the trailing spans event: after done (or a
+	// mid-stream error) the server emits its finished span tree as one
+	// more NDJSON line. The fleet router sets it on sub-requests to
+	// stitch shard spans into the fleet-wide trace.
+	Spans bool `json:"spans,omitempty"`
 }
 
 // ShardSpec names one slice of a scatter-gathered plan space: the plans
@@ -276,6 +290,7 @@ type session struct {
 	reform   mediator.Reformulator
 	par      int
 	explain  bool
+	spans    bool
 	shard    *ShardSpec
 }
 
@@ -330,6 +345,7 @@ func (s *Server) parseRequest(r *http.Request) (*session, *badRequestError) {
 	}
 	sess.par = req.Parallelism
 	sess.explain = req.Explain
+	sess.spans = req.Spans
 
 	sess.measName = req.Measure
 	if sess.measName == "" {
@@ -488,7 +504,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.requests.Inc()
 	tr := obs.StartRequestTrace("POST /v1/query", r.Header.Get("traceparent"))
 	w.Header().Set("Traceparent", tr.Traceparent())
-	defer s.finishTrace(tr)
+	reqStart := time.Now()
+	var ttfaNS atomic.Int64 // offset of the first streamed answer; 0 until one streams
+	defer func() { s.finishTrace(tr, time.Duration(ttfaNS.Load())) }()
 	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
 	parseSpan := tr.StartSpan("server/parse")
 	sess, berr := s.parseRequest(r)
@@ -571,6 +589,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 					out[i] = a.String()
 				}
 				emit(Event{Event: "answers", Index: e.Index, Answers: out})
+				ttfaNS.CompareAndSwap(0, int64(time.Since(reqStart)))
 			}
 		},
 	}
@@ -619,10 +638,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	runSpan := tr.StartSpan("server/run")
 	res, err := sys.RunContext(ctx, eng, mediator.Budget{MaxPlans: sess.k})
 	runSpan.End()
+	// The spans trailer rides after done (or after a mid-stream error):
+	// everything past the last data line is observability metadata, so
+	// plain clients' event dispatch skips it while a stitching router
+	// ingests it.
+	emitSpans := func() {
+		if !sess.spans {
+			return
+		}
+		snap := tr.Snapshot()
+		emit(Event{Event: "spans", TraceID: tr.TraceID().String(), Trace: &snap})
+	}
 	if err != nil {
 		tr.SetAttr("code", CodeInternal)
 		tr.SetError(err.Error())
 		emit(Event{Event: "error", Err: &ErrorBody{Code: CodeInternal, Message: err.Error()}})
+		emitSpans()
 		return
 	}
 	tr.SetAttr("stopped", string(res.Stopped))
@@ -639,18 +670,29 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Evals:        res.Evals,
 		ElapsedMS:    float64(time.Since(start)) / float64(time.Millisecond),
 	})
+	emitSpans()
 }
 
-// finishTrace seals the request trace and fans it out to the retention
-// sinks: the flight recorder, the NDJSON export, and the structured log.
-func (s *Server) finishTrace(tr *obs.Trace) {
+// finishTrace seals the request trace, feeds the session's latency to
+// the SLO monitor, and fans the trace out to the retention sinks: the
+// flight recorder (always on), the NDJSON export (tail-sampled when an
+// SLO monitor is configured), and the structured log.
+func (s *Server) finishTrace(tr *obs.Trace, ttfa time.Duration) {
 	snap := tr.Finish()
 	s.flight.Record(snap)
+	full := time.Duration(snap.DurNS)
+	errored := snap.Status == "error"
+	s.cfg.SLO.Observe(ttfa, full, errored)
 	if s.cfg.TraceOut != nil {
-		if b, err := json.Marshal(snap); err == nil {
-			s.traceMu.Lock()
-			_, _ = s.cfg.TraceOut.Write(append(b, '\n'))
-			s.traceMu.Unlock()
+		if s.cfg.SLO.ShouldSample(ttfa, full, errored) {
+			s.cfg.SLO.MarkExport(true)
+			if b, err := json.Marshal(snap); err == nil {
+				s.traceMu.Lock()
+				_, _ = s.cfg.TraceOut.Write(append(b, '\n'))
+				s.traceMu.Unlock()
+			}
+		} else {
+			s.cfg.SLO.MarkExport(false)
 		}
 	}
 	if s.cfg.CalibOut != nil {
@@ -751,6 +793,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_ = s.reg.WriteText(w)
 	}
+}
+
+// handleSLO serves the SLO monitor's rolling-window state: objectives,
+// violation counts, burn rates, and tail-sampling outcomes, as text by
+// default or JSON with ?format=json. With no monitor configured it
+// reports the disabled state (and {} as JSON).
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.cfg.SLO.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = s.cfg.SLO.WriteText(w)
 }
 
 // handleCalibration serves the estimator-calibration state: per-source

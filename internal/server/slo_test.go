@@ -1,0 +1,179 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"qporder/internal/obs"
+)
+
+// TestSpansTrailer: "spans": true appends exactly one spans event after
+// done carrying the request's span tree; without the flag the stream is
+// unchanged.
+func TestSpansTrailer(t *testing.T) {
+	_, ts := testServer(t, nil)
+	status, tp, events := postWithHeader(t, ts.URL, clientTraceparent, queryRequest{Query: testQuery, K: 3, Spans: true})
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if len(events) == 0 || events[len(events)-1].Event != "spans" {
+		t.Fatalf("stream does not end with a spans trailer: %+v", events)
+	}
+	doneSeen := false
+	for _, e := range events {
+		if e.Event == "done" {
+			doneSeen = true
+		}
+		if e.Event == "spans" && !doneSeen {
+			t.Fatal("spans trailer before the done event")
+		}
+	}
+	trailer := events[len(events)-1]
+	if trailer.Trace == nil {
+		t.Fatal("spans trailer carries no trace snapshot")
+	}
+	tid, _, _ := obs.ParseTraceparent(tp)
+	if trailer.Trace.TraceID != tid {
+		t.Fatalf("trailer trace ID %s != session %s", trailer.Trace.TraceID, tid)
+	}
+	if trailer.TraceID != tid.String() {
+		t.Fatalf("trailer event trace_id %q != session %s", trailer.TraceID, tid)
+	}
+	if len(trailer.Trace.Spans) < 2 {
+		t.Fatalf("trailer has %d spans, want a tree", len(trailer.Trace.Spans))
+	}
+	// The snapshot's remote parent is the client's span — the stitch key.
+	if got := trailer.Trace.ParentSpan.String(); got != "b7ad6b7169203331" {
+		t.Fatalf("trailer parent span %s, want the caller's", got)
+	}
+
+	_, _, plain := postWithHeader(t, ts.URL, "", queryRequest{Query: testQuery, K: 3})
+	for _, e := range plain {
+		if e.Event == "spans" {
+			t.Fatal("spans trailer present without spans:true")
+		}
+	}
+}
+
+// TestServerSLOTailSampling: with objectives nothing can meet, every
+// session samples (exports); with objectives nothing violates, healthy
+// sessions drop and the export stays empty.
+func TestServerSLOTailSampling(t *testing.T) {
+	t.Run("violating sessions export", func(t *testing.T) {
+		var exported syncBuffer
+		slo := obs.NewSLOMonitor(obs.SLOConfig{FullObjective: time.Nanosecond})
+		_, ts := testServer(t, func(cfg *Config) {
+			cfg.TraceOut = &exported
+			cfg.SLO = slo
+		})
+		post(t, ts.URL, queryRequest{Query: testQuery, K: 2})
+		traces, err := obs.ReadTraces(strings.NewReader(exported.String()))
+		if err != nil || len(traces) != 1 {
+			t.Fatalf("export holds %d traces (err %v), want 1", len(traces), err)
+		}
+		s := slo.Snapshot()
+		if s.Sessions != 1 || s.FullViolations != 1 || s.Exported != 1 || s.Dropped != 0 {
+			t.Fatalf("slo snapshot = %+v", s)
+		}
+	})
+	t.Run("healthy sessions drop", func(t *testing.T) {
+		var exported syncBuffer
+		slo := obs.NewSLOMonitor(obs.SLOConfig{FullObjective: time.Hour})
+		_, ts := testServer(t, func(cfg *Config) {
+			cfg.TraceOut = &exported
+			cfg.SLO = slo
+		})
+		post(t, ts.URL, queryRequest{Query: testQuery, K: 2})
+		if exported.String() != "" {
+			t.Fatalf("healthy session exported despite tail sampling:\n%s", exported.String())
+		}
+		s := slo.Snapshot()
+		if s.Sessions != 1 || s.FullViolations != 0 || s.Exported != 0 || s.Dropped != 1 {
+			t.Fatalf("slo snapshot = %+v", s)
+		}
+	})
+	t.Run("errored sessions always export", func(t *testing.T) {
+		var exported syncBuffer
+		slo := obs.NewSLOMonitor(obs.SLOConfig{FullObjective: time.Hour})
+		_, ts := testServer(t, func(cfg *Config) {
+			cfg.TraceOut = &exported
+			cfg.SLO = slo
+		})
+		post(t, ts.URL, queryRequest{Query: "nonsense ]["})
+		traces, err := obs.ReadTraces(strings.NewReader(exported.String()))
+		if err != nil || len(traces) != 1 || traces[0].Status != "error" {
+			t.Fatalf("errored session not exported: %d traces, err %v", len(traces), err)
+		}
+	})
+}
+
+// TestDebugSLOEndpoint: text and JSON views, enabled and disabled.
+func TestDebugSLOEndpoint(t *testing.T) {
+	slo := obs.NewSLOMonitor(obs.SLOConfig{TTFAObjective: time.Hour, FullObjective: time.Hour})
+	_, ts := testServer(t, func(cfg *Config) { cfg.SLO = slo })
+	post(t, ts.URL, queryRequest{Query: testQuery, K: 2})
+
+	get := func(path string) (int, string, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(b), resp.Header.Get("Content-Type")
+	}
+
+	status, body, ct := get("/debug/slo")
+	if status != http.StatusOK || !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("text view: status %d content-type %q", status, ct)
+	}
+	if !strings.Contains(body, "slo objectives:") || !strings.Contains(body, "sessions=1") {
+		t.Fatalf("text view body:\n%s", body)
+	}
+
+	status, body, ct = get("/debug/slo?format=json")
+	if status != http.StatusOK || !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("json view: status %d content-type %q", status, ct)
+	}
+	var snap obs.SLOSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("json view does not decode: %v", err)
+	}
+	if snap.Sessions != 1 || snap.TTFAObjectiveMS != float64(time.Hour)/1e6 {
+		t.Fatalf("json snapshot = %+v", snap)
+	}
+
+	// The slo.* gauges ride the registry snapshot.
+	resp, err := http.Get(ts.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var reg obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Gauges["slo.window_sessions"] != 1 || reg.Gauges["slo.target"] != 0.99 {
+		t.Fatalf("slo gauges missing from registry: %v", reg.Gauges)
+	}
+
+	// Disabled monitor: the endpoint still answers, reporting disabled.
+	_, ts2 := testServer(t, nil)
+	resp2, err := http.Get(ts2.URL + "/debug/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	b, _ := io.ReadAll(resp2.Body)
+	if resp2.StatusCode != http.StatusOK || !strings.Contains(string(b), "disabled") {
+		t.Fatalf("disabled view: status %d body %q", resp2.StatusCode, b)
+	}
+}

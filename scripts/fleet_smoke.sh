@@ -8,12 +8,18 @@
 #   3. affinity: a shuffled burst of one query routes every session to
 #      the same shard (canonical-key ring), zero errors, warm cache,
 #   4. traceparent forwarding: the fleet hop joins the caller's trace,
-#   5. kill a shard mid-burst: SIGTERM the ring owner while paced load
+#   5. metrics federation: the router's openmetrics view folds in every
+#      shard under a shard label, grammar-terminated by # EOF; the shard
+#      SLO monitor answers /debug/slo,
+#   6. kill a shard mid-burst: SIGTERM the ring owner while paced load
 #      runs; zero client-visible errors, sessions reroute to the next
 #      ring node, fleet.shards_up settles at 2,
-#   6. scatter parity again on the 2-shard fleet — the merged order is
+#   7. scatter parity again on the 2-shard fleet — the merged order is
 #      invariant to the shard count,
-#   7. SIGTERM the router and surviving shards; all must drain cleanly.
+#   8. SIGTERM the router and surviving shards; all must drain cleanly,
+#   9. trace stitching: qptrace over the router's unified export shows
+#      the scatter session as ONE trace joining router and shard spans
+#      across processes, with a cross-process critical path.
 # Used by `make fleet-smoke` and the fleet-smoke CI job.
 set -eu
 
@@ -28,7 +34,7 @@ cleanup() {
     status=$?
     if [ "$status" -ne 0 ] && [ -n "${SMOKE_ARTIFACT_DIR:-}" ]; then
         mkdir -p "$SMOKE_ARTIFACT_DIR"
-        cp "$WORKDIR"/*.log "$WORKDIR"/*.txt "$WORKDIR"/*.json "$SMOKE_ARTIFACT_DIR"/ 2>/dev/null || true
+        cp "$WORKDIR"/*.log "$WORKDIR"/*.txt "$WORKDIR"/*.json "$WORKDIR"/*.ndjson "$SMOKE_ARTIFACT_DIR"/ 2>/dev/null || true
     fi
     for pid in $PIDS; do
         kill -TERM "$pid" 2>/dev/null || true
@@ -60,6 +66,7 @@ $GO build -race -o "$WORKDIR/qpserved" ./cmd/qpserved
 $GO build -race -o "$WORKDIR/qprouter" ./cmd/qprouter
 $GO build -race -o "$WORKDIR/qpload" ./cmd/qpload
 $GO build -o "$WORKDIR/qporder" ./cmd/qporder
+$GO build -o "$WORKDIR/qptrace" ./cmd/qptrace
 $GO run ./cmd/qpgen -preset movie > "$WORKDIR/movie.qp"
 
 # boot_daemon <binary> <logfile> <args...>: starts it, scrapes
@@ -90,17 +97,20 @@ scrape_counter() {
 }
 
 echo "fleet-smoke: booting three shards"
-set -- $(boot_daemon qpserved shard1.log -f "$WORKDIR/movie.qp" -addr 127.0.0.1:0 -seed "$SEED")
+set -- $(boot_daemon qpserved shard1.log -f "$WORKDIR/movie.qp" -addr 127.0.0.1:0 -seed "$SEED" -slo-ttfa 2s -slo-full 5s)
 S1_PID=$1; S1_URL=$2; PIDS="$PIDS $S1_PID"
-set -- $(boot_daemon qpserved shard2.log -f "$WORKDIR/movie.qp" -addr 127.0.0.1:0 -seed "$SEED")
+set -- $(boot_daemon qpserved shard2.log -f "$WORKDIR/movie.qp" -addr 127.0.0.1:0 -seed "$SEED" -slo-ttfa 2s -slo-full 5s)
 S2_PID=$1; S2_URL=$2; PIDS="$PIDS $S2_PID"
-set -- $(boot_daemon qpserved shard3.log -f "$WORKDIR/movie.qp" -addr 127.0.0.1:0 -seed "$SEED")
+set -- $(boot_daemon qpserved shard3.log -f "$WORKDIR/movie.qp" -addr 127.0.0.1:0 -seed "$SEED" -slo-ttfa 2s -slo-full 5s)
 S3_PID=$1; S3_URL=$2; PIDS="$PIDS $S3_PID"
 echo "fleet-smoke: shards up at $S1_URL $S2_URL $S3_URL"
 
 echo "fleet-smoke: booting the router"
+# No router SLO: with tail sampling off every session exports, so the
+# stitching check at the end is deterministic.
 set -- $(boot_daemon qprouter router.log -shards "$S1_URL,$S2_URL,$S3_URL" \
-    -addr 127.0.0.1:0 -health-interval 500ms -backoff 10ms -k "$K")
+    -addr 127.0.0.1:0 -health-interval 500ms -backoff 10ms -k "$K" \
+    -trace-out "$WORKDIR/fleet_traces.ndjson")
 RT_PID=$1; RT_URL=$2; PIDS="$PIDS $RT_PID"
 curl -fsS "$RT_URL/healthz" > /dev/null || { echo "fleet-smoke: router healthz failed"; exit 1; }
 echo "fleet-smoke: router up at $RT_URL"
@@ -153,6 +163,43 @@ grep -iq "^traceparent: 00-$TRACE_ID-" "$WORKDIR/tp_headers.txt" || {
     exit 1
 }
 echo "fleet-smoke: shard joined trace $TRACE_ID through the router"
+
+echo "fleet-smoke: federated metrics scrape across the 3-shard fleet"
+curl -fsS -D "$WORKDIR/fed_headers.txt" \
+    "$RT_URL/metrics?format=openmetrics" > "$WORKDIR/federated.txt"
+grep -iq '^content-type: application/openmetrics-text' "$WORKDIR/fed_headers.txt" || {
+    echo "fleet-smoke: FAIL: federated scrape has the wrong Content-Type:"
+    cat "$WORKDIR/fed_headers.txt"
+    exit 1
+}
+[ "$(tail -n 1 "$WORKDIR/federated.txt")" = "# EOF" ] || {
+    echo "fleet-smoke: FAIL: federated exposition not terminated by # EOF"
+    exit 1
+}
+for idx in 0 1 2; do
+    grep -q "{shard=\"$idx\"" "$WORKDIR/federated.txt" || {
+        echo "fleet-smoke: FAIL: shard $idx missing from the federated exposition"
+        exit 1
+    }
+done
+grep -q '^fleet_sessions_scatter_total ' "$WORKDIR/federated.txt" || {
+    echo "fleet-smoke: FAIL: router's own families missing from the merge"
+    exit 1
+}
+echo "fleet-smoke: federation merges 3 shards plus the router's own registry"
+
+echo "fleet-smoke: shard SLO monitor surface"
+curl -fsS "$S2_URL/debug/slo" > "$WORKDIR/slo.txt"
+grep -q 'slo objectives:' "$WORKDIR/slo.txt" || {
+    echo "fleet-smoke: FAIL: shard /debug/slo did not render objectives:"
+    cat "$WORKDIR/slo.txt"
+    exit 1
+}
+curl -fsS "$RT_URL/debug/slo" | grep -q 'disabled' || {
+    echo "fleet-smoke: FAIL: router without objectives should report slo disabled"
+    exit 1
+}
+echo "fleet-smoke: /debug/slo live on shards, disabled on the router"
 
 echo "fleet-smoke: SIGTERM the owner shard ($OWNER_URL) under paced load"
 "$WORKDIR/qpload" -url "$RT_URL" -q "$QUERY" -n 60 -c 4 -qps 50 -k "$K" \
@@ -222,4 +269,36 @@ grep -q "drained cleanly" "$WORKDIR/router.log" || {
     cat "$WORKDIR/router.log"
     exit 1
 }
+
+echo "fleet-smoke: stitching the unified trace export"
+[ -s "$WORKDIR/fleet_traces.ndjson" ] || {
+    echo "fleet-smoke: FAIL: router exported no traces"
+    exit 1
+}
+# -top high enough that every session of the run is listed; the
+# procs=4 scatter session must not fall off a truncated list.
+"$WORKDIR/qptrace" -top 500 "$WORKDIR/fleet_traces.ndjson" > "$WORKDIR/stitch_report.txt"
+grep -q 'stitched fleet traces' "$WORKDIR/stitch_report.txt" || {
+    echo "fleet-smoke: FAIL: report has no stitched section:"
+    cat "$WORKDIR/stitch_report.txt"
+    exit 1
+}
+# The 3-shard scatter session must appear as ONE trace joining the
+# router hop and all three shard hops, with a critical path that
+# crosses the process boundary into a shard slice.
+grep -q 'procs=4' "$WORKDIR/stitch_report.txt" || {
+    echo "fleet-smoke: FAIL: no 4-process (router + 3 shards) stitched trace:"
+    cat "$WORKDIR/stitch_report.txt"
+    exit 1
+}
+grep -q 'router /v1/query' "$WORKDIR/stitch_report.txt" || {
+    echo "fleet-smoke: FAIL: router hop missing from the stitched report"
+    exit 1
+}
+grep -q 'critical path: .*router/slice' "$WORKDIR/stitch_report.txt" || {
+    echo "fleet-smoke: FAIL: critical path does not cross into a shard slice:"
+    cat "$WORKDIR/stitch_report.txt"
+    exit 1
+}
+echo "fleet-smoke: scatter session stitched across router + 3 shards"
 echo "fleet-smoke: PASS"

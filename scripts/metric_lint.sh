@@ -14,6 +14,12 @@ names=$({
         --include='*.go' --exclude='*_test.go' internal cmd
     grep -hoE 'Metric[A-Za-z0-9]+[[:space:]]*=[[:space:]]*"[^"]*"' \
         internal/obs/runtime.go
+    # Sprintf-built names (per-shard fleet.shard%d.* instruments): lint
+    # the format string with %d stood in by a digit, which is exactly
+    # what the registry receives at runtime.
+    grep -rhoE '\.(Counter|Gauge|Histogram)\(fmt\.Sprintf\("[^"]*"' \
+        --include='*.go' --exclude='*_test.go' internal cmd |
+        sed 's/%d/0/g'
 } | sed 's/.*"\([^"]*\)".*/\1/' | sort -u)
 
 [ -n "$names" ] || {
